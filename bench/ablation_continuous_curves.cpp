@@ -1,0 +1,69 @@
+// Ablation: is continuity enough?  All continuous curves (snake, spiral,
+// Hilbert, Peano) obey the same Theorem-1 bound, and their average
+// NN-stretch constants differ only by the constant factor the paper's
+// observation 3 predicts.  The diagonal (JPEG zigzag) curve joins as a
+// classic discontinuous baseline.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "sfc/core/bounds.h"
+#include "sfc/core/nn_stretch.h"
+#include "sfc/curves/curve_factory.h"
+#include "sfc/curves/diagonal_curve.h"
+#include "sfc/curves/peano_curve.h"
+#include "sfc/curves/spiral_curve.h"
+#include "sfc/io/table.h"
+
+int main() {
+  using namespace sfc;
+  const auto scale = bench::scale_from_env();
+  bench::print_header(
+      "Ablation — continuous curves (snake / spiral / hilbert / peano)",
+      "Continuity bounds Dmin at 1 but cannot beat the Theorem-1 Davg bound.");
+
+  const int k = scale == bench::Scale::kSmall ? 6 : 8;
+  const coord_t pow2_side = coord_t{1} << k;
+  // Peano needs a power-of-three side; use the closest one.
+  coord_t pow3_side = 3;
+  while (pow3_side * 3 <= pow2_side) pow3_side *= 3;
+
+  std::cout << "\n2-d comparison (power-of-two grids side " << pow2_side
+            << ", peano on side " << pow3_side << "):\n";
+  Table table({"curve", "side", "Davg", "Davg/LB", "Dmax", "Dmin",
+               "continuous"});
+
+  auto add_row = [&](const SpaceFillingCurve& curve) {
+    const NNStretchResult r = compute_nn_stretch(curve);
+    const double lb = bounds::davg_lower_bound(curve.universe());
+    table.add_row({curve.name(), std::to_string(curve.universe().side()),
+                   Table::fmt(r.average_average),
+                   Table::fmt(r.average_average / lb, 4),
+                   Table::fmt(r.average_maximum),
+                   Table::fmt(r.average_minimum, 4),
+                   curve.is_continuous() ? "yes" : "no"});
+  };
+
+  const Universe u2 = Universe(2, pow2_side);
+  for (CurveFamily family :
+       {CurveFamily::kSnake, CurveFamily::kHilbert, CurveFamily::kZ,
+        CurveFamily::kSimple}) {
+    if (family_requires_pow2(family) && !u2.power_of_two_side()) continue;
+    add_row(*make_curve(family, u2));
+  }
+  add_row(SpiralCurve(u2));
+  add_row(DiagonalCurve(u2));
+  add_row(PeanoCurve(Universe(2, pow3_side)));
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape: every continuous curve has Dmin = 1 "
+               "exactly (a curve-adjacent cell is always a grid neighbor), "
+               "but continuity fixes nothing about Davg: snake sits at the "
+               "simple curve's 1.52, hilbert/peano near 1.8, while the "
+               "spiral pays ~3.9 (its rings put radial neighbors half a "
+               "perimeter apart).  The diagonal (JPEG zigzag) curve lands "
+               "at exactly 2x the bound.  All are Theta(n^{1/2}) — "
+               "Theorem 1 spares no bijection, continuous or not.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Ablation: full cross-curve comparison at a fixed budget, backing the
+// paper's observation 3 ("a different SFC can yield only a constant factor
+// improvement over the Z curve or the simple curve").
+//
+// For each curve: Davg, Dmax, Dmin (window-to-first-neighbor), ratio to the
+// Theorem-1 bound, and per-dimension Λ_i shares.
+#include <iostream>
+
+#include "bench_common.h"
+#include "sfc/core/bounds.h"
+#include "sfc/core/nn_stretch.h"
+#include "sfc/curves/curve_factory.h"
+#include "sfc/io/table.h"
+
+int main() {
+  using namespace sfc;
+  const auto scale = bench::scale_from_env();
+  bench::print_header(
+      "Ablation — cross-curve comparison at a fixed grid",
+      "All metrics side by side; no curve can beat the bound by more than a "
+      "constant.");
+
+  for (int d : {2, 3}) {
+    int k = 1;
+    while (checked_ipow(2, (k + 1) * d).has_value() &&
+           ipow(2, (k + 1) * d) <= bench::cell_budget(scale)) {
+      ++k;
+    }
+    // Random curves materialize an O(n) table; cap their size.
+    const Universe u = Universe::pow2(d, k);
+    std::cout << "\nd = " << d << ", k = " << k << ", n = " << u.cell_count()
+              << ", Theorem-1 bound = " << bounds::davg_lower_bound(u) << ":\n";
+    Table table({"curve", "Davg", "Davg/LB", "Dmax", "Dmin", "continuous"});
+    for (CurveFamily family : all_curve_families()) {
+      const index_t max_random_cells = index_t{1} << 20;
+      CurvePtr curve;
+      if (family == CurveFamily::kRandom && u.cell_count() > max_random_cells) {
+        continue;
+      }
+      curve = make_curve(family, u, 1);
+      const NNStretchResult r = compute_nn_stretch(*curve);
+      table.add_row({curve->name(), Table::fmt(r.average_average),
+                     Table::fmt(r.average_average / bounds::davg_lower_bound(u), 4),
+                     Table::fmt(r.average_maximum),
+                     Table::fmt(r.average_minimum),
+                     curve->is_continuous() ? "yes" : "no"});
+    }
+    table.print(std::cout);
+
+    // Λ_i decomposition for the structured curves.
+    std::cout << "\nPer-dimension share of the total NN stretch "
+                 "(Lambda_i / Sigma Lambda; Lemma-5 limits for Z are "
+              << [&] {
+                   std::string limits;
+                   for (int i = 1; i <= d; ++i) {
+                     limits += (i > 1 ? ", " : "") +
+                               Table::fmt(bounds::lambda_z_limit(d, i), 3);
+                   }
+                   return limits;
+                 }()
+              << "):\n";
+    Table lambda_table({"curve", "dim", "share"});
+    for (CurveFamily family : analytic_curve_families()) {
+      const CurvePtr curve = make_curve(family, u);
+      const NNStretchResult r = compute_nn_stretch(*curve);
+      const long double total = to_long_double(r.nn_distance_total);
+      for (int i = 0; i < d; ++i) {
+        lambda_table.add_row(
+            {curve->name(), std::to_string(i + 1),
+             Table::fmt(static_cast<double>(
+                            to_long_double(r.lambda[static_cast<std::size_t>(i)]) / total),
+                        4)});
+      }
+    }
+    lambda_table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation: how much recursive blocking does low stretch need?
+//
+// The tiled curve interpolates between the simple curve (tile = 1 or side)
+// and Z-style blocking (recursive halving).  Sweeping the tile side shows
+// Davg is asymptotically insensitive (Theorem 3 says even no blocking is
+// fine) while Dmax and the application metrics respond strongly.
+#include <iostream>
+
+#include "bench_common.h"
+#include "sfc/apps/range_query.h"
+#include "sfc/core/bounds.h"
+#include "sfc/core/nn_stretch.h"
+#include "sfc/curves/tiled_curve.h"
+#include "sfc/curves/zcurve.h"
+#include "sfc/io/table.h"
+
+int main() {
+  using namespace sfc;
+  const auto scale = bench::scale_from_env();
+  bench::print_header(
+      "Ablation — tile size sweep (simple curve -> blocked layouts)",
+      "Davg barely moves (Theorem 3's message); Dmax and clustering do.");
+
+  const int k = scale == bench::Scale::kSmall ? 5 : 7;
+  const Universe u = Universe::pow2(2, k);
+  std::cout << "\n2-d grid, side " << u.side() << " (n = " << u.cell_count()
+            << "), Theorem-1 bound " << bounds::davg_lower_bound(u) << ":\n";
+
+  Table table({"curve", "tile", "Davg", "Davg/LB", "Dmax",
+               "mean runs (4x4 boxes)"});
+  for (coord_t tile = 1; tile <= u.side(); tile *= 2) {
+    const TiledCurve curve(u, tile);
+    const NNStretchResult r = compute_nn_stretch(curve);
+    const ClusteringStats cluster = random_box_clustering(curve, 4, 200, 7);
+    table.add_row({curve.name(), std::to_string(tile),
+                   Table::fmt(r.average_average),
+                   Table::fmt(r.average_average / bounds::davg_lower_bound(u), 4),
+                   Table::fmt(r.average_maximum),
+                   Table::fmt(cluster.mean_runs, 4)});
+  }
+  // Z curve reference row (the "fully recursive" limit).
+  {
+    const ZCurve z(u);
+    const NNStretchResult r = compute_nn_stretch(z);
+    const ClusteringStats cluster = random_box_clustering(z, 4, 200, 7);
+    table.add_row({"z-curve", "rec.", Table::fmt(r.average_average),
+                   Table::fmt(r.average_average / bounds::davg_lower_bound(u), 4),
+                   Table::fmt(r.average_maximum),
+                   Table::fmt(cluster.mean_runs, 4)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape: the Davg column varies only within a "
+               "constant band (every tile size is near-optimal, echoing "
+               "Theorem 3), while Dmax improves from n^{1/2} toward the "
+               "Z curve's as tiles shrink the long jumps, and clustering "
+               "is best at intermediate tiles matching the query size.\n";
+  return 0;
+}

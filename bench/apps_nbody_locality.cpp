@@ -1,0 +1,109 @@
+// Application bench: Barnes-Hut N-body on Morton-ordered particles (intro
+// ref [26]).
+//
+// Demonstrates why N-body codes use SFC orderings: (1) tree accelerations
+// match direct summation, (2) Morton-sorting the particle array speeds up
+// the force loop through cache locality, (3) energy stays stable over a
+// short leapfrog run.
+#include <chrono>
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "sfc/apps/nbody.h"
+#include "sfc/io/table.h"
+#include "sfc/rng/sampling.h"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace sfc;
+  const auto scale = bench::scale_from_env();
+  bench::print_header(
+      "Application — Barnes-Hut N-body with Morton ordering",
+      "Tree accuracy vs direct summation; locality benefit of SFC sorting.");
+
+  const std::size_t count = scale == bench::Scale::kSmall ? 1000 : 4000;
+  NBodyParams params;
+  params.dim = 3;
+  params.theta = 0.5;
+  params.softening = 5e-3;
+
+  // --- Accuracy. ---
+  {
+    BarnesHut sim(make_clustered_particles(count, 3, 4, 2024), params);
+    sim.sort_by_morton();
+    const auto tree = sim.compute_accelerations();
+    const auto direct = sim.direct_accelerations();
+    double err_num = 0, err_den = 0;
+    for (std::size_t i = 0; i < tree.size(); ++i) {
+      for (int c = 0; c < 3; ++c) {
+        const double diff = tree[i][static_cast<std::size_t>(c)] -
+                            direct[i][static_cast<std::size_t>(c)];
+        err_num += diff * diff;
+        err_den += direct[i][static_cast<std::size_t>(c)] *
+                   direct[i][static_cast<std::size_t>(c)];
+      }
+    }
+    std::cout << "\n[accuracy] n = " << count << ", theta = " << params.theta
+              << ": relative L2 acceleration error = "
+              << std::sqrt(err_num / err_den) << " (tree nodes: "
+              << sim.last_tree_nodes() << ")\n";
+  }
+
+  // --- Locality: force evaluation with Morton-sorted vs shuffled order. ---
+  {
+    auto particles = make_clustered_particles(count, 3, 4, 7);
+    // Shuffled copy.
+    auto shuffled = particles;
+    Xoshiro256 rng(3);
+    for (std::size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[rng.next_below(i)]);
+    }
+
+    BarnesHut sorted_sim(particles, params);
+    sorted_sim.sort_by_morton();
+    BarnesHut shuffled_sim(shuffled, params);
+
+    const int reps = scale == bench::Scale::kSmall ? 3 : 5;
+    auto time_accels = [&](BarnesHut& sim) {
+      const auto start = std::chrono::steady_clock::now();
+      for (int rep = 0; rep < reps; ++rep) sim.compute_accelerations();
+      return seconds_since(start) / reps;
+    };
+    const double sorted_time = time_accels(sorted_sim);
+    const double shuffled_time = time_accels(shuffled_sim);
+    std::cout << "\n[locality] mean force-evaluation time over " << reps
+              << " reps:\n";
+    std::cout << "  morton-sorted particle array: " << sorted_time * 1e3 << " ms\n";
+    std::cout << "  shuffled particle array:      " << shuffled_time * 1e3
+              << " ms\n";
+    std::cout << "  speedup from SFC ordering:    "
+              << shuffled_time / sorted_time << "x\n";
+  }
+
+  // --- Stability. ---
+  {
+    BarnesHut sim(make_clustered_particles(count / 4, 3, 2, 99), params);
+    sim.sort_by_morton();
+    const double e0 = sim.total_energy();
+    for (int step = 0; step < 10; ++step) sim.step(5e-4);
+    const double e1 = sim.total_energy();
+    std::cout << "\n[stability] 10 leapfrog steps, n = " << count / 4
+              << ": energy " << e0 << " -> " << e1 << " (relative drift "
+              << std::abs(e1 - e0) / std::abs(e0) << ")\n";
+  }
+
+  std::cout << "\nExpected shape: sub-5% force error at theta=0.5; the "
+               "morton-sorted array evaluates forces faster than the "
+               "shuffled one (same tree, better cache behaviour); energy "
+               "drift stays small.\n";
+  return 0;
+}

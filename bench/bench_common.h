@@ -1,0 +1,44 @@
+// Shared helpers for the reproduction benches.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "sfc/common/types.h"
+
+namespace sfc::bench {
+
+/// Scale selected by the SFC_SCALE environment variable:
+///   small  — quick smoke sizes (CI),
+///   default — laptop-friendly (a few seconds per bench),
+///   large  — stress sizes for tighter asymptotics.
+enum class Scale { kSmall, kDefault, kLarge };
+
+inline Scale scale_from_env() {
+  const char* env = std::getenv("SFC_SCALE");
+  if (env == nullptr) return Scale::kDefault;
+  const std::string value(env);
+  if (value == "small") return Scale::kSmall;
+  if (value == "large") return Scale::kLarge;
+  return Scale::kDefault;
+}
+
+/// Cell budget per configuration at the current scale.
+inline index_t cell_budget(Scale scale) {
+  switch (scale) {
+    case Scale::kSmall: return index_t{1} << 14;
+    case Scale::kDefault: return index_t{1} << 20;
+    case Scale::kLarge: return index_t{1} << 24;
+  }
+  return index_t{1} << 20;
+}
+
+inline void print_header(const std::string& experiment, const std::string& claim) {
+  std::cout << "==================================================================\n";
+  std::cout << experiment << "\n";
+  std::cout << claim << "\n";
+  std::cout << "==================================================================\n";
+}
+
+}  // namespace sfc::bench

@@ -1,0 +1,90 @@
+// Microbenchmarks: curve key encode/decode throughput per family, plus the
+// generic-vs-magic-mask Morton ablation.
+#include <benchmark/benchmark.h>
+
+#include "sfc/curves/bitops.h"
+#include "sfc/curves/curve_factory.h"
+#include "sfc/rng/xoshiro256.h"
+
+namespace {
+
+using namespace sfc;
+
+// Pre-generated random cells so the benchmark measures encoding, not RNG.
+std::vector<Point> make_cells(const Universe& u, std::size_t count) {
+  Xoshiro256 rng(7);
+  std::vector<Point> cells(count, Point::zero(u.dim()));
+  for (auto& cell : cells) {
+    for (int i = 0; i < u.dim(); ++i) {
+      cell[i] = static_cast<coord_t>(rng.next_below(u.side()));
+    }
+  }
+  return cells;
+}
+
+void BM_Encode(benchmark::State& state, CurveFamily family, int d, int k) {
+  const Universe u = Universe::pow2(d, k);
+  const CurvePtr curve = make_curve(family, u, 1);
+  const auto cells = make_cells(u, 1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve->index_of(cells[i]));
+    i = (i + 1) & 1023;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Decode(benchmark::State& state, CurveFamily family, int d, int k) {
+  const Universe u = Universe::pow2(d, k);
+  const CurvePtr curve = make_curve(family, u, 1);
+  Xoshiro256 rng(9);
+  std::vector<index_t> keys(1024);
+  for (auto& key : keys) key = rng.next_below(u.cell_count());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve->point_at(keys[i]));
+    i = (i + 1) & 1023;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_MortonGenericSpread(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  std::vector<std::uint32_t> values(1024);
+  for (auto& v : values) v = static_cast<std::uint32_t>(rng.next() & 0xffff);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spread_bits(values[i], 2, 16));
+    i = (i + 1) & 1023;
+  }
+}
+
+void BM_MortonMagicSpread(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  std::vector<std::uint32_t> values(1024);
+  for (auto& v : values) v = static_cast<std::uint32_t>(rng.next() & 0xffff);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spread_bits_2(values[i]));
+    i = (i + 1) & 1023;
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Encode, z_d2_k10, CurveFamily::kZ, 2, 10);
+BENCHMARK_CAPTURE(BM_Encode, z_d3_k7, CurveFamily::kZ, 3, 7);
+BENCHMARK_CAPTURE(BM_Encode, simple_d2_k10, CurveFamily::kSimple, 2, 10);
+BENCHMARK_CAPTURE(BM_Encode, snake_d2_k10, CurveFamily::kSnake, 2, 10);
+BENCHMARK_CAPTURE(BM_Encode, gray_d2_k10, CurveFamily::kGray, 2, 10);
+BENCHMARK_CAPTURE(BM_Encode, hilbert_d2_k10, CurveFamily::kHilbert, 2, 10);
+BENCHMARK_CAPTURE(BM_Encode, hilbert_d3_k7, CurveFamily::kHilbert, 3, 7);
+
+BENCHMARK_CAPTURE(BM_Decode, z_d2_k10, CurveFamily::kZ, 2, 10);
+BENCHMARK_CAPTURE(BM_Decode, hilbert_d2_k10, CurveFamily::kHilbert, 2, 10);
+BENCHMARK_CAPTURE(BM_Decode, simple_d2_k10, CurveFamily::kSimple, 2, 10);
+
+BENCHMARK(BM_MortonGenericSpread);
+BENCHMARK(BM_MortonMagicSpread);
+
+BENCHMARK_MAIN();

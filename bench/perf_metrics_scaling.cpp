@@ -1,0 +1,57 @@
+// Microbenchmarks: the NN-stretch metric engine — thread scaling and the
+// key-cache ablation called out in DESIGN.md.
+#include <benchmark/benchmark.h>
+
+#include "sfc/core/nn_stretch.h"
+#include "sfc/curves/key_cache.h"
+#include "sfc/curves/zcurve.h"
+#include "sfc/parallel/thread_pool.h"
+
+namespace {
+
+using namespace sfc;
+
+void BM_NNStretchThreads(benchmark::State& state) {
+  const Universe u = Universe::pow2(2, 9);  // 512x512 = 262144 cells
+  const ZCurve z(u);
+  ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  NNStretchOptions options;
+  options.pool = &pool;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_nn_stretch(z, options));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(u.cell_count()));
+}
+
+void BM_NNStretchKeyCache(benchmark::State& state) {
+  const Universe u = Universe::pow2(2, 9);
+  const ZCurve z(u);
+  NNStretchOptions options;
+  options.use_key_cache = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_nn_stretch(z, options));
+  }
+  state.SetLabel(options.use_key_cache ? "cache" : "on-the-fly");
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(u.cell_count()));
+}
+
+void BM_KeyCacheBuild(benchmark::State& state) {
+  const Universe u = Universe::pow2(2, static_cast<int>(state.range(0)));
+  const ZCurve z(u);
+  for (auto _ : state) {
+    KeyCache cache(z, ThreadPool::shared());
+    benchmark::DoNotOptimize(cache.key_of_id(0));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(u.cell_count()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_NNStretchThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+BENCHMARK(BM_NNStretchKeyCache)->Arg(0)->Arg(1)->UseRealTime();
+BENCHMARK(BM_KeyCacheBuild)->Arg(7)->Arg(9)->UseRealTime();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// §VI extension: "close the gap between the lower bound and upper bound for
+// the average-average NN-stretch" (open direction 1).
+//
+// Direct local search over the space of bijections on small grids: how far
+// below the Z curve can ANY ordering get, and how close to the Theorem-1
+// bound?  The measured optimum quantifies the true gap empirically.
+#include <iostream>
+
+#include "bench_common.h"
+#include "sfc/core/bounds.h"
+#include "sfc/core/nn_stretch.h"
+#include "sfc/core/optimizer.h"
+#include "sfc/curves/curve_factory.h"
+#include "sfc/io/table.h"
+
+int main() {
+  using namespace sfc;
+  const auto scale = bench::scale_from_env();
+  bench::print_header(
+      "Extension (§VI open direction 1) — searching for better curves",
+      "Swap-based local search vs the Theorem-1 bound and the named curves.");
+
+  const std::uint64_t iterations =
+      scale == bench::Scale::kSmall ? 100000 : 600000;
+
+  Table table({"grid", "bound", "best found", "found/bound", "z-curve",
+               "hilbert", "simple"});
+  for (const auto& [d, side] : std::vector<std::pair<int, coord_t>>{
+           {2, 4}, {2, 8}, {3, 4}}) {
+    const Universe u(d, side);
+    OptimizeOptions options;
+    options.iterations = iterations;
+    // Multi-start: keep the best of three seeds.
+    OptimizeResult best;
+    best.best_davg = 1e18;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      options.seed = seed;
+      OptimizeResult result = optimize_davg(u, {}, options);
+      if (result.best_davg < best.best_davg) best = std::move(result);
+    }
+    const double bound = bounds::davg_lower_bound(u);
+    auto davg_of = [&](CurveFamily family) {
+      return compute_nn_stretch(*make_curve(family, u)).average_average;
+    };
+    table.add_row({std::to_string(d) + "d side " + std::to_string(side),
+                   Table::fmt(bound), Table::fmt(best.best_davg),
+                   Table::fmt(best.best_davg / bound, 4),
+                   Table::fmt(davg_of(CurveFamily::kZ)),
+                   Table::fmt(davg_of(CurveFamily::kHilbert)),
+                   Table::fmt(davg_of(CurveFamily::kSimple))});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: 'found/bound' estimates the real optimality gap "
+               "on each grid.  If it stays well above 1, the Theorem-1 "
+               "bound is not tight at these sizes — evidence for the "
+               "paper's conjecture that the gap-closing must come from a "
+               "better lower bound as much as from better curves.  The "
+               "search also confirms no ordering beats the bound "
+               "(Theorem 1 is safe).\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Lemma 2 reproduction: S_A'(π) = (n-1)n(n+1)/3 for every bijection —
+// measured exactly (128-bit integers) for all named curves and adversarial
+// random bijections.
+#include <iostream>
+
+#include "bench_common.h"
+#include "sfc/common/math.h"
+#include "sfc/core/all_pairs.h"
+#include "sfc/curves/curve_factory.h"
+#include "sfc/io/table.h"
+
+int main() {
+  using namespace sfc;
+  bench::print_header(
+      "Lemma 2 — total ordered-pair curve distance is curve-independent",
+      "S_A'(pi) = (n-1)n(n+1)/3 exactly, for every bijection pi.");
+
+  Table table({"curve", "d", "n", "measured S_A'", "(n-1)n(n+1)/3", "match"});
+  for (const auto& [d, k] : std::vector<std::pair<int, int>>{{1, 6}, {2, 3}, {3, 2}}) {
+    const Universe u = Universe::pow2(d, k);
+    const u128 expected = lemma2_total(u.cell_count());
+    for (CurveFamily family : all_curve_families()) {
+      const CurvePtr curve = make_curve(family, u, 7);
+      const AllPairsResult r = compute_all_pairs_exact(*curve);
+      table.add_row({curve->name(), std::to_string(d),
+                     Table::fmt_int(u.cell_count()),
+                     to_string(r.total_curve_distance_ordered),
+                     to_string(expected),
+                     r.total_curve_distance_ordered == expected ? "exact"
+                                                                : "MISMATCH"});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nThe identity is what lets Theorem 1 price the all-pairs "
+               "distance budget independently of the curve: any bijection "
+               "spends exactly (n-1)n(n+1)/3 total key distance.\n";
+  return 0;
+}

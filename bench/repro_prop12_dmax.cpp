@@ -1,0 +1,71 @@
+// Propositions 1 & 2 reproduction: the average-maximum NN stretch.
+//
+//   Prop 1 — Dmax(π) obeys the same lower bound as Davg (since Dmax >= Davg),
+//   Prop 2 — Dmax(S) = n^{1-1/d} EXACTLY (every cell has a dimension-d
+//            neighbor exactly side^{d-1} away in row-major order),
+// plus the paper's observation that the gap between the Dmax bound and the
+// simple curve's Dmax is a factor d (larger than the 1.5 gap for Davg).
+#include <iostream>
+
+#include "bench_common.h"
+#include "sfc/core/bounds.h"
+#include "sfc/core/nn_stretch.h"
+#include "sfc/curves/curve_factory.h"
+#include "sfc/io/table.h"
+
+int main() {
+  using namespace sfc;
+  const auto scale = bench::scale_from_env();
+  bench::print_header(
+      "Propositions 1 & 2 — average-maximum NN stretch",
+      "Dmax bound = Davg bound; Dmax(simple) = n^{1-1/d} exactly; gap ~ d.");
+
+  const index_t budget = bench::cell_budget(scale);
+
+  std::cout << "\nProposition 2 (exact equality for the simple curve):\n";
+  Table exact_table({"d", "k", "n", "measured Dmax(S)", "n^{1-1/d}", "match"});
+  for (int d = 1; d <= 5; ++d) {
+    for (int k : {1, 2, 3}) {
+      const auto n = checked_ipow(2, k * d);
+      if (!n.has_value() || *n > budget) continue;
+      const Universe u = Universe::pow2(d, k);
+      const CurvePtr s = make_curve(CurveFamily::kSimple, u);
+      const NNStretchResult r = compute_nn_stretch(*s);
+      const auto expected = static_cast<double>(bounds::dmax_simple_exact(u));
+      exact_table.add_row({std::to_string(d), std::to_string(k),
+                           Table::fmt_int(u.cell_count()),
+                           Table::fmt(r.average_maximum),
+                           Table::fmt(expected),
+                           r.average_maximum == expected ? "exact" : "MISMATCH"});
+    }
+  }
+  exact_table.print(std::cout);
+
+  std::cout << "\nProposition 1 (lower bound) across curves, with the "
+               "Dmax/bound gap (for the simple curve the paper predicts the "
+               "gap approaches 3d/2):\n";
+  Table bound_table({"curve", "d", "k", "Dmax", "bound", "Dmax/bound", "holds"});
+  for (CurveFamily family : analytic_curve_families()) {
+    for (int d = 2; d <= 4; ++d) {
+      int k = 1;
+      while (checked_ipow(2, (k + 1) * d).has_value() &&
+             ipow(2, (k + 1) * d) <= budget) {
+        ++k;
+      }
+      const Universe u = Universe::pow2(d, k);
+      const CurvePtr curve = make_curve(family, u);
+      const NNStretchResult r = compute_nn_stretch(*curve);
+      const double bound = bounds::dmax_lower_bound(u);
+      bound_table.add_row({curve->name(), std::to_string(d), std::to_string(k),
+                           Table::fmt(r.average_maximum), Table::fmt(bound),
+                           Table::fmt(r.average_maximum / bound, 4),
+                           r.average_maximum >= bound ? "yes" : "VIOLATION"});
+    }
+  }
+  bound_table.print(std::cout);
+
+  std::cout << "\nExpected shape: simple-curve rows show Dmax/bound ~ 3d/2 "
+               "(factor-d gap, the open question of §VI), while Davg/bound "
+               "stays near 1.5 regardless of d.\n";
+  return 0;
+}

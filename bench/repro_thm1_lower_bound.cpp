@@ -1,0 +1,100 @@
+// Theorem 1 reproduction: Davg(π) >= (2/3d)(n^{1-1/d} - n^{-1-1/d}) for any
+// SFC π.
+//
+// Three levels of evidence:
+//   1. exhaustive — all 24 bijections of the 2x2 universe,
+//   2. adversarial — random bijections on medium universes,
+//   3. structured — every named curve across dimensions 1..5.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "sfc/core/bounds.h"
+#include "sfc/core/nn_stretch.h"
+#include "sfc/curves/curve_factory.h"
+#include "sfc/curves/permutation_curve.h"
+#include "sfc/io/table.h"
+
+int main() {
+  using namespace sfc;
+  const auto scale = bench::scale_from_env();
+  bench::print_header(
+      "Theorem 1 — universal lower bound on the average NN-stretch",
+      "Davg(pi) >= (2/3d)(n^{1-1/d} - n^{-1-1/d}) for EVERY bijection pi.");
+
+  // --- 1. Exhaustive over the 2x2 universe. ---
+  {
+    const Universe u(2, 2);
+    const double bound = bounds::davg_lower_bound(u);
+    std::vector<index_t> keys = {0, 1, 2, 3};
+    double best = 1e18, worst = 0;
+    int violations = 0;
+    do {
+      const PermutationCurve curve(u, keys);
+      const double davg = compute_nn_stretch(curve).average_average;
+      best = std::min(best, davg);
+      worst = std::max(worst, davg);
+      if (davg < bound) ++violations;
+    } while (std::next_permutation(keys.begin(), keys.end()));
+    std::cout << "\n[exhaustive] all 24 bijections of the 2x2 grid:\n";
+    std::cout << "  bound = " << bound << ", best Davg = " << best
+              << ", worst Davg = " << worst << ", violations = " << violations
+              << "\n";
+  }
+
+  // --- 2. Adversarial random bijections. ---
+  {
+    std::cout << "\n[adversarial] random bijections (seeds 1..20):\n";
+    Table table({"d", "k", "n", "bound", "min Davg over seeds", "ratio", "violations"});
+    for (const auto& [d, k] : std::vector<std::pair<int, int>>{{2, 3}, {2, 4}, {3, 2}}) {
+      const Universe u = Universe::pow2(d, k);
+      const double bound = bounds::davg_lower_bound(u);
+      double min_davg = 1e18;
+      int violations = 0;
+      for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        const CurvePtr curve = PermutationCurve::random(u, seed);
+        const double davg = compute_nn_stretch(*curve).average_average;
+        min_davg = std::min(min_davg, davg);
+        if (davg < bound) ++violations;
+      }
+      table.add_row({std::to_string(d), std::to_string(k),
+                     Table::fmt_int(u.cell_count()), Table::fmt(bound),
+                     Table::fmt(min_davg), Table::fmt(min_davg / bound, 4),
+                     std::to_string(violations)});
+    }
+    table.print(std::cout);
+  }
+
+  // --- 3. Every named curve across dimensions. ---
+  {
+    std::cout << "\n[structured] named curves (ratio = Davg/bound; the paper "
+                 "predicts Z and simple approach 1.5):\n";
+    Table table({"curve", "d", "k", "n", "Davg", "bound", "ratio", "holds"});
+    const index_t budget = bench::cell_budget(scale);
+    for (CurveFamily family : all_curve_families()) {
+      for (int d = 1; d <= 5; ++d) {
+        // Random curves need an O(n) table; keep them below 2^20 cells.
+        const index_t family_budget =
+            family == CurveFamily::kRandom
+                ? std::min<index_t>(budget, index_t{1} << 20)
+                : budget;
+        int k = 1;
+        while (checked_ipow(2, (k + 1) * d).has_value() &&
+               ipow(2, (k + 1) * d) <= family_budget) {
+          ++k;
+        }
+        const Universe u = Universe::pow2(d, k);
+        const CurvePtr curve = make_curve(family, u, 1);
+        const double davg = compute_nn_stretch(*curve).average_average;
+        const double bound = bounds::davg_lower_bound(u);
+        table.add_row({curve->name(), std::to_string(d), std::to_string(k),
+                       Table::fmt_int(u.cell_count()), Table::fmt(davg),
+                       Table::fmt(bound), Table::fmt(davg / bound, 4),
+                       davg >= bound ? "yes" : "VIOLATION"});
+      }
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

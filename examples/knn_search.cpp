@@ -1,0 +1,56 @@
+// k-nearest-neighbor search through a curve window (Chen & Chang [5]).
+//
+// Demonstrates the one-dimensional kNN trick: to find the k nearest cells of
+// a query, scan a window of curve keys around the query's key, then verify
+// soundness (no closer cell can hide outside the scanned range).  The window
+// any curve needs is governed by its NN stretch — the paper's metric.
+#include <iostream>
+
+#include "sfc/apps/nn_query.h"
+#include "sfc/curves/curve_factory.h"
+#include "sfc/io/table.h"
+
+int main() {
+  using namespace sfc;
+  const Universe grid = Universe::pow2(2, 6);  // 64x64
+  const Point query{37, 22};
+  const int k = 5;
+
+  std::cout << "kNN search: k = " << k << ", query " << query.to_string()
+            << " on a " << grid.side() << "x" << grid.side() << " grid.\n\n";
+
+  Table table({"curve", "window tried", "sound?", "neighbors found"});
+  for (CurveFamily family : analytic_curve_families()) {
+    const CurvePtr curve = make_curve(family, grid);
+    // Grow the window geometrically until the result is provably correct.
+    index_t window = 8;
+    std::vector<Point> neighbors;
+    while (window <= grid.cell_count() &&
+           !knn_via_window(*curve, query, k, window, &neighbors)) {
+      window *= 4;
+    }
+    std::string found;
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      found += (i ? " " : "") + neighbors[i].to_string();
+    }
+    table.add_row({curve->name(), Table::fmt_int(window), "yes", found});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nWindow statistics over random queries (how far along the "
+               "curve the FIRST spatial neighbor hides):\n";
+  Table stats_table({"curve", "mean", "p95", "max"});
+  for (CurveFamily family : analytic_curve_families()) {
+    const CurvePtr curve = make_curve(family, grid);
+    const NNWindowStats stats = measure_nn_window(*curve, 5000, 7);
+    stats_table.add_row({curve->name(), Table::fmt(stats.first_neighbor.mean, 4),
+                         Table::fmt(stats.first_neighbor.p95),
+                         Table::fmt(stats.first_neighbor.max)});
+  }
+  stats_table.print(std::cout);
+
+  std::cout << "\nContinuous curves (hilbert, snake) always have a spatial "
+               "neighbor at window 1; the Z curve usually does (its average "
+               "stretch is near-optimal) but pays more in the tail.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Gravitational N-body simulation on Morton-ordered particles — the
+// Warren-Salmon-style application ([26]) that motivates the paper's
+// nearest-neighbor stretch metric.
+//
+// Runs a short Barnes-Hut simulation of clustered particles, printing an
+// energy trace and the accuracy/locality benefits of the SFC ordering.
+#include <cmath>
+#include <iostream>
+
+#include "sfc/apps/nbody.h"
+#include "sfc/io/table.h"
+
+int main() {
+  using namespace sfc;
+
+  NBodyParams params;
+  params.dim = 3;
+  params.theta = 0.4;
+  params.softening = 5e-3;
+
+  const std::size_t n = 1500;
+  std::cout << "Barnes-Hut N-body: " << n << " particles, 3-d, theta = "
+            << params.theta << "\n\n";
+
+  BarnesHut sim(make_clustered_particles(n, 3, 3, 12345), params);
+  const std::uint64_t inversions = sim.sort_by_morton();
+  std::cout << "Morton sort removed " << inversions
+            << " key inversions (tree build and force sweeps now touch "
+               "memory in spatial order).\n";
+
+  // Accuracy check against direct summation.
+  {
+    const auto tree = sim.compute_accelerations();
+    const auto direct = sim.direct_accelerations();
+    double num = 0, den = 0;
+    for (std::size_t i = 0; i < tree.size(); ++i) {
+      for (int c = 0; c < 3; ++c) {
+        const double diff = tree[i][static_cast<std::size_t>(c)] -
+                            direct[i][static_cast<std::size_t>(c)];
+        num += diff * diff;
+        den += direct[i][static_cast<std::size_t>(c)] *
+               direct[i][static_cast<std::size_t>(c)];
+      }
+    }
+    std::cout << "Tree force error vs direct summation: "
+              << std::sqrt(num / den) << " (relative L2)\n\n";
+  }
+
+  // Short leapfrog run with an energy trace.
+  Table table({"step", "kinetic+potential energy", "drift vs t=0"});
+  const double e0 = sim.total_energy();
+  table.add_row({"0", Table::fmt(e0, 8), "-"});
+  for (int step = 1; step <= 8; ++step) {
+    sim.step(4e-4);
+    if (step % 2 == 0) {
+      const double e = sim.total_energy();
+      table.add_row({std::to_string(step), Table::fmt(e, 8),
+                     Table::fmt(std::abs(e - e0) / std::abs(e0), 3)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nTree statistics: " << sim.last_tree_nodes()
+            << " nodes for " << n << " particles.\n";
+  std::cout << "\nWhy this belongs to the paper: the force loop is dominated "
+               "by near-neighbor interactions, so the curve's NN-stretch "
+               "controls how far apart interacting particles sit in the "
+               "sorted array — low stretch means cache-friendly sweeps and "
+               "contiguous processor domains.\n";
+  return 0;
+}

@@ -1,0 +1,165 @@
+#include "sfc/apps/amr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+
+#include "sfc/common/math.h"
+#include "sfc/rng/xoshiro256.h"
+
+namespace sfc {
+
+index_t AmrMesh::covered_cells() const {
+  index_t total = 0;
+  for (const AmrLeaf& leaf : leaves) {
+    total += ipow(leaf.size, dim);
+  }
+  return total;
+}
+
+namespace {
+
+// Recursive block splitter.
+void refine_block(const Universe& finest, const Point& anchor, coord_t size,
+                  const std::function<double(const Point&)>& density,
+                  double split_threshold, std::vector<AmrLeaf>& leaves) {
+  // Integrate the density over the block.
+  double integral = 0.0;
+  Point hi = anchor;
+  for (int i = 0; i < finest.dim(); ++i) hi[i] = anchor[i] + size - 1;
+  Box(anchor, hi).for_each_cell(
+      [&](const Point& cell) { integral += density(cell); });
+
+  if (size == 1 || integral <= split_threshold) {
+    AmrLeaf leaf;
+    leaf.anchor = anchor;
+    leaf.size = size;
+    // Refined (small) leaves model locally expensive physics: cost grows
+    // with density, ~1 per cell plus the integral.
+    leaf.cost = static_cast<double>(ipow(size, finest.dim())) + integral;
+    leaves.push_back(leaf);
+    return;
+  }
+  const coord_t half = size / 2;
+  const int children = 1 << finest.dim();
+  for (int child = 0; child < children; ++child) {
+    Point child_anchor = anchor;
+    for (int i = 0; i < finest.dim(); ++i) {
+      if (child & (1 << i)) child_anchor[i] = anchor[i] + half;
+    }
+    refine_block(finest, child_anchor, half, density, split_threshold, leaves);
+  }
+}
+
+}  // namespace
+
+AmrMesh build_amr_mesh(int dim, int finest_bits,
+                       const std::function<double(const Point&)>& density,
+                       double split_threshold) {
+  AmrMesh mesh;
+  mesh.dim = dim;
+  mesh.finest_bits = finest_bits;
+  const Universe finest = mesh.finest_universe();
+  refine_block(finest, Point::zero(dim), finest.side(), density,
+               split_threshold, mesh.leaves);
+  return mesh;
+}
+
+std::function<double(const Point&)> make_hotspot_density(int dim, int finest_bits,
+                                                         int spots,
+                                                         std::uint64_t seed) {
+  const auto side = static_cast<double>(index_t{1} << finest_bits);
+  Xoshiro256 rng(seed);
+  std::vector<std::vector<double>> centers;
+  for (int s = 0; s < spots; ++s) {
+    std::vector<double> center(static_cast<std::size_t>(dim));
+    for (auto& c : center) c = side * rng.next_double();
+    centers.push_back(std::move(center));
+  }
+  const double sigma = side / 16.0;
+  return [dim, centers, sigma](const Point& cell) {
+    double value = 0.0;
+    for (const auto& center : centers) {
+      double dist2 = 0.0;
+      for (int i = 0; i < dim; ++i) {
+        const double diff = static_cast<double>(cell[i]) - center[static_cast<std::size_t>(i)];
+        dist2 += diff * diff;
+      }
+      value += std::exp(-dist2 / (2.0 * sigma * sigma));
+    }
+    return value;
+  };
+}
+
+AmrPartitionQuality evaluate_amr_partition(const AmrMesh& mesh,
+                                           const SpaceFillingCurve& curve,
+                                           int parts) {
+  const Universe finest = mesh.finest_universe();
+  if (!(curve.universe() == finest) || parts < 1) std::abort();
+
+  // Order leaves by the curve key of their anchor.
+  std::vector<std::size_t> order(mesh.leaves.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<index_t> anchor_keys(mesh.leaves.size());
+  for (std::size_t i = 0; i < mesh.leaves.size(); ++i) {
+    anchor_keys[i] = curve.index_of(mesh.leaves[i].anchor);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return anchor_keys[a] < anchor_keys[b];
+  });
+
+  // Cost-balanced contiguous split of the ordered leaf sequence.
+  double total_cost = 0.0;
+  for (const AmrLeaf& leaf : mesh.leaves) total_cost += leaf.cost;
+  const double target = total_cost / parts;
+  std::vector<int> part_of_leaf(mesh.leaves.size(), parts - 1);
+  std::vector<double> part_cost(static_cast<std::size_t>(parts), 0.0);
+  {
+    int current = 0;
+    double used = 0.0;
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+      const AmrLeaf& leaf = mesh.leaves[order[pos]];
+      if (current < parts - 1 && used + leaf.cost / 2 > target) {
+        ++current;
+        used = 0.0;
+      }
+      part_of_leaf[order[pos]] = current;
+      part_cost[static_cast<std::size_t>(current)] += leaf.cost;
+      used += leaf.cost;
+    }
+  }
+
+  // Map every finest cell to its worker via the leaf that owns it.
+  std::vector<int> part_of_cell(finest.cell_count(), -1);
+  for (std::size_t li = 0; li < mesh.leaves.size(); ++li) {
+    const AmrLeaf& leaf = mesh.leaves[li];
+    Point hi = leaf.anchor;
+    for (int i = 0; i < finest.dim(); ++i) hi[i] = leaf.anchor[i] + leaf.size - 1;
+    Box(leaf.anchor, hi).for_each_cell([&](const Point& cell) {
+      part_of_cell[finest.row_major_index(cell)] = part_of_leaf[li];
+    });
+  }
+
+  AmrPartitionQuality quality;
+  quality.parts = parts;
+  quality.leaves = mesh.leaves.size();
+  for (index_t id = 0; id < finest.cell_count(); ++id) {
+    const Point cell = finest.from_row_major(id);
+    const int cell_part = part_of_cell[id];
+    if (cell_part < 0) std::abort();  // leaves must tile the domain
+    finest.for_each_forward_neighbor(cell, [&](const Point& q, int) {
+      if (part_of_cell[finest.row_major_index(q)] != cell_part) {
+        ++quality.edge_cut;
+      }
+    });
+  }
+  quality.cut_fraction =
+      static_cast<double>(quality.edge_cut) /
+      static_cast<double>(finest.nn_pair_count());
+  const double max_cost = *std::max_element(part_cost.begin(), part_cost.end());
+  quality.cost_imbalance = max_cost * parts / total_cost;
+  return quality;
+}
+
+}  // namespace sfc

@@ -1,0 +1,73 @@
+// Adaptive mesh refinement (AMR) partitioning — the dynamic-grid application
+// of the paper's introduction (Parashar & Browne [22], Pilkington & Baden
+// [23]).
+//
+// A quadtree/octree mesh is refined around hot spots of a density field, so
+// leaves have heterogeneous sizes and costs.  Partitioning assigns *leaves*
+// (weighted by cost) to workers by cutting the leaf sequence — ordered by
+// the SFC key of each leaf's anchor cell at the finest resolution — into
+// contiguous ranges.  Quality is measured on the finest grid: every
+// finest-level NN pair whose cells land in different workers is
+// communication.  This extends the uniform-grid partition app to the
+// workload the cited papers actually target.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sfc/common/types.h"
+#include "sfc/curves/space_filling_curve.h"
+#include "sfc/grid/box.h"
+
+namespace sfc {
+
+/// One AMR leaf: a cube of finest-level cells.
+struct AmrLeaf {
+  Point anchor;        // lowest-coordinate finest-level cell
+  coord_t size = 1;    // edge length in finest cells (power of two)
+  double cost = 1.0;   // work estimate (refined leaves cost more per cell)
+};
+
+struct AmrMesh {
+  /// The finest-level universe the leaves tile.
+  int dim = 2;
+  int finest_bits = 0;
+  std::vector<AmrLeaf> leaves;
+
+  Universe finest_universe() const { return Universe::pow2(dim, finest_bits); }
+  /// Total finest cells covered (must equal the universe size).
+  index_t covered_cells() const;
+};
+
+/// Density-driven refinement: starts from one root block and splits any
+/// block whose density integral exceeds `split_threshold`, down to
+/// `finest_bits` levels.  `density` maps a finest cell to a non-negative
+/// weight.  Deterministic.
+AmrMesh build_amr_mesh(int dim, int finest_bits,
+                       const std::function<double(const Point&)>& density,
+                       double split_threshold);
+
+/// Convenience density: sum of Gaussian hot spots (deterministic in seed).
+std::function<double(const Point&)> make_hotspot_density(int dim, int finest_bits,
+                                                         int spots,
+                                                         std::uint64_t seed);
+
+struct AmrPartitionQuality {
+  int parts = 0;
+  /// Finest-level NN pairs crossing workers.
+  index_t edge_cut = 0;
+  double cut_fraction = 0.0;
+  /// max worker cost / mean worker cost.
+  double cost_imbalance = 0.0;
+  std::size_t leaves = 0;
+};
+
+/// Orders leaves by curve key of their anchors, splits into `parts`
+/// cost-balanced contiguous ranges, and scores the decomposition on the
+/// finest grid.  `curve` must live on mesh.finest_universe().
+AmrPartitionQuality evaluate_amr_partition(const AmrMesh& mesh,
+                                           const SpaceFillingCurve& curve,
+                                           int parts);
+
+}  // namespace sfc

@@ -1,0 +1,283 @@
+#include "sfc/apps/nbody.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "sfc/curves/bitops.h"
+#include "sfc/grid/point.h"
+#include "sfc/rng/xoshiro256.h"
+
+namespace sfc {
+
+namespace {
+
+// Box-Muller normal deviate.
+double normal(Xoshiro256& rng) {
+  const double u1 = rng.next_double();
+  const double u2 = rng.next_double();
+  return std::sqrt(-2.0 * std::log(u1 + 1e-300)) * std::cos(6.283185307179586 * u2);
+}
+
+double clamp01(double v) {
+  if (v < 0.0) return 0.0;
+  if (v >= 1.0) return std::nextafter(1.0, 0.0);
+  return v;
+}
+
+}  // namespace
+
+std::vector<Particle> make_clustered_particles(std::size_t count, int dim,
+                                               int blobs, std::uint64_t seed) {
+  if (dim != 2 && dim != 3) std::abort();
+  Xoshiro256 rng(seed);
+  std::vector<std::array<double, 3>> centers(static_cast<std::size_t>(blobs));
+  for (auto& center : centers) {
+    for (int i = 0; i < dim; ++i) center[static_cast<std::size_t>(i)] = 0.2 + 0.6 * rng.next_double();
+  }
+  std::vector<Particle> particles(count);
+  for (auto& particle : particles) {
+    const auto& center = centers[rng.next_below(static_cast<std::uint64_t>(blobs))];
+    for (int i = 0; i < dim; ++i) {
+      particle.pos[static_cast<std::size_t>(i)] =
+          clamp01(center[static_cast<std::size_t>(i)] + 0.05 * normal(rng));
+      particle.vel[static_cast<std::size_t>(i)] = 0.05 * normal(rng);
+    }
+    particle.mass = 1.0 / static_cast<double>(count);
+  }
+  return particles;
+}
+
+BarnesHut::BarnesHut(std::vector<Particle> particles, const NBodyParams& params)
+    : particles_(std::move(particles)), params_(params) {
+  if (params_.dim != 2 && params_.dim != 3) std::abort();
+}
+
+index_t BarnesHut::morton_key(const Particle& particle) const {
+  const double scale = static_cast<double>(index_t{1} << params_.level_bits);
+  Point p = Point::zero(params_.dim);
+  for (int i = 0; i < params_.dim; ++i) {
+    auto q = static_cast<std::int64_t>(particle.pos[static_cast<std::size_t>(i)] * scale);
+    const auto max_q = static_cast<std::int64_t>((index_t{1} << params_.level_bits) - 1);
+    if (q < 0) q = 0;
+    if (q > max_q) q = max_q;
+    p[i] = static_cast<coord_t>(q);
+  }
+  return interleave(p, params_.level_bits);
+}
+
+std::uint64_t BarnesHut::sort_by_morton() {
+  std::vector<std::pair<index_t, std::uint32_t>> order(particles_.size());
+  for (std::uint32_t i = 0; i < particles_.size(); ++i) {
+    order[i] = {morton_key(particles_[i]), i};
+  }
+  std::uint64_t inversions = 0;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (order[i].first < order[i - 1].first) ++inversions;
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<Particle> sorted(particles_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) sorted[i] = particles_[order[i].second];
+  particles_ = std::move(sorted);
+  return inversions;
+}
+
+void BarnesHut::build_tree() {
+  nodes_.clear();
+  nodes_.reserve(2 * particles_.size() /
+                     static_cast<std::size_t>(std::max(1, params_.leaf_size)) +
+                 64);
+  scratch_.resize(particles_.size());
+  std::array<double, 3> root_center{0.5, 0.5, 0.5};
+  build_node(0, static_cast<std::uint32_t>(particles_.size()), root_center, 0.5,
+             0);
+}
+
+std::int32_t BarnesHut::build_node(std::uint32_t first, std::uint32_t count,
+                                   const std::array<double, 3>& center,
+                                   double half_size, int depth) {
+  if (count == 0) return -1;
+  const auto index = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  {
+    Node& node = nodes_.back();
+    node.center = center;
+    node.half_size = half_size;
+    node.first = first;
+    node.count = count;
+    node.children.fill(-1);
+  }
+
+  // Center of mass.
+  double mass = 0.0;
+  std::array<double, 3> com{};
+  for (std::uint32_t i = first; i < first + count; ++i) {
+    const Particle& particle = particles_[i];
+    mass += particle.mass;
+    for (int c = 0; c < 3; ++c) com[static_cast<std::size_t>(c)] += particle.mass * particle.pos[static_cast<std::size_t>(c)];
+  }
+  for (int c = 0; c < 3; ++c) com[static_cast<std::size_t>(c)] /= mass > 0 ? mass : 1.0;
+  nodes_[static_cast<std::size_t>(index)].mass = mass;
+  nodes_[static_cast<std::size_t>(index)].com = com;
+
+  const bool at_max_depth = depth >= params_.level_bits;
+  if (count <= static_cast<std::uint32_t>(params_.leaf_size) || at_max_depth) {
+    nodes_[static_cast<std::size_t>(index)].leaf = true;
+    return index;
+  }
+  nodes_[static_cast<std::size_t>(index)].leaf = false;
+
+  // Bucket particles into child octants (2^dim contiguous sub-ranges).
+  const int child_count = 1 << params_.dim;
+  std::array<std::uint32_t, 8> bucket_size{};
+  auto octant_of = [&](const Particle& particle) {
+    int octant = 0;
+    for (int i = 0; i < params_.dim; ++i) {
+      if (particle.pos[static_cast<std::size_t>(i)] >= center[static_cast<std::size_t>(i)]) octant |= 1 << i;
+    }
+    return octant;
+  };
+  for (std::uint32_t i = first; i < first + count; ++i) {
+    ++bucket_size[static_cast<std::size_t>(octant_of(particles_[i]))];
+  }
+  std::array<std::uint32_t, 8> bucket_offset{};
+  std::uint32_t running = first;
+  for (int o = 0; o < child_count; ++o) {
+    bucket_offset[static_cast<std::size_t>(o)] = running;
+    running += bucket_size[static_cast<std::size_t>(o)];
+  }
+  std::array<std::uint32_t, 8> cursor = bucket_offset;
+  for (std::uint32_t i = first; i < first + count; ++i) {
+    scratch_[cursor[static_cast<std::size_t>(octant_of(particles_[i]))]++] = particles_[i];
+  }
+  std::copy(scratch_.begin() + first, scratch_.begin() + first + count,
+            particles_.begin() + first);
+
+  const double quarter = half_size / 2.0;
+  for (int o = 0; o < child_count; ++o) {
+    if (bucket_size[static_cast<std::size_t>(o)] == 0) continue;
+    std::array<double, 3> child_center = center;
+    for (int i = 0; i < params_.dim; ++i) {
+      child_center[static_cast<std::size_t>(i)] += (o & (1 << i)) ? quarter : -quarter;
+    }
+    const std::int32_t child = build_node(bucket_offset[static_cast<std::size_t>(o)],
+                                          bucket_size[static_cast<std::size_t>(o)],
+                                          child_center, quarter, depth + 1);
+    nodes_[static_cast<std::size_t>(index)].children[static_cast<std::size_t>(o)] = child;
+  }
+  return index;
+}
+
+void BarnesHut::accumulate(const Particle& target, std::int32_t node_index,
+                           std::array<double, 3>& accel) const {
+  const double eps2 = params_.softening * params_.softening;
+  std::array<std::int32_t, 512> stack;  // >= max_depth * (2^dim - 1)
+  int top = 0;
+  stack[static_cast<std::size_t>(top++)] = node_index;
+  while (top > 0) {
+    const Node& node = nodes_[static_cast<std::size_t>(stack[static_cast<std::size_t>(--top)])];
+    std::array<double, 3> delta{};
+    double dist2 = eps2;
+    for (int c = 0; c < params_.dim; ++c) {
+      delta[static_cast<std::size_t>(c)] = node.com[static_cast<std::size_t>(c)] - target.pos[static_cast<std::size_t>(c)];
+      dist2 += delta[static_cast<std::size_t>(c)] * delta[static_cast<std::size_t>(c)];
+    }
+    const double size = 2.0 * node.half_size;
+    if (node.leaf || size * size < params_.theta * params_.theta * dist2) {
+      if (node.leaf) {
+        // Exact interaction with every particle in the leaf.
+        for (std::uint32_t i = node.first; i < node.first + node.count; ++i) {
+          const Particle& source = particles_[i];
+          if (&source == &target) continue;
+          std::array<double, 3> d{};
+          double r2 = eps2;
+          for (int c = 0; c < params_.dim; ++c) {
+            d[static_cast<std::size_t>(c)] = source.pos[static_cast<std::size_t>(c)] - target.pos[static_cast<std::size_t>(c)];
+            r2 += d[static_cast<std::size_t>(c)] * d[static_cast<std::size_t>(c)];
+          }
+          const double inv = params_.gravity * source.mass / (r2 * std::sqrt(r2));
+          for (int c = 0; c < params_.dim; ++c) accel[static_cast<std::size_t>(c)] += inv * d[static_cast<std::size_t>(c)];
+        }
+      } else {
+        const double inv = params_.gravity * node.mass / (dist2 * std::sqrt(dist2));
+        for (int c = 0; c < params_.dim; ++c) accel[static_cast<std::size_t>(c)] += inv * delta[static_cast<std::size_t>(c)];
+      }
+      continue;
+    }
+    for (std::int32_t child : node.children) {
+      if (child >= 0) stack[static_cast<std::size_t>(top++)] = child;
+    }
+  }
+}
+
+std::vector<std::array<double, 3>> BarnesHut::compute_accelerations() {
+  build_tree();
+  std::vector<std::array<double, 3>> accel(particles_.size());
+  if (nodes_.empty()) return accel;
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    accumulate(particles_[i], 0, accel[i]);
+  }
+  return accel;
+}
+
+std::vector<std::array<double, 3>> BarnesHut::direct_accelerations() const {
+  const double eps2 = params_.softening * params_.softening;
+  std::vector<std::array<double, 3>> accel(particles_.size());
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    for (std::size_t j = 0; j < particles_.size(); ++j) {
+      if (i == j) continue;
+      std::array<double, 3> d{};
+      double r2 = eps2;
+      for (int c = 0; c < params_.dim; ++c) {
+        d[static_cast<std::size_t>(c)] =
+            particles_[j].pos[static_cast<std::size_t>(c)] - particles_[i].pos[static_cast<std::size_t>(c)];
+        r2 += d[static_cast<std::size_t>(c)] * d[static_cast<std::size_t>(c)];
+      }
+      const double inv = params_.gravity * particles_[j].mass / (r2 * std::sqrt(r2));
+      for (int c = 0; c < params_.dim; ++c) accel[i][static_cast<std::size_t>(c)] += inv * d[static_cast<std::size_t>(c)];
+    }
+  }
+  return accel;
+}
+
+void BarnesHut::step(double dt) {
+  auto accel = compute_accelerations();
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    for (int c = 0; c < params_.dim; ++c) {
+      particles_[i].vel[static_cast<std::size_t>(c)] += 0.5 * dt * accel[i][static_cast<std::size_t>(c)];
+      particles_[i].pos[static_cast<std::size_t>(c)] += dt * particles_[i].vel[static_cast<std::size_t>(c)];
+    }
+  }
+  accel = compute_accelerations();
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    for (int c = 0; c < params_.dim; ++c) {
+      particles_[i].vel[static_cast<std::size_t>(c)] += 0.5 * dt * accel[i][static_cast<std::size_t>(c)];
+    }
+  }
+}
+
+double BarnesHut::total_energy() const {
+  const double eps2 = params_.softening * params_.softening;
+  double kinetic = 0.0, potential = 0.0;
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    double v2 = 0.0;
+    for (int c = 0; c < params_.dim; ++c) {
+      v2 += particles_[i].vel[static_cast<std::size_t>(c)] * particles_[i].vel[static_cast<std::size_t>(c)];
+    }
+    kinetic += 0.5 * particles_[i].mass * v2;
+    for (std::size_t j = i + 1; j < particles_.size(); ++j) {
+      double r2 = eps2;
+      for (int c = 0; c < params_.dim; ++c) {
+        const double d =
+            particles_[j].pos[static_cast<std::size_t>(c)] - particles_[i].pos[static_cast<std::size_t>(c)];
+        r2 += d * d;
+      }
+      potential -= params_.gravity * particles_[i].mass * particles_[j].mass /
+                   std::sqrt(r2);
+    }
+  }
+  return kinetic + potential;
+}
+
+}  // namespace sfc

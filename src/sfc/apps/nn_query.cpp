@@ -1,0 +1,124 @@
+#include "sfc/apps/nn_query.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sfc/grid/box.h"
+
+namespace sfc {
+
+namespace {
+
+WindowQuantiles quantiles(std::vector<double>& values) {
+  WindowQuantiles q;
+  if (values.empty()) return q;
+  std::sort(values.begin(), values.end());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  q.mean = sum / static_cast<double>(values.size());
+  auto at = [&](double fraction) {
+    const auto idx = static_cast<std::size_t>(
+        fraction * static_cast<double>(values.size() - 1));
+    return values[idx];
+  };
+  q.p50 = at(0.50);
+  q.p95 = at(0.95);
+  q.p99 = at(0.99);
+  q.max = values.back();
+  return q;
+}
+
+}  // namespace
+
+NNWindowStats measure_nn_window(const SpaceFillingCurve& curve,
+                                std::uint64_t samples, std::uint64_t seed) {
+  const Universe& u = curve.universe();
+  Xoshiro256 rng(seed);
+  std::vector<double> first, all;
+  first.reserve(samples);
+  all.reserve(samples);
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    Point query = Point::zero(u.dim());
+    for (int i = 0; i < u.dim(); ++i) {
+      query[i] = static_cast<coord_t>(rng.next_below(u.side()));
+    }
+    const index_t qk = curve.index_of(query);
+    index_t min_dist = 0, max_dist = 0;
+    bool any = false;
+    u.for_each_neighbor(query, [&](const Point& nb) {
+      const index_t nk = curve.index_of(nb);
+      const index_t dist = qk > nk ? qk - nk : nk - qk;
+      if (!any || dist < min_dist) min_dist = dist;
+      if (!any || dist > max_dist) max_dist = dist;
+      any = true;
+    });
+    if (any) {
+      first.push_back(static_cast<double>(min_dist));
+      all.push_back(static_cast<double>(max_dist));
+    }
+  }
+  NNWindowStats stats;
+  stats.samples = samples;
+  stats.first_neighbor = quantiles(first);
+  stats.all_neighbors = quantiles(all);
+  return stats;
+}
+
+bool knn_via_window(const SpaceFillingCurve& curve, const Point& query, int k,
+                    index_t window, std::vector<Point>* neighbors) {
+  const Universe& u = curve.universe();
+  const index_t n = u.cell_count();
+  const index_t qk = curve.index_of(query);
+  const index_t lo = qk > window ? qk - window : 0;
+  const index_t hi = qk + window < n - 1 ? qk + window : n - 1;
+
+  struct Candidate {
+    double dist;
+    index_t key;
+    Point cell;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(hi - lo + 1);
+  for (index_t key = lo; key <= hi; ++key) {
+    const Point cell = curve.point_at(key);
+    if (cell == query) continue;
+    candidates.push_back({euclidean_distance(query, cell), key, cell});
+  }
+  if (candidates.size() < static_cast<std::size_t>(k)) return false;
+  std::partial_sort(candidates.begin(), candidates.begin() + k, candidates.end(),
+                    [](const Candidate& a, const Candidate& b) {
+                      if (a.dist != b.dist) return a.dist < b.dist;
+                      return a.key < b.key;
+                    });
+  const double radius = candidates[static_cast<std::size_t>(k - 1)].dist;
+
+  // Soundness check: every cell within Euclidean radius `radius` of the query
+  // must have been scanned; otherwise a closer cell may hide outside the
+  // window.  Enumerate the clipped bounding box of that ball.
+  const auto reach = static_cast<coord_t>(std::ceil(radius));
+  Point box_lo = query, box_hi = query;
+  for (int i = 0; i < u.dim(); ++i) {
+    box_lo[i] = query[i] > reach ? query[i] - reach : 0;
+    box_hi[i] = std::min<coord_t>(query[i] + reach, u.side() - 1);
+  }
+  bool sound = true;
+  Box(box_lo, box_hi).for_each_cell([&](const Point& cell) {
+    if (!sound || cell == query) return;
+    if (euclidean_distance(query, cell) <= radius) {
+      const index_t key = curve.index_of(cell);
+      if (key < lo || key > hi) sound = false;
+    }
+  });
+  if (!sound) return false;
+
+  if (neighbors != nullptr) {
+    neighbors->clear();
+    for (int i = 0; i < k; ++i) {
+      neighbors->push_back(candidates[static_cast<std::size_t>(i)].cell);
+    }
+  }
+  return true;
+}
+
+}  // namespace sfc

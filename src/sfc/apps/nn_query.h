@@ -1,0 +1,50 @@
+// Nearest-neighbor queries through a one-dimensional curve window (paper
+// intro ref [5], Chen & Chang).
+//
+// A common SFC-based kNN heuristic inspects the cells whose keys lie within
+// a window around the query's key.  How wide the window must be to contain
+// the query's true spatial nearest neighbors is *exactly* the per-cell NN
+// stretch:  δmin gives the window to the first neighbor, δmax the window to
+// all of them.  This module reports quantiles of those window sizes over
+// sampled query cells, making the paper's abstract metric operational.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sfc/common/types.h"
+#include "sfc/curves/space_filling_curve.h"
+#include "sfc/rng/xoshiro256.h"
+
+namespace sfc {
+
+struct WindowQuantiles {
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+struct NNWindowStats {
+  std::uint64_t samples = 0;
+  /// Window needed to see at least one spatial nearest neighbor.
+  WindowQuantiles first_neighbor;
+  /// Window needed to see all spatial nearest neighbors (δmax quantiles).
+  WindowQuantiles all_neighbors;
+};
+
+/// Samples `samples` uniform query cells and reports curve-window quantiles.
+NNWindowStats measure_nn_window(const SpaceFillingCurve& curve,
+                                std::uint64_t samples, std::uint64_t seed);
+
+/// Exhaustive kNN ground truth helper: the `k` cells closest to `query` in
+/// Euclidean distance (ties broken by curve key), found by scanning a curve
+/// window of half-width `window` around the query's key.  Returns true if
+/// the window provably contains the true k nearest (i.e. the k-th best
+/// distance found is <= the distance to any cell outside the scanned box).
+/// Used by tests and the knn example to demonstrate window-based search.
+bool knn_via_window(const SpaceFillingCurve& curve, const Point& query, int k,
+                    index_t window, std::vector<Point>* neighbors);
+
+}  // namespace sfc

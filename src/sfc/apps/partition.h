@@ -1,0 +1,48 @@
+// SFC-based domain decomposition (paper intro refs [3, 22, 23]).
+//
+// Parallel codes partition a grid by cutting the curve into P contiguous key
+// ranges.  The quality of the decomposition is governed by exactly the
+// locality the stretch metrics capture: every NN pair whose endpoints fall in
+// different blocks becomes inter-processor communication.  This module
+// measures edge cut (communication volume) and block imbalance for any curve,
+// letting the benches connect Davg to application-level cost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sfc/common/types.h"
+#include "sfc/curves/space_filling_curve.h"
+#include "sfc/parallel/thread_pool.h"
+
+namespace sfc {
+
+struct PartitionQuality {
+  int parts = 0;
+  /// NN pairs whose endpoints are assigned to different blocks.
+  index_t edge_cut = 0;
+  /// edge_cut / |NN_d|: fraction of neighbor interactions that cross blocks.
+  double cut_fraction = 0.0;
+  /// max block size / (n/P); 1.0 is perfectly balanced.
+  double imbalance = 0.0;
+  /// Number of blocks that are spatially *disconnected* (have at least two
+  /// components under grid adjacency) — 0 for continuous curves like Hilbert
+  /// on power-of-two splits, possibly positive for Z/random.
+  int fragmented_blocks = 0;
+};
+
+struct PartitionOptions {
+  ThreadPool* pool = nullptr;
+  /// Computing fragmented_blocks costs an O(n) flood fill; disable for speed.
+  bool count_fragments = true;
+};
+
+/// Splits the curve into `parts` contiguous key ranges of near-equal size
+/// (block b gets keys [b*n/P, (b+1)*n/P)) and scores the decomposition.
+PartitionQuality evaluate_partition(const SpaceFillingCurve& curve, int parts,
+                                    const PartitionOptions& options = {});
+
+/// The block id of a cell under the contiguous-range partition.
+int partition_block(const SpaceFillingCurve& curve, int parts, const Point& cell);
+
+}  // namespace sfc

@@ -1,0 +1,45 @@
+#include "sfc/apps/range_query.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "sfc/common/math.h"
+
+namespace sfc {
+
+index_t count_key_runs(const SpaceFillingCurve& curve, const Box& box) {
+  std::vector<index_t> keys;
+  keys.reserve(box.cell_count());
+  box.for_each_cell([&](const Point& cell) {
+    keys.push_back(curve.index_of(cell));
+  });
+  if (keys.empty()) return 0;
+  std::sort(keys.begin(), keys.end());
+  index_t runs = 1;
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    if (keys[i] != keys[i - 1] + 1) ++runs;
+  }
+  return runs;
+}
+
+ClusteringStats random_box_clustering(const SpaceFillingCurve& curve,
+                                      coord_t extent, std::uint64_t samples,
+                                      std::uint64_t seed) {
+  const Universe& u = curve.universe();
+  Xoshiro256 rng(seed);
+  RunningStats stats;
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    const Box box = random_box(u, extent, rng);
+    stats.add(static_cast<double>(count_key_runs(curve, box)));
+  }
+  ClusteringStats result;
+  result.extent = extent;
+  result.samples = samples;
+  result.mean_runs = stats.mean();
+  result.stderr_runs = stats.standard_error();
+  result.max_runs = stats.max();
+  result.cells_per_box = ipow(extent, u.dim());
+  return result;
+}
+
+}  // namespace sfc

@@ -1,0 +1,39 @@
+// Secondary-memory range queries over SFC-ordered data (paper intro refs
+// [9, 14, 18]).
+//
+// When multi-dimensional records are stored in curve-key order (e.g. in a
+// B-tree), a rectangular query touches as many disk seeks as the number of
+// maximal runs of consecutive keys inside the query box — the "clustering"
+// metric of Moon, Jagadish, Faloutsos & Saltz.  This module counts runs
+// exactly for a given box and estimates the average over random boxes.
+#pragma once
+
+#include <cstdint>
+
+#include "sfc/common/types.h"
+#include "sfc/curves/space_filling_curve.h"
+#include "sfc/grid/box.h"
+#include "sfc/rng/sampling.h"
+
+namespace sfc {
+
+/// Number of maximal runs of consecutive curve keys covering the box
+/// (the clustering number of the query region).
+index_t count_key_runs(const SpaceFillingCurve& curve, const Box& box);
+
+struct ClusteringStats {
+  coord_t extent = 0;          // box side length
+  std::uint64_t samples = 0;
+  double mean_runs = 0.0;
+  double stderr_runs = 0.0;
+  double max_runs = 0.0;
+  index_t cells_per_box = 0;   // extent^d
+};
+
+/// Average clustering number over `samples` uniformly placed cubic boxes of
+/// the given extent.
+ClusteringStats random_box_clustering(const SpaceFillingCurve& curve,
+                                      coord_t extent, std::uint64_t samples,
+                                      std::uint64_t seed);
+
+}  // namespace sfc

@@ -1,0 +1,100 @@
+#include "sfc/cli/args.h"
+
+#include <cstdlib>
+
+namespace sfc::cli {
+
+Args Args::parse(const std::vector<std::string>& argv) {
+  Args args;
+  std::size_t i = 0;
+  if (i < argv.size() && argv[i].rfind("--", 0) != 0) {
+    args.subcommand_ = argv[i++];
+  }
+  while (i < argv.size()) {
+    const std::string& token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      args.error_ = "unexpected positional argument '" + token + "'";
+      return args;
+    }
+    std::string key = token.substr(2);
+    std::string value;
+    const auto equals = key.find('=');
+    if (equals != std::string::npos) {
+      value = key.substr(equals + 1);
+      key = key.substr(0, equals);
+      ++i;
+    } else if (i + 1 < argv.size() && argv[i + 1].rfind("--", 0) != 0) {
+      value = argv[i + 1];
+      i += 2;
+    } else {
+      ++i;  // bare flag
+    }
+    if (key.empty()) {
+      args.error_ = "empty flag name in '" + token + "'";
+      return args;
+    }
+    if (args.values_.count(key) != 0) {
+      args.error_ = "duplicate flag --" + key;
+      return args;
+    }
+    args.values_[key] = value;
+  }
+  return args;
+}
+
+bool Args::has(const std::string& key) const {
+  queried_[key] = true;
+  return values_.count(key) != 0;
+}
+
+std::string Args::get_string(const std::string& key,
+                             const std::string& fallback) const {
+  queried_[key] = true;
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::optional<std::int64_t> Args::get_int(const std::string& key,
+                                          std::int64_t fallback) const {
+  queried_[key] = true;
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const std::int64_t value = std::stoll(it->second, &consumed);
+    if (consumed != it->second.size()) return std::nullopt;
+    return value;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+std::optional<double> Args::get_double(const std::string& key,
+                                       double fallback) const {
+  queried_[key] = true;
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(it->second, &consumed);
+    if (consumed != it->second.size()) return std::nullopt;
+    return value;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+bool Args::get_flag(const std::string& key) const {
+  queried_[key] = true;
+  return values_.count(key) != 0;
+}
+
+std::vector<std::string> Args::unused_keys() const {
+  std::vector<std::string> unused;
+  for (const auto& [key, value] : values_) {
+    if (queried_.count(key) == 0) unused.push_back(key);
+  }
+  return unused;
+}
+
+}  // namespace sfc::cli

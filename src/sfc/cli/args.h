@@ -1,0 +1,50 @@
+// Minimal command-line parsing for the sfctool utility.
+//
+// Grammar: `tool <subcommand> [--flag] [--key value] [--key=value] ...`.
+// Unknown flags are errors; every lookup states its default, so `--help`
+// output can be generated from the same table the parser checks against.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sfc::cli {
+
+class Args {
+ public:
+  /// Parses argv (excluding the program name).  On grammar errors, the
+  /// object is marked invalid and `error()` describes the problem.
+  static Args parse(const std::vector<std::string>& argv);
+
+  bool valid() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  /// First positional token (the subcommand), empty if none.
+  const std::string& subcommand() const { return subcommand_; }
+
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  /// nullopt when present but unparsable; `fallback` when absent.
+  std::optional<std::int64_t> get_int(const std::string& key,
+                                      std::int64_t fallback) const;
+  std::optional<double> get_double(const std::string& key,
+                                   double fallback) const;
+  /// A bare `--flag` (no value) is true.
+  bool get_flag(const std::string& key) const;
+
+  /// Keys that were provided but never queried — used to reject typos.
+  std::vector<std::string> unused_keys() const;
+
+ private:
+  std::string subcommand_;
+  std::map<std::string, std::string> values_;  // key -> value ("" for bare flags)
+  mutable std::map<std::string, bool> queried_;
+  std::string error_;
+};
+
+}  // namespace sfc::cli

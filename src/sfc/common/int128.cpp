@@ -1,0 +1,26 @@
+#include "sfc/common/int128.h"
+
+#include <algorithm>
+
+namespace sfc {
+
+std::string to_string(u128 value) {
+  if (value == 0) return "0";
+  std::string digits;
+  while (value != 0) {
+    digits.push_back(static_cast<char>('0' + static_cast<int>(value % 10)));
+    value /= 10;
+  }
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+long double to_long_double(u128 value) {
+  constexpr u128 kHigh = static_cast<u128>(1) << 64;
+  const auto hi = static_cast<std::uint64_t>(value / kHigh);
+  const auto lo = static_cast<std::uint64_t>(value % kHigh);
+  return static_cast<long double>(hi) * 18446744073709551616.0L +
+         static_cast<long double>(lo);
+}
+
+}  // namespace sfc

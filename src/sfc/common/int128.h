@@ -1,0 +1,28 @@
+// Minimal 128-bit unsigned integer helpers.
+//
+// Distance sums in the stretch metrics are exact integers that can exceed
+// 64 bits (e.g. S_A'(pi) = (n-1)n(n+1)/3 is ~n^3), so all total-distance
+// accumulation is done in unsigned __int128 and only converted to floating
+// point at the reporting boundary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sfc {
+
+__extension__ typedef unsigned __int128 u128;  // NOLINT: GCC/Clang extension
+
+/// Decimal rendering (std::to_string has no 128-bit overload).
+std::string to_string(u128 value);
+
+/// Lossy conversion for ratio reporting; exact for values below 2^64 and
+/// within long-double precision above.
+long double to_long_double(u128 value);
+
+/// Exact equality helper against a 64-bit value.
+constexpr bool equals_u64(u128 value, std::uint64_t expected) {
+  return value == static_cast<u128>(expected);
+}
+
+}  // namespace sfc

@@ -1,0 +1,76 @@
+#include "sfc/common/math.h"
+
+#include <cstdlib>
+#include <limits>
+
+namespace sfc {
+
+std::optional<index_t> checked_ipow(index_t base, int exp) {
+  constexpr index_t kLimit = static_cast<index_t>(1) << 63;
+  index_t result = 1;
+  for (int i = 0; i < exp; ++i) {
+    if (base != 0 && result > (kLimit - 1) / base) return std::nullopt;
+    result *= base;
+  }
+  return result;
+}
+
+index_t ipow(index_t base, int exp) {
+  const auto value = checked_ipow(base, exp);
+  if (!value.has_value()) std::abort();
+  return *value;
+}
+
+std::optional<coord_t> exact_root(index_t value, int d) {
+  if (d <= 0) return std::nullopt;
+  if (d == 1) {
+    if (value > std::numeric_limits<coord_t>::max()) return std::nullopt;
+    return static_cast<coord_t>(value);
+  }
+  // Binary search for r with r^d == value.
+  index_t lo = 0, hi = value + 1;
+  while (lo + 1 < hi) {
+    const index_t mid = lo + (hi - lo) / 2;
+    const auto power = checked_ipow(mid, d);
+    if (power.has_value() && *power <= value) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const auto power = checked_ipow(lo, d);
+  if (power.has_value() && *power == value &&
+      lo <= std::numeric_limits<coord_t>::max()) {
+    return static_cast<coord_t>(lo);
+  }
+  return std::nullopt;
+}
+
+int floor_log2(index_t value) {
+  int result = -1;
+  while (value != 0) {
+    value >>= 1;
+    ++result;
+  }
+  return result;
+}
+
+index_t side_pow_dm1(coord_t side, int d) {
+  return ipow(static_cast<index_t>(side), d - 1);
+}
+
+u128 lemma2_total(index_t n) {
+  if (n == 0) return 0;
+  // (n-1)n(n+1) is always divisible by 3; divide the factor that is.
+  u128 a = n - 1, b = n, c = n + 1;
+  if (a % 3 == 0) {
+    a /= 3;
+  } else if (b % 3 == 0) {
+    b /= 3;
+  } else {
+    c /= 3;
+  }
+  return a * b * c;
+}
+
+}  // namespace sfc

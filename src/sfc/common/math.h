@@ -1,0 +1,43 @@
+// Exact small-integer math used throughout the bound formulas.
+//
+// Every closed form in the paper is a function of n = side^d; evaluating the
+// bounds with pow(double) would silently lose exactness for quantities that
+// are provably integers (e.g. n^{1-1/d} = side^{d-1} when the side is a power
+// of two).  These helpers keep integer paths exact and detect overflow.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sfc/common/int128.h"
+#include "sfc/common/types.h"
+
+namespace sfc {
+
+/// side^exp with overflow detection; nullopt when the result exceeds 2^63-1
+/// (we keep one sign bit of headroom so downstream differences stay safe).
+std::optional<index_t> checked_ipow(index_t base, int exp);
+
+/// side^exp, terminating the program on overflow.  Used where the caller has
+/// already validated the configuration.
+index_t ipow(index_t base, int exp);
+
+/// Exact integer d-th root when `value` is a perfect d-th power.
+std::optional<coord_t> exact_root(index_t value, int d);
+
+/// True iff value is a power of two (value >= 1).
+constexpr bool is_pow2(index_t value) {
+  return value != 0 && (value & (value - 1)) == 0;
+}
+
+/// floor(log2(value)) for value >= 1.
+int floor_log2(index_t value);
+
+/// n^{1-1/d} evaluated exactly as side^{d-1} when side is known.
+index_t side_pow_dm1(coord_t side, int d);
+
+/// Exact (n-1)n(n+1)/3 — the paper's Lemma 2 total ordered-pair curve
+/// distance, an integer for every n (one of n-1, n, n+1 is divisible by 3).
+u128 lemma2_total(index_t n);
+
+}  // namespace sfc

@@ -1,0 +1,24 @@
+// Fundamental fixed-width types shared by every SFC-Stretch module.
+//
+// The paper's universe is a d-dimensional grid with n = side^d cells and an
+// SFC is a bijection onto {0, ..., n-1}; keys therefore need 64 bits and
+// coordinates 32 bits.  Dimensions are small constants (the paper assumes
+// d = O(1)); we fix an upper bound so Point can be a flat array.
+#pragma once
+
+#include <cstdint>
+
+namespace sfc {
+
+/// One-dimensional key assigned by a space filling curve (position on the
+/// curve), and also the type of cell counts `n`.
+using index_t = std::uint64_t;
+
+/// A single grid coordinate, `0 <= x_i < side`.
+using coord_t = std::uint32_t;
+
+/// Maximum supported dimensionality.  The paper treats d as a constant; 8 is
+/// enough for every experiment while keeping Point a small value type.
+inline constexpr int kMaxDim = 8;
+
+}  // namespace sfc

@@ -1,0 +1,100 @@
+#include "sfc/core/all_pairs.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "sfc/parallel/parallel_for.h"
+#include "sfc/rng/sampling.h"
+
+namespace sfc {
+
+AllPairsResult compute_all_pairs_exact(const SpaceFillingCurve& curve,
+                                       const AllPairsOptions& options) {
+  const Universe& u = curve.universe();
+  const index_t n = u.cell_count();
+  if (n > options.max_exact_cells) std::abort();
+  ThreadPool& pool = options.pool ? *options.pool : ThreadPool::shared();
+
+  // Materialize cells and keys once; the double loop then touches only flat
+  // arrays.
+  std::vector<Point> cells(n);
+  std::vector<index_t> keys(n);
+  for (index_t id = 0; id < n; ++id) {
+    cells[id] = u.from_row_major(id);
+    keys[id] = curve.index_of(cells[id]);
+  }
+
+  struct Partial {
+    long double manhattan = 0.0L;
+    long double euclidean = 0.0L;
+    u128 total = 0;
+  };
+  const std::uint64_t grain = 64;  // outer rows per chunk
+  const std::uint64_t chunks = chunk_count(n, grain);
+  std::vector<Partial> partials(chunks);
+
+  parallel_for_chunks(pool, n, grain, [&](const ChunkRange& range) {
+    Partial& part = partials[range.chunk_index];
+    for (index_t a = range.begin; a < range.end; ++a) {
+      const index_t ka = keys[a];
+      const Point& pa = cells[a];
+      for (index_t b = a + 1; b < n; ++b) {
+        const index_t kb = keys[b];
+        const index_t curve_dist = ka > kb ? ka - kb : kb - ka;
+        const std::uint64_t manhattan = manhattan_distance(pa, cells[b]);
+        const std::uint64_t sq_euclid = squared_euclidean_distance(pa, cells[b]);
+        part.total += curve_dist;
+        part.manhattan += static_cast<long double>(curve_dist) /
+                          static_cast<long double>(manhattan);
+        part.euclidean += static_cast<long double>(curve_dist) /
+                          std::sqrt(static_cast<long double>(sq_euclid));
+      }
+    }
+  });
+
+  long double manhattan_sum = 0.0L, euclidean_sum = 0.0L;
+  u128 total_unordered = 0;
+  for (const Partial& part : partials) {
+    manhattan_sum += part.manhattan;
+    euclidean_sum += part.euclidean;
+    total_unordered += part.total;
+  }
+
+  AllPairsResult result;
+  result.n = n;
+  result.exact = true;
+  result.pair_count = n * (n - 1) / 2;
+  const long double norm = static_cast<long double>(result.pair_count);
+  result.avg_stretch_manhattan = static_cast<double>(manhattan_sum / norm);
+  result.avg_stretch_euclidean = static_cast<double>(euclidean_sum / norm);
+  // Ordered pairs see every unordered pair twice.
+  result.total_curve_distance_ordered = total_unordered * 2;
+  return result;
+}
+
+AllPairsResult estimate_all_pairs(const SpaceFillingCurve& curve,
+                                  std::uint64_t samples, std::uint64_t seed,
+                                  const AllPairsOptions& /*options*/) {
+  const Universe& u = curve.universe();
+  Xoshiro256 rng(seed);
+  RunningStats manhattan_stats, euclidean_stats;
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    const auto [a, b] = random_distinct_pair(u, rng);
+    const auto curve_dist = static_cast<double>(curve.curve_distance(a, b));
+    manhattan_stats.add(curve_dist / static_cast<double>(manhattan_distance(a, b)));
+    euclidean_stats.add(curve_dist / euclidean_distance(a, b));
+  }
+
+  AllPairsResult result;
+  result.n = u.cell_count();
+  result.exact = false;
+  result.pair_count = samples;
+  result.avg_stretch_manhattan = manhattan_stats.mean();
+  result.avg_stretch_euclidean = euclidean_stats.mean();
+  result.stderr_manhattan = manhattan_stats.standard_error();
+  result.stderr_euclidean = euclidean_stats.standard_error();
+  return result;
+}
+
+}  // namespace sfc

@@ -1,0 +1,56 @@
+// All-pairs stretch metrics (paper §V-B).
+//
+//   str_avg,M(π) = 2/(n(n-1)) · Σ_{(α,β)∈A} ∆π(α,β)/∆(α,β)     (Manhattan)
+//   str_avg,E(π) = 2/(n(n-1)) · Σ_{(α,β)∈A} ∆π(α,β)/∆E(α,β)    (Euclidean)
+//
+// plus the ordered total S_A'(π) = Σ_{A'} ∆π(α,β), which Lemma 2 pins to
+// (n-1)n(n+1)/3 for *every* bijection.  The exact computation is O(n²); the
+// sampled estimator draws uniform distinct pairs and reports standard
+// errors.  Tests validate the estimator against the exact values.
+#pragma once
+
+#include <cstdint>
+
+#include "sfc/common/int128.h"
+#include "sfc/common/types.h"
+#include "sfc/curves/space_filling_curve.h"
+#include "sfc/parallel/thread_pool.h"
+
+namespace sfc {
+
+struct AllPairsResult {
+  index_t n = 0;
+  bool exact = false;
+
+  /// str_avg,M(π).
+  double avg_stretch_manhattan = 0.0;
+  /// str_avg,E(π).
+  double avg_stretch_euclidean = 0.0;
+
+  /// S_A'(π): total curve distance over *ordered* pairs.  Exact mode only.
+  u128 total_curve_distance_ordered = 0;
+
+  /// Number of unordered pairs (exact) or samples drawn (sampled).
+  std::uint64_t pair_count = 0;
+
+  /// Standard errors of the two means (sampled mode; 0 in exact mode).
+  double stderr_manhattan = 0.0;
+  double stderr_euclidean = 0.0;
+};
+
+struct AllPairsOptions {
+  ThreadPool* pool = nullptr;
+  /// Refuse exact computation above this n (O(n²) pairs).
+  index_t max_exact_cells = index_t{1} << 14;
+};
+
+/// Exact O(n²) evaluation.  Aborts if n > options.max_exact_cells.
+AllPairsResult compute_all_pairs_exact(const SpaceFillingCurve& curve,
+                                       const AllPairsOptions& options = {});
+
+/// Monte-Carlo estimate from `samples` uniform distinct ordered pairs.
+AllPairsResult estimate_all_pairs(const SpaceFillingCurve& curve,
+                                  std::uint64_t samples, std::uint64_t seed,
+                                  const AllPairsOptions& options = {});
+
+}  // namespace sfc

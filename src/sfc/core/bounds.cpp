@@ -1,0 +1,183 @@
+#include "sfc/core/bounds.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace sfc {
+namespace bounds {
+
+index_t n_pow_1m1d(const Universe& u) {
+  return ipow(u.side(), u.dim() - 1);
+}
+
+double davg_lower_bound(const Universe& u) {
+  const int d = u.dim();
+  const auto n = static_cast<long double>(u.cell_count());
+  const auto main_term = static_cast<long double>(n_pow_1m1d(u));
+  // n^{-1-1/d} = 1/(n * side).
+  const long double small_term = 1.0L / (n * static_cast<long double>(u.side()));
+  return static_cast<double>((2.0L / (3.0L * d)) * (main_term - small_term));
+}
+
+double dmax_lower_bound(const Universe& u) { return davg_lower_bound(u); }
+
+double davg_zs_asymptote(const Universe& u) {
+  return static_cast<double>(n_pow_1m1d(u)) / u.dim();
+}
+
+double optimal_gap_factor() { return 1.5; }
+
+u128 lemma2_total_ordered_distance(index_t n) { return lemma2_total(n); }
+
+u128 z_group_size(int d, int k, int j) {
+  if (j < 1 || j > k) std::abort();
+  // 2^{k-j} choices of κ times side^{d-1} = 2^{k(d-1)} choices of the other
+  // coordinates.
+  return u128{1} << (k - j + k * (d - 1));
+}
+
+u128 z_group_distance(int d, int i, int j) {
+  if (i < 1 || i > d || j < 1) std::abort();
+  u128 dist = u128{1} << (j * d - i);
+  for (int l = 1; l < j; ++l) {
+    dist -= u128{1} << (l * d - i);
+  }
+  return dist;
+}
+
+u128 lambda_z_exact(int d, int k, int i) {
+  if (i < 1 || i > d) std::abort();
+  u128 total = 0;
+  for (int j = 1; j <= k; ++j) {
+    total += z_group_size(d, k, j) * z_group_distance(d, i, j);
+  }
+  return total;
+}
+
+double lambda_z_limit(int d, int i) {
+  return static_cast<double>(u128{1} << (d - i)) /
+         static_cast<double>((u128{1} << d) - 1);
+}
+
+index_t dmax_simple_exact(const Universe& u) { return n_pow_1m1d(u); }
+
+double allpairs_manhattan_lower_bound(const Universe& u) {
+  if (u.side() < 2) std::abort();
+  const auto n = static_cast<long double>(u.cell_count());
+  return static_cast<double>((n + 1.0L) /
+                             (3.0L * u.dim() * (u.side() - 1.0L)));
+}
+
+double allpairs_euclidean_lower_bound(const Universe& u) {
+  if (u.side() < 2) std::abort();
+  const auto n = static_cast<long double>(u.cell_count());
+  return static_cast<double>(
+      (n + 1.0L) / (3.0L * std::sqrt(static_cast<long double>(u.dim())) *
+                    (u.side() - 1.0L)));
+}
+
+double allpairs_simple_manhattan_upper_bound(const Universe& u) {
+  return static_cast<double>(n_pow_1m1d(u));
+}
+
+double allpairs_simple_euclidean_upper_bound(const Universe& u) {
+  return std::sqrt(2.0) * static_cast<double>(n_pow_1m1d(u));
+}
+
+index_t max_manhattan_distance(const Universe& u) {
+  return static_cast<index_t>(u.dim()) * (u.side() - 1);
+}
+
+double max_euclidean_distance(const Universe& u) {
+  return std::sqrt(static_cast<double>(u.dim())) *
+         static_cast<double>(u.side() - 1);
+}
+
+double simple_interior_cell_stretch(const Universe& u) {
+  if (u.side() < 2) std::abort();
+  const auto n = static_cast<long double>(u.cell_count());
+  return static_cast<double>((n - 1.0L) /
+                             (static_cast<long double>(u.dim()) *
+                              (static_cast<long double>(u.side()) - 1.0L)));
+}
+
+double davg_simple_exact(const Universe& u) {
+  const int d = u.dim();
+  const index_t side = u.side();
+  if (side == 1) return 0.0;
+  long double total = 0.0L;
+  for (unsigned mask = 0; mask < (1u << d); ++mask) {
+    long double cell_count = 1.0L;
+    long double distance_sum = 0.0L;
+    int degree = 0;
+    for (int i = 0; i < d; ++i) {
+      const auto stride = static_cast<long double>(ipow(side, i));
+      if (mask & (1u << i)) {
+        cell_count *= 2.0L;       // two boundary slices in dimension i+1
+        distance_sum += stride;   // one neighbor
+        degree += 1;
+      } else {
+        cell_count *= static_cast<long double>(side - 2);
+        distance_sum += 2.0L * stride;
+        degree += 2;
+      }
+    }
+    if (cell_count > 0.0L) {
+      total += cell_count * (distance_sum / degree);
+    }
+  }
+  return static_cast<double>(total / static_cast<long double>(u.cell_count()));
+}
+
+double davg_min_simple_exact(const Universe& u) {
+  return u.side() >= 2 ? 1.0 : 0.0;
+}
+
+double davg_z_exact(const Universe& u) {
+  if (!u.power_of_two_side()) std::abort();
+  const int d = u.dim();
+  const index_t side = u.side();
+  if (side == 1) return 0.0;
+
+  // Binomial coefficients C(d-1, t).
+  long double choose[kMaxDim] = {};
+  choose[0] = 1.0L;
+  for (int row = 1; row <= d - 1; ++row) {
+    for (int t = row; t >= 1; --t) choose[t] += choose[t - 1];
+  }
+
+  // Other-coordinate counts by boundary-dimension count t.
+  long double other_count[kMaxDim] = {};
+  for (int t = 0; t <= d - 1; ++t) {
+    other_count[t] = choose[t] * powl(2.0L, t) *
+                     powl(static_cast<long double>(side) - 2.0L, d - 1 - t);
+  }
+
+  long double total = 0.0L;
+  for (int i = 1; i <= d; ++i) {
+    for (index_t kappa = 0; kappa + 1 < side; ++kappa) {
+      // Trailing ones of κ determine the Lemma-5 group j = ones + 1.
+      int trailing_ones = 0;
+      index_t value = kappa;
+      while (value & 1) {
+        ++trailing_ones;
+        value >>= 1;
+      }
+      const long double dist =
+          to_long_double(z_group_distance(d, i, trailing_ones + 1));
+      const int alpha_boundary = kappa == 0 ? 1 : 0;
+      const int beta_boundary = kappa == side - 2 ? 1 : 0;
+      for (int t = 0; t <= d - 1; ++t) {
+        if (other_count[t] == 0.0L) continue;
+        const long double weight =
+            1.0L / (2 * d - t - alpha_boundary) +
+            1.0L / (2 * d - t - beta_boundary);
+        total += other_count[t] * dist * weight;
+      }
+    }
+  }
+  return static_cast<double>(total / static_cast<long double>(u.cell_count()));
+}
+
+}  // namespace bounds
+}  // namespace sfc

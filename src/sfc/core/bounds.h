@@ -1,0 +1,109 @@
+// Closed-form bounds and asymptotes from the paper, evaluated exactly.
+//
+// Wherever a quantity is an exact integer for power-of-two sides (e.g.
+// n^{1-1/d} = side^{d-1}), the integer form is used; floating point enters
+// only for genuinely fractional values.  Each function cites the paper
+// result it implements.
+#pragma once
+
+#include "sfc/common/int128.h"
+#include "sfc/common/math.h"
+#include "sfc/common/types.h"
+#include "sfc/grid/universe.h"
+
+namespace sfc {
+namespace bounds {
+
+/// n^{1-1/d}, exact: side^{d-1}.
+index_t n_pow_1m1d(const Universe& u);
+
+/// Theorem 1: every SFC π satisfies
+///   Davg(π) >= (2/3d) (n^{1-1/d} - n^{-1-1/d}).
+double davg_lower_bound(const Universe& u);
+
+/// Proposition 1: the same expression lower-bounds Dmax(π).
+double dmax_lower_bound(const Universe& u);
+
+/// Theorems 2 and 3: Davg(Z) ~ Davg(S) ~ (1/d) n^{1-1/d}.
+double davg_zs_asymptote(const Universe& u);
+
+/// Ratio of the Theorem 2/3 asymptote to the Theorem 1 bound as n -> inf:
+/// exactly 3/2 — "the Z curve is within a factor of 1.5 from optimal".
+double optimal_gap_factor();
+
+/// Lemma 2: S_A'(π) = (n-1)n(n+1)/3 for every bijection π (ordered pairs).
+u128 lemma2_total_ordered_distance(index_t n);
+
+/// |G_{i,j}| (proof of Lemma 5): number of NN pairs along paper-dimension i
+/// whose lower coordinate κ ends in (j-1) one bits then a zero bit:
+/// 2^{k-j} · 2^{k(d-1)}.  Independent of i.
+u128 z_group_size(int d, int k, int j);
+
+/// ∆Z(α,β) for every pair in G_{i,j} (proof of Lemma 5):
+///   2^{jd-i} − Σ_{ℓ=1..j-1} 2^{ℓd-i}.
+u128 z_group_distance(int d, int i, int j);
+
+/// Exact finite-n Λ_i(Z) = Σ_j |G_{i,j}| · ∆Z|G_{i,j}| (pre-limit form of
+/// Lemma 5; an exact identity for every k, verified in tests).
+u128 lambda_z_exact(int d, int k, int i);
+
+/// Lemma 5 limit: Λ_i(Z)/n^{2-1/d} -> 2^{d-i}/(2^d - 1).
+double lambda_z_limit(int d, int i);
+
+/// Proposition 2: Dmax(S) = n^{1-1/d} exactly.
+index_t dmax_simple_exact(const Universe& u);
+
+/// Proposition 3 (Manhattan): str_avg,M(π) >= (1/3d) (n+1)/(n^{1/d} - 1).
+double allpairs_manhattan_lower_bound(const Universe& u);
+
+/// Proposition 3 (Euclidean): str_avg,E(π) >= (1/(3 sqrt(d))) (n+1)/(n^{1/d} - 1).
+double allpairs_euclidean_lower_bound(const Universe& u);
+
+/// Proposition 4: str_avg,M(S) <= n^{1-1/d}.
+double allpairs_simple_manhattan_upper_bound(const Universe& u);
+
+/// Proposition 4: str_avg,E(S) <= sqrt(2) n^{1-1/d}.
+double allpairs_simple_euclidean_upper_bound(const Universe& u);
+
+/// Lemma 6: max Manhattan distance in U is d(n^{1/d} - 1).
+index_t max_manhattan_distance(const Universe& u);
+
+/// Lemma 6: max Euclidean distance in U is sqrt(d) (n^{1/d} - 1).
+double max_euclidean_distance(const Universe& u);
+
+/// Interior-cell δavg for the simple curve (proof of Theorem 3):
+///   (1/d) (n-1)/(side-1).
+double simple_interior_cell_stretch(const Universe& u);
+
+/// Exact finite-n Davg(S) for the simple curve — sharper than the paper's
+/// Theorem-3 asymptote.  Derivation: a cell's neighbors along dimension i
+/// sit exactly side^{i-1} away in key space, so grouping cells by their
+/// boundary pattern b ⊆ {1..d} (b = dimensions where the cell touches a
+/// face, contributing one neighbor instead of two):
+///   Davg(S) = (1/n) Σ_b [ Π_i (b∋i ? 2 : side-2) ] ·
+///                    [ Σ_i (b∋i ? 1 : 2)·side^{i-1} ] / (2d - |b|).
+/// Verified bit-close against the metric engine in tests.
+double davg_simple_exact(const Universe& u);
+
+/// Exact average-minimum NN stretch of the simple curve: every cell has a
+/// dimension-1 neighbor at key distance exactly 1, so the value is 1 for
+/// any side >= 2.
+double davg_min_simple_exact(const Universe& u);
+
+/// Exact finite-n Davg(Z) — sharper than Theorem 2's asymptote.
+///
+/// Derivation: group each unordered NN pair by (i, κ, t) where i is the
+/// differing dimension, κ the smaller coordinate in that dimension (the pair
+/// distance ∆Z depends only on the trailing-ones count of κ — the proof of
+/// Lemma 5), and t the number of *other* dimensions in which the shared
+/// coordinates touch a face (which determines both endpoint degrees):
+///
+///   Davg(Z) = (1/n) Σ_i Σ_κ Σ_t  C(d-1,t)·2^t·(side-2)^{d-1-t} · ∆Z(i,κ)
+///             · [ 1/(2d - t - [κ=0]) + 1/(2d - t - [κ=side-2]) ].
+///
+/// Verified against the metric engine to full double precision in tests;
+/// requires side = 2^k.
+double davg_z_exact(const Universe& u);
+
+}  // namespace bounds
+}  // namespace sfc

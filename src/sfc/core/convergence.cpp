@@ -1,0 +1,40 @@
+#include "sfc/core/convergence.h"
+
+namespace sfc {
+
+std::vector<SweepRow> davg_sweep(CurveFamily family, int dim, int k_min,
+                                 int k_max, const SweepOptions& options) {
+  std::vector<SweepRow> rows;
+  for (int k = k_min; k <= k_max; ++k) {
+    const auto n = checked_ipow(index_t{2}, k * dim);
+    if (!n.has_value() || *n > options.max_cells) break;
+    const Universe u = Universe::pow2(dim, k);
+    const CurvePtr curve = make_curve(family, u, options.seed);
+    const NNStretchResult stretch = compute_nn_stretch(*curve, options.stretch);
+
+    SweepRow row;
+    row.dim = dim;
+    row.level_bits = k;
+    row.n = u.cell_count();
+    row.davg = stretch.average_average;
+    row.dmax = stretch.average_maximum;
+    row.lower_bound = bounds::davg_lower_bound(u);
+    row.ratio_to_bound = row.lower_bound > 0 ? row.davg / row.lower_bound : 0.0;
+    const double scale = static_cast<double>(bounds::n_pow_1m1d(u));
+    row.normalized_davg = dim * row.davg / scale;
+    row.normalized_dmax = dim * row.dmax / scale;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+int max_level_bits(int dim, index_t max_cells, int k_min) {
+  int k = k_min;
+  while (true) {
+    const auto n = checked_ipow(index_t{2}, (k + 1) * dim);
+    if (!n.has_value() || *n > max_cells) return k;
+    ++k;
+  }
+}
+
+}  // namespace sfc

@@ -1,0 +1,46 @@
+// Sweep drivers: measure stretch metrics across (d, k) grids and normalize
+// against the paper's closed forms.  These produce the rows printed by the
+// Theorem 2/3 and Lemma 5 reproduction benches.
+#pragma once
+
+#include <vector>
+
+#include "sfc/core/bounds.h"
+#include "sfc/core/nn_stretch.h"
+#include "sfc/curves/curve_factory.h"
+
+namespace sfc {
+
+struct SweepRow {
+  int dim = 0;
+  int level_bits = 0;   // k
+  index_t n = 0;
+  double davg = 0.0;
+  double dmax = 0.0;
+  /// Theorem 1 lower bound for this (n, d).
+  double lower_bound = 0.0;
+  /// davg / lower_bound — Theorem 2 predicts -> 1.5 for Z and S.
+  double ratio_to_bound = 0.0;
+  /// d·davg / n^{1-1/d} — Theorems 2/3 predict -> 1.
+  double normalized_davg = 0.0;
+  /// d·dmax / n^{1-1/d}.
+  double normalized_dmax = 0.0;
+};
+
+struct SweepOptions {
+  NNStretchOptions stretch;
+  /// Skip configurations with more cells than this.
+  index_t max_cells = index_t{1} << 22;
+  /// Seed for kRandom curves.
+  std::uint64_t seed = 1;
+};
+
+/// Measures the NN-stretch of `family` for k in [k_min, k_max] at fixed d,
+/// skipping configurations above options.max_cells.
+std::vector<SweepRow> davg_sweep(CurveFamily family, int dim, int k_min,
+                                 int k_max, const SweepOptions& options = {});
+
+/// Largest k with 2^{k·d} <= max_cells (at least k_min).
+int max_level_bits(int dim, index_t max_cells, int k_min = 1);
+
+}  // namespace sfc

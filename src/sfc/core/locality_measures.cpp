@@ -1,0 +1,72 @@
+#include "sfc/core/locality_measures.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "sfc/parallel/parallel_for.h"
+
+namespace sfc {
+
+LocalityMeasures compute_locality_measures(const SpaceFillingCurve& curve,
+                                           const LocalityOptions& options) {
+  const Universe& u = curve.universe();
+  const index_t n = u.cell_count();
+  ThreadPool& pool = options.pool ? *options.pool : ThreadPool::shared();
+
+  const bool exact = n <= options.max_exact_cells;
+  const index_t window = exact ? n : std::min<index_t>(options.window, n);
+
+  // Materialize the curve order once: cells[key] = π⁻¹(key).
+  std::vector<Point> cells(n);
+  parallel_for(pool, n, [&](std::uint64_t key) {
+    cells[key] = curve.point_at(key);
+  });
+
+  struct Partial {
+    double gl_max = 0.0;
+    double nrs_max = 0.0;
+    long double mean_sum = 0.0L;
+    std::uint64_t pairs = 0;
+  };
+  const std::uint64_t grain = 1024;
+  const std::uint64_t chunks = chunk_count(n, grain);
+  std::vector<Partial> partials(chunks);
+
+  parallel_for_chunks(pool, n, grain, [&](const ChunkRange& range) {
+    Partial& part = partials[range.chunk_index];
+    for (index_t i = range.begin; i < range.end; ++i) {
+      const index_t j_end = std::min<index_t>(n, i + 1 + window);
+      for (index_t j = i + 1; j < j_end; ++j) {
+        const auto key_dist = static_cast<double>(j - i);
+        const auto euclid_sq =
+            static_cast<double>(squared_euclidean_distance(cells[i], cells[j]));
+        const auto manhattan =
+            static_cast<double>(manhattan_distance(cells[i], cells[j]));
+        const double gl = euclid_sq / key_dist;
+        const double nrs = manhattan * manhattan / key_dist;
+        if (gl > part.gl_max) part.gl_max = gl;
+        if (nrs > part.nrs_max) part.nrs_max = nrs;
+        part.mean_sum += static_cast<long double>(gl);
+        ++part.pairs;
+      }
+    }
+  });
+
+  LocalityMeasures result;
+  result.exact = exact;
+  long double mean_sum = 0.0L;
+  for (const Partial& part : partials) {
+    result.gl_max_euclidean_sq = std::max(result.gl_max_euclidean_sq, part.gl_max);
+    result.nrs_max_manhattan_sq =
+        std::max(result.nrs_max_manhattan_sq, part.nrs_max);
+    mean_sum += part.mean_sum;
+    result.pair_count += part.pairs;
+  }
+  if (result.pair_count > 0) {
+    result.mean_euclidean_sq =
+        static_cast<double>(mean_sum / static_cast<long double>(result.pair_count));
+  }
+  return result;
+}
+
+}  // namespace sfc

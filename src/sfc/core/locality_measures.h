@@ -1,0 +1,54 @@
+// Locality measures from the related work (§II), going the *opposite*
+// direction from the paper's stretch: how far apart in space can cells be
+// that are close on the curve?
+//
+//   * Gotsman & Lindenbaum (1996): GL(π) = max over pairs of
+//       ∆E(π⁻¹(i), π⁻¹(j))² / |i - j|.
+//     For the 2-d Hilbert curve they prove lim GL ∈ [6, 6.5]; our measured
+//     value reproduces that window.
+//   * Niedermeier, Reinhardt & Sanders (2002) bound the same ratio with the
+//     Manhattan metric (≈ 3√(i-j) for 2-d Hilbert, i.e. squared-ratio 9).
+//   * Dai & Su (2003/2004) study p-norm *average* variants; we implement the
+//     mean of the same squared-Euclidean ratio.
+//
+// These complement the paper's stretch (which maps high-dim -> 1-d): a curve
+// can be good at one and mediocre at the other, which is exactly the
+// distinction §II draws.
+#pragma once
+
+#include <cstdint>
+
+#include "sfc/common/types.h"
+#include "sfc/curves/space_filling_curve.h"
+#include "sfc/parallel/thread_pool.h"
+
+namespace sfc {
+
+struct LocalityMeasures {
+  /// max ∆E² / ∆π over pairs (Gotsman-Lindenbaum measure).
+  double gl_max_euclidean_sq = 0.0;
+  /// mean ∆E² / ∆π over pairs (Dai-Su style average).
+  double mean_euclidean_sq = 0.0;
+  /// max ∆(Manhattan)² / ∆π over pairs (Niedermeier et al. variant).
+  double nrs_max_manhattan_sq = 0.0;
+  /// Pairs evaluated.
+  std::uint64_t pair_count = 0;
+  bool exact = false;
+};
+
+struct LocalityOptions {
+  ThreadPool* pool = nullptr;
+  /// Exact O(n²) evaluation allowed up to this many cells.
+  index_t max_exact_cells = index_t{1} << 13;
+  /// Above the exact limit: evaluate all pairs within this key distance
+  /// (the maxima are typically achieved at small |i-j|, so a windowed scan
+  /// is a tight lower estimate of the true max).
+  index_t window = 4096;
+};
+
+/// Computes the inverse-direction locality measures, exactly when
+/// n <= options.max_exact_cells, else over the key window.
+LocalityMeasures compute_locality_measures(const SpaceFillingCurve& curve,
+                                           const LocalityOptions& options = {});
+
+}  // namespace sfc

@@ -1,0 +1,79 @@
+#include "sfc/core/nn_decomposition.h"
+
+#include <cstdlib>
+
+#include "sfc/common/math.h"
+
+namespace sfc {
+
+namespace {
+
+NNEdge make_edge(const Point& a, const Point& b, int dim_i) {
+  return a[dim_i] < b[dim_i] ? NNEdge{a, b} : NNEdge{b, a};
+}
+
+}  // namespace
+
+std::vector<Point> nn_decomposition_vertices(const Point& alpha, const Point& beta) {
+  if (alpha.dim() != beta.dim()) std::abort();
+  std::vector<Point> vertices;
+  vertices.push_back(alpha);
+  Point current = alpha;
+  // Correct dimensions in order 1..d (paper's construction: α_0 = α,
+  // α_j fixes the first j coordinates to β's).
+  for (int i = 0; i < alpha.dim(); ++i) {
+    while (current[i] != beta[i]) {
+      if (current[i] < beta[i]) {
+        ++current[i];
+      } else {
+        --current[i];
+      }
+      vertices.push_back(current);
+    }
+  }
+  return vertices;
+}
+
+std::vector<NNEdge> nn_decomposition(const Point& alpha, const Point& beta) {
+  const std::vector<Point> vertices = nn_decomposition_vertices(alpha, beta);
+  std::vector<NNEdge> edges;
+  edges.reserve(vertices.size() > 0 ? vertices.size() - 1 : 0);
+  for (std::size_t v = 0; v + 1 < vertices.size(); ++v) {
+    // Consecutive vertices differ in exactly one dimension by one.
+    int diff_dim = -1;
+    for (int i = 0; i < alpha.dim(); ++i) {
+      if (vertices[v][i] != vertices[v + 1][i]) {
+        diff_dim = i;
+        break;
+      }
+    }
+    edges.push_back(make_edge(vertices[v], vertices[v + 1], diff_dim));
+  }
+  return edges;
+}
+
+u128 decomposition_multiplicity(const Universe& u, const Point& zeta, int dim_i) {
+  if (dim_i < 0 || dim_i >= u.dim()) std::abort();
+  if (zeta[dim_i] + 1 >= u.side()) std::abort();  // edge must exist
+  // Derivation (proof of Lemma 4): the edge (ζ, ζ+e_i) lies on p(α,β) iff
+  //   β_j = ζ_j for j < i   (already corrected),
+  //   α_j = ζ_j for j > i   (not yet corrected),
+  //   and the i-interval of the path covers [ζ_i, ζ_i+1]:
+  //   α_i <= ζ_i < β_i  or  β_i <= ζ_i < α_i.
+  // Free choices: α_j for j < i (side each), β_j for j > i (side each), and
+  // (α_i, β_i) in 2 · (ζ_i+1) · (side-1-ζ_i) ways.
+  const u128 side = u.side();
+  u128 free_choices = 1;
+  for (int j = 0; j < u.dim() - 1; ++j) free_choices *= side;
+  const u128 interval_choices =
+      u128{2} * (static_cast<u128>(zeta[dim_i]) + 1) *
+      (side - 1 - static_cast<u128>(zeta[dim_i]));
+  return free_choices * interval_choices;
+}
+
+u128 decomposition_multiplicity_bound(const Universe& u) {
+  // n^{(d+1)/d} / 2 = n * side / 2.  n * side is always even for side >= 2.
+  return static_cast<u128>(u.cell_count()) * u.side() / 2;
+}
+
+}  // namespace sfc

@@ -1,0 +1,41 @@
+// The nearest-neighbor decomposition p(α,β) (paper §IV-A).
+//
+// p(α,β) is the staircase path from α to β that corrects coordinates one
+// dimension at a time, dimension 1 first; it is the multiset of NN edges
+// whose triangle-inequality sum upper-bounds ∆π(α,β) in the proof of
+// Theorem 1.  Lemma 4 bounds how many ordered pairs (α,β) route through any
+// fixed edge; the exact count (derived in the lemma's proof) is
+//
+//   mult(ζ, i) = 2 · side^{d-1} · (ζ_i + 1) · (side − 1 − ζ_i)
+//
+// for the edge between ζ and ζ + e_i, which never exceeds n^{(d+1)/d} / 2.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "sfc/common/int128.h"
+#include "sfc/common/types.h"
+#include "sfc/grid/point.h"
+#include "sfc/grid/universe.h"
+
+namespace sfc {
+
+/// An unordered NN edge, stored with the lexicographically smaller endpoint
+/// first (the endpoint with the smaller coordinate in the differing dim).
+using NNEdge = std::pair<Point, Point>;
+
+/// The edge set p(α,β), in path order from α to β.  Empty when α == β.
+std::vector<NNEdge> nn_decomposition(const Point& alpha, const Point& beta);
+
+/// The vertex sequence of the same path, from α to β inclusive.
+std::vector<Point> nn_decomposition_vertices(const Point& alpha, const Point& beta);
+
+/// Exact number of ordered pairs (α,β) ∈ A' whose decomposition p(α,β)
+/// contains the edge (ζ, ζ+e_i); `dim_i` is 0-based.  (Lemma 4, exact form.)
+u128 decomposition_multiplicity(const Universe& u, const Point& zeta, int dim_i);
+
+/// Lemma 4's upper bound: n^{(d+1)/d} / 2 = n · side / 2.
+u128 decomposition_multiplicity_bound(const Universe& u);
+
+}  // namespace sfc

@@ -1,0 +1,192 @@
+#include "sfc/core/nn_stretch.h"
+
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "sfc/curves/key_cache.h"
+#include "sfc/parallel/parallel_for.h"
+
+namespace sfc {
+
+namespace {
+
+// Per-chunk partial sums.  Chunk boundaries depend only on n and the grain,
+// and partials are combined in chunk order, so the floating-point results are
+// deterministic for any thread count.
+struct Partial {
+  long double avg_sum = 0.0L;  // Σ_α δavg(α)
+  long double max_sum = 0.0L;  // Σ_α δmax(α)
+  long double min_sum = 0.0L;  // Σ_α δmin(α)
+  std::array<u128, kMaxDim> lambda{};
+  double min_cell = std::numeric_limits<double>::infinity();
+  double max_cell = -std::numeric_limits<double>::infinity();
+};
+
+// Key lookup abstraction: cached table or on-the-fly encode.
+class KeyFn {
+ public:
+  KeyFn(const SpaceFillingCurve& curve, const NNStretchOptions& options,
+        ThreadPool& pool)
+      : curve_(curve) {
+    if (options.use_key_cache &&
+        curve.universe().cell_count() <= options.max_cache_cells) {
+      cache_ = std::make_unique<KeyCache>(curve, pool);
+    }
+  }
+
+  index_t operator()(const Point& cell, index_t row_major_id) const {
+    return cache_ ? cache_->key_of_id(row_major_id) : curve_.index_of(cell);
+  }
+
+ private:
+  const SpaceFillingCurve& curve_;
+  std::unique_ptr<KeyCache> cache_;
+};
+
+}  // namespace
+
+NNStretchResult compute_nn_stretch(const SpaceFillingCurve& curve,
+                                   const NNStretchOptions& options) {
+  const Universe& u = curve.universe();
+  ThreadPool& pool = options.pool ? *options.pool : ThreadPool::shared();
+  const KeyFn key(curve, options, pool);
+
+  const index_t n = u.cell_count();
+  const int d = u.dim();
+  const index_t side = u.side();
+
+  // Row-major strides: neighbor along dimension i is at id ± stride[i].
+  std::array<index_t, kMaxDim> stride{};
+  {
+    index_t s = 1;
+    for (int i = 0; i < d; ++i) {
+      stride[static_cast<std::size_t>(i)] = s;
+      s *= side;
+    }
+  }
+
+  const std::uint64_t chunks = chunk_count(n, options.grain);
+  std::vector<Partial> partials(chunks);
+
+  parallel_for_chunks(pool, n, options.grain, [&](const ChunkRange& range) {
+    Partial& part = partials[range.chunk_index];
+    Point cell = u.from_row_major(range.begin);
+    for (index_t id = range.begin; id < range.end; ++id) {
+      const index_t cell_key = key(cell, id);
+
+      std::uint64_t dist_sum = 0;
+      index_t dist_max = 0;
+      index_t dist_min = std::numeric_limits<index_t>::max();
+      int degree = 0;
+
+      for (int i = 0; i < d; ++i) {
+        const auto si = stride[static_cast<std::size_t>(i)];
+        // Backward neighbor (x_i - 1).
+        if (cell[i] > 0) {
+          Point q = cell;
+          --q[i];
+          const index_t qk = key(q, id - si);
+          const index_t dist = cell_key > qk ? cell_key - qk : qk - cell_key;
+          dist_sum += dist;
+          if (dist > dist_max) dist_max = dist;
+          if (dist < dist_min) dist_min = dist;
+          ++degree;
+        }
+        // Forward neighbor (x_i + 1): also the unordered-pair representative
+        // for Λ_i (each NN pair counted exactly once, by its lower endpoint).
+        if (cell[i] + 1 < side) {
+          Point q = cell;
+          ++q[i];
+          const index_t qk = key(q, id + si);
+          const index_t dist = cell_key > qk ? cell_key - qk : qk - cell_key;
+          dist_sum += dist;
+          if (dist > dist_max) dist_max = dist;
+          if (dist < dist_min) dist_min = dist;
+          ++degree;
+          part.lambda[static_cast<std::size_t>(i)] += dist;
+        }
+      }
+
+      if (degree > 0) {
+        const double cell_avg =
+            static_cast<double>(dist_sum) / static_cast<double>(degree);
+        part.avg_sum += static_cast<long double>(cell_avg);
+        part.max_sum += static_cast<long double>(dist_max);
+        part.min_sum += static_cast<long double>(dist_min);
+        if (cell_avg < part.min_cell) part.min_cell = cell_avg;
+        if (cell_avg > part.max_cell) part.max_cell = cell_avg;
+      }
+
+      // Advance the cell coordinates in row-major order.
+      int i = 0;
+      while (i < d) {
+        if (++cell[i] < side) break;
+        cell[i] = 0;
+        ++i;
+      }
+    }
+  });
+
+  NNStretchResult result;
+  result.n = n;
+  result.dim = d;
+  result.nn_pair_count = u.nn_pair_count();
+
+  long double avg_total = 0.0L, max_total = 0.0L, min_total = 0.0L;
+  double min_cell = std::numeric_limits<double>::infinity();
+  double max_cell = -std::numeric_limits<double>::infinity();
+  for (const Partial& part : partials) {
+    avg_total += part.avg_sum;
+    max_total += part.max_sum;
+    min_total += part.min_sum;
+    for (int i = 0; i < d; ++i) {
+      result.lambda[static_cast<std::size_t>(i)] += part.lambda[static_cast<std::size_t>(i)];
+    }
+    if (part.min_cell < min_cell) min_cell = part.min_cell;
+    if (part.max_cell > max_cell) max_cell = part.max_cell;
+  }
+  for (int i = 0; i < d; ++i) {
+    result.nn_distance_total += result.lambda[static_cast<std::size_t>(i)];
+  }
+
+  const auto nd = static_cast<long double>(n);
+  result.average_average = static_cast<double>(avg_total / nd);
+  result.average_maximum = static_cast<double>(max_total / nd);
+  result.average_minimum = static_cast<double>(min_total / nd);
+  result.min_cell_stretch = n > 0 ? min_cell : 0.0;
+  result.max_cell_stretch = n > 0 ? max_cell : 0.0;
+
+  const long double nn_total = to_long_double(result.nn_distance_total);
+  result.lemma3_lower = static_cast<double>(nn_total / (nd * d));
+  result.lemma3_upper = static_cast<double>(2.0L * nn_total / (nd * d));
+  return result;
+}
+
+double cell_average_stretch(const SpaceFillingCurve& curve, const Point& cell) {
+  const Universe& u = curve.universe();
+  const index_t cell_key = curve.index_of(cell);
+  std::uint64_t sum = 0;
+  int degree = 0;
+  u.for_each_neighbor(cell, [&](const Point& q) {
+    const index_t qk = curve.index_of(q);
+    sum += cell_key > qk ? cell_key - qk : qk - cell_key;
+    ++degree;
+  });
+  return degree == 0 ? 0.0
+                     : static_cast<double>(sum) / static_cast<double>(degree);
+}
+
+index_t cell_maximum_stretch(const SpaceFillingCurve& curve, const Point& cell) {
+  const Universe& u = curve.universe();
+  const index_t cell_key = curve.index_of(cell);
+  index_t best = 0;
+  u.for_each_neighbor(cell, [&](const Point& q) {
+    const index_t qk = curve.index_of(q);
+    const index_t dist = cell_key > qk ? cell_key - qk : qk - cell_key;
+    if (dist > best) best = dist;
+  });
+  return best;
+}
+
+}  // namespace sfc

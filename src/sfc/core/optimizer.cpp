@@ -1,0 +1,127 @@
+#include "sfc/core/optimizer.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <numeric>
+
+#include "sfc/rng/xoshiro256.h"
+
+namespace sfc {
+
+namespace {
+
+// Incremental Davg bookkeeping.  Davg = (1/n) Σ_α contribution(α) where
+// contribution(α) = (Σ_{β∈N(α)} |k_α - k_β|) / deg(α).  Swapping the keys of
+// two cells changes only the contributions of the swapped cells and their
+// neighbors.
+class DavgState {
+ public:
+  DavgState(const Universe& u, std::vector<index_t> keys)
+      : universe_(u), keys_(std::move(keys)), contribution_(u.cell_count()) {
+    total_ = 0.0L;
+    for (index_t id = 0; id < universe_.cell_count(); ++id) {
+      contribution_[id] = cell_contribution(id);
+      total_ += contribution_[id];
+    }
+  }
+
+  double davg() const {
+    return static_cast<double>(total_ /
+                               static_cast<long double>(universe_.cell_count()));
+  }
+
+  const std::vector<index_t>& keys() const { return keys_; }
+
+  /// Swaps the keys of cells a and b and returns the new Davg.
+  double apply_swap(index_t a, index_t b) {
+    std::swap(keys_[a], keys_[b]);
+    refresh_around(a);
+    refresh_around(b);
+    return davg();
+  }
+
+ private:
+  double cell_contribution(index_t id) const {
+    const Point cell = universe_.from_row_major(id);
+    const index_t key = keys_[id];
+    std::uint64_t sum = 0;
+    int degree = 0;
+    universe_.for_each_neighbor(cell, [&](const Point& q) {
+      const index_t qk = keys_[universe_.row_major_index(q)];
+      sum += key > qk ? key - qk : qk - key;
+      ++degree;
+    });
+    return degree > 0 ? static_cast<double>(sum) / degree : 0.0;
+  }
+
+  void refresh_cell(index_t id) {
+    const double fresh = cell_contribution(id);
+    total_ += static_cast<long double>(fresh) -
+              static_cast<long double>(contribution_[id]);
+    contribution_[id] = fresh;
+  }
+
+  void refresh_around(index_t id) {
+    refresh_cell(id);
+    const Point cell = universe_.from_row_major(id);
+    universe_.for_each_neighbor(cell, [&](const Point& q) {
+      refresh_cell(universe_.row_major_index(q));
+    });
+  }
+
+  Universe universe_;
+  std::vector<index_t> keys_;
+  std::vector<double> contribution_;
+  long double total_;
+};
+
+}  // namespace
+
+OptimizeResult optimize_davg(const Universe& universe,
+                             std::vector<index_t> initial_keys,
+                             const OptimizeOptions& options) {
+  const index_t n = universe.cell_count();
+  if (initial_keys.empty()) {
+    initial_keys.resize(n);
+    std::iota(initial_keys.begin(), initial_keys.end(), index_t{0});
+  }
+  if (initial_keys.size() != n) std::abort();
+
+  DavgState state(universe, std::move(initial_keys));
+  Xoshiro256 rng(options.seed);
+
+  OptimizeResult result;
+  result.initial_davg = state.davg();
+  result.best_davg = result.initial_davg;
+  result.keys = state.keys();
+  result.iterations = options.iterations;
+
+  double current = result.initial_davg;
+  for (std::uint64_t iter = 0; iter < options.iterations; ++iter) {
+    const index_t a = rng.next_below(n);
+    index_t b = rng.next_below(n);
+    if (a == b) continue;
+    const double candidate = state.apply_swap(a, b);
+    const bool accept = candidate <= current ||
+                        rng.next_double() < options.random_accept;
+    if (accept) {
+      current = candidate;
+      ++result.accepted_moves;
+      if (candidate < result.best_davg) {
+        result.best_davg = candidate;
+        result.keys = state.keys();
+      }
+    } else {
+      state.apply_swap(a, b);  // undo
+    }
+  }
+  return result;
+}
+
+CurvePtr make_optimized_curve(const Universe& universe, OptimizeResult result) {
+  return std::make_unique<PermutationCurve>(universe, std::move(result.keys),
+                                            "optimized");
+}
+
+}  // namespace sfc

@@ -1,0 +1,109 @@
+#include "sfc/core/random_model.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "sfc/core/nn_stretch.h"
+#include "sfc/rng/sampling.h"
+
+namespace sfc {
+
+std::string input_model_name(InputModel model) {
+  switch (model) {
+    case InputModel::kUniform: return "uniform";
+    case InputModel::kGaussianBlob: return "gaussian-blob";
+    case InputModel::kDiagonalBand: return "diagonal-band";
+  }
+  std::abort();
+}
+
+namespace {
+
+// Box-Muller standard normal.
+double normal(Xoshiro256& rng) {
+  const double u1 = rng.next_double();
+  const double u2 = rng.next_double();
+  return std::sqrt(-2.0 * std::log(u1 + 1e-300)) *
+         std::cos(6.283185307179586 * u2);
+}
+
+}  // namespace
+
+Point sample_model_cell(InputModel model, const Universe& u, Xoshiro256& rng) {
+  const auto side = static_cast<double>(u.side());
+  switch (model) {
+    case InputModel::kUniform:
+      return random_cell(u, rng);
+    case InputModel::kGaussianBlob: {
+      // Center blob with sigma = side/8, rejection-clamped to the grid.
+      while (true) {
+        Point p = Point::zero(u.dim());
+        bool ok = true;
+        for (int i = 0; i < u.dim(); ++i) {
+          const double value = side / 2.0 + (side / 8.0) * normal(rng);
+          if (value < 0.0 || value >= side) {
+            ok = false;
+            break;
+          }
+          p[i] = static_cast<coord_t>(value);
+        }
+        if (ok) return p;
+      }
+    }
+    case InputModel::kDiagonalBand: {
+      // First coordinate uniform; the others within a band of width side/8
+      // around it (wrapped-free rejection).
+      const auto band = std::max<double>(1.0, side / 8.0);
+      while (true) {
+        Point p = Point::zero(u.dim());
+        p[0] = static_cast<coord_t>(rng.next_below(u.side()));
+        bool ok = true;
+        for (int i = 1; i < u.dim(); ++i) {
+          const double value =
+              static_cast<double>(p[0]) + band * (2.0 * rng.next_double() - 1.0);
+          if (value < 0.0 || value >= side) {
+            ok = false;
+            break;
+          }
+          p[i] = static_cast<coord_t>(value);
+        }
+        if (ok) return p;
+      }
+    }
+  }
+  std::abort();
+}
+
+ModelStretch measure_model_stretch(const SpaceFillingCurve& curve,
+                                   InputModel model, std::uint64_t samples,
+                                   std::uint64_t seed) {
+  const Universe& u = curve.universe();
+  Xoshiro256 rng(seed);
+  RunningStats davg_stats, allpairs_stats;
+
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    // Query-weighted per-cell NN stretch.
+    const Point alpha = sample_model_cell(model, u, rng);
+    davg_stats.add(cell_average_stretch(curve, alpha));
+
+    // Distribution-weighted pairwise stretch.
+    Point beta = sample_model_cell(model, u, rng);
+    int guard = 0;
+    while (beta == alpha && guard++ < 64) beta = sample_model_cell(model, u, rng);
+    if (!(beta == alpha)) {
+      allpairs_stats.add(static_cast<double>(curve.curve_distance(alpha, beta)) /
+                         static_cast<double>(manhattan_distance(alpha, beta)));
+    }
+  }
+
+  ModelStretch result;
+  result.model = model;
+  result.samples = samples;
+  result.weighted_davg = davg_stats.mean();
+  result.stderr_davg = davg_stats.standard_error();
+  result.weighted_allpairs_manhattan = allpairs_stats.mean();
+  result.stderr_allpairs = allpairs_stats.standard_error();
+  return result;
+}
+
+}  // namespace sfc

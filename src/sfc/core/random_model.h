@@ -1,0 +1,49 @@
+// Probabilistic input models (paper §VI, open direction 4: "analysis of
+// proximity preservation using a more general probabilistic model of
+// input"; cf. Tirthapura, Seal & Aluru [25]).
+//
+// Instead of averaging the NN stretch uniformly over all cells, cells are
+// drawn from a distribution modelling realistic workloads: uniform, a
+// Gaussian blob (dense hot spot), or a diagonal band (correlated
+// attributes).  The module estimates the *query-weighted* NN stretch — the
+// expected dilation seen by a query landing on a distribution-sampled cell —
+// and the distribution-weighted all-pairs stretch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sfc/common/types.h"
+#include "sfc/curves/space_filling_curve.h"
+#include "sfc/rng/xoshiro256.h"
+
+namespace sfc {
+
+enum class InputModel {
+  kUniform,       // the paper's implicit model
+  kGaussianBlob,  // hot spot around the grid center, sigma = side/8
+  kDiagonalBand,  // cells near the main diagonal (correlated dimensions)
+};
+
+std::string input_model_name(InputModel model);
+
+/// Draws a cell of `u` from the model (rejection sampling where needed).
+Point sample_model_cell(InputModel model, const Universe& u, Xoshiro256& rng);
+
+struct ModelStretch {
+  InputModel model = InputModel::kUniform;
+  std::uint64_t samples = 0;
+  /// E[ δavg_π(α) ] with α ~ model (query-weighted average NN stretch).
+  double weighted_davg = 0.0;
+  double stderr_davg = 0.0;
+  /// E[ ∆π(α,β)/∆(α,β) ] with α,β ~ model i.i.d., α ≠ β.
+  double weighted_allpairs_manhattan = 0.0;
+  double stderr_allpairs = 0.0;
+};
+
+/// Monte-Carlo estimate of the model-weighted stretch metrics.
+ModelStretch measure_model_stretch(const SpaceFillingCurve& curve,
+                                   InputModel model, std::uint64_t samples,
+                                   std::uint64_t seed);
+
+}  // namespace sfc

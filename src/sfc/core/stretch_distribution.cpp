@@ -1,0 +1,84 @@
+#include "sfc/core/stretch_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sfc/parallel/parallel_for.h"
+
+namespace sfc {
+
+namespace {
+
+DistributionSummary summarize(std::vector<double>& values) {
+  DistributionSummary summary;
+  if (values.empty()) return summary;
+  std::sort(values.begin(), values.end());
+  long double sum = 0.0L;
+  for (double v : values) sum += static_cast<long double>(v);
+  summary.mean = static_cast<double>(sum / static_cast<long double>(values.size()));
+  auto at = [&](double fraction) {
+    const auto index = static_cast<std::size_t>(
+        fraction * static_cast<double>(values.size() - 1));
+    return values[index];
+  };
+  summary.p10 = at(0.10);
+  summary.p50 = at(0.50);
+  summary.p90 = at(0.90);
+  summary.p99 = at(0.99);
+  summary.max = values.back();
+  return summary;
+}
+
+}  // namespace
+
+StretchDistribution compute_stretch_distribution(
+    const SpaceFillingCurve& curve, const DistributionOptions& options) {
+  const Universe& u = curve.universe();
+  ThreadPool& pool = options.pool ? *options.pool : ThreadPool::shared();
+  const index_t n = u.cell_count();
+
+  std::vector<double> averages(n), maxima(n), minima(n);
+  parallel_for(pool, n, [&](std::uint64_t id) {
+    const Point cell = u.from_row_major(id);
+    const index_t key = curve.index_of(cell);
+    std::uint64_t sum = 0;
+    index_t dmax = 0;
+    index_t dmin = std::numeric_limits<index_t>::max();
+    int degree = 0;
+    u.for_each_neighbor(cell, [&](const Point& q) {
+      const index_t qk = curve.index_of(q);
+      const index_t dist = key > qk ? key - qk : qk - key;
+      sum += dist;
+      dmax = std::max(dmax, dist);
+      dmin = std::min(dmin, dist);
+      ++degree;
+    });
+    averages[id] = degree > 0
+                       ? static_cast<double>(sum) / static_cast<double>(degree)
+                       : 0.0;
+    maxima[id] = static_cast<double>(degree > 0 ? dmax : 0);
+    minima[id] = static_cast<double>(degree > 0 ? dmin : 0);
+  });
+
+  StretchDistribution result;
+  result.n = n;
+  result.cell_average = summarize(averages);   // sorts in place
+  result.cell_maximum = summarize(maxima);
+  result.cell_minimum = summarize(minima);
+
+  const int bins = std::max(1, options.histogram_bins);
+  result.average_histogram.assign(static_cast<std::size_t>(bins), 0);
+  const double top = result.cell_average.max;
+  result.histogram_bucket_width = top > 0 ? top / bins : 1.0;
+  for (double value : averages) {
+    auto bucket = static_cast<std::size_t>(value / result.histogram_bucket_width);
+    if (bucket >= static_cast<std::size_t>(bins)) {
+      bucket = static_cast<std::size_t>(bins) - 1;
+    }
+    ++result.average_histogram[bucket];
+  }
+  return result;
+}
+
+}  // namespace sfc

@@ -1,0 +1,49 @@
+// Per-cell stretch distributions.
+//
+// Davg and Dmax are means of the per-cell statistics δavg and δmax; the
+// paper's contrast between them ("the average-maximum stretch is worse by a
+// factor d ... for a vast majority of cells the distance to two of the
+// nearest neighbors is large") is a statement about the *distribution* of
+// per-cell stretch.  This module materializes that distribution: quantiles
+// and histograms of δavg/δmax/δmin over all cells, computed in one parallel
+// sweep.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sfc/common/types.h"
+#include "sfc/curves/space_filling_curve.h"
+#include "sfc/parallel/thread_pool.h"
+
+namespace sfc {
+
+struct DistributionSummary {
+  double mean = 0.0;
+  double p10 = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+struct StretchDistribution {
+  index_t n = 0;
+  DistributionSummary cell_average;  // δavg distribution (mean = Davg)
+  DistributionSummary cell_maximum;  // δmax distribution (mean = Dmax)
+  DistributionSummary cell_minimum;  // δmin distribution
+  /// Histogram of δavg, `bins` equal-width buckets over [0, max δavg].
+  std::vector<index_t> average_histogram;
+  double histogram_bucket_width = 0.0;
+};
+
+struct DistributionOptions {
+  ThreadPool* pool = nullptr;
+  int histogram_bins = 16;
+};
+
+/// Computes the per-cell stretch distributions (O(n·d) encodes + one sort).
+StretchDistribution compute_stretch_distribution(
+    const SpaceFillingCurve& curve, const DistributionOptions& options = {});
+
+}  // namespace sfc

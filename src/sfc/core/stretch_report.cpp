@@ -1,0 +1,69 @@
+#include "sfc/core/stretch_report.h"
+
+#include <sstream>
+
+namespace sfc {
+
+StretchReport analyze_curve(const SpaceFillingCurve& curve,
+                            const AnalyzeOptions& options) {
+  const Universe& u = curve.universe();
+
+  StretchReport report;
+  report.curve_name = curve.name();
+  report.dim = u.dim();
+  report.n = u.cell_count();
+  report.side = u.side();
+
+  report.nn = compute_nn_stretch(curve, options.stretch);
+
+  report.davg_lower_bound = bounds::davg_lower_bound(u);
+  report.dmax_lower_bound = bounds::dmax_lower_bound(u);
+  if (report.davg_lower_bound > 0) {
+    report.davg_ratio_to_bound = report.nn.average_average / report.davg_lower_bound;
+    report.dmax_ratio_to_bound = report.nn.average_maximum / report.dmax_lower_bound;
+  }
+  const double scale = static_cast<double>(bounds::n_pow_1m1d(u));
+  report.normalized_davg = u.dim() * report.nn.average_average / scale;
+
+  if (options.all_pairs_samples > 0 && report.n >= 2) {
+    AllPairsOptions ap_options;
+    ap_options.pool = options.stretch.pool;
+    if (report.n <= options.all_pairs_exact_limit) {
+      report.all_pairs = compute_all_pairs_exact(curve, ap_options);
+    } else {
+      report.all_pairs =
+          estimate_all_pairs(curve, options.all_pairs_samples, options.seed,
+                             ap_options);
+    }
+    if (u.side() >= 2) {
+      report.allpairs_manhattan_bound = bounds::allpairs_manhattan_lower_bound(u);
+      report.allpairs_euclidean_bound = bounds::allpairs_euclidean_lower_bound(u);
+    }
+  }
+  return report;
+}
+
+std::string to_string(const StretchReport& report) {
+  std::ostringstream out;
+  out << "curve " << report.curve_name << " on " << report.dim
+      << "-d grid, side " << report.side << " (n = " << report.n << ")\n";
+  out << "  Davg (avg-avg NN stretch)   = " << report.nn.average_average << "\n";
+  out << "  Dmax (avg-max NN stretch)   = " << report.nn.average_maximum << "\n";
+  out << "  Dmin (avg-min NN stretch)   = " << report.nn.average_minimum << "\n";
+  out << "  Theorem-1 lower bound       = " << report.davg_lower_bound << "\n";
+  out << "  Davg / bound                = " << report.davg_ratio_to_bound
+      << "  (1.5 = asymptotically optimal-class)\n";
+  out << "  d*Davg/n^{1-1/d}            = " << report.normalized_davg << "\n";
+  if (report.all_pairs.has_value()) {
+    const AllPairsResult& ap = *report.all_pairs;
+    out << "  all-pairs stretch Manhattan = " << ap.avg_stretch_manhattan
+        << (ap.exact ? " (exact)" : " (sampled)") << "\n";
+    out << "  all-pairs stretch Euclidean = " << ap.avg_stretch_euclidean
+        << (ap.exact ? " (exact)" : " (sampled)") << "\n";
+    out << "  Prop-3 Manhattan bound      = " << report.allpairs_manhattan_bound << "\n";
+    out << "  Prop-3 Euclidean bound      = " << report.allpairs_euclidean_bound << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace sfc

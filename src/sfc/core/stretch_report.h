@@ -1,0 +1,53 @@
+// One-call analysis of a curve: NN-stretch, bounds, ratios, and optionally
+// the all-pairs stretch — the library's front-door API used by quickstart.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "sfc/core/all_pairs.h"
+#include "sfc/core/bounds.h"
+#include "sfc/core/nn_stretch.h"
+#include "sfc/curves/space_filling_curve.h"
+
+namespace sfc {
+
+struct AnalyzeOptions {
+  NNStretchOptions stretch;
+  /// Compute all-pairs stretch: exactly when n <= all_pairs_exact_limit,
+  /// by sampling otherwise (0 samples disables all-pairs entirely).
+  index_t all_pairs_exact_limit = index_t{1} << 12;
+  std::uint64_t all_pairs_samples = 200000;
+  std::uint64_t seed = 42;
+};
+
+struct StretchReport {
+  std::string curve_name;
+  int dim = 0;
+  index_t n = 0;
+  coord_t side = 0;
+
+  NNStretchResult nn;
+
+  /// Theorem 1 bound and where this curve sits relative to it.
+  double davg_lower_bound = 0.0;
+  double davg_ratio_to_bound = 0.0;
+  /// d·Davg/n^{1-1/d} (Theorems 2/3 predict 1 for Z and S as n grows).
+  double normalized_davg = 0.0;
+
+  double dmax_lower_bound = 0.0;
+  double dmax_ratio_to_bound = 0.0;
+
+  std::optional<AllPairsResult> all_pairs;
+  /// Proposition 3 bounds (present whenever all_pairs is).
+  double allpairs_manhattan_bound = 0.0;
+  double allpairs_euclidean_bound = 0.0;
+};
+
+StretchReport analyze_curve(const SpaceFillingCurve& curve,
+                            const AnalyzeOptions& options = {});
+
+/// Multi-line human-readable rendering.
+std::string to_string(const StretchReport& report);
+
+}  // namespace sfc

@@ -1,0 +1,112 @@
+#include "sfc/curves/bitops.h"
+
+namespace sfc {
+
+std::uint64_t spread_bits(std::uint64_t v, int stride, int bits) {
+  std::uint64_t out = 0;
+  for (int b = 0; b < bits; ++b) {
+    out |= ((v >> b) & 1ULL) << (b * stride);
+  }
+  return out;
+}
+
+std::uint64_t compact_bits(std::uint64_t v, int stride, int bits) {
+  std::uint64_t out = 0;
+  for (int b = 0; b < bits; ++b) {
+    out |= ((v >> (b * stride)) & 1ULL) << b;
+  }
+  return out;
+}
+
+std::uint64_t spread_bits_2(std::uint32_t v) {
+  std::uint64_t x = v & 0xffffULL;
+  x = (x | (x << 16)) & 0x0000ffff0000ffffULL;
+  x = (x | (x << 8)) & 0x00ff00ff00ff00ffULL;
+  x = (x | (x << 4)) & 0x0f0f0f0f0f0f0f0fULL;
+  x = (x | (x << 2)) & 0x3333333333333333ULL;
+  x = (x | (x << 1)) & 0x5555555555555555ULL;
+  return x;
+}
+
+std::uint32_t compact_bits_2(std::uint64_t v) {
+  std::uint64_t x = v & 0x5555555555555555ULL;
+  x = (x | (x >> 1)) & 0x3333333333333333ULL;
+  x = (x | (x >> 2)) & 0x0f0f0f0f0f0f0f0fULL;
+  x = (x | (x >> 4)) & 0x00ff00ff00ff00ffULL;
+  x = (x | (x >> 8)) & 0x0000ffff0000ffffULL;
+  x = (x | (x >> 16)) & 0x00000000ffffffffULL;
+  return static_cast<std::uint32_t>(x);
+}
+
+std::uint64_t spread_bits_3(std::uint32_t v) {
+  std::uint64_t x = v & 0x1fffffULL;  // 21 bits
+  x = (x | (x << 32)) & 0x001f00000000ffffULL;
+  x = (x | (x << 16)) & 0x001f0000ff0000ffULL;
+  x = (x | (x << 8)) & 0x100f00f00f00f00fULL;
+  x = (x | (x << 4)) & 0x10c30c30c30c30c3ULL;
+  x = (x | (x << 2)) & 0x1249249249249249ULL;
+  return x;
+}
+
+std::uint32_t compact_bits_3(std::uint64_t v) {
+  std::uint64_t x = v & 0x1249249249249249ULL;
+  x = (x | (x >> 2)) & 0x10c30c30c30c30c3ULL;
+  x = (x | (x >> 4)) & 0x100f00f00f00f00fULL;
+  x = (x | (x >> 8)) & 0x001f0000ff0000ffULL;
+  x = (x | (x >> 16)) & 0x001f00000000ffffULL;
+  x = (x | (x >> 32)) & 0x00000000001fffffULL;
+  return static_cast<std::uint32_t>(x);
+}
+
+index_t interleave(const Point& p, int level_bits) {
+  const int d = p.dim();
+  // Dimension 1 (component 0) is most significant within each level.
+  if (d == 1) return p[0];
+  if (d == 2 && level_bits <= 16) {
+    return (spread_bits_2(p[0]) << 1) | spread_bits_2(p[1]);
+  }
+  if (d == 3 && level_bits <= 21) {
+    return (spread_bits_3(p[0]) << 2) | (spread_bits_3(p[1]) << 1) |
+           spread_bits_3(p[2]);
+  }
+  index_t key = 0;
+  for (int i = 0; i < d; ++i) {
+    key |= spread_bits(p[i], d, level_bits) << (d - 1 - i);
+  }
+  return key;
+}
+
+Point deinterleave(index_t key, int dim, int level_bits) {
+  Point p = Point::zero(dim);
+  if (dim == 1) {
+    p[0] = static_cast<coord_t>(key);
+    return p;
+  }
+  if (dim == 2 && level_bits <= 16) {
+    p[0] = compact_bits_2(key >> 1);
+    p[1] = compact_bits_2(key);
+    return p;
+  }
+  if (dim == 3 && level_bits <= 21) {
+    p[0] = compact_bits_3(key >> 2);
+    p[1] = compact_bits_3(key >> 1);
+    p[2] = compact_bits_3(key);
+    return p;
+  }
+  for (int i = 0; i < dim; ++i) {
+    p[i] = static_cast<coord_t>(compact_bits(key >> (dim - 1 - i), dim, level_bits));
+  }
+  return p;
+}
+
+std::uint64_t gray_decode(std::uint64_t g) {
+  g ^= g >> 1;
+  g ^= g >> 2;
+  g ^= g >> 4;
+  g ^= g >> 8;
+  g ^= g >> 16;
+  g ^= g >> 32;
+  return g;
+}
+
+}  // namespace sfc

@@ -1,0 +1,44 @@
+// Bit manipulation primitives for curve key construction.
+//
+// Conventions (matching the paper's §IV-B):
+//   * An interleaved key packs k levels of d bits.  Level j (1 = most
+//     significant) holds the j-th most significant bit of every coordinate,
+//     with paper-dimension 1 (component x[0]) occupying the most significant
+//     bit *within* the level.
+//   * spread_bits(v, d) places bit b of v at position b*d, so a full
+//     interleave is  key = Σ_i spread_bits(x[i], d) << (d-1-i).
+#pragma once
+
+#include <cstdint>
+
+#include "sfc/common/types.h"
+#include "sfc/grid/point.h"
+
+namespace sfc {
+
+/// Places bit b of `v` (b < bits) at position b*stride.  Generic loop form.
+std::uint64_t spread_bits(std::uint64_t v, int stride, int bits);
+
+/// Inverse of spread_bits: gathers bits at positions 0, stride, 2*stride, ...
+std::uint64_t compact_bits(std::uint64_t v, int stride, int bits);
+
+/// Magic-mask fast path for stride 2 (d = 2), 16-bit inputs.
+std::uint64_t spread_bits_2(std::uint32_t v);
+std::uint32_t compact_bits_2(std::uint64_t v);
+
+/// Magic-mask fast path for stride 3 (d = 3), 21-bit inputs.
+std::uint64_t spread_bits_3(std::uint32_t v);
+std::uint32_t compact_bits_3(std::uint64_t v);
+
+/// Full interleave of a point's coordinates into a Morton key (paper layout:
+/// dimension 1 most significant within each level).  `level_bits` = k.
+index_t interleave(const Point& p, int level_bits);
+
+/// Inverse of interleave.
+Point deinterleave(index_t key, int dim, int level_bits);
+
+/// Binary-reflected Gray code and its inverse.
+constexpr std::uint64_t gray_encode(std::uint64_t v) { return v ^ (v >> 1); }
+std::uint64_t gray_decode(std::uint64_t g);
+
+}  // namespace sfc

@@ -1,0 +1,68 @@
+#include "sfc/curves/curve_factory.h"
+
+#include <cstdlib>
+#include <memory>
+
+#include "sfc/curves/gray_curve.h"
+#include "sfc/curves/hilbert_curve.h"
+#include "sfc/curves/permutation_curve.h"
+#include "sfc/curves/simple_curve.h"
+#include "sfc/curves/snake_curve.h"
+#include "sfc/curves/zcurve.h"
+
+namespace sfc {
+
+const std::vector<CurveFamily>& all_curve_families() {
+  static const std::vector<CurveFamily> families = {
+      CurveFamily::kZ,    CurveFamily::kSimple,  CurveFamily::kSnake,
+      CurveFamily::kGray, CurveFamily::kHilbert, CurveFamily::kRandom};
+  return families;
+}
+
+const std::vector<CurveFamily>& analytic_curve_families() {
+  static const std::vector<CurveFamily> families = {
+      CurveFamily::kZ, CurveFamily::kSimple, CurveFamily::kSnake,
+      CurveFamily::kGray, CurveFamily::kHilbert};
+  return families;
+}
+
+std::string family_name(CurveFamily family) {
+  switch (family) {
+    case CurveFamily::kZ: return "z-curve";
+    case CurveFamily::kSimple: return "simple";
+    case CurveFamily::kSnake: return "snake";
+    case CurveFamily::kGray: return "gray";
+    case CurveFamily::kHilbert: return "hilbert";
+    case CurveFamily::kRandom: return "random";
+  }
+  std::abort();
+}
+
+bool family_requires_pow2(CurveFamily family) {
+  switch (family) {
+    case CurveFamily::kZ:
+    case CurveFamily::kGray:
+    case CurveFamily::kHilbert:
+      return true;
+    case CurveFamily::kSimple:
+    case CurveFamily::kSnake:
+    case CurveFamily::kRandom:
+      return false;
+  }
+  std::abort();
+}
+
+CurvePtr make_curve(CurveFamily family, const Universe& universe,
+                    std::uint64_t seed) {
+  switch (family) {
+    case CurveFamily::kZ: return std::make_unique<ZCurve>(universe);
+    case CurveFamily::kSimple: return std::make_unique<SimpleCurve>(universe);
+    case CurveFamily::kSnake: return std::make_unique<SnakeCurve>(universe);
+    case CurveFamily::kGray: return std::make_unique<GrayCurve>(universe);
+    case CurveFamily::kHilbert: return std::make_unique<HilbertCurve>(universe);
+    case CurveFamily::kRandom: return PermutationCurve::random(universe, seed);
+  }
+  std::abort();
+}
+
+}  // namespace sfc

@@ -1,0 +1,36 @@
+// Name-based construction of every curve family, for sweeps and CLI tools.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sfc/curves/space_filling_curve.h"
+
+namespace sfc {
+
+/// Curve family identifiers understood by make_curve.
+enum class CurveFamily {
+  kZ,        // paper §IV-B (requires power-of-two side)
+  kSimple,   // paper Eq. (8)
+  kSnake,    // boustrophedon baseline
+  kGray,     // Faloutsos Gray-code curve (requires power-of-two side)
+  kHilbert,  // Skilling transpose (requires power-of-two side)
+  kRandom,   // uniformly random bijection (seeded)
+};
+
+/// All families, in canonical table order.
+const std::vector<CurveFamily>& all_curve_families();
+
+/// Families that do not require materializing an O(n) permutation table.
+const std::vector<CurveFamily>& analytic_curve_families();
+
+std::string family_name(CurveFamily family);
+
+/// True iff the family requires side = 2^k.
+bool family_requires_pow2(CurveFamily family);
+
+/// Constructs a curve on `universe`.  `seed` is used only by kRandom.
+CurvePtr make_curve(CurveFamily family, const Universe& universe,
+                    std::uint64_t seed = 1);
+
+}  // namespace sfc

@@ -1,0 +1,57 @@
+#include "sfc/curves/diagonal_curve.h"
+
+#include <cstdlib>
+
+namespace sfc {
+
+DiagonalCurve::DiagonalCurve(Universe universe) : SpaceFillingCurve(universe) {
+  if (universe_.dim() != 2) std::abort();
+}
+
+coord_t DiagonalCurve::diagonal_length(coord_t s) const {
+  const coord_t side = universe_.side();
+  // Diagonals grow 1..side then shrink back to 1.
+  const coord_t peak = side - 1;
+  return s <= peak ? s + 1 : 2 * peak - s + 1;
+}
+
+index_t DiagonalCurve::diagonal_offset(coord_t s) const {
+  const index_t side = universe_.side();
+  if (s <= side) {
+    // 1 + 2 + ... + s.
+    return static_cast<index_t>(s) * (s + 1) / 2;
+  }
+  // All n cells minus the triangular tail from diagonal s to the last one.
+  const index_t remaining = 2 * (side - 1) - s + 1;  // lengths remaining..1
+  return universe_.cell_count() - remaining * (remaining + 1) / 2;
+}
+
+index_t DiagonalCurve::index_of(const Point& cell) const {
+  const coord_t side = universe_.side();
+  const coord_t s = cell[0] + cell[1];
+  const coord_t start = s < side ? 0 : s - (side - 1);
+  const coord_t position =
+      (s % 2 == 0) ? cell[0] - start : cell[1] - start;
+  return diagonal_offset(s) + position;
+}
+
+Point DiagonalCurve::point_at(index_t key) const {
+  const coord_t side = universe_.side();
+  // Find the diagonal: linear in the number of diagonals (2*side - 1), but
+  // start from the closed-form triangular inverse for the first half.
+  coord_t s = 0;
+  while (diagonal_offset(s + 1) <= key) ++s;
+  const auto position = static_cast<coord_t>(key - diagonal_offset(s));
+  const coord_t start = s < side ? 0 : s - (side - 1);
+  Point p = Point::zero(2);
+  if (s % 2 == 0) {
+    p[0] = start + position;
+    p[1] = s - p[0];
+  } else {
+    p[1] = start + position;
+    p[0] = s - p[1];
+  }
+  return p;
+}
+
+}  // namespace sfc

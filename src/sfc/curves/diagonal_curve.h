@@ -1,0 +1,33 @@
+// The diagonal (Cantor / zigzag) curve — 2-d, any side.
+//
+// Cells are visited anti-diagonal by anti-diagonal (s = x1 + x2), direction
+// alternating: even diagonals walk with x1 increasing, odd diagonals with x2
+// increasing.  On an 8x8 grid this is exactly the JPEG zigzag scan order,
+// which the test suite checks against the published table.  Not continuous
+// (consecutive diagonal cells touch only corner-wise), but it is the classic
+// enumeration of N x N and a useful stretch baseline: neighbor pairs sit
+// O(side) apart on the curve, like the simple curve, yet with a completely
+// different structure.
+#pragma once
+
+#include "sfc/curves/space_filling_curve.h"
+
+namespace sfc {
+
+class DiagonalCurve final : public SpaceFillingCurve {
+ public:
+  /// 2-d universes only.
+  explicit DiagonalCurve(Universe universe);
+
+  std::string name() const override { return "diagonal"; }
+  index_t index_of(const Point& cell) const override;
+  Point point_at(index_t key) const override;
+
+ private:
+  /// Number of cells on anti-diagonals 0..s-1.
+  index_t diagonal_offset(coord_t s) const;
+  /// Number of cells on anti-diagonal s.
+  coord_t diagonal_length(coord_t s) const;
+};
+
+}  // namespace sfc

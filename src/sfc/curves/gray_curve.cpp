@@ -1,0 +1,22 @@
+#include "sfc/curves/gray_curve.h"
+
+#include <cstdlib>
+
+#include "sfc/curves/bitops.h"
+
+namespace sfc {
+
+GrayCurve::GrayCurve(Universe universe) : SpaceFillingCurve(universe) {
+  if (!universe_.power_of_two_side()) std::abort();
+  level_bits_ = universe_.level_bits();
+}
+
+index_t GrayCurve::index_of(const Point& cell) const {
+  return gray_decode(interleave(cell, level_bits_));
+}
+
+Point GrayCurve::point_at(index_t key) const {
+  return deinterleave(gray_encode(key), universe_.dim(), level_bits_);
+}
+
+}  // namespace sfc

@@ -1,0 +1,30 @@
+// The Gray-code curve (Faloutsos [9, 10]).
+//
+// Cells are visited in the order in which their *interleaved* coordinate
+// string appears in the binary-reflected Gray code sequence:
+//
+//   key(α) = gray⁻¹( interleave(α) )      interleave as in the Z curve.
+//
+// Consecutive keys therefore differ in exactly one bit of the interleaved
+// string — a jump of a power of two along a single dimension — which improves
+// some locality measures over the Z curve but does not make the curve
+// continuous.  Requires a power-of-two side.
+#pragma once
+
+#include "sfc/curves/space_filling_curve.h"
+
+namespace sfc {
+
+class GrayCurve final : public SpaceFillingCurve {
+ public:
+  explicit GrayCurve(Universe universe);
+
+  std::string name() const override { return "gray"; }
+  index_t index_of(const Point& cell) const override;
+  Point point_at(index_t key) const override;
+
+ private:
+  int level_bits_;
+};
+
+}  // namespace sfc

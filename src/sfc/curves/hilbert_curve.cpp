@@ -1,0 +1,102 @@
+#include "sfc/curves/hilbert_curve.h"
+
+#include <array>
+#include <cstdlib>
+
+#include "sfc/curves/bitops.h"
+
+namespace sfc {
+
+namespace {
+
+// Skilling's AxestoTranspose: converts grid coordinates into the transposed
+// Hilbert index (in place).  X[i] are b-bit values.
+void axes_to_transpose(std::array<std::uint32_t, kMaxDim>& x, int b, int d) {
+  if (b == 0 || d < 2) return;
+  const std::uint32_t m = 1u << (b - 1);
+  // Inverse undo of the excess-work loop in transpose_to_axes.
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = 0; i < d; ++i) {
+      if (x[static_cast<std::size_t>(i)] & q) {
+        x[0] ^= p;  // invert low bits of x[0]
+      } else {
+        const std::uint32_t t = (x[0] ^ x[static_cast<std::size_t>(i)]) & p;
+        x[0] ^= t;
+        x[static_cast<std::size_t>(i)] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < d; ++i) x[static_cast<std::size_t>(i)] ^= x[static_cast<std::size_t>(i - 1)];
+  std::uint32_t t = 0;
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    if (x[static_cast<std::size_t>(d - 1)] & q) t ^= q - 1;
+  }
+  for (int i = 0; i < d; ++i) x[static_cast<std::size_t>(i)] ^= t;
+}
+
+// Skilling's TransposetoAxes: converts a transposed Hilbert index back into
+// grid coordinates (in place).
+void transpose_to_axes(std::array<std::uint32_t, kMaxDim>& x, int b, int d) {
+  if (b == 0 || d < 2) return;
+  const std::uint32_t n = 2u << (b - 1);
+  // Gray decode by H ^ (H/2).
+  std::uint32_t t = x[static_cast<std::size_t>(d - 1)] >> 1;
+  for (int i = d - 1; i > 0; --i) {
+    x[static_cast<std::size_t>(i)] ^= x[static_cast<std::size_t>(i - 1)];
+  }
+  x[0] ^= t;
+  // Undo excess work.
+  for (std::uint32_t q = 2; q != n; q <<= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = d - 1; i >= 0; --i) {
+      if (x[static_cast<std::size_t>(i)] & q) {
+        x[0] ^= p;
+      } else {
+        const std::uint32_t s = (x[0] ^ x[static_cast<std::size_t>(i)]) & p;
+        x[0] ^= s;
+        x[static_cast<std::size_t>(i)] ^= s;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+HilbertCurve::HilbertCurve(Universe universe) : SpaceFillingCurve(universe) {
+  if (!universe_.power_of_two_side()) std::abort();
+  level_bits_ = universe_.level_bits();
+}
+
+index_t HilbertCurve::index_of(const Point& cell) const {
+  const int d = universe_.dim();
+  if (d == 1) return cell[0];
+  std::array<std::uint32_t, kMaxDim> x{};
+  for (int i = 0; i < d; ++i) x[static_cast<std::size_t>(i)] = cell[i];
+  axes_to_transpose(x, level_bits_, d);
+  // The transposed form distributes index bits across x[0..d-1] with x[0]
+  // carrying the most significant bit of each level — identical to our
+  // Morton interleave convention.
+  Point transposed = Point::zero(d);
+  for (int i = 0; i < d; ++i) transposed[i] = x[static_cast<std::size_t>(i)];
+  return interleave(transposed, level_bits_);
+}
+
+Point HilbertCurve::point_at(index_t key) const {
+  const int d = universe_.dim();
+  if (d == 1) {
+    Point p = Point::zero(1);
+    p[0] = static_cast<coord_t>(key);
+    return p;
+  }
+  const Point transposed = deinterleave(key, d, level_bits_);
+  std::array<std::uint32_t, kMaxDim> x{};
+  for (int i = 0; i < d; ++i) x[static_cast<std::size_t>(i)] = transposed[i];
+  transpose_to_axes(x, level_bits_, d);
+  Point p = Point::zero(d);
+  for (int i = 0; i < d; ++i) p[i] = x[static_cast<std::size_t>(i)];
+  return p;
+}
+
+}  // namespace sfc

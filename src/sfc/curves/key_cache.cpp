@@ -1,0 +1,17 @@
+#include "sfc/curves/key_cache.h"
+
+#include "sfc/parallel/parallel_for.h"
+
+namespace sfc {
+
+KeyCache::KeyCache(const SpaceFillingCurve& curve, ThreadPool& pool)
+    : universe_(curve.universe()), keys_(universe_.cell_count()) {
+  parallel_for_chunks(pool, universe_.cell_count(), kDefaultGrain,
+                      [&](const ChunkRange& range) {
+                        for (index_t id = range.begin; id < range.end; ++id) {
+                          keys_[id] = curve.index_of(universe_.from_row_major(id));
+                        }
+                      });
+}
+
+}  // namespace sfc

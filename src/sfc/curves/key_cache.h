@@ -1,0 +1,44 @@
+// Materialized key table for a curve.
+//
+// The metric engines repeatedly evaluate π on the same cells (each cell is
+// visited once as a center and up to 2d times as a neighbor).  KeyCache
+// stores `key[row_major_id]` once — built in parallel — turning each π
+// evaluation into one array load.  This is the "key cache vs on-the-fly
+// encode" trade-off ablated in perf_metrics_scaling: the cache costs 8n bytes
+// and wins whenever encode is slower than one cache-missing load.
+#pragma once
+
+#include <vector>
+
+#include "sfc/curves/space_filling_curve.h"
+#include "sfc/parallel/thread_pool.h"
+
+namespace sfc {
+
+class KeyCache {
+ public:
+  /// Builds the table with `pool` (one encode per cell).
+  KeyCache(const SpaceFillingCurve& curve, ThreadPool& pool);
+
+  const Universe& universe() const { return universe_; }
+
+  index_t key_of_id(index_t row_major_id) const { return keys_[row_major_id]; }
+  index_t key_of(const Point& cell) const {
+    return keys_[universe_.row_major_index(cell)];
+  }
+
+  index_t curve_distance_by_id(index_t id_a, index_t id_b) const {
+    const index_t ka = keys_[id_a], kb = keys_[id_b];
+    return ka > kb ? ka - kb : kb - ka;
+  }
+
+  /// Memory footprint heuristic: caches above this many cells are not built
+  /// implicitly by the metric engines (8 GiB of keys at the default).
+  static constexpr index_t kDefaultMaxCells = index_t{1} << 30;
+
+ private:
+  Universe universe_;
+  std::vector<index_t> keys_;
+};
+
+}  // namespace sfc

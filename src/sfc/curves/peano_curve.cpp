@@ -1,0 +1,86 @@
+#include "sfc/curves/peano_curve.h"
+
+#include <array>
+#include <cstdlib>
+
+#include "sfc/common/math.h"
+
+namespace sfc {
+
+namespace {
+
+int ternary_levels(coord_t side) {
+  int levels = 0;
+  index_t value = side;
+  while (value > 1) {
+    if (value % 3 != 0) return -1;
+    value /= 3;
+    ++levels;
+  }
+  return levels;
+}
+
+}  // namespace
+
+PeanoCurve::PeanoCurve(Universe universe) : SpaceFillingCurve(universe) {
+  levels_ = ternary_levels(universe_.side());
+  if (levels_ < 0) std::abort();  // side must be 3^k
+}
+
+index_t PeanoCurve::index_of(const Point& cell) const {
+  const int d = universe_.dim();
+  // Coordinate digits, most significant first.
+  std::array<std::array<int, 32>, kMaxDim> digits{};
+  for (int i = 0; i < d; ++i) {
+    coord_t value = cell[i];
+    for (int j = levels_ - 1; j >= 0; --j) {
+      digits[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          static_cast<int>(value % 3);
+      value /= 3;
+    }
+  }
+  // Emit key digits in order; S_i tracks the sum of earlier key digits
+  // belonging to dimensions other than i.
+  std::array<int, kMaxDim> other_digit_sum{};
+  index_t key = 0;
+  for (int j = 0; j < levels_; ++j) {
+    for (int i = 0; i < d; ++i) {
+      const int coordinate_digit = digits[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      const bool reflect = (other_digit_sum[static_cast<std::size_t>(i)] % 2) == 1;
+      const int key_digit = reflect ? 2 - coordinate_digit : coordinate_digit;
+      key = key * 3 + static_cast<index_t>(key_digit);
+      for (int m = 0; m < d; ++m) {
+        if (m != i) other_digit_sum[static_cast<std::size_t>(m)] += key_digit;
+      }
+    }
+  }
+  return key;
+}
+
+Point PeanoCurve::point_at(index_t key) const {
+  const int d = universe_.dim();
+  // Extract key digits, most significant first.
+  std::array<int, 32 * kMaxDim> key_digits{};
+  const int total_digits = levels_ * d;
+  for (int m = total_digits - 1; m >= 0; --m) {
+    key_digits[static_cast<std::size_t>(m)] = static_cast<int>(key % 3);
+    key /= 3;
+  }
+  Point cell = Point::zero(d);
+  std::array<int, kMaxDim> other_digit_sum{};
+  int m = 0;
+  for (int j = 0; j < levels_; ++j) {
+    for (int i = 0; i < d; ++i, ++m) {
+      const int key_digit = key_digits[static_cast<std::size_t>(m)];
+      const bool reflect = (other_digit_sum[static_cast<std::size_t>(i)] % 2) == 1;
+      const int coordinate_digit = reflect ? 2 - key_digit : key_digit;
+      cell[i] = cell[i] * 3 + static_cast<coord_t>(coordinate_digit);
+      for (int mm = 0; mm < d; ++mm) {
+        if (mm != i) other_digit_sum[static_cast<std::size_t>(mm)] += key_digit;
+      }
+    }
+  }
+  return cell;
+}
+
+}  // namespace sfc

@@ -1,0 +1,40 @@
+// The Peano curve (Peano 1890) in arbitrary dimension, side = 3^k.
+//
+// Construction follows Peano's original ternary-digit formula, generalized
+// to d dimensions: writing the key in base 3 as digits t_1 t_2 ... t_{dk}
+// (most significant first, dimension 1 first within each level), coordinate
+// i's level-j digit is
+//
+//   c_{i,j} = kappa^{S}( t_{(j-1)d + i} ),   kappa(t) = 2 - t,
+//
+// where the reflection count S is the sum of all *earlier* key digits that
+// belong to other dimensions.  The curve is continuous (consecutive keys are
+// nearest neighbors), which the test suite verifies exhaustively.
+//
+// Included for two reasons: it is the historically first SFC, and it extends
+// the continuous-curve ablation (snake, Hilbert) to non-power-of-two sides,
+// exercising the bound formulas away from the paper's side = 2^k setting.
+#pragma once
+
+#include "sfc/curves/space_filling_curve.h"
+
+namespace sfc {
+
+class PeanoCurve final : public SpaceFillingCurve {
+ public:
+  /// Universe side must be a power of three.
+  explicit PeanoCurve(Universe universe);
+
+  std::string name() const override { return "peano"; }
+  index_t index_of(const Point& cell) const override;
+  Point point_at(index_t key) const override;
+  bool is_continuous() const override { return true; }
+
+  /// k with side = 3^k.
+  int level_count() const { return levels_; }
+
+ private:
+  int levels_;
+};
+
+}  // namespace sfc

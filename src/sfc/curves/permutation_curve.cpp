@@ -1,0 +1,37 @@
+#include "sfc/curves/permutation_curve.h"
+
+#include <cstdlib>
+
+#include "sfc/rng/sampling.h"
+
+namespace sfc {
+
+PermutationCurve::PermutationCurve(Universe universe, std::vector<index_t> keys,
+                                   std::string name)
+    : SpaceFillingCurve(universe), keys_(std::move(keys)), name_(std::move(name)) {
+  const index_t n = universe_.cell_count();
+  if (keys_.size() != n) std::abort();
+  inverse_.assign(n, n);  // n = "unset" sentinel
+  for (index_t id = 0; id < n; ++id) {
+    const index_t key = keys_[id];
+    if (key >= n || inverse_[key] != n) std::abort();  // not a bijection
+    inverse_[key] = id;
+  }
+}
+
+CurvePtr PermutationCurve::random(Universe universe, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  auto keys = random_permutation(universe.cell_count(), rng);
+  return std::make_unique<PermutationCurve>(universe, std::move(keys),
+                                            "random-" + std::to_string(seed));
+}
+
+index_t PermutationCurve::index_of(const Point& cell) const {
+  return keys_[universe_.row_major_index(cell)];
+}
+
+Point PermutationCurve::point_at(index_t key) const {
+  return universe_.from_row_major(inverse_[key]);
+}
+
+}  // namespace sfc

@@ -1,0 +1,37 @@
+// An explicit bijection given as a permutation table.
+//
+// The paper's definition of an SFC is *any* bijection π : U → {0..n-1}
+// (§III); PermutationCurve realizes that full generality.  Random instances
+// serve as adversarial baselines in the lower-bound experiments (Theorem 1
+// must hold for them too), and tiny explicit instances realize the Figure-1
+// toy curves.  Keys are indexed by the universe's row-major cell id.
+#pragma once
+
+#include <vector>
+
+#include "sfc/curves/space_filling_curve.h"
+#include "sfc/rng/xoshiro256.h"
+
+namespace sfc {
+
+class PermutationCurve final : public SpaceFillingCurve {
+ public:
+  /// `keys[row_major_id]` = curve position of that cell.  Must be a
+  /// permutation of {0..n-1}; validated at construction (aborts otherwise).
+  PermutationCurve(Universe universe, std::vector<index_t> keys,
+                   std::string name = "permutation");
+
+  /// Uniformly random bijection.
+  static CurvePtr random(Universe universe, std::uint64_t seed);
+
+  std::string name() const override { return name_; }
+  index_t index_of(const Point& cell) const override;
+  Point point_at(index_t key) const override;
+
+ private:
+  std::vector<index_t> keys_;      // row-major id -> curve key
+  std::vector<index_t> inverse_;   // curve key -> row-major id
+  std::string name_;
+};
+
+}  // namespace sfc

@@ -1,0 +1,3 @@
+#include "sfc/curves/simple_curve.h"
+
+// Header-only implementation; this translation unit anchors the vtable.

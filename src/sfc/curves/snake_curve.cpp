@@ -1,0 +1,49 @@
+#include "sfc/curves/snake_curve.h"
+
+namespace sfc {
+
+// Mixed-radix boustrophedon code.  Writing the key in base `side` as digits
+// b_d b_{d-1} ... b_1 (b_d most significant, consistent with the simple
+// curve's S(α) = Σ x_i side^{i-1}):
+//
+//   b_i = x_i                 if the sum of the *original* digits above
+//                             position i (x_{i+1} + ... + x_d) is even,
+//   b_i = side-1-x_i          otherwise.
+//
+// Incrementing the key by one either bumps b_1 (moving one cell along
+// dimension 1) or carries, flipping direction exactly like a snake.
+
+index_t SnakeCurve::index_of(const Point& cell) const {
+  const int d = universe_.dim();
+  const index_t side = universe_.side();
+  index_t key = 0;
+  std::uint64_t parity_above = 0;
+  for (int i = d - 1; i >= 0; --i) {
+    const coord_t digit = (parity_above % 2 == 0) ? cell[i] : static_cast<coord_t>(side - 1 - cell[i]);
+    key = key * side + digit;
+    parity_above += cell[i];
+  }
+  return key;
+}
+
+Point SnakeCurve::point_at(index_t key) const {
+  const int d = universe_.dim();
+  const index_t side = universe_.side();
+  // Extract reflected digits b_i, most significant (i = d) first, undoing the
+  // reflection as the original digits above become known.
+  Point p = Point::zero(d);
+  std::uint64_t parity_above = 0;
+  index_t divisor = 1;
+  for (int i = 1; i < d; ++i) divisor *= side;
+  for (int i = d - 1; i >= 0; --i) {
+    const auto digit = static_cast<coord_t>(key / divisor);
+    key %= divisor;
+    if (divisor > 1) divisor /= side;
+    const coord_t original = (parity_above % 2 == 0) ? digit : static_cast<coord_t>(side - 1 - digit);
+    p[i] = original;
+    parity_above += original;
+  }
+  return p;
+}
+
+}  // namespace sfc

@@ -1,0 +1,29 @@
+// The snake (boustrophedon) curve.
+//
+// Row-major order in which each row is traversed in alternating direction, so
+// consecutive keys are always nearest neighbors: the curve is a Hamiltonian
+// path of the grid graph (is_continuous() == true).  Generalizes to any d by
+// reflecting each digit according to the parity of the more-significant
+// digits of the mixed-radix expansion.  Works for any side.
+//
+// Included as a baseline: it is the minimal *continuous* modification of the
+// paper's simple curve, useful for the ablation "does continuity change the
+// average NN-stretch?" (it does not, asymptotically — the Theorem 1 bound
+// dominates).
+#pragma once
+
+#include "sfc/curves/space_filling_curve.h"
+
+namespace sfc {
+
+class SnakeCurve final : public SpaceFillingCurve {
+ public:
+  explicit SnakeCurve(Universe universe) : SpaceFillingCurve(universe) {}
+
+  std::string name() const override { return "snake"; }
+  index_t index_of(const Point& cell) const override;
+  Point point_at(index_t key) const override;
+  bool is_continuous() const override { return true; }
+};
+
+}  // namespace sfc

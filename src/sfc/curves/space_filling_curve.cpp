@@ -1,0 +1,11 @@
+#include "sfc/curves/space_filling_curve.h"
+
+namespace sfc {
+
+index_t SpaceFillingCurve::curve_distance(const Point& a, const Point& b) const {
+  const index_t ka = index_of(a);
+  const index_t kb = index_of(b);
+  return ka > kb ? ka - kb : kb - ka;
+}
+
+}  // namespace sfc

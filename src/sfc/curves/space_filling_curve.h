@@ -1,0 +1,51 @@
+// The SFC abstraction.
+//
+// Following the paper (§III), a space filling curve is *any* bijection
+// π : U → {0, ..., n-1}; it need not be continuous or self-avoiding (the
+// paper's lower bounds therefore also apply to the classical non-intersecting
+// curves).  index_of is the paper's π(α); curve_distance is ∆π(α,β).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sfc/common/types.h"
+#include "sfc/grid/point.h"
+#include "sfc/grid/universe.h"
+
+namespace sfc {
+
+class SpaceFillingCurve {
+ public:
+  explicit SpaceFillingCurve(Universe universe) : universe_(universe) {}
+  virtual ~SpaceFillingCurve() = default;
+
+  SpaceFillingCurve(const SpaceFillingCurve&) = delete;
+  SpaceFillingCurve& operator=(const SpaceFillingCurve&) = delete;
+
+  const Universe& universe() const { return universe_; }
+
+  /// Human-readable curve name (used in tables and reports).
+  virtual std::string name() const = 0;
+
+  /// π(α): the position of cell α on the curve, in [0, n).
+  virtual index_t index_of(const Point& cell) const = 0;
+
+  /// π⁻¹(key): the cell at position `key` on the curve.
+  virtual Point point_at(index_t key) const = 0;
+
+  /// ∆π(α,β) = |π(α) − π(β)|.
+  index_t curve_distance(const Point& a, const Point& b) const;
+
+  /// True iff consecutive curve positions are always nearest neighbors in U
+  /// (the classical "continuous curve" property; Z and Gray curves are not
+  /// continuous, Hilbert/snake/simple... see each curve's documentation).
+  virtual bool is_continuous() const { return false; }
+
+ protected:
+  Universe universe_;
+};
+
+using CurvePtr = std::unique_ptr<SpaceFillingCurve>;
+
+}  // namespace sfc

@@ -1,0 +1,73 @@
+#include "sfc/curves/spiral_curve.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace sfc {
+
+SpiralCurve::SpiralCurve(Universe universe) : SpaceFillingCurve(universe) {
+  if (universe_.dim() != 2) std::abort();
+}
+
+index_t SpiralCurve::ring_offset(coord_t r) const {
+  const index_t side = universe_.side();
+  const index_t inner = side - 2 * static_cast<index_t>(r);
+  return universe_.cell_count() - inner * inner;
+}
+
+index_t SpiralCurve::index_of(const Point& cell) const {
+  const coord_t side = universe_.side();
+  const coord_t r = std::min(std::min(cell[0], cell[1]),
+                             std::min(side - 1 - cell[0], side - 1 - cell[1]));
+  const coord_t m = side - 2 * r;  // ring's square side
+  const index_t base = ring_offset(r);
+  if (m == 1) return base;  // center cell of an odd grid
+  const coord_t x = cell[0] - r, y = cell[1] - r;  // ring-local, in [0, m)
+  const coord_t edge = m - 1;
+  index_t position;
+  if (y == 0) {
+    position = x;                       // bottom edge, rightward
+  } else if (x == edge) {
+    position = edge + y;                // right edge, upward
+  } else if (y == edge) {
+    position = 2 * static_cast<index_t>(edge) + (edge - x);  // top, leftward
+  } else {
+    position = 3 * static_cast<index_t>(edge) + (edge - y);  // left, downward
+  }
+  return base + position;
+}
+
+Point SpiralCurve::point_at(index_t key) const {
+  const coord_t side = universe_.side();
+  // Ring from the closed-form offset: find the largest valid ring index r
+  // with ring_offset(r) <= key.  Rings run 0 .. floor((side-1)/2).
+  coord_t r = 0;
+  while (r < (side - 1) / 2 && ring_offset(r + 1) <= key) ++r;
+  const coord_t m = side - 2 * r;
+  index_t position = key - ring_offset(r);
+  Point p = Point::zero(2);
+  if (m == 1) {
+    p[0] = p[1] = r;
+    return p;
+  }
+  const auto edge = static_cast<index_t>(m - 1);
+  coord_t x, y;
+  if (position < edge) {
+    x = static_cast<coord_t>(position);
+    y = 0;
+  } else if (position < 2 * edge) {
+    x = static_cast<coord_t>(edge);
+    y = static_cast<coord_t>(position - edge);
+  } else if (position < 3 * edge) {
+    x = static_cast<coord_t>(edge - (position - 2 * edge));
+    y = static_cast<coord_t>(edge);
+  } else {
+    x = 0;
+    y = static_cast<coord_t>(edge - (position - 3 * edge));
+  }
+  p[0] = r + x;
+  p[1] = r + y;
+  return p;
+}
+
+}  // namespace sfc

@@ -1,0 +1,30 @@
+// The spiral curve — 2-d, any side.
+//
+// Visits the outermost ring of the grid counter-clockwise (bottom edge
+// rightward, right edge upward, top edge leftward, left edge downward), then
+// recurses into the next ring.  Consecutive cells are always grid neighbors,
+// including the hand-off between rings, so the curve is continuous — yet its
+// average NN stretch is Θ(n^{1/2}) like every curve (Theorem 1), making it a
+// useful "continuity is not enough" data point alongside snake and Hilbert.
+#pragma once
+
+#include "sfc/curves/space_filling_curve.h"
+
+namespace sfc {
+
+class SpiralCurve final : public SpaceFillingCurve {
+ public:
+  /// 2-d universes only.
+  explicit SpiralCurve(Universe universe);
+
+  std::string name() const override { return "spiral"; }
+  index_t index_of(const Point& cell) const override;
+  Point point_at(index_t key) const override;
+  bool is_continuous() const override { return true; }
+
+ private:
+  /// Cells in rings 0..r-1: side^2 - (side - 2r)^2.
+  index_t ring_offset(coord_t r) const;
+};
+
+}  // namespace sfc

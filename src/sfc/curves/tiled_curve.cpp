@@ -1,0 +1,45 @@
+#include "sfc/curves/tiled_curve.h"
+
+#include <cstdlib>
+
+#include "sfc/common/math.h"
+
+namespace sfc {
+
+TiledCurve::TiledCurve(Universe universe, coord_t tile_side)
+    : SpaceFillingCurve(universe), tile_side_(tile_side) {
+  if (tile_side < 1 || universe_.side() % tile_side != 0) std::abort();
+  cells_per_tile_ = ipow(tile_side, universe_.dim());
+  tiles_per_side_ = universe_.side() / tile_side;
+}
+
+std::string TiledCurve::name() const {
+  return "tiled-" + std::to_string(tile_side_);
+}
+
+index_t TiledCurve::index_of(const Point& cell) const {
+  const int d = universe_.dim();
+  index_t tile_index = 0, within_index = 0;
+  for (int i = d - 1; i >= 0; --i) {
+    tile_index = tile_index * tiles_per_side_ + cell[i] / tile_side_;
+    within_index = within_index * tile_side_ + cell[i] % tile_side_;
+  }
+  return tile_index * cells_per_tile_ + within_index;
+}
+
+Point TiledCurve::point_at(index_t key) const {
+  const int d = universe_.dim();
+  index_t tile_index = key / cells_per_tile_;
+  index_t within_index = key % cells_per_tile_;
+  Point cell = Point::zero(d);
+  for (int i = 0; i < d; ++i) {
+    const auto tile_coord = static_cast<coord_t>(tile_index % tiles_per_side_);
+    const auto within_coord = static_cast<coord_t>(within_index % tile_side_);
+    tile_index /= tiles_per_side_;
+    within_index /= tile_side_;
+    cell[i] = tile_coord * tile_side_ + within_coord;
+  }
+  return cell;
+}
+
+}  // namespace sfc

@@ -1,0 +1,34 @@
+// Blocked (tiled) row-major curve.
+//
+// The grid is partitioned into tiles of side T (T divides the universe
+// side); tiles are visited in row-major order and cells within a tile in
+// row-major order.  T = 1 and T = side both degenerate to the simple curve;
+// intermediate T interpolates between the simple curve and the recursive
+// blocking of the Z curve (T = side/2 one level of blocking, and so on).
+//
+// Included as the ablation axis for "how much recursive blocking does the
+// stretch need?" — the Z curve is the T -> fully recursive limit.
+#pragma once
+
+#include "sfc/curves/space_filling_curve.h"
+
+namespace sfc {
+
+class TiledCurve final : public SpaceFillingCurve {
+ public:
+  /// tile_side must divide the universe side.
+  TiledCurve(Universe universe, coord_t tile_side);
+
+  std::string name() const override;
+  index_t index_of(const Point& cell) const override;
+  Point point_at(index_t key) const override;
+
+  coord_t tile_side() const { return tile_side_; }
+
+ private:
+  coord_t tile_side_;
+  index_t cells_per_tile_;
+  coord_t tiles_per_side_;
+};
+
+}  // namespace sfc

@@ -1,0 +1,52 @@
+#include "sfc/curves/toy_curves.h"
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "sfc/curves/permutation_curve.h"
+
+namespace sfc {
+
+namespace {
+
+// Row-major ids on the 2x2 universe: id = x1 + 2*x2.
+//   D=(0,0)->0, B=(1,0)->1, A=(0,1)->2, C=(1,1)->3.
+constexpr index_t kIdD = 0, kIdB = 1, kIdA = 2, kIdC = 3;
+
+CurvePtr make_toy(const std::vector<index_t>& order_by_id, std::string name) {
+  Universe u(2, 2);
+  return std::make_unique<PermutationCurve>(u, order_by_id, std::move(name));
+}
+
+}  // namespace
+
+CurvePtr make_figure1_pi1() {
+  // Order C, A, B, D  =>  π(C)=0, π(A)=1, π(B)=2, π(D)=3.
+  std::vector<index_t> keys(4);
+  keys[kIdC] = 0;
+  keys[kIdA] = 1;
+  keys[kIdB] = 2;
+  keys[kIdD] = 3;
+  return make_toy(keys, "fig1-pi1");
+}
+
+CurvePtr make_figure1_pi2() {
+  // Order A, B, C, D  =>  π(A)=0, π(B)=1, π(C)=2, π(D)=3.
+  std::vector<index_t> keys(4);
+  keys[kIdA] = 0;
+  keys[kIdB] = 1;
+  keys[kIdC] = 2;
+  keys[kIdD] = 3;
+  return make_toy(keys, "fig1-pi2");
+}
+
+char figure1_label(const Point& cell) {
+  if (cell == Point{0, 1}) return 'A';
+  if (cell == Point{1, 0}) return 'B';
+  if (cell == Point{1, 1}) return 'C';
+  if (cell == Point{0, 0}) return 'D';
+  std::abort();
+}
+
+}  // namespace sfc

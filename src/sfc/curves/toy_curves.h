@@ -1,0 +1,27 @@
+// The two 2x2 toy curves of the paper's Figure 1.
+//
+// Cell layout (x1 horizontal = dimension 1, x2 vertical = dimension 2,
+// origin bottom-left):
+//
+//        A  C            A=(0,1)  C=(1,1)
+//        D  B            D=(0,0)  B=(1,0)
+//
+// π1 orders the cells C, A, B, D and π2 orders them A, B, C, D.  The paper
+// works out Davg(π1)=1.5, Davg(π2)=2, Dmax(π1)=2, Dmax(π2)=2.5; the test
+// suite and bench/repro_fig1_toy_curves verify these exactly.
+#pragma once
+
+#include "sfc/curves/space_filling_curve.h"
+
+namespace sfc {
+
+/// The left curve of Figure 1 (order C, A, B, D).
+CurvePtr make_figure1_pi1();
+
+/// The right, self-intersecting curve of Figure 1 (order A, B, C, D).
+CurvePtr make_figure1_pi2();
+
+/// Label (A/B/C/D) of a Figure-1 cell, for figure reproduction.
+char figure1_label(const Point& cell);
+
+}  // namespace sfc

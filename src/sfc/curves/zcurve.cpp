@@ -1,0 +1,62 @@
+#include "sfc/curves/zcurve.h"
+
+#include <cstdlib>
+
+#include "sfc/curves/bitops.h"
+
+namespace sfc {
+
+ZCurve::ZCurve(Universe universe) : SpaceFillingCurve(universe) {
+  if (!universe_.power_of_two_side()) std::abort();
+  level_bits_ = universe_.level_bits();
+}
+
+index_t ZCurve::index_of(const Point& cell) const {
+  return interleave(cell, level_bits_);
+}
+
+Point ZCurve::point_at(index_t key) const {
+  return deinterleave(key, universe_.dim(), level_bits_);
+}
+
+PermutedZCurve::PermutedZCurve(Universe universe, std::vector<int> order)
+    : SpaceFillingCurve(universe), order_(std::move(order)) {
+  if (!universe_.power_of_two_side()) std::abort();
+  level_bits_ = universe_.level_bits();
+  // order_ must be a permutation of {0..d-1}.
+  const int d = universe_.dim();
+  if (order_.size() != static_cast<std::size_t>(d)) std::abort();
+  std::vector<bool> seen(static_cast<std::size_t>(d), false);
+  for (int dim : order_) {
+    if (dim < 0 || dim >= d || seen[static_cast<std::size_t>(dim)]) std::abort();
+    seen[static_cast<std::size_t>(dim)] = true;
+  }
+}
+
+std::string PermutedZCurve::name() const {
+  std::string suffix;
+  for (int dim : order_) suffix += std::to_string(dim + 1);
+  return "z-curve-order" + suffix;
+}
+
+index_t PermutedZCurve::index_of(const Point& cell) const {
+  const int d = universe_.dim();
+  index_t key = 0;
+  for (int pos = 0; pos < d; ++pos) {
+    key |= spread_bits(cell[order_[static_cast<std::size_t>(pos)]], d, level_bits_)
+           << (d - 1 - pos);
+  }
+  return key;
+}
+
+Point PermutedZCurve::point_at(index_t key) const {
+  const int d = universe_.dim();
+  Point cell = Point::zero(d);
+  for (int pos = 0; pos < d; ++pos) {
+    cell[order_[static_cast<std::size_t>(pos)]] = static_cast<coord_t>(
+        compact_bits(key >> (d - 1 - pos), d, level_bits_));
+  }
+  return cell;
+}
+
+}  // namespace sfc

@@ -1,0 +1,53 @@
+// The Z curve (Morton order) — paper §IV-B.
+//
+// Z(x) is the integer whose binary expansion interleaves the coordinate bits
+// level by level:  x1's MSB, x2's MSB, ..., xd's MSB, then the second bits,
+// and so on (dimension 1 most significant within each level).  The paper's
+// worked example is Z(101, 010, 011) = 100011101₂ = 285 for d = 3, k = 3.
+//
+// Requires a power-of-two side (side = 2^k).  Not continuous: consecutive
+// keys can be far apart in space, but Theorem 2 shows its average NN-stretch
+// is within 1.5x of the optimal.
+#pragma once
+
+#include <vector>
+
+#include "sfc/curves/space_filling_curve.h"
+
+namespace sfc {
+
+class ZCurve final : public SpaceFillingCurve {
+ public:
+  explicit ZCurve(Universe universe);
+
+  std::string name() const override { return "z-curve"; }
+  index_t index_of(const Point& cell) const override;
+  Point point_at(index_t key) const override;
+
+ private:
+  int level_bits_;
+};
+
+/// Z curve with an arbitrary per-level dimension order.
+///
+/// The paper notes (§IV-B) that "different Z curves are possible by taking
+/// the dimensions in a different order during interleaving, but these are
+/// all equivalent ... at least for the metrics that we consider".  This
+/// class realizes those variants so the claim can be verified empirically
+/// (bench/ablation_z_dimension_order): `order[pos]` is the 0-based dimension
+/// placed at significance position `pos` within each level (pos 0 = most
+/// significant).  The identity order reproduces ZCurve exactly.
+class PermutedZCurve final : public SpaceFillingCurve {
+ public:
+  PermutedZCurve(Universe universe, std::vector<int> order);
+
+  std::string name() const override;
+  index_t index_of(const Point& cell) const override;
+  Point point_at(index_t key) const override;
+
+ private:
+  int level_bits_;
+  std::vector<int> order_;  // significance position -> dimension
+};
+
+}  // namespace sfc

@@ -1,0 +1,36 @@
+#include "sfc/grid/box.h"
+
+#include <cstdlib>
+
+namespace sfc {
+
+Box::Box(Point lo, Point hi) : lo_(lo), hi_(hi) {
+  if (lo.dim() != hi.dim() || lo.dim() < 1) std::abort();
+  for (int i = 0; i < lo.dim(); ++i) {
+    if (lo[i] > hi[i]) std::abort();
+  }
+}
+
+index_t Box::cell_count() const {
+  index_t count = 1;
+  for (int i = 0; i < dim(); ++i) {
+    count *= static_cast<index_t>(hi_[i] - lo_[i]) + 1;
+  }
+  return count;
+}
+
+bool Box::contains(const Point& p) const {
+  if (p.dim() != dim()) return false;
+  for (int i = 0; i < dim(); ++i) {
+    if (p[i] < lo_[i] || p[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+Box Box::full(const Universe& u) {
+  Point hi = Point::zero(u.dim());
+  for (int i = 0; i < u.dim(); ++i) hi[i] = u.side() - 1;
+  return Box(Point::zero(u.dim()), hi);
+}
+
+}  // namespace sfc

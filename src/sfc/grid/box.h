@@ -1,0 +1,58 @@
+// Axis-aligned boxes (hyper-rectangles) of grid cells.
+//
+// Used by the range-query application substrate (the clustering metric of
+// Moon et al. counts how many contiguous curve segments cover a rectangular
+// query region) and by test fixtures that need sub-grid enumeration.
+#pragma once
+
+#include <cstdint>
+
+#include "sfc/common/types.h"
+#include "sfc/grid/point.h"
+#include "sfc/grid/universe.h"
+
+namespace sfc {
+
+/// Inclusive box [lo, hi] in every dimension.
+class Box {
+ public:
+  Box(Point lo, Point hi);
+
+  const Point& lo() const { return lo_; }
+  const Point& hi() const { return hi_; }
+  int dim() const { return lo_.dim(); }
+
+  /// Number of cells inside the box.
+  index_t cell_count() const;
+
+  bool contains(const Point& p) const;
+
+  /// Invokes fn(cell) for every cell in the box, in row-major order.
+  template <typename Fn>
+  void for_each_cell(Fn&& fn) const {
+    Point p = lo_;
+    const int d = dim();
+    while (true) {
+      fn(static_cast<const Point&>(p));
+      int i = 0;
+      while (i < d) {
+        if (p[i] < hi_[i]) {
+          ++p[i];
+          break;
+        }
+        p[i] = lo_[i];
+        ++i;
+      }
+      if (i == d) break;
+    }
+  }
+
+  /// Whole-universe box.
+  static Box full(const Universe& u);
+
+ private:
+  Point lo_;
+  Point hi_;
+};
+
+}  // namespace sfc

@@ -1,0 +1,59 @@
+#include "sfc/grid/point.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace sfc {
+
+Point::Point(std::initializer_list<coord_t> coords) : x_{}, dim_(0) {
+  if (coords.size() > static_cast<std::size_t>(kMaxDim)) std::abort();
+  for (coord_t c : coords) x_[static_cast<std::size_t>(dim_++)] = c;
+}
+
+std::uint64_t manhattan_distance(const Point& a, const Point& b) {
+  std::uint64_t total = 0;
+  for (int i = 0; i < a.dim_; ++i) {
+    const auto ai = a.x_[static_cast<std::size_t>(i)];
+    const auto bi = b.x_[static_cast<std::size_t>(i)];
+    total += ai > bi ? ai - bi : bi - ai;
+  }
+  return total;
+}
+
+std::uint64_t squared_euclidean_distance(const Point& a, const Point& b) {
+  std::uint64_t total = 0;
+  for (int i = 0; i < a.dim_; ++i) {
+    const auto ai = a.x_[static_cast<std::size_t>(i)];
+    const auto bi = b.x_[static_cast<std::size_t>(i)];
+    const std::uint64_t diff = ai > bi ? ai - bi : bi - ai;
+    total += diff * diff;
+  }
+  return total;
+}
+
+double euclidean_distance(const Point& a, const Point& b) {
+  return std::sqrt(static_cast<double>(squared_euclidean_distance(a, b)));
+}
+
+std::uint64_t chebyshev_distance(const Point& a, const Point& b) {
+  std::uint64_t best = 0;
+  for (int i = 0; i < a.dim_; ++i) {
+    const auto ai = a.x_[static_cast<std::size_t>(i)];
+    const auto bi = b.x_[static_cast<std::size_t>(i)];
+    const std::uint64_t diff = ai > bi ? ai - bi : bi - ai;
+    if (diff > best) best = diff;
+  }
+  return best;
+}
+
+std::string Point::to_string() const {
+  std::string out = "(";
+  for (int i = 0; i < dim_; ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(x_[static_cast<std::size_t>(i)]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace sfc

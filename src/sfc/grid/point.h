@@ -1,0 +1,67 @@
+// A cell of the d-dimensional universe.
+//
+// The paper writes cells as d-tuples (x_1, ..., x_d) with 0 <= x_i < side.
+// Point stores paper-dimension i at component x[i-1].  It is a small value
+// type (flat array + dim) so the metric engines can keep everything on the
+// stack in tight loops.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "sfc/common/types.h"
+
+namespace sfc {
+
+class Point {
+ public:
+  /// Zero-dimensional point; mostly useful as a default before assignment.
+  constexpr Point() : x_{}, dim_(0) {}
+
+  /// Point with explicit dimensionality, all coordinates zero.
+  static constexpr Point zero(int dim) {
+    Point p;
+    p.dim_ = dim;
+    return p;
+  }
+
+  /// Construction from a coordinate list: Point{3, 5} is the paper's (3,5).
+  Point(std::initializer_list<coord_t> coords);
+
+  constexpr int dim() const { return dim_; }
+
+  constexpr coord_t operator[](int i) const { return x_[static_cast<std::size_t>(i)]; }
+  constexpr coord_t& operator[](int i) { return x_[static_cast<std::size_t>(i)]; }
+
+  friend constexpr bool operator==(const Point& a, const Point& b) {
+    if (a.dim_ != b.dim_) return false;
+    for (int i = 0; i < a.dim_; ++i) {
+      if (a.x_[static_cast<std::size_t>(i)] != b.x_[static_cast<std::size_t>(i)]) return false;
+    }
+    return true;
+  }
+  friend constexpr bool operator!=(const Point& a, const Point& b) { return !(a == b); }
+
+  /// Manhattan distance (the paper's ∆): sum of |α_i − β_i|.
+  friend std::uint64_t manhattan_distance(const Point& a, const Point& b);
+
+  /// Squared Euclidean distance as an exact integer.
+  friend std::uint64_t squared_euclidean_distance(const Point& a, const Point& b);
+
+  /// Euclidean distance (the paper's ∆_E).
+  friend double euclidean_distance(const Point& a, const Point& b);
+
+  /// Chebyshev (max-coordinate) distance; used by application substrates.
+  friend std::uint64_t chebyshev_distance(const Point& a, const Point& b);
+
+  /// "(x1,x2,...,xd)" rendering for logs and figure reproduction.
+  std::string to_string() const;
+
+ private:
+  std::array<coord_t, kMaxDim> x_;
+  int dim_;
+};
+
+}  // namespace sfc

@@ -1,0 +1,65 @@
+#include "sfc/grid/universe.h"
+
+#include <cstdlib>
+
+#include "sfc/common/math.h"
+
+namespace sfc {
+
+Universe::Universe(int dim, coord_t side) : dim_(dim), side_(side) {
+  if (dim < 1 || dim > kMaxDim || side < 1) std::abort();
+  const auto count = checked_ipow(static_cast<index_t>(side), dim);
+  if (!count.has_value()) std::abort();
+  cell_count_ = *count;
+  level_bits_ = is_pow2(side) ? floor_log2(side) : -1;
+}
+
+Universe Universe::pow2(int dim, int level_bits) {
+  if (level_bits < 0 || level_bits >= 32) std::abort();
+  return Universe(dim, static_cast<coord_t>(static_cast<index_t>(1) << level_bits));
+}
+
+bool Universe::contains(const Point& p) const {
+  if (p.dim() != dim_) return false;
+  for (int i = 0; i < dim_; ++i) {
+    if (p[i] >= side_) return false;
+  }
+  return true;
+}
+
+index_t Universe::row_major_index(const Point& p) const {
+  index_t id = 0;
+  for (int i = dim_ - 1; i >= 0; --i) {
+    id = id * side_ + p[i];
+  }
+  return id;
+}
+
+Point Universe::from_row_major(index_t id) const {
+  Point p = Point::zero(dim_);
+  for (int i = 0; i < dim_; ++i) {
+    p[i] = static_cast<coord_t>(id % side_);
+    id /= side_;
+  }
+  return p;
+}
+
+int Universe::neighbor_count(const Point& p) const {
+  int count = 0;
+  for (int i = 0; i < dim_; ++i) {
+    if (p[i] > 0) ++count;
+    if (p[i] + 1 < side_) ++count;
+  }
+  return count;
+}
+
+index_t Universe::nn_pair_count() const {
+  return static_cast<index_t>(dim_) * nn_pair_count_per_dim();
+}
+
+index_t Universe::nn_pair_count_per_dim() const {
+  if (side_ == 1) return 0;
+  return (static_cast<index_t>(side_) - 1) * (cell_count_ / side_);
+}
+
+}  // namespace sfc

@@ -1,0 +1,96 @@
+// The universe U: a d-dimensional grid of side `side` with n = side^d cells.
+//
+// The paper assumes side = 2^k; Universe supports any side >= 1 (Figure 2
+// uses a 6x6 grid) and exposes `level_bits()` for the curves that require a
+// power-of-two side.  Row-major indexing (dimension 1 fastest) provides a
+// canonical cell enumeration for the metric engines; it coincides with the
+// paper's "simple curve" S (Eq. 8).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "sfc/common/types.h"
+#include "sfc/grid/point.h"
+
+namespace sfc {
+
+class Universe {
+ public:
+  /// Grid of `dim` dimensions and side length `side` (cells per dimension).
+  /// Aborts if dim is outside [1, kMaxDim] or side^dim overflows 63 bits.
+  Universe(int dim, coord_t side);
+
+  /// The paper's standard setting: side = 2^level_bits, n = 2^{dim*level_bits}.
+  static Universe pow2(int dim, int level_bits);
+
+  int dim() const { return dim_; }
+  coord_t side() const { return side_; }
+  /// Number of cells n.
+  index_t cell_count() const { return cell_count_; }
+
+  /// True iff side = 2^k for some k >= 0.
+  bool power_of_two_side() const { return level_bits_ >= 0; }
+  /// k with side = 2^k, or -1 when the side is not a power of two.
+  int level_bits() const { return level_bits_; }
+
+  bool contains(const Point& p) const;
+
+  /// Canonical row-major cell id in [0, n): id = sum_i x_i * side^{i-1}.
+  index_t row_major_index(const Point& p) const;
+  Point from_row_major(index_t id) const;
+
+  /// Number of Manhattan-distance-1 neighbors; d <= result <= 2d.
+  int neighbor_count(const Point& p) const;
+
+  /// Invokes fn(neighbor) for each cell at Manhattan distance exactly 1.
+  template <typename Fn>
+  void for_each_neighbor(const Point& p, Fn&& fn) const {
+    for (int i = 0; i < dim_; ++i) {
+      if (p[i] > 0) {
+        Point q = p;
+        --q[i];
+        fn(std::as_const(q));
+      }
+      if (p[i] + 1 < side_) {
+        Point q = p;
+        ++q[i];
+        fn(std::as_const(q));
+      }
+    }
+  }
+
+  /// Invokes fn(neighbor, dimension) for each *positive-direction* neighbor,
+  /// i.e. each unordered NN pair is visited exactly once, tagged with the
+  /// (0-based) dimension in which the pair differs.  This is the paper's
+  /// partition of NN_d into groups G_1..G_d.
+  template <typename Fn>
+  void for_each_forward_neighbor(const Point& p, Fn&& fn) const {
+    for (int i = 0; i < dim_; ++i) {
+      if (p[i] + 1 < side_) {
+        Point q = p;
+        ++q[i];
+        fn(std::as_const(q), i);
+      }
+    }
+  }
+
+  /// |NN_d|: number of unordered nearest-neighbor pairs,
+  /// d * (side-1) * side^{d-1}.
+  index_t nn_pair_count() const;
+
+  /// Number of unordered NN pairs in group G_i (same for every dimension).
+  index_t nn_pair_count_per_dim() const;
+
+  friend bool operator==(const Universe& a, const Universe& b) {
+    return a.dim_ == b.dim_ && a.side_ == b.side_;
+  }
+
+ private:
+  int dim_;
+  coord_t side_;
+  index_t cell_count_;
+  int level_bits_;
+};
+
+}  // namespace sfc

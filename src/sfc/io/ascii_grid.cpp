@@ -1,0 +1,112 @@
+#include "sfc/io/ascii_grid.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace sfc {
+
+namespace {
+
+void require_2d(const SpaceFillingCurve& curve) {
+  if (curve.universe().dim() != 2) std::abort();
+}
+
+std::string to_binary(index_t value, int digits) {
+  std::string out(static_cast<std::size_t>(digits), '0');
+  for (int b = 0; b < digits; ++b) {
+    if (value & (index_t{1} << b)) {
+      out[static_cast<std::size_t>(digits - 1 - b)] = '1';
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_key_grid(const SpaceFillingCurve& curve) {
+  require_2d(curve);
+  const Universe& u = curve.universe();
+  const coord_t side = u.side();
+  const std::size_t width = std::to_string(u.cell_count() - 1).size();
+
+  std::ostringstream out;
+  for (coord_t row = side; row-- > 0;) {  // top row = max x2
+    for (coord_t col = 0; col < side; ++col) {
+      const index_t key = curve.index_of(Point{col, row});
+      std::string text = std::to_string(key);
+      out << (col == 0 ? "" : " ");
+      out << std::string(width - text.size(), ' ') << text;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string render_key_grid_binary(const SpaceFillingCurve& curve) {
+  require_2d(curve);
+  const Universe& u = curve.universe();
+  if (!u.power_of_two_side()) std::abort();
+  const coord_t side = u.side();
+  const int digits = 2 * u.level_bits();
+
+  std::ostringstream out;
+  for (coord_t row = side; row-- > 0;) {
+    for (coord_t col = 0; col < side; ++col) {
+      const index_t key = curve.index_of(Point{col, row});
+      out << (col == 0 ? "" : " ") << to_binary(key, digits);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string render_curve_path(const SpaceFillingCurve& curve) {
+  require_2d(curve);
+  const Universe& u = curve.universe();
+  const coord_t side = u.side();
+  const index_t n = u.cell_count();
+
+  // Character canvas: cells at even positions, connectors between them.
+  const std::size_t canvas_w = 2 * static_cast<std::size_t>(side) - 1;
+  const std::size_t canvas_h = canvas_w;
+  std::vector<std::string> canvas(canvas_h, std::string(canvas_w, ' '));
+
+  auto cell_px = [&](const Point& p) {
+    // x2 grows upward; row 0 of the canvas is the top.
+    const std::size_t cx = 2 * static_cast<std::size_t>(p[0]);
+    const std::size_t cy = canvas_h - 1 - 2 * static_cast<std::size_t>(p[1]);
+    return std::pair<std::size_t, std::size_t>{cx, cy};
+  };
+
+  for (index_t key = 0; key < n; ++key) {
+    const auto [cx, cy] = cell_px(curve.point_at(key));
+    canvas[cy][cx] = 'o';
+  }
+  canvas[cell_px(curve.point_at(0)).second][cell_px(curve.point_at(0)).first] = 'S';
+  canvas[cell_px(curve.point_at(n - 1)).second][cell_px(curve.point_at(n - 1)).first] = 'E';
+
+  for (index_t key = 0; key + 1 < n; ++key) {
+    const Point a = curve.point_at(key);
+    const Point b = curve.point_at(key + 1);
+    const auto [ax, ay] = cell_px(a);
+    const auto [bx, by] = cell_px(b);
+    if (ay == by && (ax + 2 == bx || bx + 2 == ax)) {
+      canvas[ay][(ax + bx) / 2] = '-';
+    } else if (ax == bx && (ay + 2 == by || by + 2 == ay)) {
+      canvas[(ay + by) / 2][ax] = '|';
+    } else {
+      // Non-adjacent consecutive cells (Z, Gray, random curves): mark both
+      // endpoints of the jump with '*' (drawing the diagonal would overlap
+      // other cells on an ASCII canvas).
+      if (canvas[ay][ax] == 'o') canvas[ay][ax] = '*';
+      if (canvas[by][bx] == 'o') canvas[by][bx] = '*';
+    }
+  }
+
+  std::ostringstream out;
+  for (const std::string& line : canvas) out << line << '\n';
+  return out.str();
+}
+
+}  // namespace sfc

@@ -1,0 +1,25 @@
+// ASCII renderings of curves on 2-D grids, used to regenerate the paper's
+// Figures 1, 3, and 4 on the console.
+//
+// Grids are drawn with dimension 1 (x[0]) increasing to the right and
+// dimension 2 (x[1]) increasing upward, matching the paper's axes.
+#pragma once
+
+#include <string>
+
+#include "sfc/curves/space_filling_curve.h"
+
+namespace sfc {
+
+/// Key assignment grid: each cell shows π(α) in decimal (Figure 3/4 left).
+std::string render_key_grid(const SpaceFillingCurve& curve);
+
+/// Key assignment grid in binary with 2k digits per cell, reproducing the
+/// bit-interleave view on the left of Figure 3.  2-D power-of-two only.
+std::string render_key_grid_binary(const SpaceFillingCurve& curve);
+
+/// Visit-order picture: draws the traversal with unicode arrows between
+/// consecutive cells (Figure 3/4 right).  2-D only; intended for small grids.
+std::string render_curve_path(const SpaceFillingCurve& curve);
+
+}  // namespace sfc

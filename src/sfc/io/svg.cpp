@@ -1,0 +1,63 @@
+#include "sfc/io/svg.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace sfc {
+
+std::string render_curve_svg(const SpaceFillingCurve& curve,
+                             const SvgOptions& options) {
+  const Universe& u = curve.universe();
+  if (u.dim() != 2) std::abort();
+  const coord_t side = u.side();
+  const double size = options.cell_px * side;
+
+  auto cx = [&](coord_t x) { return options.cell_px * (x + 0.5); };
+  // x2 grows upward; SVG y grows downward.
+  auto cy = [&](coord_t y) { return size - options.cell_px * (y + 0.5); };
+
+  std::ostringstream out;
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << size
+      << "\" height=\"" << size << "\" viewBox=\"0 0 " << size << " " << size
+      << "\">\n";
+  out << "  <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+
+  if (options.draw_grid) {
+    out << "  <g stroke=\"#dddddd\" stroke-width=\"1\">\n";
+    for (coord_t i = 0; i <= side; ++i) {
+      const double pos = options.cell_px * i;
+      out << "    <line x1=\"" << pos << "\" y1=\"0\" x2=\"" << pos
+          << "\" y2=\"" << size << "\"/>\n";
+      out << "    <line x1=\"0\" y1=\"" << pos << "\" x2=\"" << size
+          << "\" y2=\"" << pos << "\"/>\n";
+    }
+    out << "  </g>\n";
+  }
+
+  out << "  <polyline fill=\"none\" stroke=\"#1f77b4\" stroke-width=\""
+      << options.stroke_px << "\" points=\"";
+  for (index_t key = 0; key < u.cell_count(); ++key) {
+    const Point p = curve.point_at(key);
+    out << (key == 0 ? "" : " ") << cx(p[0]) << "," << cy(p[1]);
+  }
+  out << "\"/>\n";
+
+  const Point start = curve.point_at(0);
+  const Point end = curve.point_at(u.cell_count() - 1);
+  out << "  <circle cx=\"" << cx(start[0]) << "\" cy=\"" << cy(start[1])
+      << "\" r=\"" << options.cell_px / 5 << "\" fill=\"#2ca02c\"/>\n";
+  out << "  <circle cx=\"" << cx(end[0]) << "\" cy=\"" << cy(end[1])
+      << "\" r=\"" << options.cell_px / 5 << "\" fill=\"#d62728\"/>\n";
+  out << "</svg>\n";
+  return out.str();
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace sfc

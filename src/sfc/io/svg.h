@@ -1,0 +1,24 @@
+// SVG export of 2-D curve traversals (for the curve_gallery example).
+#pragma once
+
+#include <string>
+
+#include "sfc/curves/space_filling_curve.h"
+
+namespace sfc {
+
+struct SvgOptions {
+  double cell_px = 24.0;     // pixels per grid cell
+  double stroke_px = 2.0;    // polyline width
+  bool draw_grid = true;     // light background lattice
+};
+
+/// Renders the curve as an SVG document: a polyline through cell centers in
+/// key order (jumps of non-continuous curves appear as long chords).
+std::string render_curve_svg(const SpaceFillingCurve& curve,
+                             const SvgOptions& options = {});
+
+/// Writes `content` to `path`; returns false on I/O failure.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace sfc

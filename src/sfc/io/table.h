@@ -1,0 +1,34 @@
+// Column-aligned console tables and CSV output for the reproduction benches.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sfc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have the same arity as the headers.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Pretty console rendering with a header underline.
+  void print(std::ostream& out) const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  std::string to_csv() const;
+
+  /// Formats a double with `precision` significant digits.
+  static std::string fmt(double value, int precision = 6);
+  static std::string fmt_int(std::uint64_t value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sfc

@@ -1,0 +1,81 @@
+#include "sfc/rng/sampling.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <numeric>
+
+namespace sfc {
+
+void shuffle(std::vector<index_t>& values, Xoshiro256& rng) {
+  for (std::size_t i = values.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.next_below(i));
+    std::swap(values[i - 1], values[j]);
+  }
+}
+
+std::vector<index_t> identity_permutation(index_t n) {
+  std::vector<index_t> perm(n);
+  std::iota(perm.begin(), perm.end(), index_t{0});
+  return perm;
+}
+
+std::vector<index_t> random_permutation(index_t n, Xoshiro256& rng) {
+  auto perm = identity_permutation(n);
+  shuffle(perm, rng);
+  return perm;
+}
+
+Point random_cell(const Universe& u, Xoshiro256& rng) {
+  Point p = Point::zero(u.dim());
+  for (int i = 0; i < u.dim(); ++i) {
+    p[i] = static_cast<coord_t>(rng.next_below(u.side()));
+  }
+  return p;
+}
+
+std::pair<Point, Point> random_distinct_pair(const Universe& u, Xoshiro256& rng) {
+  if (u.cell_count() < 2) std::abort();
+  const Point a = random_cell(u, rng);
+  while (true) {
+    const Point b = random_cell(u, rng);
+    if (!(a == b)) return {a, b};
+  }
+}
+
+Box random_box(const Universe& u, coord_t extent, Xoshiro256& rng) {
+  if (extent < 1 || extent > u.side()) std::abort();
+  Point lo = Point::zero(u.dim());
+  Point hi = Point::zero(u.dim());
+  for (int i = 0; i < u.dim(); ++i) {
+    const auto origin_range = static_cast<std::uint64_t>(u.side() - extent) + 1;
+    lo[i] = static_cast<coord_t>(rng.next_below(origin_range));
+    hi[i] = lo[i] + extent - 1;
+  }
+  return Box(lo, hi);
+}
+
+void RunningStats::add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::standard_error() const {
+  if (count_ == 0) return 0.0;
+  return std::sqrt(variance() / static_cast<double>(count_));
+}
+
+}  // namespace sfc

@@ -1,0 +1,55 @@
+// Sampling utilities built on Xoshiro256++.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sfc/common/types.h"
+#include "sfc/grid/box.h"
+#include "sfc/grid/universe.h"
+#include "sfc/rng/xoshiro256.h"
+
+namespace sfc {
+
+/// In-place Fisher–Yates shuffle.
+void shuffle(std::vector<index_t>& values, Xoshiro256& rng);
+
+/// Identity permutation of size n.
+std::vector<index_t> identity_permutation(index_t n);
+
+/// Uniform random permutation of {0..n-1}.
+std::vector<index_t> random_permutation(index_t n, Xoshiro256& rng);
+
+/// Uniform random cell of the universe.
+Point random_cell(const Universe& u, Xoshiro256& rng);
+
+/// Uniform random *distinct* ordered cell pair.
+std::pair<Point, Point> random_distinct_pair(const Universe& u, Xoshiro256& rng);
+
+/// Uniform random axis-aligned box whose extent in every dimension is
+/// exactly `extent` cells (must satisfy 1 <= extent <= side).
+Box random_box(const Universe& u, coord_t extent, Xoshiro256& rng);
+
+/// Streaming mean/variance accumulator (Welford) for sampled estimators.
+class RunningStats {
+ public:
+  void add(double value);
+  std::uint64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const;
+  /// Standard error of the mean.
+  double standard_error() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace sfc

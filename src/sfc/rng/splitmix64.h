@@ -1,0 +1,26 @@
+// SplitMix64 (Steele, Lea, Flood 2014): the standard seeding generator.
+//
+// Used to expand a single user seed into the 256-bit state of Xoshiro256++
+// and to derive independent per-stream seeds for parallel sampling.
+#pragma once
+
+#include <cstdint>
+
+namespace sfc {
+
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace sfc

@@ -1,0 +1,98 @@
+#include "sfc/apps/amr.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sfc/curves/curve_factory.h"
+
+namespace sfc {
+namespace {
+
+AmrMesh sample_mesh(int dim = 2, int bits = 5, std::uint64_t seed = 9) {
+  const auto density = make_hotspot_density(dim, bits, 3, seed);
+  // Threshold 4 yields a properly adaptive mesh (~50 leaves on 32x32) —
+  // coarse meshes with a handful of leaves make partition comparisons noise.
+  return build_amr_mesh(dim, bits, density, /*split_threshold=*/4.0);
+}
+
+TEST(AmrMesh, LeavesTileTheDomainExactly) {
+  const AmrMesh mesh = sample_mesh();
+  const Universe finest = mesh.finest_universe();
+  EXPECT_EQ(mesh.covered_cells(), finest.cell_count());
+
+  // No two leaves overlap: mark every covered finest cell once.
+  std::set<index_t> covered;
+  for (const AmrLeaf& leaf : mesh.leaves) {
+    Point hi = leaf.anchor;
+    for (int i = 0; i < finest.dim(); ++i) hi[i] = leaf.anchor[i] + leaf.size - 1;
+    Box(leaf.anchor, hi).for_each_cell([&](const Point& cell) {
+      const index_t id = finest.row_major_index(cell);
+      EXPECT_EQ(covered.count(id), 0u) << "overlap at " << cell.to_string();
+      covered.insert(id);
+    });
+  }
+  EXPECT_EQ(covered.size(), finest.cell_count());
+}
+
+TEST(AmrMesh, RefinementRespondsToDensity) {
+  // A flat zero density never splits; a huge density splits to single cells.
+  const auto flat = [](const Point&) { return 0.0; };
+  const AmrMesh coarse = build_amr_mesh(2, 4, flat, 1.0);
+  EXPECT_EQ(coarse.leaves.size(), 1u);
+  EXPECT_EQ(coarse.leaves[0].size, 16u);
+
+  const auto hot = [](const Point&) { return 100.0; };
+  const AmrMesh fine = build_amr_mesh(2, 3, hot, 1.0);
+  EXPECT_EQ(fine.leaves.size(), 64u);  // fully refined 8x8
+}
+
+TEST(AmrMesh, HotspotsProduceMixedLeafSizes) {
+  const AmrMesh mesh = sample_mesh();
+  std::set<coord_t> sizes;
+  for (const AmrLeaf& leaf : mesh.leaves) sizes.insert(leaf.size);
+  EXPECT_GE(sizes.size(), 2u) << "expected an actually adaptive mesh";
+}
+
+TEST(AmrMesh, DeterministicInSeed) {
+  const AmrMesh a = sample_mesh(2, 5, 21);
+  const AmrMesh b = sample_mesh(2, 5, 21);
+  ASSERT_EQ(a.leaves.size(), b.leaves.size());
+  for (std::size_t i = 0; i < a.leaves.size(); ++i) {
+    EXPECT_EQ(a.leaves[i].anchor, b.leaves[i].anchor);
+    EXPECT_EQ(a.leaves[i].size, b.leaves[i].size);
+  }
+}
+
+TEST(AmrPartition, CostBalancedAndComplete) {
+  const AmrMesh mesh = sample_mesh();
+  const Universe finest = mesh.finest_universe();
+  const CurvePtr hilbert = make_curve(CurveFamily::kHilbert, finest);
+  const AmrPartitionQuality q = evaluate_amr_partition(mesh, *hilbert, 8);
+  EXPECT_EQ(q.parts, 8);
+  EXPECT_EQ(q.leaves, mesh.leaves.size());
+  EXPECT_GE(q.cost_imbalance, 1.0);
+  EXPECT_LT(q.cost_imbalance, 2.0);  // greedy split keeps it moderate
+  EXPECT_GT(q.edge_cut, 0u);
+}
+
+TEST(AmrPartition, SinglePartHasNoCut) {
+  const AmrMesh mesh = sample_mesh();
+  const CurvePtr z = make_curve(CurveFamily::kZ, mesh.finest_universe());
+  const AmrPartitionQuality q = evaluate_amr_partition(mesh, *z, 1);
+  EXPECT_EQ(q.edge_cut, 0u);
+  EXPECT_DOUBLE_EQ(q.cost_imbalance, 1.0);
+}
+
+TEST(AmrPartition, LocalityCurvesBeatRandomOrder) {
+  const AmrMesh mesh = sample_mesh();
+  const Universe finest = mesh.finest_universe();
+  const CurvePtr hilbert = make_curve(CurveFamily::kHilbert, finest);
+  const CurvePtr random = make_curve(CurveFamily::kRandom, finest, 5);
+  const index_t hilbert_cut = evaluate_amr_partition(mesh, *hilbert, 8).edge_cut;
+  const index_t random_cut = evaluate_amr_partition(mesh, *random, 8).edge_cut;
+  EXPECT_LT(hilbert_cut * 2, random_cut);
+}
+
+}  // namespace
+}  // namespace sfc

@@ -1,0 +1,135 @@
+#include "sfc/apps/nbody.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sfc {
+namespace {
+
+NBodyParams small_params(int dim) {
+  NBodyParams params;
+  params.dim = dim;
+  params.theta = 0.4;
+  params.softening = 5e-3;
+  params.leaf_size = 4;
+  return params;
+}
+
+TEST(NBody, ClusteredParticlesInsideUnitBox) {
+  const auto particles = make_clustered_particles(500, 3, 4, 42);
+  ASSERT_EQ(particles.size(), 500u);
+  double total_mass = 0.0;
+  for (const auto& particle : particles) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_GE(particle.pos[static_cast<std::size_t>(c)], 0.0);
+      EXPECT_LT(particle.pos[static_cast<std::size_t>(c)], 1.0);
+    }
+    total_mass += particle.mass;
+  }
+  EXPECT_NEAR(total_mass, 1.0, 1e-9);
+}
+
+TEST(NBody, ClusteredParticlesDeterministic) {
+  const auto a = make_clustered_particles(50, 2, 2, 7);
+  const auto b = make_clustered_particles(50, 2, 2, 7);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].pos[0], b[i].pos[0]);
+    EXPECT_EQ(a[i].vel[1], b[i].vel[1]);
+  }
+}
+
+TEST(NBody, MortonSortOrdersKeys) {
+  BarnesHut sim(make_clustered_particles(300, 3, 3, 1), small_params(3));
+  sim.sort_by_morton();
+  index_t previous = 0;
+  for (std::size_t i = 0; i < sim.particles().size(); ++i) {
+    const index_t key = sim.morton_key(sim.particles()[i]);
+    if (i > 0) EXPECT_GE(key, previous);
+    previous = key;
+  }
+  // Second sort is a no-op: zero inversions remain.
+  EXPECT_EQ(sim.sort_by_morton(), 0u);
+}
+
+TEST(NBody, TreeAccelerationMatchesDirectSummation) {
+  BarnesHut sim(make_clustered_particles(200, 3, 2, 5), small_params(3));
+  sim.sort_by_morton();
+  const auto tree = sim.compute_accelerations();
+  const auto direct = sim.direct_accelerations();
+  ASSERT_EQ(tree.size(), direct.size());
+  double err_num = 0.0, err_den = 0.0;
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    for (int c = 0; c < 3; ++c) {
+      const double diff = tree[i][static_cast<std::size_t>(c)] - direct[i][static_cast<std::size_t>(c)];
+      err_num += diff * diff;
+      err_den += direct[i][static_cast<std::size_t>(c)] * direct[i][static_cast<std::size_t>(c)];
+    }
+  }
+  const double rel_error = std::sqrt(err_num / (err_den + 1e-30));
+  EXPECT_LT(rel_error, 0.05);  // theta=0.4 keeps the multipole error small
+}
+
+TEST(NBody, ThetaZeroIsExact) {
+  // theta = 0 forces full tree opening: identical to direct summation up to
+  // floating-point association.
+  NBodyParams params = small_params(2);
+  params.theta = 0.0;
+  BarnesHut sim(make_clustered_particles(100, 2, 2, 9), params);
+  const auto tree = sim.compute_accelerations();
+  const auto direct = sim.direct_accelerations();
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    for (int c = 0; c < 2; ++c) {
+      EXPECT_NEAR(tree[i][static_cast<std::size_t>(c)], direct[i][static_cast<std::size_t>(c)],
+                  1e-9 * (1.0 + std::abs(direct[i][static_cast<std::size_t>(c)])));
+    }
+  }
+}
+
+TEST(NBody, TwoBodySymmetricAttraction) {
+  NBodyParams params = small_params(2);
+  params.theta = 0.0;
+  std::vector<Particle> pair(2);
+  pair[0].pos = {0.4, 0.5, 0.0};
+  pair[1].pos = {0.6, 0.5, 0.0};
+  pair[0].mass = pair[1].mass = 0.5;
+  BarnesHut sim(std::move(pair), params);
+  const auto accel = sim.compute_accelerations();
+  // Equal masses: equal and opposite accelerations along x.
+  EXPECT_GT(accel[0][0], 0.0);
+  EXPECT_LT(accel[1][0], 0.0);
+  EXPECT_NEAR(accel[0][0], -accel[1][0], 1e-12);
+  EXPECT_NEAR(accel[0][1], 0.0, 1e-12);
+}
+
+TEST(NBody, EnergyApproximatelyConservedOverShortRun) {
+  NBodyParams params = small_params(2);
+  params.theta = 0.3;
+  BarnesHut sim(make_clustered_particles(150, 2, 1, 11), params);
+  sim.sort_by_morton();
+  const double e0 = sim.total_energy();
+  for (int step = 0; step < 10; ++step) sim.step(5e-4);
+  const double e1 = sim.total_energy();
+  EXPECT_NEAR(e1, e0, 0.05 * std::abs(e0) + 1e-6);
+}
+
+TEST(NBody, TreeNodeCountIsReasonable) {
+  BarnesHut sim(make_clustered_particles(256, 2, 2, 13), small_params(2));
+  sim.compute_accelerations();
+  EXPECT_GT(sim.last_tree_nodes(), 256u / 4u);   // at least n/leaf nodes
+  EXPECT_LT(sim.last_tree_nodes(), 4u * 256u);   // not absurdly many
+}
+
+TEST(NBody, MortonKeysRespectSpatialLocality) {
+  NBodyParams params = small_params(2);
+  BarnesHut sim({}, params);
+  Particle a, b, c;
+  a.pos = {0.1, 0.1, 0.0};
+  b.pos = {0.1001, 0.1001, 0.0};  // same quantized cell as a
+  c.pos = {0.9, 0.9, 0.0};
+  EXPECT_EQ(sim.morton_key(a), sim.morton_key(b));
+  EXPECT_NE(sim.morton_key(a), sim.morton_key(c));
+}
+
+}  // namespace
+}  // namespace sfc

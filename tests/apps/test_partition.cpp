@@ -1,0 +1,113 @@
+#include "sfc/apps/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "sfc/curves/curve_factory.h"
+#include "sfc/curves/simple_curve.h"
+
+namespace sfc {
+namespace {
+
+TEST(Partition, SinglePartHasNoCut) {
+  const Universe u = Universe::pow2(2, 3);
+  const CurvePtr z = make_curve(CurveFamily::kZ, u);
+  const PartitionQuality q = evaluate_partition(*z, 1);
+  EXPECT_EQ(q.edge_cut, 0u);
+  EXPECT_DOUBLE_EQ(q.imbalance, 1.0);
+  EXPECT_EQ(q.fragmented_blocks, 0);
+}
+
+TEST(Partition, SimpleCurveTwoWayCutIsOneRowOfEdges) {
+  // Splitting the 8x8 row-major order in half cuts exactly the vertical
+  // edges between rows 3 and 4: 8 edges.
+  const Universe u(2, 8);
+  const SimpleCurve s(u);
+  const PartitionQuality q = evaluate_partition(s, 2);
+  EXPECT_EQ(q.edge_cut, 8u);
+  EXPECT_DOUBLE_EQ(q.imbalance, 1.0);
+  EXPECT_EQ(q.fragmented_blocks, 0);
+}
+
+TEST(Partition, SimpleCurveFourWay) {
+  // Four contiguous row-major blocks of an 8x8 grid = 2 rows each; each
+  // boundary cuts 8 vertical edges -> 24 total.
+  const Universe u(2, 8);
+  const SimpleCurve s(u);
+  const PartitionQuality q = evaluate_partition(s, 4);
+  EXPECT_EQ(q.edge_cut, 24u);
+  EXPECT_EQ(q.fragmented_blocks, 0);
+}
+
+TEST(Partition, CutFractionNormalization) {
+  const Universe u(2, 8);
+  const SimpleCurve s(u);
+  const PartitionQuality q = evaluate_partition(s, 2);
+  EXPECT_DOUBLE_EQ(q.cut_fraction,
+                   static_cast<double>(q.edge_cut) /
+                       static_cast<double>(u.nn_pair_count()));
+}
+
+TEST(Partition, ImbalanceWithIndivisibleParts) {
+  // n=16, P=3: blocks of size 6,5,5 -> imbalance 6*3/16 = 1.125.
+  const Universe u(2, 4);
+  const SimpleCurve s(u);
+  const PartitionQuality q = evaluate_partition(s, 3);
+  EXPECT_NEAR(q.imbalance, 6.0 * 3.0 / 16.0, 1e-12);
+}
+
+TEST(Partition, HilbertBlocksAreConnectedOnPowerOfTwoSplits) {
+  // Hilbert quadrants are contiguous curve ranges, so power-of-two splits
+  // produce connected blocks.
+  const Universe u = Universe::pow2(2, 4);
+  const CurvePtr h = make_curve(CurveFamily::kHilbert, u);
+  for (int parts : {2, 4, 8, 16}) {
+    const PartitionQuality q = evaluate_partition(*h, parts);
+    EXPECT_EQ(q.fragmented_blocks, 0) << "parts=" << parts;
+  }
+}
+
+TEST(Partition, RandomCurveFragmentsBadly) {
+  const Universe u = Universe::pow2(2, 4);
+  const CurvePtr random = make_curve(CurveFamily::kRandom, u, 3);
+  const PartitionQuality q = evaluate_partition(*random, 8);
+  EXPECT_GT(q.fragmented_blocks, 0);
+  // Random assignment cuts almost every edge.
+  EXPECT_GT(q.cut_fraction, 0.5);
+}
+
+TEST(Partition, ContinuousCurvesBeatRandomOnCut) {
+  const Universe u = Universe::pow2(2, 4);
+  const CurvePtr hilbert = make_curve(CurveFamily::kHilbert, u);
+  const CurvePtr random = make_curve(CurveFamily::kRandom, u, 5);
+  const index_t hilbert_cut = evaluate_partition(*hilbert, 8).edge_cut;
+  const index_t random_cut = evaluate_partition(*random, 8).edge_cut;
+  EXPECT_LT(hilbert_cut, random_cut / 4);
+}
+
+TEST(Partition, BlockLookupMatchesRanges) {
+  const Universe u = Universe::pow2(2, 3);
+  const CurvePtr z = make_curve(CurveFamily::kZ, u);
+  const int parts = 4;
+  for (index_t id = 0; id < u.cell_count(); ++id) {
+    const Point cell = u.from_row_major(id);
+    const int block = partition_block(*z, parts, cell);
+    EXPECT_GE(block, 0);
+    EXPECT_LT(block, parts);
+    // Key must fall inside the block's contiguous range.
+    const index_t key = z->index_of(cell);
+    EXPECT_EQ(static_cast<int>(key * static_cast<index_t>(parts) / u.cell_count()), block);
+  }
+}
+
+TEST(Partition, FragmentCountingCanBeDisabled) {
+  const Universe u = Universe::pow2(2, 3);
+  const CurvePtr random = make_curve(CurveFamily::kRandom, u, 4);
+  PartitionOptions options;
+  options.count_fragments = false;
+  const PartitionQuality q = evaluate_partition(*random, 4, options);
+  EXPECT_EQ(q.fragmented_blocks, 0);  // not computed
+  EXPECT_GT(q.edge_cut, 0u);
+}
+
+}  // namespace
+}  // namespace sfc

@@ -1,0 +1,94 @@
+#include "sfc/cli/args.h"
+
+#include <gtest/gtest.h>
+
+namespace sfc::cli {
+namespace {
+
+TEST(Args, SubcommandAndFlags) {
+  const Args args = Args::parse({"analyze", "--dim", "3", "--bits=4", "--csv"});
+  ASSERT_TRUE(args.valid());
+  EXPECT_EQ(args.subcommand(), "analyze");
+  EXPECT_EQ(args.get_int("dim", 0).value(), 3);
+  EXPECT_EQ(args.get_int("bits", 0).value(), 4);
+  EXPECT_TRUE(args.get_flag("csv"));
+  EXPECT_FALSE(args.get_flag("absent"));
+}
+
+TEST(Args, EmptyInput) {
+  const Args args = Args::parse({});
+  EXPECT_TRUE(args.valid());
+  EXPECT_EQ(args.subcommand(), "");
+}
+
+TEST(Args, DefaultsWhenAbsent) {
+  const Args args = Args::parse({"cmd"});
+  EXPECT_EQ(args.get_string("curve", "z"), "z");
+  EXPECT_EQ(args.get_int("dim", 7).value(), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("theta", 0.5).value(), 0.5);
+}
+
+TEST(Args, EqualsAndSpaceSyntaxEquivalent) {
+  const Args a = Args::parse({"c", "--key=value"});
+  const Args b = Args::parse({"c", "--key", "value"});
+  EXPECT_EQ(a.get_string("key", ""), "value");
+  EXPECT_EQ(b.get_string("key", ""), "value");
+}
+
+TEST(Args, BadIntegerReportsNullopt) {
+  const Args args = Args::parse({"c", "--dim", "abc", "--bits", "3x"});
+  EXPECT_FALSE(args.get_int("dim", 0).has_value());
+  EXPECT_FALSE(args.get_int("bits", 0).has_value());
+}
+
+TEST(Args, DoubleParsing) {
+  const Args args = Args::parse({"c", "--theta=0.25", "--bad", "1.2.3"});
+  EXPECT_DOUBLE_EQ(args.get_double("theta", 0).value(), 0.25);
+  EXPECT_FALSE(args.get_double("bad", 0).has_value());
+}
+
+TEST(Args, NegativeNumbersAsValues) {
+  // "--key -3" would look like a flag; the = syntax handles negatives.
+  const Args args = Args::parse({"c", "--offset=-3"});
+  EXPECT_EQ(args.get_int("offset", 0).value(), -3);
+}
+
+TEST(Args, RejectsStrayPositional) {
+  const Args args = Args::parse({"cmd", "oops"});
+  EXPECT_FALSE(args.valid());
+  EXPECT_NE(args.error().find("oops"), std::string::npos);
+}
+
+TEST(Args, RejectsDuplicateFlags) {
+  const Args args = Args::parse({"cmd", "--a", "1", "--a", "2"});
+  EXPECT_FALSE(args.valid());
+}
+
+TEST(Args, RejectsEmptyFlagName) {
+  const Args args = Args::parse({"cmd", "--"});
+  EXPECT_FALSE(args.valid());
+}
+
+TEST(Args, UnusedKeysTracksQueries) {
+  const Args args = Args::parse({"cmd", "--used", "1", "--typo", "2"});
+  ASSERT_TRUE(args.valid());
+  (void)args.get_int("used", 0);
+  const auto unused = args.unused_keys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Args, HasMarksQueried) {
+  const Args args = Args::parse({"cmd", "--present"});
+  EXPECT_TRUE(args.has("present"));
+  EXPECT_TRUE(args.unused_keys().empty());
+}
+
+TEST(Args, BareFlagThenFlag) {
+  const Args args = Args::parse({"cmd", "--verbose", "--dim", "2"});
+  EXPECT_TRUE(args.get_flag("verbose"));
+  EXPECT_EQ(args.get_int("dim", 0).value(), 2);
+}
+
+}  // namespace
+}  // namespace sfc::cli

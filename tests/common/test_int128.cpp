@@ -1,0 +1,43 @@
+#include "sfc/common/int128.h"
+
+#include <gtest/gtest.h>
+
+namespace sfc {
+namespace {
+
+TEST(Int128ToString, SmallValues) {
+  EXPECT_EQ(to_string(u128{0}), "0");
+  EXPECT_EQ(to_string(u128{1}), "1");
+  EXPECT_EQ(to_string(u128{42}), "42");
+  EXPECT_EQ(to_string(u128{1000000007}), "1000000007");
+}
+
+TEST(Int128ToString, Above64Bits) {
+  // 2^64 = 18446744073709551616.
+  const u128 two64 = u128{1} << 64;
+  EXPECT_EQ(to_string(two64), "18446744073709551616");
+  EXPECT_EQ(to_string(two64 + 1), "18446744073709551617");
+  // 2^100 = 1267650600228229401496703205376.
+  EXPECT_EQ(to_string(u128{1} << 100), "1267650600228229401496703205376");
+}
+
+TEST(Int128ToLongDouble, ExactBelow64Bits) {
+  EXPECT_EQ(to_long_double(u128{0}), 0.0L);
+  EXPECT_EQ(to_long_double(u128{123456789}), 123456789.0L);
+  EXPECT_EQ(to_long_double(u128{1} << 52), 4503599627370496.0L);
+}
+
+TEST(Int128ToLongDouble, Above64Bits) {
+  const long double two64 = 18446744073709551616.0L;
+  EXPECT_EQ(to_long_double(u128{1} << 64), two64);
+  EXPECT_EQ(to_long_double((u128{1} << 64) * 3), 3.0L * two64);
+}
+
+TEST(Int128Equals, U64Comparison) {
+  EXPECT_TRUE(equals_u64(u128{77}, 77));
+  EXPECT_FALSE(equals_u64(u128{77}, 78));
+  EXPECT_FALSE(equals_u64(u128{1} << 64, 0));
+}
+
+}  // namespace
+}  // namespace sfc

@@ -1,0 +1,113 @@
+#include "sfc/common/math.h"
+
+#include <gtest/gtest.h>
+
+namespace sfc {
+namespace {
+
+TEST(CheckedIpow, SmallValues) {
+  EXPECT_EQ(checked_ipow(2, 0).value(), 1u);
+  EXPECT_EQ(checked_ipow(2, 10).value(), 1024u);
+  EXPECT_EQ(checked_ipow(3, 4).value(), 81u);
+  EXPECT_EQ(checked_ipow(10, 6).value(), 1000000u);
+  EXPECT_EQ(checked_ipow(1, 100).value(), 1u);
+}
+
+TEST(CheckedIpow, ZeroBase) {
+  EXPECT_EQ(checked_ipow(0, 0).value(), 1u);
+  EXPECT_EQ(checked_ipow(0, 5).value(), 0u);
+}
+
+TEST(CheckedIpow, OverflowDetected) {
+  EXPECT_FALSE(checked_ipow(2, 64).has_value());
+  EXPECT_FALSE(checked_ipow(2, 63).has_value());  // limit is 2^63 - 1
+  EXPECT_TRUE(checked_ipow(2, 62).has_value());
+  EXPECT_FALSE(checked_ipow(1u << 16, 4).has_value());
+}
+
+TEST(Ipow, MatchesChecked) {
+  EXPECT_EQ(ipow(7, 5), 16807u);
+  EXPECT_EQ(ipow(2, 20), 1u << 20);
+}
+
+TEST(ExactRoot, PerfectPowers) {
+  EXPECT_EQ(exact_root(64, 2).value(), 8u);
+  EXPECT_EQ(exact_root(64, 3).value(), 4u);
+  EXPECT_EQ(exact_root(64, 6).value(), 2u);
+  EXPECT_EQ(exact_root(1, 5).value(), 1u);
+  EXPECT_EQ(exact_root(16777216, 3).value(), 256u);
+}
+
+TEST(ExactRoot, NonPerfectPowers) {
+  EXPECT_FALSE(exact_root(63, 2).has_value());
+  EXPECT_FALSE(exact_root(65, 2).has_value());
+  EXPECT_FALSE(exact_root(10, 3).has_value());
+}
+
+TEST(ExactRoot, DegenerateInputs) {
+  EXPECT_FALSE(exact_root(8, 0).has_value());
+  EXPECT_EQ(exact_root(8, 1).value(), 8u);
+  EXPECT_EQ(exact_root(0, 3).value(), 0u);
+}
+
+TEST(IsPow2, Classification) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_TRUE(is_pow2(index_t{1} << 62));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(6));
+  EXPECT_FALSE(is_pow2((index_t{1} << 62) + 1));
+}
+
+TEST(FloorLog2, Values) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(4), 2);
+  EXPECT_EQ(floor_log2(1023), 9);
+  EXPECT_EQ(floor_log2(1024), 10);
+}
+
+TEST(SidePowDm1, MatchesNPow) {
+  // n^{1-1/d} = side^{d-1}.
+  EXPECT_EQ(side_pow_dm1(8, 2), 8u);        // n=64, sqrt(64)=8
+  EXPECT_EQ(side_pow_dm1(4, 3), 16u);       // n=64, 64^{2/3}=16
+  EXPECT_EQ(side_pow_dm1(2, 5), 16u);       // n=32, 32^{4/5}=16
+  EXPECT_EQ(side_pow_dm1(16, 1), 1u);       // d=1: n^0 = 1
+}
+
+TEST(Lemma2Total, SmallValues) {
+  // (n-1)n(n+1)/3.
+  EXPECT_TRUE(equals_u64(lemma2_total(1), 0u));
+  EXPECT_TRUE(equals_u64(lemma2_total(2), 2u));
+  EXPECT_TRUE(equals_u64(lemma2_total(3), 8u));
+  EXPECT_TRUE(equals_u64(lemma2_total(4), 20u));
+  EXPECT_TRUE(equals_u64(lemma2_total(64), 64u * 63u * 65u / 3u));
+}
+
+TEST(Lemma2Total, MatchesDirectSum) {
+  // S_A' = sum over ordered pairs of |i-j| over keys {0..n-1}
+  //      = sum_{delta=1}^{n-1} 2*delta*(n-delta).
+  for (index_t n : {2u, 3u, 5u, 17u, 100u}) {
+    std::uint64_t direct = 0;
+    for (index_t delta = 1; delta < n; ++delta) direct += 2 * delta * (n - delta);
+    EXPECT_TRUE(equals_u64(lemma2_total(n), direct)) << "n=" << n;
+  }
+}
+
+TEST(Lemma2Total, LargeValueNoOverflow) {
+  // n = 2^24: result ~ 2^72/3 needs 128 bits.
+  const index_t n = index_t{1} << 24;
+  const u128 total = lemma2_total(n);
+  // Compare against long-double approximation of n^3/3.
+  const long double approx = to_long_double(total);
+  const long double expect = (static_cast<long double>(n) *
+                              static_cast<long double>(n) *
+                              static_cast<long double>(n)) / 3.0L;
+  EXPECT_NEAR(static_cast<double>(approx / expect), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sfc

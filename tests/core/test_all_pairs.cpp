@@ -1,0 +1,121 @@
+#include "sfc/core/all_pairs.h"
+
+#include <gtest/gtest.h>
+
+#include "sfc/common/math.h"
+#include "sfc/curves/curve_factory.h"
+#include "sfc/curves/simple_curve.h"
+
+namespace sfc {
+namespace {
+
+// Straight-from-definition reference.
+AllPairsResult brute_force(const SpaceFillingCurve& curve) {
+  const Universe& u = curve.universe();
+  AllPairsResult r;
+  r.n = u.cell_count();
+  r.exact = true;
+  long double manhattan = 0, euclidean = 0;
+  for (index_t a = 0; a < u.cell_count(); ++a) {
+    for (index_t b = a + 1; b < u.cell_count(); ++b) {
+      const Point pa = u.from_row_major(a), pb = u.from_row_major(b);
+      const auto dist = static_cast<long double>(curve.curve_distance(pa, pb));
+      manhattan += dist / static_cast<long double>(manhattan_distance(pa, pb));
+      euclidean += dist / static_cast<long double>(euclidean_distance(pa, pb));
+      r.total_curve_distance_ordered += 2 * curve.curve_distance(pa, pb);
+    }
+  }
+  r.pair_count = u.cell_count() * (u.cell_count() - 1) / 2;
+  r.avg_stretch_manhattan =
+      static_cast<double>(manhattan / static_cast<long double>(r.pair_count));
+  r.avg_stretch_euclidean =
+      static_cast<double>(euclidean / static_cast<long double>(r.pair_count));
+  return r;
+}
+
+TEST(AllPairsExact, MatchesBruteForceEveryFamily) {
+  const Universe u = Universe::pow2(2, 2);
+  for (CurveFamily family : all_curve_families()) {
+    const CurvePtr curve = make_curve(family, u, 9);
+    const AllPairsResult fast = compute_all_pairs_exact(*curve);
+    const AllPairsResult slow = brute_force(*curve);
+    EXPECT_NEAR(fast.avg_stretch_manhattan, slow.avg_stretch_manhattan, 1e-10)
+        << family_name(family);
+    EXPECT_NEAR(fast.avg_stretch_euclidean, slow.avg_stretch_euclidean, 1e-10)
+        << family_name(family);
+    EXPECT_TRUE(fast.total_curve_distance_ordered ==
+                slow.total_curve_distance_ordered)
+        << family_name(family);
+    EXPECT_EQ(fast.pair_count, slow.pair_count);
+  }
+}
+
+TEST(AllPairsExact, OrderedTotalIsLemma2Constant) {
+  for (const auto& [d, side] : std::vector<std::pair<int, coord_t>>{
+           {1, 16}, {2, 4}, {2, 8}, {3, 4}}) {
+    const Universe u(d, side);
+    const SimpleCurve s(u);
+    const AllPairsResult r = compute_all_pairs_exact(s);
+    EXPECT_TRUE(r.total_curve_distance_ordered == lemma2_total(u.cell_count()))
+        << "d=" << d << " side=" << side;
+  }
+}
+
+TEST(AllPairsExact, ManhattanStretchAtLeastOneOverMaxDistance) {
+  // Each ratio ∆π/∆ >= 1/(d(side-1)) trivially; the averages are positive
+  // and the Euclidean stretch dominates the Manhattan stretch because
+  // ∆E <= ∆.
+  const Universe u = Universe::pow2(2, 3);
+  for (CurveFamily family : analytic_curve_families()) {
+    const CurvePtr curve = make_curve(family, u);
+    const AllPairsResult r = compute_all_pairs_exact(*curve);
+    EXPECT_GE(r.avg_stretch_euclidean, r.avg_stretch_manhattan)
+        << family_name(family);
+    EXPECT_GT(r.avg_stretch_manhattan, 0.0);
+  }
+}
+
+TEST(AllPairsSampled, ConvergesToExactValue) {
+  const Universe u = Universe::pow2(2, 3);
+  const CurvePtr z = make_curve(CurveFamily::kZ, u);
+  const AllPairsResult exact = compute_all_pairs_exact(*z);
+  const AllPairsResult sampled = estimate_all_pairs(*z, 200000, 123);
+  // Within 5 standard errors.
+  EXPECT_NEAR(sampled.avg_stretch_manhattan, exact.avg_stretch_manhattan,
+              5 * sampled.stderr_manhattan + 1e-9);
+  EXPECT_NEAR(sampled.avg_stretch_euclidean, exact.avg_stretch_euclidean,
+              5 * sampled.stderr_euclidean + 1e-9);
+  EXPECT_FALSE(sampled.exact);
+  EXPECT_EQ(sampled.pair_count, 200000u);
+}
+
+TEST(AllPairsSampled, DeterministicInSeed) {
+  const Universe u = Universe::pow2(2, 4);
+  const CurvePtr z = make_curve(CurveFamily::kZ, u);
+  const AllPairsResult a = estimate_all_pairs(*z, 1000, 7);
+  const AllPairsResult b = estimate_all_pairs(*z, 1000, 7);
+  EXPECT_EQ(a.avg_stretch_manhattan, b.avg_stretch_manhattan);
+  const AllPairsResult c = estimate_all_pairs(*z, 1000, 8);
+  EXPECT_NE(a.avg_stretch_manhattan, c.avg_stretch_manhattan);
+}
+
+TEST(AllPairsSampled, StandardErrorShrinksWithSamples) {
+  const Universe u = Universe::pow2(2, 4);
+  const CurvePtr z = make_curve(CurveFamily::kZ, u);
+  const AllPairsResult small = estimate_all_pairs(*z, 1000, 3);
+  const AllPairsResult large = estimate_all_pairs(*z, 100000, 3);
+  EXPECT_LT(large.stderr_manhattan, small.stderr_manhattan);
+}
+
+TEST(AllPairsExact, TwoCellUniverse) {
+  const Universe u(1, 2);
+  const SimpleCurve s(u);
+  const AllPairsResult r = compute_all_pairs_exact(s);
+  EXPECT_EQ(r.pair_count, 1u);
+  EXPECT_DOUBLE_EQ(r.avg_stretch_manhattan, 1.0);
+  EXPECT_DOUBLE_EQ(r.avg_stretch_euclidean, 1.0);
+  EXPECT_TRUE(equals_u64(r.total_curve_distance_ordered, 2));
+}
+
+}  // namespace
+}  // namespace sfc

@@ -1,0 +1,125 @@
+#include "sfc/core/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sfc {
+namespace bounds {
+namespace {
+
+TEST(Bounds, NPow1m1d) {
+  EXPECT_EQ(n_pow_1m1d(Universe::pow2(2, 3)), 8u);     // n=64 -> 8
+  EXPECT_EQ(n_pow_1m1d(Universe::pow2(3, 2)), 16u);    // n=64 -> 16
+  EXPECT_EQ(n_pow_1m1d(Universe::pow2(1, 6)), 1u);     // d=1 -> 1
+  EXPECT_EQ(n_pow_1m1d(Universe(2, 6)), 6u);           // non-pow2 side works
+}
+
+TEST(Bounds, DavgLowerBoundMatchesLongDoubleFormula) {
+  for (int d = 1; d <= 4; ++d) {
+    for (int k = 1; k <= 3; ++k) {
+      const Universe u = Universe::pow2(d, k);
+      const long double n = static_cast<long double>(u.cell_count());
+      const long double reference =
+          (2.0L / (3.0L * d)) *
+          (std::pow(n, 1.0L - 1.0L / d) - std::pow(n, -1.0L - 1.0L / d));
+      EXPECT_NEAR(davg_lower_bound(u), static_cast<double>(reference), 1e-9)
+          << "d=" << d << " k=" << k;
+    }
+  }
+}
+
+TEST(Bounds, DmaxBoundEqualsDavgBound) {
+  const Universe u = Universe::pow2(3, 2);
+  EXPECT_DOUBLE_EQ(dmax_lower_bound(u), davg_lower_bound(u));
+}
+
+TEST(Bounds, AsymptoteAndGapFactor) {
+  const Universe u = Universe::pow2(2, 5);
+  EXPECT_DOUBLE_EQ(davg_zs_asymptote(u), 32.0 / 2.0);
+  EXPECT_DOUBLE_EQ(optimal_gap_factor(), 1.5);
+  // asymptote / bound -> 1.5 for large n.
+  EXPECT_NEAR(davg_zs_asymptote(u) / davg_lower_bound(u), 1.5, 1e-3);
+}
+
+TEST(Bounds, Lemma2Total) {
+  EXPECT_TRUE(equals_u64(lemma2_total_ordered_distance(4), 20));
+  EXPECT_TRUE(equals_u64(lemma2_total_ordered_distance(64), 87360));
+}
+
+TEST(Bounds, ZGroupSizeValues) {
+  // d=2, k=3: |G_{i,1}| = 2^2 * 2^3 = 32, |G_{i,2}| = 2 * 8 = 16,
+  // |G_{i,3}| = 1 * 8 = 8.
+  EXPECT_TRUE(equals_u64(z_group_size(2, 3, 1), 32));
+  EXPECT_TRUE(equals_u64(z_group_size(2, 3, 2), 16));
+  EXPECT_TRUE(equals_u64(z_group_size(2, 3, 3), 8));
+}
+
+TEST(Bounds, ZGroupDistanceValues) {
+  // d=2: j=1 -> 2^{2-i}; j=2 -> 2^{4-i} - 2^{2-i}.
+  EXPECT_TRUE(equals_u64(z_group_distance(2, 1, 1), 2));
+  EXPECT_TRUE(equals_u64(z_group_distance(2, 2, 1), 1));
+  EXPECT_TRUE(equals_u64(z_group_distance(2, 1, 2), 8 - 2));
+  EXPECT_TRUE(equals_u64(z_group_distance(2, 2, 2), 4 - 1));
+  // d=3, i=1, j=2: 2^5 - 2^2 = 28.
+  EXPECT_TRUE(equals_u64(z_group_distance(3, 1, 2), 28));
+}
+
+TEST(Bounds, LambdaZExactSmall) {
+  // d=1: the Z curve is the identity, so every group distance is
+  // 2^{j-1} - (2^{j-1} - 1) = 1 and Λ_1 = Σ_j 2^{k-j} = 2^k - 1 (= |NN_1|).
+  EXPECT_TRUE(equals_u64(lambda_z_exact(1, 3, 1), 7));
+  // d=2, k=1: one group, |G| = 2, distances 2^{2-i}.
+  EXPECT_TRUE(equals_u64(lambda_z_exact(2, 1, 1), 2 * 2));
+  EXPECT_TRUE(equals_u64(lambda_z_exact(2, 1, 2), 2 * 1));
+}
+
+TEST(Bounds, LambdaZLimits) {
+  EXPECT_DOUBLE_EQ(lambda_z_limit(2, 1), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(lambda_z_limit(2, 2), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(lambda_z_limit(3, 1), 4.0 / 7.0);
+  EXPECT_DOUBLE_EQ(lambda_z_limit(3, 3), 1.0 / 7.0);
+}
+
+TEST(Bounds, DmaxSimpleExact) {
+  EXPECT_EQ(dmax_simple_exact(Universe::pow2(2, 4)), 16u);
+  EXPECT_EQ(dmax_simple_exact(Universe::pow2(3, 2)), 16u);
+  EXPECT_EQ(dmax_simple_exact(Universe(2, 10)), 10u);
+}
+
+TEST(Bounds, AllPairsLowerBounds) {
+  // d=2, n=64: Manhattan (1/6)(65/7), Euclidean (1/(3 sqrt 2)))(65/7).
+  const Universe u = Universe::pow2(2, 3);
+  EXPECT_NEAR(allpairs_manhattan_lower_bound(u), 65.0 / 42.0, 1e-12);
+  EXPECT_NEAR(allpairs_euclidean_lower_bound(u),
+              65.0 / 7.0 / (3.0 * std::sqrt(2.0)), 1e-12);
+}
+
+TEST(Bounds, AllPairsSimpleUpperBounds) {
+  const Universe u = Universe::pow2(2, 3);
+  EXPECT_DOUBLE_EQ(allpairs_simple_manhattan_upper_bound(u), 8.0);
+  EXPECT_DOUBLE_EQ(allpairs_simple_euclidean_upper_bound(u),
+                   std::sqrt(2.0) * 8.0);
+}
+
+TEST(Bounds, Lemma6MaxDistances) {
+  const Universe u = Universe::pow2(3, 2);  // side 4
+  EXPECT_EQ(max_manhattan_distance(u), 9u);  // 3 * 3
+  EXPECT_NEAR(max_euclidean_distance(u), std::sqrt(3.0) * 3.0, 1e-12);
+}
+
+TEST(Bounds, SimpleInteriorCellStretch) {
+  // (1/d)(n-1)/(side-1): d=2, side=8, n=64 -> 63/14 = 4.5.
+  EXPECT_DOUBLE_EQ(simple_interior_cell_stretch(Universe::pow2(2, 3)), 4.5);
+}
+
+TEST(Bounds, EuclideanBoundBelowManhattanBoundTimesSqrtD) {
+  // str_E bound = str_M bound * d/sqrt(d) = str_M * sqrt(d).
+  const Universe u = Universe::pow2(3, 2);
+  EXPECT_NEAR(allpairs_euclidean_lower_bound(u),
+              allpairs_manhattan_lower_bound(u) * std::sqrt(3.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace bounds
+}  // namespace sfc

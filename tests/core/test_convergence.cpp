@@ -1,0 +1,71 @@
+#include "sfc/core/convergence.h"
+
+#include <gtest/gtest.h>
+
+namespace sfc {
+namespace {
+
+TEST(MaxLevelBits, RespectsCellBudget) {
+  // d=2: 2^{2k} <= 2^12 -> k = 6.
+  EXPECT_EQ(max_level_bits(2, index_t{1} << 12), 6);
+  EXPECT_EQ(max_level_bits(3, index_t{1} << 12), 4);
+  EXPECT_EQ(max_level_bits(1, index_t{1} << 12), 12);
+  // Never below k_min.
+  EXPECT_EQ(max_level_bits(8, 2, 1), 1);
+}
+
+TEST(DavgSweep, ProducesRequestedRows) {
+  SweepOptions options;
+  options.max_cells = index_t{1} << 12;
+  const auto rows = davg_sweep(CurveFamily::kZ, 2, 1, 4, options);
+  ASSERT_EQ(rows.size(), 4u);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].dim, 2);
+    EXPECT_EQ(rows[i].level_bits, static_cast<int>(i) + 1);
+    EXPECT_EQ(rows[i].n, index_t{1} << (2 * (i + 1)));
+    EXPECT_GT(rows[i].davg, 0.0);
+    EXPECT_GE(rows[i].dmax, rows[i].davg);
+    EXPECT_GT(rows[i].lower_bound, 0.0);
+    EXPECT_GE(rows[i].ratio_to_bound, 1.0);
+  }
+}
+
+TEST(DavgSweep, StopsAtCellBudget) {
+  SweepOptions options;
+  options.max_cells = 256;  // k <= 4 in 2-d
+  const auto rows = davg_sweep(CurveFamily::kSimple, 2, 1, 10, options);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows.back().n, 256u);
+}
+
+TEST(DavgSweep, NormalizedValuesApproachOneForZ) {
+  SweepOptions options;
+  options.max_cells = index_t{1} << 14;
+  const auto rows = davg_sweep(CurveFamily::kZ, 2, 2, 7, options);
+  ASSERT_GE(rows.size(), 3u);
+  // |normalized - 1| shrinks along the sweep.
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LE(std::abs(rows[i].normalized_davg - 1.0),
+              std::abs(rows[i - 1].normalized_davg - 1.0) + 1e-12);
+  }
+}
+
+TEST(DavgSweep, RatioToBoundApproaches1Point5ForSimple) {
+  SweepOptions options;
+  options.max_cells = index_t{1} << 14;
+  const auto rows = davg_sweep(CurveFamily::kSimple, 2, 2, 7, options);
+  EXPECT_NEAR(rows.back().ratio_to_bound, 1.5, 0.1);
+}
+
+TEST(DavgSweep, WorksForRandomFamily) {
+  SweepOptions options;
+  options.max_cells = 1 << 8;
+  options.seed = 5;
+  const auto rows = davg_sweep(CurveFamily::kRandom, 2, 1, 4, options);
+  ASSERT_EQ(rows.size(), 4u);
+  // Random curves sit far above the bound.
+  EXPECT_GT(rows.back().ratio_to_bound, 3.0);
+}
+
+}  // namespace
+}  // namespace sfc

@@ -1,0 +1,119 @@
+// Lemma 4: every NN edge (ζ,η) lies on at most n^{(d+1)/d}/2 decomposition
+// paths p(α,β).  The proof derives the exact multiplicity
+// 2·side^{d-1}·(ζ_i+1)(side-1-ζ_i); we verify that exact count against brute
+// force over all ordered pairs, and the bound on top of it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sfc/core/nn_decomposition.h"
+
+namespace sfc {
+namespace {
+
+u128 brute_force_multiplicity(const Universe& u, const Point& zeta, int dim_i) {
+  Point eta = zeta;
+  ++eta[dim_i];
+  const NNEdge target{zeta, eta};
+  u128 count = 0;
+  for (index_t a = 0; a < u.cell_count(); ++a) {
+    for (index_t b = 0; b < u.cell_count(); ++b) {
+      if (a == b) continue;
+      const auto edges = nn_decomposition(u.from_row_major(a), u.from_row_major(b));
+      if (std::find(edges.begin(), edges.end(), target) != edges.end()) ++count;
+    }
+  }
+  return count;
+}
+
+TEST(Lemma4, ExactMultiplicityFormula2D) {
+  const Universe u(2, 4);
+  for (coord_t x = 0; x + 1 < u.side(); ++x) {
+    for (coord_t y = 0; y < u.side(); ++y) {
+      const Point zeta{x, y};
+      EXPECT_TRUE(brute_force_multiplicity(u, zeta, 0) ==
+                  decomposition_multiplicity(u, zeta, 0))
+          << "edge along dim 1 at " << zeta.to_string();
+    }
+  }
+  for (coord_t x = 0; x < u.side(); ++x) {
+    for (coord_t y = 0; y + 1 < u.side(); ++y) {
+      const Point zeta{x, y};
+      EXPECT_TRUE(brute_force_multiplicity(u, zeta, 1) ==
+                  decomposition_multiplicity(u, zeta, 1))
+          << "edge along dim 2 at " << zeta.to_string();
+    }
+  }
+}
+
+TEST(Lemma4, ExactMultiplicityFormula3D) {
+  const Universe u(3, 3);
+  // Sample a handful of edges in each dimension.
+  const std::vector<Point> cells = {Point{0, 0, 0}, Point{1, 1, 1},
+                                    Point{0, 2, 1}, Point{1, 0, 2}};
+  for (const Point& zeta : cells) {
+    for (int i = 0; i < 3; ++i) {
+      if (zeta[i] + 1 >= u.side()) continue;
+      EXPECT_TRUE(brute_force_multiplicity(u, zeta, i) ==
+                  decomposition_multiplicity(u, zeta, i))
+          << zeta.to_string() << " dim " << i;
+    }
+  }
+}
+
+TEST(Lemma4, MultiplicityNeverExceedsBound) {
+  for (const auto& [d, side] : std::vector<std::pair<int, coord_t>>{
+           {1, 8}, {2, 4}, {2, 8}, {3, 4}}) {
+    const Universe u(d, side);
+    const u128 bound = decomposition_multiplicity_bound(u);
+    for (index_t id = 0; id < u.cell_count(); ++id) {
+      const Point zeta = u.from_row_major(id);
+      for (int i = 0; i < d; ++i) {
+        if (zeta[i] + 1 >= side) continue;
+        EXPECT_TRUE(decomposition_multiplicity(u, zeta, i) <= bound)
+            << "d=" << d << " side=" << side;
+      }
+    }
+  }
+}
+
+TEST(Lemma4, BoundIsTightAtCenterEdges) {
+  // The multiplicity is maximized for ζ_i near side/2; at side=2 the bound
+  // n·side/2 is achieved exactly: 2·side^{d-1}·1·1 = n = n·2/2.
+  const Universe u(2, 2);
+  EXPECT_TRUE(decomposition_multiplicity(u, Point{0, 0}, 0) ==
+              decomposition_multiplicity_bound(u));
+}
+
+TEST(Lemma4, BoundFormula) {
+  EXPECT_TRUE(decomposition_multiplicity_bound(Universe(2, 8)) ==
+              u128{64} * 8 / 2);
+  EXPECT_TRUE(decomposition_multiplicity_bound(Universe(3, 4)) ==
+              u128{64} * 4 / 2);
+}
+
+TEST(Lemma4, TheoremOneCountingStep) {
+  // The Theorem 1 proof needs: Σ over ordered pairs of |p(α,β)| equals
+  // Σ over NN edges of multiplicity(edge).  Check the double-count on a
+  // small universe.
+  const Universe u(2, 3);
+  u128 path_total = 0;
+  for (index_t a = 0; a < u.cell_count(); ++a) {
+    for (index_t b = 0; b < u.cell_count(); ++b) {
+      if (a == b) continue;
+      path_total += nn_decomposition(u.from_row_major(a), u.from_row_major(b)).size();
+    }
+  }
+  u128 edge_total = 0;
+  for (index_t id = 0; id < u.cell_count(); ++id) {
+    const Point zeta = u.from_row_major(id);
+    for (int i = 0; i < u.dim(); ++i) {
+      if (zeta[i] + 1 >= u.side()) continue;
+      edge_total += decomposition_multiplicity(u, zeta, i);
+    }
+  }
+  EXPECT_TRUE(path_total == edge_total);
+}
+
+}  // namespace
+}  // namespace sfc

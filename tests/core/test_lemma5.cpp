@@ -1,0 +1,108 @@
+// Lemma 5: Λ_i(Z)/n^{2-1/d} -> 2^{d-i}/(2^d - 1).  The proof's pre-limit sum
+//   Λ_i(Z) = Σ_j |G_{i,j}| (2^{jd-i} - Σ_{ℓ<j} 2^{ℓd-i})
+// is an exact identity for every finite k; we check measured Λ_i(Z) against
+// it exactly, then check convergence toward the limit.
+#include <gtest/gtest.h>
+
+#include "sfc/core/bounds.h"
+#include "sfc/core/nn_stretch.h"
+#include "sfc/curves/zcurve.h"
+
+namespace sfc {
+namespace {
+
+class Lemma5Exact : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(Lemma5Exact, MeasuredLambdaMatchesClosedFormExactly) {
+  const auto [d, k] = GetParam();
+  const Universe u = Universe::pow2(d, k);
+  const ZCurve z(u);
+  const NNStretchResult r = compute_nn_stretch(z);
+  for (int i = 1; i <= d; ++i) {
+    const u128 expected = bounds::lambda_z_exact(d, k, i);
+    const u128 measured = r.lambda[static_cast<std::size_t>(i - 1)];
+    EXPECT_TRUE(measured == expected)
+        << "d=" << d << " k=" << k << " i=" << i << " measured "
+        << to_string(measured) << " expected " << to_string(expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndLevels, Lemma5Exact,
+    ::testing::Values(std::pair{1, 3}, std::pair{1, 6}, std::pair{2, 1},
+                      std::pair{2, 2}, std::pair{2, 3}, std::pair{2, 5},
+                      std::pair{3, 1}, std::pair{3, 2}, std::pair{3, 3},
+                      std::pair{4, 1}, std::pair{4, 2}, std::pair{5, 2}),
+    [](const auto& name_info) {
+      return "d" + std::to_string(name_info.param.first) + "_k" +
+             std::to_string(name_info.param.second);
+    });
+
+TEST(Lemma5, GroupSizesPartitionNNPairs) {
+  // Σ_j |G_{i,j}| must equal the per-dimension NN pair count.
+  for (int d = 1; d <= 4; ++d) {
+    for (int k = 1; k <= 3; ++k) {
+      const Universe u = Universe::pow2(d, k);
+      u128 total = 0;
+      for (int j = 1; j <= k; ++j) total += bounds::z_group_size(d, k, j);
+      EXPECT_TRUE(equals_u64(total, u.nn_pair_count_per_dim()))
+          << "d=" << d << " k=" << k;
+    }
+  }
+}
+
+TEST(Lemma5, GroupDistancesArePositive) {
+  // 2^{jd-i} dominates the subtracted geometric tail for every valid (i,j).
+  for (int d = 1; d <= 5; ++d) {
+    for (int i = 1; i <= d; ++i) {
+      for (int j = 1; j <= 6; ++j) {
+        EXPECT_TRUE(bounds::z_group_distance(d, i, j) >= 1)
+            << "d=" << d << " i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(Lemma5, NormalizedLambdaConvergesToLimit) {
+  // Λ_i(Z)/n^{2-1/d} must approach 2^{d-i}/(2^d-1) monotonically in k.
+  const int d = 2;
+  for (int i = 1; i <= d; ++i) {
+    double previous_error = 1e9;
+    for (int k = 2; k <= 6; ++k) {
+      const Universe u = Universe::pow2(d, k);
+      const u128 lambda = bounds::lambda_z_exact(d, k, i);
+      // n^{2-1/d} = side^{2d-1}.
+      const long double scale =
+          static_cast<long double>(ipow(u.side(), 2 * d - 1));
+      const double normalized = static_cast<double>(to_long_double(lambda) / scale);
+      const double error = std::abs(normalized - bounds::lambda_z_limit(d, i));
+      EXPECT_LT(error, previous_error) << "k=" << k << " i=" << i;
+      previous_error = error;
+    }
+    EXPECT_LT(previous_error, 0.02) << "not converged for i=" << i;
+  }
+}
+
+TEST(Lemma5, LimitsSumToOne) {
+  // Σ_{i=1..d} 2^{d-i}/(2^d-1) = 1; this is what makes h1 -> n^{2-1/d}/d in
+  // the Theorem 2 proof.
+  for (int d = 1; d <= 6; ++d) {
+    double sum = 0;
+    for (int i = 1; i <= d; ++i) sum += bounds::lambda_z_limit(d, i);
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "d=" << d;
+  }
+}
+
+TEST(Lemma5, AdjacentDimensionRatioIsTwo) {
+  // Λ_i limit is exactly twice the Λ_{i+1} limit: dimension 1 (most
+  // significant in the interleave) suffers the largest stretch.
+  for (int d = 2; d <= 5; ++d) {
+    for (int i = 1; i < d; ++i) {
+      EXPECT_DOUBLE_EQ(bounds::lambda_z_limit(d, i),
+                       2.0 * bounds::lambda_z_limit(d, i + 1));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sfc

@@ -1,0 +1,122 @@
+#include "sfc/core/locality_measures.h"
+
+#include <gtest/gtest.h>
+
+#include "sfc/curves/curve_factory.h"
+#include "sfc/curves/simple_curve.h"
+
+namespace sfc {
+namespace {
+
+// Brute-force reference for the exact mode.
+LocalityMeasures brute_force(const SpaceFillingCurve& curve) {
+  const Universe& u = curve.universe();
+  LocalityMeasures r;
+  r.exact = true;
+  long double sum = 0;
+  for (index_t i = 0; i < u.cell_count(); ++i) {
+    for (index_t j = i + 1; j < u.cell_count(); ++j) {
+      const Point a = curve.point_at(i), b = curve.point_at(j);
+      const auto key_dist = static_cast<double>(j - i);
+      const auto gl = static_cast<double>(squared_euclidean_distance(a, b)) / key_dist;
+      const auto manhattan = static_cast<double>(manhattan_distance(a, b));
+      r.gl_max_euclidean_sq = std::max(r.gl_max_euclidean_sq, gl);
+      r.nrs_max_manhattan_sq =
+          std::max(r.nrs_max_manhattan_sq, manhattan * manhattan / key_dist);
+      sum += static_cast<long double>(gl);
+      ++r.pair_count;
+    }
+  }
+  r.mean_euclidean_sq = static_cast<double>(sum / static_cast<long double>(r.pair_count));
+  return r;
+}
+
+TEST(LocalityMeasures, MatchesBruteForceForEveryFamily) {
+  const Universe u = Universe::pow2(2, 2);
+  for (CurveFamily family : all_curve_families()) {
+    const CurvePtr curve = make_curve(family, u, 5);
+    const LocalityMeasures fast = compute_locality_measures(*curve);
+    const LocalityMeasures slow = brute_force(*curve);
+    EXPECT_DOUBLE_EQ(fast.gl_max_euclidean_sq, slow.gl_max_euclidean_sq)
+        << family_name(family);
+    EXPECT_DOUBLE_EQ(fast.nrs_max_manhattan_sq, slow.nrs_max_manhattan_sq)
+        << family_name(family);
+    EXPECT_NEAR(fast.mean_euclidean_sq, slow.mean_euclidean_sq, 1e-10)
+        << family_name(family);
+    EXPECT_EQ(fast.pair_count, slow.pair_count);
+    EXPECT_TRUE(fast.exact);
+  }
+}
+
+TEST(LocalityMeasures, OneDimensionalIdentityIsPerfect) {
+  // On the identity curve, ∆E² = ∆π², so the ratio is |i-j| maximized at
+  // n-1; the measure scales with n (no curve can keep both directions
+  // constant in 1-d... the ratio ∆E²/∆π = |i-j| itself).
+  const Universe u(1, 16);
+  const SimpleCurve s(u);
+  const LocalityMeasures r = compute_locality_measures(s);
+  EXPECT_DOUBLE_EQ(r.gl_max_euclidean_sq, 15.0);
+}
+
+TEST(LocalityMeasures, HilbertReproducesGotsmanLindenbaumWindow) {
+  // Gotsman & Lindenbaum prove the 2-d Hilbert measure tends to a value in
+  // [6, 6.5] as the grid grows; finite grids approach the window from below
+  // (measured: ~4.7 at k=3, ~5.2 at k=5).  Check the value stays under the
+  // proven ceiling and increases toward the window with k.
+  double previous = 0.0;
+  for (int k : {3, 4, 5, 6}) {
+    const Universe u = Universe::pow2(2, k);
+    const CurvePtr h = make_curve(CurveFamily::kHilbert, u);
+    const LocalityMeasures r = compute_locality_measures(*h);
+    EXPECT_LE(r.gl_max_euclidean_sq, 6.5 + 1e-9) << "k=" << k;
+    EXPECT_GE(r.gl_max_euclidean_sq, previous - 1e-9) << "k=" << k;
+    previous = r.gl_max_euclidean_sq;
+  }
+  EXPECT_GE(previous, 4.5);  // the k=6 value is well inside reach of [6,6.5]
+}
+
+TEST(LocalityMeasures, HilbertBeatsZCurve) {
+  // The Z curve's discontinuities blow up the inverse-direction measure;
+  // Hilbert's continuity keeps it bounded — the classical reason Hilbert is
+  // preferred for image scans despite Theorem 2 favouring neither.
+  const Universe u = Universe::pow2(2, 4);
+  const LocalityMeasures hilbert =
+      compute_locality_measures(*make_curve(CurveFamily::kHilbert, u));
+  const LocalityMeasures z =
+      compute_locality_measures(*make_curve(CurveFamily::kZ, u));
+  EXPECT_LT(hilbert.gl_max_euclidean_sq, z.gl_max_euclidean_sq);
+}
+
+TEST(LocalityMeasures, WindowedModeBoundsExactFromBelow) {
+  const Universe u = Universe::pow2(2, 4);
+  const CurvePtr h = make_curve(CurveFamily::kHilbert, u);
+  const LocalityMeasures exact = compute_locality_measures(*h);
+  LocalityOptions windowed;
+  windowed.max_exact_cells = 1;  // force the windowed path
+  windowed.window = 32;
+  const LocalityMeasures approx = compute_locality_measures(*h, windowed);
+  EXPECT_FALSE(approx.exact);
+  EXPECT_LE(approx.gl_max_euclidean_sq, exact.gl_max_euclidean_sq + 1e-12);
+  EXPECT_GT(approx.gl_max_euclidean_sq, 0.0);
+  EXPECT_LT(approx.pair_count, exact.pair_count);
+}
+
+TEST(LocalityMeasures, MeanNeverExceedsMax) {
+  const Universe u = Universe::pow2(2, 3);
+  for (CurveFamily family : analytic_curve_families()) {
+    const LocalityMeasures r =
+        compute_locality_measures(*make_curve(family, u));
+    EXPECT_LE(r.mean_euclidean_sq, r.gl_max_euclidean_sq) << family_name(family);
+  }
+}
+
+TEST(LocalityMeasures, ManhattanMaxDominatesEuclidean) {
+  // ∆ >= ∆E pointwise, so the NRS variant dominates the GL variant.
+  const Universe u = Universe::pow2(2, 3);
+  const LocalityMeasures r =
+      compute_locality_measures(*make_curve(CurveFamily::kZ, u));
+  EXPECT_GE(r.nrs_max_manhattan_sq, r.gl_max_euclidean_sq);
+}
+
+}  // namespace
+}  // namespace sfc

@@ -1,0 +1,110 @@
+#include "sfc/core/nn_decomposition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace sfc {
+namespace {
+
+TEST(NNDecomposition, SingleDimensionPath) {
+  // p((6,4,5),(3,4,5)) from the paper: three edges along dimension 1.
+  const auto edges = nn_decomposition(Point{6, 4, 5}, Point{3, 4, 5});
+  ASSERT_EQ(edges.size(), 3u);
+  const std::set<std::pair<std::string, std::string>> got = {
+      {edges[0].first.to_string(), edges[0].second.to_string()},
+      {edges[1].first.to_string(), edges[1].second.to_string()},
+      {edges[2].first.to_string(), edges[2].second.to_string()}};
+  const std::set<std::pair<std::string, std::string>> want = {
+      {"(3,4,5)", "(4,4,5)"}, {"(4,4,5)", "(5,4,5)"}, {"(5,4,5)", "(6,4,5)"}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(NNDecomposition, SymmetricWhenOneDimensionDiffers) {
+  // If α and β differ in only one coordinate, p(α,β) = p(β,α).
+  const auto forward = nn_decomposition(Point{2, 7}, Point{5, 7});
+  const auto backward = nn_decomposition(Point{5, 7}, Point{2, 7});
+  ASSERT_EQ(forward.size(), backward.size());
+  for (std::size_t i = 0; i < forward.size(); ++i) {
+    // Same edge sets (order may differ); compare as sets.
+    const auto in_backward = std::find(backward.begin(), backward.end(), forward[i]);
+    EXPECT_NE(in_backward, backward.end());
+  }
+}
+
+TEST(NNDecomposition, Figure2Example) {
+  // Paper Figure 2: α=(1,1), β=(3,5).
+  // p(α,β) = {((1,1),(2,1)), ((2,1),(3,1)), ((3,1),(3,2)), ((3,2),(3,3)),
+  //           ((3,3),(3,4)), ((3,4),(3,5))}.
+  const auto edges = nn_decomposition(Point{1, 1}, Point{3, 5});
+  ASSERT_EQ(edges.size(), 6u);
+  EXPECT_EQ(edges[0], (NNEdge{Point{1, 1}, Point{2, 1}}));
+  EXPECT_EQ(edges[1], (NNEdge{Point{2, 1}, Point{3, 1}}));
+  EXPECT_EQ(edges[2], (NNEdge{Point{3, 1}, Point{3, 2}}));
+  EXPECT_EQ(edges[3], (NNEdge{Point{3, 2}, Point{3, 3}}));
+  EXPECT_EQ(edges[4], (NNEdge{Point{3, 3}, Point{3, 4}}));
+  EXPECT_EQ(edges[5], (NNEdge{Point{3, 4}, Point{3, 5}}));
+}
+
+TEST(NNDecomposition, Figure2ReverseDiffers) {
+  // p(β,α) corrects dimension 1 first from β=(3,5):
+  // {((1,5),(2,5)), ((2,5),(3,5)), ((1,1),(1,2)), ((1,2),(1,3)),
+  //  ((1,3),(1,4)), ((1,4),(1,5))}.
+  const auto edges = nn_decomposition(Point{3, 5}, Point{1, 1});
+  ASSERT_EQ(edges.size(), 6u);
+  const std::set<std::string> got = [&] {
+    std::set<std::string> s;
+    for (const auto& e : edges) s.insert(e.first.to_string() + e.second.to_string());
+    return s;
+  }();
+  const std::set<std::string> want = {"(1,5)(2,5)", "(2,5)(3,5)", "(1,1)(1,2)",
+                                      "(1,2)(1,3)", "(1,3)(1,4)", "(1,4)(1,5)"};
+  EXPECT_EQ(got, want);
+  // And it differs from the forward decomposition.
+  const auto forward = nn_decomposition(Point{1, 1}, Point{3, 5});
+  std::set<std::string> fwd;
+  for (const auto& e : forward) fwd.insert(e.first.to_string() + e.second.to_string());
+  EXPECT_NE(got, fwd);
+}
+
+TEST(NNDecomposition, PathLengthEqualsManhattanDistance) {
+  const Point alpha{1, 8, 3};
+  const Point beta{5, 2, 7};
+  const auto edges = nn_decomposition(alpha, beta);
+  EXPECT_EQ(edges.size(), manhattan_distance(alpha, beta));
+}
+
+TEST(NNDecomposition, VerticesFormNNChain) {
+  const auto vertices = nn_decomposition_vertices(Point{0, 0, 0}, Point{2, 3, 1});
+  ASSERT_EQ(vertices.size(), 7u);  // Manhattan distance 6 + 1
+  EXPECT_EQ(vertices.front(), (Point{0, 0, 0}));
+  EXPECT_EQ(vertices.back(), (Point{2, 3, 1}));
+  for (std::size_t i = 0; i + 1 < vertices.size(); ++i) {
+    EXPECT_EQ(manhattan_distance(vertices[i], vertices[i + 1]), 1u);
+  }
+}
+
+TEST(NNDecomposition, DimensionsCorrectedInOrder) {
+  // The path corrects dimension 1 first, then 2, then 3.
+  const auto vertices = nn_decomposition_vertices(Point{0, 0, 0}, Point{1, 1, 1});
+  ASSERT_EQ(vertices.size(), 4u);
+  EXPECT_EQ(vertices[1], (Point{1, 0, 0}));
+  EXPECT_EQ(vertices[2], (Point{1, 1, 0}));
+  EXPECT_EQ(vertices[3], (Point{1, 1, 1}));
+}
+
+TEST(NNDecomposition, EqualPointsYieldEmptyPath) {
+  EXPECT_TRUE(nn_decomposition(Point{4, 4}, Point{4, 4}).empty());
+  EXPECT_EQ(nn_decomposition_vertices(Point{4, 4}, Point{4, 4}).size(), 1u);
+}
+
+TEST(NNDecomposition, EveryEdgeIsANearestNeighborPair) {
+  const auto edges = nn_decomposition(Point{7, 0, 2, 5}, Point{1, 6, 2, 0});
+  for (const auto& [a, b] : edges) {
+    EXPECT_EQ(manhattan_distance(a, b), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace sfc

@@ -1,0 +1,90 @@
+#include "sfc/core/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sfc/core/bounds.h"
+#include "sfc/core/nn_stretch.h"
+
+namespace sfc {
+namespace {
+
+OptimizeOptions quick_options(std::uint64_t iterations, std::uint64_t seed = 3) {
+  OptimizeOptions options;
+  options.iterations = iterations;
+  options.seed = seed;
+  options.random_accept = 0.02;
+  return options;
+}
+
+TEST(Optimizer, ResultIsAValidBijection) {
+  const Universe u(2, 4);
+  const OptimizeResult result = optimize_davg(u, {}, quick_options(20000));
+  std::vector<index_t> sorted = result.keys;
+  std::sort(sorted.begin(), sorted.end());
+  for (index_t i = 0; i < u.cell_count(); ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Optimizer, NeverWorseThanStart) {
+  const Universe u(2, 4);
+  const OptimizeResult result = optimize_davg(u, {}, quick_options(20000));
+  EXPECT_LE(result.best_davg, result.initial_davg);
+}
+
+TEST(Optimizer, ReportedDavgMatchesRecomputation) {
+  const Universe u(2, 4);
+  OptimizeResult result = optimize_davg(u, {}, quick_options(20000));
+  const CurvePtr curve = make_optimized_curve(u, result);
+  const double recomputed = compute_nn_stretch(*curve).average_average;
+  EXPECT_NEAR(result.best_davg, recomputed, 1e-9);
+}
+
+TEST(Optimizer, RespectsTheorem1Bound) {
+  // However hard we optimize, Theorem 1 caps the improvement.
+  const Universe u(2, 4);
+  const OptimizeResult result = optimize_davg(u, {}, quick_options(100000));
+  EXPECT_GE(result.best_davg, bounds::davg_lower_bound(u) - 1e-12);
+}
+
+TEST(Optimizer, ImprovesOnRowMajorFor4x4) {
+  // Row-major Davg on 4x4 is 2.5; local search must find something better
+  // (the Z curve already achieves 2.375).
+  const Universe u(2, 4);
+  const OptimizeResult result = optimize_davg(u, {}, quick_options(100000));
+  EXPECT_DOUBLE_EQ(result.initial_davg, 2.5);
+  EXPECT_LT(result.best_davg, 2.5);
+}
+
+TEST(Optimizer, DeterministicInSeed) {
+  const Universe u(2, 3);
+  const OptimizeResult a = optimize_davg(u, {}, quick_options(5000, 11));
+  const OptimizeResult b = optimize_davg(u, {}, quick_options(5000, 11));
+  EXPECT_EQ(a.best_davg, b.best_davg);
+  EXPECT_EQ(a.keys, b.keys);
+}
+
+TEST(Optimizer, AcceptsCustomStart) {
+  const Universe u(2, 3);
+  // Start from a reversed ordering.
+  std::vector<index_t> reversed(u.cell_count());
+  for (index_t i = 0; i < u.cell_count(); ++i) {
+    reversed[i] = u.cell_count() - 1 - i;
+  }
+  const OptimizeResult result =
+      optimize_davg(u, reversed, quick_options(20000));
+  // Reversal does not change Davg of row-major (|a-b| is reversal-invariant);
+  // on the 3x3 grid the row-major Davg works out to exactly 2.
+  EXPECT_DOUBLE_EQ(result.initial_davg, 2.0);
+  EXPECT_LE(result.best_davg, result.initial_davg);
+}
+
+TEST(Optimizer, TracksAcceptedMoves) {
+  const Universe u(2, 3);
+  const OptimizeResult result = optimize_davg(u, {}, quick_options(5000));
+  EXPECT_GT(result.accepted_moves, 0u);
+  EXPECT_LE(result.accepted_moves, result.iterations);
+}
+
+}  // namespace
+}  // namespace sfc

@@ -1,0 +1,131 @@
+// Propositions 1-4 (§V): Dmax lower bound, exact Dmax(S), all-pairs stretch
+// lower bounds for every SFC and upper bounds for the simple curve.
+#include <gtest/gtest.h>
+
+#include "sfc/core/all_pairs.h"
+#include "sfc/core/bounds.h"
+#include "sfc/core/nn_stretch.h"
+#include "sfc/curves/curve_factory.h"
+#include "sfc/curves/permutation_curve.h"
+#include "sfc/curves/simple_curve.h"
+
+namespace sfc {
+namespace {
+
+TEST(Proposition1, DmaxBoundHoldsForEveryFamily) {
+  for (const auto& [d, k] : std::vector<std::pair<int, int>>{{1, 4}, {2, 3}, {3, 2}}) {
+    const Universe u = Universe::pow2(d, k);
+    const double bound = bounds::dmax_lower_bound(u);
+    for (CurveFamily family : all_curve_families()) {
+      const CurvePtr curve = make_curve(family, u, 13);
+      const NNStretchResult r = compute_nn_stretch(*curve);
+      EXPECT_GE(r.average_maximum, bound * (1 - 1e-12))
+          << family_name(family) << " d=" << d;
+      // Dmax >= Davg always (max dominates mean).
+      EXPECT_GE(r.average_maximum, r.average_average * (1 - 1e-12))
+          << family_name(family);
+    }
+  }
+}
+
+TEST(Proposition2, DmaxSimpleIsExactlyNPow1m1d) {
+  // Dmax(S) = n^{1-1/d} as an exact equality, for any d and side >= 2.
+  for (const auto& [d, side] : std::vector<std::pair<int, coord_t>>{
+           {1, 8}, {2, 4}, {2, 8}, {2, 6}, {3, 4}, {4, 3}}) {
+    const Universe u(d, side);
+    const SimpleCurve s(u);
+    const NNStretchResult r = compute_nn_stretch(s);
+    EXPECT_DOUBLE_EQ(r.average_maximum,
+                     static_cast<double>(bounds::dmax_simple_exact(u)))
+        << "d=" << d << " side=" << side;
+  }
+}
+
+TEST(Proposition2, EveryCellAchievesTheMaximum) {
+  // The proof: every cell has a dimension-d neighbor at distance side^{d-1}.
+  const Universe u(3, 4);
+  const SimpleCurve s(u);
+  for (index_t id = 0; id < u.cell_count(); ++id) {
+    EXPECT_EQ(cell_maximum_stretch(s, u.from_row_major(id)),
+              bounds::dmax_simple_exact(u));
+  }
+}
+
+TEST(Proposition3, AllPairsBoundsHoldForEveryFamily) {
+  const Universe u = Universe::pow2(2, 3);
+  const double bound_m = bounds::allpairs_manhattan_lower_bound(u);
+  const double bound_e = bounds::allpairs_euclidean_lower_bound(u);
+  for (CurveFamily family : all_curve_families()) {
+    const CurvePtr curve = make_curve(family, u, 21);
+    const AllPairsResult r = compute_all_pairs_exact(*curve);
+    EXPECT_GE(r.avg_stretch_manhattan, bound_m * (1 - 1e-12)) << family_name(family);
+    EXPECT_GE(r.avg_stretch_euclidean, bound_e * (1 - 1e-12)) << family_name(family);
+  }
+}
+
+TEST(Proposition3, HoldsForAdversarialRandomBijections) {
+  const Universe u(2, 4);
+  const double bound_m = bounds::allpairs_manhattan_lower_bound(u);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const CurvePtr curve = PermutationCurve::random(u, seed);
+    const AllPairsResult r = compute_all_pairs_exact(*curve);
+    EXPECT_GE(r.avg_stretch_manhattan, bound_m) << "seed=" << seed;
+  }
+}
+
+TEST(Proposition3, HoldsIn3D) {
+  const Universe u = Universe::pow2(3, 2);
+  const double bound_m = bounds::allpairs_manhattan_lower_bound(u);
+  const double bound_e = bounds::allpairs_euclidean_lower_bound(u);
+  const CurvePtr z = make_curve(CurveFamily::kZ, u);
+  const AllPairsResult r = compute_all_pairs_exact(*z);
+  EXPECT_GE(r.avg_stretch_manhattan, bound_m);
+  EXPECT_GE(r.avg_stretch_euclidean, bound_e);
+}
+
+TEST(Proposition4, SimpleCurveUpperBounds) {
+  // str_M(S) <= n^{1-1/d}, str_E(S) <= sqrt(2) n^{1-1/d} — and per Lemma 7
+  // these hold per-pair, hence for the averages.
+  for (const auto& [d, side] : std::vector<std::pair<int, coord_t>>{
+           {1, 16}, {2, 8}, {3, 4}}) {
+    const Universe u(d, side);
+    const SimpleCurve s(u);
+    const AllPairsResult r = compute_all_pairs_exact(s);
+    EXPECT_LE(r.avg_stretch_manhattan,
+              bounds::allpairs_simple_manhattan_upper_bound(u) * (1 + 1e-12))
+        << "d=" << d;
+    EXPECT_LE(r.avg_stretch_euclidean,
+              bounds::allpairs_simple_euclidean_upper_bound(u) * (1 + 1e-12))
+        << "d=" << d;
+  }
+}
+
+TEST(Proposition4Lemma7, PerPairRatioBound) {
+  // Lemma 7: ∆S/∆ <= n^{1-1/d} and ∆S/∆E <= sqrt(2) n^{1-1/d} for EVERY pair.
+  const Universe u(2, 8);
+  const SimpleCurve s(u);
+  const double bound_m = bounds::allpairs_simple_manhattan_upper_bound(u);
+  const double bound_e = bounds::allpairs_simple_euclidean_upper_bound(u);
+  for (index_t a = 0; a < u.cell_count(); ++a) {
+    for (index_t b = a + 1; b < u.cell_count(); ++b) {
+      const Point pa = u.from_row_major(a), pb = u.from_row_major(b);
+      const auto dist = static_cast<double>(s.curve_distance(pa, pb));
+      EXPECT_LE(dist / static_cast<double>(manhattan_distance(pa, pb)),
+                bound_m * (1 + 1e-12));
+      EXPECT_LE(dist / euclidean_distance(pa, pb), bound_e * (1 + 1e-12));
+    }
+  }
+}
+
+TEST(Lemma6, MaxDistancesAchievedAtOppositeCorners) {
+  const Universe u = Universe::pow2(2, 3);
+  Point far = Point::zero(2);
+  far[0] = far[1] = u.side() - 1;
+  EXPECT_EQ(manhattan_distance(Point::zero(2), far),
+            bounds::max_manhattan_distance(u));
+  EXPECT_NEAR(euclidean_distance(Point::zero(2), far),
+              bounds::max_euclidean_distance(u), 1e-12);
+}
+
+}  // namespace
+}  // namespace sfc

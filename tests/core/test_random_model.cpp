@@ -1,0 +1,104 @@
+#include "sfc/core/random_model.h"
+
+#include <gtest/gtest.h>
+
+#include "sfc/core/nn_stretch.h"
+#include "sfc/curves/curve_factory.h"
+
+namespace sfc {
+namespace {
+
+TEST(RandomModel, Names) {
+  EXPECT_EQ(input_model_name(InputModel::kUniform), "uniform");
+  EXPECT_EQ(input_model_name(InputModel::kGaussianBlob), "gaussian-blob");
+  EXPECT_EQ(input_model_name(InputModel::kDiagonalBand), "diagonal-band");
+}
+
+TEST(RandomModel, SamplesAreInsideTheUniverse) {
+  const Universe u = Universe::pow2(2, 5);
+  Xoshiro256 rng(3);
+  for (InputModel model : {InputModel::kUniform, InputModel::kGaussianBlob,
+                           InputModel::kDiagonalBand}) {
+    for (int trial = 0; trial < 500; ++trial) {
+      EXPECT_TRUE(u.contains(sample_model_cell(model, u, rng)))
+          << input_model_name(model);
+    }
+  }
+}
+
+TEST(RandomModel, GaussianBlobConcentratesNearCenter) {
+  const Universe u = Universe::pow2(2, 6);
+  Xoshiro256 rng(5);
+  double mean_center_dist = 0.0;
+  const int trials = 2000;
+  const Point center{32, 32};
+  for (int trial = 0; trial < trials; ++trial) {
+    const Point p = sample_model_cell(InputModel::kGaussianBlob, u, rng);
+    mean_center_dist += euclidean_distance(p, center);
+  }
+  mean_center_dist /= trials;
+  // Sigma = side/8 = 8 -> mean radius ~ 8*sqrt(pi/2) ~ 10; far below the
+  // ~24.5 a uniform sample would give.
+  EXPECT_LT(mean_center_dist, 16.0);
+}
+
+TEST(RandomModel, DiagonalBandStaysNearDiagonal) {
+  const Universe u = Universe::pow2(2, 6);
+  Xoshiro256 rng(7);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const Point p = sample_model_cell(InputModel::kDiagonalBand, u, rng);
+    const double diff = std::abs(static_cast<double>(p[0]) - p[1]);
+    EXPECT_LE(diff, 8.0);  // band half-width side/8 = 8
+  }
+}
+
+TEST(RandomModel, UniformWeightedDavgMatchesEngine) {
+  // With the uniform model, the query-weighted Davg estimator converges to
+  // the true Davg from the metric engine.
+  const Universe u = Universe::pow2(2, 4);
+  const CurvePtr z = make_curve(CurveFamily::kZ, u);
+  const NNStretchResult exact = compute_nn_stretch(*z);
+  const ModelStretch sampled =
+      measure_model_stretch(*z, InputModel::kUniform, 40000, 9);
+  EXPECT_NEAR(sampled.weighted_davg, exact.average_average,
+              5 * sampled.stderr_davg + 1e-9);
+}
+
+TEST(RandomModel, DeterministicInSeed) {
+  const Universe u = Universe::pow2(2, 4);
+  const CurvePtr h = make_curve(CurveFamily::kHilbert, u);
+  const ModelStretch a =
+      measure_model_stretch(*h, InputModel::kGaussianBlob, 2000, 11);
+  const ModelStretch b =
+      measure_model_stretch(*h, InputModel::kGaussianBlob, 2000, 11);
+  EXPECT_EQ(a.weighted_davg, b.weighted_davg);
+  EXPECT_EQ(a.weighted_allpairs_manhattan, b.weighted_allpairs_manhattan);
+}
+
+TEST(RandomModel, ClusteredPairsSeeHigherRelativeStretch) {
+  // Hot-spot pairs are spatially close, and the ratio ∆π/∆ is largest for
+  // close pairs (the NN pairs are the worst case — that is why the paper
+  // centers on NN stretch).  So clustered input sees HIGHER relative
+  // stretch than uniform input — the empirical §VI-4 observation.
+  const Universe u = Universe::pow2(2, 6);
+  const CurvePtr h = make_curve(CurveFamily::kHilbert, u);
+  const ModelStretch uniform =
+      measure_model_stretch(*h, InputModel::kUniform, 20000, 13);
+  const ModelStretch blob =
+      measure_model_stretch(*h, InputModel::kGaussianBlob, 20000, 13);
+  EXPECT_GT(blob.weighted_allpairs_manhattan,
+            uniform.weighted_allpairs_manhattan);
+}
+
+TEST(RandomModel, ReportsSampleCount) {
+  const Universe u = Universe::pow2(2, 3);
+  const CurvePtr s = make_curve(CurveFamily::kSimple, u);
+  const ModelStretch r =
+      measure_model_stretch(*s, InputModel::kDiagonalBand, 500, 1);
+  EXPECT_EQ(r.samples, 500u);
+  EXPECT_EQ(r.model, InputModel::kDiagonalBand);
+  EXPECT_GT(r.weighted_davg, 0.0);
+}
+
+}  // namespace
+}  // namespace sfc

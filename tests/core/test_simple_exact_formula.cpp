@@ -1,0 +1,89 @@
+// The exact finite-n Davg(S) formula (bounds::davg_simple_exact) — our
+// sharpening of the paper's Theorem-3 asymptote — must agree with the metric
+// engine for every dimension and side.
+#include <gtest/gtest.h>
+
+#include "sfc/core/bounds.h"
+#include "sfc/core/nn_stretch.h"
+#include "sfc/curves/simple_curve.h"
+
+namespace sfc {
+namespace {
+
+class SimpleExactFormula
+    : public ::testing::TestWithParam<std::pair<int, coord_t>> {};
+
+TEST_P(SimpleExactFormula, MatchesMetricEngine) {
+  const auto [d, side] = GetParam();
+  const Universe u(d, side);
+  const SimpleCurve s(u);
+  const NNStretchResult measured = compute_nn_stretch(s);
+  EXPECT_NEAR(bounds::davg_simple_exact(u), measured.average_average,
+              1e-9 * (1.0 + measured.average_average))
+      << "d=" << d << " side=" << side;
+  EXPECT_DOUBLE_EQ(bounds::davg_min_simple_exact(u), measured.average_minimum)
+      << "d=" << d << " side=" << side;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndSides, SimpleExactFormula,
+    ::testing::Values(std::pair<int, coord_t>{1, 2},
+                      std::pair<int, coord_t>{1, 17},
+                      std::pair<int, coord_t>{2, 2},
+                      std::pair<int, coord_t>{2, 3},
+                      std::pair<int, coord_t>{2, 8},
+                      std::pair<int, coord_t>{2, 13},
+                      std::pair<int, coord_t>{3, 2},
+                      std::pair<int, coord_t>{3, 4},
+                      std::pair<int, coord_t>{3, 7},
+                      std::pair<int, coord_t>{4, 3},
+                      std::pair<int, coord_t>{4, 4}),
+    [](const auto& name_info) {
+      return "d" + std::to_string(name_info.param.first) + "_side" +
+             std::to_string(name_info.param.second);
+    });
+
+TEST(SimpleExactFormula, KnownSmallValues) {
+  // Hand-computed earlier: 4x4 -> 2.5; 3x3 -> 2; 2x2 -> 1.5.
+  EXPECT_DOUBLE_EQ(bounds::davg_simple_exact(Universe(2, 4)), 2.5);
+  EXPECT_DOUBLE_EQ(bounds::davg_simple_exact(Universe(2, 3)), 2.0);
+  EXPECT_DOUBLE_EQ(bounds::davg_simple_exact(Universe(2, 2)), 1.5);
+}
+
+TEST(SimpleExactFormula, OneDimensionalIsOne) {
+  for (coord_t side : {coord_t{2}, coord_t{10}, coord_t{100}}) {
+    EXPECT_DOUBLE_EQ(bounds::davg_simple_exact(Universe(1, side)), 1.0);
+  }
+}
+
+TEST(SimpleExactFormula, DegenerateSideOne) {
+  EXPECT_DOUBLE_EQ(bounds::davg_simple_exact(Universe(3, 1)), 0.0);
+  EXPECT_DOUBLE_EQ(bounds::davg_min_simple_exact(Universe(3, 1)), 0.0);
+}
+
+TEST(SimpleExactFormula, ConvergesToTheorem3Asymptote) {
+  // d * exact / n^{1-1/d} -> 1 as the side grows.
+  double previous_error = 1e18;
+  for (coord_t side : {coord_t{4}, coord_t{8}, coord_t{16}, coord_t{32},
+                       coord_t{64}, coord_t{128}}) {
+    const Universe u(2, side);
+    const double normalized =
+        2.0 * bounds::davg_simple_exact(u) / static_cast<double>(side);
+    const double error = std::abs(normalized - 1.0);
+    EXPECT_LT(error, previous_error) << "side=" << side;
+    previous_error = error;
+  }
+  EXPECT_LT(previous_error, 0.02);
+}
+
+TEST(SimpleExactFormula, ExactBeatsAsymptoteAtSmallN) {
+  // At small n the exact value differs measurably from the asymptote —
+  // the reason to have the exact formula at all.
+  const Universe u(2, 4);
+  const double exact = bounds::davg_simple_exact(u);
+  const double asymptote = bounds::davg_zs_asymptote(u);
+  EXPECT_GT(std::abs(exact - asymptote) / asymptote, 0.2);
+}
+
+}  // namespace
+}  // namespace sfc

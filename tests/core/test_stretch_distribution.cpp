@@ -1,0 +1,87 @@
+#include "sfc/core/stretch_distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sfc/core/bounds.h"
+#include "sfc/core/nn_stretch.h"
+#include "sfc/curves/curve_factory.h"
+#include "sfc/curves/toy_curves.h"
+
+namespace sfc {
+namespace {
+
+TEST(StretchDistribution, MeansMatchMetricEngine) {
+  const Universe u = Universe::pow2(2, 4);
+  for (CurveFamily family : all_curve_families()) {
+    const CurvePtr curve = make_curve(family, u, 7);
+    const StretchDistribution dist = compute_stretch_distribution(*curve);
+    const NNStretchResult engine = compute_nn_stretch(*curve);
+    EXPECT_NEAR(dist.cell_average.mean, engine.average_average, 1e-9)
+        << family_name(family);
+    EXPECT_NEAR(dist.cell_maximum.mean, engine.average_maximum, 1e-9)
+        << family_name(family);
+    EXPECT_NEAR(dist.cell_minimum.mean, engine.average_minimum, 1e-9)
+        << family_name(family);
+  }
+}
+
+TEST(StretchDistribution, QuantilesAreMonotone) {
+  const Universe u = Universe::pow2(2, 5);
+  const CurvePtr z = make_curve(CurveFamily::kZ, u);
+  const StretchDistribution dist = compute_stretch_distribution(*z);
+  for (const DistributionSummary* summary :
+       {&dist.cell_average, &dist.cell_maximum, &dist.cell_minimum}) {
+    EXPECT_LE(summary->p10, summary->p50);
+    EXPECT_LE(summary->p50, summary->p90);
+    EXPECT_LE(summary->p90, summary->p99);
+    EXPECT_LE(summary->p99, summary->max);
+  }
+}
+
+TEST(StretchDistribution, HistogramCountsAllCells) {
+  const Universe u = Universe::pow2(2, 4);
+  const CurvePtr h = make_curve(CurveFamily::kHilbert, u);
+  DistributionOptions options;
+  options.histogram_bins = 8;
+  const StretchDistribution dist = compute_stretch_distribution(*h, options);
+  ASSERT_EQ(dist.average_histogram.size(), 8u);
+  const index_t total = std::accumulate(dist.average_histogram.begin(),
+                                        dist.average_histogram.end(), index_t{0});
+  EXPECT_EQ(total, u.cell_count());
+  EXPECT_GT(dist.histogram_bucket_width, 0.0);
+}
+
+TEST(StretchDistribution, ToyCurveConstantDistribution) {
+  // Every cell of π1 has δavg = 1.5: the distribution is a point mass.
+  const StretchDistribution dist =
+      compute_stretch_distribution(*make_figure1_pi1());
+  EXPECT_DOUBLE_EQ(dist.cell_average.p10, 1.5);
+  EXPECT_DOUBLE_EQ(dist.cell_average.max, 1.5);
+}
+
+TEST(StretchDistribution, SimpleCurveMaxIsPointMass) {
+  // Prop. 2's proof: EVERY cell of the simple curve has δmax = n^{1-1/d}.
+  const Universe u(2, 8);
+  const CurvePtr s = make_curve(CurveFamily::kSimple, u);
+  const StretchDistribution dist = compute_stretch_distribution(*s);
+  const auto expected = static_cast<double>(bounds::dmax_simple_exact(u));
+  EXPECT_DOUBLE_EQ(dist.cell_maximum.p10, expected);
+  EXPECT_DOUBLE_EQ(dist.cell_maximum.max, expected);
+}
+
+TEST(StretchDistribution, PaperIntuitionMostCellsHaveTwoFarNeighbors) {
+  // §V-A's intuition for the Dmax/Davg factor-d gap on the simple curve:
+  // for the vast majority of cells, two neighbors are far (distance
+  // side^{d-1}) and the other 2d-2 are close, so the per-cell δavg median
+  // sits near (2·side + 2)/4 in 2-d while δmax is side for all.
+  const Universe u(2, 16);
+  const CurvePtr s = make_curve(CurveFamily::kSimple, u);
+  const StretchDistribution dist = compute_stretch_distribution(*s);
+  EXPECT_NEAR(dist.cell_average.p50, (2.0 * 16 + 2) / 4, 1.0);
+  EXPECT_DOUBLE_EQ(dist.cell_maximum.p50, 16.0);
+}
+
+}  // namespace
+}  // namespace sfc

@@ -1,0 +1,129 @@
+// Theorem 1: Davg(π) >= (2/3d)(n^{1-1/d} - n^{-1-1/d}) for ANY SFC π.
+//
+// The strongest possible finite check: enumerate ALL 24 bijections of the
+// 2x2 universe and confirm none beats the bound; then check adversarial
+// random bijections and every named curve across dimensions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sfc/core/bounds.h"
+#include "sfc/core/nn_stretch.h"
+#include "sfc/curves/curve_factory.h"
+#include "sfc/curves/permutation_curve.h"
+
+namespace sfc {
+namespace {
+
+TEST(Theorem1, HoldsForAll24BijectionsOf2x2) {
+  const Universe u(2, 2);
+  const double bound = bounds::davg_lower_bound(u);
+  std::vector<index_t> keys = {0, 1, 2, 3};
+  double best = 1e18;
+  int checked = 0;
+  do {
+    const PermutationCurve curve(u, keys);
+    const NNStretchResult r = compute_nn_stretch(curve);
+    EXPECT_GE(r.average_average, bound - 1e-12);
+    best = std::min(best, r.average_average);
+    ++checked;
+  } while (std::next_permutation(keys.begin(), keys.end()));
+  EXPECT_EQ(checked, 24);
+  // On the 2x2 grid the optimum is Davg = 1.5 (achieved by π1 among others)
+  // while the bound evaluates to (1/3)(2 - 1/8) = 0.625: the bound holds
+  // with room, as expected from its asymptotic nature.
+  EXPECT_DOUBLE_EQ(best, 1.5);
+  EXPECT_NEAR(bound, 0.625, 1e-12);
+}
+
+TEST(Theorem1, HoldsForAllBijectionsOf1DSize4) {
+  // d=1 exhaustive: n=4, bound = (2/3)(1 - 1/16) = 0.625.
+  const Universe u(1, 4);
+  const double bound = bounds::davg_lower_bound(u);
+  std::vector<index_t> keys = {0, 1, 2, 3};
+  double best = 1e18;
+  do {
+    const PermutationCurve curve(u, keys);
+    best = std::min(best, compute_nn_stretch(curve).average_average);
+  } while (std::next_permutation(keys.begin(), keys.end()));
+  EXPECT_GE(best, bound - 1e-12);
+  // The identity ordering achieves Davg = 1 in one dimension.
+  EXPECT_DOUBLE_EQ(best, 1.0);
+}
+
+class Theorem1Sweep
+    : public ::testing::TestWithParam<std::tuple<CurveFamily, int, int>> {};
+
+TEST_P(Theorem1Sweep, BoundHolds) {
+  const auto& [family, d, k] = GetParam();
+  const Universe u = Universe::pow2(d, k);
+  const CurvePtr curve = make_curve(family, u, 77);
+  const NNStretchResult r = compute_nn_stretch(*curve);
+  const double bound = bounds::davg_lower_bound(u);
+  EXPECT_GE(r.average_average, bound * (1 - 1e-12))
+      << family_name(family) << " d=" << d << " k=" << k;
+}
+
+std::vector<std::tuple<CurveFamily, int, int>> sweep_params() {
+  std::vector<std::tuple<CurveFamily, int, int>> params;
+  for (CurveFamily family : all_curve_families()) {
+    for (int d = 1; d <= 4; ++d) {
+      for (int k = 1; k <= 4; ++k) {
+        if (d * k > 14) continue;
+        params.emplace_back(family, d, k);
+      }
+    }
+  }
+  return params;
+}
+
+std::string sweep_param_name(
+    const ::testing::TestParamInfo<std::tuple<CurveFamily, int, int>>& info) {
+  std::string name = family_name(std::get<0>(info.param));
+  for (char& ch : name) {
+    if (ch == '-') ch = '_';
+  }
+  return name + "_d" + std::to_string(std::get<1>(info.param)) + "_k" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCurves, Theorem1Sweep,
+                         ::testing::ValuesIn(sweep_params()), sweep_param_name);
+
+TEST(Theorem1, RandomBijectionsAreFarAboveBound) {
+  // Random bijections have Davg ~ n/3 (a random pair of keys is n/3 apart on
+  // average) — they must sit far above the bound, approaching the Lemma-3
+  // ceiling rather than the floor.
+  const Universe u = Universe::pow2(2, 4);
+  const double bound = bounds::davg_lower_bound(u);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const CurvePtr curve = PermutationCurve::random(u, seed);
+    const NNStretchResult r = compute_nn_stretch(*curve);
+    EXPECT_GT(r.average_average, 5 * bound) << "seed=" << seed;
+    EXPECT_NEAR(r.average_average, static_cast<double>(u.cell_count()) / 3.0,
+                0.25 * static_cast<double>(u.cell_count()))
+        << "seed=" << seed;
+  }
+}
+
+TEST(Theorem1, BoundFormulaSpotValues) {
+  // d=2, n=64: (2/6)(8 - 1/512) = 8/3 - 1/1536.
+  EXPECT_NEAR(bounds::davg_lower_bound(Universe::pow2(2, 3)),
+              8.0 / 3.0 - 1.0 / 1536.0, 1e-12);
+  // d=3, n=512: (2/9)(64 - 1/4096).
+  EXPECT_NEAR(bounds::davg_lower_bound(Universe::pow2(3, 3)),
+              (2.0 / 9.0) * (64.0 - 1.0 / 4096.0), 1e-9);
+}
+
+TEST(Theorem1, BoundGrowsAsNPow1m1d) {
+  // Doubling the side in 2-d should double the bound asymptotically.
+  const double b3 = bounds::davg_lower_bound(Universe::pow2(2, 3));
+  const double b4 = bounds::davg_lower_bound(Universe::pow2(2, 4));
+  const double b5 = bounds::davg_lower_bound(Universe::pow2(2, 5));
+  EXPECT_NEAR(b4 / b3, 2.0, 0.01);
+  EXPECT_NEAR(b5 / b4, 2.0, 0.001);
+}
+
+}  // namespace
+}  // namespace sfc

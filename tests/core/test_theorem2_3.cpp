@@ -1,0 +1,110 @@
+// Theorem 2: Davg(Z) ~ (1/d) n^{1-1/d};  Theorem 3: Davg(S) ~ (1/d) n^{1-1/d}.
+// We verify the normalized ratio d·Davg/n^{1-1/d} approaches 1 from below/
+// above and that both curves land within the paper's 1.5x factor of the
+// Theorem-1 bound.
+#include <gtest/gtest.h>
+
+#include "sfc/core/bounds.h"
+#include "sfc/core/convergence.h"
+#include "sfc/core/nn_stretch.h"
+#include "sfc/curves/curve_factory.h"
+
+namespace sfc {
+namespace {
+
+double normalized_davg(CurveFamily family, int d, int k) {
+  const Universe u = Universe::pow2(d, k);
+  const CurvePtr curve = make_curve(family, u);
+  const NNStretchResult r = compute_nn_stretch(*curve);
+  return d * r.average_average / static_cast<double>(bounds::n_pow_1m1d(u));
+}
+
+TEST(Theorem2, ZCurveNormalizedRatioApproachesOne2D) {
+  double previous_error = 1e18;
+  for (int k = 2; k <= 8; ++k) {
+    const double error = std::abs(normalized_davg(CurveFamily::kZ, 2, k) - 1.0);
+    EXPECT_LT(error, previous_error) << "k=" << k;
+    previous_error = error;
+  }
+  EXPECT_LT(previous_error, 0.05);
+}
+
+TEST(Theorem2, ZCurveNormalizedRatioApproachesOne3D) {
+  double previous_error = 1e18;
+  for (int k = 1; k <= 5; ++k) {
+    const double error = std::abs(normalized_davg(CurveFamily::kZ, 3, k) - 1.0);
+    EXPECT_LE(error, previous_error) << "k=" << k;
+    previous_error = error;
+  }
+  EXPECT_LT(previous_error, 0.08);
+}
+
+TEST(Theorem2, ZCurveWithin1Point5OfBoundAsymptotically) {
+  // Davg(Z)/bound -> (1/d)/(2/3d) = 1.5.
+  const Universe u = Universe::pow2(2, 8);
+  const CurvePtr z = make_curve(CurveFamily::kZ, u);
+  const NNStretchResult r = compute_nn_stretch(*z);
+  const double ratio = r.average_average / bounds::davg_lower_bound(u);
+  EXPECT_GT(ratio, 1.0);
+  EXPECT_NEAR(ratio, 1.5, 0.08);
+}
+
+TEST(Theorem3, SimpleCurveNormalizedRatioApproachesOne) {
+  for (int d = 1; d <= 3; ++d) {
+    const int k_max = d == 1 ? 10 : (d == 2 ? 7 : 5);
+    double previous_error = 1e18;
+    for (int k = 2; k <= k_max; ++k) {
+      const double error =
+          std::abs(normalized_davg(CurveFamily::kSimple, d, k) - 1.0);
+      EXPECT_LE(error, previous_error + 1e-12) << "d=" << d << " k=" << k;
+      previous_error = error;
+    }
+    EXPECT_LT(previous_error, 0.1) << "d=" << d;
+  }
+}
+
+TEST(Theorem3, SimpleMatchesZAsymptotically) {
+  // The surprising result: the naive row-major order matches the Z curve.
+  const int d = 2, k = 7;
+  const double z = normalized_davg(CurveFamily::kZ, d, k);
+  const double s = normalized_davg(CurveFamily::kSimple, d, k);
+  EXPECT_NEAR(z, s, 0.03);
+}
+
+TEST(Theorem3, SimpleCurveExactDavgSmallGrid) {
+  // 4x4 simple curve, computable by hand from Eq. 8 key layout:
+  // horizontal NN pairs are 1 apart, vertical pairs 4 apart.
+  // Per-cell δavg: corner (1+4)/2=2.5, edge-horizontal (1+1+4)/3=2,
+  // edge-vertical (1+4+4)/3=3, interior (1+1+4+4)/4=2.5.
+  // Counts: 4 corners, 4 horizontal-edge cells (top/bottom rows middle), 4
+  // vertical-edge cells (left/right columns middle), 4 interior.
+  // Davg = (4*2.5 + 4*2 + 4*3 + 4*2.5)/16 = (10+8+12+10)/16 = 2.5.
+  const Universe u(2, 4);
+  const CurvePtr s = make_curve(CurveFamily::kSimple, u);
+  const NNStretchResult r = compute_nn_stretch(*s);
+  EXPECT_DOUBLE_EQ(r.average_average, 2.5);
+}
+
+TEST(Theorem2, ZCurve2x2MatchesHandComputation) {
+  // 2x2 Z curve keys: (0,0)=0 (0,1)=1 (1,0)=2 (1,1)=3.
+  // δavg(0,0) = (|0-1| + |0-2|)/2 = 1.5, all cells symmetric -> Davg = 1.5;
+  // Dmax = 2.
+  const Universe u = Universe::pow2(2, 1);
+  const CurvePtr z = make_curve(CurveFamily::kZ, u);
+  const NNStretchResult r = compute_nn_stretch(*z);
+  EXPECT_DOUBLE_EQ(r.average_average, 1.5);
+  EXPECT_DOUBLE_EQ(r.average_maximum, 2.0);
+}
+
+TEST(Theorem2Proof, H1TermDominatesDavg) {
+  // In the proof, Davg(Z) = (h1 + h2)/n with h2/n^{2-1/d} -> 0.  Check that
+  // the interior term h1 = (1/d) Σ_i Λ_i already explains most of Davg.
+  const Universe u = Universe::pow2(2, 6);
+  const CurvePtr z = make_curve(CurveFamily::kZ, u);
+  const NNStretchResult r = compute_nn_stretch(*z);
+  const double h1_over_n = r.lemma3_lower;  // (1/nd) Σ Λ_i
+  EXPECT_NEAR(h1_over_n / r.average_average, 1.0, 0.06);
+}
+
+}  // namespace
+}  // namespace sfc

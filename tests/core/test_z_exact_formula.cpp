@@ -1,0 +1,76 @@
+// The exact finite-n Davg(Z) closed form (bounds::davg_z_exact) — our
+// sharpening of the paper's Theorem 2, which only gives the n -> infinity
+// asymptote — must agree with the metric engine at every configuration.
+#include <gtest/gtest.h>
+
+#include "sfc/core/bounds.h"
+#include "sfc/core/nn_stretch.h"
+#include "sfc/curves/zcurve.h"
+
+namespace sfc {
+namespace {
+
+class ZExactFormula : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ZExactFormula, MatchesMetricEngine) {
+  const auto [d, k] = GetParam();
+  const Universe u = Universe::pow2(d, k);
+  const ZCurve z(u);
+  const NNStretchResult measured = compute_nn_stretch(z);
+  EXPECT_NEAR(bounds::davg_z_exact(u), measured.average_average,
+              1e-9 * (1.0 + measured.average_average))
+      << "d=" << d << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndLevels, ZExactFormula,
+    ::testing::Values(std::pair{1, 1}, std::pair{1, 5}, std::pair{2, 1},
+                      std::pair{2, 2}, std::pair{2, 3}, std::pair{2, 6},
+                      std::pair{3, 1}, std::pair{3, 2}, std::pair{3, 4},
+                      std::pair{4, 2}, std::pair{5, 2}),
+    [](const auto& name_info) {
+      return "d" + std::to_string(name_info.param.first) + "_k" +
+             std::to_string(name_info.param.second);
+    });
+
+TEST(ZExactFormula, KnownSmallValues) {
+  // 2x2 Z curve: Davg = 1.5 (hand-computed in the Theorem-2 tests).
+  EXPECT_DOUBLE_EQ(bounds::davg_z_exact(Universe::pow2(2, 1)), 1.5);
+  // 4x4 Z curve: engine gives 2.375.
+  EXPECT_DOUBLE_EQ(bounds::davg_z_exact(Universe::pow2(2, 2)), 2.375);
+}
+
+TEST(ZExactFormula, OneDimensionalIsOne) {
+  for (int k : {1, 4, 10}) {
+    EXPECT_DOUBLE_EQ(bounds::davg_z_exact(Universe::pow2(1, k)), 1.0);
+  }
+}
+
+TEST(ZExactFormula, ConvergesToTheorem2Asymptote) {
+  // d * exact / n^{1-1/d} -> 1, and the exact form lets us evaluate far
+  // beyond what the O(n) metric engine sweep can reach.
+  const int d = 2;
+  double previous_error = 1e18;
+  for (int k = 2; k <= 16; ++k) {  // up to n = 2^32 — closed form only
+    const Universe u = Universe::pow2(d, k);
+    const double normalized =
+        d * bounds::davg_z_exact(u) / static_cast<double>(bounds::n_pow_1m1d(u));
+    const double error = std::abs(normalized - 1.0);
+    EXPECT_LT(error, previous_error) << "k=" << k;
+    previous_error = error;
+  }
+  EXPECT_LT(previous_error, 1e-4);
+}
+
+TEST(ZExactFormula, RatioToBoundApproaches1Point5) {
+  const Universe u = Universe::pow2(2, 14);  // n = 2^28: engine-infeasible
+  const double ratio = bounds::davg_z_exact(u) / bounds::davg_lower_bound(u);
+  EXPECT_NEAR(ratio, 1.5, 1e-3);
+}
+
+TEST(ZExactFormula, DegenerateSideOne) {
+  EXPECT_DOUBLE_EQ(bounds::davg_z_exact(Universe::pow2(3, 0)), 0.0);
+}
+
+}  // namespace
+}  // namespace sfc

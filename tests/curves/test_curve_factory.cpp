@@ -1,0 +1,63 @@
+#include "sfc/curves/curve_factory.h"
+
+#include <gtest/gtest.h>
+
+namespace sfc {
+namespace {
+
+TEST(CurveFactory, AllFamiliesConstructibleOnPow2) {
+  const Universe u = Universe::pow2(2, 3);
+  for (CurveFamily family : all_curve_families()) {
+    const CurvePtr curve = make_curve(family, u, 3);
+    ASSERT_NE(curve, nullptr);
+    EXPECT_EQ(curve->universe().cell_count(), 64u);
+    // Sanity: encode/decode round trip at one arbitrary cell.
+    const Point cell{3, 5};
+    EXPECT_EQ(curve->point_at(curve->index_of(cell)), cell)
+        << family_name(family);
+  }
+}
+
+TEST(CurveFactory, NamesAreStable) {
+  EXPECT_EQ(family_name(CurveFamily::kZ), "z-curve");
+  EXPECT_EQ(family_name(CurveFamily::kSimple), "simple");
+  EXPECT_EQ(family_name(CurveFamily::kSnake), "snake");
+  EXPECT_EQ(family_name(CurveFamily::kGray), "gray");
+  EXPECT_EQ(family_name(CurveFamily::kHilbert), "hilbert");
+  EXPECT_EQ(family_name(CurveFamily::kRandom), "random");
+}
+
+TEST(CurveFactory, CurveNameMatchesFamilyName) {
+  const Universe u = Universe::pow2(2, 2);
+  for (CurveFamily family : analytic_curve_families()) {
+    EXPECT_EQ(make_curve(family, u)->name(), family_name(family));
+  }
+}
+
+TEST(CurveFactory, Pow2Requirements) {
+  EXPECT_TRUE(family_requires_pow2(CurveFamily::kZ));
+  EXPECT_TRUE(family_requires_pow2(CurveFamily::kGray));
+  EXPECT_TRUE(family_requires_pow2(CurveFamily::kHilbert));
+  EXPECT_FALSE(family_requires_pow2(CurveFamily::kSimple));
+  EXPECT_FALSE(family_requires_pow2(CurveFamily::kSnake));
+  EXPECT_FALSE(family_requires_pow2(CurveFamily::kRandom));
+}
+
+TEST(CurveFactory, NonPow2FamiliesWorkOnArbitrarySides) {
+  const Universe u(2, 6);
+  for (CurveFamily family : all_curve_families()) {
+    if (family_requires_pow2(family)) continue;
+    const CurvePtr curve = make_curve(family, u, 4);
+    const Point cell{5, 2};
+    EXPECT_EQ(curve->point_at(curve->index_of(cell)), cell)
+        << family_name(family);
+  }
+}
+
+TEST(CurveFactory, AllFamiliesListedOnce) {
+  EXPECT_EQ(all_curve_families().size(), 6u);
+  EXPECT_EQ(analytic_curve_families().size(), 5u);
+}
+
+}  // namespace
+}  // namespace sfc

@@ -1,0 +1,115 @@
+// Parameterized property sweep over every curve family × dimension × level:
+// bijectivity, round-trip, key range, and the generalized triangle
+// inequality (Lemma 1) hold universally.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "sfc/curves/curve_factory.h"
+#include "sfc/rng/sampling.h"
+
+namespace sfc {
+namespace {
+
+using PropertyParam = std::tuple<CurveFamily, int /*d*/, int /*k*/>;
+
+class CurveProperty : public ::testing::TestWithParam<PropertyParam> {
+ protected:
+  CurvePtr make() const {
+    const auto& [family, d, k] = GetParam();
+    return make_curve(family, Universe::pow2(d, k), /*seed=*/1234);
+  }
+};
+
+TEST_P(CurveProperty, BijectionOntoKeyRange) {
+  const CurvePtr curve = make();
+  const Universe& u = curve->universe();
+  std::vector<bool> seen(u.cell_count(), false);
+  for (index_t id = 0; id < u.cell_count(); ++id) {
+    const index_t key = curve->index_of(u.from_row_major(id));
+    ASSERT_LT(key, u.cell_count());
+    ASSERT_FALSE(seen[key]) << "duplicate key " << key;
+    seen[key] = true;
+  }
+}
+
+TEST_P(CurveProperty, DecodeInvertsEncode) {
+  const CurvePtr curve = make();
+  const Universe& u = curve->universe();
+  for (index_t id = 0; id < u.cell_count(); ++id) {
+    const Point p = u.from_row_major(id);
+    ASSERT_EQ(curve->point_at(curve->index_of(p)), p);
+  }
+}
+
+TEST_P(CurveProperty, EncodeInvertsDecode) {
+  const CurvePtr curve = make();
+  const Universe& u = curve->universe();
+  for (index_t key = 0; key < u.cell_count(); ++key) {
+    ASSERT_EQ(curve->index_of(curve->point_at(key)), key);
+  }
+}
+
+TEST_P(CurveProperty, GeneralizedTriangleInequality) {
+  // Lemma 1: ∆π(α1, αm) <= Σ ∆π(αi, αi+1) for any vertex chain.  Sampled
+  // random chains.
+  const CurvePtr curve = make();
+  const Universe& u = curve->universe();
+  Xoshiro256 rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int chain_length = 2 + static_cast<int>(rng.next_below(5));
+    std::vector<Point> chain;
+    for (int i = 0; i < chain_length; ++i) chain.push_back(random_cell(u, rng));
+    index_t chain_sum = 0;
+    for (int i = 0; i + 1 < chain_length; ++i) {
+      chain_sum += curve->curve_distance(chain[static_cast<std::size_t>(i)],
+                                         chain[static_cast<std::size_t>(i + 1)]);
+    }
+    ASSERT_LE(curve->curve_distance(chain.front(), chain.back()), chain_sum);
+  }
+}
+
+TEST_P(CurveProperty, CurveDistanceIsSymmetricAndPositive) {
+  const CurvePtr curve = make();
+  const Universe& u = curve->universe();
+  Xoshiro256 rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto [a, b] = random_distinct_pair(u, rng);
+    const index_t ab = curve->curve_distance(a, b);
+    ASSERT_EQ(ab, curve->curve_distance(b, a));
+    ASSERT_GE(ab, 1u);
+    ASSERT_EQ(curve->curve_distance(a, a), 0u);
+  }
+}
+
+std::vector<PropertyParam> property_params() {
+  std::vector<PropertyParam> params;
+  for (CurveFamily family : all_curve_families()) {
+    for (int d = 1; d <= 4; ++d) {
+      for (int k = 1; k <= 3; ++k) {
+        if (d * k > 12) continue;  // keep universes small (n <= 4096)
+        params.emplace_back(family, d, k);
+      }
+    }
+  }
+  return params;
+}
+
+std::string property_param_name(
+    const ::testing::TestParamInfo<PropertyParam>& info) {
+  std::string name = family_name(std::get<0>(info.param));
+  for (char& ch : name) {
+    if (ch == '-') ch = '_';
+  }
+  return name + "_d" + std::to_string(std::get<1>(info.param)) + "_k" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, CurveProperty,
+                         ::testing::ValuesIn(property_params()),
+                         property_param_name);
+
+}  // namespace
+}  // namespace sfc

@@ -1,0 +1,69 @@
+#include "sfc/curves/diagonal_curve.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sfc {
+namespace {
+
+TEST(DiagonalCurve, JpegZigzagOrderOn8x8) {
+  // The first sixteen entries of the standard JPEG zigzag scan, written as
+  // (x1 = column, x2 = row).
+  const Universe u(2, 8);
+  const DiagonalCurve z(u);
+  const std::vector<Point> expected = {
+      {0, 0}, {1, 0}, {0, 1}, {0, 2}, {1, 1}, {2, 0}, {3, 0}, {2, 1},
+      {1, 2}, {0, 3}, {0, 4}, {1, 3}, {2, 2}, {3, 1}, {4, 0}, {5, 0}};
+  for (std::size_t key = 0; key < expected.size(); ++key) {
+    EXPECT_EQ(z.point_at(key), expected[key]) << "key=" << key;
+  }
+}
+
+TEST(DiagonalCurve, BijectiveRoundTripAnySide) {
+  for (coord_t side : {coord_t{1}, coord_t{2}, coord_t{5}, coord_t{8}, coord_t{13}}) {
+    const Universe u(2, side);
+    const DiagonalCurve z(u);
+    std::vector<bool> seen(u.cell_count(), false);
+    for (index_t id = 0; id < u.cell_count(); ++id) {
+      const Point cell = u.from_row_major(id);
+      const index_t key = z.index_of(cell);
+      ASSERT_LT(key, u.cell_count()) << "side=" << side;
+      ASSERT_FALSE(seen[key]) << "side=" << side;
+      seen[key] = true;
+      ASSERT_EQ(z.point_at(key), cell) << "side=" << side;
+    }
+  }
+}
+
+TEST(DiagonalCurve, DiagonalsAreContiguousKeyRanges) {
+  const Universe u(2, 6);
+  const DiagonalCurve z(u);
+  // Every anti-diagonal s occupies one contiguous key interval.
+  for (coord_t s = 0; s <= 2 * (u.side() - 1); ++s) {
+    index_t min_key = u.cell_count(), max_key = 0;
+    coord_t count = 0;
+    for (coord_t x = 0; x < u.side(); ++x) {
+      if (s < x || s - x >= u.side()) continue;
+      const index_t key = z.index_of(Point{x, s - x});
+      min_key = std::min(min_key, key);
+      max_key = std::max(max_key, key);
+      ++count;
+    }
+    EXPECT_EQ(max_key - min_key + 1, count) << "s=" << s;
+  }
+}
+
+TEST(DiagonalCurve, EndsAtFarCorner) {
+  const Universe u(2, 7);
+  const DiagonalCurve z(u);
+  EXPECT_EQ(z.point_at(0), (Point{0, 0}));
+  EXPECT_EQ(z.point_at(u.cell_count() - 1), (Point{6, 6}));
+}
+
+TEST(DiagonalCurveDeath, Rejects3D) {
+  EXPECT_DEATH(DiagonalCurve(Universe(3, 4)), "");
+}
+
+}  // namespace
+}  // namespace sfc

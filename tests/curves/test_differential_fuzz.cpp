@@ -1,0 +1,84 @@
+// Randomized differential checks across every curve implementation: for
+// random configurations and random cells, encode/decode must invert each
+// other, keys must stay in range, and curve distance must agree with the
+// naive |pi(a) - pi(b)| evaluation.  Complements the exhaustive small-grid
+// property sweep with larger, sampled universes.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sfc/curves/curve_factory.h"
+#include "sfc/curves/diagonal_curve.h"
+#include "sfc/curves/peano_curve.h"
+#include "sfc/curves/permutation_curve.h"
+#include "sfc/curves/spiral_curve.h"
+#include "sfc/curves/tiled_curve.h"
+#include "sfc/rng/sampling.h"
+
+namespace sfc {
+namespace {
+
+void fuzz_curve(const SpaceFillingCurve& curve, std::uint64_t seed,
+                int samples) {
+  const Universe& u = curve.universe();
+  Xoshiro256 rng(seed);
+  for (int trial = 0; trial < samples; ++trial) {
+    const Point cell = random_cell(u, rng);
+    const index_t key = curve.index_of(cell);
+    ASSERT_LT(key, u.cell_count()) << curve.name();
+    ASSERT_EQ(curve.point_at(key), cell) << curve.name();
+
+    const index_t random_key = rng.next_below(u.cell_count());
+    const Point decoded = curve.point_at(random_key);
+    ASSERT_TRUE(u.contains(decoded)) << curve.name();
+    ASSERT_EQ(curve.index_of(decoded), random_key) << curve.name();
+
+    const Point other = random_cell(u, rng);
+    const index_t ka = curve.index_of(cell), kb = curve.index_of(other);
+    ASSERT_EQ(curve.curve_distance(cell, other), ka > kb ? ka - kb : kb - ka)
+        << curve.name();
+  }
+}
+
+TEST(DifferentialFuzz, FactoryFamiliesOnLargeGrids) {
+  // Larger universes than the exhaustive sweep covers (up to 2^24 cells).
+  struct Config {
+    CurveFamily family;
+    int dim;
+    int bits;
+  };
+  const std::vector<Config> configs = {
+      {CurveFamily::kZ, 2, 12},      {CurveFamily::kZ, 4, 6},
+      {CurveFamily::kSimple, 3, 8},  {CurveFamily::kSnake, 3, 8},
+      {CurveFamily::kGray, 2, 12},   {CurveFamily::kGray, 5, 4},
+      {CurveFamily::kHilbert, 2, 12}, {CurveFamily::kHilbert, 3, 8},
+      {CurveFamily::kHilbert, 6, 4},
+  };
+  for (const Config& config : configs) {
+    const Universe u = Universe::pow2(config.dim, config.bits);
+    const CurvePtr curve = make_curve(config.family, u, 1);
+    fuzz_curve(*curve, 0xfeed + static_cast<std::uint64_t>(config.bits), 400);
+  }
+}
+
+TEST(DifferentialFuzz, NonFactoryCurves) {
+  fuzz_curve(PeanoCurve(Universe(2, 81)), 1, 400);
+  fuzz_curve(PeanoCurve(Universe(3, 27)), 2, 400);
+  fuzz_curve(DiagonalCurve(Universe(2, 100)), 3, 400);
+  fuzz_curve(SpiralCurve(Universe(2, 101)), 4, 400);
+  fuzz_curve(SpiralCurve(Universe(2, 64)), 5, 400);
+  fuzz_curve(TiledCurve(Universe(2, 64), 8), 6, 400);
+  fuzz_curve(TiledCurve(Universe(3, 16), 4), 7, 400);
+}
+
+TEST(DifferentialFuzz, RandomPermutationCurves) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Universe u(2, 16);
+    const CurvePtr curve = PermutationCurve::random(u, seed);
+    fuzz_curve(*curve, seed, 300);
+  }
+}
+
+}  // namespace
+}  // namespace sfc

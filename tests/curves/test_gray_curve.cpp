@@ -1,0 +1,69 @@
+#include "sfc/curves/gray_curve.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sfc/curves/bitops.h"
+
+namespace sfc {
+namespace {
+
+TEST(GrayCurve, RoundTrip) {
+  const Universe u = Universe::pow2(2, 3);
+  const GrayCurve g(u);
+  for (index_t key = 0; key < u.cell_count(); ++key) {
+    EXPECT_EQ(g.index_of(g.point_at(key)), key);
+  }
+}
+
+TEST(GrayCurve, Bijectivity) {
+  const Universe u = Universe::pow2(3, 2);
+  const GrayCurve g(u);
+  std::vector<bool> seen(u.cell_count(), false);
+  for (index_t id = 0; id < u.cell_count(); ++id) {
+    const index_t key = g.index_of(u.from_row_major(id));
+    ASSERT_LT(key, u.cell_count());
+    EXPECT_FALSE(seen[key]);
+    seen[key] = true;
+  }
+}
+
+TEST(GrayCurve, ConsecutiveKeysDifferByPowerOfTwoAlongOneDim) {
+  // Consecutive positions differ in exactly one bit of the interleaved
+  // string, i.e. the cells differ in one dimension by a power of two.
+  const Universe u = Universe::pow2(2, 3);
+  const GrayCurve g(u);
+  for (index_t key = 1; key < u.cell_count(); ++key) {
+    const Point a = g.point_at(key - 1);
+    const Point b = g.point_at(key);
+    int dims_changed = 0;
+    for (int i = 0; i < 2; ++i) {
+      if (a[i] != b[i]) {
+        ++dims_changed;
+        const coord_t diff = a[i] > b[i] ? a[i] - b[i] : b[i] - a[i];
+        EXPECT_EQ(diff & (diff - 1), 0u) << "jump must be a power of two";
+      }
+    }
+    EXPECT_EQ(dims_changed, 1);
+  }
+}
+
+TEST(GrayCurve, FirstStepsFollowGraySequence) {
+  // Positions 0,1,2,3 have interleaved strings gray(0..3) = 00,01,11,10.
+  const Universe u = Universe::pow2(2, 1);
+  const GrayCurve g(u);
+  EXPECT_EQ(g.point_at(0), deinterleave(0b00, 2, 1));
+  EXPECT_EQ(g.point_at(1), deinterleave(0b01, 2, 1));
+  EXPECT_EQ(g.point_at(2), deinterleave(0b11, 2, 1));
+  EXPECT_EQ(g.point_at(3), deinterleave(0b10, 2, 1));
+}
+
+TEST(GrayCurve, StartsAtOrigin) {
+  const Universe u = Universe::pow2(3, 3);
+  const GrayCurve g(u);
+  EXPECT_EQ(g.point_at(0), (Point{0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace sfc

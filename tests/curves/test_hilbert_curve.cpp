@@ -1,0 +1,99 @@
+#include "sfc/curves/hilbert_curve.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sfc {
+namespace {
+
+class HilbertContinuity : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(HilbertContinuity, ConsecutiveKeysAreNearestNeighbors) {
+  const auto [d, k] = GetParam();
+  const Universe u = Universe::pow2(d, k);
+  const HilbertCurve h(u);
+  for (index_t key = 1; key < u.cell_count(); ++key) {
+    ASSERT_EQ(manhattan_distance(h.point_at(key - 1), h.point_at(key)), 1u)
+        << "d=" << d << " k=" << k << " key=" << key;
+  }
+}
+
+TEST_P(HilbertContinuity, Bijective) {
+  const auto [d, k] = GetParam();
+  const Universe u = Universe::pow2(d, k);
+  const HilbertCurve h(u);
+  std::vector<bool> seen(u.cell_count(), false);
+  for (index_t id = 0; id < u.cell_count(); ++id) {
+    const Point p = u.from_row_major(id);
+    const index_t key = h.index_of(p);
+    ASSERT_LT(key, u.cell_count());
+    ASSERT_FALSE(seen[key]);
+    seen[key] = true;
+    ASSERT_EQ(h.point_at(key), p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndLevels, HilbertContinuity,
+    ::testing::Values(std::pair{2, 1}, std::pair{2, 2}, std::pair{2, 3},
+                      std::pair{2, 4}, std::pair{3, 1}, std::pair{3, 2},
+                      std::pair{3, 3}, std::pair{4, 1}, std::pair{4, 2},
+                      std::pair{5, 1}, std::pair{5, 2}, std::pair{6, 1}),
+    [](const auto& name_info) {
+      return "d" + std::to_string(name_info.param.first) + "_k" +
+             std::to_string(name_info.param.second);
+    });
+
+TEST(HilbertCurve, StartsAtOrigin) {
+  for (int d = 2; d <= 5; ++d) {
+    const Universe u = Universe::pow2(d, 2);
+    const HilbertCurve h(u);
+    EXPECT_EQ(u.row_major_index(h.point_at(0)), 0u) << "d=" << d;
+  }
+}
+
+TEST(HilbertCurve, TwoDimFirstQuadrantStaysTogether) {
+  // The first quarter of the keys covers exactly one 2^{k-1} quadrant — the
+  // defining recursive property of the Hilbert construction.
+  const Universe u = Universe::pow2(2, 3);
+  const HilbertCurve h(u);
+  const index_t quarter = u.cell_count() / 4;
+  // Identify the quadrant of key 0.
+  const Point first = h.point_at(0);
+  const coord_t half = u.side() / 2;
+  const bool qx = first[0] >= half, qy = first[1] >= half;
+  for (index_t key = 0; key < quarter; ++key) {
+    const Point p = h.point_at(key);
+    EXPECT_EQ(p[0] >= half, qx) << "key=" << key;
+    EXPECT_EQ(p[1] >= half, qy) << "key=" << key;
+  }
+}
+
+TEST(HilbertCurve, EndpointIsAdjacentCornerIn2D) {
+  // The 2-d Hilbert curve ends at a corner adjacent to its start corner.
+  const Universe u = Universe::pow2(2, 4);
+  const HilbertCurve h(u);
+  const Point start = h.point_at(0);
+  const Point end = h.point_at(u.cell_count() - 1);
+  EXPECT_EQ(start, (Point{0, 0}));
+  // End must be at distance side-1 along exactly one axis.
+  const std::uint64_t dist = manhattan_distance(start, end);
+  EXPECT_EQ(dist, u.side() - 1u);
+}
+
+TEST(HilbertCurve, OneDimensionalIsIdentity) {
+  const Universe u = Universe::pow2(1, 5);
+  const HilbertCurve h(u);
+  for (coord_t x = 0; x < u.side(); ++x) {
+    EXPECT_EQ(h.index_of(Point{x}), x);
+    EXPECT_EQ(h.point_at(x), (Point{x}));
+  }
+}
+
+TEST(HilbertCurve, ReportsContinuous) {
+  EXPECT_TRUE(HilbertCurve(Universe::pow2(2, 2)).is_continuous());
+}
+
+}  // namespace
+}  // namespace sfc

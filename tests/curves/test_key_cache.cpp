@@ -1,0 +1,46 @@
+#include "sfc/curves/key_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "sfc/curves/curve_factory.h"
+
+namespace sfc {
+namespace {
+
+TEST(KeyCache, MatchesCurveForEveryCell) {
+  const Universe u = Universe::pow2(2, 4);
+  for (CurveFamily family : all_curve_families()) {
+    const CurvePtr curve = make_curve(family, u, 17);
+    ThreadPool pool(2);
+    const KeyCache cache(*curve, pool);
+    for (index_t id = 0; id < u.cell_count(); ++id) {
+      const Point cell = u.from_row_major(id);
+      EXPECT_EQ(cache.key_of_id(id), curve->index_of(cell)) << family_name(family);
+      EXPECT_EQ(cache.key_of(cell), curve->index_of(cell)) << family_name(family);
+    }
+  }
+}
+
+TEST(KeyCache, CurveDistanceById) {
+  const Universe u = Universe::pow2(2, 2);
+  const CurvePtr z = make_curve(CurveFamily::kZ, u);
+  ThreadPool pool(2);
+  const KeyCache cache(*z, pool);
+  for (index_t a = 0; a < u.cell_count(); ++a) {
+    for (index_t b = 0; b < u.cell_count(); ++b) {
+      EXPECT_EQ(cache.curve_distance_by_id(a, b),
+                z->curve_distance(u.from_row_major(a), u.from_row_major(b)));
+    }
+  }
+}
+
+TEST(KeyCache, UniverseAccessor) {
+  const Universe u = Universe::pow2(3, 2);
+  const CurvePtr z = make_curve(CurveFamily::kZ, u);
+  ThreadPool pool(1);
+  const KeyCache cache(*z, pool);
+  EXPECT_EQ(cache.universe(), u);
+}
+
+}  // namespace
+}  // namespace sfc

@@ -1,0 +1,100 @@
+#include "sfc/curves/peano_curve.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sfc {
+namespace {
+
+class PeanoGrid : public ::testing::TestWithParam<std::pair<int, coord_t>> {};
+
+TEST_P(PeanoGrid, ContinuousEverywhere) {
+  const auto [d, side] = GetParam();
+  const Universe u(d, side);
+  const PeanoCurve p(u);
+  for (index_t key = 1; key < u.cell_count(); ++key) {
+    ASSERT_EQ(manhattan_distance(p.point_at(key - 1), p.point_at(key)), 1u)
+        << "d=" << d << " side=" << side << " key=" << key;
+  }
+}
+
+TEST_P(PeanoGrid, Bijective) {
+  const auto [d, side] = GetParam();
+  const Universe u(d, side);
+  const PeanoCurve p(u);
+  std::vector<bool> seen(u.cell_count(), false);
+  for (index_t id = 0; id < u.cell_count(); ++id) {
+    const Point cell = u.from_row_major(id);
+    const index_t key = p.index_of(cell);
+    ASSERT_LT(key, u.cell_count());
+    ASSERT_FALSE(seen[key]);
+    seen[key] = true;
+    ASSERT_EQ(p.point_at(key), cell);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SidesAndDims, PeanoGrid,
+    ::testing::Values(std::pair<int, coord_t>{1, 27},
+                      std::pair<int, coord_t>{2, 3},
+                      std::pair<int, coord_t>{2, 9},
+                      std::pair<int, coord_t>{2, 27},
+                      std::pair<int, coord_t>{3, 3},
+                      std::pair<int, coord_t>{3, 9},
+                      std::pair<int, coord_t>{4, 3}),
+    [](const auto& name_info) {
+      return "d" + std::to_string(name_info.param.first) + "_side" +
+             std::to_string(name_info.param.second);
+    });
+
+TEST(PeanoCurve, ClassicTwoDimOrder3x3) {
+  // The level-1 2-d Peano visits columns bottom-up, top-down, bottom-up —
+  // Peano's original serpentine: with our dimension-1-most-significant
+  // convention the first three cells walk dimension 2.
+  const Universe u(2, 3);
+  const PeanoCurve p(u);
+  EXPECT_EQ(p.point_at(0), (Point{0, 0}));
+  EXPECT_EQ(p.point_at(1), (Point{0, 1}));
+  EXPECT_EQ(p.point_at(2), (Point{0, 2}));
+  EXPECT_EQ(p.point_at(3), (Point{1, 2}));
+  EXPECT_EQ(p.point_at(4), (Point{1, 1}));
+  EXPECT_EQ(p.point_at(5), (Point{1, 0}));
+  EXPECT_EQ(p.point_at(6), (Point{2, 0}));
+  EXPECT_EQ(p.point_at(7), (Point{2, 1}));
+  EXPECT_EQ(p.point_at(8), (Point{2, 2}));
+}
+
+TEST(PeanoCurve, EndsAtOppositeCornerIn2D) {
+  // The 2-d Peano runs corner to corner.
+  const Universe u(2, 9);
+  const PeanoCurve p(u);
+  EXPECT_EQ(p.point_at(0), (Point{0, 0}));
+  EXPECT_EQ(p.point_at(u.cell_count() - 1), (Point{8, 8}));
+}
+
+TEST(PeanoCurve, OneDimensionalIsIdentity) {
+  const Universe u(1, 27);
+  const PeanoCurve p(u);
+  for (coord_t x = 0; x < 27; ++x) {
+    EXPECT_EQ(p.index_of(Point{x}), x);
+  }
+}
+
+TEST(PeanoCurve, LevelCount) {
+  EXPECT_EQ(PeanoCurve(Universe(2, 1)).level_count(), 0);
+  EXPECT_EQ(PeanoCurve(Universe(2, 3)).level_count(), 1);
+  EXPECT_EQ(PeanoCurve(Universe(2, 27)).level_count(), 3);
+}
+
+TEST(PeanoCurveDeath, RejectsNonPowerOfThreeSide) {
+  EXPECT_DEATH(PeanoCurve(Universe(2, 4)), "");
+  EXPECT_DEATH(PeanoCurve(Universe(2, 6)), "");
+}
+
+TEST(PeanoCurve, ReportsContinuous) {
+  EXPECT_TRUE(PeanoCurve(Universe(2, 9)).is_continuous());
+}
+
+}  // namespace
+}  // namespace sfc

@@ -1,0 +1,82 @@
+#include "sfc/curves/permutation_curve.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sfc {
+namespace {
+
+TEST(PermutationCurve, ExplicitTable) {
+  const Universe u(1, 4);
+  const PermutationCurve curve(u, {2, 0, 3, 1}, "test");
+  EXPECT_EQ(curve.name(), "test");
+  EXPECT_EQ(curve.index_of(Point{0}), 2u);
+  EXPECT_EQ(curve.index_of(Point{1}), 0u);
+  EXPECT_EQ(curve.index_of(Point{2}), 3u);
+  EXPECT_EQ(curve.index_of(Point{3}), 1u);
+  EXPECT_EQ(curve.point_at(0), (Point{1}));
+  EXPECT_EQ(curve.point_at(1), (Point{3}));
+  EXPECT_EQ(curve.point_at(2), (Point{0}));
+  EXPECT_EQ(curve.point_at(3), (Point{2}));
+}
+
+TEST(PermutationCurve, IdentityPermutationMatchesSimple) {
+  const Universe u(2, 3);
+  std::vector<index_t> keys(u.cell_count());
+  for (index_t i = 0; i < u.cell_count(); ++i) keys[i] = i;
+  const PermutationCurve curve(u, keys);
+  for (index_t id = 0; id < u.cell_count(); ++id) {
+    EXPECT_EQ(curve.index_of(u.from_row_major(id)), id);
+  }
+}
+
+TEST(PermutationCurve, RandomIsBijective) {
+  const Universe u(2, 5);
+  const CurvePtr curve = PermutationCurve::random(u, 99);
+  std::vector<bool> seen(u.cell_count(), false);
+  for (index_t id = 0; id < u.cell_count(); ++id) {
+    const index_t key = curve->index_of(u.from_row_major(id));
+    ASSERT_LT(key, u.cell_count());
+    EXPECT_FALSE(seen[key]);
+    seen[key] = true;
+  }
+}
+
+TEST(PermutationCurve, RandomRoundTrip) {
+  const Universe u(3, 3);
+  const CurvePtr curve = PermutationCurve::random(u, 7);
+  for (index_t key = 0; key < u.cell_count(); ++key) {
+    EXPECT_EQ(curve->index_of(curve->point_at(key)), key);
+  }
+}
+
+TEST(PermutationCurve, RandomDeterministicInSeed) {
+  const Universe u(2, 4);
+  const CurvePtr a = PermutationCurve::random(u, 5);
+  const CurvePtr b = PermutationCurve::random(u, 5);
+  const CurvePtr c = PermutationCurve::random(u, 6);
+  bool all_equal = true, any_diff_c = false;
+  for (index_t id = 0; id < u.cell_count(); ++id) {
+    const Point p = u.from_row_major(id);
+    if (a->index_of(p) != b->index_of(p)) all_equal = false;
+    if (a->index_of(p) != c->index_of(p)) any_diff_c = true;
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_c);
+}
+
+TEST(PermutationCurve, NameEncodesSeed) {
+  const Universe u(1, 2);
+  EXPECT_EQ(PermutationCurve::random(u, 31)->name(), "random-31");
+}
+
+TEST(PermutationCurveDeath, RejectsNonBijection) {
+  const Universe u(1, 3);
+  EXPECT_DEATH(PermutationCurve(u, {0, 0, 2}), "");
+  EXPECT_DEATH(PermutationCurve(u, {0, 1, 3}), "");
+  EXPECT_DEATH(PermutationCurve(u, {0, 1}), "");
+}
+
+}  // namespace
+}  // namespace sfc

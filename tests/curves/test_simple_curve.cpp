@@ -1,0 +1,74 @@
+#include "sfc/curves/simple_curve.h"
+
+#include <gtest/gtest.h>
+
+#include "sfc/core/bounds.h"
+#include "sfc/core/nn_stretch.h"
+
+namespace sfc {
+namespace {
+
+TEST(SimpleCurve, Equation8) {
+  // S(α) = Σ x_i side^{i-1}: dimension 1 varies fastest.
+  const Universe u(3, 4);
+  const SimpleCurve s(u);
+  EXPECT_EQ(s.index_of(Point{0, 0, 0}), 0u);
+  EXPECT_EQ(s.index_of(Point{1, 0, 0}), 1u);
+  EXPECT_EQ(s.index_of(Point{0, 1, 0}), 4u);
+  EXPECT_EQ(s.index_of(Point{0, 0, 1}), 16u);
+  EXPECT_EQ(s.index_of(Point{3, 2, 1}), 3u + 2u * 4u + 1u * 16u);
+}
+
+TEST(SimpleCurve, RoundTrip) {
+  const Universe u(2, 7);  // arbitrary (non power-of-two) side
+  const SimpleCurve s(u);
+  for (index_t key = 0; key < u.cell_count(); ++key) {
+    EXPECT_EQ(s.index_of(s.point_at(key)), key);
+  }
+}
+
+TEST(SimpleCurve, NeighborDistancesAreSidePowers) {
+  // Neighbors along dimension i are side^{i-1} apart on the curve.
+  const Universe u(3, 8);
+  const SimpleCurve s(u);
+  const Point center{3, 3, 3};
+  EXPECT_EQ(s.curve_distance(center, Point{4, 3, 3}), 1u);
+  EXPECT_EQ(s.curve_distance(center, Point{2, 3, 3}), 1u);
+  EXPECT_EQ(s.curve_distance(center, Point{3, 4, 3}), 8u);
+  EXPECT_EQ(s.curve_distance(center, Point{3, 3, 4}), 64u);
+}
+
+TEST(SimpleCurve, InteriorCellStretchMatchesTheorem3Formula) {
+  // Proof of Theorem 3: interior cells have
+  // δavg = (1/d) (n-1)/(side-1).
+  for (int d = 1; d <= 3; ++d) {
+    const Universe u(d, 8);
+    const SimpleCurve s(u);
+    Point interior = Point::zero(d);
+    for (int i = 0; i < d; ++i) interior[i] = 3;
+    EXPECT_NEAR(cell_average_stretch(s, interior),
+                bounds::simple_interior_cell_stretch(u), 1e-12)
+        << "d=" << d;
+  }
+}
+
+TEST(SimpleCurve, MaxStretchIsNPow1m1dEverywhere) {
+  // Proof of Proposition 2: every cell has a dimension-d neighbor at curve
+  // distance side^{d-1}.
+  const Universe u(2, 8);
+  const SimpleCurve s(u);
+  for (index_t id = 0; id < u.cell_count(); ++id) {
+    EXPECT_EQ(cell_maximum_stretch(s, u.from_row_major(id)), 8u);
+  }
+}
+
+TEST(SimpleCurve, MatchesUniverseRowMajor) {
+  const Universe u(4, 3);
+  const SimpleCurve s(u);
+  for (index_t id = 0; id < u.cell_count(); ++id) {
+    EXPECT_EQ(s.index_of(u.from_row_major(id)), id);
+  }
+}
+
+}  // namespace
+}  // namespace sfc

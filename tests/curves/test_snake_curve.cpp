@@ -1,0 +1,71 @@
+#include "sfc/curves/snake_curve.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sfc {
+namespace {
+
+TEST(SnakeCurve, TwoDimensionalOrder) {
+  // 3x3 snake: row 0 left-to-right, row 1 right-to-left, ...
+  const Universe u(2, 3);
+  const SnakeCurve s(u);
+  EXPECT_EQ(s.index_of(Point{0, 0}), 0u);
+  EXPECT_EQ(s.index_of(Point{1, 0}), 1u);
+  EXPECT_EQ(s.index_of(Point{2, 0}), 2u);
+  EXPECT_EQ(s.index_of(Point{2, 1}), 3u);
+  EXPECT_EQ(s.index_of(Point{1, 1}), 4u);
+  EXPECT_EQ(s.index_of(Point{0, 1}), 5u);
+  EXPECT_EQ(s.index_of(Point{0, 2}), 6u);
+  EXPECT_EQ(s.index_of(Point{1, 2}), 7u);
+  EXPECT_EQ(s.index_of(Point{2, 2}), 8u);
+}
+
+TEST(SnakeCurve, IsContinuousEverywhere) {
+  // Consecutive keys are nearest neighbors — in every dimension and for
+  // non-power-of-two sides.
+  for (const auto& [d, side] : std::vector<std::pair<int, coord_t>>{
+           {1, 9}, {2, 4}, {2, 5}, {3, 3}, {3, 4}, {4, 3}}) {
+    const Universe u(d, side);
+    const SnakeCurve s(u);
+    for (index_t key = 1; key < u.cell_count(); ++key) {
+      EXPECT_EQ(manhattan_distance(s.point_at(key - 1), s.point_at(key)), 1u)
+          << "d=" << d << " side=" << side << " key=" << key;
+    }
+  }
+}
+
+TEST(SnakeCurve, RoundTrip) {
+  const Universe u(3, 5);
+  const SnakeCurve s(u);
+  for (index_t key = 0; key < u.cell_count(); ++key) {
+    EXPECT_EQ(s.index_of(s.point_at(key)), key);
+  }
+}
+
+TEST(SnakeCurve, Bijectivity) {
+  const Universe u(3, 4);
+  const SnakeCurve s(u);
+  std::vector<bool> seen(u.cell_count(), false);
+  for (index_t id = 0; id < u.cell_count(); ++id) {
+    const index_t key = s.index_of(u.from_row_major(id));
+    ASSERT_LT(key, u.cell_count());
+    EXPECT_FALSE(seen[key]);
+    seen[key] = true;
+  }
+}
+
+TEST(SnakeCurve, ReportsContinuous) {
+  const Universe u(2, 4);
+  EXPECT_TRUE(SnakeCurve(u).is_continuous());
+}
+
+TEST(SnakeCurve, StartsAtOrigin) {
+  const Universe u(3, 6);
+  const SnakeCurve s(u);
+  EXPECT_EQ(s.point_at(0), (Point{0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace sfc

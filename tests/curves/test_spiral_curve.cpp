@@ -1,0 +1,79 @@
+#include "sfc/curves/spiral_curve.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sfc {
+namespace {
+
+TEST(SpiralCurve, ThreeByThreeByHand) {
+  // Outer ring counter-clockwise from (0,0), then the center.
+  const Universe u(2, 3);
+  const SpiralCurve s(u);
+  const std::vector<Point> expected = {{0, 0}, {1, 0}, {2, 0}, {2, 1}, {2, 2},
+                                       {1, 2}, {0, 2}, {0, 1}, {1, 1}};
+  for (std::size_t key = 0; key < expected.size(); ++key) {
+    EXPECT_EQ(s.point_at(key), expected[key]) << "key=" << key;
+  }
+}
+
+TEST(SpiralCurve, ContinuousForAnySide) {
+  for (coord_t side : {coord_t{2}, coord_t{3}, coord_t{4}, coord_t{7}, coord_t{8}}) {
+    const Universe u(2, side);
+    const SpiralCurve s(u);
+    for (index_t key = 1; key < u.cell_count(); ++key) {
+      ASSERT_EQ(manhattan_distance(s.point_at(key - 1), s.point_at(key)), 1u)
+          << "side=" << side << " key=" << key;
+    }
+  }
+}
+
+TEST(SpiralCurve, BijectiveRoundTrip) {
+  for (coord_t side : {coord_t{1}, coord_t{4}, coord_t{9}}) {
+    const Universe u(2, side);
+    const SpiralCurve s(u);
+    std::vector<bool> seen(u.cell_count(), false);
+    for (index_t id = 0; id < u.cell_count(); ++id) {
+      const Point cell = u.from_row_major(id);
+      const index_t key = s.index_of(cell);
+      ASSERT_LT(key, u.cell_count());
+      ASSERT_FALSE(seen[key]);
+      seen[key] = true;
+      ASSERT_EQ(s.point_at(key), cell);
+    }
+  }
+}
+
+TEST(SpiralCurve, OuterRingBeforeInnerRings) {
+  const Universe u(2, 8);
+  const SpiralCurve s(u);
+  // All 28 boundary cells take keys 0..27.
+  for (index_t id = 0; id < u.cell_count(); ++id) {
+    const Point cell = u.from_row_major(id);
+    const bool boundary = cell[0] == 0 || cell[1] == 0 || cell[0] == 7 || cell[1] == 7;
+    if (boundary) {
+      EXPECT_LT(s.index_of(cell), 28u);
+    } else {
+      EXPECT_GE(s.index_of(cell), 28u);
+    }
+  }
+}
+
+TEST(SpiralCurve, CenterIsLastForOddSide) {
+  const Universe u(2, 5);
+  const SpiralCurve s(u);
+  EXPECT_EQ(s.point_at(u.cell_count() - 1), (Point{2, 2}));
+}
+
+TEST(SpiralCurve, ReportsContinuous) {
+  EXPECT_TRUE(SpiralCurve(Universe(2, 4)).is_continuous());
+}
+
+TEST(SpiralCurveDeath, Rejects1DAnd3D) {
+  EXPECT_DEATH(SpiralCurve(Universe(1, 8)), "");
+  EXPECT_DEATH(SpiralCurve(Universe(3, 4)), "");
+}
+
+}  // namespace
+}  // namespace sfc

@@ -1,0 +1,90 @@
+#include "sfc/curves/tiled_curve.h"
+
+#include <gtest/gtest.h>
+
+#include "sfc/apps/range_query.h"
+#include "sfc/curves/simple_curve.h"
+
+namespace sfc {
+namespace {
+
+TEST(TiledCurve, BijectiveRoundTrip) {
+  for (coord_t tile : {coord_t{1}, coord_t{2}, coord_t{4}, coord_t{8}}) {
+    const Universe u(2, 8);
+    const TiledCurve t(u, tile);
+    std::vector<bool> seen(u.cell_count(), false);
+    for (index_t id = 0; id < u.cell_count(); ++id) {
+      const Point cell = u.from_row_major(id);
+      const index_t key = t.index_of(cell);
+      ASSERT_LT(key, u.cell_count());
+      ASSERT_FALSE(seen[key]) << "tile=" << tile;
+      seen[key] = true;
+      ASSERT_EQ(t.point_at(key), cell);
+    }
+  }
+}
+
+TEST(TiledCurve, TileOneIsSimpleCurve) {
+  const Universe u(2, 6);
+  const TiledCurve t(u, 1);
+  const SimpleCurve s(u);
+  for (index_t id = 0; id < u.cell_count(); ++id) {
+    const Point cell = u.from_row_major(id);
+    EXPECT_EQ(t.index_of(cell), s.index_of(cell));
+  }
+}
+
+TEST(TiledCurve, FullTileIsSimpleCurve) {
+  const Universe u(2, 6);
+  const TiledCurve t(u, 6);
+  const SimpleCurve s(u);
+  for (index_t id = 0; id < u.cell_count(); ++id) {
+    const Point cell = u.from_row_major(id);
+    EXPECT_EQ(t.index_of(cell), s.index_of(cell));
+  }
+}
+
+TEST(TiledCurve, EveryTileIsOneContiguousRun) {
+  const Universe u(2, 8);
+  const TiledCurve t(u, 4);
+  for (coord_t tx = 0; tx < 2; ++tx) {
+    for (coord_t ty = 0; ty < 2; ++ty) {
+      const Box tile(Point{static_cast<coord_t>(4 * tx), static_cast<coord_t>(4 * ty)},
+                     Point{static_cast<coord_t>(4 * tx + 3),
+                           static_cast<coord_t>(4 * ty + 3)});
+      EXPECT_EQ(count_key_runs(t, tile), 1u);
+    }
+  }
+}
+
+TEST(TiledCurve, KeysWithinTileAreRowMajor) {
+  const Universe u(2, 4);
+  const TiledCurve t(u, 2);
+  // First tile: (0,0) (1,0) (0,1) (1,1) -> keys 0..3.
+  EXPECT_EQ(t.index_of(Point{0, 0}), 0u);
+  EXPECT_EQ(t.index_of(Point{1, 0}), 1u);
+  EXPECT_EQ(t.index_of(Point{0, 1}), 2u);
+  EXPECT_EQ(t.index_of(Point{1, 1}), 3u);
+  // Second tile starts at (2,0).
+  EXPECT_EQ(t.index_of(Point{2, 0}), 4u);
+}
+
+TEST(TiledCurve, WorksIn3D) {
+  const Universe u(3, 4);
+  const TiledCurve t(u, 2);
+  for (index_t key = 0; key < u.cell_count(); ++key) {
+    EXPECT_EQ(t.index_of(t.point_at(key)), key);
+  }
+}
+
+TEST(TiledCurve, NameEncodesTileSide) {
+  EXPECT_EQ(TiledCurve(Universe(2, 8), 4).tile_side(), 4u);
+  EXPECT_EQ(TiledCurve(Universe(2, 8), 4).name(), "tiled-4");
+}
+
+TEST(TiledCurveDeath, RejectsNonDividingTile) {
+  EXPECT_DEATH(TiledCurve(Universe(2, 8), 3), "");
+}
+
+}  // namespace
+}  // namespace sfc

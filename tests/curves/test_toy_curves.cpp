@@ -1,0 +1,59 @@
+#include "sfc/curves/toy_curves.h"
+
+#include <gtest/gtest.h>
+
+#include "sfc/core/nn_stretch.h"
+
+namespace sfc {
+namespace {
+
+TEST(ToyCurves, Pi1Order) {
+  // π1 orders the cells C, A, B, D.
+  const CurvePtr pi1 = make_figure1_pi1();
+  EXPECT_EQ(figure1_label(pi1->point_at(0)), 'C');
+  EXPECT_EQ(figure1_label(pi1->point_at(1)), 'A');
+  EXPECT_EQ(figure1_label(pi1->point_at(2)), 'B');
+  EXPECT_EQ(figure1_label(pi1->point_at(3)), 'D');
+}
+
+TEST(ToyCurves, Pi2Order) {
+  // π2 orders the cells A, B, C, D (self-intersecting: the paper's example
+  // of why SFCs-as-bijections is the more general class).
+  const CurvePtr pi2 = make_figure1_pi2();
+  EXPECT_EQ(figure1_label(pi2->point_at(0)), 'A');
+  EXPECT_EQ(figure1_label(pi2->point_at(1)), 'B');
+  EXPECT_EQ(figure1_label(pi2->point_at(2)), 'C');
+  EXPECT_EQ(figure1_label(pi2->point_at(3)), 'D');
+}
+
+TEST(ToyCurves, PerCellStretchValuesPi1) {
+  // §III: δavg is 1.5 for every cell of π1.
+  const CurvePtr pi1 = make_figure1_pi1();
+  const Universe& u = pi1->universe();
+  for (index_t id = 0; id < u.cell_count(); ++id) {
+    EXPECT_DOUBLE_EQ(cell_average_stretch(*pi1, u.from_row_major(id)), 1.5);
+  }
+}
+
+TEST(ToyCurves, PaperWorkedMetricValues) {
+  // §III: Davg(π1)=1.5, Davg(π2)=2, Dmax(π1)=2, Dmax(π2)=2.5.
+  const NNStretchResult r1 = compute_nn_stretch(*make_figure1_pi1());
+  const NNStretchResult r2 = compute_nn_stretch(*make_figure1_pi2());
+  EXPECT_DOUBLE_EQ(r1.average_average, 1.5);
+  EXPECT_DOUBLE_EQ(r1.average_maximum, 2.0);
+  EXPECT_DOUBLE_EQ(r2.average_average, 2.0);
+  EXPECT_DOUBLE_EQ(r2.average_maximum, 2.5);
+}
+
+TEST(ToyCurves, LabelsCoverAllFourCells) {
+  const Universe u(2, 2);
+  std::string labels;
+  for (index_t id = 0; id < 4; ++id) {
+    labels += figure1_label(u.from_row_major(id));
+  }
+  // Row-major: (0,0)=D, (1,0)=B, (0,1)=A, (1,1)=C.
+  EXPECT_EQ(labels, "DBAC");
+}
+
+}  // namespace
+}  // namespace sfc

@@ -1,0 +1,110 @@
+#include "sfc/curves/zcurve.h"
+
+#include <gtest/gtest.h>
+
+#include "sfc/core/bounds.h"
+
+namespace sfc {
+namespace {
+
+TEST(ZCurve, PaperWorkedExample) {
+  // §IV-B: d=3, k=3, Z(101, 010, 011) = 100011101₂ = 285.
+  const Universe u = Universe::pow2(3, 3);
+  const ZCurve z(u);
+  EXPECT_EQ(z.index_of(Point{0b101, 0b010, 0b011}), 285u);
+  EXPECT_EQ(z.point_at(285), (Point{0b101, 0b010, 0b011}));
+}
+
+TEST(ZCurve, TwoByTwoOrder) {
+  // d=2, k=1: keys follow the bit-interleave (x1 most significant).
+  const Universe u = Universe::pow2(2, 1);
+  const ZCurve z(u);
+  EXPECT_EQ(z.index_of(Point{0, 0}), 0u);
+  EXPECT_EQ(z.index_of(Point{0, 1}), 1u);
+  EXPECT_EQ(z.index_of(Point{1, 0}), 2u);
+  EXPECT_EQ(z.index_of(Point{1, 1}), 3u);
+}
+
+TEST(ZCurve, Figure3SpotChecks) {
+  // Figure 3 (8x8): cell (x1=0,x2=0) has key 000000, the cell at
+  // (x1=7,x2=7) has key 111111 = 63.
+  const Universe u = Universe::pow2(2, 3);
+  const ZCurve z(u);
+  EXPECT_EQ(z.index_of(Point{0, 0}), 0u);
+  EXPECT_EQ(z.index_of(Point{7, 7}), 63u);
+  // From the figure's bottom row: the cell at (x1=1, x2=0) shows bits
+  // 000|010 = 2, and (x1=0, x2=1) shows 000|001 = 1.
+  EXPECT_EQ(z.index_of(Point{1, 0}), 2u);
+  EXPECT_EQ(z.index_of(Point{0, 1}), 1u);
+  // Top-right quadrant corner (x1=4, x2=4) shows 110000 = 48.
+  EXPECT_EQ(z.index_of(Point{4, 4}), 48u);
+}
+
+TEST(ZCurve, Bijectivity) {
+  const Universe u = Universe::pow2(2, 3);
+  const ZCurve z(u);
+  std::vector<bool> seen(u.cell_count(), false);
+  for (index_t id = 0; id < u.cell_count(); ++id) {
+    const Point p = u.from_row_major(id);
+    const index_t key = z.index_of(p);
+    ASSERT_LT(key, u.cell_count());
+    EXPECT_FALSE(seen[key]);
+    seen[key] = true;
+    EXPECT_EQ(z.point_at(key), p);
+  }
+}
+
+TEST(ZCurve, GroupDistanceFormula) {
+  // Proof of Lemma 5: a NN pair in G_{i,j} (κ ends in j-1 ones then a zero)
+  // has ∆Z = 2^{jd-i} − Σ_{ℓ<j} 2^{ℓd-i}.
+  const int d = 2, k = 4;
+  const Universe u = Universe::pow2(d, k);
+  const ZCurve z(u);
+  for (int i = 1; i <= d; ++i) {
+    for (int j = 1; j <= k; ++j) {
+      // κ = 0b0..0 1{j-1} pattern: lowest such κ is 2^{j-1} - 1.
+      const auto kappa = static_cast<coord_t>((1u << (j - 1)) - 1);
+      // All other coordinates fixed to an arbitrary value (5).
+      Point a{5, 5}, b{5, 5};
+      a[i - 1] = kappa;
+      b[i - 1] = kappa + 1;
+      const index_t measured = z.curve_distance(a, b);
+      const u128 expected = bounds::z_group_distance(d, i, j);
+      EXPECT_TRUE(equals_u64(expected, measured))
+          << "d=" << d << " i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(ZCurve, LeastSignificantDimensionMovesLeast) {
+  // Moving one step along dimension d (the least significant in each level)
+  // from an even coordinate changes the key by exactly 1.
+  const Universe u = Universe::pow2(3, 3);
+  const ZCurve z(u);
+  EXPECT_EQ(z.curve_distance(Point{2, 4, 0}, Point{2, 4, 1}), 1u);
+  // Along dimension 1 (most significant): distance 2^{d-1} = 4.
+  EXPECT_EQ(z.curve_distance(Point{0, 4, 2}, Point{1, 4, 2}), 4u);
+}
+
+TEST(ZCurve, OneDimensionalIsIdentity) {
+  const Universe u = Universe::pow2(1, 4);
+  const ZCurve z(u);
+  for (coord_t x = 0; x < 16; ++x) {
+    EXPECT_EQ(z.index_of(Point{x}), x);
+  }
+}
+
+TEST(ZCurve, HighDimensional) {
+  const Universe u = Universe::pow2(5, 2);
+  const ZCurve z(u);
+  std::vector<bool> seen(u.cell_count(), false);
+  for (index_t id = 0; id < u.cell_count(); ++id) {
+    const index_t key = z.index_of(u.from_row_major(id));
+    ASSERT_LT(key, u.cell_count());
+    EXPECT_FALSE(seen[key]);
+    seen[key] = true;
+  }
+}
+
+}  // namespace
+}  // namespace sfc

@@ -1,0 +1,71 @@
+#include "sfc/grid/box.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sfc {
+namespace {
+
+TEST(Box, CellCount) {
+  EXPECT_EQ(Box(Point{0, 0}, Point{0, 0}).cell_count(), 1u);
+  EXPECT_EQ(Box(Point{0, 0}, Point{3, 3}).cell_count(), 16u);
+  EXPECT_EQ(Box(Point{1, 2}, Point{2, 5}).cell_count(), 8u);
+  EXPECT_EQ(Box(Point{0, 0, 0}, Point{1, 1, 1}).cell_count(), 8u);
+}
+
+TEST(Box, Contains) {
+  const Box box(Point{1, 1}, Point{3, 4});
+  EXPECT_TRUE(box.contains(Point{1, 1}));
+  EXPECT_TRUE(box.contains(Point{3, 4}));
+  EXPECT_TRUE(box.contains(Point{2, 3}));
+  EXPECT_FALSE(box.contains(Point{0, 1}));
+  EXPECT_FALSE(box.contains(Point{4, 4}));
+  EXPECT_FALSE(box.contains(Point{2, 5}));
+}
+
+TEST(Box, IterationVisitsEveryCellOnce) {
+  const Box box(Point{1, 2, 0}, Point{2, 3, 1});
+  std::vector<Point> cells;
+  box.for_each_cell([&](const Point& p) { cells.push_back(p); });
+  EXPECT_EQ(cells.size(), box.cell_count());
+  for (const Point& p : cells) EXPECT_TRUE(box.contains(p));
+  // Distinctness.
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    for (std::size_t j = i + 1; j < cells.size(); ++j) {
+      EXPECT_NE(cells[i], cells[j]);
+    }
+  }
+}
+
+TEST(Box, IterationIsRowMajor) {
+  const Box box(Point{0, 0}, Point{1, 1});
+  std::vector<Point> cells;
+  box.for_each_cell([&](const Point& p) { cells.push_back(p); });
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0], (Point{0, 0}));
+  EXPECT_EQ(cells[1], (Point{1, 0}));
+  EXPECT_EQ(cells[2], (Point{0, 1}));
+  EXPECT_EQ(cells[3], (Point{1, 1}));
+}
+
+TEST(Box, SingleCell) {
+  const Box box(Point{5, 5}, Point{5, 5});
+  int visits = 0;
+  box.for_each_cell([&](const Point& p) {
+    EXPECT_EQ(p, (Point{5, 5}));
+    ++visits;
+  });
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(Box, FullUniverse) {
+  const Universe u(2, 4);
+  const Box box = Box::full(u);
+  EXPECT_EQ(box.cell_count(), u.cell_count());
+  EXPECT_EQ(box.lo(), (Point{0, 0}));
+  EXPECT_EQ(box.hi(), (Point{3, 3}));
+}
+
+}  // namespace
+}  // namespace sfc

@@ -1,0 +1,83 @@
+#include "sfc/grid/point.h"
+
+#include <gtest/gtest.h>
+
+namespace sfc {
+namespace {
+
+TEST(Point, InitializerListConstruction) {
+  const Point p{3, 5, 7};
+  EXPECT_EQ(p.dim(), 3);
+  EXPECT_EQ(p[0], 3u);
+  EXPECT_EQ(p[1], 5u);
+  EXPECT_EQ(p[2], 7u);
+}
+
+TEST(Point, ZeroFactory) {
+  const Point p = Point::zero(4);
+  EXPECT_EQ(p.dim(), 4);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(p[i], 0u);
+}
+
+TEST(Point, Equality) {
+  EXPECT_EQ((Point{1, 2}), (Point{1, 2}));
+  EXPECT_NE((Point{1, 2}), (Point{2, 1}));
+  EXPECT_NE((Point{1, 2}), (Point{1, 2, 0}));  // different dim
+}
+
+TEST(Point, MutableAccess) {
+  Point p = Point::zero(2);
+  p[0] = 9;
+  p[1] = 4;
+  EXPECT_EQ(p, (Point{9, 4}));
+}
+
+TEST(Point, ManhattanDistance) {
+  EXPECT_EQ(manhattan_distance(Point{0, 0}, Point{0, 0}), 0u);
+  EXPECT_EQ(manhattan_distance(Point{1, 1}, Point{3, 5}), 6u);
+  EXPECT_EQ(manhattan_distance(Point{3, 5}, Point{1, 1}), 6u);  // symmetric
+  EXPECT_EQ(manhattan_distance(Point{7}, Point{2}), 5u);
+  EXPECT_EQ(manhattan_distance(Point{1, 2, 3, 4}, Point{4, 3, 2, 1}), 8u);
+}
+
+TEST(Point, SquaredEuclideanDistance) {
+  EXPECT_EQ(squared_euclidean_distance(Point{0, 0}, Point{3, 4}), 25u);
+  EXPECT_EQ(squared_euclidean_distance(Point{1, 1, 1}, Point{2, 2, 2}), 3u);
+}
+
+TEST(Point, EuclideanDistance) {
+  EXPECT_DOUBLE_EQ(euclidean_distance(Point{0, 0}, Point{3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(euclidean_distance(Point{5}, Point{5}), 0.0);
+}
+
+TEST(Point, ChebyshevDistance) {
+  EXPECT_EQ(chebyshev_distance(Point{1, 1}, Point{3, 9}), 8u);
+  EXPECT_EQ(chebyshev_distance(Point{4, 4}, Point{4, 4}), 0u);
+}
+
+TEST(Point, NearestNeighborsHaveAllDistancesOne) {
+  // Manhattan-distance-1 pairs are also Euclidean-distance-1 pairs (§III).
+  const Point a{5, 5};
+  const Point b{5, 6};
+  EXPECT_EQ(manhattan_distance(a, b), 1u);
+  EXPECT_DOUBLE_EQ(euclidean_distance(a, b), 1.0);
+  EXPECT_EQ(chebyshev_distance(a, b), 1u);
+}
+
+TEST(Point, ToString) {
+  EXPECT_EQ((Point{3, 5}).to_string(), "(3,5)");
+  EXPECT_EQ((Point{1}).to_string(), "(1)");
+  EXPECT_EQ((Point{0, 0, 0}).to_string(), "(0,0,0)");
+}
+
+TEST(Point, LargeCoordinatesNoOverflow) {
+  const coord_t big = 0x80000000u;  // 2^31: squared distance sums reach 2^63
+  const Point a{0, 0};
+  const Point b{big, big};
+  EXPECT_EQ(manhattan_distance(a, b), 2ull * big);
+  EXPECT_EQ(squared_euclidean_distance(a, b),
+            2ull * static_cast<std::uint64_t>(big) * big);
+}
+
+}  // namespace
+}  // namespace sfc

@@ -1,0 +1,142 @@
+#include "sfc/grid/universe.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace sfc {
+namespace {
+
+TEST(Universe, BasicProperties) {
+  const Universe u(2, 8);
+  EXPECT_EQ(u.dim(), 2);
+  EXPECT_EQ(u.side(), 8u);
+  EXPECT_EQ(u.cell_count(), 64u);
+  EXPECT_TRUE(u.power_of_two_side());
+  EXPECT_EQ(u.level_bits(), 3);
+}
+
+TEST(Universe, NonPowerOfTwoSide) {
+  const Universe u(2, 6);  // the Figure-2 grid
+  EXPECT_EQ(u.cell_count(), 36u);
+  EXPECT_FALSE(u.power_of_two_side());
+  EXPECT_EQ(u.level_bits(), -1);
+}
+
+TEST(Universe, Pow2Factory) {
+  const Universe u = Universe::pow2(3, 4);
+  EXPECT_EQ(u.side(), 16u);
+  EXPECT_EQ(u.cell_count(), 4096u);
+  EXPECT_EQ(u.level_bits(), 4);
+}
+
+TEST(Universe, SideOne) {
+  const Universe u(3, 1);
+  EXPECT_EQ(u.cell_count(), 1u);
+  EXPECT_EQ(u.nn_pair_count(), 0u);
+  EXPECT_EQ(u.neighbor_count(Point{0, 0, 0}), 0);
+}
+
+TEST(Universe, Contains) {
+  const Universe u(2, 4);
+  EXPECT_TRUE(u.contains(Point{0, 0}));
+  EXPECT_TRUE(u.contains(Point{3, 3}));
+  EXPECT_FALSE(u.contains(Point{4, 0}));
+  EXPECT_FALSE(u.contains(Point{0, 4}));
+  EXPECT_FALSE(u.contains(Point{0, 0, 0}));  // wrong dim
+}
+
+TEST(Universe, RowMajorRoundTrip) {
+  const Universe u(3, 5);
+  for (index_t id = 0; id < u.cell_count(); ++id) {
+    EXPECT_EQ(u.row_major_index(u.from_row_major(id)), id);
+  }
+}
+
+TEST(Universe, RowMajorMatchesFormula) {
+  // id = x1 + x2*side + x3*side^2 (dimension 1 fastest).
+  const Universe u(3, 4);
+  EXPECT_EQ(u.row_major_index(Point{0, 0, 0}), 0u);
+  EXPECT_EQ(u.row_major_index(Point{1, 0, 0}), 1u);
+  EXPECT_EQ(u.row_major_index(Point{0, 1, 0}), 4u);
+  EXPECT_EQ(u.row_major_index(Point{0, 0, 1}), 16u);
+  EXPECT_EQ(u.row_major_index(Point{3, 3, 3}), 63u);
+}
+
+TEST(Universe, NeighborCountBounds) {
+  // d <= |N(alpha)| <= 2d for every cell (paper §III), assuming side >= 2.
+  const Universe u(3, 4);
+  for (index_t id = 0; id < u.cell_count(); ++id) {
+    const int count = u.neighbor_count(u.from_row_major(id));
+    EXPECT_GE(count, u.dim());
+    EXPECT_LE(count, 2 * u.dim());
+  }
+}
+
+TEST(Universe, CornerAndInteriorNeighborCounts) {
+  const Universe u(2, 4);
+  EXPECT_EQ(u.neighbor_count(Point{0, 0}), 2);   // corner
+  EXPECT_EQ(u.neighbor_count(Point{1, 0}), 3);   // edge
+  EXPECT_EQ(u.neighbor_count(Point{1, 1}), 4);   // interior
+  EXPECT_EQ(u.neighbor_count(Point{3, 3}), 2);   // far corner
+}
+
+TEST(Universe, ForEachNeighborEnumeratesExactlyDistanceOne) {
+  const Universe u(3, 3);
+  const Point center{1, 1, 1};
+  std::set<index_t> seen;
+  u.for_each_neighbor(center, [&](const Point& q) {
+    EXPECT_EQ(manhattan_distance(center, q), 1u);
+    EXPECT_TRUE(u.contains(q));
+    seen.insert(u.row_major_index(q));
+  });
+  EXPECT_EQ(seen.size(), 6u);  // interior cell in 3-d
+}
+
+TEST(Universe, ForwardNeighborsVisitEachPairOnce) {
+  const Universe u(2, 4);
+  // Count unordered NN pairs via forward enumeration.
+  index_t pairs = 0;
+  for (index_t id = 0; id < u.cell_count(); ++id) {
+    u.for_each_forward_neighbor(u.from_row_major(id),
+                                [&](const Point&, int dim) {
+                                  EXPECT_GE(dim, 0);
+                                  EXPECT_LT(dim, u.dim());
+                                  ++pairs;
+                                });
+  }
+  EXPECT_EQ(pairs, u.nn_pair_count());
+}
+
+TEST(Universe, NNPairCountFormula) {
+  // |NN_d| = d * (side-1) * side^{d-1}.
+  EXPECT_EQ(Universe(1, 8).nn_pair_count(), 7u);
+  EXPECT_EQ(Universe(2, 8).nn_pair_count(), 2u * 7u * 8u);
+  EXPECT_EQ(Universe(3, 4).nn_pair_count(), 3u * 3u * 16u);
+  EXPECT_EQ(Universe(2, 2).nn_pair_count(), 4u);  // the Figure-1 grid
+}
+
+TEST(Universe, NNPairCountMatchesBruteForce) {
+  for (int d = 1; d <= 3; ++d) {
+    const Universe u(d, 3);
+    index_t brute = 0;
+    for (index_t a = 0; a < u.cell_count(); ++a) {
+      for (index_t b = a + 1; b < u.cell_count(); ++b) {
+        if (manhattan_distance(u.from_row_major(a), u.from_row_major(b)) == 1) {
+          ++brute;
+        }
+      }
+    }
+    EXPECT_EQ(u.nn_pair_count(), brute) << "d=" << d;
+  }
+}
+
+TEST(Universe, Equality) {
+  EXPECT_EQ(Universe(2, 8), Universe(2, 8));
+  EXPECT_FALSE(Universe(2, 8) == Universe(3, 8));
+  EXPECT_FALSE(Universe(2, 8) == Universe(2, 4));
+}
+
+}  // namespace
+}  // namespace sfc

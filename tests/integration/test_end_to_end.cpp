@@ -1,0 +1,88 @@
+// Cross-module integration checks tying the paper's storyline together:
+// bounds hold, Z and simple are near-optimal, the ranking is consistent with
+// the application-level metrics.
+#include <gtest/gtest.h>
+
+#include "sfc/apps/partition.h"
+#include "sfc/apps/range_query.h"
+#include "sfc/core/stretch_report.h"
+#include "sfc/curves/curve_factory.h"
+
+namespace sfc {
+namespace {
+
+TEST(EndToEnd, PaperHeadlineResults) {
+  // On a 64x64 grid: every curve respects Theorem 1; Z and simple sit within
+  // ~1.5x of the bound; random bijections are orders of magnitude worse.
+  const Universe u = Universe::pow2(2, 6);
+  AnalyzeOptions options;
+  options.all_pairs_samples = 0;
+
+  double z_ratio = 0, simple_ratio = 0, random_ratio = 0;
+  for (CurveFamily family : all_curve_families()) {
+    const CurvePtr curve = make_curve(family, u, 31);
+    const StretchReport report = analyze_curve(*curve, options);
+    EXPECT_GE(report.davg_ratio_to_bound, 1.0 - 1e-12) << family_name(family);
+    if (family == CurveFamily::kZ) z_ratio = report.davg_ratio_to_bound;
+    if (family == CurveFamily::kSimple) simple_ratio = report.davg_ratio_to_bound;
+    if (family == CurveFamily::kRandom) random_ratio = report.davg_ratio_to_bound;
+  }
+  EXPECT_NEAR(z_ratio, 1.5, 0.15);
+  EXPECT_NEAR(simple_ratio, 1.5, 0.15);
+  EXPECT_GT(random_ratio, 10.0);
+}
+
+TEST(EndToEnd, HilbertAnswersOpenQuestionBelowZ) {
+  // §VI leaves Davg(Hilbert) open; empirically it lands close to (and
+  // slightly below) the Z curve on 2-d grids, still >= the Theorem-1 bound.
+  const Universe u = Universe::pow2(2, 6);
+  AnalyzeOptions options;
+  options.all_pairs_samples = 0;
+  const double hilbert =
+      analyze_curve(*make_curve(CurveFamily::kHilbert, u), options)
+          .nn.average_average;
+  const double z =
+      analyze_curve(*make_curve(CurveFamily::kZ, u), options).nn.average_average;
+  EXPECT_GE(hilbert, bounds::davg_lower_bound(u));
+  EXPECT_LT(std::abs(hilbert - z) / z, 0.35);
+}
+
+TEST(EndToEnd, StretchPredictsPartitionQuality) {
+  // Curves with lower Davg should produce lower edge cuts when partitioned
+  // into contiguous ranges (the load-balancing application of the intro).
+  const Universe u = Universe::pow2(2, 5);
+  const CurvePtr hilbert = make_curve(CurveFamily::kHilbert, u);
+  const CurvePtr random = make_curve(CurveFamily::kRandom, u, 17);
+  const index_t hilbert_cut = evaluate_partition(*hilbert, 8).edge_cut;
+  const index_t random_cut = evaluate_partition(*random, 8).edge_cut;
+  EXPECT_LT(hilbert_cut * 5, random_cut);
+}
+
+TEST(EndToEnd, StretchPredictsClustering) {
+  // Same story for the secondary-memory application: locality-preserving
+  // curves require fewer key runs per rectangular query.
+  const Universe u = Universe::pow2(2, 5);
+  const CurvePtr z = make_curve(CurveFamily::kZ, u);
+  const CurvePtr random = make_curve(CurveFamily::kRandom, u, 19);
+  const double z_runs = random_box_clustering(*z, 4, 200, 23).mean_runs;
+  const double random_runs = random_box_clustering(*random, 4, 200, 23).mean_runs;
+  EXPECT_LT(z_runs * 2, random_runs);
+}
+
+TEST(EndToEnd, NonPow2UniverseFullPipeline) {
+  // The simple/snake/random families plus the full metric stack work on a
+  // 6x6 grid (the Figure-2 setting).
+  const Universe u(2, 6);
+  AnalyzeOptions options;
+  options.all_pairs_samples = 1000;
+  for (CurveFamily family : all_curve_families()) {
+    if (family_requires_pow2(family)) continue;
+    const CurvePtr curve = make_curve(family, u, 3);
+    const StretchReport report = analyze_curve(*curve, options);
+    EXPECT_GE(report.davg_ratio_to_bound, 1.0 - 1e-12) << family_name(family);
+    EXPECT_TRUE(report.all_pairs.has_value());
+  }
+}
+
+}  // namespace
+}  // namespace sfc

@@ -1,0 +1,71 @@
+#include "sfc/core/stretch_report.h"
+
+#include <gtest/gtest.h>
+
+#include "sfc/curves/curve_factory.h"
+
+namespace sfc {
+namespace {
+
+TEST(StretchReport, FieldsConsistentForZCurve) {
+  const Universe u = Universe::pow2(2, 4);
+  const CurvePtr z = make_curve(CurveFamily::kZ, u);
+  const StretchReport report = analyze_curve(*z);
+
+  EXPECT_EQ(report.curve_name, "z-curve");
+  EXPECT_EQ(report.dim, 2);
+  EXPECT_EQ(report.n, 256u);
+  EXPECT_EQ(report.side, 16u);
+  EXPECT_GT(report.nn.average_average, 0.0);
+  EXPECT_DOUBLE_EQ(report.davg_lower_bound, bounds::davg_lower_bound(u));
+  EXPECT_NEAR(report.davg_ratio_to_bound,
+              report.nn.average_average / report.davg_lower_bound, 1e-12);
+  EXPECT_NEAR(report.normalized_davg,
+              2 * report.nn.average_average / 16.0, 1e-12);
+  ASSERT_TRUE(report.all_pairs.has_value());
+  EXPECT_TRUE(report.all_pairs->exact);  // n=256 <= default exact limit
+  EXPECT_GE(report.all_pairs->avg_stretch_manhattan,
+            report.allpairs_manhattan_bound);
+}
+
+TEST(StretchReport, SampledAllPairsAboveExactLimit) {
+  const Universe u = Universe::pow2(2, 7);  // n = 16384 > 4096 default limit
+  const CurvePtr z = make_curve(CurveFamily::kZ, u);
+  AnalyzeOptions options;
+  options.all_pairs_samples = 20000;
+  const StretchReport report = analyze_curve(*z, options);
+  ASSERT_TRUE(report.all_pairs.has_value());
+  EXPECT_FALSE(report.all_pairs->exact);
+  EXPECT_GT(report.all_pairs->stderr_manhattan, 0.0);
+}
+
+TEST(StretchReport, AllPairsCanBeDisabled) {
+  const Universe u = Universe::pow2(2, 3);
+  const CurvePtr s = make_curve(CurveFamily::kSimple, u);
+  AnalyzeOptions options;
+  options.all_pairs_samples = 0;
+  const StretchReport report = analyze_curve(*s, options);
+  EXPECT_FALSE(report.all_pairs.has_value());
+}
+
+TEST(StretchReport, RenderingMentionsKeyMetrics) {
+  const Universe u = Universe::pow2(2, 3);
+  const CurvePtr h = make_curve(CurveFamily::kHilbert, u);
+  const std::string text = to_string(analyze_curve(*h));
+  EXPECT_NE(text.find("hilbert"), std::string::npos);
+  EXPECT_NE(text.find("Davg"), std::string::npos);
+  EXPECT_NE(text.find("Theorem-1 lower bound"), std::string::npos);
+  EXPECT_NE(text.find("all-pairs stretch Manhattan"), std::string::npos);
+}
+
+TEST(StretchReport, EveryFamilyAnalyzable) {
+  const Universe u = Universe::pow2(2, 3);
+  for (CurveFamily family : all_curve_families()) {
+    const CurvePtr curve = make_curve(family, u, 1);
+    const StretchReport report = analyze_curve(*curve);
+    EXPECT_GE(report.davg_ratio_to_bound, 1.0 - 1e-12) << family_name(family);
+  }
+}
+
+}  // namespace
+}  // namespace sfc

@@ -1,0 +1,73 @@
+#include "sfc/io/ascii_grid.h"
+
+#include <gtest/gtest.h>
+
+#include "sfc/curves/curve_factory.h"
+#include "sfc/curves/simple_curve.h"
+#include "sfc/curves/zcurve.h"
+
+namespace sfc {
+namespace {
+
+TEST(AsciiGrid, KeyGridSimpleCurve4x4) {
+  // Simple curve on 4x4, top row is x2=3: keys 12..15.
+  const Universe u(2, 4);
+  const SimpleCurve s(u);
+  const std::string grid = render_key_grid(s);
+  EXPECT_EQ(grid,
+            "12 13 14 15\n"
+            " 8  9 10 11\n"
+            " 4  5  6  7\n"
+            " 0  1  2  3\n");
+}
+
+TEST(AsciiGrid, KeyGridZCurve2x2) {
+  // Z curve keys: (0,0)=0 (0,1)=1 (1,0)=2 (1,1)=3, drawn top row first.
+  const Universe u = Universe::pow2(2, 1);
+  const ZCurve z(u);
+  EXPECT_EQ(render_key_grid(z), "1 3\n0 2\n");
+}
+
+TEST(AsciiGrid, BinaryGridMatchesFigure3Layout) {
+  const Universe u = Universe::pow2(2, 3);
+  const ZCurve z(u);
+  const std::string grid = render_key_grid_binary(z);
+  // Bottom-left cell (0,0) must be 000000, its right neighbor 000010.
+  const auto last_line_start = grid.rfind('\n', grid.size() - 2);
+  const std::string bottom = grid.substr(last_line_start + 1);
+  EXPECT_EQ(bottom.substr(0, 6), "000000");
+  EXPECT_EQ(bottom.substr(7, 6), "000010");
+  // Top-left cell (0,7): x2=111 -> 010101.
+  EXPECT_EQ(grid.substr(0, 6), "010101");
+}
+
+TEST(AsciiGrid, PathRenderingSnake) {
+  const Universe u(2, 3);
+  const CurvePtr snake = make_curve(CurveFamily::kSnake, u);
+  const std::string path = render_curve_path(*snake);
+  // Continuous curve: no '*' jump markers.
+  EXPECT_EQ(path.find('*'), std::string::npos);
+  EXPECT_NE(path.find('S'), std::string::npos);
+  EXPECT_NE(path.find('E'), std::string::npos);
+  EXPECT_NE(path.find('-'), std::string::npos);
+  EXPECT_NE(path.find('|'), std::string::npos);
+}
+
+TEST(AsciiGrid, PathRenderingZCurveHasJumps) {
+  const Universe u = Universe::pow2(2, 2);
+  const ZCurve z(u);
+  const std::string path = render_curve_path(z);
+  // The Z curve is discontinuous: jump markers must appear.
+  EXPECT_NE(path.find('*'), std::string::npos);
+}
+
+TEST(AsciiGrid, CanvasDimensions) {
+  const Universe u(2, 4);
+  const SimpleCurve s(u);
+  const std::string path = render_curve_path(s);
+  // 2*side-1 = 7 rows of 7 chars + newline each.
+  EXPECT_EQ(path.size(), 7u * 8u);
+}
+
+}  // namespace
+}  // namespace sfc

@@ -1,0 +1,58 @@
+#include "sfc/io/svg.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "sfc/curves/curve_factory.h"
+
+namespace sfc {
+namespace {
+
+TEST(Svg, ContainsPolylineWithAllCells) {
+  const Universe u = Universe::pow2(2, 2);
+  const CurvePtr hilbert = make_curve(CurveFamily::kHilbert, u);
+  const std::string svg = render_curve_svg(*hilbert);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // 16 cells -> 16 points -> 15 separating spaces inside points="...".
+  const auto points_pos = svg.find("points=\"");
+  ASSERT_NE(points_pos, std::string::npos);
+  const auto points_end = svg.find('"', points_pos + 8);
+  const std::string points = svg.substr(points_pos + 8, points_end - points_pos - 8);
+  int commas = 0;
+  for (char ch : points) {
+    if (ch == ',') ++commas;
+  }
+  EXPECT_EQ(commas, 16);
+}
+
+TEST(Svg, GridToggle) {
+  const Universe u = Universe::pow2(2, 1);
+  const CurvePtr z = make_curve(CurveFamily::kZ, u);
+  SvgOptions with_grid;
+  with_grid.draw_grid = true;
+  SvgOptions without_grid;
+  without_grid.draw_grid = false;
+  EXPECT_NE(render_curve_svg(*z, with_grid).find("#dddddd"), std::string::npos);
+  EXPECT_EQ(render_curve_svg(*z, without_grid).find("#dddddd"), std::string::npos);
+}
+
+TEST(Svg, WriteTextFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/sfc_svg_test.svg";
+  EXPECT_TRUE(write_text_file(path, "<svg>test</svg>\n"));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "<svg>test</svg>\n");
+  std::remove(path.c_str());
+}
+
+TEST(Svg, WriteTextFileFailsOnBadPath) {
+  EXPECT_FALSE(write_text_file("/nonexistent-dir/xyz/file.svg", "data"));
+}
+
+}  // namespace
+}  // namespace sfc

@@ -1,0 +1,60 @@
+#include "sfc/io/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sfc {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table table({"curve", "Davg"});
+  table.add_row({"z-curve", "5.25"});
+  table.add_row({"simple", "5.5"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("curve"), std::string::npos);
+  EXPECT_NE(text.find("z-curve"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+  // Two header+underline lines plus two rows.
+  int lines = 0;
+  for (char ch : text) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4);
+}
+
+TEST(Table, RowCountTracksRows) {
+  Table table({"a"});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.add_row({"1"});
+  table.add_row({"2"});
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Table, CsvEscaping) {
+  Table table({"name", "value"});
+  table.add_row({"plain", "1"});
+  table.add_row({"with,comma", "2"});
+  table.add_row({"with\"quote", "3"});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("name,value\n"), std::string::npos);
+  EXPECT_NE(csv.find("plain,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"with,comma\",2\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\",3\n"), std::string::npos);
+}
+
+TEST(Table, FmtHelpers) {
+  EXPECT_EQ(Table::fmt(1.5), "1.5");
+  EXPECT_EQ(Table::fmt(2.0 / 3.0, 3), "0.667");
+  EXPECT_EQ(Table::fmt_int(1234567), "1234567");
+}
+
+TEST(TableDeath, WrongArityAborts) {
+  Table table({"a", "b"});
+  EXPECT_DEATH(table.add_row({"only-one"}), "");
+}
+
+}  // namespace
+}  // namespace sfc

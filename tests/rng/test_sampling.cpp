@@ -1,0 +1,120 @@
+#include "sfc/rng/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace sfc {
+namespace {
+
+TEST(Shuffle, ProducesPermutation) {
+  Xoshiro256 rng(5);
+  auto values = identity_permutation(100);
+  shuffle(values, rng);
+  auto sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (index_t i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Shuffle, ActuallyShuffles) {
+  Xoshiro256 rng(6);
+  auto values = identity_permutation(100);
+  shuffle(values, rng);
+  int fixed_points = 0;
+  for (index_t i = 0; i < 100; ++i) {
+    if (values[i] == i) ++fixed_points;
+  }
+  EXPECT_LT(fixed_points, 20);  // expected ~1
+}
+
+TEST(RandomPermutation, DeterministicInSeed) {
+  Xoshiro256 a(9), b(9);
+  EXPECT_EQ(random_permutation(50, a), random_permutation(50, b));
+}
+
+TEST(RandomCell, InsideUniverse) {
+  const Universe u(3, 7);
+  Xoshiro256 rng(10);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(u.contains(random_cell(u, rng)));
+  }
+}
+
+TEST(RandomDistinctPair, Distinct) {
+  const Universe u(2, 2);
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const auto [a, b] = random_distinct_pair(u, rng);
+    EXPECT_NE(a, b);
+    EXPECT_TRUE(u.contains(a));
+    EXPECT_TRUE(u.contains(b));
+  }
+}
+
+TEST(RandomBox, ExtentAndBoundsRespected) {
+  const Universe u(2, 16);
+  Xoshiro256 rng(12);
+  for (int i = 0; i < 200; ++i) {
+    const Box box = random_box(u, 5, rng);
+    for (int dim = 0; dim < 2; ++dim) {
+      EXPECT_EQ(box.hi()[dim] - box.lo()[dim] + 1, 5u);
+      EXPECT_LT(box.hi()[dim], u.side());
+    }
+    EXPECT_EQ(box.cell_count(), 25u);
+  }
+}
+
+TEST(RandomBox, FullExtentIsWholeUniverse) {
+  const Universe u(2, 8);
+  Xoshiro256 rng(13);
+  const Box box = random_box(u, 8, rng);
+  EXPECT_EQ(box.lo(), (Point{0, 0}));
+  EXPECT_EQ(box.cell_count(), 64u);
+}
+
+TEST(RunningStats, MeanVarianceAgainstDirect) {
+  const std::vector<double> values = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  RunningStats stats;
+  for (double v : values) stats.add(v);
+
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(values.size() - 1);
+
+  EXPECT_EQ(stats.count(), values.size());
+  EXPECT_NEAR(stats.mean(), mean, 1e-12);
+  EXPECT_NEAR(stats.variance(), var, 1e-12);
+  EXPECT_NEAR(stats.standard_error(),
+              std::sqrt(var / static_cast<double>(values.size())), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, EdgeCases) {
+  RunningStats empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_DOUBLE_EQ(empty.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.standard_error(), 0.0);
+
+  RunningStats one;
+  one.add(42.0);
+  EXPECT_DOUBLE_EQ(one.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(one.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(one.min(), 42.0);
+  EXPECT_DOUBLE_EQ(one.max(), 42.0);
+}
+
+TEST(RunningStats, ConstantStream) {
+  RunningStats stats;
+  for (int i = 0; i < 100; ++i) stats.add(7.5);
+  EXPECT_DOUBLE_EQ(stats.mean(), 7.5);
+  EXPECT_NEAR(stats.variance(), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace sfc

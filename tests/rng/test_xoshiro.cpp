@@ -1,0 +1,94 @@
+#include "sfc/rng/xoshiro256.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "sfc/rng/splitmix64.h"
+
+namespace sfc {
+namespace {
+
+TEST(SplitMix64, DeterministicAndDistinct) {
+  SplitMix64 a(123), b(123), c(124);
+  const std::uint64_t a1 = a.next();
+  EXPECT_EQ(a1, b.next());
+  EXPECT_NE(a1, c.next());
+  EXPECT_NE(a.next(), a1);  // advances
+}
+
+TEST(Xoshiro256, DeterministicForSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro256, NextBelowRespectsBound) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, NextBelowOneAlwaysZero) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Xoshiro256, NextBelowCoversSmallRange) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(6));
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Xoshiro256, NextBelowRoughlyUniform) {
+  Xoshiro256 rng(13);
+  const int buckets = 8, draws = 80000;
+  std::vector<int> histogram(buckets, 0);
+  for (int i = 0; i < draws; ++i) {
+    ++histogram[static_cast<std::size_t>(rng.next_below(buckets))];
+  }
+  const double expected = static_cast<double>(draws) / buckets;
+  for (int count : histogram) {
+    EXPECT_NEAR(count, expected, 5 * std::sqrt(expected));  // ~5 sigma
+  }
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(17);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, LongJumpDecorrelates) {
+  Xoshiro256 a(21);
+  Xoshiro256 b(21);
+  b.long_jump();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+}  // namespace
+}  // namespace sfc

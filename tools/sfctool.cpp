@@ -1,0 +1,295 @@
+// sfctool — command-line front end for the SFC-Stretch library.
+//
+//   sfctool analyze    --curve z --dim 2 --bits 8 [--seed 1] [--samples N]
+//   sfctool render     --curve hilbert --bits 3 [--binary] [--svg out.svg]
+//   sfctool sweep      --curve z --dim 2 --max-bits 8 [--csv]
+//   sfctool bounds     --dim 3 --bits 4
+//   sfctool partition  --curve hilbert --dim 2 --bits 6 --parts 16
+//   sfctool clustering --curve z --dim 2 --bits 6 --extent 4 --samples 200
+//   sfctool optimize   --dim 2 --side 6 --iters 100000 [--seed 1]
+//
+// Curve names: z, simple, snake, gray, hilbert, random, peano (render/analyze
+// only; side = 3^bits for peano).
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sfc/apps/partition.h"
+#include "sfc/apps/range_query.h"
+#include "sfc/cli/args.h"
+#include "sfc/core/bounds.h"
+#include "sfc/core/convergence.h"
+#include "sfc/core/optimizer.h"
+#include "sfc/core/stretch_report.h"
+#include "sfc/curves/curve_factory.h"
+#include "sfc/curves/diagonal_curve.h"
+#include "sfc/curves/peano_curve.h"
+#include "sfc/curves/spiral_curve.h"
+#include "sfc/io/ascii_grid.h"
+#include "sfc/io/svg.h"
+#include "sfc/io/table.h"
+
+namespace {
+
+using namespace sfc;
+
+int usage(const std::string& message = "") {
+  if (!message.empty()) std::cerr << "error: " << message << "\n\n";
+  std::cerr <<
+      "usage: sfctool <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  analyze    --curve NAME --dim D --bits K [--seed S] [--samples N]\n"
+      "  render     --curve NAME --bits K [--binary] [--svg FILE]\n"
+      "  sweep      --curve NAME --dim D --max-bits K [--csv]\n"
+      "  bounds     --dim D --bits K\n"
+      "  partition  --curve NAME --dim D --bits K --parts P\n"
+      "  clustering --curve NAME --dim D --bits K --extent E --samples N\n"
+      "  optimize   --dim D --side S --iters N [--seed S]\n"
+      "\n"
+      "curves: z, simple, snake, gray, hilbert, random, peano, spiral,\n"
+      "        diagonal (spiral/diagonal are 2-d only)\n";
+  return 2;
+}
+
+/// Builds a curve by CLI name; `bits` is k (side = 2^k, or 3^k for peano).
+CurvePtr build_curve(const std::string& name, int dim, int bits,
+                     std::uint64_t seed, std::string* error) {
+  if (name == "peano") {
+    index_t side = 1;
+    for (int i = 0; i < bits; ++i) side *= 3;
+    return std::make_unique<PeanoCurve>(Universe(dim, static_cast<coord_t>(side)));
+  }
+  if (name == "spiral") {
+    return std::make_unique<SpiralCurve>(Universe::pow2(2, bits));
+  }
+  if (name == "diagonal") {
+    return std::make_unique<DiagonalCurve>(Universe::pow2(2, bits));
+  }
+  const std::map<std::string, CurveFamily> families = {
+      {"z", CurveFamily::kZ},           {"simple", CurveFamily::kSimple},
+      {"snake", CurveFamily::kSnake},   {"gray", CurveFamily::kGray},
+      {"hilbert", CurveFamily::kHilbert}, {"random", CurveFamily::kRandom}};
+  const auto it = families.find(name);
+  if (it == families.end()) {
+    *error = "unknown curve '" + name + "'";
+    return nullptr;
+  }
+  return make_curve(it->second, Universe::pow2(dim, bits), seed);
+}
+
+int cmd_analyze(const cli::Args& args) {
+  const std::string curve_name = args.get_string("curve", "z");
+  const auto dim = args.get_int("dim", 2);
+  const auto bits = args.get_int("bits", 6);
+  const auto seed = args.get_int("seed", 1);
+  const auto samples = args.get_int("samples", 200000);
+  if (!dim || !bits || !seed || !samples) return usage("bad numeric flag");
+  std::string error;
+  const CurvePtr curve = build_curve(curve_name, static_cast<int>(*dim),
+                                     static_cast<int>(*bits),
+                                     static_cast<std::uint64_t>(*seed), &error);
+  if (!curve) return usage(error);
+  AnalyzeOptions options;
+  options.all_pairs_samples = static_cast<std::uint64_t>(*samples);
+  std::cout << to_string(analyze_curve(*curve, options));
+  return 0;
+}
+
+int cmd_render(const cli::Args& args) {
+  const std::string curve_name = args.get_string("curve", "hilbert");
+  const auto bits = args.get_int("bits", 3);
+  if (!bits) return usage("bad numeric flag");
+  std::string error;
+  const CurvePtr curve =
+      build_curve(curve_name, 2, static_cast<int>(*bits), 1, &error);
+  if (!curve) return usage(error);
+  if (args.get_flag("binary")) {
+    if (!curve->universe().power_of_two_side()) {
+      return usage("--binary requires a power-of-two side");
+    }
+    std::cout << render_key_grid_binary(*curve);
+  } else {
+    std::cout << render_key_grid(*curve);
+  }
+  std::cout << "\n" << render_curve_path(*curve);
+  const std::string svg_path = args.get_string("svg", "");
+  if (!svg_path.empty()) {
+    if (write_text_file(svg_path, render_curve_svg(*curve))) {
+      std::cout << "\nwrote " << svg_path << "\n";
+    } else {
+      std::cerr << "could not write " << svg_path << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int cmd_sweep(const cli::Args& args) {
+  const std::string curve_name = args.get_string("curve", "z");
+  const auto dim = args.get_int("dim", 2);
+  const auto max_bits = args.get_int("max-bits", 8);
+  if (!dim || !max_bits) return usage("bad numeric flag");
+  const std::map<std::string, CurveFamily> families = {
+      {"z", CurveFamily::kZ},           {"simple", CurveFamily::kSimple},
+      {"snake", CurveFamily::kSnake},   {"gray", CurveFamily::kGray},
+      {"hilbert", CurveFamily::kHilbert}, {"random", CurveFamily::kRandom}};
+  const auto it = families.find(curve_name);
+  if (it == families.end()) return usage("unknown curve '" + curve_name + "'");
+
+  SweepOptions options;
+  options.max_cells = index_t{1} << 24;
+  const auto rows = davg_sweep(it->second, static_cast<int>(*dim), 1,
+                               static_cast<int>(*max_bits), options);
+  Table table({"k", "n", "Davg", "Dmax", "bound", "Davg/bound",
+               "d*Davg/n^{1-1/d}"});
+  for (const SweepRow& row : rows) {
+    table.add_row({std::to_string(row.level_bits), Table::fmt_int(row.n),
+                   Table::fmt(row.davg), Table::fmt(row.dmax),
+                   Table::fmt(row.lower_bound), Table::fmt(row.ratio_to_bound, 5),
+                   Table::fmt(row.normalized_davg, 5)});
+  }
+  if (args.get_flag("csv")) {
+    std::cout << table.to_csv();
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}
+
+int cmd_bounds(const cli::Args& args) {
+  const auto dim = args.get_int("dim", 2);
+  const auto bits = args.get_int("bits", 6);
+  if (!dim || !bits) return usage("bad numeric flag");
+  const Universe u = Universe::pow2(static_cast<int>(*dim), static_cast<int>(*bits));
+  std::cout << "universe: d=" << u.dim() << " side=" << u.side()
+            << " n=" << u.cell_count() << "\n";
+  std::cout << "Theorem 1  Davg lower bound        = "
+            << bounds::davg_lower_bound(u) << "\n";
+  std::cout << "Thm 2/3    Davg(Z) ~ Davg(S) ~     = "
+            << bounds::davg_zs_asymptote(u) << "\n";
+  std::cout << "Prop 1     Dmax lower bound        = "
+            << bounds::dmax_lower_bound(u) << "\n";
+  std::cout << "Prop 2     Dmax(simple), exact     = "
+            << bounds::dmax_simple_exact(u) << "\n";
+  std::cout << "Prop 3     all-pairs Manhattan LB  = "
+            << bounds::allpairs_manhattan_lower_bound(u) << "\n";
+  std::cout << "Prop 3     all-pairs Euclidean LB  = "
+            << bounds::allpairs_euclidean_lower_bound(u) << "\n";
+  std::cout << "Prop 4     simple Manhattan UB     = "
+            << bounds::allpairs_simple_manhattan_upper_bound(u) << "\n";
+  std::cout << "Lemma 2    S_A' (any bijection)    = "
+            << to_string(bounds::lemma2_total_ordered_distance(u.cell_count()))
+            << "\n";
+  for (int i = 1; i <= u.dim(); ++i) {
+    std::cout << "Lemma 5    Lambda_" << i << "(Z) exact       = "
+              << to_string(bounds::lambda_z_exact(u.dim(), u.level_bits(), i))
+              << "  (limit share " << bounds::lambda_z_limit(u.dim(), i) << ")\n";
+  }
+  return 0;
+}
+
+int cmd_partition(const cli::Args& args) {
+  const std::string curve_name = args.get_string("curve", "hilbert");
+  const auto dim = args.get_int("dim", 2);
+  const auto bits = args.get_int("bits", 6);
+  const auto parts = args.get_int("parts", 16);
+  if (!dim || !bits || !parts) return usage("bad numeric flag");
+  std::string error;
+  const CurvePtr curve =
+      build_curve(curve_name, static_cast<int>(*dim), static_cast<int>(*bits),
+                  1, &error);
+  if (!curve) return usage(error);
+  const PartitionQuality q =
+      evaluate_partition(*curve, static_cast<int>(*parts));
+  std::cout << "curve " << curve->name() << ", P=" << q.parts << ": edge cut "
+            << q.edge_cut << " (" << q.cut_fraction * 100 << "% of NN pairs), "
+            << "imbalance " << q.imbalance << ", fragmented blocks "
+            << q.fragmented_blocks << "\n";
+  return 0;
+}
+
+int cmd_clustering(const cli::Args& args) {
+  const std::string curve_name = args.get_string("curve", "z");
+  const auto dim = args.get_int("dim", 2);
+  const auto bits = args.get_int("bits", 6);
+  const auto extent = args.get_int("extent", 4);
+  const auto samples = args.get_int("samples", 200);
+  if (!dim || !bits || !extent || !samples) return usage("bad numeric flag");
+  std::string error;
+  const CurvePtr curve =
+      build_curve(curve_name, static_cast<int>(*dim), static_cast<int>(*bits),
+                  1, &error);
+  if (!curve) return usage(error);
+  const ClusteringStats stats = random_box_clustering(
+      *curve, static_cast<coord_t>(*extent),
+      static_cast<std::uint64_t>(*samples), 1234);
+  std::cout << "curve " << curve->name() << ", " << stats.samples << " boxes of "
+            << stats.extent << "^" << *dim << " (" << stats.cells_per_box
+            << " cells): mean runs " << stats.mean_runs << " +- "
+            << stats.stderr_runs << ", max " << stats.max_runs << "\n";
+  return 0;
+}
+
+int cmd_optimize(const cli::Args& args) {
+  const auto dim = args.get_int("dim", 2);
+  const auto side = args.get_int("side", 6);
+  const auto iters = args.get_int("iters", 100000);
+  const auto seed = args.get_int("seed", 1);
+  if (!dim || !side || !iters || !seed) return usage("bad numeric flag");
+  const Universe u(static_cast<int>(*dim), static_cast<coord_t>(*side));
+  OptimizeOptions options;
+  options.iterations = static_cast<std::uint64_t>(*iters);
+  options.seed = static_cast<std::uint64_t>(*seed);
+  const OptimizeResult result = optimize_davg(u, {}, options);
+  std::cout << "local search on d=" << u.dim() << " side=" << u.side()
+            << " (n=" << u.cell_count() << "), " << result.iterations
+            << " iterations:\n";
+  std::cout << "  start Davg (row-major) = " << result.initial_davg << "\n";
+  std::cout << "  best Davg found        = " << result.best_davg << "\n";
+  std::cout << "  Theorem-1 lower bound  = " << bounds::davg_lower_bound(u)
+            << "\n";
+  std::cout << "  best/bound             = "
+            << result.best_davg / bounds::davg_lower_bound(u) << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> tokens;
+  for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
+  const cli::Args args = cli::Args::parse(tokens);
+  if (!args.valid()) return usage(args.error());
+
+  const std::string& command = args.subcommand();
+  int status;
+  if (command == "analyze") {
+    status = cmd_analyze(args);
+  } else if (command == "render") {
+    status = cmd_render(args);
+  } else if (command == "sweep") {
+    status = cmd_sweep(args);
+  } else if (command == "bounds") {
+    status = cmd_bounds(args);
+  } else if (command == "partition") {
+    status = cmd_partition(args);
+  } else if (command == "clustering") {
+    status = cmd_clustering(args);
+  } else if (command == "optimize") {
+    status = cmd_optimize(args);
+  } else {
+    return usage(command.empty() ? "missing command"
+                                 : "unknown command '" + command + "'");
+  }
+  if (status == 0) {
+    const auto unused = args.unused_keys();
+    if (!unused.empty()) {
+      std::cerr << "warning: unused flag(s):";
+      for (const auto& key : unused) std::cerr << " --" << key;
+      std::cerr << "\n";
+    }
+  }
+  return status;
+}
