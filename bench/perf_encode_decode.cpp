@@ -1,6 +1,13 @@
-// Microbenchmarks: curve key encode/decode throughput per family, plus the
-// generic-vs-magic-mask Morton ablation.
+// Microbenchmarks: curve key encode/decode throughput per family, the
+// generic-vs-magic-mask Morton ablation, and the batched-vs-scalar codec
+// comparison (the PR-1 acceptance gate checks batched Z encode is >= 2x the
+// scalar-virtual loop at 1M points; tools/check_bench_speedup.py parses the
+// --benchmark_out JSON).
 #include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <span>
+#include <vector>
 
 #include "sfc/curves/bitops.h"
 #include "sfc/curves/curve_factory.h"
@@ -48,6 +55,80 @@ void BM_Decode(benchmark::State& state, CurveFamily family, int d, int k) {
   state.SetItemsProcessed(state.iterations());
 }
 
+// --- Batched vs scalar codec, bulk buffers ---------------------------------
+// The scalar loop is the pre-batch baseline: one virtual dispatch per point.
+// The batch call dispatches once and runs the branch-free kernel.
+
+void BM_EncodeScalarLoop(benchmark::State& state, CurveFamily family, int d,
+                         int k) {
+  const Universe u = Universe::pow2(d, k);
+  const CurvePtr curve = make_curve(family, u, 1);
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const auto cells = make_cells(u, count);
+  std::vector<index_t> keys(count);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < count; ++i) {
+      keys[i] = curve->index_of(cells[i]);
+    }
+    benchmark::DoNotOptimize(keys.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(count));
+}
+
+void BM_EncodeBatch(benchmark::State& state, CurveFamily family, int d, int k) {
+  const Universe u = Universe::pow2(d, k);
+  const CurvePtr curve = make_curve(family, u, 1);
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const auto cells = make_cells(u, count);
+  std::vector<index_t> keys(count);
+  for (auto _ : state) {
+    curve->index_of_batch(cells, keys);
+    benchmark::DoNotOptimize(keys.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(count));
+}
+
+void BM_DecodeScalarLoop(benchmark::State& state, CurveFamily family, int d,
+                         int k) {
+  const Universe u = Universe::pow2(d, k);
+  const CurvePtr curve = make_curve(family, u, 1);
+  const auto count = static_cast<std::size_t>(state.range(0));
+  std::vector<index_t> keys(count);
+  Xoshiro256 rng(11);
+  for (auto& key : keys) key = rng.next_below(u.cell_count());
+  std::vector<Point> cells(count, Point::zero(d));
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < count; ++i) {
+      cells[i] = curve->point_at(keys[i]);
+    }
+    benchmark::DoNotOptimize(cells.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(count));
+}
+
+void BM_DecodeBatch(benchmark::State& state, CurveFamily family, int d, int k) {
+  const Universe u = Universe::pow2(d, k);
+  const CurvePtr curve = make_curve(family, u, 1);
+  const auto count = static_cast<std::size_t>(state.range(0));
+  std::vector<index_t> keys(count);
+  Xoshiro256 rng(11);
+  for (auto& key : keys) key = rng.next_below(u.cell_count());
+  std::vector<Point> cells(count, Point::zero(d));
+  for (auto _ : state) {
+    curve->point_at_batch(keys, cells);
+    benchmark::DoNotOptimize(cells.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(count));
+}
+
 void BM_MortonGenericSpread(benchmark::State& state) {
   Xoshiro256 rng(1);
   std::vector<std::uint32_t> values(1024);
@@ -86,5 +167,34 @@ BENCHMARK_CAPTURE(BM_Decode, simple_d2_k10, CurveFamily::kSimple, 2, 10);
 
 BENCHMARK(BM_MortonGenericSpread);
 BENCHMARK(BM_MortonMagicSpread);
+
+// Batched vs scalar, at a CI-smoke size (16K) and the acceptance size (1M).
+#define SFC_BATCH_SIZES Arg(1 << 14)->Arg(1 << 20)
+BENCHMARK_CAPTURE(BM_EncodeScalarLoop, z_d2_k10, CurveFamily::kZ, 2, 10)
+    ->SFC_BATCH_SIZES;
+BENCHMARK_CAPTURE(BM_EncodeBatch, z_d2_k10, CurveFamily::kZ, 2, 10)
+    ->SFC_BATCH_SIZES;
+BENCHMARK_CAPTURE(BM_EncodeScalarLoop, z_d3_k7, CurveFamily::kZ, 3, 7)
+    ->SFC_BATCH_SIZES;
+BENCHMARK_CAPTURE(BM_EncodeBatch, z_d3_k7, CurveFamily::kZ, 3, 7)
+    ->SFC_BATCH_SIZES;
+BENCHMARK_CAPTURE(BM_EncodeScalarLoop, gray_d2_k10, CurveFamily::kGray, 2, 10)
+    ->SFC_BATCH_SIZES;
+BENCHMARK_CAPTURE(BM_EncodeBatch, gray_d2_k10, CurveFamily::kGray, 2, 10)
+    ->SFC_BATCH_SIZES;
+BENCHMARK_CAPTURE(BM_EncodeScalarLoop, hilbert_d2_k10, CurveFamily::kHilbert, 2,
+                  10)
+    ->SFC_BATCH_SIZES;
+BENCHMARK_CAPTURE(BM_EncodeBatch, hilbert_d2_k10, CurveFamily::kHilbert, 2, 10)
+    ->SFC_BATCH_SIZES;
+BENCHMARK_CAPTURE(BM_DecodeScalarLoop, z_d2_k10, CurveFamily::kZ, 2, 10)
+    ->SFC_BATCH_SIZES;
+BENCHMARK_CAPTURE(BM_DecodeBatch, z_d2_k10, CurveFamily::kZ, 2, 10)
+    ->SFC_BATCH_SIZES;
+BENCHMARK_CAPTURE(BM_DecodeScalarLoop, gray_d2_k10, CurveFamily::kGray, 2, 10)
+    ->SFC_BATCH_SIZES;
+BENCHMARK_CAPTURE(BM_DecodeBatch, gray_d2_k10, CurveFamily::kGray, 2, 10)
+    ->SFC_BATCH_SIZES;
+#undef SFC_BATCH_SIZES
 
 BENCHMARK_MAIN();

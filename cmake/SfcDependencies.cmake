@@ -1,0 +1,86 @@
+# Third-party test/bench dependencies.
+#
+# Resolution order favors offline operation (the dev container and CI both
+# pre-install the packages) and falls back to a pinned FetchContent download
+# only as a last resort:
+#   GoogleTest:  1. Debian/Ubuntu source tree at /usr/src/googletest
+#                2. installed package (find_package CONFIG)
+#                3. FetchContent, pinned to v1.14.0 by SHA256
+#   benchmark:   1. installed package (find_package CONFIG)
+#                2. FetchContent, pinned to v1.8.3 by SHA256
+# With SFC_FETCH_MISSING_DEPS=OFF (fully offline hosts), a missing benchmark
+# package skips the perf_* targets instead of failing the configure.
+include(FetchContent)
+
+option(SFC_FETCH_MISSING_DEPS
+  "Download pinned third-party deps when not installed" ON)
+
+set(SFC_GTEST_URL
+  "https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz")
+set(SFC_GTEST_SHA256
+  "8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7")
+set(SFC_BENCHMARK_URL
+  "https://github.com/google/benchmark/archive/refs/tags/v1.8.3.tar.gz")
+set(SFC_BENCHMARK_SHA256
+  "6bc180a57d23d4d9515519f92b0c83d61b05b5bab188961f36ac7b06b0d9e9ce")
+
+# --- GoogleTest -------------------------------------------------------------
+if(SFC_BUILD_TESTS)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  if(EXISTS "/usr/src/googletest/CMakeLists.txt")
+    # Building from the distro source tree keeps gtest ABI-matched with our
+    # flags — in particular under -fsanitize builds.
+    add_subdirectory(/usr/src/googletest
+      "${CMAKE_BINARY_DIR}/_deps/googletest-distro" EXCLUDE_FROM_ALL)
+    message(STATUS "SFC: GoogleTest from /usr/src/googletest")
+  else()
+    find_package(GTest CONFIG QUIET)
+    if(GTest_FOUND)
+      message(STATUS "SFC: GoogleTest from installed package")
+    elseif(SFC_FETCH_MISSING_DEPS)
+      FetchContent_Declare(googletest
+        URL "${SFC_GTEST_URL}"
+        URL_HASH "SHA256=${SFC_GTEST_SHA256}")
+      FetchContent_MakeAvailable(googletest)
+      message(STATUS "SFC: GoogleTest via FetchContent (pinned v1.14.0)")
+    else()
+      message(FATAL_ERROR
+        "SFC: GoogleTest not found and SFC_FETCH_MISSING_DEPS=OFF — install "
+        "libgtest-dev/googletest or disable SFC_BUILD_TESTS")
+    endif()
+  endif()
+  # In-tree builds expose plain `gtest*` targets; normalize to GTest:: names.
+  if(TARGET gtest_main AND NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+    add_library(GTest::gtest ALIAS gtest)
+  endif()
+  if(SFC_SANITIZE AND TARGET gtest)
+    target_link_libraries(gtest PUBLIC sfc_sanitize)
+    target_link_libraries(gtest_main PUBLIC sfc_sanitize)
+  endif()
+  include(GoogleTest)
+endif()
+
+# --- Google Benchmark -------------------------------------------------------
+set(SFC_HAVE_BENCHMARK FALSE)
+if(SFC_BUILD_BENCH)
+  find_package(benchmark CONFIG QUIET)
+  if(benchmark_FOUND)
+    set(SFC_HAVE_BENCHMARK TRUE)
+    message(STATUS "SFC: benchmark from installed package")
+  elseif(SFC_FETCH_MISSING_DEPS)
+    set(BENCHMARK_ENABLE_TESTING OFF CACHE BOOL "" FORCE)
+    set(BENCHMARK_ENABLE_GTEST_TESTS OFF CACHE BOOL "" FORCE)
+    FetchContent_Declare(benchmark
+      URL "${SFC_BENCHMARK_URL}"
+      URL_HASH "SHA256=${SFC_BENCHMARK_SHA256}")
+    FetchContent_MakeAvailable(benchmark)
+    if(TARGET benchmark::benchmark)
+      set(SFC_HAVE_BENCHMARK TRUE)
+      message(STATUS "SFC: benchmark via FetchContent (pinned v1.8.3)")
+    endif()
+  endif()
+  if(NOT SFC_HAVE_BENCHMARK)
+    message(STATUS "SFC: Google Benchmark unavailable — perf_* targets skipped")
+  endif()
+endif()

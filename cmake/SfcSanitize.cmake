@@ -1,0 +1,16 @@
+# Sanitizer instrumentation for first-party targets, driven by the
+# SFC_SANITIZE cache variable ("address,undefined" etc).  Applied through the
+# INTERFACE target sfc_sanitize so third-party dependencies built in-tree
+# (gtest from /usr/src or FetchContent) can opt in too when needed.
+add_library(sfc_sanitize INTERFACE)
+
+if(SFC_SANITIZE)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    message(FATAL_ERROR "SFC_SANITIZE requires gcc or clang")
+  endif()
+  set(_sfc_san_flag "-fsanitize=${SFC_SANITIZE}")
+  target_compile_options(sfc_sanitize INTERFACE
+    ${_sfc_san_flag} -fno-omit-frame-pointer -fno-sanitize-recover=all)
+  target_link_options(sfc_sanitize INTERFACE ${_sfc_san_flag})
+  message(STATUS "SFC: sanitizers enabled: ${SFC_SANITIZE}")
+endif()

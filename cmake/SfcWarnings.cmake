@@ -1,0 +1,26 @@
+# First-party warning flags, attached via the INTERFACE target sfc_warnings.
+# Third-party code (gtest, benchmark) never links it, so -Werror only gates
+# our own translation units.
+add_library(sfc_warnings INTERFACE)
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  target_compile_options(sfc_warnings INTERFACE
+    -Wall -Wextra -Wpedantic
+    -Wconversion -Wsign-conversion
+    -Wshadow
+    -Wnon-virtual-dtor
+    -Wold-style-cast)
+  if(CMAKE_CXX_COMPILER_ID STREQUAL "GNU")
+    # GCC 12 emits false-positive -Wrestrict on std::string concatenation at
+    # -O3 (GCC PR105329); keep the rest of the warning set intact.
+    target_compile_options(sfc_warnings INTERFACE -Wno-restrict)
+  endif()
+  if(SFC_WERROR)
+    target_compile_options(sfc_warnings INTERFACE -Werror)
+  endif()
+elseif(MSVC)
+  target_compile_options(sfc_warnings INTERFACE /W4)
+  if(SFC_WERROR)
+    target_compile_options(sfc_warnings INTERFACE /WX)
+  endif()
+endif()

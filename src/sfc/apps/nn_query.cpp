@@ -1,7 +1,9 @@
 #include "sfc/apps/nn_query.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <span>
 #include <vector>
 
 #include "sfc/grid/box.h"
@@ -38,21 +40,30 @@ NNWindowStats measure_nn_window(const SpaceFillingCurve& curve,
   std::vector<double> first, all;
   first.reserve(samples);
   all.reserve(samples);
+  // Query + up to 2d neighbors, encoded with one batch call per sample.
+  std::array<Point, 1 + 2 * kMaxDim> batch_cells;
+  std::array<index_t, 1 + 2 * kMaxDim> batch_keys;
   for (std::uint64_t s = 0; s < samples; ++s) {
     Point query = Point::zero(u.dim());
     for (int i = 0; i < u.dim(); ++i) {
       query[i] = static_cast<coord_t>(rng.next_below(u.side()));
     }
-    const index_t qk = curve.index_of(query);
+    std::size_t count = 0;
+    batch_cells[count++] = query;
+    u.for_each_neighbor(query,
+                        [&](const Point& nb) { batch_cells[count++] = nb; });
+    curve.index_of_batch(std::span<const Point>(batch_cells.data(), count),
+                         std::span<index_t>(batch_keys.data(), count));
+    const index_t qk = batch_keys[0];
     index_t min_dist = 0, max_dist = 0;
     bool any = false;
-    u.for_each_neighbor(query, [&](const Point& nb) {
-      const index_t nk = curve.index_of(nb);
+    for (std::size_t i = 1; i < count; ++i) {
+      const index_t nk = batch_keys[i];
       const index_t dist = qk > nk ? qk - nk : nk - qk;
       if (!any || dist < min_dist) min_dist = dist;
       if (!any || dist > max_dist) max_dist = dist;
       any = true;
-    });
+    }
     if (any) {
       first.push_back(static_cast<double>(min_dist));
       all.push_back(static_cast<double>(max_dist));
@@ -78,10 +89,13 @@ bool knn_via_window(const SpaceFillingCurve& curve, const Point& query, int k,
     index_t key;
     Point cell;
   };
+  // Decode the whole window through the batched codec, then score.
+  std::vector<Point> window_cells(hi - lo + 1);
+  curve.point_range(lo, window_cells);
   std::vector<Candidate> candidates;
-  candidates.reserve(hi - lo + 1);
+  candidates.reserve(window_cells.size());
   for (index_t key = lo; key <= hi; ++key) {
-    const Point cell = curve.point_at(key);
+    const Point& cell = window_cells[key - lo];
     if (cell == query) continue;
     candidates.push_back({euclidean_distance(query, cell), key, cell});
   }

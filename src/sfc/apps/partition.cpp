@@ -1,6 +1,7 @@
 #include "sfc/apps/partition.h"
 
 #include <cstdlib>
+#include <span>
 #include <vector>
 
 #include "sfc/common/int128.h"
@@ -33,48 +34,46 @@ PartitionQuality evaluate_partition(const SpaceFillingCurve& curve, int parts,
   PartitionQuality quality;
   quality.parts = parts;
 
-  // Edge cut: count forward NN pairs with different blocks.
   const std::uint64_t grain = std::uint64_t{1} << 16;
   const std::uint64_t chunks = chunk_count(n, grain);
   std::vector<index_t> cut_partials(chunks, 0);
-  parallel_for_chunks(pool, n, grain, [&](const ChunkRange& range) {
-    index_t cut = 0;
-    for (index_t id = range.begin; id < range.end; ++id) {
-      const Point cell = u.from_row_major(id);
-      const int cell_block = block_of_key(curve.index_of(cell), n, parts);
-      u.for_each_forward_neighbor(cell, [&](const Point& q, int /*dim*/) {
-        const int q_block = block_of_key(curve.index_of(q), n, parts);
-        if (q_block != cell_block) ++cut;
-      });
-    }
-    cut_partials[range.chunk_index] = cut;
-  });
-  for (index_t cut : cut_partials) quality.edge_cut += cut;
-  const index_t nn_pairs = u.nn_pair_count();
-  quality.cut_fraction =
-      nn_pairs > 0 ? static_cast<double>(quality.edge_cut) / static_cast<double>(nn_pairs)
-                   : 0.0;
-
-  // Imbalance: contiguous ranges differ by at most one cell.
-  index_t max_block = 0;
-  for (int b = 0; b < parts; ++b) {
-    const index_t begin = static_cast<index_t>(
-        static_cast<u128>(b) * static_cast<u128>(n) / static_cast<u128>(parts));
-    const index_t end = static_cast<index_t>(static_cast<u128>(b + 1) *
-                                             static_cast<u128>(n) /
-                                             static_cast<u128>(parts));
-    if (end - begin > max_block) max_block = end - begin;
-  }
-  quality.imbalance = static_cast<double>(max_block) * parts / static_cast<double>(n);
 
   if (options.count_fragments) {
+    // The flood fill needs every cell's key anyway, so materialize the table
+    // once through the batched codec (each cell encoded exactly once instead
+    // of once as a center plus up to d times as a neighbor) and share it
+    // between the edge cut and the fill.
+    std::vector<index_t> keys(n);
+    parallel_for_chunks(pool, n, grain, [&](const ChunkRange& range) {
+      const std::size_t len = range.end - range.begin;
+      std::vector<Point> cells(len);
+      for (std::size_t i = 0; i < len; ++i) {
+        cells[i] = u.from_row_major(range.begin + i);
+      }
+      curve.index_of_batch(cells,
+                           std::span<index_t>(keys.data() + range.begin, len));
+    });
+
+    parallel_for_chunks(pool, n, grain, [&](const ChunkRange& range) {
+      index_t cut = 0;
+      for (index_t id = range.begin; id < range.end; ++id) {
+        const Point cell = u.from_row_major(id);
+        const int cell_block = block_of_key(keys[id], n, parts);
+        u.for_each_forward_neighbor(cell, [&](const Point& q, int /*dim*/) {
+          const int q_block =
+              block_of_key(keys[u.row_major_index(q)], n, parts);
+          if (q_block != cell_block) ++cut;
+        });
+      }
+      cut_partials[range.chunk_index] = cut;
+    });
+
     // Flood fill per block over the grid graph; a block with more than one
     // component is fragmented.  Sequential O(n) BFS — used on small/medium
     // universes by the benches.
     std::vector<int> block_of_cell(n);
     for (index_t id = 0; id < n; ++id) {
-      block_of_cell[id] =
-          block_of_key(curve.index_of(u.from_row_major(id)), n, parts);
+      block_of_cell[id] = block_of_key(keys[id], n, parts);
     }
     std::vector<bool> visited(n, false);
     std::vector<int> components(static_cast<std::size_t>(parts), 0);
@@ -101,7 +100,58 @@ PartitionQuality evaluate_partition(const SpaceFillingCurve& curve, int parts,
     for (int parts_components : components) {
       if (parts_components > 1) ++quality.fragmented_blocks;
     }
+  } else {
+    // Edge-cut-only mode stays O(grain) in memory for huge universes: gather
+    // each chunk's cells plus their forward neighbors into one buffer and
+    // batch-encode it in a single call.
+    const int d = u.dim();
+    parallel_for_chunks(pool, n, grain, [&](const ChunkRange& range) {
+      const std::size_t len = range.end - range.begin;
+      std::vector<Point> batch;
+      batch.reserve(len * static_cast<std::size_t>(1 + d));
+      for (index_t id = range.begin; id < range.end; ++id) {
+        const Point cell = u.from_row_major(id);
+        batch.push_back(cell);
+        u.for_each_forward_neighbor(
+            cell, [&](const Point& q, int /*dim*/) { batch.push_back(q); });
+      }
+      std::vector<index_t> batch_keys(batch.size());
+      curve.index_of_batch(batch, batch_keys);
+      index_t cut = 0;
+      std::size_t pos = 0;
+      for (index_t id = range.begin; id < range.end; ++id) {
+        const Point& cell = batch[pos];
+        const int cell_block = block_of_key(batch_keys[pos], n, parts);
+        ++pos;
+        for (int i = 0; i < d; ++i) {
+          if (cell[i] + 1 < u.side()) {
+            const int q_block = block_of_key(batch_keys[pos], n, parts);
+            if (q_block != cell_block) ++cut;
+            ++pos;
+          }
+        }
+      }
+      cut_partials[range.chunk_index] = cut;
+    });
   }
+
+  for (index_t cut : cut_partials) quality.edge_cut += cut;
+  const index_t nn_pairs = u.nn_pair_count();
+  quality.cut_fraction =
+      nn_pairs > 0 ? static_cast<double>(quality.edge_cut) / static_cast<double>(nn_pairs)
+                   : 0.0;
+
+  // Imbalance: contiguous ranges differ by at most one cell.
+  index_t max_block = 0;
+  for (int b = 0; b < parts; ++b) {
+    const index_t begin = static_cast<index_t>(
+        static_cast<u128>(b) * static_cast<u128>(n) / static_cast<u128>(parts));
+    const index_t end = static_cast<index_t>(static_cast<u128>(b + 1) *
+                                             static_cast<u128>(n) /
+                                             static_cast<u128>(parts));
+    if (end - begin > max_block) max_block = end - begin;
+  }
+  quality.imbalance = static_cast<double>(max_block) * parts / static_cast<double>(n);
   return quality;
 }
 

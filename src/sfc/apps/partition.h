@@ -39,6 +39,9 @@ struct PartitionOptions {
 
 /// Splits the curve into `parts` contiguous key ranges of near-equal size
 /// (block b gets keys [b*n/P, (b+1)*n/P)) and scores the decomposition.
+/// With count_fragments on, materializes an 8n-byte key table (batch-encoded
+/// once, shared by the edge cut and the flood fill); with it off, memory
+/// stays O(chunk) so huge universes can still be edge-cut scored.
 PartitionQuality evaluate_partition(const SpaceFillingCurve& curve, int parts,
                                     const PartitionOptions& options = {});
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <span>
 #include <vector>
 
 #include "sfc/parallel/parallel_for.h"
@@ -17,13 +18,15 @@ AllPairsResult compute_all_pairs_exact(const SpaceFillingCurve& curve,
   ThreadPool& pool = options.pool ? *options.pool : ThreadPool::shared();
 
   // Materialize cells and keys once; the double loop then touches only flat
-  // arrays.
+  // arrays.  Encoding goes through the batched codec, chunked across the pool.
   std::vector<Point> cells(n);
   std::vector<index_t> keys(n);
-  for (index_t id = 0; id < n; ++id) {
-    cells[id] = u.from_row_major(id);
-    keys[id] = curve.index_of(cells[id]);
-  }
+  for (index_t id = 0; id < n; ++id) cells[id] = u.from_row_major(id);
+  parallel_for_chunks(pool, n, kDefaultGrain, [&](const ChunkRange& range) {
+    const std::size_t len = range.end - range.begin;
+    curve.index_of_batch(std::span<const Point>(cells.data() + range.begin, len),
+                         std::span<index_t>(keys.data() + range.begin, len));
+  });
 
   struct Partial {
     long double manhattan = 0.0L;

@@ -1,6 +1,7 @@
 #include "sfc/core/locality_measures.h"
 
 #include <algorithm>
+#include <span>
 #include <vector>
 
 #include "sfc/parallel/parallel_for.h"
@@ -16,10 +17,13 @@ LocalityMeasures compute_locality_measures(const SpaceFillingCurve& curve,
   const bool exact = n <= options.max_exact_cells;
   const index_t window = exact ? n : std::min<index_t>(options.window, n);
 
-  // Materialize the curve order once: cells[key] = π⁻¹(key).
+  // Materialize the curve order once: cells[key] = π⁻¹(key), decoded through
+  // the batched codec chunk by chunk.
   std::vector<Point> cells(n);
-  parallel_for(pool, n, [&](std::uint64_t key) {
-    cells[key] = curve.point_at(key);
+  parallel_for_chunks(pool, n, kDefaultGrain, [&](const ChunkRange& range) {
+    curve.point_range(range.begin,
+                      std::span<Point>(cells.data() + range.begin,
+                                       range.end - range.begin));
   });
 
   struct Partial {

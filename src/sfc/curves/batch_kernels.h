@@ -1,0 +1,193 @@
+// Internal branch-free loop kernels behind the batched curve API.
+//
+// The scalar interleave()/deinterleave() dispatch on (d, level_bits) per
+// call; these kernels hoist that dispatch out of the loop and inline the
+// magic-mask spread/compact forms so the compiler can pipeline/vectorize the
+// body.  `KeyFn` is a per-key transform applied after interleaving (encode)
+// or before deinterleaving (decode): identity for the Z curve, the Gray-code
+// maps for the Gray curve.
+#pragma once
+
+#include <cstdlib>
+#include <span>
+
+#include "sfc/common/types.h"
+#include "sfc/curves/bitops.h"
+#include "sfc/grid/point.h"
+
+// BMI2 pdep/pext collapse a full interleave to one instruction per
+// coordinate.  The kernels below are compiled for the bmi2 target and
+// selected at runtime (one cpuid-backed check per batch call), so the same
+// binary still runs on pre-Haswell hardware via the magic-mask loops.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SFC_HAS_BMI2_KERNELS 1
+#include <immintrin.h>
+#endif
+
+namespace sfc::detail {
+
+// Bit i of the mask marks where bit i/d of a coordinate lands in the key.
+inline constexpr std::uint64_t kEvenBitsMask = 0x5555555555555555ULL;
+inline constexpr std::uint64_t kEveryThirdBitMask = 0x1249249249249249ULL;
+
+#ifdef SFC_HAS_BMI2_KERNELS
+
+inline bool cpu_has_bmi2() {
+  // SFC_NO_BMI2 forces the magic-mask fallback so tests can exercise it on
+  // hardware that has BMI2 (ctest registers a BatchCodec run with it set).
+  static const bool has_bmi2 = __builtin_cpu_supports("bmi2") != 0 &&
+                               std::getenv("SFC_NO_BMI2") == nullptr;
+  return has_bmi2;
+}
+
+template <typename KeyFn>
+__attribute__((target("bmi2"))) void interleave2_bmi2(
+    std::span<const Point> cells, std::span<index_t> keys, KeyFn&& post) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    keys[i] = post(_pdep_u64(cells[i][0], kEvenBitsMask << 1) |
+                   _pdep_u64(cells[i][1], kEvenBitsMask));
+  }
+}
+
+template <typename KeyFn>
+__attribute__((target("bmi2"))) void interleave3_bmi2(
+    std::span<const Point> cells, std::span<index_t> keys, KeyFn&& post) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    keys[i] = post(_pdep_u64(cells[i][0], kEveryThirdBitMask << 2) |
+                   _pdep_u64(cells[i][1], kEveryThirdBitMask << 1) |
+                   _pdep_u64(cells[i][2], kEveryThirdBitMask));
+  }
+}
+
+template <typename KeyFn>
+__attribute__((target("bmi2"))) void deinterleave2_bmi2(
+    std::span<const index_t> keys, std::span<Point> cells, KeyFn&& pre) {
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const index_t key = pre(keys[i]);
+    Point p = Point::zero(2);
+    p[0] = static_cast<coord_t>(_pext_u64(key, kEvenBitsMask << 1));
+    p[1] = static_cast<coord_t>(_pext_u64(key, kEvenBitsMask));
+    cells[i] = p;
+  }
+}
+
+template <typename KeyFn>
+__attribute__((target("bmi2"))) void deinterleave3_bmi2(
+    std::span<const index_t> keys, std::span<Point> cells, KeyFn&& pre) {
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const index_t key = pre(keys[i]);
+    Point p = Point::zero(3);
+    p[0] = static_cast<coord_t>(_pext_u64(key, kEveryThirdBitMask << 2));
+    p[1] = static_cast<coord_t>(_pext_u64(key, kEveryThirdBitMask << 1));
+    p[2] = static_cast<coord_t>(_pext_u64(key, kEveryThirdBitMask));
+    cells[i] = p;
+  }
+}
+
+#else
+
+inline bool cpu_has_bmi2() { return false; }
+
+#endif  // SFC_HAS_BMI2_KERNELS
+
+template <typename KeyFn>
+void interleave_batch(std::span<const Point> cells, std::span<index_t> keys,
+                      int d, int level_bits, KeyFn&& post) {
+  if (cells.size() != keys.size()) std::abort();
+  const std::size_t count = cells.size();
+  if (d == 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      keys[i] = post(static_cast<index_t>(cells[i][0]));
+    }
+  } else if (d == 2) {
+#ifdef SFC_HAS_BMI2_KERNELS
+    // pdep spreads all 32 coordinate bits, so this path has no level_bits
+    // ceiling in 2-d.
+    if (cpu_has_bmi2()) {
+      interleave2_bmi2(cells, keys, post);
+      return;
+    }
+#endif
+    if (level_bits <= 16) {
+      for (std::size_t i = 0; i < count; ++i) {
+        keys[i] = post((spread_bits_2(cells[i][0]) << 1) |
+                       spread_bits_2(cells[i][1]));
+      }
+    } else {
+      for (std::size_t i = 0; i < count; ++i) {
+        keys[i] = post(interleave(cells[i], level_bits));
+      }
+    }
+  } else if (d == 3 && level_bits <= 21) {
+#ifdef SFC_HAS_BMI2_KERNELS
+    if (cpu_has_bmi2()) {
+      interleave3_bmi2(cells, keys, post);
+      return;
+    }
+#endif
+    for (std::size_t i = 0; i < count; ++i) {
+      keys[i] = post((spread_bits_3(cells[i][0]) << 2) |
+                     (spread_bits_3(cells[i][1]) << 1) |
+                     spread_bits_3(cells[i][2]));
+    }
+  } else {
+    for (std::size_t i = 0; i < count; ++i) {
+      keys[i] = post(interleave(cells[i], level_bits));
+    }
+  }
+}
+
+template <typename KeyFn>
+void deinterleave_batch(std::span<const index_t> keys, std::span<Point> cells,
+                        int d, int level_bits, KeyFn&& pre) {
+  if (cells.size() != keys.size()) std::abort();
+  const std::size_t count = keys.size();
+  if (d == 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      Point p = Point::zero(1);
+      p[0] = static_cast<coord_t>(pre(keys[i]));
+      cells[i] = p;
+    }
+  } else if (d == 2) {
+#ifdef SFC_HAS_BMI2_KERNELS
+    if (cpu_has_bmi2()) {
+      deinterleave2_bmi2(keys, cells, pre);
+      return;
+    }
+#endif
+    if (level_bits <= 16) {
+      for (std::size_t i = 0; i < count; ++i) {
+        const index_t key = pre(keys[i]);
+        Point p = Point::zero(2);
+        p[0] = compact_bits_2(key >> 1);
+        p[1] = compact_bits_2(key);
+        cells[i] = p;
+      }
+    } else {
+      for (std::size_t i = 0; i < count; ++i) {
+        cells[i] = deinterleave(pre(keys[i]), d, level_bits);
+      }
+    }
+  } else if (d == 3 && level_bits <= 21) {
+#ifdef SFC_HAS_BMI2_KERNELS
+    if (cpu_has_bmi2()) {
+      deinterleave3_bmi2(keys, cells, pre);
+      return;
+    }
+#endif
+    for (std::size_t i = 0; i < count; ++i) {
+      const index_t key = pre(keys[i]);
+      Point p = Point::zero(3);
+      p[0] = compact_bits_3(key >> 2);
+      p[1] = compact_bits_3(key >> 1);
+      p[2] = compact_bits_3(key);
+      cells[i] = p;
+    }
+  } else {
+    for (std::size_t i = 0; i < count; ++i) {
+      cells[i] = deinterleave(pre(keys[i]), d, level_bits);
+    }
+  }
+}
+
+}  // namespace sfc::detail

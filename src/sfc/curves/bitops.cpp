@@ -18,46 +18,6 @@ std::uint64_t compact_bits(std::uint64_t v, int stride, int bits) {
   return out;
 }
 
-std::uint64_t spread_bits_2(std::uint32_t v) {
-  std::uint64_t x = v & 0xffffULL;
-  x = (x | (x << 16)) & 0x0000ffff0000ffffULL;
-  x = (x | (x << 8)) & 0x00ff00ff00ff00ffULL;
-  x = (x | (x << 4)) & 0x0f0f0f0f0f0f0f0fULL;
-  x = (x | (x << 2)) & 0x3333333333333333ULL;
-  x = (x | (x << 1)) & 0x5555555555555555ULL;
-  return x;
-}
-
-std::uint32_t compact_bits_2(std::uint64_t v) {
-  std::uint64_t x = v & 0x5555555555555555ULL;
-  x = (x | (x >> 1)) & 0x3333333333333333ULL;
-  x = (x | (x >> 2)) & 0x0f0f0f0f0f0f0f0fULL;
-  x = (x | (x >> 4)) & 0x00ff00ff00ff00ffULL;
-  x = (x | (x >> 8)) & 0x0000ffff0000ffffULL;
-  x = (x | (x >> 16)) & 0x00000000ffffffffULL;
-  return static_cast<std::uint32_t>(x);
-}
-
-std::uint64_t spread_bits_3(std::uint32_t v) {
-  std::uint64_t x = v & 0x1fffffULL;  // 21 bits
-  x = (x | (x << 32)) & 0x001f00000000ffffULL;
-  x = (x | (x << 16)) & 0x001f0000ff0000ffULL;
-  x = (x | (x << 8)) & 0x100f00f00f00f00fULL;
-  x = (x | (x << 4)) & 0x10c30c30c30c30c3ULL;
-  x = (x | (x << 2)) & 0x1249249249249249ULL;
-  return x;
-}
-
-std::uint32_t compact_bits_3(std::uint64_t v) {
-  std::uint64_t x = v & 0x1249249249249249ULL;
-  x = (x | (x >> 2)) & 0x10c30c30c30c30c3ULL;
-  x = (x | (x >> 4)) & 0x100f00f00f00f00fULL;
-  x = (x | (x >> 8)) & 0x001f0000ff0000ffULL;
-  x = (x | (x >> 16)) & 0x001f00000000ffffULL;
-  x = (x | (x >> 32)) & 0x00000000001fffffULL;
-  return static_cast<std::uint32_t>(x);
-}
-
 index_t interleave(const Point& p, int level_bits) {
   const int d = p.dim();
   // Dimension 1 (component 0) is most significant within each level.
@@ -97,16 +57,6 @@ Point deinterleave(index_t key, int dim, int level_bits) {
     p[i] = static_cast<coord_t>(compact_bits(key >> (dim - 1 - i), dim, level_bits));
   }
   return p;
-}
-
-std::uint64_t gray_decode(std::uint64_t g) {
-  g ^= g >> 1;
-  g ^= g >> 2;
-  g ^= g >> 4;
-  g ^= g >> 8;
-  g ^= g >> 16;
-  g ^= g >> 32;
-  return g;
 }
 
 }  // namespace sfc

@@ -22,13 +22,46 @@ std::uint64_t spread_bits(std::uint64_t v, int stride, int bits);
 /// Inverse of spread_bits: gathers bits at positions 0, stride, 2*stride, ...
 std::uint64_t compact_bits(std::uint64_t v, int stride, int bits);
 
-/// Magic-mask fast path for stride 2 (d = 2), 16-bit inputs.
-std::uint64_t spread_bits_2(std::uint32_t v);
-std::uint32_t compact_bits_2(std::uint64_t v);
+/// Magic-mask fast path for stride 2 (d = 2), 16-bit inputs.  Defined inline
+/// so the batched curve kernels can fold it into their loops.
+constexpr std::uint64_t spread_bits_2(std::uint32_t v) {
+  std::uint64_t x = v & 0xffffULL;
+  x = (x | (x << 16)) & 0x0000ffff0000ffffULL;
+  x = (x | (x << 8)) & 0x00ff00ff00ff00ffULL;
+  x = (x | (x << 4)) & 0x0f0f0f0f0f0f0f0fULL;
+  x = (x | (x << 2)) & 0x3333333333333333ULL;
+  x = (x | (x << 1)) & 0x5555555555555555ULL;
+  return x;
+}
+constexpr std::uint32_t compact_bits_2(std::uint64_t v) {
+  std::uint64_t x = v & 0x5555555555555555ULL;
+  x = (x | (x >> 1)) & 0x3333333333333333ULL;
+  x = (x | (x >> 2)) & 0x0f0f0f0f0f0f0f0fULL;
+  x = (x | (x >> 4)) & 0x00ff00ff00ff00ffULL;
+  x = (x | (x >> 8)) & 0x0000ffff0000ffffULL;
+  x = (x | (x >> 16)) & 0x00000000ffffffffULL;
+  return static_cast<std::uint32_t>(x);
+}
 
 /// Magic-mask fast path for stride 3 (d = 3), 21-bit inputs.
-std::uint64_t spread_bits_3(std::uint32_t v);
-std::uint32_t compact_bits_3(std::uint64_t v);
+constexpr std::uint64_t spread_bits_3(std::uint32_t v) {
+  std::uint64_t x = v & 0x1fffffULL;  // 21 bits
+  x = (x | (x << 32)) & 0x001f00000000ffffULL;
+  x = (x | (x << 16)) & 0x001f0000ff0000ffULL;
+  x = (x | (x << 8)) & 0x100f00f00f00f00fULL;
+  x = (x | (x << 4)) & 0x10c30c30c30c30c3ULL;
+  x = (x | (x << 2)) & 0x1249249249249249ULL;
+  return x;
+}
+constexpr std::uint32_t compact_bits_3(std::uint64_t v) {
+  std::uint64_t x = v & 0x1249249249249249ULL;
+  x = (x | (x >> 2)) & 0x10c30c30c30c30c3ULL;
+  x = (x | (x >> 4)) & 0x100f00f00f00f00fULL;
+  x = (x | (x >> 8)) & 0x001f0000ff0000ffULL;
+  x = (x | (x >> 16)) & 0x001f00000000ffffULL;
+  x = (x | (x >> 32)) & 0x00000000001fffffULL;
+  return static_cast<std::uint32_t>(x);
+}
 
 /// Full interleave of a point's coordinates into a Morton key (paper layout:
 /// dimension 1 most significant within each level).  `level_bits` = k.
@@ -39,6 +72,14 @@ Point deinterleave(index_t key, int dim, int level_bits);
 
 /// Binary-reflected Gray code and its inverse.
 constexpr std::uint64_t gray_encode(std::uint64_t v) { return v ^ (v >> 1); }
-std::uint64_t gray_decode(std::uint64_t g);
+constexpr std::uint64_t gray_decode(std::uint64_t g) {
+  g ^= g >> 1;
+  g ^= g >> 2;
+  g ^= g >> 4;
+  g ^= g >> 8;
+  g ^= g >> 16;
+  g ^= g >> 32;
+  return g;
+}
 
 }  // namespace sfc

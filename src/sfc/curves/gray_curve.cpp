@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "sfc/curves/batch_kernels.h"
 #include "sfc/curves/bitops.h"
 
 namespace sfc {
@@ -17,6 +18,18 @@ index_t GrayCurve::index_of(const Point& cell) const {
 
 Point GrayCurve::point_at(index_t key) const {
   return deinterleave(gray_encode(key), universe_.dim(), level_bits_);
+}
+
+void GrayCurve::index_of_batch(std::span<const Point> cells,
+                               std::span<index_t> keys) const {
+  detail::interleave_batch(cells, keys, universe_.dim(), level_bits_,
+                           [](index_t key) { return gray_decode(key); });
+}
+
+void GrayCurve::point_at_batch(std::span<const index_t> keys,
+                               std::span<Point> cells) const {
+  detail::deinterleave_batch(keys, cells, universe_.dim(), level_bits_,
+                             [](index_t key) { return gray_encode(key); });
 }
 
 }  // namespace sfc

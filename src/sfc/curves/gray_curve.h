@@ -23,6 +23,13 @@ class GrayCurve final : public SpaceFillingCurve {
   index_t index_of(const Point& cell) const override;
   Point point_at(index_t key) const override;
 
+  /// Batched codec: the Z-curve interleave kernel with the Gray-code map
+  /// fused into the same loop.
+  void index_of_batch(std::span<const Point> cells,
+                      std::span<index_t> keys) const override;
+  void point_at_batch(std::span<const index_t> keys,
+                      std::span<Point> cells) const override;
+
  private:
   int level_bits_;
 };

@@ -1,8 +1,10 @@
 #include "sfc/curves/hilbert_curve.h"
 
+#include <algorithm>
 #include <array>
 #include <cstdlib>
 
+#include "sfc/curves/batch_kernels.h"
 #include "sfc/curves/bitops.h"
 
 namespace sfc {
@@ -97,6 +99,62 @@ Point HilbertCurve::point_at(index_t key) const {
   Point p = Point::zero(d);
   for (int i = 0; i < d; ++i) p[i] = x[static_cast<std::size_t>(i)];
   return p;
+}
+
+void HilbertCurve::index_of_batch(std::span<const Point> cells,
+                                  std::span<index_t> keys) const {
+  if (cells.size() != keys.size()) std::abort();
+  const int d = universe_.dim();
+  const int b = level_bits_;
+  if (d == 1) {
+    for (std::size_t i = 0; i < cells.size(); ++i) keys[i] = cells[i][0];
+    return;
+  }
+  // Transpose into a fixed-size stack buffer chunk by chunk, then run the
+  // branch-free interleave kernel over each chunk.
+  constexpr std::size_t kChunk = 256;
+  std::array<Point, kChunk> transposed;
+  std::size_t done = 0;
+  while (done < cells.size()) {
+    const std::size_t chunk = std::min(cells.size() - done, kChunk);
+    for (std::size_t i = 0; i < chunk; ++i) {
+      std::array<std::uint32_t, kMaxDim> x{};
+      for (int j = 0; j < d; ++j) {
+        x[static_cast<std::size_t>(j)] = cells[done + i][j];
+      }
+      axes_to_transpose(x, b, d);
+      Point t = Point::zero(d);
+      for (int j = 0; j < d; ++j) t[j] = x[static_cast<std::size_t>(j)];
+      transposed[i] = t;
+    }
+    detail::interleave_batch(
+        std::span<const Point>(transposed.data(), chunk),
+        keys.subspan(done, chunk), d, b, [](index_t key) { return key; });
+    done += chunk;
+  }
+}
+
+void HilbertCurve::point_at_batch(std::span<const index_t> keys,
+                                  std::span<Point> cells) const {
+  if (cells.size() != keys.size()) std::abort();
+  const int d = universe_.dim();
+  const int b = level_bits_;
+  if (d == 1) {
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      Point p = Point::zero(1);
+      p[0] = static_cast<coord_t>(keys[i]);
+      cells[i] = p;
+    }
+    return;
+  }
+  detail::deinterleave_batch(keys, cells, d, b,
+                             [](index_t key) { return key; });
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    std::array<std::uint32_t, kMaxDim> x{};
+    for (int j = 0; j < d; ++j) x[static_cast<std::size_t>(j)] = cells[i][j];
+    transpose_to_axes(x, b, d);
+    for (int j = 0; j < d; ++j) cells[i][j] = x[static_cast<std::size_t>(j)];
+  }
 }
 
 }  // namespace sfc

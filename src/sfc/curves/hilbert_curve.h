@@ -24,6 +24,13 @@ class HilbertCurve final : public SpaceFillingCurve {
   Point point_at(index_t key) const override;
   bool is_continuous() const override { return true; }
 
+  /// Batched codec: hoists the per-call (d, level_bits) setup and fuses the
+  /// Skilling transpose with the interleave kernel.
+  void index_of_batch(std::span<const Point> cells,
+                      std::span<index_t> keys) const override;
+  void point_at_batch(std::span<const index_t> keys,
+                      std::span<Point> cells) const override;
+
  private:
   int level_bits_;
 };

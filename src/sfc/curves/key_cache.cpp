@@ -1,17 +1,23 @@
 #include "sfc/curves/key_cache.h"
 
+#include <span>
+
 #include "sfc/parallel/parallel_for.h"
 
 namespace sfc {
 
 KeyCache::KeyCache(const SpaceFillingCurve& curve, ThreadPool& pool)
     : universe_(curve.universe()), keys_(universe_.cell_count()) {
-  parallel_for_chunks(pool, universe_.cell_count(), kDefaultGrain,
-                      [&](const ChunkRange& range) {
-                        for (index_t id = range.begin; id < range.end; ++id) {
-                          keys_[id] = curve.index_of(universe_.from_row_major(id));
-                        }
-                      });
+  parallel_for_chunks(
+      pool, universe_.cell_count(), kDefaultGrain, [&](const ChunkRange& range) {
+        const std::size_t len = range.end - range.begin;
+        std::vector<Point> cells(len);
+        for (std::size_t i = 0; i < len; ++i) {
+          cells[i] = universe_.from_row_major(range.begin + i);
+        }
+        curve.index_of_batch(
+            cells, std::span<index_t>(keys_.data() + range.begin, len));
+      });
 }
 
 }  // namespace sfc

@@ -1,11 +1,42 @@
 #include "sfc/curves/space_filling_curve.h"
 
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <numeric>
+
 namespace sfc {
 
 index_t SpaceFillingCurve::curve_distance(const Point& a, const Point& b) const {
   const index_t ka = index_of(a);
   const index_t kb = index_of(b);
   return ka > kb ? ka - kb : kb - ka;
+}
+
+void SpaceFillingCurve::index_of_batch(std::span<const Point> cells,
+                                       std::span<index_t> keys) const {
+  if (cells.size() != keys.size()) std::abort();
+  for (std::size_t i = 0; i < cells.size(); ++i) keys[i] = index_of(cells[i]);
+}
+
+void SpaceFillingCurve::point_at_batch(std::span<const index_t> keys,
+                                       std::span<Point> cells) const {
+  if (cells.size() != keys.size()) std::abort();
+  for (std::size_t i = 0; i < keys.size(); ++i) cells[i] = point_at(keys[i]);
+}
+
+void SpaceFillingCurve::point_range(index_t first_key,
+                                    std::span<Point> cells) const {
+  std::array<index_t, 1024> keys;
+  std::size_t done = 0;
+  while (done < cells.size()) {
+    const std::size_t chunk = std::min(cells.size() - done, keys.size());
+    std::iota(keys.begin(), keys.begin() + static_cast<std::ptrdiff_t>(chunk),
+              first_key + done);
+    point_at_batch(std::span<const index_t>(keys.data(), chunk),
+                   cells.subspan(done, chunk));
+    done += chunk;
+  }
 }
 
 }  // namespace sfc

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "sfc/common/types.h"
@@ -33,6 +34,24 @@ class SpaceFillingCurve {
 
   /// π⁻¹(key): the cell at position `key` on the curve.
   virtual Point point_at(index_t key) const = 0;
+
+  /// Batched π: keys[i] = index_of(cells[i]) for every i.  Spans must have
+  /// equal length (aborts otherwise).  The base implementation is a scalar
+  /// loop over the virtuals; analytic families (Z, Gray, Hilbert) override it
+  /// with branch-free kernels that hoist the per-curve dispatch out of the
+  /// loop, which is what the metric engines and apps call on their hot paths.
+  virtual void index_of_batch(std::span<const Point> cells,
+                              std::span<index_t> keys) const;
+
+  /// Batched π⁻¹: cells[i] = point_at(keys[i]) for every i.  Same contract
+  /// as index_of_batch.
+  virtual void point_at_batch(std::span<const index_t> keys,
+                              std::span<Point> cells) const;
+
+  /// Convenience for the common "decode a contiguous key window" pattern:
+  /// cells[i] = point_at(first_key + i).  Routes through point_at_batch in
+  /// fixed-size chunks so no caller-side key buffer is needed.
+  void point_range(index_t first_key, std::span<Point> cells) const;
 
   /// ∆π(α,β) = |π(α) − π(β)|.
   index_t curve_distance(const Point& a, const Point& b) const;

@@ -24,6 +24,13 @@ class ZCurve final : public SpaceFillingCurve {
   index_t index_of(const Point& cell) const override;
   Point point_at(index_t key) const override;
 
+  /// Branch-free batched codec: one (d, level_bits) dispatch per call, then a
+  /// tight magic-mask loop (bench: perf_encode_decode batch-vs-scalar).
+  void index_of_batch(std::span<const Point> cells,
+                      std::span<index_t> keys) const override;
+  void point_at_batch(std::span<const index_t> keys,
+                      std::span<Point> cells) const override;
+
  private:
   int level_bits_;
 };

@@ -45,7 +45,9 @@ TEST(NBody, MortonSortOrdersKeys) {
   index_t previous = 0;
   for (std::size_t i = 0; i < sim.particles().size(); ++i) {
     const index_t key = sim.morton_key(sim.particles()[i]);
-    if (i > 0) EXPECT_GE(key, previous);
+    if (i > 0) {
+      EXPECT_GE(key, previous);
+    }
     previous = key;
   }
   // Second sort is a no-op: zero inversions remain.

@@ -99,6 +99,27 @@ TEST(Partition, BlockLookupMatchesRanges) {
   }
 }
 
+TEST(Partition, EdgeCutAgreesAcrossFragmentModes) {
+  // The fragment and no-fragment configurations take different edge-cut
+  // paths (global key table vs chunk-local batch encode); they must agree.
+  const Universe u = Universe::pow2(2, 4);
+  for (const CurveFamily family :
+       {CurveFamily::kZ, CurveFamily::kHilbert, CurveFamily::kRandom}) {
+    const CurvePtr curve = make_curve(family, u, 9);
+    PartitionOptions with_fragments, without_fragments;
+    with_fragments.count_fragments = true;
+    without_fragments.count_fragments = false;
+    for (const int parts : {1, 3, 7, 16}) {
+      const PartitionQuality a = evaluate_partition(*curve, parts, with_fragments);
+      const PartitionQuality b =
+          evaluate_partition(*curve, parts, without_fragments);
+      EXPECT_EQ(a.edge_cut, b.edge_cut)
+          << curve->name() << " parts=" << parts;
+      EXPECT_EQ(a.imbalance, b.imbalance);
+    }
+  }
+}
+
 TEST(Partition, FragmentCountingCanBeDisabled) {
   const Universe u = Universe::pow2(2, 3);
   const CurvePtr random = make_curve(CurveFamily::kRandom, u, 4);

@@ -1,0 +1,178 @@
+// Conformance of the batched codec with the scalar virtuals: for every
+// factory curve family, index_of_batch/point_at_batch must agree element-wise
+// with index_of/point_at — including the curves that keep the generic
+// base-class fallback (permutation curves) and partial/subspan buffers.
+#include <algorithm>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sfc/curves/curve_factory.h"
+#include "sfc/curves/permutation_curve.h"
+#include "sfc/curves/zcurve.h"
+#include "sfc/rng/xoshiro256.h"
+
+namespace sfc {
+namespace {
+
+// All cells of the universe in row-major order.
+std::vector<Point> all_cells(const Universe& u) {
+  std::vector<Point> cells(u.cell_count());
+  for (index_t id = 0; id < u.cell_count(); ++id) {
+    cells[id] = u.from_row_major(id);
+  }
+  return cells;
+}
+
+void expect_batch_matches_scalar(const SpaceFillingCurve& curve) {
+  const Universe& u = curve.universe();
+  const index_t n = u.cell_count();
+  const std::vector<Point> cells = all_cells(u);
+
+  // Encode: full batch vs scalar.
+  std::vector<index_t> batch_keys(n);
+  curve.index_of_batch(cells, batch_keys);
+  for (index_t id = 0; id < n; ++id) {
+    ASSERT_EQ(batch_keys[id], curve.index_of(cells[id]))
+        << curve.name() << " dim=" << u.dim() << " side=" << u.side()
+        << " cell=" << cells[id].to_string();
+  }
+
+  // Decode: shuffled key order vs scalar.
+  std::vector<index_t> keys(n);
+  std::iota(keys.begin(), keys.end(), index_t{0});
+  Xoshiro256 rng(42);
+  for (index_t i = n; i > 1; --i) {
+    std::swap(keys[i - 1], keys[rng.next_below(i)]);
+  }
+  std::vector<Point> batch_cells(n, Point::zero(u.dim()));
+  curve.point_at_batch(keys, batch_cells);
+  for (index_t i = 0; i < n; ++i) {
+    ASSERT_EQ(batch_cells[i], curve.point_at(keys[i]))
+        << curve.name() << " dim=" << u.dim() << " side=" << u.side()
+        << " key=" << keys[i];
+  }
+
+  // Subspan round trip: batch over a strict middle slice of the buffers.
+  if (n >= 4) {
+    const std::size_t offset = n / 4;
+    const std::size_t len = n / 2;
+    std::vector<index_t> slice_keys(len);
+    curve.index_of_batch(std::span<const Point>(cells).subspan(offset, len),
+                         slice_keys);
+    for (std::size_t i = 0; i < len; ++i) {
+      EXPECT_EQ(slice_keys[i], curve.index_of(cells[offset + i]));
+    }
+  }
+
+  // point_range: contiguous window decode against scalar point_at.
+  const index_t window = std::min<index_t>(n, 100);
+  std::vector<Point> range_cells(window, Point::zero(u.dim()));
+  const index_t first = n > window ? (n - window) / 2 : 0;
+  curve.point_range(first, range_cells);
+  for (index_t i = 0; i < window; ++i) {
+    EXPECT_EQ(range_cells[i], curve.point_at(first + i));
+  }
+}
+
+TEST(BatchCodec, FactoryCurvesAgreeWithScalar) {
+  for (const CurveFamily family : all_curve_families()) {
+    for (int dim = 1; dim <= 3; ++dim) {
+      for (const coord_t side : {2u, 3u, 4u, 5u, 8u, 16u, 32u}) {
+        if (family_requires_pow2(family) && (side & (side - 1)) != 0) continue;
+        // Keep the permutation-table families within a sane cell budget.
+        const Universe u(dim, side);
+        if (family == CurveFamily::kRandom && u.cell_count() > (1u << 12)) {
+          continue;
+        }
+        const CurvePtr curve = make_curve(family, u, /*seed=*/7);
+        SCOPED_TRACE(curve->name());
+        expect_batch_matches_scalar(*curve);
+      }
+    }
+  }
+}
+
+TEST(BatchCodec, PermutationCurveUsesGenericFallback) {
+  // An explicit permutation table exercises the base-class batch loop.
+  const Universe u(2, 4);
+  std::vector<index_t> table(u.cell_count());
+  std::iota(table.begin(), table.end(), index_t{0});
+  std::reverse(table.begin(), table.end());
+  const PermutationCurve curve(u, table, "reversed");
+  expect_batch_matches_scalar(curve);
+}
+
+TEST(BatchCodec, PermutedZCurveFallback) {
+  // PermutedZCurve does not override the batch virtuals; the generic loop
+  // must still match its scalar codec.
+  const Universe u = Universe::pow2(3, 3);
+  const PermutedZCurve curve(u, {2, 0, 1});
+  expect_batch_matches_scalar(curve);
+}
+
+TEST(BatchCodec, HighLevelBitsSampled) {
+  // level_bits = 17 exceeds the 2-d magic-mask ceiling (16), so this drives
+  // the branch where the BMI2 kernels (no ceiling) and the generic
+  // interleave fallback diverge — sampled, since the universe has 2^34
+  // cells.  The SFC_NO_BMI2 ctest entry reruns it on the fallback path.
+  for (const CurveFamily family :
+       {CurveFamily::kZ, CurveFamily::kGray, CurveFamily::kHilbert}) {
+    const Universe u = Universe::pow2(2, 17);
+    const CurvePtr curve = make_curve(family, u, /*seed=*/3);
+    SCOPED_TRACE(curve->name());
+    Xoshiro256 rng(99);
+    const std::size_t samples = 4096;
+    std::vector<Point> cells(samples, Point::zero(2));
+    for (auto& cell : cells) {
+      cell[0] = static_cast<coord_t>(rng.next_below(u.side()));
+      cell[1] = static_cast<coord_t>(rng.next_below(u.side()));
+    }
+    std::vector<index_t> batch_keys(samples);
+    curve->index_of_batch(cells, batch_keys);
+    for (std::size_t i = 0; i < samples; ++i) {
+      ASSERT_EQ(batch_keys[i], curve->index_of(cells[i]))
+          << "cell=" << cells[i].to_string();
+    }
+    std::vector<index_t> keys(samples);
+    for (auto& key : keys) key = rng.next_below(u.cell_count());
+    std::vector<Point> batch_cells(samples, Point::zero(2));
+    curve->point_at_batch(keys, batch_cells);
+    for (std::size_t i = 0; i < samples; ++i) {
+      ASSERT_EQ(batch_cells[i], curve->point_at(keys[i])) << "key=" << keys[i];
+    }
+  }
+}
+
+TEST(BatchCodec, EmptySpansAreANoOp) {
+  const Universe u = Universe::pow2(2, 4);
+  const ZCurve curve(u);
+  curve.index_of_batch({}, {});
+  curve.point_at_batch({}, {});
+  curve.point_range(0, {});
+}
+
+TEST(BatchCodec, LargeWindowCrossesPointRangeChunks) {
+  // point_range chunks internally at 1024 keys; a window larger than one
+  // chunk must still agree with scalar decode at every position.
+  const Universe u = Universe::pow2(2, 6);  // 4096 cells
+  const ZCurve curve(u);
+  std::vector<Point> cells(u.cell_count(), Point::zero(2));
+  curve.point_range(0, cells);
+  for (index_t key = 0; key < u.cell_count(); ++key) {
+    ASSERT_EQ(cells[key], curve.point_at(key)) << "key=" << key;
+  }
+}
+
+TEST(BatchCodecDeathTest, MismatchedSpanSizesAbort) {
+  const Universe u = Universe::pow2(2, 2);
+  const ZCurve curve(u);
+  std::vector<Point> cells(4, Point::zero(2));
+  std::vector<index_t> keys(3);
+  EXPECT_DEATH(curve.index_of_batch(cells, keys), "");
+}
+
+}  // namespace
+}  // namespace sfc

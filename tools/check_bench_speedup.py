@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Gate on the batched-codec speedup measured by perf_encode_decode.
+
+Reads a Google Benchmark --benchmark_out JSON file and checks that the batched
+implementation beats the scalar-virtual loop by the required factor for the
+given benchmark pair, e.g.
+
+  check_bench_speedup.py BENCH_encode_decode.json \
+      --scalar "BM_EncodeScalarLoop/z_d2_k10/1048576" \
+      --batch "BM_EncodeBatch/z_d2_k10/1048576" \
+      --min-speedup 2.0
+
+Exits non-zero (failing the CI job) when the ratio is below the floor.
+"""
+import argparse
+import json
+import sys
+
+
+def items_per_second(report: dict, name: str) -> float:
+    # Exact-name match: aggregate entries ("..._mean") and plain iteration
+    # entries have distinct names, so the caller picks which one to gate on.
+    for bench in report.get("benchmarks", []):
+        if bench.get("name") == name:
+            try:
+                return float(bench["items_per_second"])
+            except KeyError as exc:
+                raise SystemExit(f"benchmark {name!r} has no items_per_second") from exc
+    raise SystemExit(f"benchmark {name!r} not found in report")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="Google Benchmark JSON output file")
+    parser.add_argument("--scalar", required=True, help="baseline benchmark name")
+    parser.add_argument("--batch", required=True, help="candidate benchmark name")
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    args = parser.parse_args()
+
+    with open(args.report, encoding="utf-8") as fh:
+        report = json.load(fh)
+
+    scalar = items_per_second(report, args.scalar)
+    batch = items_per_second(report, args.batch)
+    speedup = batch / scalar if scalar > 0 else float("inf")
+    print(f"scalar : {args.scalar}: {scalar:,.0f} items/s")
+    print(f"batch  : {args.batch}: {batch:,.0f} items/s")
+    print(f"speedup: {speedup:.2f}x (floor {args.min_speedup:.2f}x)")
+    if speedup < args.min_speedup:
+        print("FAIL: batched codec below required speedup", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
