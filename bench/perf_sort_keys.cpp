@@ -1,0 +1,194 @@
+// Sort-pipeline microbenchmarks: the deterministic parallel LSD radix sort
+// (sfc/sort) against the comparator baselines it replaced.  The CI gate
+// checks radix keys-only sort is >= 2x std::sort on 1M uniformly random
+// 64-bit keys (tools/check_bench_speedup.py parses the --benchmark_out
+// JSON).  Every timed iteration includes an identical copy from a master
+// buffer, so the ratio slightly understates the sorter's true advantage.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sfc/curves/curve_factory.h"
+#include "sfc/rng/xoshiro256.h"
+#include "sfc/sort/radix_sort.h"
+
+namespace {
+
+using namespace sfc;
+
+std::vector<index_t> make_keys(std::size_t count, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<index_t> keys(count);
+  for (auto& key : keys) key = rng.next();
+  return keys;
+}
+
+std::vector<Point> make_cells(const Universe& u, std::size_t count) {
+  Xoshiro256 rng(17);
+  std::vector<Point> cells(count, Point::zero(u.dim()));
+  for (auto& cell : cells) {
+    for (int i = 0; i < u.dim(); ++i) {
+      cell[i] = static_cast<coord_t>(rng.next_below(u.side()));
+    }
+  }
+  return cells;
+}
+
+void BM_StdSortKeys(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const auto master = make_keys(count, 21);
+  std::vector<index_t> keys(count);
+  for (auto _ : state) {
+    std::copy(master.begin(), master.end(), keys.begin());
+    std::sort(keys.begin(), keys.end());
+    benchmark::DoNotOptimize(keys.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(count));
+}
+
+void BM_RadixSortKeys(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const auto master = make_keys(count, 21);
+  std::vector<index_t> keys(count);
+  for (auto _ : state) {
+    std::copy(master.begin(), master.end(), keys.begin());
+    radix_sort_keys(keys);
+    benchmark::DoNotOptimize(keys.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(count));
+}
+
+void BM_StdStableSortPairs(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const auto keys = make_keys(count, 23);
+  std::vector<KeyIndex> master(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    master[i] = {keys[i], static_cast<std::uint32_t>(i)};
+  }
+  std::vector<KeyIndex> items(count);
+  for (auto _ : state) {
+    std::copy(master.begin(), master.end(), items.begin());
+    std::stable_sort(items.begin(), items.end(),
+                     [](const KeyIndex& a, const KeyIndex& b) {
+                       return a.key < b.key;
+                     });
+    benchmark::DoNotOptimize(items.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(count));
+}
+
+void BM_RadixSortPairs(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const auto keys = make_keys(count, 23);
+  std::vector<KeyIndex> master(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    master[i] = {keys[i], static_cast<std::uint32_t>(i)};
+  }
+  std::vector<KeyIndex> items(count);
+  for (auto _ : state) {
+    std::copy(master.begin(), master.end(), items.begin());
+    radix_sort_pairs(items);
+    benchmark::DoNotOptimize(items.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(count));
+}
+
+void BM_StdSortKeysU128(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(27);
+  std::vector<u128> master(count);
+  for (auto& key : master) {
+    key = (static_cast<u128>(rng.next()) << 64) | rng.next();
+  }
+  std::vector<u128> keys(count);
+  for (auto _ : state) {
+    std::copy(master.begin(), master.end(), keys.begin());
+    std::sort(keys.begin(), keys.end());
+    benchmark::DoNotOptimize(keys.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(count));
+}
+
+void BM_RadixSortKeysU128(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(27);
+  std::vector<u128> master(count);
+  for (auto& key : master) {
+    key = (static_cast<u128>(rng.next()) << 64) | rng.next();
+  }
+  std::vector<u128> keys(count);
+  for (auto _ : state) {
+    std::copy(master.begin(), master.end(), keys.begin());
+    radix_sort_keys(keys);
+    benchmark::DoNotOptimize(keys.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(count));
+}
+
+// The full app pipeline: encode cells to curve keys, sort indices by key.
+// Baseline is what the apps did before sfc/sort (batch encode, then a
+// comparator stable sort); candidate is the fused sort_by_curve_key.
+
+void BM_EncodeThenStableSort(benchmark::State& state) {
+  const Universe u = Universe::pow2(2, 10);
+  const CurvePtr curve = make_curve(CurveFamily::kZ, u, 1);
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const auto cells = make_cells(u, count);
+  std::vector<index_t> keys(count);
+  std::vector<KeyIndex> items(count);
+  for (auto _ : state) {
+    curve->index_of_batch(cells, keys);
+    for (std::size_t i = 0; i < count; ++i) {
+      items[i] = {keys[i], static_cast<std::uint32_t>(i)};
+    }
+    std::stable_sort(items.begin(), items.end(),
+                     [](const KeyIndex& a, const KeyIndex& b) {
+                       return a.key < b.key;
+                     });
+    benchmark::DoNotOptimize(items.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(count));
+}
+
+void BM_SortByCurveKey(benchmark::State& state) {
+  const Universe u = Universe::pow2(2, 10);
+  const CurvePtr curve = make_curve(CurveFamily::kZ, u, 1);
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const auto cells = make_cells(u, count);
+  for (auto _ : state) {
+    const std::vector<KeyIndex> items = sort_by_curve_key(*curve, cells);
+    benchmark::DoNotOptimize(items.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(count));
+}
+
+}  // namespace
+
+// 1M is the CI smoke/gate size; 4M and 16M chart scaling locally.
+BENCHMARK(BM_StdSortKeys)->Arg(1 << 20)->Arg(1 << 22)->Arg(1 << 24);
+BENCHMARK(BM_RadixSortKeys)->Arg(1 << 20)->Arg(1 << 22)->Arg(1 << 24);
+BENCHMARK(BM_StdStableSortPairs)->Arg(1 << 20);
+BENCHMARK(BM_RadixSortPairs)->Arg(1 << 20);
+BENCHMARK(BM_StdSortKeysU128)->Arg(1 << 20);
+BENCHMARK(BM_RadixSortKeysU128)->Arg(1 << 20);
+BENCHMARK(BM_EncodeThenStableSort)->Arg(1 << 20);
+BENCHMARK(BM_SortByCurveKey)->Arg(1 << 20);
+
+BENCHMARK_MAIN();

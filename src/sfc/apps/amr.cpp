@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
-#include <numeric>
 
 #include "sfc/common/math.h"
 #include "sfc/rng/xoshiro256.h"
+#include "sfc/sort/radix_sort.h"
 
 namespace sfc {
 
@@ -98,16 +98,13 @@ AmrPartitionQuality evaluate_amr_partition(const AmrMesh& mesh,
   const Universe finest = mesh.finest_universe();
   if (!(curve.universe() == finest) || parts < 1) std::abort();
 
-  // Order leaves by the curve key of their anchor.
-  std::vector<std::size_t> order(mesh.leaves.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::vector<index_t> anchor_keys(mesh.leaves.size());
+  // Order leaves by the curve key of their anchor: one fused batch-encode +
+  // radix sort (anchors are distinct cells, so keys are unique).
+  std::vector<Point> anchors(mesh.leaves.size());
   for (std::size_t i = 0; i < mesh.leaves.size(); ++i) {
-    anchor_keys[i] = curve.index_of(mesh.leaves[i].anchor);
+    anchors[i] = mesh.leaves[i].anchor;
   }
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return anchor_keys[a] < anchor_keys[b];
-  });
+  const std::vector<KeyIndex> order = sort_by_curve_key(curve, anchors);
 
   // Cost-balanced contiguous split of the ordered leaf sequence.
   double total_cost = 0.0;
@@ -119,12 +116,13 @@ AmrPartitionQuality evaluate_amr_partition(const AmrMesh& mesh,
     int current = 0;
     double used = 0.0;
     for (std::size_t pos = 0; pos < order.size(); ++pos) {
-      const AmrLeaf& leaf = mesh.leaves[order[pos]];
+      const auto leaf_id = static_cast<std::size_t>(order[pos].index);
+      const AmrLeaf& leaf = mesh.leaves[leaf_id];
       if (current < parts - 1 && used + leaf.cost / 2 > target) {
         ++current;
         used = 0.0;
       }
-      part_of_leaf[order[pos]] = current;
+      part_of_leaf[leaf_id] = current;
       part_cost[static_cast<std::size_t>(current)] += leaf.cost;
       used += leaf.cost;
     }

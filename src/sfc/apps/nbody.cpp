@@ -7,6 +7,7 @@
 #include "sfc/curves/bitops.h"
 #include "sfc/grid/point.h"
 #include "sfc/rng/xoshiro256.h"
+#include "sfc/sort/radix_sort.h"
 
 namespace sfc {
 
@@ -67,18 +68,19 @@ index_t BarnesHut::morton_key(const Particle& particle) const {
 }
 
 std::uint64_t BarnesHut::sort_by_morton() {
-  std::vector<std::pair<index_t, std::uint32_t>> order(particles_.size());
+  std::vector<KeyIndex> order(particles_.size());
   for (std::uint32_t i = 0; i < particles_.size(); ++i) {
     order[i] = {morton_key(particles_[i]), i};
   }
   std::uint64_t inversions = 0;
   for (std::size_t i = 1; i < order.size(); ++i) {
-    if (order[i].first < order[i - 1].first) ++inversions;
+    if (order[i].key < order[i - 1].key) ++inversions;
   }
-  std::stable_sort(order.begin(), order.end(),
-                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  // Radix sort is stable, so co-located particles keep their relative order
+  // exactly as the previous std::stable_sort did.
+  radix_sort_pairs(order);
   std::vector<Particle> sorted(particles_.size());
-  for (std::size_t i = 0; i < order.size(); ++i) sorted[i] = particles_[order[i].second];
+  for (std::size_t i = 0; i < order.size(); ++i) sorted[i] = particles_[order[i].index];
   particles_ = std::move(sorted);
   return inversions;
 }

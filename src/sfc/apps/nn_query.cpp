@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cmath>
 #include <span>
 #include <vector>
 
 #include "sfc/grid/box.h"
+#include "sfc/sort/radix_sort.h"
 
 namespace sfc {
 
@@ -15,7 +17,7 @@ namespace {
 WindowQuantiles quantiles(std::vector<double>& values) {
   WindowQuantiles q;
   if (values.empty()) return q;
-  std::sort(values.begin(), values.end());
+  radix_sort_doubles(values);
   double sum = 0.0;
   for (double v : values) sum += v;
   q.mean = sum / static_cast<double>(values.size());
@@ -100,12 +102,24 @@ bool knn_via_window(const SpaceFillingCurve& curve, const Point& query, int k,
     candidates.push_back({euclidean_distance(query, cell), key, cell});
   }
   if (candidates.size() < static_cast<std::size_t>(k)) return false;
-  std::partial_sort(candidates.begin(), candidates.begin() + k, candidates.end(),
-                    [](const Candidate& a, const Candidate& b) {
-                      if (a.dist != b.dist) return a.dist < b.dist;
+  // Rank by (distance, key) as one 128-bit composite: distances are
+  // non-negative, so their IEEE bit patterns order numerically, and packing
+  // the curve key into the low half makes the tie-break part of the key.
+  // Only the first k ranks are ever read, so a top-k selection beats a full
+  // sort of the window.
+  std::vector<KeyIndex128> ranked(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const u128 composite =
+        (static_cast<u128>(std::bit_cast<std::uint64_t>(candidates[i].dist))
+         << 64) |
+        candidates[i].key;
+    ranked[i] = {composite, static_cast<std::uint32_t>(i)};
+  }
+  std::partial_sort(ranked.begin(), ranked.begin() + k, ranked.end(),
+                    [](const KeyIndex128& a, const KeyIndex128& b) {
                       return a.key < b.key;
                     });
-  const double radius = candidates[static_cast<std::size_t>(k - 1)].dist;
+  const double radius = candidates[ranked[static_cast<std::size_t>(k - 1)].index].dist;
 
   // Soundness check: every cell within Euclidean radius `radius` of the query
   // must have been scanned; otherwise a closer cell may hide outside the
@@ -129,7 +143,8 @@ bool knn_via_window(const SpaceFillingCurve& curve, const Point& query, int k,
   if (neighbors != nullptr) {
     neighbors->clear();
     for (int i = 0; i < k; ++i) {
-      neighbors->push_back(candidates[static_cast<std::size_t>(i)].cell);
+      neighbors->push_back(
+          candidates[ranked[static_cast<std::size_t>(i)].index].cell);
     }
   }
   return true;

@@ -1,20 +1,35 @@
 #include "sfc/apps/range_query.h"
 
-#include <algorithm>
+#include <array>
+#include <span>
 #include <vector>
 
 #include "sfc/common/math.h"
+#include "sfc/sort/radix_sort.h"
 
 namespace sfc {
 
 index_t count_key_runs(const SpaceFillingCurve& curve, const Box& box) {
+  // Batch-encode in fixed-size slices while walking the box, so peak memory
+  // stays one key per cell rather than a materialized Point array.
   std::vector<index_t> keys;
   keys.reserve(box.cell_count());
+  std::array<Point, 1024> cell_buf;
+  std::size_t pending = 0;
+  auto flush = [&] {
+    const std::size_t at = keys.size();
+    keys.resize(at + pending);
+    curve.index_of_batch(std::span<const Point>(cell_buf.data(), pending),
+                         std::span<index_t>(keys.data() + at, pending));
+    pending = 0;
+  };
   box.for_each_cell([&](const Point& cell) {
-    keys.push_back(curve.index_of(cell));
+    cell_buf[pending++] = cell;
+    if (pending == cell_buf.size()) flush();
   });
+  if (pending > 0) flush();
   if (keys.empty()) return 0;
-  std::sort(keys.begin(), keys.end());
+  radix_sort_keys(keys);
   index_t runs = 1;
   for (std::size_t i = 1; i < keys.size(); ++i) {
     if (keys[i] != keys[i - 1] + 1) ++runs;

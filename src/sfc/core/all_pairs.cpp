@@ -1,8 +1,8 @@
 #include "sfc/core/all_pairs.h"
 
 #include <cmath>
-#include <cstdlib>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "sfc/parallel/parallel_for.h"
@@ -10,11 +10,19 @@
 
 namespace sfc {
 
+AllPairsLimitError::AllPairsLimitError(index_t n, index_t limit)
+    : std::runtime_error("all-pairs exact: n = " + std::to_string(n) +
+                         " exceeds max_exact_cells = " + std::to_string(limit)),
+      n_(n),
+      limit_(limit) {}
+
 AllPairsResult compute_all_pairs_exact(const SpaceFillingCurve& curve,
                                        const AllPairsOptions& options) {
   const Universe& u = curve.universe();
   const index_t n = u.cell_count();
-  if (n > options.max_exact_cells) std::abort();
+  if (n > options.max_exact_cells) {
+    throw AllPairsLimitError(n, options.max_exact_cells);
+  }
   ThreadPool& pool = options.pool ? *options.pool : ThreadPool::shared();
 
   // Materialize cells and keys once; the double loop then touches only flat

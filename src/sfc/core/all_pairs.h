@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 
 #include "sfc/common/int128.h"
 #include "sfc/common/types.h"
@@ -44,7 +45,22 @@ struct AllPairsOptions {
   index_t max_exact_cells = index_t{1} << 14;
 };
 
-/// Exact O(n²) evaluation.  Aborts if n > options.max_exact_cells.
+/// Thrown by compute_all_pairs_exact when n exceeds max_exact_cells; callers
+/// can recover by falling back to estimate_all_pairs (as stretch_report
+/// does by checking n up front).
+class AllPairsLimitError : public std::runtime_error {
+ public:
+  AllPairsLimitError(index_t n, index_t limit);
+  index_t n() const { return n_; }
+  index_t limit() const { return limit_; }
+
+ private:
+  index_t n_;
+  index_t limit_;
+};
+
+/// Exact O(n²) evaluation.  Throws AllPairsLimitError if
+/// n > options.max_exact_cells.
 AllPairsResult compute_all_pairs_exact(const SpaceFillingCurve& curve,
                                        const AllPairsOptions& options = {});
 

@@ -10,23 +10,27 @@ namespace sfc {
 
 namespace {
 
+// Fixed quantiles only need order statistics, so each is a linear-time
+// std::nth_element selection (permuting `values`) rather than a full sort;
+// the histogram pass below never needed sorted data.
 DistributionSummary summarize(std::vector<double>& values) {
   DistributionSummary summary;
   if (values.empty()) return summary;
-  std::sort(values.begin(), values.end());
   long double sum = 0.0L;
   for (double v : values) sum += static_cast<long double>(v);
   summary.mean = static_cast<double>(sum / static_cast<long double>(values.size()));
   auto at = [&](double fraction) {
     const auto index = static_cast<std::size_t>(
         fraction * static_cast<double>(values.size() - 1));
-    return values[index];
+    const auto nth = values.begin() + static_cast<std::ptrdiff_t>(index);
+    std::nth_element(values.begin(), nth, values.end());
+    return *nth;
   };
   summary.p10 = at(0.10);
   summary.p50 = at(0.50);
   summary.p90 = at(0.90);
   summary.p99 = at(0.99);
-  summary.max = values.back();
+  summary.max = *std::max_element(values.begin(), values.end());
   return summary;
 }
 
@@ -63,7 +67,7 @@ StretchDistribution compute_stretch_distribution(
 
   StretchDistribution result;
   result.n = n;
-  result.cell_average = summarize(averages);   // sorts in place
+  result.cell_average = summarize(averages);   // permutes in place
   result.cell_maximum = summarize(maxima);
   result.cell_minimum = summarize(minima);
 

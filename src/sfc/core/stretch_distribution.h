@@ -42,7 +42,8 @@ struct DistributionOptions {
   int histogram_bins = 16;
 };
 
-/// Computes the per-cell stretch distributions (O(n·d) encodes + one sort).
+/// Computes the per-cell stretch distributions (O(n·d) encodes +
+/// linear-time quantile selections).
 StretchDistribution compute_stretch_distribution(
     const SpaceFillingCurve& curve, const DistributionOptions& options = {});
 

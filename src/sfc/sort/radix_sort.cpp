@@ -1,0 +1,246 @@
+#include "sfc/sort/radix_sort.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace sfc {
+
+namespace {
+
+constexpr std::size_t kBuckets = 256;
+
+/// Below this size the histogram/scatter machinery costs more than it saves;
+/// a stable comparison sort produces the identical permutation.
+constexpr std::size_t kComparisonFallback = 2048;
+
+/// Points encoded per index_of_batch call inside one chunk (32 KiB of keys
+/// on the worker stack).
+constexpr std::size_t kEncodeSlice = 4096;
+
+inline unsigned digit_of(std::uint64_t key, int pass) {
+  return static_cast<unsigned>(key >> (8 * pass)) & 0xffu;
+}
+
+inline unsigned digit_of(u128 key, int pass) {
+  return static_cast<unsigned>(key >> (8 * pass)) & 0xffu;
+}
+
+std::uint64_t normalized_grain(const SortOptions& options) {
+  return options.grain == 0 ? kDefaultGrain : options.grain;
+}
+
+/// Runs body(ChunkRange) over the fixed chunk grid; a single chunk executes
+/// inline so tiny sorts never pay pool dispatch.
+template <typename Body>
+void over_chunks(ThreadPool& pool, std::uint64_t count, std::uint64_t grain,
+                 std::uint64_t chunks, const Body& body) {
+  if (chunks <= 1) {
+    body(ChunkRange{0, count, 0});
+    return;
+  }
+  parallel_for_chunks(pool, count, grain, body);
+}
+
+/// Core LSD sort.  `first_pass` optionally carries per-chunk pass-0
+/// histograms counted by the caller during a fused encode sweep; it must use
+/// the same chunk grid (n, grain) as this call.
+template <typename Record, typename KeyFn>
+void lsd_radix_sort(std::span<Record> items, const KeyFn& key_of,
+                    const SortOptions& options,
+                    std::vector<std::uint64_t>* first_pass) {
+  using Key = std::decay_t<decltype(key_of(items[0]))>;
+  constexpr int kPasses = static_cast<int>(sizeof(Key));
+  const std::uint64_t n = items.size();
+  ThreadPool& pool = options.pool ? *options.pool : ThreadPool::shared();
+  const std::uint64_t grain = normalized_grain(options);
+  const std::uint64_t chunks = chunk_count(n, grain);
+
+  std::vector<Record> scratch(items.size());
+  Record* src = items.data();
+  Record* dst = scratch.data();
+  std::vector<std::uint64_t> hist;
+
+  for (int pass = 0; pass < kPasses; ++pass) {
+    if (pass == 0 && first_pass != nullptr) {
+      hist = std::move(*first_pass);
+    } else {
+      hist.assign(chunks * kBuckets, 0);
+      over_chunks(pool, n, grain, chunks, [&](const ChunkRange& range) {
+        std::uint64_t* row = hist.data() + range.chunk_index * kBuckets;
+        for (std::uint64_t i = range.begin; i < range.end; ++i) {
+          ++row[digit_of(key_of(src[i]), pass)];
+        }
+      });
+    }
+
+    // Skip the scatter when every key shares this pass's digit (the first
+    // nonzero bucket then holds all n elements).
+    {
+      std::uint64_t first_total = 0;
+      for (std::size_t bucket = 0; bucket < kBuckets && first_total == 0;
+           ++bucket) {
+        for (std::uint64_t c = 0; c < chunks; ++c) {
+          first_total += hist[c * kBuckets + bucket];
+        }
+      }
+      if (first_total == n) continue;
+    }
+
+    // Convert counts to exclusive start offsets in (bucket, chunk) order.
+    // This sequential merge over the fixed chunk grid is what makes the
+    // scatter stable and thread-count independent.
+    std::uint64_t running = 0;
+    for (std::size_t bucket = 0; bucket < kBuckets; ++bucket) {
+      for (std::uint64_t c = 0; c < chunks; ++c) {
+        std::uint64_t& cell = hist[c * kBuckets + bucket];
+        const std::uint64_t count = cell;
+        cell = running;
+        running += count;
+      }
+    }
+
+    over_chunks(pool, n, grain, chunks, [&](const ChunkRange& range) {
+      std::uint64_t* row = hist.data() + range.chunk_index * kBuckets;
+      for (std::uint64_t i = range.begin; i < range.end; ++i) {
+        dst[row[digit_of(key_of(src[i]), pass)]++] = src[i];
+      }
+    });
+    std::swap(src, dst);
+  }
+
+  if (src != items.data()) {
+    // Odd number of scatter passes: the result sits in the scratch buffer.
+    over_chunks(pool, n, grain, chunks, [&](const ChunkRange& range) {
+      std::copy(src + range.begin, src + range.end, dst + range.begin);
+    });
+  }
+}
+
+template <typename Record, typename KeyFn>
+void sort_records(std::span<Record> items, const KeyFn& key_of,
+                  const SortOptions& options) {
+  if (items.size() < 2) return;
+  if (items.size() < kComparisonFallback) {
+    std::stable_sort(items.begin(), items.end(),
+                     [&](const Record& a, const Record& b) {
+                       return key_of(a) < key_of(b);
+                     });
+    return;
+  }
+  lsd_radix_sort(items, key_of, options, nullptr);
+}
+
+/// Maps a double to an unsigned key whose order matches numeric order:
+/// negatives have all bits flipped, non-negatives only the sign bit.
+std::uint64_t ordered_bits(double value) {
+  const auto bits = std::bit_cast<std::uint64_t>(value);
+  return bits ^ ((bits >> 63) != 0 ? ~std::uint64_t{0}
+                                   : (std::uint64_t{1} << 63));
+}
+
+double from_ordered_bits(std::uint64_t key) {
+  const std::uint64_t bits =
+      (key >> 63) != 0 ? (key ^ (std::uint64_t{1} << 63)) : ~key;
+  return std::bit_cast<double>(bits);
+}
+
+}  // namespace
+
+void radix_sort_keys(std::span<index_t> keys, const SortOptions& options) {
+  // Payload-free keys have no observable stability; plain std::sort beats
+  // the fallback stable sort's merge buffer on small inputs.
+  if (keys.size() < kComparisonFallback) {
+    std::sort(keys.begin(), keys.end());
+    return;
+  }
+  sort_records(keys, [](index_t key) { return key; }, options);
+}
+
+void radix_sort_keys(std::span<u128> keys, const SortOptions& options) {
+  if (keys.size() < kComparisonFallback) {
+    std::sort(keys.begin(), keys.end());
+    return;
+  }
+  sort_records(keys, [](const u128& key) { return key; }, options);
+}
+
+void radix_sort_pairs(std::span<KeyIndex> items, const SortOptions& options) {
+  sort_records(items, [](const KeyIndex& item) { return item.key; }, options);
+}
+
+void radix_sort_pairs(std::span<KeyIndex128> items, const SortOptions& options) {
+  sort_records(items, [](const KeyIndex128& item) { return item.key; },
+               options);
+}
+
+void radix_sort_doubles(std::span<double> values, const SortOptions& options) {
+  if (values.size() < kComparisonFallback) {
+    // Below the radix threshold the bit-mapping round trip buys nothing.
+    std::sort(values.begin(), values.end());
+    return;
+  }
+  std::vector<std::uint64_t> keys(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    keys[i] = ordered_bits(values[i]);
+  }
+  radix_sort_keys(std::span<index_t>(keys), options);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = from_ordered_bits(keys[i]);
+  }
+}
+
+std::vector<KeyIndex> sort_by_curve_key(const SpaceFillingCurve& curve,
+                                        std::span<const Point> cells,
+                                        const SortOptions& options) {
+  const std::uint64_t n = cells.size();
+  if (n > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::length_error(
+        "sort_by_curve_key: cell count exceeds the 32-bit payload limit");
+  }
+  std::vector<KeyIndex> items(n);
+  if (n == 0) return items;
+  ThreadPool& pool = options.pool ? *options.pool : ThreadPool::shared();
+  const std::uint64_t grain = normalized_grain(options);
+  const std::uint64_t chunks = chunk_count(n, grain);
+  const bool fuse = n >= kComparisonFallback;
+  std::vector<std::uint64_t> first_pass(fuse ? chunks * kBuckets : 0, 0);
+
+  // Encode sweep: batch-encode each chunk in slices and, when the radix path
+  // will run, count the pass-0 digit histogram while the keys are still hot.
+  over_chunks(pool, n, grain, chunks, [&](const ChunkRange& range) {
+    std::array<index_t, kEncodeSlice> key_buf;
+    std::uint64_t* row =
+        fuse ? first_pass.data() + range.chunk_index * kBuckets : nullptr;
+    for (std::uint64_t at = range.begin; at < range.end; at += kEncodeSlice) {
+      const std::size_t len =
+          static_cast<std::size_t>(std::min<std::uint64_t>(kEncodeSlice, range.end - at));
+      curve.index_of_batch(cells.subspan(at, len),
+                           std::span<index_t>(key_buf.data(), len));
+      for (std::size_t j = 0; j < len; ++j) {
+        const index_t key = key_buf[j];
+        items[at + j] = {key, static_cast<std::uint32_t>(at + j)};
+        if (row != nullptr) ++row[static_cast<unsigned>(key) & 0xffu];
+      }
+    }
+  });
+
+  if (!fuse) {
+    // Identical permutation to the radix path: stable by key over records
+    // whose initial order is index order.
+    std::stable_sort(items.begin(), items.end(),
+                     [](const KeyIndex& a, const KeyIndex& b) {
+                       return a.key < b.key;
+                     });
+    return items;
+  }
+  lsd_radix_sort(std::span<KeyIndex>(items),
+                 [](const KeyIndex& item) { return item.key; }, options,
+                 &first_pass);
+  return items;
+}
+
+}  // namespace sfc

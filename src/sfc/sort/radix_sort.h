@@ -1,0 +1,78 @@
+// Deterministic parallel LSD radix sort for key-ordered workloads.
+//
+// Every application pipeline in this repo reduces to "encode points to curve
+// keys, then sort by key" (AMR ordering, n-body traversal, range/NN index
+// builds); this subsystem makes the sort as fast as the batched encode.  The
+// sorter is an LSD radix sort with 8-bit digits over fixed-size chunks: each
+// chunk counts its own digit histogram and the per-chunk histograms are
+// merged into scatter offsets strictly in (bucket, chunk) order — the same
+// fixed-chunk design as parallel_for.h's deterministic reductions — so the
+// output is stable and bit-identical across any thread count.  Passes whose
+// digit is constant over all keys are skipped, so sorting keys drawn from a
+// universe of 2^b cells costs ~ceil(b/8) scatter passes, not the full key
+// width.  Below a small size threshold a stable comparison sort (which
+// produces the identical permutation) is used instead of the scatter
+// machinery.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sfc/common/int128.h"
+#include "sfc/common/types.h"
+#include "sfc/curves/space_filling_curve.h"
+#include "sfc/parallel/parallel_for.h"
+#include "sfc/parallel/thread_pool.h"
+
+namespace sfc {
+
+struct SortOptions {
+  /// Worker pool; nullptr means ThreadPool::shared().  The pool size only
+  /// affects wall clock, never the output.
+  ThreadPool* pool = nullptr;
+  /// Elements per chunk.  Chunk boundaries depend only on the input size and
+  /// this grain, so they are part of the deterministic contract.
+  std::uint64_t grain = kDefaultGrain;
+};
+
+/// A curve key carrying the position it came from — the record behind every
+/// former "sort indices by key comparator" call site.
+struct KeyIndex {
+  index_t key;
+  std::uint32_t index;
+};
+
+/// 128-bit-key variant, for composite keys such as
+/// (distance bits << 64) | curve key.
+struct KeyIndex128 {
+  u128 key;
+  std::uint32_t index;
+};
+
+/// Ascending in-place sort of plain keys.
+void radix_sort_keys(std::span<index_t> keys, const SortOptions& options = {});
+void radix_sort_keys(std::span<u128> keys, const SortOptions& options = {});
+
+/// Ascending in-place sort of (key, payload) records by key.  Stable:
+/// records with equal keys keep their relative order.
+void radix_sort_pairs(std::span<KeyIndex> items, const SortOptions& options = {});
+void radix_sort_pairs(std::span<KeyIndex128> items,
+                      const SortOptions& options = {});
+
+/// Ascending in-place sort of doubles via the order-preserving bit mapping
+/// (negatives and infinities sort numerically; NaNs are not supported).
+void radix_sort_doubles(std::span<double> values,
+                        const SortOptions& options = {});
+
+/// Fused encode+sort: returns {π(cells[i]), i} sorted by key, ties by i.
+/// Encoding runs through index_of_batch chunk by chunk and the first
+/// counting pass is folded into the encode sweep, so keys never take a
+/// second trip through memory before the scatter passes.  Throws
+/// std::length_error if cells.size() >= 2^32 (the payload is a 32-bit
+/// position).
+std::vector<KeyIndex> sort_by_curve_key(const SpaceFillingCurve& curve,
+                                        std::span<const Point> cells,
+                                        const SortOptions& options = {});
+
+}  // namespace sfc

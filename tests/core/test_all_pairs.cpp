@@ -107,6 +107,29 @@ TEST(AllPairsSampled, StandardErrorShrinksWithSamples) {
   EXPECT_LT(large.stderr_manhattan, small.stderr_manhattan);
 }
 
+TEST(AllPairsExact, ThrowsRecoverablyAboveExactLimit) {
+  const Universe u = Universe::pow2(2, 3);  // 64 cells
+  const CurvePtr z = make_curve(CurveFamily::kZ, u);
+  AllPairsOptions options;
+  options.max_exact_cells = 16;
+  EXPECT_THROW(compute_all_pairs_exact(*z, options), AllPairsLimitError);
+  try {
+    compute_all_pairs_exact(*z, options);
+    FAIL() << "expected AllPairsLimitError";
+  } catch (const AllPairsLimitError& error) {
+    EXPECT_EQ(error.n(), 64u);
+    EXPECT_EQ(error.limit(), 16u);
+    EXPECT_NE(std::string(error.what()).find("max_exact_cells"),
+              std::string::npos);
+  }
+  // Recoverable: the sampled estimator and an exact run within the limit
+  // both still work afterwards.
+  const AllPairsResult sampled = estimate_all_pairs(*z, 1000, 5, options);
+  EXPECT_FALSE(sampled.exact);
+  options.max_exact_cells = 64;
+  EXPECT_TRUE(compute_all_pairs_exact(*z, options).exact);
+}
+
 TEST(AllPairsExact, TwoCellUniverse) {
   const Universe u(1, 2);
   const SimpleCurve s(u);

@@ -1,0 +1,209 @@
+#include "sfc/sort/radix_sort.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sfc/curves/curve_factory.h"
+#include "sfc/rng/xoshiro256.h"
+
+namespace sfc {
+namespace {
+
+// Sizes straddling the comparison-sort fallback, the single-chunk radix
+// path, and (with the small grain below) the multi-chunk parallel path.
+const std::size_t kSizes[] = {0, 1, 2, 100, 2047, 2048, 5000, 100000};
+
+// Small grain so even the mid-sized inputs split into many chunks.
+SortOptions multi_chunk_options(ThreadPool* pool = nullptr) {
+  SortOptions options;
+  options.pool = pool;
+  options.grain = 1024;
+  return options;
+}
+
+std::vector<index_t> random_keys(std::size_t count, std::uint64_t seed,
+                                 index_t mask = ~index_t{0}) {
+  Xoshiro256 rng(seed);
+  std::vector<index_t> keys(count);
+  for (auto& key : keys) key = rng.next() & mask;
+  return keys;
+}
+
+TEST(RadixSortKeys, MatchesStdSortOnRandomInput) {
+  for (std::size_t count : kSizes) {
+    std::vector<index_t> keys = random_keys(count, 1);
+    std::vector<index_t> expected = keys;
+    std::sort(expected.begin(), expected.end());
+    radix_sort_keys(keys, multi_chunk_options());
+    EXPECT_EQ(keys, expected) << "count=" << count;
+  }
+}
+
+TEST(RadixSortKeys, MatchesStdSortOnDuplicateHeavyInput) {
+  // Only 256 distinct values: every bucket overflows with duplicates and all
+  // upper passes are constant-digit (skipped).
+  std::vector<index_t> keys = random_keys(50000, 2, 0xff);
+  std::vector<index_t> expected = keys;
+  std::sort(expected.begin(), expected.end());
+  radix_sort_keys(keys, multi_chunk_options());
+  EXPECT_EQ(keys, expected);
+}
+
+TEST(RadixSortKeys, HandlesSortedReverseAndAllEqualInput) {
+  const std::size_t count = 10000;
+  std::vector<index_t> sorted(count), reversed(count), equal(count, 42);
+  for (std::size_t i = 0; i < count; ++i) {
+    sorted[i] = static_cast<index_t>(i) * 3;
+    reversed[i] = static_cast<index_t>(count - i);
+  }
+  for (auto* keys : {&sorted, &reversed, &equal}) {
+    std::vector<index_t> expected = *keys;
+    std::sort(expected.begin(), expected.end());
+    radix_sort_keys(*keys, multi_chunk_options());
+    EXPECT_EQ(*keys, expected);
+  }
+}
+
+TEST(RadixSortKeys, MatchesStdSortOnU128Keys) {
+  for (std::size_t count : kSizes) {
+    Xoshiro256 rng(3);
+    std::vector<u128> keys(count);
+    for (auto& key : keys) {
+      key = (static_cast<u128>(rng.next()) << 64) | rng.next();
+    }
+    std::vector<u128> expected = keys;
+    std::sort(expected.begin(), expected.end());
+    radix_sort_keys(keys, multi_chunk_options());
+    EXPECT_TRUE(keys == expected) << "count=" << count;
+  }
+}
+
+TEST(RadixSortPairs, StableAndMatchesStableSort) {
+  for (std::size_t count : kSizes) {
+    // Narrow key range forces many ties, exercising stability.
+    const std::vector<index_t> keys = random_keys(count, 4, 0x3ff);
+    std::vector<KeyIndex> items(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      items[i] = {keys[i], static_cast<std::uint32_t>(i)};
+    }
+    std::vector<KeyIndex> expected = items;
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const KeyIndex& a, const KeyIndex& b) {
+                       return a.key < b.key;
+                     });
+    radix_sort_pairs(items, multi_chunk_options());
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(items[i].key, expected[i].key) << "count=" << count;
+      EXPECT_EQ(items[i].index, expected[i].index)
+          << "stability broken at " << i << " (count=" << count << ")";
+    }
+  }
+}
+
+TEST(RadixSortPairs, StableOnU128CompositeKeys) {
+  const std::size_t count = 20000;
+  Xoshiro256 rng(5);
+  std::vector<KeyIndex128> items(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // High half narrow, low half narrow: ties at every level.
+    items[i] = {(static_cast<u128>(rng.next() & 0xf) << 64) | (rng.next() & 0xf),
+                static_cast<std::uint32_t>(i)};
+  }
+  std::vector<KeyIndex128> expected = items;
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const KeyIndex128& a, const KeyIndex128& b) {
+                     return a.key < b.key;
+                   });
+  radix_sort_pairs(items, multi_chunk_options());
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_TRUE(items[i].key == expected[i].key);
+    EXPECT_EQ(items[i].index, expected[i].index);
+  }
+}
+
+TEST(RadixSortDoubles, MatchesStdSortIncludingNegativesAndInfinities) {
+  Xoshiro256 rng(6);
+  std::vector<double> values(30000);
+  for (auto& v : values) v = (rng.next_double() - 0.5) * 1e12;
+  values[0] = std::numeric_limits<double>::infinity();
+  values[1] = -std::numeric_limits<double>::infinity();
+  values[2] = 0.0;
+  std::vector<double> expected = values;
+  std::sort(expected.begin(), expected.end());
+  radix_sort_doubles(values, multi_chunk_options());
+  ASSERT_EQ(values.size(), expected.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(values[i], expected[i]) << "at " << i;
+  }
+}
+
+TEST(RadixSortDeterminism, IdenticalOutputAcrossThreadCounts) {
+  const std::size_t count = 100000;
+  const std::vector<index_t> keys = random_keys(count, 7, 0xffff);
+  std::vector<KeyIndex> reference;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    // ThreadPool(t) adds t workers to the calling thread.
+    ThreadPool pool(threads);
+    std::vector<KeyIndex> items(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      items[i] = {keys[i], static_cast<std::uint32_t>(i)};
+    }
+    radix_sort_pairs(items, multi_chunk_options(&pool));
+    if (reference.empty()) {
+      reference = items;
+      continue;
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(items[i].key, reference[i].key) << "threads=" << threads;
+      ASSERT_EQ(items[i].index, reference[i].index) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(SortByCurveKey, MatchesEncodeThenStableSortEveryFamily) {
+  const Universe u = Universe::pow2(2, 5);
+  Xoshiro256 rng(8);
+  // More cells than the universe holds, so keys repeat and stability shows.
+  std::vector<Point> cells(5000, Point::zero(2));
+  for (auto& cell : cells) {
+    for (int i = 0; i < 2; ++i) {
+      cell[i] = static_cast<coord_t>(rng.next_below(u.side()));
+    }
+  }
+  for (CurveFamily family : all_curve_families()) {
+    const CurvePtr curve = make_curve(family, u, 11);
+    std::vector<KeyIndex> expected(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      expected[i] = {curve->index_of(cells[i]), static_cast<std::uint32_t>(i)};
+    }
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const KeyIndex& a, const KeyIndex& b) {
+                       return a.key < b.key;
+                     });
+    const std::vector<KeyIndex> sorted =
+        sort_by_curve_key(*curve, cells, multi_chunk_options());
+    ASSERT_EQ(sorted.size(), expected.size());
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      EXPECT_EQ(sorted[i].key, expected[i].key) << family_name(family);
+      EXPECT_EQ(sorted[i].index, expected[i].index) << family_name(family);
+    }
+  }
+}
+
+TEST(SortByCurveKey, EmptyAndSingleCell) {
+  const Universe u = Universe::pow2(2, 3);
+  const CurvePtr curve = make_curve(CurveFamily::kZ, u, 0);
+  EXPECT_TRUE(sort_by_curve_key(*curve, {}).empty());
+  const std::vector<Point> one{Point{3, 5}};
+  const std::vector<KeyIndex> sorted = sort_by_curve_key(*curve, one);
+  ASSERT_EQ(sorted.size(), 1u);
+  EXPECT_EQ(sorted[0].key, curve->index_of(one[0]));
+  EXPECT_EQ(sorted[0].index, 0u);
+}
+
+}  // namespace
+}  // namespace sfc

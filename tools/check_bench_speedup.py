@@ -1,13 +1,18 @@
 #!/usr/bin/env python3
-"""Gate on the batched-codec speedup measured by perf_encode_decode.
+"""Gate on a benchmark speedup ratio (batched codec, radix sort, ...).
 
-Reads a Google Benchmark --benchmark_out JSON file and checks that the batched
-implementation beats the scalar-virtual loop by the required factor for the
+Reads a Google Benchmark --benchmark_out JSON file and checks that the
+candidate implementation beats its baseline by the required factor for the
 given benchmark pair, e.g.
 
   check_bench_speedup.py BENCH_encode_decode.json \
       --scalar "BM_EncodeScalarLoop/z_d2_k10/1048576" \
       --batch "BM_EncodeBatch/z_d2_k10/1048576" \
+      --min-speedup 2.0
+
+  check_bench_speedup.py BENCH_sort_keys.json \
+      --scalar "BM_StdSortKeys/1048576" \
+      --batch "BM_RadixSortKeys/1048576" \
       --min-speedup 2.0
 
 Exits non-zero (failing the CI job) when the ratio is below the floor.
