@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "bench_common.h"
 #include "sfc/curves/curve_factory.h"
 #include "sfc/rng/xoshiro256.h"
 #include "sfc/sort/radix_sort.h"
@@ -179,11 +180,19 @@ void BM_SortByCurveKey(benchmark::State& state) {
                           static_cast<std::int64_t>(count));
 }
 
+/// 1M is the CI smoke/gate size; 4M and 16M chart scaling locally; the
+/// 64M+-key run is added only at SFC_SCALE=large (the nightly job).
+void KeyScaleArgs(benchmark::internal::Benchmark* b) {
+  b->Arg(1 << 20)->Arg(1 << 22)->Arg(1 << 24);
+  if (sfc::bench::scale_from_env() == sfc::bench::Scale::kLarge) {
+    b->Arg(std::int64_t{1} << 26);
+  }
+}
+
 }  // namespace
 
-// 1M is the CI smoke/gate size; 4M and 16M chart scaling locally.
-BENCHMARK(BM_StdSortKeys)->Arg(1 << 20)->Arg(1 << 22)->Arg(1 << 24);
-BENCHMARK(BM_RadixSortKeys)->Arg(1 << 20)->Arg(1 << 22)->Arg(1 << 24);
+BENCHMARK(BM_StdSortKeys)->Apply(KeyScaleArgs);
+BENCHMARK(BM_RadixSortKeys)->Apply(KeyScaleArgs);
 BENCHMARK(BM_StdStableSortPairs)->Arg(1 << 20);
 BENCHMARK(BM_RadixSortPairs)->Arg(1 << 20);
 BENCHMARK(BM_StdSortKeysU128)->Arg(1 << 20);

@@ -1,10 +1,11 @@
 #include "sfc/apps/partition.h"
 
-#include <cstdlib>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "sfc/common/int128.h"
+#include "sfc/metrics/slab_walker.h"
 #include "sfc/parallel/parallel_for.h"
 
 namespace sfc {
@@ -18,7 +19,48 @@ int block_of_key(index_t key, index_t n, int parts) {
   return static_cast<int>(static_cast<u128>(key) * static_cast<u128>(parts) / n);
 }
 
+// Edge cut contributed by one slab body: forward NN pairs whose endpoints
+// fall in different blocks, counted as strided passes over the slab's key
+// buffer (neighbor along dimension i sits at fixed offset side^{i-1}).
+// Blocks are derived once per key — one u128 divide per cell instead of 2d
+// in the passes, which then reduce to flat int comparisons.
+index_t slab_edge_cut(const Universe& u, const KeySlab& slab, index_t n,
+                      int parts) {
+  // Forward passes read ids in [begin, end - 1 + stride]; the largest stride
+  // is one halo, and a valid forward neighbor id is always < n.
+  const index_t cover_end =
+      std::min<index_t>(slab.buffer_end, slab.end + slab_halo(u));
+  const index_t* const keys = slab.keys + (slab.begin - slab.buffer_begin);
+  std::vector<int> blocks(cover_end - slab.begin);
+  for (std::size_t j = 0; j < blocks.size(); ++j) {
+    blocks[j] = block_of_key(keys[j], n, parts);
+  }
+
+  index_t cut = 0;
+  for (int i = 0; i < u.dim(); ++i) {
+    const index_t stride = dim_stride(u, i);
+    for_each_forward_run(
+        u, slab.begin, slab.end, i, [&](index_t run_begin, index_t run_end) {
+          const int* const lo = blocks.data() + (run_begin - slab.begin);
+          const int* const hi = lo + stride;
+          const std::size_t count = run_end - run_begin;
+          for (std::size_t j = 0; j < count; ++j) {
+            if (lo[j] != hi[j]) ++cut;
+          }
+        });
+  }
+  return cut;
+}
+
 }  // namespace
+
+PartitionArgumentError::PartitionArgumentError(int parts, index_t cell_count)
+    : std::invalid_argument("evaluate_partition: parts = " +
+                            std::to_string(parts) +
+                            " outside [1, n] for n = " +
+                            std::to_string(cell_count)),
+      parts_(parts),
+      cell_count_(cell_count) {}
 
 int partition_block(const SpaceFillingCurve& curve, int parts, const Point& cell) {
   return block_of_key(curve.index_of(cell), curve.universe().cell_count(), parts);
@@ -28,45 +70,39 @@ PartitionQuality evaluate_partition(const SpaceFillingCurve& curve, int parts,
                                     const PartitionOptions& options) {
   const Universe& u = curve.universe();
   const index_t n = u.cell_count();
-  if (parts < 1 || static_cast<index_t>(parts) > n) std::abort();
+  if (parts < 1 || static_cast<index_t>(parts) > n) {
+    throw PartitionArgumentError(parts, n);
+  }
   ThreadPool& pool = options.pool ? *options.pool : ThreadPool::shared();
 
   PartitionQuality quality;
   quality.parts = parts;
 
   const std::uint64_t grain = std::uint64_t{1} << 16;
-  const std::uint64_t chunks = chunk_count(n, grain);
-  std::vector<index_t> cut_partials(chunks, 0);
 
   if (options.count_fragments) {
     // The flood fill needs every cell's key anyway, so materialize the table
-    // once through the batched codec (each cell encoded exactly once instead
-    // of once as a center plus up to d times as a neighbor) and share it
-    // between the edge cut and the fill.
+    // once through the shared slab kernel (each cell encoded exactly once)
+    // and share it between the edge cut and the fill.
     std::vector<index_t> keys(n);
-    parallel_for_chunks(pool, n, grain, [&](const ChunkRange& range) {
-      const std::size_t len = range.end - range.begin;
-      std::vector<Point> cells(len);
-      for (std::size_t i = 0; i < len; ++i) {
-        cells[i] = u.from_row_major(range.begin + i);
-      }
-      curve.index_of_batch(cells,
-                           std::span<index_t>(keys.data() + range.begin, len));
-    });
+    build_key_table(curve, pool, keys, grain);
 
+    // The edge cut runs over chunk-sized views into the full table — the
+    // same strided-pass kernel as the slab path, with the whole universe as
+    // the "buffer".
+    const std::uint64_t chunks = chunk_count(n, grain);
+    std::vector<index_t> cut_partials(chunks, 0);
     parallel_for_chunks(pool, n, grain, [&](const ChunkRange& range) {
-      index_t cut = 0;
-      for (index_t id = range.begin; id < range.end; ++id) {
-        const Point cell = u.from_row_major(id);
-        const int cell_block = block_of_key(keys[id], n, parts);
-        u.for_each_forward_neighbor(cell, [&](const Point& q, int /*dim*/) {
-          const int q_block =
-              block_of_key(keys[u.row_major_index(q)], n, parts);
-          if (q_block != cell_block) ++cut;
-        });
-      }
-      cut_partials[range.chunk_index] = cut;
+      KeySlab view;
+      view.begin = range.begin;
+      view.end = range.end;
+      view.buffer_begin = 0;
+      view.buffer_end = n;
+      view.keys = keys.data();
+      view.slab_index = range.chunk_index;
+      cut_partials[range.chunk_index] = slab_edge_cut(u, view, n, parts);
     });
+    for (index_t cut : cut_partials) quality.edge_cut += cut;
 
     // Flood fill per block over the grid graph; a block with more than one
     // component is fragmented.  Sequential O(n) BFS — used on small/medium
@@ -101,41 +137,16 @@ PartitionQuality evaluate_partition(const SpaceFillingCurve& curve, int parts,
       if (parts_components > 1) ++quality.fragmented_blocks;
     }
   } else {
-    // Edge-cut-only mode stays O(grain) in memory for huge universes: gather
-    // each chunk's cells plus their forward neighbors into one buffer and
-    // batch-encode it in a single call.
-    const int d = u.dim();
-    parallel_for_chunks(pool, n, grain, [&](const ChunkRange& range) {
-      const std::size_t len = range.end - range.begin;
-      std::vector<Point> batch;
-      batch.reserve(len * static_cast<std::size_t>(1 + d));
-      for (index_t id = range.begin; id < range.end; ++id) {
-        const Point cell = u.from_row_major(id);
-        batch.push_back(cell);
-        u.for_each_forward_neighbor(
-            cell, [&](const Point& q, int /*dim*/) { batch.push_back(q); });
-      }
-      std::vector<index_t> batch_keys(batch.size());
-      curve.index_of_batch(batch, batch_keys);
-      index_t cut = 0;
-      std::size_t pos = 0;
-      for (index_t id = range.begin; id < range.end; ++id) {
-        const Point& cell = batch[pos];
-        const int cell_block = block_of_key(batch_keys[pos], n, parts);
-        ++pos;
-        for (int i = 0; i < d; ++i) {
-          if (cell[i] + 1 < u.side()) {
-            const int q_block = block_of_key(batch_keys[pos], n, parts);
-            if (q_block != cell_block) ++cut;
-            ++pos;
-          }
-        }
-      }
-      cut_partials[range.chunk_index] = cut;
+    // Edge-cut-only mode stays O(slab) in memory for huge universes: each
+    // slab is batch-encoded once (body + forward halo) and the cut is the
+    // same strided-pass kernel over the slab buffer.
+    std::vector<index_t> cut_partials(slab_count(u, grain), 0);
+    for_each_key_slab(curve, pool, grain, [&](const KeySlab& slab) {
+      cut_partials[slab.slab_index] = slab_edge_cut(u, slab, n, parts);
     });
+    for (index_t cut : cut_partials) quality.edge_cut += cut;
   }
 
-  for (index_t cut : cut_partials) quality.edge_cut += cut;
   const index_t nn_pairs = u.nn_pair_count();
   quality.cut_fraction =
       nn_pairs > 0 ? static_cast<double>(quality.edge_cut) / static_cast<double>(nn_pairs)

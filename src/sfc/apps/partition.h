@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "sfc/common/types.h"
@@ -16,6 +17,20 @@
 #include "sfc/parallel/thread_pool.h"
 
 namespace sfc {
+
+/// Thrown by evaluate_partition when `parts` is outside [1, n]; mirrors
+/// AllPairsLimitError so drivers can recover (e.g. clamp and retry) instead
+/// of aborting the process.
+class PartitionArgumentError : public std::invalid_argument {
+ public:
+  PartitionArgumentError(int parts, index_t cell_count);
+  int parts() const { return parts_; }
+  index_t cell_count() const { return cell_count_; }
+
+ private:
+  int parts_;
+  index_t cell_count_;
+};
 
 struct PartitionQuality {
   int parts = 0;
@@ -39,9 +54,11 @@ struct PartitionOptions {
 
 /// Splits the curve into `parts` contiguous key ranges of near-equal size
 /// (block b gets keys [b*n/P, (b+1)*n/P)) and scores the decomposition.
-/// With count_fragments on, materializes an 8n-byte key table (batch-encoded
-/// once, shared by the edge cut and the flood fill); with it off, memory
-/// stays O(chunk) so huge universes can still be edge-cut scored.
+/// Throws PartitionArgumentError when parts is outside [1, n].  Both modes
+/// count the edge cut as strided forward-pair passes over slab-encoded keys
+/// (sfc/metrics): with count_fragments on, an 8n-byte key table is built
+/// once (shared by the edge cut and the flood fill); with it off, memory
+/// stays O(slab) so huge universes can still be edge-cut scored.
 PartitionQuality evaluate_partition(const SpaceFillingCurve& curve, int parts,
                                     const PartitionOptions& options = {});
 

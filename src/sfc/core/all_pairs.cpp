@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "sfc/metrics/slab_walker.h"
 #include "sfc/parallel/parallel_for.h"
 #include "sfc/rng/sampling.h"
 
@@ -26,15 +27,11 @@ AllPairsResult compute_all_pairs_exact(const SpaceFillingCurve& curve,
   ThreadPool& pool = options.pool ? *options.pool : ThreadPool::shared();
 
   // Materialize cells and keys once; the double loop then touches only flat
-  // arrays.  Encoding goes through the batched codec, chunked across the pool.
+  // arrays.  Encoding goes through the shared slab kernel (sfc/metrics).
   std::vector<Point> cells(n);
   std::vector<index_t> keys(n);
   for (index_t id = 0; id < n; ++id) cells[id] = u.from_row_major(id);
-  parallel_for_chunks(pool, n, kDefaultGrain, [&](const ChunkRange& range) {
-    const std::size_t len = range.end - range.begin;
-    curve.index_of_batch(std::span<const Point>(cells.data() + range.begin, len),
-                         std::span<index_t>(keys.data() + range.begin, len));
-  });
+  build_key_table(curve, pool, keys);
 
   struct Partial {
     long double manhattan = 0.0L;

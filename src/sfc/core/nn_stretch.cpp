@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "sfc/curves/key_cache.h"
+#include "sfc/metrics/neighbor_stats.h"
+#include "sfc/metrics/slab_walker.h"
 #include "sfc/parallel/parallel_for.h"
 
 namespace sfc {
@@ -13,7 +15,8 @@ namespace {
 
 // Per-chunk partial sums.  Chunk boundaries depend only on n and the grain,
 // and partials are combined in chunk order, so the floating-point results are
-// deterministic for any thread count.
+// deterministic for any thread count — and identical for both engines, which
+// share this chunk grid.
 struct Partial {
   long double avg_sum = 0.0L;  // Σ_α δavg(α)
   long double max_sum = 0.0L;  // Σ_α δmax(α)
@@ -23,7 +26,8 @@ struct Partial {
   double max_cell = -std::numeric_limits<double>::infinity();
 };
 
-// Key lookup abstraction: cached table or on-the-fly encode.
+// Key lookup abstraction for the scalar engine: cached table or on-the-fly
+// encode.
 class KeyFn {
  public:
   KeyFn(const SpaceFillingCurve& curve, const NNStretchOptions& options,
@@ -44,14 +48,12 @@ class KeyFn {
   std::unique_ptr<KeyCache> cache_;
 };
 
-}  // namespace
-
-NNStretchResult compute_nn_stretch(const SpaceFillingCurve& curve,
-                                   const NNStretchOptions& options) {
+// Scalar reference sweep: one pass over all cells, 2d+1 key lookups each.
+void scalar_sweep(const SpaceFillingCurve& curve,
+                  const NNStretchOptions& options, ThreadPool& pool,
+                  std::vector<Partial>& partials) {
   const Universe& u = curve.universe();
-  ThreadPool& pool = options.pool ? *options.pool : ThreadPool::shared();
   const KeyFn key(curve, options, pool);
-
   const index_t n = u.cell_count();
   const int d = u.dim();
   const index_t side = u.side();
@@ -65,9 +67,6 @@ NNStretchResult compute_nn_stretch(const SpaceFillingCurve& curve,
       s *= side;
     }
   }
-
-  const std::uint64_t chunks = chunk_count(n, options.grain);
-  std::vector<Partial> partials(chunks);
 
   parallel_for_chunks(pool, n, options.grain, [&](const ChunkRange& range) {
     Partial& part = partials[range.chunk_index];
@@ -127,6 +126,69 @@ NNStretchResult compute_nn_stretch(const SpaceFillingCurve& curve,
       }
     }
   });
+}
+
+// Slab sweep: each slab is batch-encoded once (plus halos); neighbor
+// distances are strided buffer passes.  Per-cell results are folded into the
+// *reduction* chunk grid — slab bodies are whole multiples of the grain, so
+// every chunk belongs to exactly one slab and the floating-point partials
+// match the scalar sweep bit for bit.
+void slab_sweep(const SpaceFillingCurve& curve, const NNStretchOptions& options,
+                ThreadPool& pool, std::vector<Partial>& partials) {
+  const Universe& u = curve.universe();
+  const int d = u.dim();
+  const std::uint64_t grain = options.grain;
+
+  for_each_key_slab(curve, pool, grain, [&](const KeySlab& slab) {
+    SlabNeighborStats stats;
+    accumulate_neighbor_stats(u, slab, stats);
+
+    // Λ_i is an exact integer sum, so it can land in any partial; use the
+    // slab's first chunk.
+    {
+      Partial& first = partials[slab.begin / grain];
+      for (int i = 0; i < d; ++i) {
+        first.lambda[static_cast<std::size_t>(i)] +=
+            stats.lambda[static_cast<std::size_t>(i)];
+      }
+    }
+
+    for (index_t chunk_begin = slab.begin; chunk_begin < slab.end;
+         chunk_begin += grain) {
+      Partial& part = partials[chunk_begin / grain];
+      const index_t chunk_end = std::min<index_t>(slab.end, chunk_begin + grain);
+      for (index_t id = chunk_begin; id < chunk_end; ++id) {
+        const std::size_t j = id - slab.begin;
+        const int degree = stats.degree[j];
+        if (degree == 0) continue;
+        const double cell_avg = static_cast<double>(stats.distance_sum[j]) /
+                                static_cast<double>(degree);
+        part.avg_sum += static_cast<long double>(cell_avg);
+        part.max_sum += static_cast<long double>(stats.distance_max[j]);
+        part.min_sum += static_cast<long double>(stats.distance_min[j]);
+        if (cell_avg < part.min_cell) part.min_cell = cell_avg;
+        if (cell_avg > part.max_cell) part.max_cell = cell_avg;
+      }
+    }
+  });
+}
+
+}  // namespace
+
+NNStretchResult compute_nn_stretch(const SpaceFillingCurve& curve,
+                                   const NNStretchOptions& options) {
+  const Universe& u = curve.universe();
+  ThreadPool& pool = options.pool ? *options.pool : ThreadPool::shared();
+  const index_t n = u.cell_count();
+  const int d = u.dim();
+
+  const std::uint64_t chunks = chunk_count(n, options.grain);
+  std::vector<Partial> partials(chunks);
+  if (options.engine == NNStretchEngine::kSlab) {
+    slab_sweep(curve, options, pool, partials);
+  } else {
+    scalar_sweep(curve, options, pool, partials);
+  }
 
   NNStretchResult result;
   result.n = n;

@@ -8,9 +8,13 @@
 //   Λ_i(π)    = Σ_{(α,β)∈G_i} ∆π(α,β)                 (§IV-B, unordered NN
 //               pairs differing in dimension i)
 //
-// The engine makes one parallel sweep over all cells, accumulating exact
-// 128-bit integer sums for the Λ_i and deterministic chunked long-double
-// sums for the per-cell averages (bit-identical across thread counts).
+// The engine streams the universe in row-major key slabs (sfc/metrics):
+// each slab is batch-encoded once and every neighbor distance is a strided
+// buffer difference, so exact metrics run in O(slab) memory with one encode
+// per cell.  Λ_i accumulate as exact 128-bit integers; the per-cell averages
+// use deterministic chunked long-double sums whose chunk grid depends only
+// on (n, grain), so results are bit-identical across thread counts and
+// across both engines.
 #pragma once
 
 #include <array>
@@ -23,10 +27,25 @@
 
 namespace sfc {
 
+enum class NNStretchEngine {
+  /// Slab-streamed engine (sfc/metrics): each cell's key is batch-encoded
+  /// once into reusable slab buffers and every neighbor difference is a flat
+  /// strided pass.  O(slab) memory at any universe size.
+  kSlab,
+  /// Reference path: per-cell key lookups, through a full KeyCache when the
+  /// universe fits under max_cache_cells and scalar virtual index_of calls
+  /// (2d+1 encodes per cell) above it.  Kept for the perf_metrics_scaling
+  /// baseline and the engine-equivalence tests; results are bit-identical to
+  /// the slab engine.
+  kScalar,
+};
+
 struct NNStretchOptions {
   /// Pool to run on; nullptr means ThreadPool::shared().
   ThreadPool* pool = nullptr;
-  /// Materialize a key table when n <= max_cache_cells (8 bytes/cell).
+  NNStretchEngine engine = NNStretchEngine::kSlab;
+  /// Scalar engine only: materialize a key table when n <= max_cache_cells
+  /// (8 bytes/cell).  The slab engine never builds an O(n) table.
   bool use_key_cache = true;
   index_t max_cache_cells = index_t{1} << 27;
   /// Cells per deterministic reduction chunk.

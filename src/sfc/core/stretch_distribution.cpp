@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "sfc/metrics/neighbor_stats.h"
+#include "sfc/metrics/slab_walker.h"
 #include "sfc/parallel/parallel_for.h"
 
 namespace sfc {
@@ -42,27 +44,22 @@ StretchDistribution compute_stretch_distribution(
   ThreadPool& pool = options.pool ? *options.pool : ThreadPool::shared();
   const index_t n = u.cell_count();
 
+  // One slab-streamed sweep (sfc/metrics): each cell's key is batch-encoded
+  // once and every neighbor distance is a strided buffer difference, instead
+  // of 2d+1 virtual encodes per cell.
   std::vector<double> averages(n), maxima(n), minima(n);
-  parallel_for(pool, n, [&](std::uint64_t id) {
-    const Point cell = u.from_row_major(id);
-    const index_t key = curve.index_of(cell);
-    std::uint64_t sum = 0;
-    index_t dmax = 0;
-    index_t dmin = std::numeric_limits<index_t>::max();
-    int degree = 0;
-    u.for_each_neighbor(cell, [&](const Point& q) {
-      const index_t qk = curve.index_of(q);
-      const index_t dist = key > qk ? key - qk : qk - key;
-      sum += dist;
-      dmax = std::max(dmax, dist);
-      dmin = std::min(dmin, dist);
-      ++degree;
-    });
-    averages[id] = degree > 0
-                       ? static_cast<double>(sum) / static_cast<double>(degree)
-                       : 0.0;
-    maxima[id] = static_cast<double>(degree > 0 ? dmax : 0);
-    minima[id] = static_cast<double>(degree > 0 ? dmin : 0);
+  for_each_key_slab(curve, pool, kDefaultGrain, [&](const KeySlab& slab) {
+    SlabNeighborStats stats;
+    accumulate_neighbor_stats(u, slab, stats);
+    for (index_t id = slab.begin; id < slab.end; ++id) {
+      const std::size_t j = id - slab.begin;
+      const int degree = stats.degree[j];
+      averages[id] = degree > 0 ? static_cast<double>(stats.distance_sum[j]) /
+                                      static_cast<double>(degree)
+                                : 0.0;
+      maxima[id] = static_cast<double>(degree > 0 ? stats.distance_max[j] : 0);
+      minima[id] = static_cast<double>(degree > 0 ? stats.distance_min[j] : 0);
+    }
   });
 
   StretchDistribution result;

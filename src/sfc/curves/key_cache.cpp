@@ -1,23 +1,12 @@
 #include "sfc/curves/key_cache.h"
 
-#include <span>
-
-#include "sfc/parallel/parallel_for.h"
+#include "sfc/metrics/slab_walker.h"
 
 namespace sfc {
 
 KeyCache::KeyCache(const SpaceFillingCurve& curve, ThreadPool& pool)
     : universe_(curve.universe()), keys_(universe_.cell_count()) {
-  parallel_for_chunks(
-      pool, universe_.cell_count(), kDefaultGrain, [&](const ChunkRange& range) {
-        const std::size_t len = range.end - range.begin;
-        std::vector<Point> cells(len);
-        for (std::size_t i = 0; i < len; ++i) {
-          cells[i] = universe_.from_row_major(range.begin + i);
-        }
-        curve.index_of_batch(
-            cells, std::span<index_t>(keys_.data() + range.begin, len));
-      });
+  build_key_table(curve, pool, keys_);
 }
 
 }  // namespace sfc

@@ -1,0 +1,45 @@
+// Per-cell neighbor statistics over one key slab.
+//
+// The NN-stretch engine and the per-cell stretch distributions both need, for
+// every cell α: Σ_{β∈N(α)} ∆π, max ∆π, min ∆π, and |N(α)|, plus the per-
+// dimension forward-pair sums Λ_i.  This kernel computes all of them for one
+// slab as 2d strided passes over the materialized key buffer — one forward
+// and one backward pass per dimension, each a flat |keys[j ± stride] -
+// keys[j]| loop over the maximal valid runs — instead of 2d key lookups per
+// cell.  All accumulators are exact integers, so pass order never perturbs
+// results.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sfc/common/int128.h"
+#include "sfc/common/types.h"
+#include "sfc/grid/universe.h"
+#include "sfc/metrics/slab_walker.h"
+
+namespace sfc {
+
+/// Per-cell accumulators for one slab body, indexed by id - slab.begin.
+/// accumulate_neighbor_stats assign()s every vector, discarding prior
+/// contents.
+struct SlabNeighborStats {
+  /// Σ over neighbors of ∆π(α,β); fits u64 because each cell has at most
+  /// 2·kMaxDim neighbors at distance < n <= 2^63.
+  std::vector<std::uint64_t> distance_sum;
+  std::vector<index_t> distance_max;
+  /// Min neighbor distance; all-ones when the cell has no neighbors.
+  std::vector<index_t> distance_min;
+  /// |N(α)| <= 2·kMaxDim, so one byte suffices.
+  std::vector<std::uint8_t> degree;
+  /// Λ_i: Σ of ∆π over the slab's forward pairs along each dimension (each
+  /// unordered NN pair owned by its lower endpoint, exactly once).
+  std::array<u128, kMaxDim> lambda{};
+};
+
+/// Fills `stats` for the body cells of `slab`.
+void accumulate_neighbor_stats(const Universe& u, const KeySlab& slab,
+                               SlabNeighborStats& stats);
+
+}  // namespace sfc

@@ -142,12 +142,6 @@ std::uint64_t ordered_bits(double value) {
                                    : (std::uint64_t{1} << 63));
 }
 
-double from_ordered_bits(std::uint64_t key) {
-  const std::uint64_t bits =
-      (key >> 63) != 0 ? (key ^ (std::uint64_t{1} << 63)) : ~key;
-  return std::bit_cast<double>(bits);
-}
-
 }  // namespace
 
 void radix_sort_keys(std::span<index_t> keys, const SortOptions& options) {
@@ -179,18 +173,16 @@ void radix_sort_pairs(std::span<KeyIndex128> items, const SortOptions& options) 
 
 void radix_sort_doubles(std::span<double> values, const SortOptions& options) {
   if (values.size() < kComparisonFallback) {
-    // Below the radix threshold the bit-mapping round trip buys nothing.
+    // Below the radix threshold the bit-mapping detour buys nothing.
     std::sort(values.begin(), values.end());
     return;
   }
-  std::vector<std::uint64_t> keys(values.size());
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    keys[i] = ordered_bits(values[i]);
-  }
-  radix_sort_keys(std::span<index_t>(keys), options);
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    values[i] = from_ordered_bits(keys[i]);
-  }
+  // The doubles themselves are the sort records: each digit pass recomputes
+  // the cheap order-preserving bit transform instead of materializing a
+  // temporary u64 key buffer, so the only allocation is the sorter's own
+  // ping-pong scratch.
+  lsd_radix_sort(values, [](double value) { return ordered_bits(value); },
+                 options, nullptr);
 }
 
 std::vector<KeyIndex> sort_by_curve_key(const SpaceFillingCurve& curve,

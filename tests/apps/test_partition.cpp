@@ -120,6 +120,49 @@ TEST(Partition, EdgeCutAgreesAcrossFragmentModes) {
   }
 }
 
+TEST(Partition, InvalidPartsThrowsRecoverableError) {
+  const Universe u = Universe::pow2(2, 3);
+  const CurvePtr z = make_curve(CurveFamily::kZ, u);
+  EXPECT_THROW(evaluate_partition(*z, 0), PartitionArgumentError);
+  EXPECT_THROW(evaluate_partition(*z, -5), PartitionArgumentError);
+  EXPECT_THROW(evaluate_partition(*z, 65), PartitionArgumentError);
+  try {
+    evaluate_partition(*z, 0);
+    FAIL() << "expected PartitionArgumentError";
+  } catch (const PartitionArgumentError& error) {
+    EXPECT_EQ(error.parts(), 0);
+    EXPECT_EQ(error.cell_count(), u.cell_count());
+    EXPECT_NE(std::string(error.what()).find("parts = 0"), std::string::npos);
+  }
+  // n parts (one cell each) is the extreme *valid* configuration.
+  EXPECT_NO_THROW(evaluate_partition(*z, 64));
+}
+
+TEST(Partition, EdgeCutMatchesBruteForce3D) {
+  // Reference count straight from the definition: forward NN pairs whose
+  // endpoints land in different contiguous key blocks.
+  const Universe u = Universe::pow2(3, 2);
+  for (const CurveFamily family : {CurveFamily::kZ, CurveFamily::kHilbert}) {
+    const CurvePtr curve = make_curve(family, u);
+    for (const int parts : {2, 3, 8}) {
+      index_t expected = 0;
+      for (index_t id = 0; id < u.cell_count(); ++id) {
+        const Point cell = u.from_row_major(id);
+        const int cell_block = partition_block(*curve, parts, cell);
+        u.for_each_forward_neighbor(cell, [&](const Point& q, int /*dim*/) {
+          if (partition_block(*curve, parts, q) != cell_block) ++expected;
+        });
+      }
+      PartitionOptions slab_mode;
+      slab_mode.count_fragments = false;
+      EXPECT_EQ(evaluate_partition(*curve, parts).edge_cut, expected)
+          << curve->name() << " parts=" << parts;
+      EXPECT_EQ(evaluate_partition(*curve, parts, slab_mode).edge_cut, expected)
+          << curve->name() << " parts=" << parts;
+    }
+  }
+}
+
 TEST(Partition, FragmentCountingCanBeDisabled) {
   const Universe u = Universe::pow2(2, 3);
   const CurvePtr random = make_curve(CurveFamily::kRandom, u, 4);

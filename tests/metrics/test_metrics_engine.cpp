@@ -1,0 +1,143 @@
+// End-to-end equivalence of the slab-streamed metrics engine with the seed
+// scalar reference path, straddling slab boundaries, the key-cache ceiling,
+// and thread counts.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "sfc/core/nn_stretch.h"
+#include "sfc/core/stretch_distribution.h"
+#include "sfc/curves/curve_factory.h"
+#include "sfc/parallel/thread_pool.h"
+
+namespace sfc {
+namespace {
+
+// Every floating-point field must be bit-identical between the engines, so
+// plain == is the right comparison.
+void expect_identical(const NNStretchResult& a, const NNStretchResult& b,
+                      const std::string& context) {
+  EXPECT_EQ(a.average_average, b.average_average) << context;
+  EXPECT_EQ(a.average_maximum, b.average_maximum) << context;
+  EXPECT_EQ(a.average_minimum, b.average_minimum) << context;
+  EXPECT_EQ(a.min_cell_stretch, b.min_cell_stretch) << context;
+  EXPECT_EQ(a.max_cell_stretch, b.max_cell_stretch) << context;
+  EXPECT_EQ(a.lemma3_lower, b.lemma3_lower) << context;
+  EXPECT_EQ(a.lemma3_upper, b.lemma3_upper) << context;
+  EXPECT_TRUE(a.nn_distance_total == b.nn_distance_total) << context;
+  for (std::size_t i = 0; i < a.lambda.size(); ++i) {
+    EXPECT_TRUE(a.lambda[i] == b.lambda[i]) << context << " lambda " << i;
+  }
+}
+
+NNStretchResult run(const SpaceFillingCurve& curve, NNStretchEngine engine,
+                    std::uint64_t grain, ThreadPool* pool = nullptr,
+                    index_t max_cache_cells = index_t{1} << 27) {
+  NNStretchOptions options;
+  options.engine = engine;
+  options.grain = grain;
+  options.pool = pool;
+  options.max_cache_cells = max_cache_cells;
+  return compute_nn_stretch(curve, options);
+}
+
+TEST(MetricsEngine, SlabMatchesScalarEveryFamily2D) {
+  // 1024 cells with grain 32: several slabs, several reduction chunks per
+  // slab.
+  const Universe u = Universe::pow2(2, 5);
+  for (CurveFamily family : all_curve_families()) {
+    const CurvePtr curve = make_curve(family, u, 11);
+    for (const std::uint64_t grain : {std::uint64_t{32}, std::uint64_t{1} << 16}) {
+      expect_identical(run(*curve, NNStretchEngine::kSlab, grain),
+                       run(*curve, NNStretchEngine::kScalar, grain),
+                       family_name(family) + " grain " + std::to_string(grain));
+    }
+  }
+}
+
+TEST(MetricsEngine, SlabMatchesScalarEveryFamily3D) {
+  // 4096 cells, halo 256: cross-plane neighbors straddle slab boundaries at
+  // grain 256.
+  const Universe u = Universe::pow2(3, 4);
+  for (CurveFamily family : all_curve_families()) {
+    const CurvePtr curve = make_curve(family, u, 7);
+    expect_identical(run(*curve, NNStretchEngine::kSlab, 256),
+                     run(*curve, NNStretchEngine::kScalar, 256),
+                     family_name(family) + " 3d");
+  }
+}
+
+TEST(MetricsEngine, SlabMatchesScalarAboveTheCacheCeiling) {
+  // max_cache_cells = 0 forces the scalar engine onto the seed fallback
+  // (2d+1 virtual encodes per cell) — the configuration the slab engine
+  // replaces on huge universes.
+  const Universe u = Universe::pow2(2, 5);
+  const CurvePtr h = make_curve(CurveFamily::kHilbert, u);
+  expect_identical(run(*h, NNStretchEngine::kSlab, 64),
+                   run(*h, NNStretchEngine::kScalar, 64, nullptr,
+                       /*max_cache_cells=*/0),
+                   "scalar fallback");
+}
+
+TEST(MetricsEngine, SlabDeterministicAcrossThreadCounts) {
+  const Universe u2 = Universe::pow2(2, 5);
+  const Universe u3 = Universe::pow2(3, 3);
+  ThreadPool one(1), two(2), eight(8);
+  for (const Universe* u : {&u2, &u3}) {
+    const CurvePtr z = make_curve(CurveFamily::kZ, *u);
+    const NNStretchResult a = run(*z, NNStretchEngine::kSlab, 64, &one);
+    const NNStretchResult b = run(*z, NNStretchEngine::kSlab, 64, &two);
+    const NNStretchResult c = run(*z, NNStretchEngine::kSlab, 64, &eight);
+    expect_identical(a, b, "1 vs 2 threads");
+    expect_identical(a, c, "1 vs 8 threads");
+  }
+}
+
+TEST(MetricsEngine, SlabMatchesPerCellHelpers3D) {
+  const Universe u = Universe::pow2(3, 2);
+  const CurvePtr h = make_curve(CurveFamily::kHilbert, u);
+  long double avg = 0.0L, max = 0.0L;
+  for (index_t id = 0; id < u.cell_count(); ++id) {
+    const Point cell = u.from_row_major(id);
+    avg += static_cast<long double>(cell_average_stretch(*h, cell));
+    max += static_cast<long double>(cell_maximum_stretch(*h, cell));
+  }
+  const NNStretchResult r = compute_nn_stretch(*h);
+  const auto n = static_cast<long double>(u.cell_count());
+  EXPECT_NEAR(static_cast<double>(avg / n), r.average_average, 1e-12);
+  EXPECT_NEAR(static_cast<double>(max / n), r.average_maximum, 1e-12);
+}
+
+TEST(MetricsEngine, StretchDistributionMatchesPerCellHelpers) {
+  for (const Universe& u : {Universe::pow2(2, 4), Universe::pow2(3, 2)}) {
+    const CurvePtr z = make_curve(CurveFamily::kZ, u);
+    const StretchDistribution dist = compute_stretch_distribution(*z);
+
+    long double avg_sum = 0.0L;
+    double avg_max = 0.0;
+    for (index_t id = 0; id < u.cell_count(); ++id) {
+      const double cell = cell_average_stretch(*z, u.from_row_major(id));
+      avg_sum += static_cast<long double>(cell);
+      avg_max = std::max(avg_max, cell);
+    }
+    EXPECT_NEAR(
+        dist.cell_average.mean,
+        static_cast<double>(avg_sum / static_cast<long double>(u.cell_count())),
+        1e-12);
+    EXPECT_DOUBLE_EQ(dist.cell_average.max, avg_max);
+    // The distribution mean of δavg is Davg by definition.
+    const NNStretchResult r = compute_nn_stretch(*z);
+    EXPECT_NEAR(dist.cell_average.mean, r.average_average, 1e-12);
+    EXPECT_NEAR(dist.cell_maximum.mean, r.average_maximum, 1e-12);
+    EXPECT_NEAR(dist.cell_minimum.mean, r.average_minimum, 1e-12);
+  }
+}
+
+TEST(MetricsEngine, DefaultOptionsUseTheSlabEngine) {
+  const NNStretchOptions options;
+  EXPECT_EQ(options.engine, NNStretchEngine::kSlab);
+}
+
+}  // namespace
+}  // namespace sfc

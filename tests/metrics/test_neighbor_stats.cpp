@@ -1,0 +1,139 @@
+#include "sfc/metrics/neighbor_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <mutex>
+#include <vector>
+
+#include "sfc/curves/curve_factory.h"
+#include "sfc/metrics/slab_walker.h"
+#include "sfc/parallel/thread_pool.h"
+
+namespace sfc {
+namespace {
+
+struct CellReference {
+  std::uint64_t sum = 0;
+  index_t max = 0;
+  index_t min = std::numeric_limits<index_t>::max();
+  int degree = 0;
+};
+
+// Brute force per-cell neighbor statistics straight from the definitions.
+std::vector<CellReference> brute_force_cells(const SpaceFillingCurve& curve) {
+  const Universe& u = curve.universe();
+  std::vector<CellReference> cells(u.cell_count());
+  for (index_t id = 0; id < u.cell_count(); ++id) {
+    const Point alpha = u.from_row_major(id);
+    CellReference& ref = cells[id];
+    u.for_each_neighbor(alpha, [&](const Point& beta) {
+      const index_t dist = curve.curve_distance(alpha, beta);
+      ref.sum += dist;
+      ref.max = std::max(ref.max, dist);
+      ref.min = std::min(ref.min, dist);
+      ++ref.degree;
+    });
+  }
+  return cells;
+}
+
+std::array<u128, kMaxDim> brute_force_lambda(const SpaceFillingCurve& curve) {
+  const Universe& u = curve.universe();
+  std::array<u128, kMaxDim> lambda{};
+  for (index_t id = 0; id < u.cell_count(); ++id) {
+    const Point alpha = u.from_row_major(id);
+    u.for_each_forward_neighbor(alpha, [&](const Point& beta, int dim) {
+      lambda[static_cast<std::size_t>(dim)] += curve.curve_distance(alpha, beta);
+    });
+  }
+  return lambda;
+}
+
+// Runs the slab kernel over the whole universe with the given grain and
+// checks every per-cell statistic and every Λ_i against brute force.
+void check_curve(const SpaceFillingCurve& curve, std::uint64_t grain) {
+  const Universe& u = curve.universe();
+  ThreadPool pool(2);
+  const std::vector<CellReference> expected = brute_force_cells(curve);
+  const std::array<u128, kMaxDim> expected_lambda = brute_force_lambda(curve);
+
+  std::vector<CellReference> actual(u.cell_count());
+  std::array<u128, kMaxDim> lambda{};
+  std::mutex lambda_mutex;
+  for_each_key_slab(curve, pool, grain, [&](const KeySlab& slab) {
+    SlabNeighborStats stats;
+    accumulate_neighbor_stats(u, slab, stats);
+    for (index_t id = slab.begin; id < slab.end; ++id) {
+      const std::size_t j = id - slab.begin;
+      actual[id] = {stats.distance_sum[j], stats.distance_max[j],
+                    stats.distance_min[j], stats.degree[j]};
+    }
+    const std::lock_guard<std::mutex> lock(lambda_mutex);
+    for (std::size_t i = 0; i < lambda.size(); ++i) lambda[i] += stats.lambda[i];
+  });
+
+  for (index_t id = 0; id < u.cell_count(); ++id) {
+    EXPECT_EQ(actual[id].sum, expected[id].sum) << curve.name() << " id=" << id;
+    EXPECT_EQ(actual[id].max, expected[id].max) << curve.name() << " id=" << id;
+    EXPECT_EQ(actual[id].degree, expected[id].degree)
+        << curve.name() << " id=" << id;
+    if (expected[id].degree > 0) {
+      EXPECT_EQ(actual[id].min, expected[id].min)
+          << curve.name() << " id=" << id;
+    }
+    EXPECT_EQ(actual[id].degree, u.neighbor_count(u.from_row_major(id)))
+        << curve.name() << " id=" << id;
+  }
+  for (std::size_t i = 0; i < lambda.size(); ++i) {
+    EXPECT_TRUE(lambda[i] == expected_lambda[i])
+        << curve.name() << " lambda " << i;
+  }
+}
+
+TEST(NeighborStats, MatchesBruteForceEveryFamily2D) {
+  const Universe u = Universe::pow2(2, 4);  // 256 cells
+  for (CurveFamily family : all_curve_families()) {
+    const CurvePtr curve = make_curve(family, u, 11);
+    check_curve(*curve, /*grain=*/16);  // slab body 128 -> two slabs
+    check_curve(*curve, /*grain=*/std::uint64_t{1} << 16);  // one slab
+  }
+}
+
+TEST(NeighborStats, MatchesBruteForceEveryFamily3D) {
+  const Universe u = Universe::pow2(3, 2);  // 64 cells, halo 16
+  for (CurveFamily family : all_curve_families()) {
+    const CurvePtr curve = make_curve(family, u, 13);
+    check_curve(*curve, /*grain=*/8);
+  }
+}
+
+TEST(NeighborStats, MultiSlab3DMatchesBruteForce) {
+  // 4096 cells, halo 256: with grain 256 the slab body is 2048 cells, so
+  // cross-plane neighbors straddle the slab boundary through the halos.
+  const Universe u = Universe::pow2(3, 4);
+  const CurvePtr h = make_curve(CurveFamily::kHilbert, u);
+  check_curve(*h, /*grain=*/256);
+}
+
+TEST(NeighborStats, NonPowerOfTwoSideMatchesBruteForce) {
+  const Universe u(2, 6);
+  const CurvePtr s = make_curve(CurveFamily::kSimple, u);
+  check_curve(*s, /*grain=*/8);
+}
+
+TEST(NeighborStats, SingleCellUniverseHasNoNeighbors) {
+  const Universe u(2, 1);
+  const CurvePtr s = make_curve(CurveFamily::kSimple, u);
+  ThreadPool pool(1);
+  for_each_key_slab(*s, pool, 16, [&](const KeySlab& slab) {
+    SlabNeighborStats stats;
+    accumulate_neighbor_stats(u, slab, stats);
+    ASSERT_EQ(stats.degree.size(), 1u);
+    EXPECT_EQ(stats.degree[0], 0);
+    EXPECT_EQ(stats.distance_sum[0], 0u);
+  });
+}
+
+}  // namespace
+}  // namespace sfc

@@ -1,0 +1,167 @@
+#include "sfc/metrics/slab_walker.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+#include "sfc/curves/curve_factory.h"
+#include "sfc/curves/simple_curve.h"
+#include "sfc/parallel/thread_pool.h"
+
+namespace sfc {
+namespace {
+
+TEST(SlabWalker, EncodeRowMajorRangeMatchesIndexOf) {
+  // Non-power-of-two side exercises the generic coordinate walk.
+  const Universe u(2, 6);
+  const SimpleCurve s(u);
+  for (const index_t begin : {index_t{0}, index_t{5}, index_t{17}}) {
+    std::vector<index_t> keys(u.cell_count() - begin);
+    encode_row_major_range(s, begin, keys);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      EXPECT_EQ(keys[i], s.index_of(u.from_row_major(begin + i)))
+          << "begin=" << begin << " i=" << i;
+    }
+  }
+}
+
+TEST(SlabWalker, EncodeRowMajorRangeCrossesSliceBoundaries) {
+  // 16384 cells from an odd offset spans several 4096-point encode slices.
+  const Universe u = Universe::pow2(2, 7);
+  const CurvePtr h = make_curve(CurveFamily::kHilbert, u);
+  const index_t begin = 3;
+  std::vector<index_t> keys(u.cell_count() - begin);
+  encode_row_major_range(*h, begin, keys);
+  for (const index_t probe : {index_t{0}, index_t{4092}, index_t{4093},
+                              index_t{8189}, keys.size() - 1}) {
+    EXPECT_EQ(keys[probe], h->index_of(u.from_row_major(begin + probe)))
+        << "probe=" << probe;
+  }
+}
+
+TEST(SlabWalker, BuildKeyTableMatchesIndexOf) {
+  const Universe u = Universe::pow2(3, 2);
+  const CurvePtr z = make_curve(CurveFamily::kZ, u);
+  ThreadPool pool(2);
+  std::vector<index_t> keys(u.cell_count());
+  build_key_table(*z, pool, keys, 16);
+  for (index_t id = 0; id < u.cell_count(); ++id) {
+    EXPECT_EQ(keys[id], z->index_of(u.from_row_major(id))) << "id=" << id;
+  }
+}
+
+TEST(SlabWalker, DimStrideAndHalo) {
+  const Universe u(3, 5);
+  EXPECT_EQ(dim_stride(u, 0), 1u);
+  EXPECT_EQ(dim_stride(u, 1), 5u);
+  EXPECT_EQ(dim_stride(u, 2), 25u);
+  EXPECT_EQ(slab_halo(u), 25u);  // one plane of the highest dimension
+  const Universe line(1, 7);
+  EXPECT_EQ(slab_halo(line), 1u);
+}
+
+TEST(SlabWalker, SlabGrainAlignsWithReductionGrain) {
+  const Universe u = Universe::pow2(3, 4);  // halo = 256
+  for (const std::uint64_t grain : {std::uint64_t{64}, std::uint64_t{100},
+                                    std::uint64_t{1} << 16}) {
+    const std::uint64_t slab = slab_grain(u, grain);
+    EXPECT_EQ(slab % grain, 0u) << "grain=" << grain;
+    // Body never smaller than 8 halos (bounds the halo re-encode overhead)
+    // nor smaller than one reduction chunk.
+    EXPECT_GE(slab, 8 * slab_halo(u)) << "grain=" << grain;
+    EXPECT_GE(slab, grain);
+  }
+}
+
+// Collects run ids and checks they are exactly the cells whose neighbor
+// along `dim` exists in the given direction.
+void check_runs(const Universe& u, int dim, bool forward) {
+  std::vector<bool> in_run(u.cell_count(), false);
+  const auto record = [&](index_t begin, index_t end) {
+    for (index_t id = begin; id < end; ++id) {
+      EXPECT_FALSE(in_run[id]) << "id " << id << " visited twice";
+      in_run[id] = true;
+    }
+  };
+  if (forward) {
+    for_each_forward_run(u, 0, u.cell_count(), dim, record);
+  } else {
+    for_each_backward_run(u, 0, u.cell_count(), dim, record);
+  }
+  for (index_t id = 0; id < u.cell_count(); ++id) {
+    const Point cell = u.from_row_major(id);
+    const bool expected = forward ? cell[dim] + 1 < u.side() : cell[dim] > 0;
+    EXPECT_EQ(in_run[id], expected)
+        << "dim=" << dim << " forward=" << forward << " id=" << id;
+  }
+}
+
+TEST(SlabWalker, RunsEnumerateExactlyTheValidNeighbors) {
+  for (const Universe& u : {Universe(3, 4), Universe(2, 5), Universe(1, 3)}) {
+    for (int dim = 0; dim < u.dim(); ++dim) {
+      check_runs(u, dim, /*forward=*/true);
+      check_runs(u, dim, /*forward=*/false);
+    }
+  }
+}
+
+TEST(SlabWalker, RunsAreEmptyOnUnitSide) {
+  const Universe u(2, 1);
+  int calls = 0;
+  for_each_forward_run(u, 0, u.cell_count(), 0,
+                       [&](index_t, index_t) { ++calls; });
+  for_each_backward_run(u, 0, u.cell_count(), 1,
+                        [&](index_t, index_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(SlabWalker, SlabBodiesPartitionUniverseAndBuffersCoverHalos) {
+  const Universe u = Universe::pow2(3, 4);  // 4096 cells, halo 256
+  const CurvePtr h = make_curve(CurveFamily::kHilbert, u);
+  ThreadPool pool(4);
+  const std::uint64_t grain = 256;  // slab body = 2048 -> two slabs
+
+  struct SlabRecord {
+    index_t begin, end, buffer_begin, buffer_end;
+    index_t first_key, last_key;
+    std::uint64_t slab_index;
+  };
+  std::mutex mutex;
+  std::vector<SlabRecord> seen;
+  for_each_key_slab(*h, pool, grain, [&](const KeySlab& slab) {
+    SlabRecord record{slab.begin,      slab.end,
+                      slab.buffer_begin, slab.buffer_end,
+                      slab.key_at(slab.buffer_begin),
+                      slab.key_at(slab.buffer_end - 1),
+                      slab.slab_index};
+    const std::lock_guard<std::mutex> lock(mutex);
+    seen.push_back(record);
+  });
+
+  ASSERT_EQ(seen.size(), slab_count(u, grain));
+  ASSERT_GT(seen.size(), 1u);  // the size was chosen to straddle slabs
+  std::sort(seen.begin(), seen.end(),
+            [](const SlabRecord& a, const SlabRecord& b) {
+              return a.begin < b.begin;
+            });
+  const index_t halo = slab_halo(u);
+  index_t expected_begin = 0;
+  for (const SlabRecord& slab : seen) {
+    EXPECT_EQ(slab.begin, expected_begin);  // contiguous partition of [0, n)
+    expected_begin = slab.end;
+    EXPECT_EQ(slab.begin % slab_grain(u, grain), 0u);
+    // Buffer covers one halo on each side, clamped to the universe.
+    EXPECT_EQ(slab.buffer_begin, slab.begin > halo ? slab.begin - halo : 0);
+    EXPECT_EQ(slab.buffer_end,
+              std::min<index_t>(u.cell_count(), slab.end + halo));
+    EXPECT_EQ(slab.first_key, h->index_of(u.from_row_major(slab.buffer_begin)));
+    EXPECT_EQ(slab.last_key,
+              h->index_of(u.from_row_major(slab.buffer_end - 1)));
+  }
+  EXPECT_EQ(expected_begin, u.cell_count());
+}
+
+}  // namespace
+}  // namespace sfc

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Aggregate Google Benchmark JSON artifacts into one perf-trajectory table.
+
+CI uploads one BENCH_*.json per bench run (encode/decode, sort, metrics
+scaling, nightly large-scale).  This tool flattens any mix of those files —
+or directories of them, as produced by `gh run download` — into a single
+table, so throughput can be tracked across commits and scales:
+
+  bench_trajectory.py BENCH_metrics_scaling.json BENCH_sort_keys.json
+  bench_trajectory.py downloaded-artifacts/ --format md
+  bench_trajectory.py artifacts/ --filter SlabEngine --format csv
+
+When a file contains repetition aggregates, only the `_mean` rows are kept
+(pass --all-rows to keep everything); plain single-run files keep all rows.
+"""
+import argparse
+import json
+import sys
+from pathlib import Path
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def collect_files(paths):
+    """Expands files and directories into a sorted list of bench JSONs."""
+    files = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("BENCH_*.json")))
+        elif path.exists():
+            files.append(path)
+        else:
+            raise SystemExit(f"no such file or directory: {raw}")
+    if not files:
+        raise SystemExit("no BENCH_*.json files found")
+    return files
+
+
+def rows_from_report(path, keep_all):
+    with open(path, encoding="utf-8") as fh:
+        report = json.load(fh)
+    date = report.get("context", {}).get("date", "")
+    benches = report.get("benchmarks", [])
+    has_aggregates = any(b.get("run_type") == "aggregate" for b in benches)
+    rows = []
+    for bench in benches:
+        if has_aggregates and not keep_all:
+            if bench.get("aggregate_name") != "mean":
+                continue
+        elif bench.get("run_type") == "aggregate" and bench.get("aggregate_name") in (
+            "median",
+            "stddev",
+            "cv",
+        ):
+            continue
+        time_ns = float(bench.get("real_time", 0.0)) * TIME_UNIT_NS.get(
+            bench.get("time_unit", "ns"), 1.0
+        )
+        rows.append(
+            {
+                "source": path.name,
+                "date": date[:19],
+                "benchmark": bench.get("name", "?"),
+                "real_time_ms": time_ns / 1e6,
+                "items_per_second": float(bench.get("items_per_second", 0.0)),
+            }
+        )
+    return rows
+
+
+def human_rate(value):
+    for scale, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if value >= scale:
+            return f"{value / scale:.2f}{suffix}/s"
+    return f"{value:.0f}/s" if value > 0 else "-"
+
+
+def emit(rows, fmt, out):
+    header = ("source", "date", "benchmark", "real_time_ms", "items_per_second")
+    if fmt == "csv":
+        print(",".join(header), file=out)
+        for row in rows:
+            print(
+                f'{row["source"]},{row["date"]},{row["benchmark"]},'
+                f'{row["real_time_ms"]:.3f},{row["items_per_second"]:.0f}',
+                file=out,
+            )
+        return
+    # Markdown / aligned text: humanized throughput column.
+    table = [
+        (
+            row["source"],
+            row["date"],
+            row["benchmark"],
+            f'{row["real_time_ms"]:.2f}',
+            human_rate(row["items_per_second"]),
+        )
+        for row in rows
+    ]
+    widths = [
+        max(len(header[col]), max((len(row[col]) for row in table), default=0))
+        for col in range(len(header))
+    ]
+    if fmt == "md":
+        print("| " + " | ".join(h.ljust(w) for h, w in zip(header, widths)) + " |", file=out)
+        print("|" + "|".join("-" * (w + 2) for w in widths) + "|", file=out)
+        for row in table:
+            print("| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |", file=out)
+    else:
+        print("  ".join(h.ljust(w) for h, w in zip(header, widths)), file=out)
+        for row in table:
+            print("  ".join(c.ljust(w) for c, w in zip(row, widths)), file=out)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="+", help="BENCH_*.json files or directories")
+    parser.add_argument("--format", choices=("table", "md", "csv"), default="table")
+    parser.add_argument(
+        "--filter", default="", help="keep only benchmarks whose name contains this"
+    )
+    parser.add_argument(
+        "--all-rows",
+        action="store_true",
+        help="keep every repetition/aggregate row, not just the means",
+    )
+    args = parser.parse_args()
+
+    rows = []
+    for path in collect_files(args.paths):
+        rows.extend(rows_from_report(path, args.all_rows))
+    if args.filter:
+        rows = [row for row in rows if args.filter in row["benchmark"]]
+    if not rows:
+        raise SystemExit("no benchmark rows matched")
+    rows.sort(key=lambda row: (row["source"], row["benchmark"]))
+    emit(rows, args.format, sys.stdout)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

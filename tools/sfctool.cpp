@@ -201,8 +201,12 @@ int cmd_partition(const cli::Args& args) {
       build_curve(curve_name, static_cast<int>(*dim), static_cast<int>(*bits),
                   1, &error);
   if (!curve) return usage(error);
-  const PartitionQuality q =
-      evaluate_partition(*curve, static_cast<int>(*parts));
+  PartitionQuality q;
+  try {
+    q = evaluate_partition(*curve, static_cast<int>(*parts));
+  } catch (const PartitionArgumentError& parts_error) {
+    return usage(parts_error.what());
+  }
   std::cout << "curve " << curve->name() << ", P=" << q.parts << ": edge cut "
             << q.edge_cut << " (" << q.cut_fraction * 100 << "% of NN pairs), "
             << "imbalance " << q.imbalance << ", fragmented blocks "
