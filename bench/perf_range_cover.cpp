@@ -1,0 +1,138 @@
+// Microbenchmarks: the hierarchical box→key-range cover engine (sfc/ranges)
+// against the slab-streamed enumeration path it supersedes.
+//
+// CI gate (tools/check_bench_speedup.py): the cover engine must be >= 10x
+// the enumeration path on 2D Hilbert boxes, at extent 64 (4096 cells) and at
+// extent 1024 (1M cells).  Enumeration is O(volume · log volume) with an
+// O(volume) key buffer; the cover descent is O(runs · log side) with O(runs)
+// memory, so the gap widens without bound as boxes grow.
+//
+// SFC_SCALE=large (the nightly job) additionally runs the cover engine on a
+// 2^28-side universe with extent-2^20 boxes — 2^40 cells per box, *far*
+// above enumeration's memory ceiling (the 8-TiB key buffer alone is
+// unbuildable), demonstrating the output-sensitive path is the only one
+// that scales.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_common.h"
+#include "sfc/apps/range_query.h"
+#include "sfc/curves/curve_factory.h"
+#include "sfc/grid/box.h"
+#include "sfc/ranges/range_cover.h"
+#include "sfc/rng/sampling.h"
+
+namespace {
+
+using namespace sfc;
+
+/// Deterministic batch of query boxes of the given extent, shared by both
+/// engines so they process identical inputs.
+std::vector<Box> query_boxes(const Universe& u, coord_t extent, int count,
+                             std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Box> boxes;
+  boxes.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) boxes.push_back(random_box(u, extent, rng));
+  return boxes;
+}
+
+void BM_RunCountEnumeration(benchmark::State& state, CurveFamily family) {
+  const Universe u = Universe::pow2(2, 12);  // 4096^2 universe
+  const CurvePtr curve = make_curve(family, u);
+  const coord_t extent = static_cast<coord_t>(state.range(0));
+  const std::vector<Box> boxes = query_boxes(u, extent, 4, 99);
+  std::size_t at = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        count_key_runs(*curve, boxes[at], RunCountEngine::kEnumeration));
+    at = (at + 1) % boxes.size();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(boxes[0].cell_count()));
+}
+
+void BM_RunCountCover(benchmark::State& state, CurveFamily family) {
+  const Universe u = Universe::pow2(2, 12);
+  const CurvePtr curve = make_curve(family, u);
+  const coord_t extent = static_cast<coord_t>(state.range(0));
+  const std::vector<Box> boxes = query_boxes(u, extent, 4, 99);
+  std::size_t at = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        count_key_runs(*curve, boxes[at], RunCountEngine::kCover));
+    at = (at + 1) % boxes.size();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(boxes[0].cell_count()));
+}
+
+/// Interval-table materialization (what sfctool cover / an index scan uses),
+/// not just the run count.
+void BM_CoverIntervals(benchmark::State& state, CurveFamily family) {
+  const Universe u = Universe::pow2(2, 12);
+  const CurvePtr curve = make_curve(family, u);
+  const RangeCoverEngine engine(*curve);
+  const coord_t extent = static_cast<coord_t>(state.range(0));
+  const std::vector<Box> boxes = query_boxes(u, extent, 4, 99);
+  std::size_t at = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.cover(boxes[at]));
+    at = (at + 1) % boxes.size();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(boxes[0].cell_count()));
+}
+
+/// Nightly-scale: universes where a box holds 2^40 cells and enumeration is
+/// impossible (its key buffer alone would be 8 TiB).  items == cells covered,
+/// so throughput shows the output-sensitive engine "processing" trillions of
+/// cells per second.
+void BM_CoverHugeUniverse(benchmark::State& state) {
+  const Universe u = Universe::pow2(2, static_cast<int>(state.range(0)));
+  const CurvePtr h = make_curve(CurveFamily::kHilbert, u);
+  const RangeCoverEngine engine(*h);
+  const coord_t extent = u.side() >> 8;  // extent 2^20 at side 2^28
+  const std::vector<Box> boxes = query_boxes(u, extent, 4, 99);
+  std::size_t at = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.cover(boxes[at]));
+    at = (at + 1) % boxes.size();
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(boxes[0].cell_count()));
+}
+
+void HugeScaleArgs(benchmark::internal::Benchmark* b) {
+  b->Arg(20);  // side 2^20: extent-4096 boxes, 16M cells each
+  if (sfc::bench::scale_from_env() == sfc::bench::Scale::kLarge) {
+    b->Arg(28);  // side 2^28: extent-2^20 boxes, 2^40 cells each
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_RunCountEnumeration, hilbert, CurveFamily::kHilbert)
+    ->Arg(64)
+    ->Arg(1024)
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_RunCountCover, hilbert, CurveFamily::kHilbert)
+    ->Arg(64)
+    ->Arg(1024)
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_RunCountEnumeration, z, CurveFamily::kZ)
+    ->Arg(64)
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_RunCountCover, z, CurveFamily::kZ)
+    ->Arg(64)
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_CoverIntervals, hilbert, CurveFamily::kHilbert)
+    ->Arg(64)
+    ->Arg(1024)
+    ->UseRealTime();
+BENCHMARK(BM_CoverHugeUniverse)->Apply(HugeScaleArgs)->UseRealTime();
+
+BENCHMARK_MAIN();

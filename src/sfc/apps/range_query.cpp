@@ -1,59 +1,92 @@
 #include "sfc/apps/range_query.h"
 
-#include <array>
-#include <span>
-#include <vector>
+#include <algorithm>
+#include <cmath>
 
+#include "sfc/common/int128.h"
 #include "sfc/common/math.h"
-#include "sfc/sort/radix_sort.h"
+#include "sfc/parallel/parallel_for.h"
+#include "sfc/ranges/range_cover.h"
+#include "sfc/rng/splitmix64.h"
 
 namespace sfc {
 
-index_t count_key_runs(const SpaceFillingCurve& curve, const Box& box) {
-  // Batch-encode in fixed-size slices while walking the box, so peak memory
-  // stays one key per cell rather than a materialized Point array.
-  std::vector<index_t> keys;
-  keys.reserve(box.cell_count());
-  std::array<Point, 1024> cell_buf;
-  std::size_t pending = 0;
-  auto flush = [&] {
-    const std::size_t at = keys.size();
-    keys.resize(at + pending);
-    curve.index_of_batch(std::span<const Point>(cell_buf.data(), pending),
-                         std::span<index_t>(keys.data() + at, pending));
-    pending = 0;
-  };
-  box.for_each_cell([&](const Point& cell) {
-    cell_buf[pending++] = cell;
-    if (pending == cell_buf.size()) flush();
-  });
-  if (pending > 0) flush();
-  if (keys.empty()) return 0;
-  radix_sort_keys(keys);
-  index_t runs = 1;
-  for (std::size_t i = 1; i < keys.size(); ++i) {
-    if (keys[i] != keys[i - 1] + 1) ++runs;
+index_t count_key_runs_enumeration(const SpaceFillingCurve& curve,
+                                   const Box& box) {
+  // The run count is exactly the number of merged intervals the streaming
+  // enumeration produces (sfc/ranges owns the shared slice-encode loop).
+  return static_cast<index_t>(cover_by_enumeration(curve, box).size());
+}
+
+index_t count_key_runs(const SpaceFillingCurve& curve, const Box& box,
+                       RunCountEngine engine) {
+  switch (engine) {
+    case RunCountEngine::kEnumeration:
+      return count_key_runs_enumeration(curve, box);
+    case RunCountEngine::kCover:
+      return static_cast<index_t>(RangeCoverEngine(curve).cover(box).size());
+    case RunCountEngine::kAuto:
+      break;
   }
-  return runs;
+  return curve.has_subtree_traversal()
+             ? static_cast<index_t>(RangeCoverEngine(curve).cover(box).size())
+             : count_key_runs_enumeration(curve, box);
 }
 
 ClusteringStats random_box_clustering(const SpaceFillingCurve& curve,
                                       coord_t extent, std::uint64_t samples,
-                                      std::uint64_t seed) {
+                                      std::uint64_t seed,
+                                      const ClusteringOptions& options) {
   const Universe& u = curve.universe();
-  Xoshiro256 rng(seed);
-  RunningStats stats;
-  for (std::uint64_t s = 0; s < samples; ++s) {
-    const Box box = random_box(u, extent, rng);
-    stats.add(static_cast<double>(count_key_runs(curve, box)));
-  }
+  // Exact integer moments per deterministic chunk: integer addition is
+  // associative, so combining partials in chunk order gives bit-identical
+  // statistics for any thread count (and any scheduling).
+  struct Partial {
+    u128 sum = 0;
+    u128 sum_sq = 0;
+    index_t max = 0;
+  };
+  ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : ThreadPool::shared();
+  const Partial total = parallel_reduce(
+      pool, samples, options.grain, Partial{},
+      [&](const ChunkRange& range) {
+        Partial partial;
+        for (std::uint64_t s = range.begin; s < range.end; ++s) {
+          // Per-sample RNG stream: the box drawn for sample s depends only
+          // on (seed, s), never on which chunk or thread ran it.
+          Xoshiro256 rng(SplitMix64(seed + s).next());
+          const Box box = random_box(u, extent, rng);
+          const index_t runs = count_key_runs(curve, box, options.engine);
+          partial.sum += runs;
+          partial.sum_sq += static_cast<u128>(runs) * runs;
+          partial.max = std::max(partial.max, runs);
+        }
+        return partial;
+      },
+      [](Partial a, const Partial& b) {
+        a.sum += b.sum;
+        a.sum_sq += b.sum_sq;
+        a.max = std::max(a.max, b.max);
+        return a;
+      });
+
   ClusteringStats result;
   result.extent = extent;
   result.samples = samples;
-  result.mean_runs = stats.mean();
-  result.stderr_runs = stats.standard_error();
-  result.max_runs = stats.max();
   result.cells_per_box = ipow(extent, u.dim());
+  if (samples > 0) {
+    const long double n = static_cast<long double>(samples);
+    const long double sum = to_long_double(total.sum);
+    result.mean_runs = static_cast<double>(sum / n);
+    if (samples > 1) {
+      const long double variance =
+          std::max(0.0L, (to_long_double(total.sum_sq) - sum * sum / n) /
+                             (n - 1.0L));
+      result.stderr_runs = static_cast<double>(std::sqrt(variance / n));
+    }
+    result.max_runs = static_cast<double>(total.max);
+  }
   return result;
 }
 

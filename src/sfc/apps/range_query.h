@@ -6,6 +6,11 @@
 // maximal runs of consecutive keys inside the query box — the "clustering"
 // metric of Moon, Jagadish, Faloutsos & Saltz.  This module counts runs
 // exactly for a given box and estimates the average over random boxes.
+//
+// Two engines produce bit-identical counts: the hierarchical cover engine
+// (sfc/ranges, O(runs · log side) via subtree descent) and the streaming
+// enumeration reference path (O(volume · log volume)).  The default picks
+// the cover engine whenever the curve has subtree structure.
 #pragma once
 
 #include <cstdint>
@@ -13,13 +18,33 @@
 #include "sfc/common/types.h"
 #include "sfc/curves/space_filling_curve.h"
 #include "sfc/grid/box.h"
+#include "sfc/parallel/thread_pool.h"
 #include "sfc/rng/sampling.h"
 
 namespace sfc {
 
+/// How count_key_runs / random_box_clustering compute the run count.
+enum class RunCountEngine {
+  /// kCover when the curve has subtree structure, else kEnumeration.
+  kAuto,
+  /// Hierarchical cover (RangeCoverEngine); falls back to enumeration for
+  /// curves without subtree structure.
+  kCover,
+  /// Slab-streamed enumeration of every cell in the box — the reference
+  /// implementation the cover path is verified against.
+  kEnumeration,
+};
+
 /// Number of maximal runs of consecutive curve keys covering the box
 /// (the clustering number of the query region).
-index_t count_key_runs(const SpaceFillingCurve& curve, const Box& box);
+index_t count_key_runs(const SpaceFillingCurve& curve, const Box& box,
+                       RunCountEngine engine = RunCountEngine::kAuto);
+
+/// The enumeration reference path: batch-encodes every cell of the box in
+/// fixed-size slices, sorts, and counts the merged key runs (the shared
+/// streaming loop lives in sfc/ranges cover_by_enumeration).
+index_t count_key_runs_enumeration(const SpaceFillingCurve& curve,
+                                   const Box& box);
 
 struct ClusteringStats {
   coord_t extent = 0;          // box side length
@@ -30,10 +55,22 @@ struct ClusteringStats {
   index_t cells_per_box = 0;   // extent^d
 };
 
+struct ClusteringOptions {
+  /// Worker pool for sampling; nullptr means ThreadPool::shared().  Each
+  /// sample draws its boxes from a per-sample RNG stream and the per-sample
+  /// run counts are reduced as exact integers, so the result is bit-identical
+  /// across any thread count.
+  ThreadPool* pool = nullptr;
+  RunCountEngine engine = RunCountEngine::kAuto;
+  /// Samples per deterministic reduction chunk.
+  std::uint64_t grain = 64;
+};
+
 /// Average clustering number over `samples` uniformly placed cubic boxes of
 /// the given extent.
 ClusteringStats random_box_clustering(const SpaceFillingCurve& curve,
                                       coord_t extent, std::uint64_t samples,
-                                      std::uint64_t seed);
+                                      std::uint64_t seed,
+                                      const ClusteringOptions& options = {});
 
 }  // namespace sfc

@@ -1,0 +1,25 @@
+// Shared batch-chunk sizes for the streaming encode/decode pipelines.
+//
+// Every hot path that feeds points through index_of_batch / point_at_batch
+// does so in fixed-size slices so peak memory stays O(slice), not O(n).
+// The sizes live here (rather than per-module file-local constants) so the
+// slab walker, the sort key fusion, and the box-streaming range paths stay
+// tuned together: a slice has to be large enough to amortize the per-call
+// virtual dispatch and small enough to stay cache- and stack-resident.
+#pragma once
+
+#include <cstddef>
+
+namespace sfc {
+
+/// Cells per heap-buffered encode slice in the slab walker and the fused
+/// encode-and-count pass of sort_by_curve_key.
+inline constexpr std::size_t kEncodeSliceCells = 4096;
+
+/// Cells per stack-buffered slice when streaming a Box's cells through the
+/// batched encoder (range-query run counting and the enumeration-based
+/// cover fallback).  Smaller than kEncodeSliceCells because the Point
+/// buffer lives on the stack (sizeof(Point) = 40: ~40 KiB per slice).
+inline constexpr std::size_t kBoxSliceCells = 1024;
+
+}  // namespace sfc

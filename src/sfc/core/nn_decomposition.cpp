@@ -1,6 +1,7 @@
 #include "sfc/core/nn_decomposition.h"
 
 #include <cstdlib>
+#include <string>
 
 #include "sfc/common/math.h"
 
@@ -14,8 +15,18 @@ NNEdge make_edge(const Point& a, const Point& b, int dim_i) {
 
 }  // namespace
 
+DecompositionArgumentError::DecompositionArgumentError(int alpha_dim,
+                                                       int beta_dim)
+    : std::invalid_argument("nn_decomposition endpoints differ in dimension: " +
+                            std::to_string(alpha_dim) + " vs " +
+                            std::to_string(beta_dim)),
+      alpha_dim_(alpha_dim),
+      beta_dim_(beta_dim) {}
+
 std::vector<Point> nn_decomposition_vertices(const Point& alpha, const Point& beta) {
-  if (alpha.dim() != beta.dim()) std::abort();
+  if (alpha.dim() != beta.dim()) {
+    throw DecompositionArgumentError(alpha.dim(), beta.dim());
+  }
   std::vector<Point> vertices;
   vertices.push_back(alpha);
   Point current = alpha;

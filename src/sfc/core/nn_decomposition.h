@@ -11,6 +11,7 @@
 // for the edge between ζ and ζ + e_i, which never exceeds n^{(d+1)/d} / 2.
 #pragma once
 
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -21,14 +22,30 @@
 
 namespace sfc {
 
+/// Thrown by nn_decomposition / nn_decomposition_vertices when the two
+/// endpoints have different dimensionality; mirrors PartitionArgumentError /
+/// AllPairsLimitError so drivers can recover instead of aborting.
+class DecompositionArgumentError : public std::invalid_argument {
+ public:
+  DecompositionArgumentError(int alpha_dim, int beta_dim);
+  int alpha_dim() const { return alpha_dim_; }
+  int beta_dim() const { return beta_dim_; }
+
+ private:
+  int alpha_dim_;
+  int beta_dim_;
+};
+
 /// An unordered NN edge, stored with the lexicographically smaller endpoint
 /// first (the endpoint with the smaller coordinate in the differing dim).
 using NNEdge = std::pair<Point, Point>;
 
 /// The edge set p(α,β), in path order from α to β.  Empty when α == β.
+/// Throws DecompositionArgumentError when the endpoint dimensions differ.
 std::vector<NNEdge> nn_decomposition(const Point& alpha, const Point& beta);
 
 /// The vertex sequence of the same path, from α to β inclusive.
+/// Throws DecompositionArgumentError when the endpoint dimensions differ.
 std::vector<Point> nn_decomposition_vertices(const Point& alpha, const Point& beta);
 
 /// Exact number of ordered pairs (α,β) ∈ A' whose decomposition p(α,β)

@@ -32,4 +32,34 @@ void GrayCurve::point_at_batch(std::span<const index_t> keys,
                              [](index_t key) { return gray_encode(key); });
 }
 
+void GrayCurve::subtree_children(const SubtreeNode& node,
+                                 std::span<SubtreeNode> children) const {
+  if (node.side < 2 || node.side % 2 != 0) std::abort();
+  const int d = universe_.dim();
+  const index_t arity = index_t{1} << d;
+  if (children.size() != arity) std::abort();
+  const coord_t child_side = node.side / 2;
+  const index_t child_count = node.key_count >> d;
+  // gray_encode(key) crosses digit boundaries only through the carry bit
+  // lsb(K_{j-1}) << (d-1); node.state carries exactly that bit.
+  for (index_t j = 0; j < arity; ++j) {
+    const index_t digit =
+        gray_encode(j) ^ (static_cast<index_t>(node.state) << (d - 1));
+    SubtreeNode& child = children[j];
+    child.origin = node.origin;
+    for (int i = 0; i < d; ++i) {
+      if ((digit >> (d - 1 - i)) & 1) child.origin[i] += child_side;
+    }
+    child.side = child_side;
+    child.key_lo = node.key_lo + j * child_count;
+    child.key_count = child_count;
+    child.state = static_cast<std::uint32_t>(j & 1);
+  }
+}
+
+void GrayCurve::subtree_children_batch(std::span<const SubtreeNode> nodes,
+                                       std::span<SubtreeNode> children) const {
+  expand_subtrees_nodewise(nodes, children);
+}
+
 }  // namespace sfc

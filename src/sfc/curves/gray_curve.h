@@ -30,6 +30,16 @@ class GrayCurve final : public SpaceFillingCurve {
   void point_at_batch(std::span<const index_t> keys,
                       std::span<Point> cells) const override;
 
+  /// Dyadic subtree structure with a one-bit descent state.  Writing the key
+  /// as d-bit digits K_1..K_k (MSB first), the interleaved digit at level j
+  /// is gray(K_j) ^ (lsb(K_{j-1}) << (d-1)) — so a node only needs the low
+  /// bit of its own key digit to place all of its children.
+  coord_t subtree_radix() const override { return 2; }
+  void subtree_children(const SubtreeNode& node,
+                        std::span<SubtreeNode> children) const override;
+  void subtree_children_batch(std::span<const SubtreeNode> nodes,
+                              std::span<SubtreeNode> children) const override;
+
  private:
   int level_bits_;
 };

@@ -64,11 +64,132 @@ void transpose_to_axes(std::array<std::uint32_t, kMaxDim>& x, int b, int d) {
   }
 }
 
+// d-bit rotations for the subtree orientation group (r in [0, d)).
+inline std::uint32_t ror_d(std::uint32_t x, int r, int d) {
+  if (r == 0) return x;
+  const std::uint32_t mask = (1u << d) - 1;
+  return ((x >> r) | (x << (d - r))) & mask;
+}
+inline std::uint32_t rol_d(std::uint32_t x, int r, int d) {
+  return r == 0 ? x : ror_d(x, d - r, d);
+}
+
 }  // namespace
 
 HilbertCurve::HilbertCurve(Universe universe) : SpaceFillingCurve(universe) {
   if (!universe_.power_of_two_side()) std::abort();
   level_bits_ = universe_.level_bits();
+  derive_subtree_tables();
+}
+
+void HilbertCurve::derive_subtree_tables() {
+  const int d = universe_.dim();
+  if (d < 2) return;  // d = 1 is the identity curve; generic descent suffices
+  const std::uint32_t arity = 1u << d;
+  // Decode a key on a small reference universe of side 2^b through the same
+  // Skilling kernels as point_at.  The subtree structure is a property of
+  // the construction, not of the universe size, so side-2 and side-4
+  // references determine the motif and every child orientation; the
+  // consistency checks below (and the exhaustive subtree test suite) verify
+  // that the actual curve at any depth agrees.
+  const auto decode = [d](index_t key, int b) {
+    const Point transposed = deinterleave(key, d, b);
+    std::array<std::uint32_t, kMaxDim> x{};
+    for (int i = 0; i < d; ++i) x[static_cast<std::size_t>(i)] = transposed[i];
+    transpose_to_axes(x, b, d);
+    return x;
+  };
+  // Packs bit `shift` of each coordinate into a digit (dimension 1 most
+  // significant, matching the interleave convention).
+  const auto digit_of = [d](const std::array<std::uint32_t, kMaxDim>& cell,
+                            int shift) {
+    std::uint32_t m = 0;
+    for (int i = 0; i < d; ++i) {
+      m |= ((cell[static_cast<std::size_t>(i)] >> shift) & 1u)
+           << (d - 1 - i);
+    }
+    return m;
+  };
+  // Base motif: the level-1 visit order of the side-2 reference.
+  std::array<std::uint8_t, 256> fine{};
+  for (std::uint32_t t = 0; t < arity; ++t) {
+    fine[t] = static_cast<std::uint8_t>(digit_of(decode(t, 1), 0));
+  }
+  bool ok = true;
+  for (std::uint32_t j = 0; j < arity && ok; ++j) {
+    // Top-level digit of child j on the side-4 reference; self-similarity
+    // requires it to equal the side-2 motif.
+    const std::uint32_t top =
+        digit_of(decode(static_cast<index_t>(j) * arity, 2), 1);
+    base_digit_[j] = static_cast<std::uint8_t>(top);
+    ok = top == fine[j];
+    if (!ok) break;
+    // Sub-motif within child j: B_j(fine[t]) = position of visit t inside
+    // the subcube.  Fit B_j to the signed-rotation form ror_d(x ^ e, r).
+    std::array<std::uint8_t, 256> b_table{};
+    for (std::uint32_t t = 0; t < arity; ++t) {
+      b_table[fine[t]] = static_cast<std::uint8_t>(
+          digit_of(decode(static_cast<index_t>(j) * arity + t, 2), 0));
+    }
+    bool fit = false;
+    for (int r = 0; r < d && !fit; ++r) {
+      const std::uint32_t e = rol_d(b_table[0], r, d);
+      bool match = true;
+      for (std::uint32_t x = 0; x < arity && match; ++x) {
+        match = ror_d(x ^ e, r, d) == b_table[x];
+      }
+      if (match) {
+        child_rot_[j] = static_cast<std::uint8_t>(r);
+        child_flip_[j] = static_cast<std::uint8_t>(e);
+        fit = true;
+      }
+    }
+    ok = fit;
+  }
+  subtree_tables_ok_ = ok;
+}
+
+void HilbertCurve::subtree_children(const SubtreeNode& node,
+                                    std::span<SubtreeNode> children) const {
+  if (!subtree_tables_ok_) {
+    SpaceFillingCurve::subtree_children(node, children);
+    return;
+  }
+  if (node.side < 2 || node.side % 2 != 0) std::abort();
+  const int d = universe_.dim();
+  const index_t arity = index_t{1} << d;
+  if (children.size() != arity) std::abort();
+  const coord_t child_side = node.side / 2;
+  const index_t child_count = node.key_count >> d;
+  const int r_n = static_cast<int>(node.state & 0xffu);
+  const std::uint32_t e_n = node.state >> 8;
+  for (std::uint32_t j = 0; j < arity; ++j) {
+    // Absolute subcube digit: the node's orientation applied to the motif.
+    const std::uint32_t m = ror_d(base_digit_[j] ^ e_n, r_n, d);
+    SubtreeNode& child = children[j];
+    child.origin = node.origin;
+    for (int i = 0; i < d; ++i) {
+      if ((m >> (d - 1 - i)) & 1u) child.origin[i] += child_side;
+    }
+    child.side = child_side;
+    child.key_lo = node.key_lo + j * child_count;
+    child.key_count = child_count;
+    // Compose orientations: (T_n ∘ B_j)(x) = ror(x ^ (e_j ^ rol(e_n, r_j)),
+    // r_j + r_n).
+    const int r_j = child_rot_[j];
+    child.state =
+        static_cast<std::uint32_t>((r_j + r_n) % d) |
+        ((child_flip_[j] ^ rol_d(e_n, r_j, d)) << 8);
+  }
+}
+
+void HilbertCurve::subtree_children_batch(
+    std::span<const SubtreeNode> nodes, std::span<SubtreeNode> children) const {
+  if (!subtree_tables_ok_) {
+    SpaceFillingCurve::subtree_children_batch(nodes, children);
+    return;
+  }
+  expand_subtrees_nodewise(nodes, children);
 }
 
 index_t HilbertCurve::index_of(const Point& cell) const {

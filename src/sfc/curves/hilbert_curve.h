@@ -11,6 +11,9 @@
 // question (§VI); bench/repro_ext_hilbert measures it.  Requires side = 2^k.
 #pragma once
 
+#include <array>
+#include <cstdint>
+
 #include "sfc/curves/space_filling_curve.h"
 
 namespace sfc {
@@ -31,8 +34,34 @@ class HilbertCurve final : public SpaceFillingCurve {
   void point_at_batch(std::span<const index_t> keys,
                       std::span<Point> cells) const override;
 
+  /// Dyadic: every 2^d-way key split lands on the 2^d aligned half-side
+  /// subcubes (the defining self-similarity).
+  coord_t subtree_radix() const override { return 2; }
+
+  /// State descent: every subtree's orientation is a signed rotation
+  /// x ↦ ror_d(x ^ e, r) of the base motif, so a node's 2^d children cost
+  /// O(d) bit ops each — no decoding.  The per-child motif digits and
+  /// (rotation, reflection) updates are derived once at construction from
+  /// the Skilling kernels themselves and verified exhaustively; if the
+  /// derivation ever failed to fit (it cannot for a self-similar curve, but
+  /// the check is cheap), descent would fall back to the base class's
+  /// decode-based expansion, keeping answers exact.
+  void subtree_children(const SubtreeNode& node,
+                        std::span<SubtreeNode> children) const override;
+  void subtree_children_batch(std::span<const SubtreeNode> nodes,
+                              std::span<SubtreeNode> children) const override;
+
  private:
+  void derive_subtree_tables();
+
   int level_bits_;
+  // Subtree state-descent tables, indexed by child visit position j < 2^d:
+  // the base motif digit (subcube offset bits, dimension 1 most significant)
+  // and the child's orientation delta as (rotation, reflection mask).
+  std::array<std::uint8_t, 256> base_digit_{};
+  std::array<std::uint8_t, 256> child_rot_{};
+  std::array<std::uint8_t, 256> child_flip_{};
+  bool subtree_tables_ok_ = false;
 };
 
 }  // namespace sfc

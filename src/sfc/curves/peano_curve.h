@@ -33,6 +33,12 @@ class PeanoCurve final : public SpaceFillingCurve {
   /// k with side = 3^k.
   int level_count() const { return levels_; }
 
+  /// Triadic: each 3^d-way key split lands on the 3^d aligned third-side
+  /// subcubes of the ternary construction.  Uses the generic decode-based
+  /// descent, so even this non-dyadic family keeps exact O(runs · log side)
+  /// box covers (sfc/ranges).
+  coord_t subtree_radix() const override { return 3; }
+
  private:
   int levels_;
 };

@@ -4,6 +4,9 @@
 #include <array>
 #include <cstdlib>
 #include <numeric>
+#include <vector>
+
+#include "sfc/common/math.h"
 
 namespace sfc {
 
@@ -23,6 +26,73 @@ void SpaceFillingCurve::point_at_batch(std::span<const index_t> keys,
                                        std::span<Point> cells) const {
   if (cells.size() != keys.size()) std::abort();
   for (std::size_t i = 0; i < keys.size(); ++i) cells[i] = point_at(keys[i]);
+}
+
+SubtreeNode SpaceFillingCurve::subtree_root() const {
+  if (!has_subtree_traversal()) std::abort();
+  SubtreeNode root;
+  root.origin = Point::zero(universe_.dim());
+  root.side = universe_.side();
+  root.key_lo = 0;
+  root.key_count = universe_.cell_count();
+  root.state = subtree_root_state();
+  return root;
+}
+
+void SpaceFillingCurve::subtree_children(const SubtreeNode& node,
+                                         std::span<SubtreeNode> children) const {
+  subtree_children_batch(std::span<const SubtreeNode>(&node, 1), children);
+}
+
+void SpaceFillingCurve::expand_subtrees_nodewise(
+    std::span<const SubtreeNode> nodes, std::span<SubtreeNode> children) const {
+  const index_t arity = ipow(subtree_radix(), universe_.dim());
+  if (children.size() != nodes.size() * arity) std::abort();
+  for (std::size_t at = 0; at < nodes.size(); ++at) {
+    subtree_children(nodes[at], children.subspan(at * arity, arity));
+  }
+}
+
+void SpaceFillingCurve::subtree_children_batch(
+    std::span<const SubtreeNode> nodes, std::span<SubtreeNode> children) const {
+  const coord_t radix = subtree_radix();
+  if (radix == 0) std::abort();
+  const int d = universe_.dim();
+  const index_t arity = ipow(radix, d);
+  if (children.size() != nodes.size() * arity) std::abort();
+  // Decode every child's first key in one batch, then round each decoded
+  // cell down to its child-side grid to recover the subcube origin.  Valid
+  // whenever the curve's key blocks are aligned subcubes (the subtree
+  // contract), so hierarchical curves without a specialized descent kernel
+  // (Hilbert via Skilling transpose, Peano via ternary digits) get exact
+  // traversal through their existing batched decoders.
+  std::vector<index_t> keys(children.size());
+  std::vector<Point> cells(children.size());
+  for (std::size_t at = 0; at < nodes.size(); ++at) {
+    const SubtreeNode& node = nodes[at];
+    if (node.side < radix || node.side % radix != 0) std::abort();
+    const index_t child_count = node.key_count / arity;
+    for (index_t j = 0; j < arity; ++j) {
+      keys[at * arity + j] = node.key_lo + j * child_count;
+    }
+  }
+  point_at_batch(keys, cells);
+  for (std::size_t at = 0; at < nodes.size(); ++at) {
+    const SubtreeNode& node = nodes[at];
+    const coord_t child_side = node.side / radix;
+    const index_t child_count = node.key_count / arity;
+    for (index_t j = 0; j < arity; ++j) {
+      SubtreeNode& child = children[at * arity + j];
+      child.origin = Point::zero(d);
+      for (int i = 0; i < d; ++i) {
+        child.origin[i] = cells[at * arity + j][i] / child_side * child_side;
+      }
+      child.side = child_side;
+      child.key_lo = keys[at * arity + j];
+      child.key_count = child_count;
+      child.state = 0;
+    }
+  }
 }
 
 void SpaceFillingCurve::point_range(index_t first_key,

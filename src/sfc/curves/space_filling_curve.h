@@ -6,6 +6,7 @@
 // curves).  index_of is the paper's π(α); curve_distance is ∆π(α,β).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -15,6 +16,20 @@
 #include "sfc/grid/universe.h"
 
 namespace sfc {
+
+/// A node of a curve's recursive subtree decomposition: an axis-aligned
+/// subcube of side `side` (a power of the curve's subtree radix) whose cells
+/// occupy the contiguous key interval [key_lo, key_lo + key_count).  The
+/// hierarchy is what makes output-sensitive box→key-range covers possible
+/// (sfc/ranges): a query descends the tree, emitting whole intervals for
+/// subtrees inside the box and pruning subtrees outside it.
+struct SubtreeNode {
+  Point origin;        ///< lower corner of the subcube
+  coord_t side = 0;    ///< subcube side length (radix^level)
+  index_t key_lo = 0;  ///< first curve key of the subtree
+  index_t key_count = 0;  ///< side^d — number of cells/keys in the subtree
+  std::uint32_t state = 0;  ///< opaque curve-specific descent state
+};
 
 class SpaceFillingCurve {
  public:
@@ -61,7 +76,59 @@ class SpaceFillingCurve {
   /// continuous, Hilbert/snake/simple... see each curve's documentation).
   virtual bool is_continuous() const { return false; }
 
+  // ---- Subtree traversal (hierarchical curves) ----------------------------
+  //
+  // A curve has *subtree structure* when splitting its key sequence into
+  // radix^d equal contiguous blocks, recursively, always yields axis-aligned
+  // subcubes of side `parent side / radix`.  Z, Gray, and Hilbert are dyadic
+  // (radix 2); Peano is triadic (radix 3).  The RangeCoverEngine
+  // (sfc/ranges) uses this structure to decompose a query box into its exact
+  // maximal key intervals in O(runs · log side) instead of O(volume).
+
+  /// Cells-per-dimension split factor of the recursive decomposition, or 0
+  /// when the curve has no key-aligned subtree structure (simple, snake,
+  /// spiral, diagonal, tiled, permutation, ...).
+  virtual coord_t subtree_radix() const { return 0; }
+
+  bool has_subtree_traversal() const { return subtree_radix() > 0; }
+
+  /// The root node: the whole universe, keys [0, n).  Requires
+  /// has_subtree_traversal().
+  SubtreeNode subtree_root() const;
+
+  /// Fills `children` (size must be subtree_radix()^d) with the children of
+  /// `node` in curve visit order, i.e. ascending by key_lo: child j covers
+  /// keys [node.key_lo + j·c, node.key_lo + (j+1)·c) with c = node.key_count
+  /// / radix^d.  Requires node.side > 1 and has_subtree_traversal().
+  ///
+  /// The base implementation routes through subtree_children_batch; Z and
+  /// Gray override it with direct bit kernels (child digit → subcube offset)
+  /// that never touch the decoder.
+  virtual void subtree_children(const SubtreeNode& node,
+                                std::span<SubtreeNode> children) const;
+
+  /// Batched expansion of a whole frontier: the children of nodes[i] land in
+  /// children[i·arity, (i+1)·arity), each block in visit order.  The base
+  /// implementation gathers every child's first key into a single
+  /// point_at_batch call and rounds the decoded cells down to the child-side
+  /// grid — correct for any curve whose key blocks are aligned subcubes, and
+  /// amortizing the batch kernel's per-call setup across the frontier
+  /// (Hilbert and Peano descend through their existing batched decoders this
+  /// way).  Z and Gray override it with loops over their bit kernels.
+  virtual void subtree_children_batch(std::span<const SubtreeNode> nodes,
+                                      std::span<SubtreeNode> children) const;
+
+  /// Descent state stored in subtree_root().state; curve-specific.
+  virtual std::uint32_t subtree_root_state() const { return 0; }
+
  protected:
+  /// Node-by-node batch expansion: loops the subtree_children virtual over
+  /// each node's slot of `children`.  Curves whose per-node kernel is already
+  /// cheap (Z, Gray, Hilbert state descent) implement their
+  /// subtree_children_batch override with this.
+  void expand_subtrees_nodewise(std::span<const SubtreeNode> nodes,
+                                std::span<SubtreeNode> children) const;
+
   Universe universe_;
 };
 

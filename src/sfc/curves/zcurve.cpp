@@ -32,6 +32,34 @@ void ZCurve::point_at_batch(std::span<const index_t> keys,
                              [](index_t key) { return key; });
 }
 
+void ZCurve::subtree_children(const SubtreeNode& node,
+                              std::span<SubtreeNode> children) const {
+  if (node.side < 2 || node.side % 2 != 0) std::abort();
+  const int d = universe_.dim();
+  const index_t arity = index_t{1} << d;
+  if (children.size() != arity) std::abort();
+  const coord_t child_side = node.side / 2;
+  const index_t child_count = node.key_count >> d;
+  // Child j's key digit *is* one interleave level: bit (d-1-i) selects the
+  // upper half of dimension i.
+  for (index_t j = 0; j < arity; ++j) {
+    SubtreeNode& child = children[j];
+    child.origin = node.origin;
+    for (int i = 0; i < d; ++i) {
+      if ((j >> (d - 1 - i)) & 1) child.origin[i] += child_side;
+    }
+    child.side = child_side;
+    child.key_lo = node.key_lo + j * child_count;
+    child.key_count = child_count;
+    child.state = 0;
+  }
+}
+
+void ZCurve::subtree_children_batch(std::span<const SubtreeNode> nodes,
+                                    std::span<SubtreeNode> children) const {
+  expand_subtrees_nodewise(nodes, children);
+}
+
 PermutedZCurve::PermutedZCurve(Universe universe, std::vector<int> order)
     : SpaceFillingCurve(universe), order_(std::move(order)) {
   if (!universe_.power_of_two_side()) std::abort();

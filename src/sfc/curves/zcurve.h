@@ -31,6 +31,14 @@ class ZCurve final : public SpaceFillingCurve {
   void point_at_batch(std::span<const index_t> keys,
                       std::span<Point> cells) const override;
 
+  /// Dyadic subtree structure: child j's subcube offset is j's bits read as
+  /// one interleave level (dimension 1 in the most significant bit).
+  coord_t subtree_radix() const override { return 2; }
+  void subtree_children(const SubtreeNode& node,
+                        std::span<SubtreeNode> children) const override;
+  void subtree_children_batch(std::span<const SubtreeNode> nodes,
+                              std::span<SubtreeNode> children) const override;
+
  private:
   int level_bits_;
 };
@@ -51,6 +59,10 @@ class PermutedZCurve final : public SpaceFillingCurve {
   std::string name() const override;
   index_t index_of(const Point& cell) const override;
   Point point_at(index_t key) const override;
+
+  /// Dyadic like ZCurve for any dimension order; uses the generic
+  /// decode-based descent of the base class.
+  coord_t subtree_radix() const override { return 2; }
 
  private:
   int level_bits_;

@@ -1,27 +1,20 @@
 #include "sfc/metrics/slab_walker.h"
 
+#include "sfc/common/batch.h"
+
 namespace sfc {
-
-namespace {
-
-/// Points staged per index_of_batch call (32 KiB of keys, ~160 KiB of
-/// Points) — large enough to amortize the batch kernels' per-call setup,
-/// small enough to stay cache-resident.
-constexpr std::size_t kEncodeSlice = 4096;
-
-}  // namespace
 
 void encode_row_major_range(const SpaceFillingCurve& curve, index_t begin,
                             std::span<index_t> keys) {
   const Universe& u = curve.universe();
   const int d = u.dim();
   const coord_t side = u.side();
-  std::vector<Point> cells(std::min<std::size_t>(keys.size(), kEncodeSlice));
+  std::vector<Point> cells(std::min<std::size_t>(keys.size(), kEncodeSliceCells));
   Point cell = u.from_row_major(begin);
   std::size_t done = 0;
   while (done < keys.size()) {
     const std::size_t len =
-        std::min<std::size_t>(kEncodeSlice, keys.size() - done);
+        std::min<std::size_t>(kEncodeSliceCells, keys.size() - done);
     for (std::size_t j = 0; j < len; ++j) {
       cells[j] = cell;
       // Advance the coordinates in row-major order (dimension 1 fastest).

@@ -1,0 +1,136 @@
+#include "sfc/ranges/range_cover.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <span>
+
+#include "sfc/common/batch.h"
+#include "sfc/common/math.h"
+#include "sfc/sort/radix_sort.h"
+
+namespace sfc {
+
+namespace {
+
+/// node ∩ box classification for the descent.
+enum class Overlap { kDisjoint, kInside, kPartial };
+
+Overlap classify(const SubtreeNode& node, const Box& box) {
+  bool inside = true;
+  const int d = box.dim();
+  for (int i = 0; i < d; ++i) {
+    const coord_t node_lo = node.origin[i];
+    const coord_t node_hi = node.origin[i] + (node.side - 1);
+    if (node_lo > box.hi()[i] || node_hi < box.lo()[i]) {
+      return Overlap::kDisjoint;
+    }
+    inside = inside && node_lo >= box.lo()[i] && node_hi <= box.hi()[i];
+  }
+  return inside ? Overlap::kInside : Overlap::kPartial;
+}
+
+/// Appends [lo, hi], fusing with the previous interval when adjacent.  The
+/// descent emits intervals in ascending key order, so this single look-back
+/// is all the merging maximality needs.
+void emit(std::vector<KeyInterval>& out, index_t lo, index_t hi) {
+  if (!out.empty() && out.back().hi + 1 == lo) {
+    out.back().hi = hi;
+  } else {
+    out.push_back(KeyInterval{lo, hi});
+  }
+}
+
+}  // namespace
+
+std::vector<KeyInterval> RangeCoverEngine::cover(const Box& box,
+                                                 CoverStats* stats) const {
+  const Universe& u = curve_.universe();
+  if (box.dim() != u.dim() || !u.contains(box.lo()) || !u.contains(box.hi())) {
+    std::abort();  // box must lie inside the universe
+  }
+  if (stats != nullptr) *stats = CoverStats{};
+  if (!curve_.has_subtree_traversal()) {
+    return cover_by_enumeration(curve_, box);
+  }
+  if (stats != nullptr) stats->used_subtree = true;
+
+  const index_t arity = ipow(curve_.subtree_radix(), u.dim());
+  // Level-synchronous descent over boundary subtrees: the whole frontier of
+  // partial nodes expands through one subtree_children_batch call per level,
+  // so decode-based curves (Hilbert, Peano) amortize their batch kernel's
+  // per-call setup across the frontier instead of paying it per node.
+  // Emitted intervals are disjoint but arrive out of key order across
+  // levels; a final sort + adjacent-merge restores the canonical maximal
+  // cover.  Work stays O(runs · log side), plus the O(runs · log runs) sort.
+  std::vector<KeyInterval> out;
+  std::vector<SubtreeNode> frontier;
+  std::vector<SubtreeNode> children;
+  const SubtreeNode root = curve_.subtree_root();
+  if (stats != nullptr) ++stats->nodes_visited;
+  switch (classify(root, box)) {
+    case Overlap::kDisjoint:
+      break;
+    case Overlap::kInside:
+      out.push_back(KeyInterval{root.key_lo, root.key_lo + (root.key_count - 1)});
+      break;
+    case Overlap::kPartial:
+      frontier.push_back(root);
+      break;
+  }
+  while (!frontier.empty()) {
+    children.resize(frontier.size() * arity);
+    curve_.subtree_children_batch(frontier, children);
+    if (stats != nullptr) stats->nodes_visited += children.size();
+    frontier.clear();
+    for (const SubtreeNode& child : children) {
+      switch (classify(child, box)) {
+        case Overlap::kDisjoint:
+          break;
+        case Overlap::kInside:
+          out.push_back(
+              KeyInterval{child.key_lo, child.key_lo + (child.key_count - 1)});
+          break;
+        case Overlap::kPartial:
+          // A single cell either misses the box or is inside it, so a
+          // partial node always has side > 1 and can descend further.
+          frontier.push_back(child);
+          break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const KeyInterval& a, const KeyInterval& b) { return a.lo < b.lo; });
+  std::vector<KeyInterval> merged;
+  merged.reserve(out.size());
+  for (const KeyInterval& interval : out) {
+    emit(merged, interval.lo, interval.hi);
+  }
+  return merged;
+}
+
+std::vector<KeyInterval> cover_by_enumeration(const SpaceFillingCurve& curve,
+                                              const Box& box) {
+  std::vector<index_t> keys;
+  keys.reserve(box.cell_count());
+  std::array<Point, kBoxSliceCells> cell_buf;
+  std::size_t pending = 0;
+  auto flush = [&] {
+    const std::size_t at = keys.size();
+    keys.resize(at + pending);
+    curve.index_of_batch(std::span<const Point>(cell_buf.data(), pending),
+                         std::span<index_t>(keys.data() + at, pending));
+    pending = 0;
+  };
+  box.for_each_cell([&](const Point& cell) {
+    cell_buf[pending++] = cell;
+    if (pending == cell_buf.size()) flush();
+  });
+  if (pending > 0) flush();
+  radix_sort_keys(keys);
+  std::vector<KeyInterval> out;
+  for (const index_t key : keys) emit(out, key, key);
+  return out;
+}
+
+}  // namespace sfc

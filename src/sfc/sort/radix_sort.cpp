@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sfc/common/batch.h"
+
 namespace sfc {
 
 namespace {
@@ -16,10 +18,6 @@ constexpr std::size_t kBuckets = 256;
 /// Below this size the histogram/scatter machinery costs more than it saves;
 /// a stable comparison sort produces the identical permutation.
 constexpr std::size_t kComparisonFallback = 2048;
-
-/// Points encoded per index_of_batch call inside one chunk (32 KiB of keys
-/// on the worker stack).
-constexpr std::size_t kEncodeSlice = 4096;
 
 inline unsigned digit_of(std::uint64_t key, int pass) {
   return static_cast<unsigned>(key >> (8 * pass)) & 0xffu;
@@ -204,12 +202,12 @@ std::vector<KeyIndex> sort_by_curve_key(const SpaceFillingCurve& curve,
   // Encode sweep: batch-encode each chunk in slices and, when the radix path
   // will run, count the pass-0 digit histogram while the keys are still hot.
   over_chunks(pool, n, grain, chunks, [&](const ChunkRange& range) {
-    std::array<index_t, kEncodeSlice> key_buf;
+    std::array<index_t, kEncodeSliceCells> key_buf;
     std::uint64_t* row =
         fuse ? first_pass.data() + range.chunk_index * kBuckets : nullptr;
-    for (std::uint64_t at = range.begin; at < range.end; at += kEncodeSlice) {
+    for (std::uint64_t at = range.begin; at < range.end; at += kEncodeSliceCells) {
       const std::size_t len =
-          static_cast<std::size_t>(std::min<std::uint64_t>(kEncodeSlice, range.end - at));
+          static_cast<std::size_t>(std::min<std::uint64_t>(kEncodeSliceCells, range.end - at));
       curve.index_of_batch(cells.subspan(at, len),
                            std::span<index_t>(key_buf.data(), len));
       for (std::size_t j = 0; j < len; ++j) {

@@ -78,6 +78,23 @@ TEST(RangeQuery, ZQuadrantIsOneRun) {
   EXPECT_EQ(count_key_runs(*z, quadrant), 1u);
 }
 
+TEST(RangeQuery, EnginesAgreeOnEveryFamily) {
+  // count_key_runs defaults to the hierarchical cover engine where the curve
+  // supports it; the streaming enumeration reference must agree exactly.
+  const Universe u = Universe::pow2(2, 4);
+  const Box box(Point{1, 3}, Point{11, 9});
+  for (CurveFamily family : all_curve_families()) {
+    const CurvePtr curve = make_curve(family, u, 4);
+    const index_t reference = count_key_runs_enumeration(*curve, box);
+    EXPECT_EQ(count_key_runs(*curve, box), reference) << family_name(family);
+    EXPECT_EQ(count_key_runs(*curve, box, RunCountEngine::kCover), reference)
+        << family_name(family);
+    EXPECT_EQ(count_key_runs(*curve, box, RunCountEngine::kEnumeration),
+              reference)
+        << family_name(family);
+  }
+}
+
 TEST(RangeQuery, RandomBoxClusteringStats) {
   const Universe u = Universe::pow2(2, 4);
   const CurvePtr h = make_curve(CurveFamily::kHilbert, u);

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <set>
+#include <stdexcept>
+#include <string>
 
 namespace sfc {
 namespace {
@@ -104,6 +106,23 @@ TEST(NNDecomposition, EveryEdgeIsANearestNeighborPair) {
   for (const auto& [a, b] : edges) {
     EXPECT_EQ(manhattan_distance(a, b), 1u);
   }
+}
+
+TEST(NNDecomposition, DimensionMismatchThrowsTypedError) {
+  // Mismatched endpoints raise a recoverable typed error (same pattern as
+  // PartitionArgumentError / AllPairsLimitError), not a process abort.
+  try {
+    nn_decomposition(Point{1, 2}, Point{1, 2, 3});
+    FAIL() << "expected DecompositionArgumentError";
+  } catch (const DecompositionArgumentError& error) {
+    EXPECT_EQ(error.alpha_dim(), 2);
+    EXPECT_EQ(error.beta_dim(), 3);
+    EXPECT_NE(std::string(error.what()).find("dimension"), std::string::npos);
+  }
+  EXPECT_THROW(nn_decomposition_vertices(Point{0}, Point{0, 0}),
+               DecompositionArgumentError);
+  // The typed error is an invalid_argument, so generic handlers recover too.
+  EXPECT_THROW(nn_decomposition(Point{1}, Point{1, 1}), std::invalid_argument);
 }
 
 }  // namespace

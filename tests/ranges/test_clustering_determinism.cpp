@@ -1,0 +1,100 @@
+// random_box_clustering must be a pure function of (curve, extent, samples,
+// seed): the worker pool size, the reduction grain, and the run-count engine
+// must never change a single output bit.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "sfc/apps/range_query.h"
+#include "sfc/curves/curve_factory.h"
+#include "sfc/parallel/thread_pool.h"
+
+namespace sfc {
+namespace {
+
+void expect_identical(const ClusteringStats& a, const ClusteringStats& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.samples, b.samples) << label;
+  EXPECT_EQ(a.extent, b.extent) << label;
+  EXPECT_EQ(a.cells_per_box, b.cells_per_box) << label;
+  // Bit-identical floating point, not approximate equality.
+  EXPECT_EQ(a.mean_runs, b.mean_runs) << label;
+  EXPECT_EQ(a.stderr_runs, b.stderr_runs) << label;
+  EXPECT_EQ(a.max_runs, b.max_runs) << label;
+}
+
+TEST(ClusteringDeterminism, AcrossThreadCounts) {
+  const Universe u = Universe::pow2(2, 5);
+  for (CurveFamily family :
+       {CurveFamily::kHilbert, CurveFamily::kZ, CurveFamily::kSnake}) {
+    const CurvePtr curve = make_curve(family, u, 3);
+    ThreadPool pool1(1);
+    ThreadPool pool2(2);
+    ThreadPool pool8(8);
+    ClusteringOptions options;
+    options.pool = &pool1;
+    const ClusteringStats base = random_box_clustering(*curve, 5, 200, 42, options);
+    options.pool = &pool2;
+    expect_identical(base, random_box_clustering(*curve, 5, 200, 42, options),
+                     family_name(family) + " 2 threads");
+    options.pool = &pool8;
+    expect_identical(base, random_box_clustering(*curve, 5, 200, 42, options),
+                     family_name(family) + " 8 threads");
+  }
+}
+
+TEST(ClusteringDeterminism, AcrossGrains) {
+  const Universe u = Universe::pow2(2, 5);
+  const CurvePtr h = make_curve(CurveFamily::kHilbert, u);
+  ThreadPool pool(4);
+  ClusteringOptions options;
+  options.pool = &pool;
+  options.grain = 64;
+  const ClusteringStats base = random_box_clustering(*h, 4, 150, 9, options);
+  for (std::uint64_t grain : {1u, 7u, 1000u}) {
+    options.grain = grain;
+    expect_identical(base, random_box_clustering(*h, 4, 150, 9, options),
+                     "grain " + std::to_string(grain));
+  }
+}
+
+TEST(ClusteringDeterminism, CoverAndEnumerationEnginesAgree) {
+  // The tentpole contract at the statistics level: "cover, then count merged
+  // intervals" must reproduce the enumeration path bit for bit.
+  const Universe u = Universe::pow2(2, 5);
+  for (CurveFamily family : analytic_curve_families()) {
+    const CurvePtr curve = make_curve(family, u);
+    ThreadPool pool(4);
+    ClusteringOptions cover_options;
+    cover_options.pool = &pool;
+    cover_options.engine = RunCountEngine::kCover;
+    ClusteringOptions enum_options;
+    enum_options.pool = &pool;
+    enum_options.engine = RunCountEngine::kEnumeration;
+    expect_identical(random_box_clustering(*curve, 6, 120, 31, cover_options),
+                     random_box_clustering(*curve, 6, 120, 31, enum_options),
+                     family_name(family));
+  }
+}
+
+TEST(ClusteringDeterminism, SampleCountAndRange) {
+  const Universe u = Universe::pow2(2, 4);
+  const CurvePtr h = make_curve(CurveFamily::kHilbert, u);
+  const ClusteringStats stats = random_box_clustering(*h, 4, 100, 77);
+  EXPECT_EQ(stats.samples, 100u);
+  EXPECT_EQ(stats.extent, 4u);
+  EXPECT_EQ(stats.cells_per_box, 16u);
+  EXPECT_GE(stats.mean_runs, 1.0);
+  EXPECT_LE(stats.mean_runs, 16.0);
+  EXPECT_GE(stats.max_runs, stats.mean_runs);
+  EXPECT_GE(stats.stderr_runs, 0.0);
+  // Zero samples: well-defined zeros, no division by zero.
+  const ClusteringStats empty = random_box_clustering(*h, 4, 0, 77);
+  EXPECT_EQ(empty.samples, 0u);
+  EXPECT_EQ(empty.mean_runs, 0.0);
+  EXPECT_EQ(empty.stderr_runs, 0.0);
+}
+
+}  // namespace
+}  // namespace sfc

@@ -1,0 +1,142 @@
+// Structural invariants of the SubtreeTraversal API: for every hierarchical
+// family, the recursive decomposition must partition both cell space and key
+// space at every level, and leaves must agree with the curve's codec.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sfc/common/math.h"
+#include "sfc/curves/curve_factory.h"
+#include "sfc/curves/peano_curve.h"
+#include "sfc/curves/space_filling_curve.h"
+#include "sfc/grid/box.h"
+
+namespace sfc {
+namespace {
+
+/// Recursively expands every node of the subtree and checks, at each level:
+/// children tile the parent subcube, their key intervals partition the
+/// parent interval in ascending order, and every cell of every child encodes
+/// into the child's key interval (exhaustive — small universes only).
+void check_subtree_recursive(const SpaceFillingCurve& curve,
+                             const SubtreeNode& node) {
+  const Universe& u = curve.universe();
+  const int d = u.dim();
+  const std::string label = curve.name() + " node at " +
+                            node.origin.to_string() + " side " +
+                            std::to_string(node.side);
+  // Every cell of the subcube must encode inside the key interval.  (With
+  // key intervals of all sibling subtrees disjoint, this is a bijection.)
+  Point lo = node.origin;
+  Point hi = node.origin;
+  for (int i = 0; i < d; ++i) hi[i] += node.side - 1;
+  ASSERT_TRUE(u.contains(lo)) << label;
+  ASSERT_TRUE(u.contains(hi)) << label;
+  ASSERT_EQ(node.key_count, ipow(node.side, d)) << label;
+  Box(lo, hi).for_each_cell([&](const Point& cell) {
+    const index_t key = curve.index_of(cell);
+    EXPECT_GE(key, node.key_lo) << label << " cell " << cell.to_string();
+    EXPECT_LT(key, node.key_lo + node.key_count)
+        << label << " cell " << cell.to_string();
+  });
+  if (node.side == 1) {
+    EXPECT_EQ(curve.index_of(node.origin), node.key_lo) << label;
+    return;
+  }
+  const coord_t radix = curve.subtree_radix();
+  ASSERT_EQ(node.side % radix, 0u) << label;
+  const index_t arity = ipow(radix, d);
+  std::vector<SubtreeNode> children(arity);
+  curve.subtree_children(node, children);
+  index_t next_key = node.key_lo;
+  index_t cells_tiled = 0;
+  for (index_t j = 0; j < arity; ++j) {
+    const SubtreeNode& child = children[j];
+    // Keys: consecutive equal-size blocks in visit order.
+    EXPECT_EQ(child.key_lo, next_key) << label << " child " << j;
+    EXPECT_EQ(child.key_count, node.key_count / arity) << label;
+    next_key += child.key_count;
+    // Geometry: an aligned subcube of the parent, on the child-side grid.
+    EXPECT_EQ(child.side, node.side / radix) << label;
+    for (int i = 0; i < d; ++i) {
+      EXPECT_GE(child.origin[i], node.origin[i]) << label << " child " << j;
+      EXPECT_LE(child.origin[i] + child.side, node.origin[i] + node.side)
+          << label << " child " << j;
+      EXPECT_EQ((child.origin[i] - node.origin[i]) % child.side, 0u)
+          << label << " child " << j;
+    }
+    cells_tiled += child.key_count;
+    check_subtree_recursive(curve, child);
+  }
+  EXPECT_EQ(next_key, node.key_lo + node.key_count) << label;
+  EXPECT_EQ(cells_tiled, node.key_count) << label;
+  // Children with disjoint key ranges covering the parent, each child's
+  // cells mapping into its own range, and counts matching — together this
+  // proves the children tile the parent subcube exactly.
+}
+
+void check_whole_subtree(const SpaceFillingCurve& curve) {
+  ASSERT_TRUE(curve.has_subtree_traversal()) << curve.name();
+  const SubtreeNode root = curve.subtree_root();
+  EXPECT_EQ(root.side, curve.universe().side());
+  EXPECT_EQ(root.key_lo, 0u);
+  EXPECT_EQ(root.key_count, curve.universe().cell_count());
+  for (int i = 0; i < curve.universe().dim(); ++i) {
+    EXPECT_EQ(root.origin[i], 0u);
+  }
+  check_subtree_recursive(curve, root);
+}
+
+TEST(SubtreeTraversal, DyadicFamilies1D) {
+  const Universe u = Universe::pow2(1, 4);
+  for (CurveFamily family :
+       {CurveFamily::kZ, CurveFamily::kGray, CurveFamily::kHilbert}) {
+    check_whole_subtree(*make_curve(family, u));
+  }
+}
+
+TEST(SubtreeTraversal, DyadicFamilies2D) {
+  const Universe u = Universe::pow2(2, 3);
+  for (CurveFamily family :
+       {CurveFamily::kZ, CurveFamily::kGray, CurveFamily::kHilbert}) {
+    check_whole_subtree(*make_curve(family, u));
+  }
+}
+
+TEST(SubtreeTraversal, DyadicFamilies3D) {
+  const Universe u = Universe::pow2(3, 2);
+  for (CurveFamily family :
+       {CurveFamily::kZ, CurveFamily::kGray, CurveFamily::kHilbert}) {
+    check_whole_subtree(*make_curve(family, u));
+  }
+}
+
+TEST(SubtreeTraversal, Peano) {
+  check_whole_subtree(PeanoCurve(Universe(1, 27)));
+  check_whole_subtree(PeanoCurve(Universe(2, 9)));
+  check_whole_subtree(PeanoCurve(Universe(3, 9)));
+}
+
+TEST(SubtreeTraversal, NonHierarchicalFamiliesReportNoStructure) {
+  const Universe u = Universe::pow2(2, 3);
+  for (CurveFamily family :
+       {CurveFamily::kSimple, CurveFamily::kSnake, CurveFamily::kRandom}) {
+    EXPECT_FALSE(make_curve(family, u)->has_subtree_traversal())
+        << family_name(family);
+  }
+}
+
+TEST(SubtreeTraversal, TrivialSingleCellUniverse) {
+  // side = 1: the root is already a leaf; no children to expand.
+  const Universe u = Universe::pow2(2, 0);
+  const CurvePtr z = make_curve(CurveFamily::kZ, u);
+  const SubtreeNode root = z->subtree_root();
+  EXPECT_EQ(root.side, 1u);
+  EXPECT_EQ(root.key_count, 1u);
+  EXPECT_EQ(z->index_of(root.origin), root.key_lo);
+}
+
+}  // namespace
+}  // namespace sfc

@@ -6,12 +6,16 @@
 //   sfctool bounds     --dim 3 --bits 4
 //   sfctool partition  --curve hilbert --dim 2 --bits 6 --parts 16
 //   sfctool clustering --curve z --dim 2 --bits 6 --extent 4 --samples 200
+//   sfctool cover      --curve hilbert --dim 2 --bits 6 --lo 8,8 --hi 23,39
 //   sfctool optimize   --dim 2 --side 6 --iters 100000 [--seed 1]
 //
 // Curve names: z, simple, snake, gray, hilbert, random, peano (render/analyze
 // only; side = 3^bits for peano).
+#include <cctype>
 #include <iostream>
+#include <limits>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,6 +33,7 @@
 #include "sfc/io/ascii_grid.h"
 #include "sfc/io/svg.h"
 #include "sfc/io/table.h"
+#include "sfc/ranges/range_cover.h"
 
 namespace {
 
@@ -46,6 +51,8 @@ int usage(const std::string& message = "") {
       "  bounds     --dim D --bits K\n"
       "  partition  --curve NAME --dim D --bits K --parts P\n"
       "  clustering --curve NAME --dim D --bits K --extent E --samples N\n"
+      "  cover      --curve NAME --dim D --bits K --lo X1,..,Xd --hi Y1,..,Yd\n"
+      "             [--csv]  (exact key-interval cover of the box)\n"
       "  optimize   --dim D --side S --iters N [--seed S]\n"
       "\n"
       "curves: z, simple, snake, gray, hilbert, random, peano, spiral,\n"
@@ -236,6 +243,91 @@ int cmd_clustering(const cli::Args& args) {
   return 0;
 }
 
+/// Parses "3,5,7" into a Point of dimension `dim`; nullopt on any mismatch
+/// (wrong arity, non-digit characters, or a coordinate exceeding coord_t).
+std::optional<Point> parse_point(const std::string& text, int dim) {
+  Point p = Point::zero(dim);
+  std::size_t at = 0;
+  for (int i = 0; i < dim; ++i) {
+    // stoul would accept a leading '-' by wrapping; require plain digits.
+    if (at >= text.size() || !std::isdigit(static_cast<unsigned char>(text[at]))) {
+      return std::nullopt;
+    }
+    std::size_t used = 0;
+    unsigned long long value = 0;
+    try {
+      value = std::stoull(text.substr(at), &used);
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+    if (value > std::numeric_limits<coord_t>::max()) return std::nullopt;
+    p[i] = static_cast<coord_t>(value);
+    at += used;
+    const bool last = i == dim - 1;
+    if (last ? at != text.size() : (at >= text.size() || text[at] != ',')) {
+      return std::nullopt;
+    }
+    ++at;  // skip ','
+  }
+  return p;
+}
+
+int cmd_cover(const cli::Args& args) {
+  const std::string curve_name = args.get_string("curve", "hilbert");
+  const auto dim = args.get_int("dim", 2);
+  const auto bits = args.get_int("bits", 6);
+  const std::string lo_text = args.get_string("lo", "");
+  const std::string hi_text = args.get_string("hi", "");
+  if (!dim || !bits) return usage("bad numeric flag");
+  if (lo_text.empty() || hi_text.empty()) {
+    return usage("cover requires --lo and --hi corner coordinates");
+  }
+  std::string error;
+  const CurvePtr curve = build_curve(curve_name, static_cast<int>(*dim),
+                                     static_cast<int>(*bits), 1, &error);
+  if (!curve) return usage(error);
+  const Universe& u = curve->universe();
+  const auto lo = parse_point(lo_text, u.dim());
+  const auto hi = parse_point(hi_text, u.dim());
+  if (!lo || !hi) {
+    return usage("--lo/--hi must be " + std::to_string(u.dim()) +
+                 " comma-separated coordinates");
+  }
+  if (!u.contains(*lo) || !u.contains(*hi)) {
+    return usage("box corners must lie inside the universe (side " +
+                 std::to_string(u.side()) + ")");
+  }
+  for (int i = 0; i < u.dim(); ++i) {
+    if ((*lo)[i] > (*hi)[i]) return usage("--lo must be <= --hi per dimension");
+  }
+  const Box box(*lo, *hi);
+  CoverStats stats;
+  const std::vector<KeyInterval> intervals =
+      RangeCoverEngine(*curve).cover(box, &stats);
+  Table table({"run", "key_lo", "key_hi", "length"});
+  index_t covered = 0;
+  for (std::size_t r = 0; r < intervals.size(); ++r) {
+    const index_t length = intervals[r].hi - intervals[r].lo + 1;
+    covered += length;
+    table.add_row({Table::fmt_int(r), Table::fmt_int(intervals[r].lo),
+                   Table::fmt_int(intervals[r].hi), Table::fmt_int(length)});
+  }
+  if (args.get_flag("csv")) {
+    std::cout << table.to_csv();
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "curve " << curve->name() << ", box " << box.lo().to_string()
+            << ".." << box.hi().to_string() << ": " << intervals.size()
+            << " runs covering " << covered << " cells ("
+            << (stats.used_subtree
+                    ? "subtree descent, " + std::to_string(stats.nodes_visited) +
+                          " nodes visited"
+                    : std::string("enumeration fallback"))
+            << ")\n";
+  return 0;
+}
+
 int cmd_optimize(const cli::Args& args) {
   const auto dim = args.get_int("dim", 2);
   const auto side = args.get_int("side", 6);
@@ -281,6 +373,8 @@ int main(int argc, char** argv) {
     status = cmd_partition(args);
   } else if (command == "clustering") {
     status = cmd_clustering(args);
+  } else if (command == "cover") {
+    status = cmd_cover(args);
   } else if (command == "optimize") {
     status = cmd_optimize(args);
   } else {
