@@ -1,0 +1,174 @@
+// Microbenchmarks: the SFC point index (sfc/index) serving range and kNN
+// queries against the full-scan paths it supersedes.
+//
+// CI gate (tools/check_bench_speedup.py): cover-driven index range scans
+// must be >= 5x the full scan at 1M points (2D Hilbert, extent-32 boxes).
+// The full scan touches every row per query; the index touches
+// O(runs · log n + output) rows, so the gap widens with dataset size.
+//
+// SFC_SCALE=large (the nightly job) additionally runs a 64M-point
+// build+query pass (side-8192 universe, one point per cell on average) —
+// index construction at data-center dataset sizes plus the same query pair.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_common.h"
+#include "sfc/curves/curve_factory.h"
+#include "sfc/grid/box.h"
+#include "sfc/index/executor.h"
+#include "sfc/index/knn.h"
+#include "sfc/index/point_index.h"
+#include "sfc/index/range_scan.h"
+#include "sfc/rng/sampling.h"
+
+namespace {
+
+using namespace sfc;
+
+std::vector<Point> uniform_points(const Universe& u, std::uint64_t count,
+                                  std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Point> points;
+  points.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) points.push_back(random_cell(u, rng));
+  return points;
+}
+
+std::vector<Box> query_boxes(const Universe& u, coord_t extent, int count,
+                             std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Box> boxes;
+  boxes.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) boxes.push_back(random_box(u, extent, rng));
+  return boxes;
+}
+
+/// One point per cell on average: bits k -> 4^k points in a 2^k-side 2D
+/// Hilbert universe (bits 10 = 1M points, bits 13 = 64M points).
+void BM_IndexBuild(benchmark::State& state) {
+  const Universe u = Universe::pow2(2, static_cast<int>(state.range(0)));
+  const CurvePtr h = make_curve(CurveFamily::kHilbert, u);
+  const std::vector<Point> points = uniform_points(u, u.cell_count(), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PointIndex::build(*h, points));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(points.size()));
+}
+
+void BM_RangeQueryFullScan(benchmark::State& state) {
+  const Universe u = Universe::pow2(2, static_cast<int>(state.range(0)));
+  const CurvePtr h = make_curve(CurveFamily::kHilbert, u);
+  const PointIndex index =
+      PointIndex::build(*h, uniform_points(u, u.cell_count(), 7));
+  const std::vector<Box> boxes =
+      query_boxes(u, static_cast<coord_t>(state.range(1)), 4, 99);
+  std::size_t at = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(range_scan_full(index, boxes[at]));
+    at = (at + 1) % boxes.size();
+  }
+  state.SetItemsProcessed(state.iterations());  // queries served
+}
+
+void BM_RangeQueryIndexScan(benchmark::State& state) {
+  const Universe u = Universe::pow2(2, static_cast<int>(state.range(0)));
+  const CurvePtr h = make_curve(CurveFamily::kHilbert, u);
+  const PointIndex index =
+      PointIndex::build(*h, uniform_points(u, u.cell_count(), 7));
+  const std::vector<Box> boxes =
+      query_boxes(u, static_cast<coord_t>(state.range(1)), 4, 99);
+  RangeScanEngine engine(index);
+  std::vector<std::uint32_t> ids;
+  std::size_t at = 0;
+  for (auto _ : state) {
+    engine.scan(boxes[at], &ids);
+    benchmark::DoNotOptimize(ids.data());
+    at = (at + 1) % boxes.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_KnnFullScan(benchmark::State& state) {
+  const Universe u = Universe::pow2(2, static_cast<int>(state.range(0)));
+  const CurvePtr h = make_curve(CurveFamily::kHilbert, u);
+  const PointIndex index =
+      PointIndex::build(*h, uniform_points(u, u.cell_count(), 7));
+  Xoshiro256 rng(55);
+  std::vector<Point> queries;
+  for (int i = 0; i < 16; ++i) queries.push_back(random_cell(u, rng));
+  std::size_t at = 0;
+  for (auto _ : state) {
+    // Reference cost: rank every row (what serving kNN without the subtree
+    // descent would pay).
+    const Point& q = queries[at];
+    std::uint64_t best = ~std::uint64_t{0};
+    for (std::uint64_t row = 0; row < index.row_count(); ++row) {
+      const std::uint64_t d =
+          squared_euclidean_distance(q, index.point_of_row(row));
+      if (d < best) best = d;
+    }
+    benchmark::DoNotOptimize(best);
+    at = (at + 1) % queries.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_KnnIndexScan(benchmark::State& state) {
+  const Universe u = Universe::pow2(2, static_cast<int>(state.range(0)));
+  const CurvePtr h = make_curve(CurveFamily::kHilbert, u);
+  const PointIndex index =
+      PointIndex::build(*h, uniform_points(u, u.cell_count(), 7));
+  KnnEngine engine(index);
+  Xoshiro256 rng(55);
+  std::vector<Point> queries;
+  for (int i = 0; i < 16; ++i) queries.push_back(random_cell(u, rng));
+  std::size_t at = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.query(queries[at], 10));
+    at = (at + 1) % queries.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+/// Batched serving throughput: the multi-query executor on the shared pool.
+void BM_ExecutorRangeBatch(benchmark::State& state) {
+  const Universe u = Universe::pow2(2, static_cast<int>(state.range(0)));
+  const CurvePtr h = make_curve(CurveFamily::kHilbert, u);
+  const PointIndex index =
+      PointIndex::build(*h, uniform_points(u, u.cell_count(), 7));
+  const std::vector<Box> boxes =
+      query_boxes(u, static_cast<coord_t>(state.range(1)), 256, 99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_range_queries(index, boxes));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(boxes.size()));
+}
+
+void DefaultScaleArgs(benchmark::internal::Benchmark* b) {
+  b->Args({10, 32});  // 1M points, extent-32 boxes (the CI gate pair)
+  if (sfc::bench::scale_from_env() == sfc::bench::Scale::kLarge) {
+    b->Args({13, 256});  // 64M points
+  }
+}
+
+void BuildScaleArgs(benchmark::internal::Benchmark* b) {
+  b->Arg(10);
+  if (sfc::bench::scale_from_env() == sfc::bench::Scale::kLarge) {
+    b->Arg(13);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_IndexBuild)->Apply(BuildScaleArgs)->UseRealTime();
+BENCHMARK(BM_RangeQueryFullScan)->Apply(DefaultScaleArgs)->UseRealTime();
+BENCHMARK(BM_RangeQueryIndexScan)->Apply(DefaultScaleArgs)->UseRealTime();
+BENCHMARK(BM_KnnFullScan)->Apply(BuildScaleArgs)->UseRealTime();
+BENCHMARK(BM_KnnIndexScan)->Apply(BuildScaleArgs)->UseRealTime();
+BENCHMARK(BM_ExecutorRangeBatch)->Apply(DefaultScaleArgs)->UseRealTime();
+
+BENCHMARK_MAIN();

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "sfc/grid/box.h"
+#include "sfc/index/knn.h"
 #include "sfc/sort/radix_sort.h"
 
 namespace sfc {
@@ -147,6 +148,43 @@ bool knn_via_window(const SpaceFillingCurve& curve, const Point& query, int k,
           candidates[ranked[static_cast<std::size_t>(i)].index].cell);
     }
   }
+  return true;
+}
+
+bool knn_via_index(const PointIndex& index, const Point& query, int k,
+                   std::vector<Point>* neighbors) {
+  if (k <= 0) return false;
+  // Validate before touching index_of: permutation-backed curves index
+  // their key table by the raw cell id, so an out-of-universe query must
+  // hit the typed error, not unchecked memory.
+  const Universe& u = index.curve().universe();
+  if (query.dim() != u.dim() || !u.contains(query)) {
+    throw IndexArgumentError("knn query: point " + query.to_string() +
+                             " lies outside the d=" + std::to_string(u.dim()) +
+                             " side-" + std::to_string(u.side()) + " universe");
+  }
+  // Rows at the query's own key are the query cell itself (keys are a
+  // bijection on cells); ask for that many extra rows so dropping them
+  // cannot lose the k-th neighbor, duplicates included.  Ordering by
+  // (squared distance, key, row) matches the window path's (distance, key)
+  // ranking on integer grids.
+  const index_t query_key = index.curve().index_of(query);
+  const auto [self_first, self_last] =
+      index.rows_in_interval(query_key, query_key);
+  KnnEngine engine(index);
+  const std::vector<KnnNeighbor> found = engine.query(
+      query, static_cast<std::uint32_t>(k) +
+                 static_cast<std::uint32_t>(self_last - self_first));
+  std::vector<Point> cells;
+  cells.reserve(static_cast<std::size_t>(k));
+  for (const KnnNeighbor& neighbor : found) {
+    if (cells.size() == static_cast<std::size_t>(k)) break;
+    const Point cell = index.curve().point_at(neighbor.key);
+    if (cell == query) continue;
+    cells.push_back(cell);
+  }
+  if (cells.size() < static_cast<std::size_t>(k)) return false;
+  if (neighbors != nullptr) *neighbors = std::move(cells);
   return true;
 }
 

@@ -14,6 +14,7 @@
 
 #include "sfc/common/types.h"
 #include "sfc/curves/space_filling_curve.h"
+#include "sfc/index/point_index.h"
 #include "sfc/rng/xoshiro256.h"
 
 namespace sfc {
@@ -38,13 +39,26 @@ struct NNWindowStats {
 NNWindowStats measure_nn_window(const SpaceFillingCurve& curve,
                                 std::uint64_t samples, std::uint64_t seed);
 
-/// Exhaustive kNN ground truth helper: the `k` cells closest to `query` in
-/// Euclidean distance (ties broken by curve key), found by scanning a curve
-/// window of half-width `window` around the query's key.  Returns true if
-/// the window provably contains the true k nearest (i.e. the k-th best
-/// distance found is <= the distance to any cell outside the scanned box).
-/// Used by tests and the knn example to demonstrate window-based search.
+/// Window-enumeration kNN, kept as the *reference-only* path: the `k` cells
+/// closest to `query` in Euclidean distance (ties broken by curve key),
+/// found by decoding the whole curve window of half-width `window` around
+/// the query's key.  Returns true if the window provably contains the true k
+/// nearest (i.e. the k-th best distance found is <= the distance to any cell
+/// outside the scanned box).  Serving traffic goes through the certified
+/// best-first descent instead (sfc/index KnnEngine, adapted below), which
+/// needs no window guess and touches O(output) rows; tests cross-check the
+/// two paths against each other.
 bool knn_via_window(const SpaceFillingCurve& curve, const Point& query, int k,
                     index_t window, std::vector<Point>* neighbors);
+
+/// Index-backed kNN with knn_via_window's contract: the k cells nearest to
+/// `query` among the indexed points, *excluding* rows whose point equals the
+/// query cell itself, ordered by (Euclidean distance, curve key).  Runs the
+/// certified best-first engine, so it always returns true when the index
+/// holds at least k other cells — no window parameter to guess.  `index` is
+/// typically a full-grid index (every cell indexed once), making this a
+/// drop-in replacement for window search in the kNN example workloads.
+bool knn_via_index(const PointIndex& index, const Point& query, int k,
+                   std::vector<Point>* neighbors);
 
 }  // namespace sfc

@@ -18,6 +18,7 @@
 #include "sfc/common/types.h"
 #include "sfc/curves/space_filling_curve.h"
 #include "sfc/grid/box.h"
+#include "sfc/index/point_index.h"
 #include "sfc/parallel/thread_pool.h"
 #include "sfc/rng/sampling.h"
 
@@ -72,5 +73,27 @@ ClusteringStats random_box_clustering(const SpaceFillingCurve& curve,
                                       coord_t extent, std::uint64_t samples,
                                       std::uint64_t seed,
                                       const ClusteringOptions& options = {});
+
+/// Scan-efficiency of index-backed range queries (sfc/index): how much of
+/// the stored data a rectangular query actually touches.
+struct ScanEfficiencyStats {
+  coord_t extent = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t index_rows = 0;       ///< rows a full scan pays per query
+  double mean_rows_returned = 0.0;
+  double mean_rows_scanned = 0.0;     ///< == returned: exact covers overscan 0
+  double mean_runs = 0.0;             ///< mean cover intervals per query
+  double mean_runs_touched = 0.0;     ///< intervals resolving to >= 1 row
+  /// index_rows / mean_rows_scanned — the row-touch advantage over a full
+  /// scan (what bench/perf_index_query gates in wall clock).
+  double full_scan_ratio = 0.0;
+};
+
+/// Runs `samples` uniformly placed extent^d box queries against the index
+/// (per-sample RNG streams + deterministic reduction, like
+/// random_box_clustering: bit-identical for any thread count/grain).
+ScanEfficiencyStats random_box_scan_efficiency(
+    const PointIndex& index, coord_t extent, std::uint64_t samples,
+    std::uint64_t seed, const ClusteringOptions& options = {});
 
 }  // namespace sfc

@@ -1,8 +1,9 @@
 #include "sfc/curves/curve_factory.h"
 
-#include <cstdlib>
 #include <memory>
+#include <string>
 
+#include "sfc/curves/curve_error.h"
 #include "sfc/curves/gray_curve.h"
 #include "sfc/curves/hilbert_curve.h"
 #include "sfc/curves/permutation_curve.h"
@@ -35,7 +36,8 @@ std::string family_name(CurveFamily family) {
     case CurveFamily::kHilbert: return "hilbert";
     case CurveFamily::kRandom: return "random";
   }
-  std::abort();
+  throw CurveArgumentError("unknown curve family id " +
+                           std::to_string(static_cast<int>(family)));
 }
 
 bool family_requires_pow2(CurveFamily family) {
@@ -49,7 +51,8 @@ bool family_requires_pow2(CurveFamily family) {
     case CurveFamily::kRandom:
       return false;
   }
-  std::abort();
+  throw CurveArgumentError("unknown curve family id " +
+                           std::to_string(static_cast<int>(family)));
 }
 
 CurvePtr make_curve(CurveFamily family, const Universe& universe,
@@ -62,7 +65,8 @@ CurvePtr make_curve(CurveFamily family, const Universe& universe,
     case CurveFamily::kHilbert: return std::make_unique<HilbertCurve>(universe);
     case CurveFamily::kRandom: return PermutationCurve::random(universe, seed);
   }
-  std::abort();
+  throw CurveArgumentError("unknown curve family id " +
+                           std::to_string(static_cast<int>(family)));
 }
 
 }  // namespace sfc

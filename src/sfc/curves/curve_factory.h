@@ -30,6 +30,8 @@ std::string family_name(CurveFamily family);
 bool family_requires_pow2(CurveFamily family);
 
 /// Constructs a curve on `universe`.  `seed` is used only by kRandom.
+/// family_name / family_requires_pow2 / make_curve throw CurveArgumentError
+/// on CurveFamily values outside the enum.
 CurvePtr make_curve(CurveFamily family, const Universe& universe,
                     std::uint64_t seed = 1);
 

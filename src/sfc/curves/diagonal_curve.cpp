@@ -1,11 +1,16 @@
 #include "sfc/curves/diagonal_curve.h"
 
-#include <cstdlib>
+#include <string>
+
+#include "sfc/curves/curve_error.h"
 
 namespace sfc {
 
 DiagonalCurve::DiagonalCurve(Universe universe) : SpaceFillingCurve(universe) {
-  if (universe_.dim() != 2) std::abort();
+  if (universe_.dim() != 2) {
+    throw CurveArgumentError("diagonal curve requires a 2-d universe, got d=" +
+                             std::to_string(universe_.dim()));
+  }
 }
 
 coord_t DiagonalCurve::diagonal_length(coord_t s) const {

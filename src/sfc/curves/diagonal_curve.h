@@ -16,7 +16,7 @@ namespace sfc {
 
 class DiagonalCurve final : public SpaceFillingCurve {
  public:
-  /// 2-d universes only.
+  /// 2-d universes only (throws CurveArgumentError otherwise).
   explicit DiagonalCurve(Universe universe);
 
   std::string name() const override { return "diagonal"; }

@@ -1,7 +1,8 @@
 #include "sfc/curves/permutation_curve.h"
 
-#include <cstdlib>
+#include <string>
 
+#include "sfc/curves/curve_error.h"
 #include "sfc/rng/sampling.h"
 
 namespace sfc {
@@ -10,11 +11,21 @@ PermutationCurve::PermutationCurve(Universe universe, std::vector<index_t> keys,
                                    std::string name)
     : SpaceFillingCurve(universe), keys_(std::move(keys)), name_(std::move(name)) {
   const index_t n = universe_.cell_count();
-  if (keys_.size() != n) std::abort();
+  if (keys_.size() != n) {
+    throw CurveArgumentError("permutation table has " +
+                             std::to_string(keys_.size()) +
+                             " entries for a universe of " + std::to_string(n) +
+                             " cells");
+  }
   inverse_.assign(n, n);  // n = "unset" sentinel
   for (index_t id = 0; id < n; ++id) {
     const index_t key = keys_[id];
-    if (key >= n || inverse_[key] != n) std::abort();  // not a bijection
+    if (key >= n || inverse_[key] != n) {
+      throw CurveArgumentError(
+          "permutation table is not a bijection: key " + std::to_string(key) +
+          " at cell id " + std::to_string(id) +
+          (key >= n ? " is out of range" : " is assigned twice"));
+    }
     inverse_[key] = id;
   }
 }

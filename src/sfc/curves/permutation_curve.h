@@ -17,7 +17,8 @@ namespace sfc {
 class PermutationCurve final : public SpaceFillingCurve {
  public:
   /// `keys[row_major_id]` = curve position of that cell.  Must be a
-  /// permutation of {0..n-1}; validated at construction (aborts otherwise).
+  /// permutation of {0..n-1}; validated at construction (throws
+  /// CurveArgumentError otherwise).
   PermutationCurve(Universe universe, std::vector<index_t> keys,
                    std::string name = "permutation");
 

@@ -10,6 +10,26 @@
 
 namespace sfc {
 
+std::uint64_t SubtreeNode::min_squared_distance(const Point& q) const {
+  // Per-dimension clamp of q onto the subcube [origin, origin + side - 1]:
+  // the nearest cell differs from q only in the dimensions where q falls
+  // outside the slab, by exactly the distance to the nearer face.
+  std::uint64_t total = 0;
+  const int d = q.dim();
+  for (int i = 0; i < d; ++i) {
+    const coord_t lo = origin[i];
+    const coord_t hi = origin[i] + (side - 1);
+    std::uint64_t gap = 0;
+    if (q[i] < lo) {
+      gap = lo - q[i];
+    } else if (q[i] > hi) {
+      gap = q[i] - hi;
+    }
+    total += gap * gap;
+  }
+  return total;
+}
+
 index_t SpaceFillingCurve::curve_distance(const Point& a, const Point& b) const {
   const index_t ka = index_of(a);
   const index_t kb = index_of(b);

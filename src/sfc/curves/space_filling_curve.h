@@ -29,6 +29,11 @@ struct SubtreeNode {
   index_t key_lo = 0;  ///< first curve key of the subtree
   index_t key_count = 0;  ///< side^d — number of cells/keys in the subtree
   std::uint32_t state = 0;  ///< opaque curve-specific descent state
+
+  /// Exact minimum squared Euclidean distance from `q` (same dimension as
+  /// the node) to any cell of the subcube — 0 when q lies inside it.  The
+  /// best-first kNN descent (sfc/index) orders its frontier by this bound.
+  std::uint64_t min_squared_distance(const Point& q) const;
 };
 
 class SpaceFillingCurve {

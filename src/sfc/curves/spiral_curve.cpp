@@ -1,12 +1,17 @@
 #include "sfc/curves/spiral_curve.h"
 
 #include <algorithm>
-#include <cstdlib>
+#include <string>
+
+#include "sfc/curves/curve_error.h"
 
 namespace sfc {
 
 SpiralCurve::SpiralCurve(Universe universe) : SpaceFillingCurve(universe) {
-  if (universe_.dim() != 2) std::abort();
+  if (universe_.dim() != 2) {
+    throw CurveArgumentError("spiral curve requires a 2-d universe, got d=" +
+                             std::to_string(universe_.dim()));
+  }
 }
 
 index_t SpiralCurve::ring_offset(coord_t r) const {

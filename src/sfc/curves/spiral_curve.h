@@ -14,7 +14,7 @@ namespace sfc {
 
 class SpiralCurve final : public SpaceFillingCurve {
  public:
-  /// 2-d universes only.
+  /// 2-d universes only (throws CurveArgumentError otherwise).
   explicit SpiralCurve(Universe universe);
 
   std::string name() const override { return "spiral"; }

@@ -1,0 +1,112 @@
+#include "sfc/index/point_index.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "sfc/sort/radix_sort.h"
+
+namespace sfc {
+
+namespace {
+
+/// Smallest input position holding an invalid point, or points.size() when
+/// the dataset is clean.  A deterministic reduction (min over chunk minima)
+/// so the error message names the same point for every thread count.
+std::uint64_t first_invalid_point(const Universe& u,
+                                  std::span<const Point> points,
+                                  ThreadPool& pool, std::uint64_t grain) {
+  const std::uint64_t n = points.size();
+  return parallel_reduce(
+      pool, n, grain, n,
+      [&](const ChunkRange& range) {
+        for (std::uint64_t i = range.begin; i < range.end; ++i) {
+          if (points[i].dim() != u.dim() || !u.contains(points[i])) return i;
+        }
+        return n;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return std::min(a, b); });
+}
+
+}  // namespace
+
+PointIndex PointIndex::build(const SpaceFillingCurve& curve,
+                             std::span<const Point> points,
+                             const IndexBuildOptions& options) {
+  if (points.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw IndexArgumentError(
+        "point index build: " + std::to_string(points.size()) +
+        " points exceed the 32-bit payload-id limit");
+  }
+  const Universe& u = curve.universe();
+  ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : ThreadPool::shared();
+  const std::uint64_t grain =
+      options.grain == 0 ? kDefaultGrain : options.grain;
+  const std::uint64_t bad = first_invalid_point(u, points, pool, grain);
+  if (bad != points.size()) {
+    throw IndexArgumentError(
+        "point index build: point at position " + std::to_string(bad) + " " +
+        points[bad].to_string() + " lies outside the d=" +
+        std::to_string(u.dim()) + " side-" + std::to_string(u.side()) +
+        " universe");
+  }
+
+  PointIndex index;
+  index.curve_ = &curve;
+  index.block_rows_ = options.block_rows == 0 ? 256 : options.block_rows;
+
+  SortOptions sort_options;
+  sort_options.pool = &pool;
+  sort_options.grain = grain;
+  SortedKeyColumns columns = sort_curve_key_columns(curve, points, sort_options);
+  index.keys_ = std::move(columns.keys);
+  index.ids_ = std::move(columns.ids);
+
+  // Gather the points into key order so interval scans stream contiguously.
+  const std::uint64_t n = index.keys_.size();
+  index.points_.resize(n);
+  parallel_for_chunks(pool, n, grain, [&](const ChunkRange& range) {
+    for (std::uint64_t i = range.begin; i < range.end; ++i) {
+      index.points_[i] = points[index.ids_[i]];
+    }
+  });
+
+  // Sparse directory: the last (max) key of each row block.  With sorted
+  // keys this is one strided read of the key column.
+  const std::uint64_t blocks =
+      (n + index.block_rows_ - 1) / index.block_rows_;
+  index.block_last_key_.resize(blocks);
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    const std::uint64_t end =
+        std::min<std::uint64_t>((b + 1) * index.block_rows_, n);
+    index.block_last_key_[b] = index.keys_[end - 1];
+  }
+  return index;
+}
+
+std::uint64_t PointIndex::lower_bound_row(index_t key) const {
+  const auto dir_it = std::lower_bound(block_last_key_.begin(),
+                                       block_last_key_.end(), key);
+  if (dir_it == block_last_key_.end()) return row_count();
+  const std::uint64_t block =
+      static_cast<std::uint64_t>(dir_it - block_last_key_.begin());
+  const std::uint64_t begin = block * block_rows_;
+  const std::uint64_t end = std::min<std::uint64_t>(begin + block_rows_, row_count());
+  return static_cast<std::uint64_t>(
+      std::lower_bound(keys_.begin() + static_cast<std::ptrdiff_t>(begin),
+                       keys_.begin() + static_cast<std::ptrdiff_t>(end), key) -
+      keys_.begin());
+}
+
+std::pair<std::uint64_t, std::uint64_t> PointIndex::rows_in_interval(
+    index_t lo, index_t hi) const {
+  const std::uint64_t first = lower_bound_row(lo);
+  // upper_bound(hi) == lower_bound(hi + 1); keys are < 2^63 (cell counts),
+  // so hi + 1 cannot wrap for in-universe intervals, but guard anyway.
+  const std::uint64_t last = hi == std::numeric_limits<index_t>::max()
+                                 ? row_count()
+                                 : lower_bound_row(hi + 1);
+  return {first, std::max(first, last)};
+}
+
+}  // namespace sfc

@@ -1,0 +1,49 @@
+#include "sfc/index/range_scan.h"
+
+namespace sfc {
+
+void RangeScanEngine::scan(const Box& box, std::vector<std::uint32_t>* out,
+                           RangeScanStats* stats) {
+  out->clear();
+  RangeScanStats local;
+  CoverStats cover_stats;
+  const std::span<const std::uint32_t> ids = index_.ids();
+  cover_.for_each_interval(
+      box, ws_,
+      [&](const KeyInterval& interval) {
+        ++local.runs_in_cover;
+        const auto [first, last] =
+            index_.rows_in_interval(interval.lo, interval.hi);
+        if (first == last) return;
+        ++local.runs_touched;
+        local.rows_returned += last - first;
+        out->insert(out->end(), ids.begin() + static_cast<std::ptrdiff_t>(first),
+                    ids.begin() + static_cast<std::ptrdiff_t>(last));
+      },
+      &cover_stats);
+  // Exact covers: every resolved row is a hit, nothing else was touched.
+  local.rows_scanned = local.rows_returned;
+  local.nodes_visited = cover_stats.nodes_visited;
+  local.used_subtree = cover_stats.used_subtree;
+  if (stats != nullptr) *stats = local;
+}
+
+std::vector<std::uint32_t> range_scan_full(const PointIndex& index,
+                                           const Box& box,
+                                           RangeScanStats* stats) {
+  std::vector<std::uint32_t> out;
+  const std::uint64_t n = index.row_count();
+  for (std::uint64_t row = 0; row < n; ++row) {
+    if (box.contains(index.point_of_row(row))) {
+      out.push_back(index.id_of_row(row));
+    }
+  }
+  if (stats != nullptr) {
+    *stats = RangeScanStats{};
+    stats->rows_returned = out.size();
+    stats->rows_scanned = n;
+  }
+  return out;
+}
+
+}  // namespace sfc

@@ -41,17 +41,52 @@ void emit(std::vector<KeyInterval>& out, index_t lo, index_t hi) {
   }
 }
 
+/// Shared streaming loop of the enumeration path: batch-encode every cell of
+/// the box into `keys` (reusing its capacity), sort, merge adjacent keys.
+void enumerate_cover_into(const SpaceFillingCurve& curve, const Box& box,
+                          std::vector<index_t>& keys,
+                          std::vector<KeyInterval>& out) {
+  keys.clear();
+  keys.reserve(box.cell_count());
+  std::array<Point, kBoxSliceCells> cell_buf;
+  std::size_t pending = 0;
+  auto flush = [&] {
+    const std::size_t at = keys.size();
+    keys.resize(at + pending);
+    curve.index_of_batch(std::span<const Point>(cell_buf.data(), pending),
+                         std::span<index_t>(keys.data() + at, pending));
+    pending = 0;
+  };
+  box.for_each_cell([&](const Point& cell) {
+    cell_buf[pending++] = cell;
+    if (pending == cell_buf.size()) flush();
+  });
+  if (pending > 0) flush();
+  radix_sort_keys(keys);
+  out.clear();
+  for (const index_t key : keys) emit(out, key, key);
+}
+
 }  // namespace
 
 std::vector<KeyInterval> RangeCoverEngine::cover(const Box& box,
                                                  CoverStats* stats) const {
+  CoverWorkspace ws;
+  const std::span<const KeyInterval> result = cover(box, ws, stats);
+  return std::vector<KeyInterval>(result.begin(), result.end());
+}
+
+std::span<const KeyInterval> RangeCoverEngine::cover(const Box& box,
+                                                     CoverWorkspace& ws,
+                                                     CoverStats* stats) const {
   const Universe& u = curve_.universe();
   if (box.dim() != u.dim() || !u.contains(box.lo()) || !u.contains(box.hi())) {
     std::abort();  // box must lie inside the universe
   }
   if (stats != nullptr) *stats = CoverStats{};
   if (!curve_.has_subtree_traversal()) {
-    return cover_by_enumeration(curve_, box);
+    enumerate_cover_into(curve_, box, ws.keys, ws.merged);
+    return ws.merged;
   }
   if (stats != nullptr) stats->used_subtree = true;
 
@@ -63,9 +98,11 @@ std::vector<KeyInterval> RangeCoverEngine::cover(const Box& box,
   // Emitted intervals are disjoint but arrive out of key order across
   // levels; a final sort + adjacent-merge restores the canonical maximal
   // cover.  Work stays O(runs · log side), plus the O(runs · log runs) sort.
-  std::vector<KeyInterval> out;
-  std::vector<SubtreeNode> frontier;
-  std::vector<SubtreeNode> children;
+  std::vector<KeyInterval>& out = ws.raw;
+  std::vector<SubtreeNode>& frontier = ws.frontier;
+  std::vector<SubtreeNode>& children = ws.children;
+  out.clear();
+  frontier.clear();
   const SubtreeNode root = curve_.subtree_root();
   if (stats != nullptr) ++stats->nodes_visited;
   switch (classify(root, box)) {
@@ -101,7 +138,8 @@ std::vector<KeyInterval> RangeCoverEngine::cover(const Box& box,
   }
   std::sort(out.begin(), out.end(),
             [](const KeyInterval& a, const KeyInterval& b) { return a.lo < b.lo; });
-  std::vector<KeyInterval> merged;
+  std::vector<KeyInterval>& merged = ws.merged;
+  merged.clear();
   merged.reserve(out.size());
   for (const KeyInterval& interval : out) {
     emit(merged, interval.lo, interval.hi);
@@ -112,24 +150,8 @@ std::vector<KeyInterval> RangeCoverEngine::cover(const Box& box,
 std::vector<KeyInterval> cover_by_enumeration(const SpaceFillingCurve& curve,
                                               const Box& box) {
   std::vector<index_t> keys;
-  keys.reserve(box.cell_count());
-  std::array<Point, kBoxSliceCells> cell_buf;
-  std::size_t pending = 0;
-  auto flush = [&] {
-    const std::size_t at = keys.size();
-    keys.resize(at + pending);
-    curve.index_of_batch(std::span<const Point>(cell_buf.data(), pending),
-                         std::span<index_t>(keys.data() + at, pending));
-    pending = 0;
-  };
-  box.for_each_cell([&](const Point& cell) {
-    cell_buf[pending++] = cell;
-    if (pending == cell_buf.size()) flush();
-  });
-  if (pending > 0) flush();
-  radix_sort_keys(keys);
   std::vector<KeyInterval> out;
-  for (const index_t key : keys) emit(out, key, key);
+  enumerate_cover_into(curve, box, keys, out);
   return out;
 }
 

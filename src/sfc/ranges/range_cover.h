@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "sfc/common/types.h"
@@ -46,6 +47,19 @@ struct CoverStats {
   bool used_subtree = false;
 };
 
+/// Reusable scratch buffers for RangeCoverEngine: the descent frontier, the
+/// unmerged interval list, the merged cover, and the enumeration fallback's
+/// key buffer.  Multi-query consumers (the point index's range scans, the
+/// multi-query executor) keep one workspace per thread so that, after the
+/// first query, covers are produced without allocating.
+struct CoverWorkspace {
+  std::vector<SubtreeNode> frontier;
+  std::vector<SubtreeNode> children;
+  std::vector<KeyInterval> raw;
+  std::vector<KeyInterval> merged;
+  std::vector<index_t> keys;
+};
+
 /// Decomposes axis-aligned boxes into their exact, sorted, disjoint, maximal
 /// curve-key intervals.  The box must lie inside the curve's universe.
 class RangeCoverEngine {
@@ -58,6 +72,20 @@ class RangeCoverEngine {
   /// count) of the box.
   std::vector<KeyInterval> cover(const Box& box,
                                  CoverStats* stats = nullptr) const;
+
+  /// Allocation-free variant for multi-query workloads: the cover lands in
+  /// `ws.merged` (reusing its capacity) and the returned span views it — the
+  /// span is valid until the workspace is next used or destroyed.
+  std::span<const KeyInterval> cover(const Box& box, CoverWorkspace& ws,
+                                     CoverStats* stats = nullptr) const;
+
+  /// Interval-consumer form of the workspace overload: fn(interval) for each
+  /// cover interval in ascending key order, without handing out the buffer.
+  template <typename Fn>
+  void for_each_interval(const Box& box, CoverWorkspace& ws, Fn&& fn,
+                         CoverStats* stats = nullptr) const {
+    for (const KeyInterval& interval : cover(box, ws, stats)) fn(interval);
+  }
 
   const SpaceFillingCurve& curve() const { return curve_; }
 

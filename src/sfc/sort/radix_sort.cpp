@@ -233,4 +233,25 @@ std::vector<KeyIndex> sort_by_curve_key(const SpaceFillingCurve& curve,
   return items;
 }
 
+SortedKeyColumns sort_curve_key_columns(const SpaceFillingCurve& curve,
+                                        std::span<const Point> cells,
+                                        const SortOptions& options) {
+  const std::vector<KeyIndex> records = sort_by_curve_key(curve, cells, options);
+  const std::uint64_t n = records.size();
+  SortedKeyColumns columns;
+  columns.keys.resize(n);
+  columns.ids.resize(n);
+  if (n == 0) return columns;
+  ThreadPool& pool = options.pool ? *options.pool : ThreadPool::shared();
+  const std::uint64_t grain = normalized_grain(options);
+  over_chunks(pool, n, grain, chunk_count(n, grain),
+              [&](const ChunkRange& range) {
+                for (std::uint64_t i = range.begin; i < range.end; ++i) {
+                  columns.keys[i] = records[i].key;
+                  columns.ids[i] = records[i].index;
+                }
+              });
+  return columns;
+}
+
 }  // namespace sfc

@@ -75,4 +75,20 @@ std::vector<KeyIndex> sort_by_curve_key(const SpaceFillingCurve& curve,
                                         std::span<const Point> cells,
                                         const SortOptions& options = {});
 
+/// Column layout of a sorted (key, payload) table: keys[r] is the r-th
+/// smallest curve key and ids[r] the position in the input it came from.
+struct SortedKeyColumns {
+  std::vector<index_t> keys;
+  std::vector<std::uint32_t> ids;
+};
+
+/// Bulk-build entry point of the point index (sfc/index): the same fused
+/// encode + first-counting-pass pipeline as sort_by_curve_key, with the
+/// sorted records then unzipped (in parallel, on the same chunk grid) into a
+/// standalone key column and id column, so index lookups binary-search a
+/// dense key array instead of striding over interleaved payloads.
+SortedKeyColumns sort_curve_key_columns(const SpaceFillingCurve& curve,
+                                        std::span<const Point> cells,
+                                        const SortOptions& options = {});
+
 }  // namespace sfc

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sfc/curves/curve_error.h"
+
 namespace sfc {
 namespace {
 
@@ -57,6 +59,13 @@ TEST(CurveFactory, NonPow2FamiliesWorkOnArbitrarySides) {
 TEST(CurveFactory, AllFamiliesListedOnce) {
   EXPECT_EQ(all_curve_families().size(), 6u);
   EXPECT_EQ(analytic_curve_families().size(), 5u);
+}
+
+TEST(CurveFactory, UnknownFamilyThrows) {
+  const CurveFamily bogus = static_cast<CurveFamily>(999);
+  EXPECT_THROW(family_name(bogus), CurveArgumentError);
+  EXPECT_THROW(family_requires_pow2(bogus), CurveArgumentError);
+  EXPECT_THROW(make_curve(bogus, Universe::pow2(2, 2)), CurveArgumentError);
 }
 
 }  // namespace

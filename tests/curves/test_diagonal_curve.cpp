@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "sfc/curves/curve_error.h"
+
 namespace sfc {
 namespace {
 
@@ -61,8 +63,9 @@ TEST(DiagonalCurve, EndsAtFarCorner) {
   EXPECT_EQ(z.point_at(u.cell_count() - 1), (Point{6, 6}));
 }
 
-TEST(DiagonalCurveDeath, Rejects3D) {
-  EXPECT_DEATH(DiagonalCurve(Universe(3, 4)), "");
+TEST(DiagonalCurve, NonTwoDimensionalUniverseThrows) {
+  EXPECT_THROW(DiagonalCurve(Universe(1, 8)), CurveArgumentError);
+  EXPECT_THROW(DiagonalCurve(Universe(3, 4)), CurveArgumentError);
 }
 
 }  // namespace

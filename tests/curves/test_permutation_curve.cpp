@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "sfc/curves/curve_error.h"
+
 namespace sfc {
 namespace {
 
@@ -71,11 +73,14 @@ TEST(PermutationCurve, NameEncodesSeed) {
   EXPECT_EQ(PermutationCurve::random(u, 31)->name(), "random-31");
 }
 
-TEST(PermutationCurveDeath, RejectsNonBijection) {
-  const Universe u(1, 3);
-  EXPECT_DEATH(PermutationCurve(u, {0, 0, 2}), "");
-  EXPECT_DEATH(PermutationCurve(u, {0, 1, 3}), "");
-  EXPECT_DEATH(PermutationCurve(u, {0, 1}), "");
+TEST(PermutationCurve, InvalidTablesThrow) {
+  const Universe u(1, 4);
+  // Wrong size.
+  EXPECT_THROW(PermutationCurve(u, {0, 1, 2}), CurveArgumentError);
+  // Out-of-range key.
+  EXPECT_THROW(PermutationCurve(u, {0, 1, 2, 4}), CurveArgumentError);
+  // Duplicate key.
+  EXPECT_THROW(PermutationCurve(u, {0, 1, 2, 2}), CurveArgumentError);
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "sfc/curves/curve_error.h"
+
 namespace sfc {
 namespace {
 
@@ -70,9 +72,9 @@ TEST(SpiralCurve, ReportsContinuous) {
   EXPECT_TRUE(SpiralCurve(Universe(2, 4)).is_continuous());
 }
 
-TEST(SpiralCurveDeath, Rejects1DAnd3D) {
-  EXPECT_DEATH(SpiralCurve(Universe(1, 8)), "");
-  EXPECT_DEATH(SpiralCurve(Universe(3, 4)), "");
+TEST(SpiralCurve, NonTwoDimensionalUniverseThrows) {
+  EXPECT_THROW(SpiralCurve(Universe(1, 8)), CurveArgumentError);
+  EXPECT_THROW(SpiralCurve(Universe(3, 4)), CurveArgumentError);
 }
 
 }  // namespace

@@ -1,0 +1,135 @@
+// The multi-query executor must be a pure function of (index, queries):
+// results and statistics bit-identical across 1/2/8 threads and any grain,
+// and identical to driving one engine serially.
+#include "sfc/index/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sfc/curves/curve_factory.h"
+#include "sfc/parallel/thread_pool.h"
+#include "sfc/rng/sampling.h"
+
+namespace sfc {
+namespace {
+
+struct Workload {
+  CurvePtr curve;
+  std::vector<Point> points;
+  std::vector<Box> boxes;
+  std::vector<Point> queries;
+};
+
+Workload make_workload(CurveFamily family, std::uint64_t seed) {
+  Workload w;
+  const Universe u = Universe::pow2(2, 6);
+  w.curve = make_curve(family, u, 7);
+  Xoshiro256 rng(seed);
+  for (int i = 0; i < 2000; ++i) w.points.push_back(random_cell(u, rng));
+  for (int i = 0; i < 100; ++i) w.boxes.push_back(random_box(u, 9, rng));
+  for (int i = 0; i < 100; ++i) w.queries.push_back(random_cell(u, rng));
+  return w;
+}
+
+void expect_same_range_results(const std::vector<RangeQueryResult>& a,
+                               const std::vector<RangeQueryResult>& b,
+                               const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ids, b[i].ids) << label << " query " << i;
+    EXPECT_EQ(a[i].stats.rows_returned, b[i].stats.rows_returned) << label;
+    EXPECT_EQ(a[i].stats.rows_scanned, b[i].stats.rows_scanned) << label;
+    EXPECT_EQ(a[i].stats.runs_in_cover, b[i].stats.runs_in_cover) << label;
+    EXPECT_EQ(a[i].stats.runs_touched, b[i].stats.runs_touched) << label;
+    EXPECT_EQ(a[i].stats.nodes_visited, b[i].stats.nodes_visited) << label;
+  }
+}
+
+void expect_same_knn_results(const std::vector<KnnQueryResult>& a,
+                             const std::vector<KnnQueryResult>& b,
+                             const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].neighbors, b[i].neighbors) << label << " query " << i;
+    EXPECT_EQ(a[i].stats.nodes_expanded, b[i].stats.nodes_expanded) << label;
+    EXPECT_EQ(a[i].stats.frontier_pushes, b[i].stats.frontier_pushes) << label;
+    EXPECT_EQ(a[i].stats.rows_scanned, b[i].stats.rows_scanned) << label;
+    EXPECT_EQ(a[i].stats.certified, b[i].stats.certified) << label;
+  }
+}
+
+TEST(IndexExecutor, RangeQueriesDeterministicAcrossThreadsAndGrains) {
+  for (CurveFamily family : {CurveFamily::kHilbert, CurveFamily::kZ,
+                             CurveFamily::kSnake}) {
+    const Workload w = make_workload(family, 42);
+    const PointIndex index = PointIndex::build(*w.curve, w.points);
+
+    // Serial reference: one engine, one thread of execution.
+    std::vector<RangeQueryResult> serial(w.boxes.size());
+    RangeScanEngine engine(index);
+    for (std::size_t i = 0; i < w.boxes.size(); ++i) {
+      engine.scan(w.boxes[i], &serial[i].ids, &serial[i].stats);
+    }
+
+    ThreadPool pool1(1);
+    ThreadPool pool2(2);
+    ThreadPool pool8(8);
+    for (ThreadPool* pool : {&pool1, &pool2, &pool8}) {
+      for (std::uint64_t grain : {std::uint64_t{1}, std::uint64_t{7},
+                                  std::uint64_t{1000}}) {
+        MultiQueryOptions options;
+        options.pool = pool;
+        options.grain = grain;
+        expect_same_range_results(
+            run_range_queries(index, w.boxes, options), serial,
+            family_name(family) + " threads=" +
+                std::to_string(pool->thread_count()) + " grain=" +
+                std::to_string(grain));
+      }
+    }
+  }
+}
+
+TEST(IndexExecutor, KnnQueriesDeterministicAcrossThreadsAndGrains) {
+  for (CurveFamily family : {CurveFamily::kHilbert, CurveFamily::kGray}) {
+    const Workload w = make_workload(family, 43);
+    const PointIndex index = PointIndex::build(*w.curve, w.points);
+
+    std::vector<KnnQueryResult> serial(w.queries.size());
+    KnnEngine engine(index);
+    for (std::size_t i = 0; i < w.queries.size(); ++i) {
+      serial[i].neighbors = engine.query(w.queries[i], 7, &serial[i].stats);
+    }
+
+    ThreadPool pool1(1);
+    ThreadPool pool2(2);
+    ThreadPool pool8(8);
+    for (ThreadPool* pool : {&pool1, &pool2, &pool8}) {
+      for (std::uint64_t grain : {std::uint64_t{1}, std::uint64_t{13},
+                                  std::uint64_t{1000}}) {
+        MultiQueryOptions options;
+        options.pool = pool;
+        options.grain = grain;
+        expect_same_knn_results(
+            run_knn_queries(index, w.queries, 7, options), serial,
+            family_name(family) + " threads=" +
+                std::to_string(pool->thread_count()) + " grain=" +
+                std::to_string(grain));
+      }
+    }
+  }
+}
+
+TEST(IndexExecutor, EmptyBatches) {
+  const Universe u = Universe::pow2(2, 4);
+  const CurvePtr h = make_curve(CurveFamily::kHilbert, u);
+  const PointIndex index = PointIndex::build(*h, std::vector<Point>{Point{1, 2}});
+  EXPECT_TRUE(run_range_queries(index, {}).empty());
+  EXPECT_TRUE(run_knn_queries(index, {}, 3).empty());
+}
+
+}  // namespace
+}  // namespace sfc

@@ -1,0 +1,229 @@
+// Certified best-first kNN against brute force, for every curve family in
+// 1D/2D/3D (plus 4D Hilbert and triadic Peano): results must be
+// bit-identical to the reference ranking — (squared distance, key, row)
+// ascending, duplicates included — and every query must terminate certified.
+#include "sfc/index/knn.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "sfc/apps/nn_query.h"
+#include "sfc/curves/curve_factory.h"
+#include "sfc/curves/peano_curve.h"
+#include "sfc/curves/spiral_curve.h"
+#include "sfc/grid/box.h"
+#include "sfc/rng/sampling.h"
+
+namespace sfc {
+namespace {
+
+std::vector<Point> random_points(const Universe& u, std::size_t count,
+                                 std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Point> points;
+  points.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) points.push_back(random_cell(u, rng));
+  return points;
+}
+
+/// Reference ranking over the input multiset: every point becomes a
+/// candidate (sq_dist, key, input position); the first k under the total
+/// order are the expected neighbors.  Input position == row tie order
+/// because the index build is stable.
+std::vector<KnnNeighbor> brute_force_knn(const SpaceFillingCurve& curve,
+                                         const std::vector<Point>& points,
+                                         const Point& query, std::uint32_t k) {
+  std::vector<KnnNeighbor> all;
+  all.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    all.push_back(KnnNeighbor{static_cast<std::uint32_t>(i),
+                              curve.index_of(points[i]),
+                              squared_euclidean_distance(query, points[i])});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const KnnNeighbor& a, const KnnNeighbor& b) {
+              return std::tie(a.sq_dist, a.key, a.id) <
+                     std::tie(b.sq_dist, b.key, b.id);
+            });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+void expect_knn_exact(const SpaceFillingCurve& curve,
+                      const std::vector<Point>& points, std::uint64_t seed,
+                      int queries) {
+  const PointIndex index = PointIndex::build(curve, points);
+  KnnEngine engine(index);
+  const Universe& u = curve.universe();
+  Xoshiro256 rng(seed);
+  for (int i = 0; i < queries; ++i) {
+    const Point query = random_cell(u, rng);
+    for (const std::uint32_t k :
+         {std::uint32_t{1}, std::uint32_t{3},
+          static_cast<std::uint32_t>(points.size()),
+          static_cast<std::uint32_t>(points.size()) + 5}) {
+      if (k == 0) continue;
+      const std::string label = curve.name() + " d=" +
+                                std::to_string(u.dim()) + " query " +
+                                query.to_string() + " k=" + std::to_string(k);
+      KnnStats stats;
+      const std::vector<KnnNeighbor> found = engine.query(query, k, &stats);
+      EXPECT_EQ(found, brute_force_knn(curve, points, query, k)) << label;
+      EXPECT_TRUE(stats.certified) << label;
+      EXPECT_EQ(stats.used_subtree, curve.has_subtree_traversal()) << label;
+      // The certificate itself: the k-th found distance cannot exceed the
+      // min distance of any unpopped frontier node.
+      if (stats.frontier_bound_valid && !found.empty()) {
+        EXPECT_LE(found.back().sq_dist, stats.frontier_sq_dist) << label;
+      }
+      // Leaves cover disjoint key ranges, so no row is scanned twice.
+      EXPECT_LE(stats.rows_scanned, index.row_count()) << label;
+    }
+  }
+}
+
+TEST(IndexKnn, FactoryFamilies1D) {
+  const Universe u = Universe::pow2(1, 8);
+  for (CurveFamily family : all_curve_families()) {
+    const CurvePtr curve = make_curve(family, u, 7);
+    expect_knn_exact(*curve, random_points(u, 200, 21), 201, 6);
+  }
+}
+
+TEST(IndexKnn, FactoryFamilies2D) {
+  const Universe u = Universe::pow2(2, 5);
+  for (CurveFamily family : all_curve_families()) {
+    const CurvePtr curve = make_curve(family, u, 7);
+    expect_knn_exact(*curve, random_points(u, 300, 22), 202, 6);
+  }
+}
+
+TEST(IndexKnn, FactoryFamilies3D) {
+  const Universe u = Universe::pow2(3, 3);
+  for (CurveFamily family : all_curve_families()) {
+    const CurvePtr curve = make_curve(family, u, 7);
+    expect_knn_exact(*curve, random_points(u, 300, 23), 203, 5);
+  }
+}
+
+TEST(IndexKnn, Hilbert4D) {
+  const Universe u = Universe::pow2(4, 2);
+  const CurvePtr h = make_curve(CurveFamily::kHilbert, u);
+  expect_knn_exact(*h, random_points(u, 200, 24), 204, 6);
+}
+
+TEST(IndexKnn, PeanoTriadic) {
+  const PeanoCurve peano(Universe(2, 27));
+  expect_knn_exact(peano, random_points(peano.universe(), 300, 25), 205, 5);
+}
+
+TEST(IndexKnn, NonHierarchicalFallback) {
+  const Universe u(2, 12);
+  const SpiralCurve spiral(u);
+  const PointIndex index = PointIndex::build(spiral, random_points(u, 200, 26));
+  KnnEngine engine(index);
+  KnnStats stats;
+  const auto found = engine.query(Point{5, 5}, 4, &stats);
+  EXPECT_EQ(found.size(), 4u);
+  EXPECT_FALSE(stats.used_subtree);
+  EXPECT_TRUE(stats.certified);
+  EXPECT_EQ(stats.rows_scanned, index.row_count());
+  expect_knn_exact(spiral, random_points(u, 150, 27), 206, 4);
+}
+
+TEST(IndexKnn, DuplicateHeavyDataset) {
+  // Duplicates are distinct rows: all copies of the nearest point must be
+  // reported, in input order.
+  const Universe u = Universe::pow2(2, 5);
+  Xoshiro256 rng(7);
+  std::vector<Point> points;
+  for (int i = 0; i < 300; ++i) {
+    points.push_back(Point{static_cast<coord_t>(rng.next_below(3)),
+                           static_cast<coord_t>(rng.next_below(3))});
+  }
+  const CurvePtr h = make_curve(CurveFamily::kHilbert, u);
+  expect_knn_exact(*h, points, 207, 5);
+}
+
+TEST(IndexKnn, DegenerateDatasets) {
+  const Universe u = Universe::pow2(2, 4);
+  const CurvePtr h = make_curve(CurveFamily::kHilbert, u);
+
+  const PointIndex empty = PointIndex::build(*h, {});
+  KnnEngine empty_engine(empty);
+  KnnStats stats;
+  EXPECT_TRUE(empty_engine.query(Point{0, 0}, 3, &stats).empty());
+  EXPECT_TRUE(stats.certified);
+
+  expect_knn_exact(*h, {Point{5, 11}}, 208, 4);
+  expect_knn_exact(*h, std::vector<Point>(50, Point{9, 2}), 209, 4);
+}
+
+TEST(IndexKnn, KZeroAndBadQuery) {
+  const Universe u = Universe::pow2(2, 4);
+  const CurvePtr h = make_curve(CurveFamily::kHilbert, u);
+  const PointIndex index = PointIndex::build(*h, random_points(u, 50, 28));
+  KnnEngine engine(index);
+  EXPECT_TRUE(engine.query(Point{1, 1}, 0).empty());
+  EXPECT_THROW(engine.query(Point{1, 16}, 3), IndexArgumentError);
+  EXPECT_THROW(engine.query(Point{1, 1, 1}, 3), IndexArgumentError);
+  // The app adapter validates before encoding the query (permutation-backed
+  // curves would otherwise index their key table out of bounds).
+  const CurvePtr random = make_curve(CurveFamily::kRandom, u, 3);
+  const PointIndex random_index =
+      PointIndex::build(*random, std::vector<Point>{Point{1, 1}, Point{2, 2}});
+  EXPECT_THROW(knn_via_index(random_index, Point{1, 16}, 1, nullptr),
+               IndexArgumentError);
+}
+
+TEST(IndexKnn, ViaIndexWithDuplicateQueryCellRows) {
+  // The query's own cell appears several times in the index; knn_via_index
+  // must still produce k *other* cells (it sizes its over-ask by the row
+  // count at the query's key).
+  const Universe u = Universe::pow2(2, 4);
+  const CurvePtr h = make_curve(CurveFamily::kHilbert, u);
+  std::vector<Point> points(3, Point{5, 5});
+  points.push_back(Point{5, 6});
+  points.push_back(Point{6, 5});
+  points.push_back(Point{9, 9});
+  const PointIndex index = PointIndex::build(*h, points);
+  std::vector<Point> neighbors;
+  ASSERT_TRUE(knn_via_index(index, Point{5, 5}, 3, &neighbors));
+  ASSERT_EQ(neighbors.size(), 3u);
+  for (const Point& p : neighbors) EXPECT_NE(p, (Point{5, 5}));
+  // Asking for more other-cells than exist must fail, not underfill.
+  EXPECT_FALSE(knn_via_index(index, Point{5, 5}, 4, &neighbors));
+}
+
+TEST(IndexKnn, AgreesWithWindowReferencePath) {
+  // Full-grid index: knn_via_index must reproduce knn_via_window (the
+  // retired enumeration reference) wherever the window path is provably
+  // complete.
+  const Universe u = Universe::pow2(2, 4);
+  const CurvePtr h = make_curve(CurveFamily::kHilbert, u);
+  std::vector<Point> grid;
+  grid.reserve(u.cell_count());
+  Box::full(u).for_each_cell([&](const Point& cell) { grid.push_back(cell); });
+  const PointIndex index = PointIndex::build(*h, grid);
+  Xoshiro256 rng(29);
+  for (int i = 0; i < 20; ++i) {
+    const Point query = random_cell(u, rng);
+    for (int k : {1, 4, 9}) {
+      std::vector<Point> via_window;
+      std::vector<Point> via_index;
+      // Window = whole curve: the reference is always complete.
+      ASSERT_TRUE(knn_via_window(*h, query, k, u.cell_count(), &via_window));
+      ASSERT_TRUE(knn_via_index(index, query, k, &via_index));
+      EXPECT_EQ(via_index, via_window)
+          << "query " << query.to_string() << " k=" << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sfc

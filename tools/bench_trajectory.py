@@ -2,12 +2,14 @@
 """Aggregate Google Benchmark JSON artifacts into one perf-trajectory table.
 
 CI uploads one BENCH_*.json per bench run (encode/decode, sort, metrics
-scaling, range cover, nightly large-scale).  This tool flattens any mix of
-those files — or directories of them, as produced by `gh run download` —
-into a single table, so throughput can be tracked across commits and scales:
+scaling, range cover, index query, nightly large-scale).  This tool flattens
+any mix of those files — or directories of them, as produced by
+`gh run download` — into a single table, so throughput can be tracked across
+commits and scales:
 
   bench_trajectory.py BENCH_metrics_scaling.json BENCH_sort_keys.json
   bench_trajectory.py BENCH_range_cover.json --filter RunCountCover
+  bench_trajectory.py BENCH_index_query.json --filter RangeQuery
   bench_trajectory.py downloaded-artifacts/ --format md
   bench_trajectory.py artifacts/ --filter SlabEngine --format csv
 
@@ -71,8 +73,9 @@ def rows_from_report(path, keep_all):
 
 
 def human_rate(value):
-    # The output-sensitive range-cover engine reports covered cells as items,
-    # which reaches T/s on nightly-scale universes.
+    # Items are bench-specific: covered cells for the range-cover engine
+    # (reaching T/s on nightly-scale universes), queries served for the
+    # index-query benches, points for index builds.
     for scale, suffix in ((1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "K")):
         if value >= scale:
             return f"{value / scale:.2f}{suffix}/s"

@@ -7,11 +7,18 @@
 //   sfctool partition  --curve hilbert --dim 2 --bits 6 --parts 16
 //   sfctool clustering --curve z --dim 2 --bits 6 --extent 4 --samples 200
 //   sfctool cover      --curve hilbert --dim 2 --bits 6 --lo 8,8 --hi 23,39
+//   sfctool index-build --curve hilbert --dim 2 --bits 10 --count 100000
+//   sfctool index-query --curve hilbert --dim 2 --bits 10 --count 100000
+//                       --lo 8,8 --hi 23,39   (or --extent E --samples N)
+//   sfctool index-knn  --curve hilbert --dim 2 --bits 10 --count 100000
+//                      --query 17,33 --k 5
 //   sfctool optimize   --dim 2 --side 6 --iters 100000 [--seed 1]
 //
 // Curve names: z, simple, snake, gray, hilbert, random, peano (render/analyze
 // only; side = 3^bits for peano).
 #include <cctype>
+#include <cmath>
+#include <fstream>
 #include <iostream>
 #include <limits>
 #include <memory>
@@ -19,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "sfc/apps/nn_query.h"
 #include "sfc/apps/partition.h"
 #include "sfc/apps/range_query.h"
 #include "sfc/cli/args.h"
@@ -30,10 +38,15 @@
 #include "sfc/curves/diagonal_curve.h"
 #include "sfc/curves/peano_curve.h"
 #include "sfc/curves/spiral_curve.h"
+#include "sfc/index/knn.h"
+#include "sfc/index/point_index.h"
+#include "sfc/index/range_scan.h"
 #include "sfc/io/ascii_grid.h"
 #include "sfc/io/svg.h"
 #include "sfc/io/table.h"
 #include "sfc/ranges/range_cover.h"
+#include "sfc/rng/sampling.h"
+#include "sfc/rng/splitmix64.h"
 
 namespace {
 
@@ -53,6 +66,11 @@ int usage(const std::string& message = "") {
       "  clustering --curve NAME --dim D --bits K --extent E --samples N\n"
       "  cover      --curve NAME --dim D --bits K --lo X1,..,Xd --hi Y1,..,Yd\n"
       "             [--csv]  (exact key-interval cover of the box)\n"
+      "  index-build --curve NAME --dim D --bits K [--count N | --points FILE]\n"
+      "             [--seed S] [--block-rows B]  (build an SFC point index)\n"
+      "  index-query ...index-build flags... --lo X1,..,Xd --hi Y1,..,Yd\n"
+      "             (or --extent E --samples N for random-box efficiency)\n"
+      "  index-knn  ...index-build flags... --query X1,..,Xd --k K\n"
       "  optimize   --dim D --side S --iters N [--seed S]\n"
       "\n"
       "curves: z, simple, snake, gray, hilbert, random, peano, spiral,\n"
@@ -328,6 +346,217 @@ int cmd_cover(const cli::Args& args) {
   return 0;
 }
 
+/// Reads one point per line ("x1,x2,..,xd"; blank lines and '#' comments
+/// skipped); nullopt + *error on any malformed line.
+std::optional<std::vector<Point>> read_points_file(const std::string& path,
+                                                   int dim, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "could not open points file '" + path + "'";
+    return std::nullopt;
+  }
+  std::vector<Point> points;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    const auto point = parse_point(line, dim);
+    if (!point) {
+      *error = path + ":" + std::to_string(line_no) + ": expected " +
+               std::to_string(dim) + " comma-separated coordinates";
+      return std::nullopt;
+    }
+    points.push_back(*point);
+  }
+  return points;
+}
+
+/// The dataset behind the index commands: --points FILE, or --count uniform
+/// random cells drawn from the curve's universe (seeded).
+std::optional<std::vector<Point>> index_dataset(const cli::Args& args,
+                                                const Universe& u,
+                                                std::uint64_t seed,
+                                                std::string* error) {
+  const std::string points_path = args.get_string("points", "");
+  if (!points_path.empty()) return read_points_file(points_path, u.dim(), error);
+  const auto count = args.get_int("count", 100000);
+  if (!count || *count < 0) {
+    *error = "bad --count";
+    return std::nullopt;
+  }
+  std::vector<Point> points;
+  points.reserve(static_cast<std::size_t>(*count));
+  Xoshiro256 rng(SplitMix64(seed).next());
+  for (std::int64_t i = 0; i < *count; ++i) points.push_back(random_cell(u, rng));
+  return points;
+}
+
+/// Builds curve + dataset + index from the shared index-command flags.
+/// Returns 0 and fills the outputs, or a usage() exit code.
+int build_index_setup(const cli::Args& args, CurvePtr* curve,
+                      std::vector<Point>* points,
+                      std::optional<PointIndex>* index) {
+  const std::string curve_name = args.get_string("curve", "hilbert");
+  const auto dim = args.get_int("dim", 2);
+  const auto bits = args.get_int("bits", 10);
+  const auto seed = args.get_int("seed", 1);
+  const auto block_rows = args.get_int("block-rows", 256);
+  if (!dim || !bits || !seed || !block_rows || *block_rows <= 0) {
+    return usage("bad numeric flag");
+  }
+  std::string error;
+  *curve = build_curve(curve_name, static_cast<int>(*dim),
+                       static_cast<int>(*bits),
+                       static_cast<std::uint64_t>(*seed), &error);
+  if (!*curve) return usage(error);
+  auto dataset = index_dataset(args, (*curve)->universe(),
+                               static_cast<std::uint64_t>(*seed), &error);
+  if (!dataset) return usage(error);
+  *points = std::move(*dataset);
+  IndexBuildOptions options;
+  options.block_rows = static_cast<std::uint32_t>(*block_rows);
+  try {
+    index->emplace(PointIndex::build(**curve, *points, options));
+  } catch (const IndexArgumentError& build_error) {
+    return usage(build_error.what());
+  }
+  return 0;
+}
+
+void print_index_summary(const PointIndex& index, std::size_t input_points) {
+  const Universe& u = index.curve().universe();
+  std::uint64_t distinct = 0;
+  const auto keys = index.keys();
+  for (std::size_t r = 0; r < keys.size(); ++r) {
+    if (r == 0 || keys[r] != keys[r - 1]) ++distinct;
+  }
+  std::cout << "index: curve " << index.curve().name() << ", universe d="
+            << u.dim() << " side=" << u.side() << " (" << u.cell_count()
+            << " cells)\n";
+  std::cout << "  rows " << index.row_count() << " (from " << input_points
+            << " points), distinct keys " << distinct << ", duplicate rows "
+            << index.row_count() - distinct << "\n";
+  std::cout << "  directory: " << index.block_count() << " blocks of "
+            << index.block_rows() << " rows\n";
+}
+
+int cmd_index_build(const cli::Args& args) {
+  CurvePtr curve;
+  std::vector<Point> points;
+  std::optional<PointIndex> index;
+  if (const int status = build_index_setup(args, &curve, &points, &index);
+      status != 0) {
+    return status;
+  }
+  print_index_summary(*index, points.size());
+  return 0;
+}
+
+int cmd_index_query(const cli::Args& args) {
+  CurvePtr curve;
+  std::vector<Point> points;
+  std::optional<PointIndex> index;
+  if (const int status = build_index_setup(args, &curve, &points, &index);
+      status != 0) {
+    return status;
+  }
+  print_index_summary(*index, points.size());
+  const Universe& u = curve->universe();
+
+  const std::string lo_text = args.get_string("lo", "");
+  const std::string hi_text = args.get_string("hi", "");
+  if (!lo_text.empty() || !hi_text.empty()) {
+    const auto lo = parse_point(lo_text, u.dim());
+    const auto hi = parse_point(hi_text, u.dim());
+    if (!lo || !hi) {
+      return usage("--lo/--hi must be " + std::to_string(u.dim()) +
+                   " comma-separated coordinates");
+    }
+    if (!u.contains(*lo) || !u.contains(*hi)) {
+      return usage("box corners must lie inside the universe (side " +
+                   std::to_string(u.side()) + ")");
+    }
+    for (int i = 0; i < u.dim(); ++i) {
+      if ((*lo)[i] > (*hi)[i]) return usage("--lo must be <= --hi per dimension");
+    }
+    const Box box(*lo, *hi);
+    RangeScanEngine engine(*index);
+    std::vector<std::uint32_t> ids;
+    RangeScanStats stats;
+    engine.scan(box, &ids, &stats);
+    std::cout << "box " << box.lo().to_string() << ".." << box.hi().to_string()
+              << ": " << stats.rows_returned << " rows returned, "
+              << stats.rows_scanned << " rows scanned (full scan would touch "
+              << index->row_count() << "), " << stats.runs_in_cover
+              << " runs in cover (" << stats.runs_touched << " touched), "
+              << stats.nodes_visited << " nodes visited\n";
+    return 0;
+  }
+
+  const auto extent = args.get_int("extent", 8);
+  const auto samples = args.get_int("samples", 200);
+  if (!extent || !samples || *extent <= 0 || *samples <= 0) {
+    return usage("bad numeric flag");
+  }
+  if (static_cast<std::uint64_t>(*extent) > u.side()) {
+    return usage("--extent must be <= the universe side");
+  }
+  const ScanEfficiencyStats stats = random_box_scan_efficiency(
+      *index, static_cast<coord_t>(*extent),
+      static_cast<std::uint64_t>(*samples), 1234);
+  std::cout << stats.samples << " random boxes of " << stats.extent << "^"
+            << u.dim() << ": mean rows returned " << stats.mean_rows_returned
+            << ", mean rows scanned " << stats.mean_rows_scanned
+            << " (full scan: " << stats.index_rows << " rows, advantage "
+            << stats.full_scan_ratio << "x), mean runs " << stats.mean_runs
+            << " (" << stats.mean_runs_touched << " touched)\n";
+  return 0;
+}
+
+int cmd_index_knn(const cli::Args& args) {
+  CurvePtr curve;
+  std::vector<Point> points;
+  std::optional<PointIndex> index;
+  if (const int status = build_index_setup(args, &curve, &points, &index);
+      status != 0) {
+    return status;
+  }
+  print_index_summary(*index, points.size());
+  const Universe& u = curve->universe();
+  const std::string query_text = args.get_string("query", "");
+  const auto k = args.get_int("k", 5);
+  if (!k || *k <= 0) return usage("bad --k");
+  const auto query = parse_point(query_text, u.dim());
+  if (!query) {
+    return usage("--query must be " + std::to_string(u.dim()) +
+                 " comma-separated coordinates");
+  }
+  KnnEngine engine(*index);
+  std::vector<KnnNeighbor> neighbors;
+  KnnStats stats;
+  try {
+    neighbors = engine.query(*query, static_cast<std::uint32_t>(*k), &stats);
+  } catch (const IndexArgumentError& query_error) {
+    return usage(query_error.what());
+  }
+  Table table({"rank", "id", "point", "key", "dist"});
+  for (std::size_t r = 0; r < neighbors.size(); ++r) {
+    table.add_row({Table::fmt_int(r), Table::fmt_int(neighbors[r].id),
+                   curve->point_at(neighbors[r].key).to_string(),
+                   Table::fmt_int(neighbors[r].key),
+                   Table::fmt(std::sqrt(static_cast<double>(neighbors[r].sq_dist)))});
+  }
+  table.print(std::cout);
+  std::cout << "query " << query->to_string() << ", k=" << *k << ": "
+            << neighbors.size() << " neighbors, " << stats.rows_scanned
+            << " rows scanned of " << index->row_count() << ", "
+            << stats.nodes_expanded << " nodes expanded, "
+            << (stats.certified ? "certified exact" : "NOT certified")
+            << (stats.used_subtree ? "" : " (exhaustive fallback)") << "\n";
+  return 0;
+}
+
 int cmd_optimize(const cli::Args& args) {
   const auto dim = args.get_int("dim", 2);
   const auto side = args.get_int("side", 6);
@@ -375,6 +604,12 @@ int main(int argc, char** argv) {
     status = cmd_clustering(args);
   } else if (command == "cover") {
     status = cmd_cover(args);
+  } else if (command == "index-build") {
+    status = cmd_index_build(args);
+  } else if (command == "index-query") {
+    status = cmd_index_query(args);
+  } else if (command == "index-knn") {
+    status = cmd_index_knn(args);
   } else if (command == "optimize") {
     status = cmd_optimize(args);
   } else {
