@@ -55,7 +55,7 @@ index_t slab_edge_cut(const Universe& u, const KeySlab& slab, index_t n,
 }  // namespace
 
 PartitionArgumentError::PartitionArgumentError(int parts, index_t cell_count)
-    : std::invalid_argument("evaluate_partition: parts = " +
+    : Error("evaluate_partition: parts = " +
                             std::to_string(parts) +
                             " outside [1, n] for n = " +
                             std::to_string(cell_count)),

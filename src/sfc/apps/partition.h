@@ -9,19 +9,19 @@
 #pragma once
 
 #include <cstdint>
-#include <stdexcept>
 #include <vector>
 
+#include "sfc/common/error.h"
 #include "sfc/common/types.h"
 #include "sfc/curves/space_filling_curve.h"
 #include "sfc/parallel/thread_pool.h"
 
 namespace sfc {
 
-/// Thrown by evaluate_partition when `parts` is outside [1, n]; mirrors
-/// AllPairsLimitError so drivers can recover (e.g. clamp and retry) instead
-/// of aborting the process.
-class PartitionArgumentError : public std::invalid_argument {
+/// Thrown by evaluate_partition when `parts` is outside [1, n]; derives from
+/// sfc::Error so drivers can recover (e.g. clamp and retry) instead of
+/// aborting the process.
+class PartitionArgumentError : public Error {
  public:
   PartitionArgumentError(int parts, index_t cell_count);
   int parts() const { return parts_; }

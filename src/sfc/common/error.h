@@ -1,0 +1,23 @@
+// The single exception base of the sfc library surface.
+//
+// Every recoverable library error — invalid curve construction arguments,
+// bad index datasets, out-of-universe queries, partition/decomposition
+// argument mismatches, all-pairs size limits, corrupt index files — derives
+// from sfc::Error, so a driver (sfctool, a serving process embedding the
+// library) can catch one type at its tool boundary and report what() without
+// enumerating subsystems.  Subsystem-specific subclasses carry structured
+// accessors for callers that want to recover programmatically (e.g. clamp a
+// partition count and retry).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sfc {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace sfc

@@ -12,8 +12,8 @@
 namespace sfc {
 
 AllPairsLimitError::AllPairsLimitError(index_t n, index_t limit)
-    : std::runtime_error("all-pairs exact: n = " + std::to_string(n) +
-                         " exceeds max_exact_cells = " + std::to_string(limit)),
+    : Error("all-pairs exact: n = " + std::to_string(n) +
+            " exceeds max_exact_cells = " + std::to_string(limit)),
       n_(n),
       limit_(limit) {}
 

@@ -10,8 +10,8 @@
 #pragma once
 
 #include <cstdint>
-#include <stdexcept>
 
+#include "sfc/common/error.h"
 #include "sfc/common/int128.h"
 #include "sfc/common/types.h"
 #include "sfc/curves/space_filling_curve.h"
@@ -48,7 +48,7 @@ struct AllPairsOptions {
 /// Thrown by compute_all_pairs_exact when n exceeds max_exact_cells; callers
 /// can recover by falling back to estimate_all_pairs (as stretch_report
 /// does by checking n up front).
-class AllPairsLimitError : public std::runtime_error {
+class AllPairsLimitError : public Error {
  public:
   AllPairsLimitError(index_t n, index_t limit);
   index_t n() const { return n_; }

@@ -17,9 +17,9 @@ NNEdge make_edge(const Point& a, const Point& b, int dim_i) {
 
 DecompositionArgumentError::DecompositionArgumentError(int alpha_dim,
                                                        int beta_dim)
-    : std::invalid_argument("nn_decomposition endpoints differ in dimension: " +
-                            std::to_string(alpha_dim) + " vs " +
-                            std::to_string(beta_dim)),
+    : Error("nn_decomposition endpoints differ in dimension: " +
+            std::to_string(alpha_dim) + " vs " +
+            std::to_string(beta_dim)),
       alpha_dim_(alpha_dim),
       beta_dim_(beta_dim) {}
 

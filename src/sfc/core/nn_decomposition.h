@@ -11,10 +11,10 @@
 // for the edge between ζ and ζ + e_i, which never exceeds n^{(d+1)/d} / 2.
 #pragma once
 
-#include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "sfc/common/error.h"
 #include "sfc/common/int128.h"
 #include "sfc/common/types.h"
 #include "sfc/grid/point.h"
@@ -23,9 +23,9 @@
 namespace sfc {
 
 /// Thrown by nn_decomposition / nn_decomposition_vertices when the two
-/// endpoints have different dimensionality; mirrors PartitionArgumentError /
-/// AllPairsLimitError so drivers can recover instead of aborting.
-class DecompositionArgumentError : public std::invalid_argument {
+/// endpoints have different dimensionality; derives from sfc::Error so
+/// drivers can recover instead of aborting.
+class DecompositionArgumentError : public Error {
  public:
   DecompositionArgumentError(int alpha_dim, int beta_dim);
   int alpha_dim() const { return alpha_dim_; }

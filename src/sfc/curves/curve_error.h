@@ -1,24 +1,24 @@
 // Recoverable errors for invalid curve construction arguments.
 //
-// Mirrors PartitionArgumentError / AllPairsLimitError /
-// DecompositionArgumentError: the library surface throws a typed exception
-// instead of aborting, so drivers (sfctool, services embedding the library)
-// can report the bad argument and keep running.
+// Like every recoverable error of the library surface it derives from
+// sfc::Error (common/error.h), so drivers (sfctool, services embedding the
+// library) can catch one type at the tool boundary, report the bad argument,
+// and keep running.
 #pragma once
 
-#include <stdexcept>
 #include <string>
+
+#include "sfc/common/error.h"
 
 namespace sfc {
 
 /// Thrown when a curve cannot be constructed or dispatched on the given
-/// arguments: an unknown CurveFamily value, a 2-d-only curve (diagonal,
-/// spiral) built on another dimensionality, or a permutation table that is
-/// not a bijection of the universe's cells.
-class CurveArgumentError : public std::invalid_argument {
+/// arguments: an unknown CurveFamily value or descriptor, a 2-d-only curve
+/// (diagonal, spiral) built on another dimensionality, or a permutation
+/// table that is not a bijection of the universe's cells.
+class CurveArgumentError : public Error {
  public:
-  explicit CurveArgumentError(const std::string& what)
-      : std::invalid_argument(what) {}
+  explicit CurveArgumentError(const std::string& what) : Error(what) {}
 };
 
 }  // namespace sfc

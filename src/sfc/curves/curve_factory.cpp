@@ -1,14 +1,18 @@
 #include "sfc/curves/curve_factory.h"
 
+#include <limits>
 #include <memory>
 #include <string>
 
 #include "sfc/curves/curve_error.h"
+#include "sfc/curves/diagonal_curve.h"
 #include "sfc/curves/gray_curve.h"
 #include "sfc/curves/hilbert_curve.h"
+#include "sfc/curves/peano_curve.h"
 #include "sfc/curves/permutation_curve.h"
 #include "sfc/curves/simple_curve.h"
 #include "sfc/curves/snake_curve.h"
+#include "sfc/curves/spiral_curve.h"
 #include "sfc/curves/zcurve.h"
 
 namespace sfc {
@@ -67,6 +71,136 @@ CurvePtr make_curve(CurveFamily family, const Universe& universe,
   }
   throw CurveArgumentError("unknown curve family id " +
                            std::to_string(static_cast<int>(family)));
+}
+
+namespace {
+
+bool is_power_of(index_t value, index_t base) {
+  while (value % base == 0) value /= base;
+  return value == 1;
+}
+
+/// Parses "key=value" with an all-digit value; throws on mismatch.
+std::uint64_t parse_field(const std::string& token, const std::string& key,
+                          const std::string& text) {
+  const std::string prefix = key + "=";
+  if (token.rfind(prefix, 0) != 0) {
+    throw CurveArgumentError("curve descriptor '" + text + "': expected " +
+                             prefix + "..., got '" + token + "'");
+  }
+  const std::string digits = token.substr(prefix.size());
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    throw CurveArgumentError("curve descriptor '" + text + "': field " + key +
+                             " must be a non-negative integer");
+  }
+  try {
+    return std::stoull(digits);
+  } catch (const std::exception&) {
+    throw CurveArgumentError("curve descriptor '" + text + "': field " + key +
+                             " out of range");
+  }
+}
+
+}  // namespace
+
+std::string CurveDescriptor::to_string() const {
+  return family + " d=" + std::to_string(dim) + " side=" +
+         std::to_string(side) + " seed=" + std::to_string(seed);
+}
+
+CurveDescriptor CurveDescriptor::parse(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::size_t at = 0;
+  while (at < text.size()) {
+    const std::size_t space = text.find(' ', at);
+    const std::size_t end = space == std::string::npos ? text.size() : space;
+    if (end > at) tokens.push_back(text.substr(at, end - at));
+    at = end + 1;
+  }
+  if (tokens.size() != 4) {
+    throw CurveArgumentError("curve descriptor '" + text +
+                             "': expected 'family d=D side=S seed=Q'");
+  }
+  CurveDescriptor descriptor;
+  descriptor.family = tokens[0];
+  const std::uint64_t dim = parse_field(tokens[1], "d", text);
+  const std::uint64_t side = parse_field(tokens[2], "side", text);
+  if (dim < 1 || dim > static_cast<std::uint64_t>(kMaxDim)) {
+    throw CurveArgumentError("curve descriptor '" + text + "': d = " +
+                             std::to_string(dim) + " outside [1, " +
+                             std::to_string(kMaxDim) + "]");
+  }
+  if (side < 1 || side > std::numeric_limits<coord_t>::max()) {
+    throw CurveArgumentError("curve descriptor '" + text + "': side = " +
+                             std::to_string(side) + " not a coordinate");
+  }
+  descriptor.dim = static_cast<int>(dim);
+  descriptor.side = static_cast<coord_t>(side);
+  descriptor.seed = parse_field(tokens[3], "seed", text);
+  return descriptor;
+}
+
+const std::vector<std::string>& descriptor_family_names() {
+  static const std::vector<std::string> names = {
+      "z",      "simple", "snake",  "gray",    "hilbert",
+      "random", "peano",  "spiral", "diagonal"};
+  return names;
+}
+
+CurvePtr make_curve(const CurveDescriptor& descriptor) {
+  const std::string& family = descriptor.family;
+  if (descriptor.dim < 1 || descriptor.dim > kMaxDim) {
+    throw CurveArgumentError("curve descriptor: d = " +
+                             std::to_string(descriptor.dim) + " outside [1, " +
+                             std::to_string(kMaxDim) + "]");
+  }
+  if (descriptor.side < 1) {
+    throw CurveArgumentError("curve descriptor: side must be >= 1");
+  }
+  // Check preconditions before constructing: Universe and the curve
+  // constructors abort on violations, and a descriptor can come from a
+  // corrupt file — the store layer needs a recoverable throw instead.
+  index_t cells = 1;
+  for (int i = 0; i < descriptor.dim; ++i) {
+    if (cells > (std::numeric_limits<index_t>::max() >> 1) / descriptor.side) {
+      throw CurveArgumentError("curve descriptor: side " +
+                               std::to_string(descriptor.side) + "^" +
+                               std::to_string(descriptor.dim) +
+                               " overflows the 63-bit cell count");
+    }
+    cells *= descriptor.side;
+  }
+  if ((family == "z" || family == "gray" || family == "hilbert") &&
+      !is_power_of(descriptor.side, 2)) {
+    throw CurveArgumentError("curve descriptor: " + family +
+                             " requires a power-of-two side, got " +
+                             std::to_string(descriptor.side));
+  }
+  if (family == "peano" && !is_power_of(descriptor.side, 3)) {
+    throw CurveArgumentError(
+        "curve descriptor: peano requires a power-of-three side, got " +
+        std::to_string(descriptor.side));
+  }
+  if ((family == "spiral" || family == "diagonal") && descriptor.dim != 2) {
+    throw CurveArgumentError("curve descriptor: " + family +
+                             " is 2-d only, got d = " +
+                             std::to_string(descriptor.dim));
+  }
+  const Universe universe(descriptor.dim, descriptor.side);
+  if (family == "z") return std::make_unique<ZCurve>(universe);
+  if (family == "simple") return std::make_unique<SimpleCurve>(universe);
+  if (family == "snake") return std::make_unique<SnakeCurve>(universe);
+  if (family == "gray") return std::make_unique<GrayCurve>(universe);
+  if (family == "hilbert") return std::make_unique<HilbertCurve>(universe);
+  if (family == "random") {
+    return PermutationCurve::random(universe, descriptor.seed);
+  }
+  if (family == "peano") return std::make_unique<PeanoCurve>(universe);
+  if (family == "spiral") return std::make_unique<SpiralCurve>(universe);
+  if (family == "diagonal") return std::make_unique<DiagonalCurve>(universe);
+  throw CurveArgumentError("curve descriptor: unknown family '" + family +
+                           "'");
 }
 
 }  // namespace sfc

@@ -35,4 +35,38 @@ bool family_requires_pow2(CurveFamily family);
 CurvePtr make_curve(CurveFamily family, const Universe& universe,
                     std::uint64_t seed = 1);
 
+/// A serializable identity of a curve: enough to reconstruct the exact same
+/// bijection in another process.  This is what the on-disk index format
+/// (sfc/store) persists in its header, so a mmap-opened index rebuilds the
+/// very curve it was built with — `family` is the canonical CLI name and
+/// covers every constructible family, including the ones outside CurveFamily
+/// (peano, spiral, diagonal); `seed` matters only for "random".
+struct CurveDescriptor {
+  std::string family;        ///< "z", "simple", "snake", "gray", "hilbert",
+                             ///< "random", "peano", "spiral", "diagonal"
+  int dim = 2;               ///< universe dimensionality
+  coord_t side = 0;          ///< universe side (cells per dimension)
+  std::uint64_t seed = 1;    ///< permutation seed ("random" only)
+
+  /// "family d=D side=S seed=Q" — the round-trippable rendering.
+  std::string to_string() const;
+  /// Inverse of to_string; throws CurveArgumentError on malformed text.
+  static CurveDescriptor parse(const std::string& text);
+
+  friend bool operator==(const CurveDescriptor& a, const CurveDescriptor& b) {
+    return a.family == b.family && a.dim == b.dim && a.side == b.side &&
+           (a.family != "random" || a.seed == b.seed);
+  }
+};
+
+/// The names make_curve(descriptor) understands, in canonical order.
+const std::vector<std::string>& descriptor_family_names();
+
+/// Constructs the curve a descriptor names.  Throws CurveArgumentError on an
+/// unknown family name or a universe the family cannot be built on (non-2^k
+/// side for z/gray/hilbert, non-3^k side for peano, dim != 2 for
+/// spiral/diagonal) — never aborts, so corrupt persisted descriptors are
+/// recoverable at the tool boundary.
+CurvePtr make_curve(const CurveDescriptor& descriptor);
+
 }  // namespace sfc

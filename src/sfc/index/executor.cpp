@@ -17,7 +17,7 @@ ThreadPool& pool_of(const MultiQueryOptions& options) {
 }  // namespace
 
 std::vector<RangeQueryResult> run_range_queries(
-    const PointIndex& index, std::span<const Box> boxes,
+    const IndexColumnsView& view, std::span<const Box> boxes,
     const MultiQueryOptions& options) {
   std::vector<RangeQueryResult> results(boxes.size());
   parallel_for_chunks(
@@ -25,7 +25,7 @@ std::vector<RangeQueryResult> run_range_queries(
       [&](const ChunkRange& range) {
         // One engine per chunk: the cover workspace warms up on the first
         // query and every later query in the chunk runs allocation-light.
-        RangeScanEngine engine(index);
+        RangeScanEngine engine(view);
         for (std::uint64_t i = range.begin; i < range.end; ++i) {
           engine.scan(boxes[i], &results[i].ids, &results[i].stats);
         }
@@ -33,7 +33,7 @@ std::vector<RangeQueryResult> run_range_queries(
   return results;
 }
 
-std::vector<KnnQueryResult> run_knn_queries(const PointIndex& index,
+std::vector<KnnQueryResult> run_knn_queries(const IndexColumnsView& view,
                                             std::span<const Point> queries,
                                             std::uint32_t k,
                                             const MultiQueryOptions& options) {
@@ -41,7 +41,7 @@ std::vector<KnnQueryResult> run_knn_queries(const PointIndex& index,
   parallel_for_chunks(
       pool_of(options), queries.size(), normalized_grain(options),
       [&](const ChunkRange& range) {
-        KnnEngine engine(index);
+        KnnEngine engine(view);
         for (std::uint64_t i = range.begin; i < range.end; ++i) {
           results[i].neighbors = engine.query(queries[i], k, &results[i].stats);
         }

@@ -1,4 +1,4 @@
-// Thread-pool-backed multi-query execution over a PointIndex.
+// Thread-pool-backed multi-query execution over an index columns view.
 //
 // Serving traffic means answering *batches* of queries, not one box at a
 // time.  Each query is answered independently into its own pre-allocated
@@ -7,6 +7,11 @@
 // and chunk boundaries depend only on the query count and grain — the same
 // fixed-chunk design as parallel_for / random_box_clustering — so results
 // are bit-identical across 1/2/8 threads and any grain.
+//
+// The executors take IndexColumnsView: an owned PointIndex, a mmap-backed
+// MappedIndex (sfc/store), and a serve shard all run through the same code.
+// The sharded serving front end (sfc/serve) feeds its admission batches
+// here.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +20,7 @@
 
 #include "sfc/grid/box.h"
 #include "sfc/grid/point.h"
+#include "sfc/index/columns_view.h"
 #include "sfc/index/knn.h"
 #include "sfc/index/point_index.h"
 #include "sfc/index/range_scan.h"
@@ -44,13 +50,13 @@ struct KnnQueryResult {
 /// Answers every box query; result[i] corresponds to boxes[i].  Boxes must
 /// lie inside the curve's universe.
 std::vector<RangeQueryResult> run_range_queries(
-    const PointIndex& index, std::span<const Box> boxes,
+    const IndexColumnsView& view, std::span<const Box> boxes,
     const MultiQueryOptions& options = {});
 
 /// Answers every kNN query; result[i] corresponds to queries[i].  Queries
 /// must lie inside the curve's universe (IndexArgumentError otherwise).
 std::vector<KnnQueryResult> run_knn_queries(
-    const PointIndex& index, std::span<const Point> queries, std::uint32_t k,
-    const MultiQueryOptions& options = {});
+    const IndexColumnsView& view, std::span<const Point> queries,
+    std::uint32_t k, const MultiQueryOptions& options = {});
 
 }  // namespace sfc

@@ -34,8 +34,8 @@ struct FrontierAfter {
 void KnnEngine::consider_rows(const Point& query, std::uint32_t k,
                               std::uint64_t first, std::uint64_t last,
                               KnnStats& stats) {
-  const std::span<const Point> points = index_.points();
-  const std::span<const index_t> keys = index_.keys();
+  const std::span<const Point> points = view_.points();
+  const std::span<const index_t> keys = view_.keys();
   const Closer closer;
   for (std::uint64_t row = first; row < last; ++row) {
     ++stats.rows_scanned;
@@ -54,7 +54,7 @@ void KnnEngine::consider_rows(const Point& query, std::uint32_t k,
 
 std::vector<KnnNeighbor> KnnEngine::query(const Point& query, std::uint32_t k,
                                           KnnStats* stats) {
-  const SpaceFillingCurve& curve = index_.curve();
+  const SpaceFillingCurve& curve = view_.curve();
   const Universe& u = curve.universe();
   if (query.dim() != u.dim() || !u.contains(query)) {
     throw IndexArgumentError("knn query: point " + query.to_string() +
@@ -65,7 +65,7 @@ std::vector<KnnNeighbor> KnnEngine::query(const Point& query, std::uint32_t k,
   best_.clear();
   frontier_.clear();
 
-  if (k == 0 || index_.empty()) {
+  if (k == 0 || view_.empty()) {
     local.certified = true;
     if (stats != nullptr) *stats = local;
     return {};
@@ -73,7 +73,7 @@ std::vector<KnnNeighbor> KnnEngine::query(const Point& query, std::uint32_t k,
 
   if (!curve.has_subtree_traversal()) {
     // No hierarchy to descend: exhaustive scan, trivially certified.
-    consider_rows(query, k, 0, index_.row_count(), local);
+    consider_rows(query, k, 0, view_.row_count(), local);
     local.certified = true;
   } else {
     local.used_subtree = true;
@@ -81,7 +81,7 @@ std::vector<KnnNeighbor> KnnEngine::query(const Point& query, std::uint32_t k,
     const index_t arity = ipow(curve.subtree_radix(), u.dim());
     const SubtreeNode root = curve.subtree_root();
     frontier_.push_back(Visit{root.min_squared_distance(query), root, 0,
-                              index_.row_count()});
+                              view_.row_count()});
     ++local.frontier_pushes;
     while (!frontier_.empty()) {
       std::pop_heap(frontier_.begin(), frontier_.end(), after);
@@ -107,7 +107,7 @@ std::vector<KnnNeighbor> KnnEngine::query(const Point& query, std::uint32_t k,
       curve.subtree_children(node, children_);
       for (const SubtreeNode& child : children_) {
         const auto [child_first, child_last] =
-            index_.rows_in_interval(child.key_lo,
+            view_.rows_in_interval(child.key_lo,
                                     child.key_lo + (child.key_count - 1));
         if (child_first == child_last) continue;  // no rows: prune
         const std::uint64_t child_dist = child.min_squared_distance(query);
@@ -126,7 +126,7 @@ std::vector<KnnNeighbor> KnnEngine::query(const Point& query, std::uint32_t k,
   std::vector<KnnNeighbor> result;
   result.reserve(best_.size());
   for (const Candidate& candidate : best_) {
-    result.push_back(KnnNeighbor{index_.id_of_row(candidate.row), candidate.key,
+    result.push_back(KnnNeighbor{view_.id_of_row(candidate.row), candidate.key,
                                  candidate.sq_dist});
   }
   if (stats != nullptr) *stats = local;

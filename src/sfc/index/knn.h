@@ -16,13 +16,16 @@
 //
 // Curves without subtree structure fall back to a full scan of the rows
 // (exact, trivially certified), so every family answers through one entry
-// point.
+// point.  Like the range scans, the engine queries through IndexColumnsView,
+// so in-memory, mmap-backed, and shard-sliced storage all answer
+// bit-identically.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "sfc/grid/point.h"
+#include "sfc/index/columns_view.h"
 #include "sfc/index/point_index.h"
 
 namespace sfc {
@@ -65,17 +68,17 @@ class KnnEngine {
   /// Row ranges at most this long are scanned instead of descending further.
   static constexpr std::uint64_t kLeafRows = 64;
 
-  explicit KnnEngine(const PointIndex& index) : index_(index) {}
+  explicit KnnEngine(IndexColumnsView view) : view_(view) {}
 
   /// The k rows nearest to `query` under the total order (squared Euclidean
-  /// distance, curve key, row), ascending — fewer when the index holds fewer
+  /// distance, curve key, row), ascending — fewer when the view holds fewer
   /// than k rows.  Duplicate points are distinct rows and are all reported.
   /// The query must lie inside the curve's universe (throws
   /// IndexArgumentError otherwise).
   std::vector<KnnNeighbor> query(const Point& query, std::uint32_t k,
                                  KnnStats* stats = nullptr);
 
-  const PointIndex& index() const { return index_; }
+  const IndexColumnsView& view() const { return view_; }
 
  private:
   struct Candidate {
@@ -95,7 +98,7 @@ class KnnEngine {
   void consider_rows(const Point& query, std::uint32_t k, std::uint64_t first,
                      std::uint64_t last, KnnStats& stats);
 
-  const PointIndex& index_;
+  IndexColumnsView view_;
   // Max-heap of the best k candidates (top = current k-th) and min-heap of
   // frontier nodes by (subcube min distance, key_lo); see knn.cpp.
   std::vector<Candidate> best_;

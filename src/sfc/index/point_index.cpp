@@ -84,29 +84,4 @@ PointIndex PointIndex::build(const SpaceFillingCurve& curve,
   return index;
 }
 
-std::uint64_t PointIndex::lower_bound_row(index_t key) const {
-  const auto dir_it = std::lower_bound(block_last_key_.begin(),
-                                       block_last_key_.end(), key);
-  if (dir_it == block_last_key_.end()) return row_count();
-  const std::uint64_t block =
-      static_cast<std::uint64_t>(dir_it - block_last_key_.begin());
-  const std::uint64_t begin = block * block_rows_;
-  const std::uint64_t end = std::min<std::uint64_t>(begin + block_rows_, row_count());
-  return static_cast<std::uint64_t>(
-      std::lower_bound(keys_.begin() + static_cast<std::ptrdiff_t>(begin),
-                       keys_.begin() + static_cast<std::ptrdiff_t>(end), key) -
-      keys_.begin());
-}
-
-std::pair<std::uint64_t, std::uint64_t> PointIndex::rows_in_interval(
-    index_t lo, index_t hi) const {
-  const std::uint64_t first = lower_bound_row(lo);
-  // upper_bound(hi) == lower_bound(hi + 1); keys are < 2^63 (cell counts),
-  // so hi + 1 cannot wrap for in-universe intervals, but guard anyway.
-  const std::uint64_t last = hi == std::numeric_limits<index_t>::max()
-                                 ? row_count()
-                                 : lower_bound_row(hi + 1);
-  return {first, std::max(first, last)};
-}
-
 }  // namespace sfc

@@ -13,6 +13,12 @@
 // access pattern of the clustering literature (Moon et al.; Haverkort & van
 // Walderveen's bounding-box-quality workloads).
 //
+// PointIndex is the *owning* storage backend: build once, then hand out the
+// storage-agnostic IndexColumnsView (columns_view.h) that every query engine
+// runs on.  The same columns round-trip through the on-disk format
+// (sfc/store) and come back as a mmap-backed view serving bit-identical
+// answers.
+//
 // Query engines on top: batched box range scans driven by the exact covers
 // of sfc/ranges (range_scan.h) and certified best-first kNN over the curve's
 // subtree hierarchy (knn.h), both multi-query parallel via executor.h.
@@ -20,14 +26,15 @@
 
 #include <cstdint>
 #include <span>
-#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "sfc/common/error.h"
 #include "sfc/common/types.h"
 #include "sfc/curves/space_filling_curve.h"
 #include "sfc/grid/point.h"
+#include "sfc/index/columns_view.h"
 #include "sfc/parallel/parallel_for.h"
 #include "sfc/parallel/thread_pool.h"
 
@@ -35,12 +42,11 @@ namespace sfc {
 
 /// Thrown on invalid index construction or query arguments: points outside
 /// the curve's universe, dimension mismatches, or datasets exceeding the
-/// 32-bit payload-id limit.  Mirrors PartitionArgumentError /
-/// CurveArgumentError so drivers recover instead of aborting.
-class IndexArgumentError : public std::invalid_argument {
+/// 32-bit payload-id limit.  Derives from sfc::Error so drivers recover
+/// instead of aborting.
+class IndexArgumentError : public Error {
  public:
-  explicit IndexArgumentError(const std::string& what)
-      : std::invalid_argument(what) {}
+  explicit IndexArgumentError(const std::string& what) : Error(what) {}
 };
 
 struct IndexBuildOptions {
@@ -66,6 +72,15 @@ class PointIndex {
                           std::span<const Point> points,
                           const IndexBuildOptions& options = {});
 
+  /// The storage-agnostic view of the owned columns — what engines query.
+  /// Valid while this index is alive and unmoved.
+  IndexColumnsView view() const {
+    return IndexColumnsView(*curve_, block_rows_, keys_, ids_, points_,
+                            block_last_key_);
+  }
+  /// Implicit: a PointIndex is usable wherever a view is expected.
+  operator IndexColumnsView() const { return view(); }  // NOLINT
+
   const SpaceFillingCurve& curve() const { return *curve_; }
   std::uint64_t row_count() const { return keys_.size(); }
   bool empty() const { return keys_.empty(); }
@@ -85,15 +100,18 @@ class PointIndex {
   std::uint32_t block_rows() const { return block_rows_; }
   std::uint64_t block_count() const { return block_last_key_.size(); }
 
-  /// First row whose key is >= `key` (row_count() when none).  Searches the
-  /// block directory, then binary-searches within the one resolved block.
-  std::uint64_t lower_bound_row(index_t key) const;
+  /// First row whose key is >= `key` (row_count() when none); delegates to
+  /// the view's directory search.
+  std::uint64_t lower_bound_row(index_t key) const {
+    return view().lower_bound_row(key);
+  }
 
   /// Half-open row range [first, second) of the rows whose keys lie in the
-  /// inclusive key interval [lo, hi] — the resolution step of every
-  /// interval-driven scan.
+  /// inclusive key interval [lo, hi].
   std::pair<std::uint64_t, std::uint64_t> rows_in_interval(index_t lo,
-                                                           index_t hi) const;
+                                                           index_t hi) const {
+    return view().rows_in_interval(lo, hi);
+  }
 
  private:
   PointIndex() = default;

@@ -7,13 +7,13 @@ void RangeScanEngine::scan(const Box& box, std::vector<std::uint32_t>* out,
   out->clear();
   RangeScanStats local;
   CoverStats cover_stats;
-  const std::span<const std::uint32_t> ids = index_.ids();
+  const std::span<const std::uint32_t> ids = view_.ids();
   cover_.for_each_interval(
       box, ws_,
       [&](const KeyInterval& interval) {
         ++local.runs_in_cover;
         const auto [first, last] =
-            index_.rows_in_interval(interval.lo, interval.hi);
+            view_.rows_in_interval(interval.lo, interval.hi);
         if (first == last) return;
         ++local.runs_touched;
         local.rows_returned += last - first;
@@ -28,14 +28,14 @@ void RangeScanEngine::scan(const Box& box, std::vector<std::uint32_t>* out,
   if (stats != nullptr) *stats = local;
 }
 
-std::vector<std::uint32_t> range_scan_full(const PointIndex& index,
+std::vector<std::uint32_t> range_scan_full(const IndexColumnsView& view,
                                            const Box& box,
                                            RangeScanStats* stats) {
   std::vector<std::uint32_t> out;
-  const std::uint64_t n = index.row_count();
+  const std::uint64_t n = view.row_count();
   for (std::uint64_t row = 0; row < n; ++row) {
-    if (box.contains(index.point_of_row(row))) {
-      out.push_back(index.id_of_row(row));
+    if (box.contains(view.point_of_row(row))) {
+      out.push_back(view.id_of_row(row));
     }
   }
   if (stats != nullptr) {

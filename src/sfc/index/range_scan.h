@@ -1,19 +1,24 @@
-// Batched box range scans over a PointIndex.
+// Batched box range scans over an index columns view.
 //
 // A box query decomposes into its exact maximal key intervals (sfc/ranges);
-// each interval resolves to a row range through the index's block directory
+// each interval resolves to a row range through the view's block directory
 // and the rows are appended wholesale.  Because the cover is *exact* — every
 // key in every interval corresponds to a cell inside the box — no per-row
 // membership test is needed and zero rows are overscanned: work is
 // O(runs · (log side + log n) + output) instead of the O(n) of a full scan
 // (or the O(volume) of enumerating the box).  The full-scan reference path
 // is kept for verification and as the baseline the CI bench gates against.
+//
+// The engine queries through IndexColumnsView, so the same code serves an
+// in-memory PointIndex, a mmap-backed MappedIndex (sfc/store), or one shard
+// of a ShardedIndex (sfc/serve) — bit-identically.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "sfc/grid/box.h"
+#include "sfc/index/columns_view.h"
 #include "sfc/index/point_index.h"
 #include "sfc/ranges/range_cover.h"
 
@@ -39,8 +44,8 @@ struct RangeScanStats {
 /// executor keeps one per worker chunk.
 class RangeScanEngine {
  public:
-  explicit RangeScanEngine(const PointIndex& index)
-      : index_(index), cover_(index.curve()) {}
+  explicit RangeScanEngine(IndexColumnsView view)
+      : view_(view), cover_(view.curve()) {}
 
   /// Appends to *out the payload id of every indexed point inside `box`, in
   /// row order (ascending key, duplicate keys in input order).  The box must
@@ -48,17 +53,17 @@ class RangeScanEngine {
   void scan(const Box& box, std::vector<std::uint32_t>* out,
             RangeScanStats* stats = nullptr);
 
-  const PointIndex& index() const { return index_; }
+  const IndexColumnsView& view() const { return view_; }
 
  private:
-  const PointIndex& index_;
+  IndexColumnsView view_;
   RangeCoverEngine cover_;
   CoverWorkspace ws_;
 };
 
 /// Reference path: tests every row's point against the box.  O(row_count)
 /// always; produces the identical id sequence (row order == key order).
-std::vector<std::uint32_t> range_scan_full(const PointIndex& index,
+std::vector<std::uint32_t> range_scan_full(const IndexColumnsView& view,
                                            const Box& box,
                                            RangeScanStats* stats = nullptr);
 

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <array>
-#include <cstdlib>
 #include <span>
+#include <string>
 
 #include "sfc/common/batch.h"
 #include "sfc/common/math.h"
@@ -80,8 +80,21 @@ std::span<const KeyInterval> RangeCoverEngine::cover(const Box& box,
                                                      CoverWorkspace& ws,
                                                      CoverStats* stats) const {
   const Universe& u = curve_.universe();
-  if (box.dim() != u.dim() || !u.contains(box.lo()) || !u.contains(box.hi())) {
-    std::abort();  // box must lie inside the universe
+  if (box.dim() != u.dim()) {
+    throw RangeArgumentError(
+        "range cover: box of dimension " + std::to_string(box.dim()) +
+        " queried against a d=" + std::to_string(u.dim()) + " universe");
+  }
+  for (int i = 0; i < u.dim(); ++i) {
+    for (const Point& corner : {box.lo(), box.hi()}) {
+      if (corner[i] >= u.side()) {
+        throw RangeArgumentError(
+            "range cover: box corner " + corner.to_string() + " coordinate " +
+            std::to_string(i + 1) + " = " + std::to_string(corner[i]) +
+            " lies outside the side-" + std::to_string(u.side()) +
+            " universe");
+      }
+    }
   }
   if (stats != nullptr) *stats = CoverStats{};
   if (!curve_.has_subtree_traversal()) {

@@ -22,11 +22,22 @@
 #include <span>
 #include <vector>
 
+#include "sfc/common/error.h"
 #include "sfc/common/types.h"
 #include "sfc/curves/space_filling_curve.h"
 #include "sfc/grid/box.h"
 
 namespace sfc {
+
+/// Thrown by RangeCoverEngine::cover when the query box does not lie inside
+/// the curve's universe (wrong dimensionality or a corner coordinate beyond
+/// the side); the message names the first offending coordinate.  Derives
+/// from sfc::Error so drivers recover at the tool boundary instead of
+/// aborting.
+class RangeArgumentError : public Error {
+ public:
+  explicit RangeArgumentError(const std::string& what) : Error(what) {}
+};
 
 /// A maximal run of consecutive curve keys, inclusive on both ends.
 struct KeyInterval {

@@ -1,0 +1,230 @@
+#include "sfc/serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <map>
+#include <utility>
+
+namespace sfc {
+
+IndexServer::IndexServer(IndexColumnsView view, const ServerOptions& options)
+    : index_(view, options.shard_bits), options_(options) {
+  if (options_.max_batch < 1) {
+    throw Error("IndexServer: max_batch must be >= 1");
+  }
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+IndexServer::~IndexServer() { stop(); }
+
+void IndexServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  arrivals_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+RangeQueryResult IndexServer::range_query(const Box& box) {
+  std::future<RangeQueryResult> future;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) throw Error("IndexServer: query after stop()");
+    pending_.emplace_back(box);
+    future = pending_.back().range_promise.get_future();
+    ++stats_.queries_admitted;
+    ++stats_.range_queries;
+  }
+  arrivals_.notify_one();
+  return future.get();
+}
+
+KnnQueryResult IndexServer::knn_query(const Point& query, std::uint32_t k) {
+  std::future<KnnQueryResult> future;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) throw Error("IndexServer: query after stop()");
+    pending_.emplace_back(query, k);
+    future = pending_.back().knn_promise.get_future();
+    ++stats_.queries_admitted;
+    ++stats_.knn_queries;
+  }
+  arrivals_.notify_one();
+  return future.get();
+}
+
+ServerStats IndexServer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void IndexServer::dispatcher_loop() {
+  const auto window = std::chrono::microseconds(options_.batch_window_us);
+  std::vector<Pending> batch;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      arrivals_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // stopping with nothing queued
+      // The window opens when the dispatcher first sees a non-empty queue —
+      // the oldest query waits at most one window before its batch executes.
+      const auto deadline = std::chrono::steady_clock::now() + window;
+      arrivals_.wait_until(lock, deadline, [this] {
+        return stopping_ || pending_.size() >= options_.max_batch;
+      });
+      batch.swap(pending_);
+      ++stats_.batches_dispatched;
+      stats_.max_batch_rows =
+          std::max<std::uint64_t>(stats_.max_batch_rows, batch.size());
+    }
+    execute_batch(batch);
+    batch.clear();
+  }
+}
+
+void IndexServer::execute_batch(std::vector<Pending>& batch) {
+  // Split the mixed batch into one range sub-batch and one kNN sub-batch per
+  // k (the executor answers a whole sub-batch with one k), then execute each
+  // through the sharded executors.
+  MultiQueryOptions exec;
+  exec.pool = options_.pool;
+  exec.grain = options_.grain;
+
+  std::vector<std::size_t> range_slots;
+  std::map<std::uint32_t, std::vector<std::size_t>> knn_slots;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].kind == Pending::Kind::kRange) {
+      range_slots.push_back(i);
+    } else {
+      knn_slots[batch[i].k].push_back(i);
+    }
+  }
+
+  if (!range_slots.empty()) {
+    std::vector<Box> boxes;
+    boxes.reserve(range_slots.size());
+    for (const std::size_t i : range_slots) boxes.push_back(batch[i].box);
+    try {
+      std::vector<RangeQueryResult> results =
+          run_range_queries(index_, boxes, exec);
+      for (std::size_t j = 0; j < range_slots.size(); ++j) {
+        batch[range_slots[j]].range_promise.set_value(std::move(results[j]));
+      }
+    } catch (...) {
+      // A bad query (e.g. out-of-universe box) fails the whole sub-batch;
+      // every waiter sees the error on its own thread.
+      for (const std::size_t i : range_slots) {
+        batch[i].range_promise.set_exception(std::current_exception());
+      }
+    }
+  }
+
+  for (auto& [k, slots] : knn_slots) {
+    std::vector<Point> points;
+    points.reserve(slots.size());
+    for (const std::size_t i : slots) points.push_back(batch[i].point);
+    try {
+      std::vector<KnnQueryResult> results =
+          run_knn_queries(index_, points, k, exec);
+      for (std::size_t j = 0; j < slots.size(); ++j) {
+        batch[slots[j]].knn_promise.set_value(std::move(results[j]));
+      }
+    } catch (...) {
+      for (const std::size_t i : slots) {
+        batch[i].knn_promise.set_exception(std::current_exception());
+      }
+    }
+  }
+}
+
+namespace {
+
+double percentile_us(const std::vector<double>& sorted_us, double fraction) {
+  if (sorted_us.empty()) return 0.0;
+  const double rank = std::ceil(fraction * static_cast<double>(sorted_us.size()));
+  const std::size_t at =
+      std::min<std::size_t>(sorted_us.size(),
+                            std::max<std::size_t>(1, static_cast<std::size_t>(rank)));
+  return sorted_us[at - 1];
+}
+
+}  // namespace
+
+ReplayReport replay_trace(IndexServer& server, const QueryTrace& trace,
+                          const ReplayOptions& options) {
+  const std::uint32_t clients = std::max<std::uint32_t>(1, options.clients);
+  ReplayReport report;
+  report.clients = clients;
+  report.queries = trace.size();
+  report.range_queries = trace.range_count();
+  report.knn_queries = trace.knn_count();
+  if (trace.empty()) return report;
+
+  struct ClientTally {
+    std::vector<double> latencies_us;
+    std::uint64_t rows_returned = 0;
+    std::uint64_t neighbors_returned = 0;
+    std::exception_ptr error;
+  };
+  std::vector<ClientTally> tallies(clients);
+
+  using clock = std::chrono::steady_clock;
+  const auto replay_begin = clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientTally& tally = tallies[c];
+      try {
+        // Strided slice: client c replays queries c, c+clients, ... so every
+        // client mixes range and kNN work the way the trace does.
+        for (std::size_t q = c; q < trace.size(); q += clients) {
+          const TraceQuery& query = trace.queries[q];
+          const auto begin = clock::now();
+          if (query.kind == TraceQuery::Kind::kRange) {
+            const RangeQueryResult result = server.range_query(query.box());
+            tally.rows_returned += result.ids.size();
+          } else {
+            const KnnQueryResult result =
+                server.knn_query(query.point, query.k);
+            tally.neighbors_returned += result.neighbors.size();
+          }
+          const auto end = clock::now();
+          tally.latencies_us.push_back(
+              std::chrono::duration<double, std::micro>(end - begin).count());
+        }
+      } catch (...) {
+        tally.error = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const auto replay_end = clock::now();
+
+  std::vector<double> latencies;
+  latencies.reserve(trace.size());
+  for (ClientTally& tally : tallies) {
+    if (tally.error) std::rethrow_exception(tally.error);
+    report.rows_returned += tally.rows_returned;
+    report.neighbors_returned += tally.neighbors_returned;
+    latencies.insert(latencies.end(), tally.latencies_us.begin(),
+                     tally.latencies_us.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+
+  report.wall_seconds =
+      std::chrono::duration<double>(replay_end - replay_begin).count();
+  report.qps = report.wall_seconds > 0.0
+                   ? static_cast<double>(report.queries) / report.wall_seconds
+                   : 0.0;
+  report.p50_us = percentile_us(latencies, 0.50);
+  report.p99_us = percentile_us(latencies, 0.99);
+  report.max_us = latencies.empty() ? 0.0 : latencies.back();
+  return report;
+}
+
+}  // namespace sfc

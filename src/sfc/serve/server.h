@@ -1,0 +1,133 @@
+// The concurrent serving front end: batching admission over a sharded index.
+//
+// Serving clients arrive one query at a time, but the engines are at their
+// best answering batches (engine reuse, chunked parallelism, shard fan-out).
+// IndexServer bridges the two with a classic batching admission queue: client
+// threads enqueue a query and block on a future; a single dispatcher thread
+// collects arrivals until the batch is full (`max_batch`) or the oldest
+// waiting query has aged out (`batch_window_us`), then executes the whole
+// batch through the sharded run_range_queries / run_knn_queries executors and
+// fulfills every future.  Under load, batches fill and throughput approaches
+// the executors' batch rate; when idle, a lone query waits at most one window.
+//
+// Answers are the engines' answers — batching and sharding change latency and
+// throughput, never results (the serve tests assert equality against direct
+// engine calls under concurrent clients).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sfc/index/executor.h"
+#include "sfc/serve/sharded_index.h"
+#include "sfc/serve/trace.h"
+
+namespace sfc {
+
+struct ServerOptions {
+  /// log2 of the shard count handed to ShardedIndex (clamped to key width).
+  int shard_bits = 0;
+  /// Executor pool for batch execution; nullptr = ThreadPool::shared().
+  ThreadPool* pool = nullptr;
+  /// Executor chunk grain (queries per engine chunk).
+  std::uint64_t grain = 16;
+  /// Dispatch as soon as this many queries are queued.
+  std::uint32_t max_batch = 64;
+  /// ... or once the oldest queued query has waited this long.
+  std::uint32_t batch_window_us = 200;
+};
+
+struct ServerStats {
+  std::uint64_t queries_admitted = 0;
+  std::uint64_t range_queries = 0;
+  std::uint64_t knn_queries = 0;
+  std::uint64_t batches_dispatched = 0;
+  std::uint64_t max_batch_rows = 0;  ///< largest batch dispatched so far
+};
+
+/// A read-only query server over any index storage.  The storage behind the
+/// view must outlive the server.  Thread-safe: any number of client threads
+/// may call range_query / knn_query concurrently.
+class IndexServer {
+ public:
+  explicit IndexServer(IndexColumnsView view, const ServerOptions& options = {});
+  ~IndexServer();
+
+  IndexServer(const IndexServer&) = delete;
+  IndexServer& operator=(const IndexServer&) = delete;
+
+  /// Blocking point queries: enqueue, wait for the dispatcher's batch, return
+  /// the engine's answer.  Engine errors (e.g. out-of-universe arguments)
+  /// rethrow on the calling thread.
+  RangeQueryResult range_query(const Box& box);
+  KnnQueryResult knn_query(const Point& query, std::uint32_t k);
+
+  /// Drains queued queries and joins the dispatcher.  Called by the
+  /// destructor; queries submitted after stop() throw Error.
+  void stop();
+
+  const ShardedIndex& index() const { return index_; }
+  const ServerOptions& options() const { return options_; }
+  /// Snapshot of the admission counters (taken under the queue lock).
+  ServerStats stats() const;
+
+ private:
+  struct Pending {
+    enum class Kind : std::uint8_t { kRange, kKnn } kind;
+    Box box;
+    Point point;
+    std::uint32_t k = 0;
+    std::promise<RangeQueryResult> range_promise;
+    std::promise<KnnQueryResult> knn_promise;
+
+    explicit Pending(const Box& b)
+        : kind(Kind::kRange), box(b) {}
+    Pending(const Point& p, std::uint32_t kk)
+        : kind(Kind::kKnn), box(Point::zero(1), Point::zero(1)), point(p), k(kk) {}
+  };
+
+  void dispatcher_loop();
+  void execute_batch(std::vector<Pending>& batch);
+
+  ShardedIndex index_;
+  ServerOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable arrivals_;
+  std::vector<Pending> pending_;
+  bool stopping_ = false;
+  ServerStats stats_;
+  std::thread dispatcher_;
+};
+
+/// Trace replay: `clients` threads each replay a strided slice of the trace
+/// through blocking server calls, measuring per-query latency end to end
+/// (admission wait + batch execution included).
+struct ReplayOptions {
+  std::uint32_t clients = 1;
+};
+
+struct ReplayReport {
+  std::uint32_t clients = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t range_queries = 0;
+  std::uint64_t knn_queries = 0;
+  /// Result-volume checksums so replays can assert they did real work.
+  std::uint64_t rows_returned = 0;
+  std::uint64_t neighbors_returned = 0;
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  /// Latency percentiles over all queries, microseconds (nearest-rank).
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+ReplayReport replay_trace(IndexServer& server, const QueryTrace& trace,
+                          const ReplayOptions& options = {});
+
+}  // namespace sfc

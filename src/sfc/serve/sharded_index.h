@@ -1,0 +1,81 @@
+// Curve-contiguous sharding of an index columns view.
+//
+// Splitting by the *leading* bits of the curve key partitions the rows into
+// 2^shard_bits contiguous key ranges — and, because rows are key-sorted,
+// into contiguous row ranges too.  Each shard is therefore just a slice of
+// the base columns (zero copies of keys/ids/points) plus its own small block
+// directory rebuilt over the slice, packaged as the same IndexColumnsView
+// every engine queries.  The paper's clustering results are why this is the
+// right split: curve-contiguous shards inherit the curve's proximity
+// preservation, so a box or kNN query touches few shards and each shard's
+// scan stays as dense as the unsharded one.
+//
+// Queries over the sharded index fan out per shard and merge:
+//   - range scans concatenate per-shard id runs in shard order (shards are
+//     ascending in key, so concatenation *is* global row order);
+//   - kNN merges the per-shard top-k under the global candidate order
+//     (squared distance, key, id) — within equal keys, row order is id
+//     order, so this is exactly the unsharded (distance, key, row) order.
+// Both are bit-identical to the unsharded engines; tests enforce it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sfc/index/columns_view.h"
+#include "sfc/index/executor.h"
+#include "sfc/ranges/range_cover.h"
+
+namespace sfc {
+
+/// A sharded, read-only wrapper over any index storage (in-memory PointIndex
+/// or mmap-backed MappedIndex — anything that yields an IndexColumnsView).
+/// The base storage must outlive the sharded index.
+class ShardedIndex {
+ public:
+  /// Splits `base` into 2^shard_bits curve-contiguous shards.  shard_bits is
+  /// clamped to the key width of the universe, so tiny universes simply get
+  /// fewer shards; shard_bits = 0 means one shard (the base view itself).
+  explicit ShardedIndex(IndexColumnsView base, int shard_bits = 0);
+
+  const IndexColumnsView& base() const { return base_; }
+  int shard_bits() const { return shard_bits_; }
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Shard s as a queryable view (slice of the base columns + own
+  /// directory); shards ascend in key order.
+  const IndexColumnsView& shard(std::size_t s) const { return shards_[s]; }
+
+  /// Inclusive key range [lo, hi] owned by shard s.
+  KeyInterval shard_key_range(std::size_t s) const { return key_ranges_[s]; }
+
+  /// Global (base-view) row index of shard s's first row.
+  std::uint64_t shard_row_begin(std::size_t s) const {
+    return shard_row_begin_[s];
+  }
+
+ private:
+  IndexColumnsView base_;
+  int shard_bits_ = 0;
+  std::vector<KeyInterval> key_ranges_;
+  std::vector<std::uint64_t> shard_row_begin_;
+  /// Per-shard directories; the element vectors are stable (never resized
+  /// after construction) so the shard views can point into them.
+  std::vector<std::vector<index_t>> directories_;
+  std::vector<IndexColumnsView> shards_;
+};
+
+/// Sharded multi-query execution: every query fans out over all shards (each
+/// (shard, query) cell is an independent task on the pool), and per-shard
+/// results merge deterministically.  Results are bit-identical to the
+/// unsharded run_range_queries / run_knn_queries on the base view, for every
+/// shard count, thread count, and grain.
+std::vector<RangeQueryResult> run_range_queries(
+    const ShardedIndex& index, std::span<const Box> boxes,
+    const MultiQueryOptions& options = {});
+
+std::vector<KnnQueryResult> run_knn_queries(
+    const ShardedIndex& index, std::span<const Point> queries, std::uint32_t k,
+    const MultiQueryOptions& options = {});
+
+}  // namespace sfc

@@ -1,0 +1,178 @@
+#include "sfc/serve/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "sfc/rng/sampling.h"
+#include "sfc/rng/xoshiro256.h"
+
+namespace sfc {
+
+namespace {
+
+/// Renders "x1,x2,...,xd".
+void append_coords(std::string& out, const Point& p) {
+  for (int i = 0; i < p.dim(); ++i) {
+    if (i != 0) out.push_back(',');
+    out += std::to_string(p[i]);
+  }
+}
+
+/// Parses "x1,x2,...,xd" into *out; false on malformed input.
+bool parse_point_csv(const std::string& text, Point* out) {
+  coord_t coords[kMaxDim];
+  int dim = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? text.size() : comma;
+    if (end == pos || dim >= kMaxDim) return false;
+    std::uint64_t value = 0;
+    for (std::size_t i = pos; i < end; ++i) {
+      const char c = text[i];
+      if (c < '0' || c > '9') return false;
+      value = value * 10 + static_cast<std::uint64_t>(c - '0');
+      if (value > 0xffffffffULL) return false;
+    }
+    coords[dim++] = static_cast<coord_t>(value);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (dim == 0) return false;
+  Point p = Point::zero(dim);
+  for (int i = 0; i < dim; ++i) p[i] = coords[i];
+  *out = p;
+  return true;
+}
+
+[[noreturn]] void malformed(std::uint64_t line_no, const std::string& line,
+                            const std::string& why) {
+  throw TraceError("trace parse error at line " + std::to_string(line_no) +
+                   " (" + why + "): " + line);
+}
+
+}  // namespace
+
+std::uint64_t QueryTrace::range_count() const {
+  return static_cast<std::uint64_t>(
+      std::count_if(queries.begin(), queries.end(), [](const TraceQuery& q) {
+        return q.kind == TraceQuery::Kind::kRange;
+      }));
+}
+
+std::uint64_t QueryTrace::knn_count() const {
+  return size() - range_count();
+}
+
+QueryTrace generate_trace(const Universe& universe,
+                          const TraceGenOptions& options) {
+  if (options.knn_percent > 100) {
+    throw TraceError("generate_trace: knn_percent = " +
+                     std::to_string(options.knn_percent) + " exceeds 100");
+  }
+  if (options.box_extent < 1) {
+    throw TraceError("generate_trace: box_extent must be >= 1");
+  }
+  const coord_t extent = static_cast<coord_t>(
+      std::min<std::uint64_t>(options.box_extent, universe.side()));
+  Xoshiro256 rng(options.seed);
+  QueryTrace trace;
+  trace.queries.reserve(options.count);
+  for (std::uint64_t i = 0; i < options.count; ++i) {
+    const bool knn = rng.next_below(100) < options.knn_percent;
+    if (knn) {
+      trace.queries.push_back(
+          TraceQuery::knn(random_cell(universe, rng), options.knn_k));
+    } else {
+      trace.queries.push_back(
+          TraceQuery::range(random_box(universe, extent, rng)));
+    }
+  }
+  return trace;
+}
+
+std::string write_trace_text(const QueryTrace& trace) {
+  std::string out;
+  out += "# sfc query trace: " + std::to_string(trace.size()) + " queries (" +
+         std::to_string(trace.range_count()) + " range, " +
+         std::to_string(trace.knn_count()) + " knn)\n";
+  for (const TraceQuery& q : trace.queries) {
+    if (q.kind == TraceQuery::Kind::kRange) {
+      out += "range ";
+      append_coords(out, q.box_lo);
+      out.push_back(' ');
+      append_coords(out, q.box_hi);
+    } else {
+      out += "knn ";
+      append_coords(out, q.point);
+      out.push_back(' ');
+      out += std::to_string(q.k);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+QueryTrace read_trace_text(const std::string& text) {
+  QueryTrace trace;
+  std::istringstream in(text);
+  std::string line;
+  std::uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string op, a, b;
+    fields >> op >> a >> b;
+    if (fields.fail()) malformed(line_no, line, "expected 3 fields");
+    std::string extra;
+    if (fields >> extra) malformed(line_no, line, "trailing fields");
+    if (op == "range") {
+      Point lo, hi;
+      if (!parse_point_csv(a, &lo)) malformed(line_no, line, "bad low corner");
+      if (!parse_point_csv(b, &hi)) malformed(line_no, line, "bad high corner");
+      if (lo.dim() != hi.dim()) malformed(line_no, line, "corner dim mismatch");
+      for (int i = 0; i < lo.dim(); ++i) {
+        if (lo[i] > hi[i]) malformed(line_no, line, "inverted corner");
+      }
+      trace.queries.push_back(TraceQuery::range(Box(lo, hi)));
+    } else if (op == "knn") {
+      Point p;
+      if (!parse_point_csv(a, &p)) malformed(line_no, line, "bad query point");
+      std::uint64_t k = 0;
+      for (const char c : b) {
+        if (c < '0' || c > '9') malformed(line_no, line, "bad k");
+        k = k * 10 + static_cast<std::uint64_t>(c - '0');
+        if (k > 0xffffffffULL) malformed(line_no, line, "k out of range");
+      }
+      if (b.empty() || k == 0) malformed(line_no, line, "bad k");
+      trace.queries.push_back(
+          TraceQuery::knn(p, static_cast<std::uint32_t>(k)));
+    } else {
+      malformed(line_no, line, "unknown op '" + op + "'");
+    }
+  }
+  return trace;
+}
+
+void write_trace_file(const std::string& path, const QueryTrace& trace) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw TraceError("cannot open trace file for writing: " + path);
+  const std::string text = write_trace_text(trace);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  out.flush();
+  if (!out) throw TraceError("I/O error writing trace file: " + path);
+}
+
+QueryTrace read_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw TraceError("cannot open trace file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) throw TraceError("I/O error reading trace file: " + path);
+  return read_trace_text(buffer.str());
+}
+
+}  // namespace sfc

@@ -1,0 +1,104 @@
+// Recorded query traces: the serving workload as data.
+//
+// A trace is a flat list of range and kNN queries in arrival order, stored
+// as a line-oriented text file so traces can be generated once, checked into
+// the repo (CI replays a bundled 1k-query trace), diffed, and hand-edited:
+//
+//   # comment / blank lines ignored
+//   range LO_1,...,LO_d HI_1,...,HI_d
+//   knn   X_1,...,X_d K
+//
+// generate_trace draws a reproducible mixed workload from the rng layer:
+// uniform box anchors with a fixed extent (clamped to the universe) and
+// uniform kNN query points, interleaved by a Bernoulli mix.  The replay
+// driver (sfc/serve server + sfctool serve-bench) partitions a trace across
+// client threads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sfc/common/error.h"
+#include "sfc/grid/box.h"
+#include "sfc/grid/point.h"
+#include "sfc/grid/universe.h"
+
+namespace sfc {
+
+/// Thrown on malformed trace text or unwritable/unreadable trace paths.
+class TraceError : public Error {
+ public:
+  explicit TraceError(const std::string& what) : Error(what) {}
+};
+
+/// One recorded query; `kind` selects which payload is meaningful.  The
+/// range payload is stored as corner points (Box has no default state) and
+/// materialized on demand.
+struct TraceQuery {
+  enum class Kind : std::uint8_t { kRange, kKnn };
+
+  Kind kind = Kind::kRange;
+  Point box_lo;        ///< kRange payload: inclusive low corner
+  Point box_hi;        ///< kRange payload: inclusive high corner
+  Point point;         ///< kKnn payload
+  std::uint32_t k = 0; ///< kKnn payload
+
+  Box box() const { return Box(box_lo, box_hi); }
+
+  static TraceQuery range(const Box& b) {
+    TraceQuery q;
+    q.kind = Kind::kRange;
+    q.box_lo = b.lo();
+    q.box_hi = b.hi();
+    return q;
+  }
+  static TraceQuery knn(const Point& p, std::uint32_t k) {
+    TraceQuery q;
+    q.kind = Kind::kKnn;
+    q.point = p;
+    q.k = k;
+    return q;
+  }
+
+  friend bool operator==(const TraceQuery& a, const TraceQuery& b) {
+    if (a.kind != b.kind) return false;
+    return a.kind == Kind::kRange
+               ? a.box_lo == b.box_lo && a.box_hi == b.box_hi
+               : a.point == b.point && a.k == b.k;
+  }
+};
+
+struct QueryTrace {
+  std::vector<TraceQuery> queries;
+
+  std::size_t size() const { return queries.size(); }
+  bool empty() const { return queries.empty(); }
+  std::uint64_t range_count() const;
+  std::uint64_t knn_count() const;
+};
+
+struct TraceGenOptions {
+  std::uint64_t count = 1000;     ///< total queries
+  std::uint32_t box_extent = 32;  ///< side length of range boxes (>= 1)
+  std::uint32_t knn_k = 8;        ///< k for the kNN queries
+  /// Fraction of kNN queries in the mix, in percent (0 = all range,
+  /// 100 = all kNN).
+  std::uint32_t knn_percent = 50;
+  std::uint64_t seed = 1;
+};
+
+/// Draws a reproducible mixed workload inside `universe`.  Box extents are
+/// clamped to the universe side, so small universes stay valid.
+QueryTrace generate_trace(const Universe& universe,
+                          const TraceGenOptions& options);
+
+/// Text-format round trip.  Both throw TraceError on I/O failure;
+/// read_trace_text/read_trace_file additionally throw on malformed lines
+/// (message names the line number).
+std::string write_trace_text(const QueryTrace& trace);
+QueryTrace read_trace_text(const std::string& text);
+void write_trace_file(const std::string& path, const QueryTrace& trace);
+QueryTrace read_trace_file(const std::string& path);
+
+}  // namespace sfc

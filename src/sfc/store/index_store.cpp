@@ -1,0 +1,341 @@
+#include "sfc/store/index_store.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <type_traits>
+#include <utility>
+
+#include "sfc/curves/curve_error.h"
+
+namespace sfc {
+
+namespace {
+
+// The mapped columns are served as raw spans, so the format pins the native
+// layout of every element type.  A platform where these do not hold cannot
+// read (or produce) version-1 files; the header's endian tag and point_bytes
+// field turn such mismatches into recoverable StoreErrors.
+static_assert(std::is_trivially_copyable_v<Point>);
+static_assert(std::is_standard_layout_v<Point>);
+static_assert(sizeof(Point) == 36, "on-disk point layout (v1) changed");
+static_assert(sizeof(index_t) == 8 && sizeof(coord_t) == 4);
+
+constexpr char kMagic[8] = {'S', 'F', 'C', 'I', 'D', 'X', '0', '1'};
+constexpr std::uint32_t kEndianTag = 0x01020304;
+constexpr std::uint64_t kColumnAlign = 64;
+constexpr std::size_t kFamilyBytes = 24;
+
+enum Column : std::size_t { kKeys = 0, kIds, kPoints, kDirectory, kColumns };
+
+struct ColumnEntry {
+  std::uint64_t offset = 0;    // byte offset from file start, 64-aligned
+  std::uint64_t bytes = 0;     // payload bytes (excluding padding)
+  std::uint64_t checksum = 0;  // fnv1a64 over the payload bytes
+};
+
+struct Header {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t endian_tag;
+  std::uint32_t header_bytes;
+  std::uint32_t point_bytes;
+  std::uint32_t curve_dim;
+  std::uint32_t curve_side;
+  std::uint64_t curve_seed;
+  std::uint64_t row_count;
+  std::uint32_t block_rows;
+  std::uint32_t reserved;
+  char curve_family[kFamilyBytes];  // NUL-padded canonical family name
+  ColumnEntry columns[kColumns];
+  std::uint64_t header_checksum;  // fnv1a64 over the header, this field = 0
+};
+
+static_assert(std::is_trivially_copyable_v<Header>);
+static_assert(sizeof(Header) == 184, "on-disk header layout (v1) changed");
+
+std::uint64_t align_up(std::uint64_t value, std::uint64_t align) {
+  return (value + align - 1) / align * align;
+}
+
+std::uint64_t header_digest(Header header) {
+  header.header_checksum = 0;
+  return fnv1a64(&header, sizeof(header));
+}
+
+/// The four column payload sizes of an index with `rows` rows.
+void column_sizes(std::uint64_t rows, std::uint32_t block_rows,
+                  std::uint64_t sizes[kColumns]) {
+  const std::uint64_t blocks =
+      block_rows == 0 ? 0 : (rows + block_rows - 1) / block_rows;
+  sizes[kKeys] = rows * sizeof(index_t);
+  sizes[kIds] = rows * sizeof(std::uint32_t);
+  sizes[kPoints] = rows * sizeof(Point);
+  sizes[kDirectory] = blocks * sizeof(index_t);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const void* data, std::size_t bytes,
+                      std::uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = seed;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void write_index_file(const std::string& path, const PointIndex& index,
+                      const CurveDescriptor& descriptor) {
+  const Universe& u = index.curve().universe();
+  if (descriptor.dim != u.dim() || descriptor.side != u.side()) {
+    throw StoreError("index write: descriptor universe (d=" +
+                     std::to_string(descriptor.dim) + " side=" +
+                     std::to_string(descriptor.side) +
+                     ") does not match the index's curve (d=" +
+                     std::to_string(u.dim()) + " side=" +
+                     std::to_string(u.side()) + ")");
+  }
+  if (descriptor.family.size() + 1 > kFamilyBytes) {
+    throw StoreError("index write: curve family name '" + descriptor.family +
+                     "' exceeds " + std::to_string(kFamilyBytes - 1) +
+                     " bytes");
+  }
+
+  Header header{};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kIndexFormatVersion;
+  header.endian_tag = kEndianTag;
+  header.header_bytes = sizeof(Header);
+  header.point_bytes = sizeof(Point);
+  header.curve_dim = static_cast<std::uint32_t>(descriptor.dim);
+  header.curve_side = descriptor.side;
+  header.curve_seed = descriptor.seed;
+  header.row_count = index.row_count();
+  header.block_rows = index.block_rows();
+  std::memcpy(header.curve_family, descriptor.family.c_str(),
+              descriptor.family.size() + 1);
+
+  const void* payloads[kColumns] = {
+      index.keys().data(), index.ids().data(), index.points().data(),
+      index.view().block_last_key().data()};
+  std::uint64_t sizes[kColumns];
+  column_sizes(index.row_count(), index.block_rows(), sizes);
+
+  std::uint64_t offset = align_up(sizeof(Header), kColumnAlign);
+  for (std::size_t c = 0; c < kColumns; ++c) {
+    header.columns[c].offset = offset;
+    header.columns[c].bytes = sizes[c];
+    header.columns[c].checksum = fnv1a64(payloads[c], sizes[c]);
+    offset = align_up(offset + sizes[c], kColumnAlign);
+  }
+  header.header_checksum = header_digest(header);
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw StoreError("index write: could not open '" + path +
+                     "' for writing");
+  }
+  const char zeros[kColumnAlign] = {};
+  std::uint64_t written = 0;
+  const auto emit = [&](const void* data, std::uint64_t bytes) {
+    out.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(bytes));
+    written += bytes;
+  };
+  const auto pad_to = [&](std::uint64_t target) {
+    while (written < target) {
+      const std::uint64_t chunk =
+          std::min<std::uint64_t>(target - written, sizeof(zeros));
+      emit(zeros, chunk);
+    }
+  };
+  emit(&header, sizeof(header));
+  for (std::size_t c = 0; c < kColumns; ++c) {
+    pad_to(header.columns[c].offset);
+    emit(payloads[c], sizes[c]);
+  }
+  out.flush();
+  if (!out) {
+    throw StoreError("index write: I/O error writing '" + path + "'");
+  }
+}
+
+MappedIndex MappedIndex::open(const std::string& path,
+                              const MappedIndexOptions& options) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw StoreError("index open: could not open '" + path +
+                     "': " + std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw StoreError("index open: could not stat '" + path +
+                     "': " + std::strerror(err));
+  }
+  const std::uint64_t file_bytes = static_cast<std::uint64_t>(st.st_size);
+  if (file_bytes < sizeof(Header)) {
+    ::close(fd);
+    throw StoreError("index open: '" + path + "' is " +
+                     std::to_string(file_bytes) +
+                     " bytes — shorter than the " +
+                     std::to_string(sizeof(Header)) + "-byte header");
+  }
+  void* map = ::mmap(nullptr, file_bytes, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (map == MAP_FAILED) {
+    throw StoreError("index open: mmap of '" + path +
+                     "' failed: " + std::strerror(errno));
+  }
+
+  MappedIndex mapped;
+  mapped.map_ = map;
+  mapped.map_bytes_ = file_bytes;
+  const auto fail = [&](const std::string& what) -> void {
+    throw StoreError("index open: '" + path + "': " + what);
+  };
+
+  Header header;
+  std::memcpy(&header, map, sizeof(header));
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    fail("bad magic — not an SFC index file");
+  }
+  if (header.endian_tag != kEndianTag) {
+    fail("endianness mismatch — file was written on an incompatible host");
+  }
+  if (header.version != kIndexFormatVersion) {
+    fail("format version " + std::to_string(header.version) +
+         " unsupported (this build reads version " +
+         std::to_string(kIndexFormatVersion) + ")");
+  }
+  if (header.header_bytes != sizeof(Header)) {
+    fail("header size " + std::to_string(header.header_bytes) +
+         " != expected " + std::to_string(sizeof(Header)));
+  }
+  if (header.point_bytes != sizeof(Point)) {
+    fail("point layout " + std::to_string(header.point_bytes) +
+         " bytes != this build's " + std::to_string(sizeof(Point)));
+  }
+  if (header_digest(header) != header.header_checksum) {
+    fail("header checksum mismatch — corrupt or truncated header");
+  }
+  if (header.block_rows == 0) fail("block_rows must be >= 1");
+  if (header.curve_family[kFamilyBytes - 1] != '\0') {
+    fail("curve family name is not NUL-terminated");
+  }
+
+  std::uint64_t sizes[kColumns];
+  column_sizes(header.row_count, header.block_rows, sizes);
+  for (std::size_t c = 0; c < kColumns; ++c) {
+    const ColumnEntry& column = header.columns[c];
+    if (column.bytes != sizes[c]) {
+      fail("column " + std::to_string(c) + " holds " +
+           std::to_string(column.bytes) + " bytes, expected " +
+           std::to_string(sizes[c]) + " for " +
+           std::to_string(header.row_count) + " rows");
+    }
+    if (column.offset % alignof(Point) != 0 ||
+        column.offset % alignof(index_t) != 0) {
+      fail("column " + std::to_string(c) + " offset " +
+           std::to_string(column.offset) + " is misaligned");
+    }
+    if (column.offset > file_bytes || column.bytes > file_bytes - column.offset) {
+      fail("column " + std::to_string(c) + " [" +
+           std::to_string(column.offset) + ", +" +
+           std::to_string(column.bytes) + ") exceeds the " +
+           std::to_string(file_bytes) + "-byte file — truncated?");
+    }
+  }
+
+  mapped.descriptor_.family = header.curve_family;
+  mapped.descriptor_.dim = static_cast<int>(header.curve_dim);
+  mapped.descriptor_.side = header.curve_side;
+  mapped.descriptor_.seed = header.curve_seed;
+  try {
+    mapped.curve_ = make_curve(mapped.descriptor_);
+  } catch (const CurveArgumentError& error) {
+    fail(std::string("persisted curve descriptor rejected: ") + error.what());
+  }
+
+  const auto* base = static_cast<const unsigned char*>(map);
+  const auto* keys = reinterpret_cast<const index_t*>(
+      base + header.columns[kKeys].offset);
+  const auto* ids = reinterpret_cast<const std::uint32_t*>(
+      base + header.columns[kIds].offset);
+  const auto* points = reinterpret_cast<const Point*>(
+      base + header.columns[kPoints].offset);
+  const auto* directory = reinterpret_cast<const index_t*>(
+      base + header.columns[kDirectory].offset);
+  const std::uint64_t rows = header.row_count;
+  const std::uint64_t blocks = sizes[kDirectory] / sizeof(index_t);
+
+  if (options.verify) {
+    for (std::size_t c = 0; c < kColumns; ++c) {
+      if (fnv1a64(base + header.columns[c].offset, header.columns[c].bytes) !=
+          header.columns[c].checksum) {
+        fail("column " + std::to_string(c) +
+             " checksum mismatch — corrupt data");
+      }
+    }
+    const index_t cells = mapped.curve_->universe().cell_count();
+    for (std::uint64_t r = 0; r < rows; ++r) {
+      if (keys[r] >= cells) {
+        fail("row " + std::to_string(r) + " key " + std::to_string(keys[r]) +
+             " outside the " + std::to_string(cells) + "-cell universe");
+      }
+      if (r > 0 && keys[r - 1] > keys[r]) {
+        fail("key column not sorted at row " + std::to_string(r));
+      }
+    }
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      const std::uint64_t end =
+          std::min<std::uint64_t>((b + 1) * header.block_rows, rows);
+      if (directory[b] != keys[end - 1]) {
+        fail("block directory entry " + std::to_string(b) +
+             " disagrees with the key column");
+      }
+    }
+  }
+
+  mapped.view_ = IndexColumnsView(
+      *mapped.curve_, header.block_rows, std::span<const index_t>(keys, rows),
+      std::span<const std::uint32_t>(ids, rows),
+      std::span<const Point>(points, rows),
+      std::span<const index_t>(directory, blocks));
+  return mapped;
+}
+
+MappedIndex::MappedIndex(MappedIndex&& other) noexcept
+    : map_(std::exchange(other.map_, nullptr)),
+      map_bytes_(std::exchange(other.map_bytes_, 0)),
+      curve_(std::move(other.curve_)),
+      descriptor_(std::move(other.descriptor_)),
+      view_(other.view_) {}
+
+MappedIndex& MappedIndex::operator=(MappedIndex&& other) noexcept {
+  if (this != &other) {
+    if (map_ != nullptr) ::munmap(map_, map_bytes_);
+    map_ = std::exchange(other.map_, nullptr);
+    map_bytes_ = std::exchange(other.map_bytes_, 0);
+    curve_ = std::move(other.curve_);
+    descriptor_ = std::move(other.descriptor_);
+    view_ = other.view_;
+  }
+  return *this;
+}
+
+MappedIndex::~MappedIndex() {
+  if (map_ != nullptr) ::munmap(map_, map_bytes_);
+}
+
+}  // namespace sfc

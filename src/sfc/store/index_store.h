@@ -1,0 +1,106 @@
+// Persistent on-disk index storage: versioned, checksummed, mmap-served.
+//
+// The north-star serving story is "build once, serve many processes": a
+// PointIndex's columns are already flat arrays, so the on-disk format is a
+// fixed header (magic, version, curve descriptor, universe, row count,
+// column table with per-column FNV-1a checksums) followed by the four
+// columns, each 64-byte aligned — see docs/index_format.md for the byte-level
+// layout.  write_index_file streams a built index out; MappedIndex mmaps a
+// file read-only, validates everything (magic, version, endianness, header
+// checksum, column bounds, per-column checksums, key-order and directory
+// consistency), reconstructs the exact curve from the persisted
+// CurveDescriptor, and exposes the same IndexColumnsView the in-memory index
+// exposes — queries through either storage are bit-identical by
+// construction, because the engines only ever see the view.
+//
+// The format is *not* an interchange format: it fixes the native
+// little-endian column layout (including Point's in-memory layout) so that
+// serving can map columns without any translation, and it refuses to open
+// files whose header disagrees with the running build's layout constants.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sfc/common/error.h"
+#include "sfc/common/types.h"
+#include "sfc/curves/curve_factory.h"
+#include "sfc/index/columns_view.h"
+#include "sfc/index/point_index.h"
+
+namespace sfc {
+
+/// Thrown on any index-file problem: unwritable path, short/truncated file,
+/// bad magic or version, checksum mismatch, column table out of bounds, a
+/// descriptor naming an unknown curve, or a universe mismatch.  Derives from
+/// sfc::Error so serving drivers recover at the tool boundary.
+class StoreError : public Error {
+ public:
+  explicit StoreError(const std::string& what) : Error(what) {}
+};
+
+/// Current on-disk format version (header field `version`).
+inline constexpr std::uint32_t kIndexFormatVersion = 1;
+
+/// 64-bit FNV-1a over a byte range — the format's checksum primitive.
+/// Chainable: pass the previous digest as `seed` to extend.
+std::uint64_t fnv1a64(const void* data, std::size_t bytes,
+                      std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// Serializes `index` to `path` (overwriting), persisting `descriptor` as
+/// the curve identity.  The descriptor's universe must match the index's
+/// curve (throws StoreError otherwise); it is what MappedIndex::open
+/// reconstructs the curve from, so it must name the curve the index was
+/// built with — "hilbert d=2 side=1024 seed=1" etc.
+void write_index_file(const std::string& path, const PointIndex& index,
+                      const CurveDescriptor& descriptor);
+
+struct MappedIndexOptions {
+  /// Verify per-column checksums, key-column sortedness, and block-directory
+  /// consistency at open (one streaming pass over the file).  Serving
+  /// processes that reopen a file they just validated may switch this off;
+  /// header and bounds validation always runs.
+  bool verify = true;
+};
+
+/// A read-only, mmap-backed index.  Owns the mapping and the curve
+/// reconstructed from the persisted descriptor; exposes the storage-agnostic
+/// IndexColumnsView that RangeScanEngine / KnnEngine / the executors and the
+/// serve front end query.  Movable, not copyable; views are valid while the
+/// MappedIndex is alive and unmoved.
+class MappedIndex {
+ public:
+  /// Maps and validates `path`; throws StoreError on any mismatch.
+  static MappedIndex open(const std::string& path,
+                          const MappedIndexOptions& options = {});
+
+  MappedIndex(MappedIndex&& other) noexcept;
+  MappedIndex& operator=(MappedIndex&& other) noexcept;
+  MappedIndex(const MappedIndex&) = delete;
+  MappedIndex& operator=(const MappedIndex&) = delete;
+  ~MappedIndex();
+
+  /// The persisted curve identity the index was opened with.
+  const CurveDescriptor& descriptor() const { return descriptor_; }
+  /// The reconstructed curve (owned by this object).
+  const SpaceFillingCurve& curve() const { return *curve_; }
+
+  std::uint64_t row_count() const { return view_.row_count(); }
+  std::uint32_t block_rows() const { return view_.block_rows(); }
+  std::uint64_t file_bytes() const { return map_bytes_; }
+
+  /// The columns view over the mapped file — what engines query.
+  const IndexColumnsView& view() const { return view_; }
+  operator IndexColumnsView() const { return view_; }  // NOLINT
+
+ private:
+  MappedIndex() = default;
+
+  void* map_ = nullptr;
+  std::size_t map_bytes_ = 0;
+  CurvePtr curve_;
+  CurveDescriptor descriptor_;
+  IndexColumnsView view_;
+};
+
+}  // namespace sfc

@@ -121,8 +121,9 @@ TEST(NNDecomposition, DimensionMismatchThrowsTypedError) {
   }
   EXPECT_THROW(nn_decomposition_vertices(Point{0}, Point{0, 0}),
                DecompositionArgumentError);
-  // The typed error is an invalid_argument, so generic handlers recover too.
-  EXPECT_THROW(nn_decomposition(Point{1}, Point{1, 1}), std::invalid_argument);
+  // The typed error derives from the unified sfc::Error base, so one catch
+  // at a tool boundary recovers from every library error.
+  EXPECT_THROW(nn_decomposition(Point{1}, Point{1, 1}), Error);
 }
 
 }  // namespace

@@ -68,5 +68,93 @@ TEST(CurveFactory, UnknownFamilyThrows) {
   EXPECT_THROW(make_curve(bogus, Universe::pow2(2, 2)), CurveArgumentError);
 }
 
+// --- CurveDescriptor: the persisted curve identity (sfc/store) ------------
+
+TEST(CurveDescriptor, ConstructsEveryFamilyAndMatchesName) {
+  for (const std::string& family : descriptor_family_names()) {
+    CurveDescriptor descriptor;
+    descriptor.family = family;
+    descriptor.dim = 2;
+    descriptor.side = family == "peano" ? 9 : 8;
+    descriptor.seed = 4;
+    const CurvePtr curve = make_curve(descriptor);
+    ASSERT_NE(curve, nullptr) << family;
+    EXPECT_EQ(curve->universe().dim(), 2) << family;
+    EXPECT_EQ(curve->universe().side(), descriptor.side) << family;
+  }
+}
+
+TEST(CurveDescriptor, ToStringParseRoundTrip) {
+  for (const std::string& family : descriptor_family_names()) {
+    CurveDescriptor descriptor;
+    descriptor.family = family;
+    descriptor.dim = 3;
+    descriptor.side = family == "peano" ? 27 : 16;
+    descriptor.seed = 99;
+    const CurveDescriptor parsed =
+        CurveDescriptor::parse(descriptor.to_string());
+    EXPECT_EQ(parsed.family, descriptor.family);
+    EXPECT_EQ(parsed.dim, descriptor.dim);
+    EXPECT_EQ(parsed.side, descriptor.side);
+    EXPECT_EQ(parsed.seed, descriptor.seed);
+    EXPECT_EQ(parsed, descriptor);
+  }
+}
+
+TEST(CurveDescriptor, SeedOnlyDistinguishesRandomCurves) {
+  CurveDescriptor a;
+  a.family = "hilbert";
+  a.side = 8;
+  CurveDescriptor b = a;
+  b.seed = a.seed + 1;
+  EXPECT_EQ(a, b);  // seed is irrelevant for deterministic families
+  a.family = b.family = "random";
+  EXPECT_FALSE(a == b);
+}
+
+TEST(CurveDescriptor, SameDescriptorReconstructsSameBijection) {
+  CurveDescriptor descriptor;
+  descriptor.family = "random";
+  descriptor.dim = 2;
+  descriptor.side = 8;
+  descriptor.seed = 12345;
+  const CurvePtr a = make_curve(descriptor);
+  const CurvePtr b = make_curve(descriptor);
+  for (index_t key = 0; key < a->universe().cell_count(); ++key) {
+    ASSERT_EQ(a->point_at(key), b->point_at(key)) << "key " << key;
+  }
+}
+
+TEST(CurveDescriptor, RejectsBadDescriptorsWithoutAborting) {
+  const auto reject = [](const std::string& family, int dim, coord_t side) {
+    CurveDescriptor descriptor;
+    descriptor.family = family;
+    descriptor.dim = dim;
+    descriptor.side = side;
+    EXPECT_THROW(make_curve(descriptor), CurveArgumentError)
+        << family << " d=" << dim << " side=" << side;
+  };
+  reject("nonsense", 2, 8);   // unknown family
+  reject("hilbert", 2, 24);   // non-pow2 side
+  reject("z", 2, 0);          // zero side
+  reject("peano", 2, 8);      // non-pow3 side
+  reject("spiral", 3, 8);     // 2-d only
+  reject("diagonal", 1, 8);   // 2-d only
+  reject("simple", 0, 8);     // bad dim
+  reject("simple", 99, 8);    // dim over kMaxDim
+  // 63-bit cell-count overflow must be a typed error, not an abort.
+  reject("simple", 8, 4000000000u);
+}
+
+TEST(CurveDescriptor, ParseRejectsMalformedText) {
+  EXPECT_THROW(CurveDescriptor::parse(""), CurveArgumentError);
+  EXPECT_THROW(CurveDescriptor::parse("hilbert"), CurveArgumentError);
+  EXPECT_THROW(CurveDescriptor::parse("hilbert d=2"), CurveArgumentError);
+  EXPECT_THROW(CurveDescriptor::parse("hilbert d=x side=8 seed=1"),
+               CurveArgumentError);
+  EXPECT_THROW(CurveDescriptor::parse("hilbert side=8 d=2 seed=1"),
+               CurveArgumentError);
+}
+
 }  // namespace
 }  // namespace sfc

@@ -224,5 +224,27 @@ TEST(RangeCover, DescentIsOutputSensitive) {
   EXPECT_EQ(cover, cover_by_enumeration(*h, slab));
 }
 
+TEST(RangeCover, OutOfUniverseBoxThrowsTypedError) {
+  const auto curve = make_curve(CurveFamily::kHilbert, Universe::pow2(2, 4));
+  RangeCoverEngine engine(*curve);
+  // Box corner outside the 16-cell side: a typed, recoverable error naming
+  // the offending coordinate — never an abort.
+  try {
+    engine.cover(Box(Point{3, 3}, Point{5, 99}));
+    FAIL() << "expected RangeArgumentError";
+  } catch (const RangeArgumentError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("99"), std::string::npos) << what;
+    EXPECT_NE(what.find("16"), std::string::npos) << what;
+  }
+  // Dimension mismatch is typed too.
+  EXPECT_THROW(engine.cover(Box(Point{1, 1, 1}, Point{2, 2, 2})),
+               RangeArgumentError);
+  // RangeArgumentError is part of the unified sfc::Error hierarchy.
+  EXPECT_THROW(engine.cover(Box(Point{0, 20}, Point{1, 21})), Error);
+  // A valid box still answers after the failures (engine state intact).
+  EXPECT_GE(engine.cover(Box(Point{0, 0}, Point{3, 3})).size(), 1u);
+}
+
 }  // namespace
 }  // namespace sfc

@@ -1,0 +1,118 @@
+// Query traces must be reproducible (seeded generation) and round-trip
+// exactly through their text format, with malformed inputs rejected loudly —
+// a trace that parses differently than it was written would silently change
+// what a serve bench measures.
+#include "sfc/serve/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sfc/grid/universe.h"
+
+namespace sfc {
+namespace {
+
+TEST(QueryTrace, GenerationIsSeededAndInUniverse) {
+  const Universe u = Universe::pow2(2, 6);
+  TraceGenOptions options;
+  options.count = 300;
+  options.box_extent = 9;
+  options.knn_k = 6;
+  options.knn_percent = 40;
+  options.seed = 77;
+  const QueryTrace a = generate_trace(u, options);
+  const QueryTrace b = generate_trace(u, options);
+  ASSERT_EQ(a.size(), 300u);
+  EXPECT_EQ(a.queries, b.queries);
+  EXPECT_EQ(a.range_count() + a.knn_count(), a.size());
+  EXPECT_GT(a.range_count(), 0u);
+  EXPECT_GT(a.knn_count(), 0u);
+  for (const TraceQuery& q : a.queries) {
+    if (q.kind == TraceQuery::Kind::kRange) {
+      const Box box = q.box();
+      EXPECT_TRUE(u.contains(box.lo()));
+      EXPECT_TRUE(u.contains(box.hi()));
+      for (int i = 0; i < u.dim(); ++i) {
+        EXPECT_EQ(box.hi()[i] - box.lo()[i] + 1, options.box_extent);
+      }
+    } else {
+      EXPECT_TRUE(u.contains(q.point));
+      EXPECT_EQ(q.k, options.knn_k);
+    }
+  }
+  // A different seed produces a different trace.
+  options.seed = 78;
+  EXPECT_NE(generate_trace(u, options).queries, a.queries);
+}
+
+TEST(QueryTrace, ExtentClampsToTheUniverse) {
+  const Universe u = Universe::pow2(2, 2);  // side 4
+  TraceGenOptions options;
+  options.count = 50;
+  options.box_extent = 1000;
+  options.knn_percent = 0;
+  const QueryTrace trace = generate_trace(u, options);
+  for (const TraceQuery& q : trace.queries) {
+    EXPECT_EQ(q.box_lo, (Point{0, 0}));
+    EXPECT_EQ(q.box_hi, (Point{3, 3}));
+  }
+}
+
+TEST(QueryTrace, TextRoundTripIsExact) {
+  const Universe u = Universe::pow2(3, 4);
+  TraceGenOptions options;
+  options.count = 120;
+  options.box_extent = 5;
+  options.knn_k = 3;
+  const QueryTrace trace = generate_trace(u, options);
+  const QueryTrace parsed = read_trace_text(write_trace_text(trace));
+  EXPECT_EQ(parsed.queries, trace.queries);
+}
+
+TEST(QueryTrace, ParsesHandWrittenText) {
+  const QueryTrace trace = read_trace_text(
+      "# a comment\n"
+      "\n"
+      "range 1,2 5,6\n"
+      "knn 3,4 8\n");
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.queries[0].kind, TraceQuery::Kind::kRange);
+  EXPECT_EQ(trace.queries[0].box_lo, (Point{1, 2}));
+  EXPECT_EQ(trace.queries[0].box_hi, (Point{5, 6}));
+  EXPECT_EQ(trace.queries[1].kind, TraceQuery::Kind::kKnn);
+  EXPECT_EQ(trace.queries[1].point, (Point{3, 4}));
+  EXPECT_EQ(trace.queries[1].k, 8u);
+}
+
+TEST(QueryTrace, RejectsMalformedText) {
+  EXPECT_THROW(read_trace_text("scan 1,2 5,6\n"), TraceError);      // bad op
+  EXPECT_THROW(read_trace_text("range 1,2\n"), TraceError);         // 2 fields
+  EXPECT_THROW(read_trace_text("range 1,2 5,6 7\n"), TraceError);   // 4 fields
+  EXPECT_THROW(read_trace_text("range 1,x 5,6\n"), TraceError);     // bad coord
+  EXPECT_THROW(read_trace_text("range 5,6 1,2\n"), TraceError);     // inverted
+  EXPECT_THROW(read_trace_text("range 1,2 5,6,7\n"), TraceError);   // dim skew
+  EXPECT_THROW(read_trace_text("knn 3,4 0\n"), TraceError);         // k = 0
+  EXPECT_THROW(read_trace_text("knn 3,4 nope\n"), TraceError);      // bad k
+  try {
+    read_trace_text("range 1,2 5,6\nknn 3,4 oops\n");
+    FAIL() << "expected TraceError";
+  } catch (const TraceError& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(QueryTrace, FileRoundTrip) {
+  const Universe u = Universe::pow2(2, 5);
+  TraceGenOptions options;
+  options.count = 64;
+  const QueryTrace trace = generate_trace(u, options);
+  const std::string path = ::testing::TempDir() + "/sfc_trace_test.trace";
+  write_trace_file(path, trace);
+  EXPECT_EQ(read_trace_file(path).queries, trace.queries);
+  EXPECT_THROW(read_trace_file(path + ".does_not_exist"), TraceError);
+}
+
+}  // namespace
+}  // namespace sfc

@@ -1,0 +1,321 @@
+// On-disk index format robustness and the core tentpole guarantee: queries
+// through a mmap-opened file are bit-identical to queries through the
+// in-memory index, for every curve family — both run through the same
+// IndexColumnsView, and these tests pin that down end to end.
+#include "sfc/store/index_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sfc/curves/curve_factory.h"
+#include "sfc/index/executor.h"
+#include "sfc/index/knn.h"
+#include "sfc/index/range_scan.h"
+#include "sfc/rng/sampling.h"
+
+namespace sfc {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/sfc_store_" + name;
+}
+
+std::vector<char> read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good());
+  return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+}
+
+void write_bytes(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+/// A written index file for tamper tests: hilbert d=2 side=64, 500 rows.
+struct WrittenIndex {
+  CurveDescriptor descriptor;
+  CurvePtr curve;
+  std::vector<Point> points;
+  PointIndex index;
+  std::string path;
+};
+
+WrittenIndex write_sample(const std::string& name) {
+  CurveDescriptor descriptor;
+  descriptor.family = "hilbert";
+  descriptor.dim = 2;
+  descriptor.side = 64;
+  CurvePtr curve = make_curve(descriptor);
+  Xoshiro256 rng(11);
+  std::vector<Point> points;
+  for (int i = 0; i < 500; ++i) {
+    points.push_back(random_cell(curve->universe(), rng));
+  }
+  PointIndex index = PointIndex::build(*curve, points);
+  const std::string path = temp_path(name);
+  write_index_file(path, index, descriptor);
+  return WrittenIndex{descriptor, std::move(curve), std::move(points),
+                      std::move(index), path};
+}
+
+// --- byte-level header layout, mirrored from index_store.cpp (v1) ---------
+constexpr std::size_t kVersionOffset = 8;
+constexpr std::size_t kCurveSideOffset = 28;
+constexpr std::size_t kHeaderChecksumOffset = 176;
+constexpr std::size_t kHeaderBytes = 184;
+
+/// Recomputes the header checksum after a deliberate header edit, so tests
+/// reach the validation step *behind* the checksum.
+void fix_header_checksum(std::vector<char>& bytes) {
+  ASSERT_GE(bytes.size(), kHeaderBytes);
+  std::memset(bytes.data() + kHeaderChecksumOffset, 0, sizeof(std::uint64_t));
+  const std::uint64_t digest = fnv1a64(bytes.data(), kHeaderBytes);
+  std::memcpy(bytes.data() + kHeaderChecksumOffset, &digest,
+              sizeof(std::uint64_t));
+}
+
+TEST(IndexStore, RoundTripPreservesColumnsExactly) {
+  const WrittenIndex w = write_sample("roundtrip.sfcidx");
+  const MappedIndex mapped = MappedIndex::open(w.path);
+
+  EXPECT_EQ(mapped.descriptor(), w.descriptor);
+  EXPECT_EQ(mapped.row_count(), w.index.row_count());
+  EXPECT_EQ(mapped.block_rows(), w.index.block_rows());
+
+  const IndexColumnsView& disk = mapped.view();
+  const IndexColumnsView mem = w.index.view();
+  ASSERT_EQ(disk.row_count(), mem.row_count());
+  for (std::uint64_t r = 0; r < mem.row_count(); ++r) {
+    ASSERT_EQ(disk.key_of_row(r), mem.key_of_row(r)) << "row " << r;
+    ASSERT_EQ(disk.id_of_row(r), mem.id_of_row(r)) << "row " << r;
+    ASSERT_EQ(disk.point_of_row(r), mem.point_of_row(r)) << "row " << r;
+  }
+  ASSERT_EQ(disk.block_count(), mem.block_count());
+  for (std::uint64_t b = 0; b < mem.block_count(); ++b) {
+    ASSERT_EQ(disk.block_last_key()[b], mem.block_last_key()[b]);
+  }
+}
+
+TEST(IndexStore, EmptyIndexRoundTrips) {
+  CurveDescriptor descriptor;
+  descriptor.family = "z";
+  descriptor.dim = 2;
+  descriptor.side = 16;
+  const CurvePtr curve = make_curve(descriptor);
+  const PointIndex index = PointIndex::build(*curve, {});
+  const std::string path = temp_path("empty.sfcidx");
+  write_index_file(path, index, descriptor);
+  const MappedIndex mapped = MappedIndex::open(path);
+  EXPECT_EQ(mapped.row_count(), 0u);
+  RangeScanEngine engine(mapped.view());
+  std::vector<std::uint32_t> ids;
+  engine.scan(Box(Point{2, 2}, Point{9, 9}), &ids);
+  EXPECT_TRUE(ids.empty());
+}
+
+// The tentpole acceptance check: build -> write -> mmap -> query must be
+// bit-identical to in-memory for every constructible family, range and kNN.
+TEST(IndexStore, MappedQueriesBitIdenticalToInMemoryForEveryFamily) {
+  for (const std::string& family : descriptor_family_names()) {
+    CurveDescriptor descriptor;
+    descriptor.family = family;
+    descriptor.dim = 2;
+    descriptor.side = family == "peano" ? 27 : 32;
+    descriptor.seed = 5;
+    const CurvePtr curve = make_curve(descriptor);
+    const Universe& u = curve->universe();
+
+    Xoshiro256 rng(23);
+    std::vector<Point> points;
+    for (int i = 0; i < 800; ++i) points.push_back(random_cell(u, rng));
+    const PointIndex index = PointIndex::build(*curve, points);
+
+    const std::string path = temp_path("family_" + family + ".sfcidx");
+    write_index_file(path, index, descriptor);
+    const MappedIndex mapped = MappedIndex::open(path);
+
+    std::vector<Box> boxes;
+    std::vector<Point> queries;
+    for (int i = 0; i < 40; ++i) boxes.push_back(random_box(u, 5, rng));
+    for (int i = 0; i < 40; ++i) queries.push_back(random_cell(u, rng));
+
+    const auto mem_range = run_range_queries(index.view(), boxes);
+    const auto disk_range = run_range_queries(mapped.view(), boxes);
+    ASSERT_EQ(mem_range.size(), disk_range.size());
+    for (std::size_t i = 0; i < mem_range.size(); ++i) {
+      EXPECT_EQ(mem_range[i].ids, disk_range[i].ids)
+          << family << " box " << i;
+      EXPECT_EQ(mem_range[i].stats.rows_scanned,
+                disk_range[i].stats.rows_scanned)
+          << family << " box " << i;
+    }
+
+    const auto mem_knn = run_knn_queries(index.view(), queries, 7);
+    const auto disk_knn = run_knn_queries(mapped.view(), queries, 7);
+    ASSERT_EQ(mem_knn.size(), disk_knn.size());
+    for (std::size_t i = 0; i < mem_knn.size(); ++i) {
+      EXPECT_EQ(mem_knn[i].neighbors, disk_knn[i].neighbors)
+          << family << " query " << i;
+      EXPECT_EQ(mem_knn[i].stats.rows_scanned, disk_knn[i].stats.rows_scanned)
+          << family << " query " << i;
+    }
+  }
+}
+
+TEST(IndexStore, WriteRejectsDescriptorUniverseMismatch) {
+  CurveDescriptor descriptor;
+  descriptor.family = "z";
+  descriptor.dim = 2;
+  descriptor.side = 16;
+  const CurvePtr curve = make_curve(descriptor);
+  const std::vector<Point> points{Point{1, 2}};
+  const PointIndex index = PointIndex::build(*curve, points);
+  CurveDescriptor wrong = descriptor;
+  wrong.side = 32;
+  EXPECT_THROW(
+      write_index_file(temp_path("mismatch.sfcidx"), index, wrong),
+      StoreError);
+}
+
+TEST(IndexStore, RejectsMissingFile) {
+  EXPECT_THROW(MappedIndex::open(temp_path("never_written.sfcidx")),
+               StoreError);
+}
+
+TEST(IndexStore, RejectsTruncatedFile) {
+  const WrittenIndex w = write_sample("truncated.sfcidx");
+  std::vector<char> bytes = read_bytes(w.path);
+  // Cut inside the last column: the header survives, the column table does
+  // not fit the file any more.
+  const auto truncated_to = [&](std::size_t size) {
+    return std::vector<char>(
+        bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(size));
+  };
+  write_bytes(w.path, truncated_to(bytes.size() - bytes.size() / 4));
+  EXPECT_THROW(MappedIndex::open(w.path), StoreError);
+
+  // Shorter than the header itself.
+  write_bytes(w.path, truncated_to(kHeaderBytes / 2));
+  EXPECT_THROW(MappedIndex::open(w.path), StoreError);
+}
+
+TEST(IndexStore, RejectsFlippedColumnByte) {
+  const WrittenIndex w = write_sample("bitflip.sfcidx");
+  std::vector<char> bytes = read_bytes(w.path);
+  // Flip one byte in the middle of the column region (past the header).
+  const std::size_t victim = kHeaderBytes + (bytes.size() - kHeaderBytes) / 2;
+  bytes[victim] = static_cast<char>(bytes[victim] ^ 0x40);
+  write_bytes(w.path, bytes);
+  EXPECT_THROW(MappedIndex::open(w.path), StoreError);
+
+  // Header and bounds are still intact, so an explicit verify=false open is
+  // allowed to skip the (expensive) content checks and succeed.
+  MappedIndexOptions no_verify;
+  no_verify.verify = false;
+  EXPECT_NO_THROW(MappedIndex::open(w.path, no_verify));
+}
+
+TEST(IndexStore, RejectsWrongVersion) {
+  const WrittenIndex w = write_sample("version.sfcidx");
+  std::vector<char> bytes = read_bytes(w.path);
+  const std::uint32_t bad_version = 99;
+  std::memcpy(bytes.data() + kVersionOffset, &bad_version, sizeof(bad_version));
+  fix_header_checksum(bytes);
+  write_bytes(w.path, bytes);
+  try {
+    MappedIndex::open(w.path);
+    FAIL() << "expected StoreError";
+  } catch (const StoreError& error) {
+    EXPECT_NE(std::string(error.what()).find("version"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(IndexStore, RejectsWrongUniverseHeader) {
+  const WrittenIndex w = write_sample("universe.sfcidx");
+  std::vector<char> bytes = read_bytes(w.path);
+  // side 64 -> 63: hilbert requires a power-of-two side, so the persisted
+  // descriptor must be rejected (recoverably — no abort) at reconstruction.
+  const std::uint32_t bad_side = 63;
+  std::memcpy(bytes.data() + kCurveSideOffset, &bad_side, sizeof(bad_side));
+  fix_header_checksum(bytes);
+  write_bytes(w.path, bytes);
+  EXPECT_THROW(MappedIndex::open(w.path), StoreError);
+}
+
+TEST(IndexStore, RejectsTamperedHeaderWithoutFixedChecksum) {
+  const WrittenIndex w = write_sample("header_tamper.sfcidx");
+  std::vector<char> bytes = read_bytes(w.path);
+  const std::uint32_t bad_side = 128;
+  std::memcpy(bytes.data() + kCurveSideOffset, &bad_side, sizeof(bad_side));
+  write_bytes(w.path, bytes);  // checksum now stale
+  try {
+    MappedIndex::open(w.path);
+    FAIL() << "expected StoreError";
+  } catch (const StoreError& error) {
+    EXPECT_NE(std::string(error.what()).find("header checksum"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(IndexStore, RejectsBadMagic) {
+  const WrittenIndex w = write_sample("magic.sfcidx");
+  std::vector<char> bytes = read_bytes(w.path);
+  bytes[0] = 'X';
+  write_bytes(w.path, bytes);
+  EXPECT_THROW(MappedIndex::open(w.path), StoreError);
+}
+
+TEST(IndexStore, RejectsOutOfUniverseKeyUnderVerify) {
+  const WrittenIndex w = write_sample("badkey.sfcidx");
+  std::vector<char> bytes = read_bytes(w.path);
+  // Column 0 (keys) starts at the first 64-byte boundary after the header.
+  const std::size_t keys_offset = 192;  // align_up(184, 64)
+  const index_t huge = ~index_t{0} >> 1;
+  std::memcpy(bytes.data() + keys_offset +
+                  (w.index.row_count() - 1) * sizeof(index_t),
+              &huge, sizeof(huge));
+  // Also fix that column's checksum so the key-range check is what fires.
+  const std::uint64_t digest =
+      fnv1a64(bytes.data() + keys_offset,
+              w.index.row_count() * sizeof(index_t));
+  const std::size_t keys_checksum_offset = 80 + 16;  // columns[0].checksum
+  std::memcpy(bytes.data() + keys_checksum_offset, &digest, sizeof(digest));
+  fix_header_checksum(bytes);
+  write_bytes(w.path, bytes);
+  try {
+    MappedIndex::open(w.path);
+    FAIL() << "expected StoreError";
+  } catch (const StoreError& error) {
+    EXPECT_NE(std::string(error.what()).find("universe"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(IndexStore, MoveTransfersTheMapping) {
+  const WrittenIndex w = write_sample("move.sfcidx");
+  MappedIndex a = MappedIndex::open(w.path);
+  const std::uint64_t rows = a.row_count();
+  MappedIndex b = std::move(a);
+  EXPECT_EQ(b.row_count(), rows);
+  KnnEngine engine(b.view());
+  EXPECT_EQ(engine.query(Point{3, 3}, 3).size(), 3u);
+}
+
+TEST(IndexStore, Fnv1a64MatchesReferenceVectors) {
+  // Standard FNV-1a test vectors.
+  EXPECT_EQ(fnv1a64("", 0), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a", 1), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar", 6), 0x85944171f73967e8ULL);
+}
+
+}  // namespace
+}  // namespace sfc

@@ -1,43 +1,42 @@
 // sfctool — command-line front end for the SFC-Stretch library.
 //
-//   sfctool analyze    --curve z --dim 2 --bits 8 [--seed 1] [--samples N]
-//   sfctool render     --curve hilbert --bits 3 [--binary] [--svg out.svg]
-//   sfctool sweep      --curve z --dim 2 --max-bits 8 [--csv]
-//   sfctool bounds     --dim 3 --bits 4
-//   sfctool partition  --curve hilbert --dim 2 --bits 6 --parts 16
-//   sfctool clustering --curve z --dim 2 --bits 6 --extent 4 --samples 200
-//   sfctool cover      --curve hilbert --dim 2 --bits 6 --lo 8,8 --hi 23,39
-//   sfctool index-build --curve hilbert --dim 2 --bits 10 --count 100000
-//   sfctool index-query --curve hilbert --dim 2 --bits 10 --count 100000
-//                       --lo 8,8 --hi 23,39   (or --extent E --samples N)
-//   sfctool index-knn  --curve hilbert --dim 2 --bits 10 --count 100000
-//                      --query 17,33 --k 5
-//   sfctool optimize   --dim 2 --side 6 --iters 100000 [--seed 1]
+// Subcommands are declared in a dispatch table (name, summary, flag specs,
+// handler); the table drives dispatch, the top-level listing, per-command
+// `--help`, and strict flag validation — a flag not in the command's spec is
+// an error, not a silent no-op.  Run `sfctool help` for the list and
+// `sfctool <command> --help` for any command's flags.
 //
-// Curve names: z, simple, snake, gray, hilbert, random, peano (render/analyze
-// only; side = 3^bits for peano).
+// Library errors (sfc::Error and its subtypes: curve construction, index
+// arguments, on-disk store validation, trace parsing) are caught at the tool
+// boundary and reported as `error: ...` with exit status 1; usage errors exit
+// with status 2.
 #include <cctype>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <ctime>
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sfc/apps/nn_query.h"
 #include "sfc/apps/partition.h"
 #include "sfc/apps/range_query.h"
 #include "sfc/cli/args.h"
+#include "sfc/common/error.h"
 #include "sfc/core/bounds.h"
 #include "sfc/core/convergence.h"
 #include "sfc/core/optimizer.h"
 #include "sfc/core/stretch_report.h"
+#include "sfc/curves/curve_error.h"
 #include "sfc/curves/curve_factory.h"
-#include "sfc/curves/diagonal_curve.h"
-#include "sfc/curves/peano_curve.h"
-#include "sfc/curves/spiral_curve.h"
+#include "sfc/index/executor.h"
 #include "sfc/index/knn.h"
 #include "sfc/index/point_index.h"
 #include "sfc/index/range_scan.h"
@@ -47,218 +46,106 @@
 #include "sfc/ranges/range_cover.h"
 #include "sfc/rng/sampling.h"
 #include "sfc/rng/splitmix64.h"
+#include "sfc/serve/server.h"
+#include "sfc/serve/sharded_index.h"
+#include "sfc/serve/trace.h"
+#include "sfc/store/index_store.h"
 
 namespace {
 
 using namespace sfc;
 
-int usage(const std::string& message = "") {
+// ---------------------------------------------------------------------------
+// Dispatch table scaffolding
+// ---------------------------------------------------------------------------
+
+struct FlagSpec {
+  const char* flag;   ///< flag name without the leading "--"
+  const char* value;  ///< value placeholder, "" for bare flags
+  const char* help;
+};
+
+struct Command {
+  const char* name;
+  const char* summary;
+  std::vector<FlagSpec> flags;
+  int (*run)(const Command& cmd, const cli::Args& args);
+};
+
+const std::vector<Command>& command_table();
+
+int usage_all(const std::string& message) {
   if (!message.empty()) std::cerr << "error: " << message << "\n\n";
-  std::cerr <<
-      "usage: sfctool <command> [options]\n"
-      "\n"
-      "commands:\n"
-      "  analyze    --curve NAME --dim D --bits K [--seed S] [--samples N]\n"
-      "  render     --curve NAME --bits K [--binary] [--svg FILE]\n"
-      "  sweep      --curve NAME --dim D --max-bits K [--csv]\n"
-      "  bounds     --dim D --bits K\n"
-      "  partition  --curve NAME --dim D --bits K --parts P\n"
-      "  clustering --curve NAME --dim D --bits K --extent E --samples N\n"
-      "  cover      --curve NAME --dim D --bits K --lo X1,..,Xd --hi Y1,..,Yd\n"
-      "             [--csv]  (exact key-interval cover of the box)\n"
-      "  index-build --curve NAME --dim D --bits K [--count N | --points FILE]\n"
-      "             [--seed S] [--block-rows B]  (build an SFC point index)\n"
-      "  index-query ...index-build flags... --lo X1,..,Xd --hi Y1,..,Yd\n"
-      "             (or --extent E --samples N for random-box efficiency)\n"
-      "  index-knn  ...index-build flags... --query X1,..,Xd --k K\n"
-      "  optimize   --dim D --side S --iters N [--seed S]\n"
-      "\n"
-      "curves: z, simple, snake, gray, hilbert, random, peano, spiral,\n"
-      "        diagonal (spiral/diagonal are 2-d only)\n";
-  return 2;
+  std::ostream& out = message.empty() ? std::cout : std::cerr;
+  out << "usage: sfctool <command> [options]\n\ncommands:\n";
+  for (const Command& cmd : command_table()) {
+    out << "  " << cmd.name;
+    for (std::size_t i = std::string(cmd.name).size(); i < 12; ++i) out << ' ';
+    out << cmd.summary << "\n";
+  }
+  out << "\nrun 'sfctool <command> --help' for the command's flags\n"
+      << "curves: z, simple, snake, gray, hilbert, random, peano, spiral,\n"
+      << "        diagonal (spiral/diagonal are 2-d only; peano side = 3^bits)\n";
+  return message.empty() ? 0 : 2;
+}
+
+int usage_command(const Command& cmd, const std::string& message = "") {
+  if (!message.empty()) std::cerr << "error: " << message << "\n\n";
+  std::ostream& out = message.empty() ? std::cout : std::cerr;
+  out << "usage: sfctool " << cmd.name << " [options]\n  " << cmd.summary
+      << "\n\noptions:\n";
+  for (const FlagSpec& spec : cmd.flags) {
+    std::string head = std::string("--") + spec.flag;
+    if (spec.value[0] != '\0') head += std::string(" ") + spec.value;
+    out << "  " << head;
+    for (std::size_t i = head.size(); i < 22; ++i) out << ' ';
+    out << spec.help << "\n";
+  }
+  return message.empty() ? 0 : 2;
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+/// Maps the CLI flags (name, dim, bits, seed) to the serializable curve
+/// identity; side = 2^bits, or 3^bits for peano.
+std::optional<CurveDescriptor> descriptor_for(const std::string& name, int dim,
+                                              int bits, std::uint64_t seed,
+                                              std::string* error) {
+  if (bits < 0 || bits > 31) {
+    *error = "--bits must be in [0, 31]";
+    return std::nullopt;
+  }
+  std::uint64_t side = 1;
+  const std::uint64_t base = name == "peano" ? 3 : 2;
+  for (int i = 0; i < bits; ++i) side *= base;
+  if (side > std::numeric_limits<coord_t>::max()) {
+    *error = "side " + std::to_string(side) + " exceeds the coordinate range";
+    return std::nullopt;
+  }
+  CurveDescriptor descriptor;
+  descriptor.family = name;
+  descriptor.dim = dim;
+  descriptor.side = static_cast<coord_t>(side);
+  descriptor.seed = seed;
+  return descriptor;
 }
 
 /// Builds a curve by CLI name; `bits` is k (side = 2^k, or 3^k for peano).
 CurvePtr build_curve(const std::string& name, int dim, int bits,
-                     std::uint64_t seed, std::string* error) {
-  if (name == "peano") {
-    index_t side = 1;
-    for (int i = 0; i < bits; ++i) side *= 3;
-    return std::make_unique<PeanoCurve>(Universe(dim, static_cast<coord_t>(side)));
-  }
-  if (name == "spiral") {
-    return std::make_unique<SpiralCurve>(Universe::pow2(2, bits));
-  }
-  if (name == "diagonal") {
-    return std::make_unique<DiagonalCurve>(Universe::pow2(2, bits));
-  }
-  const std::map<std::string, CurveFamily> families = {
-      {"z", CurveFamily::kZ},           {"simple", CurveFamily::kSimple},
-      {"snake", CurveFamily::kSnake},   {"gray", CurveFamily::kGray},
-      {"hilbert", CurveFamily::kHilbert}, {"random", CurveFamily::kRandom}};
-  const auto it = families.find(name);
-  if (it == families.end()) {
-    *error = "unknown curve '" + name + "'";
+                     std::uint64_t seed, std::string* error,
+                     CurveDescriptor* descriptor_out = nullptr) {
+  const auto descriptor = descriptor_for(name, dim, bits, seed, error);
+  if (!descriptor) return nullptr;
+  try {
+    CurvePtr curve = make_curve(*descriptor);
+    if (descriptor_out != nullptr) *descriptor_out = *descriptor;
+    return curve;
+  } catch (const CurveArgumentError& curve_error) {
+    *error = curve_error.what();
     return nullptr;
   }
-  return make_curve(it->second, Universe::pow2(dim, bits), seed);
-}
-
-int cmd_analyze(const cli::Args& args) {
-  const std::string curve_name = args.get_string("curve", "z");
-  const auto dim = args.get_int("dim", 2);
-  const auto bits = args.get_int("bits", 6);
-  const auto seed = args.get_int("seed", 1);
-  const auto samples = args.get_int("samples", 200000);
-  if (!dim || !bits || !seed || !samples) return usage("bad numeric flag");
-  std::string error;
-  const CurvePtr curve = build_curve(curve_name, static_cast<int>(*dim),
-                                     static_cast<int>(*bits),
-                                     static_cast<std::uint64_t>(*seed), &error);
-  if (!curve) return usage(error);
-  AnalyzeOptions options;
-  options.all_pairs_samples = static_cast<std::uint64_t>(*samples);
-  std::cout << to_string(analyze_curve(*curve, options));
-  return 0;
-}
-
-int cmd_render(const cli::Args& args) {
-  const std::string curve_name = args.get_string("curve", "hilbert");
-  const auto bits = args.get_int("bits", 3);
-  if (!bits) return usage("bad numeric flag");
-  std::string error;
-  const CurvePtr curve =
-      build_curve(curve_name, 2, static_cast<int>(*bits), 1, &error);
-  if (!curve) return usage(error);
-  if (args.get_flag("binary")) {
-    if (!curve->universe().power_of_two_side()) {
-      return usage("--binary requires a power-of-two side");
-    }
-    std::cout << render_key_grid_binary(*curve);
-  } else {
-    std::cout << render_key_grid(*curve);
-  }
-  std::cout << "\n" << render_curve_path(*curve);
-  const std::string svg_path = args.get_string("svg", "");
-  if (!svg_path.empty()) {
-    if (write_text_file(svg_path, render_curve_svg(*curve))) {
-      std::cout << "\nwrote " << svg_path << "\n";
-    } else {
-      std::cerr << "could not write " << svg_path << "\n";
-      return 1;
-    }
-  }
-  return 0;
-}
-
-int cmd_sweep(const cli::Args& args) {
-  const std::string curve_name = args.get_string("curve", "z");
-  const auto dim = args.get_int("dim", 2);
-  const auto max_bits = args.get_int("max-bits", 8);
-  if (!dim || !max_bits) return usage("bad numeric flag");
-  const std::map<std::string, CurveFamily> families = {
-      {"z", CurveFamily::kZ},           {"simple", CurveFamily::kSimple},
-      {"snake", CurveFamily::kSnake},   {"gray", CurveFamily::kGray},
-      {"hilbert", CurveFamily::kHilbert}, {"random", CurveFamily::kRandom}};
-  const auto it = families.find(curve_name);
-  if (it == families.end()) return usage("unknown curve '" + curve_name + "'");
-
-  SweepOptions options;
-  options.max_cells = index_t{1} << 24;
-  const auto rows = davg_sweep(it->second, static_cast<int>(*dim), 1,
-                               static_cast<int>(*max_bits), options);
-  Table table({"k", "n", "Davg", "Dmax", "bound", "Davg/bound",
-               "d*Davg/n^{1-1/d}"});
-  for (const SweepRow& row : rows) {
-    table.add_row({std::to_string(row.level_bits), Table::fmt_int(row.n),
-                   Table::fmt(row.davg), Table::fmt(row.dmax),
-                   Table::fmt(row.lower_bound), Table::fmt(row.ratio_to_bound, 5),
-                   Table::fmt(row.normalized_davg, 5)});
-  }
-  if (args.get_flag("csv")) {
-    std::cout << table.to_csv();
-  } else {
-    table.print(std::cout);
-  }
-  return 0;
-}
-
-int cmd_bounds(const cli::Args& args) {
-  const auto dim = args.get_int("dim", 2);
-  const auto bits = args.get_int("bits", 6);
-  if (!dim || !bits) return usage("bad numeric flag");
-  const Universe u = Universe::pow2(static_cast<int>(*dim), static_cast<int>(*bits));
-  std::cout << "universe: d=" << u.dim() << " side=" << u.side()
-            << " n=" << u.cell_count() << "\n";
-  std::cout << "Theorem 1  Davg lower bound        = "
-            << bounds::davg_lower_bound(u) << "\n";
-  std::cout << "Thm 2/3    Davg(Z) ~ Davg(S) ~     = "
-            << bounds::davg_zs_asymptote(u) << "\n";
-  std::cout << "Prop 1     Dmax lower bound        = "
-            << bounds::dmax_lower_bound(u) << "\n";
-  std::cout << "Prop 2     Dmax(simple), exact     = "
-            << bounds::dmax_simple_exact(u) << "\n";
-  std::cout << "Prop 3     all-pairs Manhattan LB  = "
-            << bounds::allpairs_manhattan_lower_bound(u) << "\n";
-  std::cout << "Prop 3     all-pairs Euclidean LB  = "
-            << bounds::allpairs_euclidean_lower_bound(u) << "\n";
-  std::cout << "Prop 4     simple Manhattan UB     = "
-            << bounds::allpairs_simple_manhattan_upper_bound(u) << "\n";
-  std::cout << "Lemma 2    S_A' (any bijection)    = "
-            << to_string(bounds::lemma2_total_ordered_distance(u.cell_count()))
-            << "\n";
-  for (int i = 1; i <= u.dim(); ++i) {
-    std::cout << "Lemma 5    Lambda_" << i << "(Z) exact       = "
-              << to_string(bounds::lambda_z_exact(u.dim(), u.level_bits(), i))
-              << "  (limit share " << bounds::lambda_z_limit(u.dim(), i) << ")\n";
-  }
-  return 0;
-}
-
-int cmd_partition(const cli::Args& args) {
-  const std::string curve_name = args.get_string("curve", "hilbert");
-  const auto dim = args.get_int("dim", 2);
-  const auto bits = args.get_int("bits", 6);
-  const auto parts = args.get_int("parts", 16);
-  if (!dim || !bits || !parts) return usage("bad numeric flag");
-  std::string error;
-  const CurvePtr curve =
-      build_curve(curve_name, static_cast<int>(*dim), static_cast<int>(*bits),
-                  1, &error);
-  if (!curve) return usage(error);
-  PartitionQuality q;
-  try {
-    q = evaluate_partition(*curve, static_cast<int>(*parts));
-  } catch (const PartitionArgumentError& parts_error) {
-    return usage(parts_error.what());
-  }
-  std::cout << "curve " << curve->name() << ", P=" << q.parts << ": edge cut "
-            << q.edge_cut << " (" << q.cut_fraction * 100 << "% of NN pairs), "
-            << "imbalance " << q.imbalance << ", fragmented blocks "
-            << q.fragmented_blocks << "\n";
-  return 0;
-}
-
-int cmd_clustering(const cli::Args& args) {
-  const std::string curve_name = args.get_string("curve", "z");
-  const auto dim = args.get_int("dim", 2);
-  const auto bits = args.get_int("bits", 6);
-  const auto extent = args.get_int("extent", 4);
-  const auto samples = args.get_int("samples", 200);
-  if (!dim || !bits || !extent || !samples) return usage("bad numeric flag");
-  std::string error;
-  const CurvePtr curve =
-      build_curve(curve_name, static_cast<int>(*dim), static_cast<int>(*bits),
-                  1, &error);
-  if (!curve) return usage(error);
-  const ClusteringStats stats = random_box_clustering(
-      *curve, static_cast<coord_t>(*extent),
-      static_cast<std::uint64_t>(*samples), 1234);
-  std::cout << "curve " << curve->name() << ", " << stats.samples << " boxes of "
-            << stats.extent << "^" << *dim << " (" << stats.cells_per_box
-            << " cells): mean runs " << stats.mean_runs << " +- "
-            << stats.stderr_runs << ", max " << stats.max_runs << "\n";
-  return 0;
 }
 
 /// Parses "3,5,7" into a Point of dimension `dim`; nullopt on any mismatch
@@ -288,62 +175,6 @@ std::optional<Point> parse_point(const std::string& text, int dim) {
     ++at;  // skip ','
   }
   return p;
-}
-
-int cmd_cover(const cli::Args& args) {
-  const std::string curve_name = args.get_string("curve", "hilbert");
-  const auto dim = args.get_int("dim", 2);
-  const auto bits = args.get_int("bits", 6);
-  const std::string lo_text = args.get_string("lo", "");
-  const std::string hi_text = args.get_string("hi", "");
-  if (!dim || !bits) return usage("bad numeric flag");
-  if (lo_text.empty() || hi_text.empty()) {
-    return usage("cover requires --lo and --hi corner coordinates");
-  }
-  std::string error;
-  const CurvePtr curve = build_curve(curve_name, static_cast<int>(*dim),
-                                     static_cast<int>(*bits), 1, &error);
-  if (!curve) return usage(error);
-  const Universe& u = curve->universe();
-  const auto lo = parse_point(lo_text, u.dim());
-  const auto hi = parse_point(hi_text, u.dim());
-  if (!lo || !hi) {
-    return usage("--lo/--hi must be " + std::to_string(u.dim()) +
-                 " comma-separated coordinates");
-  }
-  if (!u.contains(*lo) || !u.contains(*hi)) {
-    return usage("box corners must lie inside the universe (side " +
-                 std::to_string(u.side()) + ")");
-  }
-  for (int i = 0; i < u.dim(); ++i) {
-    if ((*lo)[i] > (*hi)[i]) return usage("--lo must be <= --hi per dimension");
-  }
-  const Box box(*lo, *hi);
-  CoverStats stats;
-  const std::vector<KeyInterval> intervals =
-      RangeCoverEngine(*curve).cover(box, &stats);
-  Table table({"run", "key_lo", "key_hi", "length"});
-  index_t covered = 0;
-  for (std::size_t r = 0; r < intervals.size(); ++r) {
-    const index_t length = intervals[r].hi - intervals[r].lo + 1;
-    covered += length;
-    table.add_row({Table::fmt_int(r), Table::fmt_int(intervals[r].lo),
-                   Table::fmt_int(intervals[r].hi), Table::fmt_int(length)});
-  }
-  if (args.get_flag("csv")) {
-    std::cout << table.to_csv();
-  } else {
-    table.print(std::cout);
-  }
-  std::cout << "curve " << curve->name() << ", box " << box.lo().to_string()
-            << ".." << box.hi().to_string() << ": " << intervals.size()
-            << " runs covering " << covered << " cells ("
-            << (stats.used_subtree
-                    ? "subtree descent, " + std::to_string(stats.nodes_visited) +
-                          " nodes visited"
-                    : std::string("enumeration fallback"))
-            << ")\n";
-  return 0;
 }
 
 /// Reads one point per line ("x1,x2,..,xd"; blank lines and '#' comments
@@ -393,33 +224,34 @@ std::optional<std::vector<Point>> index_dataset(const cli::Args& args,
 }
 
 /// Builds curve + dataset + index from the shared index-command flags.
-/// Returns 0 and fills the outputs, or a usage() exit code.
-int build_index_setup(const cli::Args& args, CurvePtr* curve,
-                      std::vector<Point>* points,
-                      std::optional<PointIndex>* index) {
+/// Returns 0 and fills the outputs, or a usage exit code.
+int build_index_setup(const Command& cmd, const cli::Args& args,
+                      CurvePtr* curve, std::vector<Point>* points,
+                      std::optional<PointIndex>* index,
+                      CurveDescriptor* descriptor = nullptr) {
   const std::string curve_name = args.get_string("curve", "hilbert");
   const auto dim = args.get_int("dim", 2);
   const auto bits = args.get_int("bits", 10);
   const auto seed = args.get_int("seed", 1);
   const auto block_rows = args.get_int("block-rows", 256);
   if (!dim || !bits || !seed || !block_rows || *block_rows <= 0) {
-    return usage("bad numeric flag");
+    return usage_command(cmd, "bad numeric flag");
   }
   std::string error;
   *curve = build_curve(curve_name, static_cast<int>(*dim),
                        static_cast<int>(*bits),
-                       static_cast<std::uint64_t>(*seed), &error);
-  if (!*curve) return usage(error);
+                       static_cast<std::uint64_t>(*seed), &error, descriptor);
+  if (!*curve) return usage_command(cmd, error);
   auto dataset = index_dataset(args, (*curve)->universe(),
                                static_cast<std::uint64_t>(*seed), &error);
-  if (!dataset) return usage(error);
+  if (!dataset) return usage_command(cmd, error);
   *points = std::move(*dataset);
   IndexBuildOptions options;
   options.block_rows = static_cast<std::uint32_t>(*block_rows);
   try {
     index->emplace(PointIndex::build(**curve, *points, options));
   } catch (const IndexArgumentError& build_error) {
-    return usage(build_error.what());
+    return usage_command(cmd, build_error.what());
   }
   return 0;
 }
@@ -441,11 +273,269 @@ void print_index_summary(const PointIndex& index, std::size_t input_points) {
             << index.block_rows() << " rows\n";
 }
 
-int cmd_index_build(const cli::Args& args) {
+/// Index storage behind the serving-side commands: either built in memory
+/// from the shared index flags or mmapped from --file.  Whichever way, the
+/// commands query through `view` only.
+struct IndexSource {
+  CurvePtr curve;                    // owned path
+  std::vector<Point> points;         // owned path
+  std::optional<PointIndex> owned;   // owned path
+  std::optional<MappedIndex> mapped; // --file path
+  IndexColumnsView view;
+  bool from_file = false;
+};
+
+int open_index_source(const Command& cmd, const cli::Args& args,
+                      IndexSource* source) {
+  const std::string file = args.get_string("file", "");
+  if (!file.empty()) {
+    source->mapped.emplace(MappedIndex::open(file));
+    source->view = source->mapped->view();
+    source->from_file = true;
+    std::cout << "index: mapped " << file << " ("
+              << source->mapped->file_bytes() << " bytes, "
+              << source->mapped->row_count() << " rows, curve "
+              << source->mapped->descriptor().to_string() << ")\n";
+    return 0;
+  }
+  if (const int status = build_index_setup(cmd, args, &source->curve,
+                                           &source->points, &source->owned);
+      status != 0) {
+    return status;
+  }
+  source->view = source->owned->view();
+  print_index_summary(*source->owned, source->points.size());
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Commands
+// ---------------------------------------------------------------------------
+
+int cmd_analyze(const Command& cmd, const cli::Args& args) {
+  const std::string curve_name = args.get_string("curve", "z");
+  const auto dim = args.get_int("dim", 2);
+  const auto bits = args.get_int("bits", 6);
+  const auto seed = args.get_int("seed", 1);
+  const auto samples = args.get_int("samples", 200000);
+  if (!dim || !bits || !seed || !samples) return usage_command(cmd, "bad numeric flag");
+  std::string error;
+  const CurvePtr curve = build_curve(curve_name, static_cast<int>(*dim),
+                                     static_cast<int>(*bits),
+                                     static_cast<std::uint64_t>(*seed), &error);
+  if (!curve) return usage_command(cmd, error);
+  AnalyzeOptions options;
+  options.all_pairs_samples = static_cast<std::uint64_t>(*samples);
+  std::cout << to_string(analyze_curve(*curve, options));
+  return 0;
+}
+
+int cmd_render(const Command& cmd, const cli::Args& args) {
+  const std::string curve_name = args.get_string("curve", "hilbert");
+  const auto bits = args.get_int("bits", 3);
+  if (!bits) return usage_command(cmd, "bad numeric flag");
+  std::string error;
+  const CurvePtr curve =
+      build_curve(curve_name, 2, static_cast<int>(*bits), 1, &error);
+  if (!curve) return usage_command(cmd, error);
+  if (args.get_flag("binary")) {
+    if (!curve->universe().power_of_two_side()) {
+      return usage_command(cmd, "--binary requires a power-of-two side");
+    }
+    std::cout << render_key_grid_binary(*curve);
+  } else {
+    std::cout << render_key_grid(*curve);
+  }
+  std::cout << "\n" << render_curve_path(*curve);
+  const std::string svg_path = args.get_string("svg", "");
+  if (!svg_path.empty()) {
+    if (write_text_file(svg_path, render_curve_svg(*curve))) {
+      std::cout << "\nwrote " << svg_path << "\n";
+    } else {
+      std::cerr << "could not write " << svg_path << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int cmd_sweep(const Command& cmd, const cli::Args& args) {
+  const std::string curve_name = args.get_string("curve", "z");
+  const auto dim = args.get_int("dim", 2);
+  const auto max_bits = args.get_int("max-bits", 8);
+  if (!dim || !max_bits) return usage_command(cmd, "bad numeric flag");
+  const std::map<std::string, CurveFamily> families = {
+      {"z", CurveFamily::kZ},           {"simple", CurveFamily::kSimple},
+      {"snake", CurveFamily::kSnake},   {"gray", CurveFamily::kGray},
+      {"hilbert", CurveFamily::kHilbert}, {"random", CurveFamily::kRandom}};
+  const auto it = families.find(curve_name);
+  if (it == families.end()) {
+    return usage_command(cmd, "unknown curve '" + curve_name + "'");
+  }
+
+  SweepOptions options;
+  options.max_cells = index_t{1} << 24;
+  const auto rows = davg_sweep(it->second, static_cast<int>(*dim), 1,
+                               static_cast<int>(*max_bits), options);
+  Table table({"k", "n", "Davg", "Dmax", "bound", "Davg/bound",
+               "d*Davg/n^{1-1/d}"});
+  for (const SweepRow& row : rows) {
+    table.add_row({std::to_string(row.level_bits), Table::fmt_int(row.n),
+                   Table::fmt(row.davg), Table::fmt(row.dmax),
+                   Table::fmt(row.lower_bound), Table::fmt(row.ratio_to_bound, 5),
+                   Table::fmt(row.normalized_davg, 5)});
+  }
+  if (args.get_flag("csv")) {
+    std::cout << table.to_csv();
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}
+
+int cmd_bounds(const Command& cmd, const cli::Args& args) {
+  const auto dim = args.get_int("dim", 2);
+  const auto bits = args.get_int("bits", 6);
+  if (!dim || !bits) return usage_command(cmd, "bad numeric flag");
+  const Universe u = Universe::pow2(static_cast<int>(*dim), static_cast<int>(*bits));
+  std::cout << "universe: d=" << u.dim() << " side=" << u.side()
+            << " n=" << u.cell_count() << "\n";
+  std::cout << "Theorem 1  Davg lower bound        = "
+            << bounds::davg_lower_bound(u) << "\n";
+  std::cout << "Thm 2/3    Davg(Z) ~ Davg(S) ~     = "
+            << bounds::davg_zs_asymptote(u) << "\n";
+  std::cout << "Prop 1     Dmax lower bound        = "
+            << bounds::dmax_lower_bound(u) << "\n";
+  std::cout << "Prop 2     Dmax(simple), exact     = "
+            << bounds::dmax_simple_exact(u) << "\n";
+  std::cout << "Prop 3     all-pairs Manhattan LB  = "
+            << bounds::allpairs_manhattan_lower_bound(u) << "\n";
+  std::cout << "Prop 3     all-pairs Euclidean LB  = "
+            << bounds::allpairs_euclidean_lower_bound(u) << "\n";
+  std::cout << "Prop 4     simple Manhattan UB     = "
+            << bounds::allpairs_simple_manhattan_upper_bound(u) << "\n";
+  std::cout << "Lemma 2    S_A' (any bijection)    = "
+            << to_string(bounds::lemma2_total_ordered_distance(u.cell_count()))
+            << "\n";
+  for (int i = 1; i <= u.dim(); ++i) {
+    std::cout << "Lemma 5    Lambda_" << i << "(Z) exact       = "
+              << to_string(bounds::lambda_z_exact(u.dim(), u.level_bits(), i))
+              << "  (limit share " << bounds::lambda_z_limit(u.dim(), i) << ")\n";
+  }
+  return 0;
+}
+
+int cmd_partition(const Command& cmd, const cli::Args& args) {
+  const std::string curve_name = args.get_string("curve", "hilbert");
+  const auto dim = args.get_int("dim", 2);
+  const auto bits = args.get_int("bits", 6);
+  const auto parts = args.get_int("parts", 16);
+  if (!dim || !bits || !parts) return usage_command(cmd, "bad numeric flag");
+  std::string error;
+  const CurvePtr curve =
+      build_curve(curve_name, static_cast<int>(*dim), static_cast<int>(*bits),
+                  1, &error);
+  if (!curve) return usage_command(cmd, error);
+  PartitionQuality q;
+  try {
+    q = evaluate_partition(*curve, static_cast<int>(*parts));
+  } catch (const PartitionArgumentError& parts_error) {
+    return usage_command(cmd, parts_error.what());
+  }
+  std::cout << "curve " << curve->name() << ", P=" << q.parts << ": edge cut "
+            << q.edge_cut << " (" << q.cut_fraction * 100 << "% of NN pairs), "
+            << "imbalance " << q.imbalance << ", fragmented blocks "
+            << q.fragmented_blocks << "\n";
+  return 0;
+}
+
+int cmd_clustering(const Command& cmd, const cli::Args& args) {
+  const std::string curve_name = args.get_string("curve", "z");
+  const auto dim = args.get_int("dim", 2);
+  const auto bits = args.get_int("bits", 6);
+  const auto extent = args.get_int("extent", 4);
+  const auto samples = args.get_int("samples", 200);
+  if (!dim || !bits || !extent || !samples) {
+    return usage_command(cmd, "bad numeric flag");
+  }
+  std::string error;
+  const CurvePtr curve =
+      build_curve(curve_name, static_cast<int>(*dim), static_cast<int>(*bits),
+                  1, &error);
+  if (!curve) return usage_command(cmd, error);
+  const ClusteringStats stats = random_box_clustering(
+      *curve, static_cast<coord_t>(*extent),
+      static_cast<std::uint64_t>(*samples), 1234);
+  std::cout << "curve " << curve->name() << ", " << stats.samples << " boxes of "
+            << stats.extent << "^" << *dim << " (" << stats.cells_per_box
+            << " cells): mean runs " << stats.mean_runs << " +- "
+            << stats.stderr_runs << ", max " << stats.max_runs << "\n";
+  return 0;
+}
+
+int cmd_cover(const Command& cmd, const cli::Args& args) {
+  const std::string curve_name = args.get_string("curve", "hilbert");
+  const auto dim = args.get_int("dim", 2);
+  const auto bits = args.get_int("bits", 6);
+  const std::string lo_text = args.get_string("lo", "");
+  const std::string hi_text = args.get_string("hi", "");
+  if (!dim || !bits) return usage_command(cmd, "bad numeric flag");
+  if (lo_text.empty() || hi_text.empty()) {
+    return usage_command(cmd, "cover requires --lo and --hi corner coordinates");
+  }
+  std::string error;
+  const CurvePtr curve = build_curve(curve_name, static_cast<int>(*dim),
+                                     static_cast<int>(*bits), 1, &error);
+  if (!curve) return usage_command(cmd, error);
+  const Universe& u = curve->universe();
+  const auto lo = parse_point(lo_text, u.dim());
+  const auto hi = parse_point(hi_text, u.dim());
+  if (!lo || !hi) {
+    return usage_command(cmd, "--lo/--hi must be " + std::to_string(u.dim()) +
+                         " comma-separated coordinates");
+  }
+  if (!u.contains(*lo) || !u.contains(*hi)) {
+    return usage_command(cmd, "box corners must lie inside the universe (side " +
+                         std::to_string(u.side()) + ")");
+  }
+  for (int i = 0; i < u.dim(); ++i) {
+    if ((*lo)[i] > (*hi)[i]) {
+      return usage_command(cmd, "--lo must be <= --hi per dimension");
+    }
+  }
+  const Box box(*lo, *hi);
+  CoverStats stats;
+  const std::vector<KeyInterval> intervals =
+      RangeCoverEngine(*curve).cover(box, &stats);
+  Table table({"run", "key_lo", "key_hi", "length"});
+  index_t covered = 0;
+  for (std::size_t r = 0; r < intervals.size(); ++r) {
+    const index_t length = intervals[r].hi - intervals[r].lo + 1;
+    covered += length;
+    table.add_row({Table::fmt_int(r), Table::fmt_int(intervals[r].lo),
+                   Table::fmt_int(intervals[r].hi), Table::fmt_int(length)});
+  }
+  if (args.get_flag("csv")) {
+    std::cout << table.to_csv();
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "curve " << curve->name() << ", box " << box.lo().to_string()
+            << ".." << box.hi().to_string() << ": " << intervals.size()
+            << " runs covering " << covered << " cells ("
+            << (stats.used_subtree
+                    ? "subtree descent, " + std::to_string(stats.nodes_visited) +
+                          " nodes visited"
+                    : std::string("enumeration fallback"))
+            << ")\n";
+  return 0;
+}
+
+int cmd_index_build(const Command& cmd, const cli::Args& args) {
   CurvePtr curve;
   std::vector<Point> points;
   std::optional<PointIndex> index;
-  if (const int status = build_index_setup(args, &curve, &points, &index);
+  if (const int status = build_index_setup(cmd, args, &curve, &points, &index);
       status != 0) {
     return status;
   }
@@ -453,16 +543,35 @@ int cmd_index_build(const cli::Args& args) {
   return 0;
 }
 
-int cmd_index_query(const cli::Args& args) {
+int cmd_index_write(const Command& cmd, const cli::Args& args) {
+  const std::string out = args.get_string("out", "");
+  if (out.empty()) return usage_command(cmd, "index-write requires --out FILE");
   CurvePtr curve;
   std::vector<Point> points;
   std::optional<PointIndex> index;
-  if (const int status = build_index_setup(args, &curve, &points, &index);
+  CurveDescriptor descriptor;
+  if (const int status =
+          build_index_setup(cmd, args, &curve, &points, &index, &descriptor);
       status != 0) {
     return status;
   }
   print_index_summary(*index, points.size());
-  const Universe& u = curve->universe();
+  write_index_file(out, *index, descriptor);
+  // Round-trip through the reader so "wrote" also means "reopens clean".
+  const MappedIndex mapped = MappedIndex::open(out);
+  std::cout << "wrote " << out << ": " << mapped.file_bytes()
+            << " bytes, reopened and verified (" << mapped.descriptor().to_string()
+            << ", " << mapped.row_count() << " rows)\n";
+  return 0;
+}
+
+int cmd_index_query(const Command& cmd, const cli::Args& args) {
+  IndexSource source;
+  if (const int status = open_index_source(cmd, args, &source); status != 0) {
+    return status;
+  }
+  const IndexColumnsView& view = source.view;
+  const Universe& u = view.curve().universe();
 
   const std::string lo_text = args.get_string("lo", "");
   const std::string hi_text = args.get_string("hi", "");
@@ -470,40 +579,48 @@ int cmd_index_query(const cli::Args& args) {
     const auto lo = parse_point(lo_text, u.dim());
     const auto hi = parse_point(hi_text, u.dim());
     if (!lo || !hi) {
-      return usage("--lo/--hi must be " + std::to_string(u.dim()) +
-                   " comma-separated coordinates");
+      return usage_command(cmd, "--lo/--hi must be " + std::to_string(u.dim()) +
+                           " comma-separated coordinates");
     }
     if (!u.contains(*lo) || !u.contains(*hi)) {
-      return usage("box corners must lie inside the universe (side " +
-                   std::to_string(u.side()) + ")");
+      return usage_command(cmd,
+                           "box corners must lie inside the universe (side " +
+                               std::to_string(u.side()) + ")");
     }
     for (int i = 0; i < u.dim(); ++i) {
-      if ((*lo)[i] > (*hi)[i]) return usage("--lo must be <= --hi per dimension");
+      if ((*lo)[i] > (*hi)[i]) {
+        return usage_command(cmd, "--lo must be <= --hi per dimension");
+      }
     }
     const Box box(*lo, *hi);
-    RangeScanEngine engine(*index);
+    RangeScanEngine engine(view);
     std::vector<std::uint32_t> ids;
     RangeScanStats stats;
     engine.scan(box, &ids, &stats);
     std::cout << "box " << box.lo().to_string() << ".." << box.hi().to_string()
               << ": " << stats.rows_returned << " rows returned, "
               << stats.rows_scanned << " rows scanned (full scan would touch "
-              << index->row_count() << "), " << stats.runs_in_cover
+              << view.row_count() << "), " << stats.runs_in_cover
               << " runs in cover (" << stats.runs_touched << " touched), "
               << stats.nodes_visited << " nodes visited\n";
     return 0;
   }
 
+  if (source.from_file) {
+    return usage_command(cmd,
+                         "--file serves --lo/--hi point queries; random-box "
+                         "sampling needs the in-memory build flags");
+  }
   const auto extent = args.get_int("extent", 8);
   const auto samples = args.get_int("samples", 200);
   if (!extent || !samples || *extent <= 0 || *samples <= 0) {
-    return usage("bad numeric flag");
+    return usage_command(cmd, "bad numeric flag");
   }
   if (static_cast<std::uint64_t>(*extent) > u.side()) {
-    return usage("--extent must be <= the universe side");
+    return usage_command(cmd, "--extent must be <= the universe side");
   }
   const ScanEfficiencyStats stats = random_box_scan_efficiency(
-      *index, static_cast<coord_t>(*extent),
+      *source.owned, static_cast<coord_t>(*extent),
       static_cast<std::uint64_t>(*samples), 1234);
   std::cout << stats.samples << " random boxes of " << stats.extent << "^"
             << u.dim() << ": mean rows returned " << stats.mean_rows_returned
@@ -514,55 +631,244 @@ int cmd_index_query(const cli::Args& args) {
   return 0;
 }
 
-int cmd_index_knn(const cli::Args& args) {
-  CurvePtr curve;
-  std::vector<Point> points;
-  std::optional<PointIndex> index;
-  if (const int status = build_index_setup(args, &curve, &points, &index);
-      status != 0) {
+int cmd_index_knn(const Command& cmd, const cli::Args& args) {
+  IndexSource source;
+  if (const int status = open_index_source(cmd, args, &source); status != 0) {
     return status;
   }
-  print_index_summary(*index, points.size());
-  const Universe& u = curve->universe();
+  const IndexColumnsView& view = source.view;
+  const Universe& u = view.curve().universe();
   const std::string query_text = args.get_string("query", "");
   const auto k = args.get_int("k", 5);
-  if (!k || *k <= 0) return usage("bad --k");
+  if (!k || *k <= 0) return usage_command(cmd, "bad --k");
   const auto query = parse_point(query_text, u.dim());
   if (!query) {
-    return usage("--query must be " + std::to_string(u.dim()) +
-                 " comma-separated coordinates");
+    return usage_command(cmd, "--query must be " + std::to_string(u.dim()) +
+                         " comma-separated coordinates");
   }
-  KnnEngine engine(*index);
+  KnnEngine engine(view);
   std::vector<KnnNeighbor> neighbors;
   KnnStats stats;
   try {
     neighbors = engine.query(*query, static_cast<std::uint32_t>(*k), &stats);
   } catch (const IndexArgumentError& query_error) {
-    return usage(query_error.what());
+    return usage_command(cmd, query_error.what());
   }
   Table table({"rank", "id", "point", "key", "dist"});
   for (std::size_t r = 0; r < neighbors.size(); ++r) {
     table.add_row({Table::fmt_int(r), Table::fmt_int(neighbors[r].id),
-                   curve->point_at(neighbors[r].key).to_string(),
+                   view.curve().point_at(neighbors[r].key).to_string(),
                    Table::fmt_int(neighbors[r].key),
                    Table::fmt(std::sqrt(static_cast<double>(neighbors[r].sq_dist)))});
   }
   table.print(std::cout);
   std::cout << "query " << query->to_string() << ", k=" << *k << ": "
             << neighbors.size() << " neighbors, " << stats.rows_scanned
-            << " rows scanned of " << index->row_count() << ", "
+            << " rows scanned of " << view.row_count() << ", "
             << stats.nodes_expanded << " nodes expanded, "
             << (stats.certified ? "certified exact" : "NOT certified")
             << (stats.used_subtree ? "" : " (exhaustive fallback)") << "\n";
   return 0;
 }
 
-int cmd_optimize(const cli::Args& args) {
+int cmd_trace_gen(const Command& cmd, const cli::Args& args) {
+  const auto dim = args.get_int("dim", 2);
+  const auto bits = args.get_int("bits", 10);
+  const auto count = args.get_int("count", 1000);
+  const auto extent = args.get_int("extent", 32);
+  const auto knn_k = args.get_int("knn-k", 8);
+  const auto knn_percent = args.get_int("knn-percent", 50);
+  const auto seed = args.get_int("seed", 1);
+  const std::string out = args.get_string("out", "");
+  if (!dim || !bits || !count || !extent || !knn_k || !knn_percent || !seed) {
+    return usage_command(cmd, "bad numeric flag");
+  }
+  if (out.empty()) return usage_command(cmd, "trace-gen requires --out FILE");
+  if (*dim < 1 || *dim > kMaxDim) {
+    return usage_command(cmd, "--dim must be in [1, " +
+                         std::to_string(kMaxDim) + "]");
+  }
+  if (*bits < 0 || *bits > 31) {
+    return usage_command(cmd, "--bits must be in [0, 31]");
+  }
+  if (*count < 1 || *extent < 1 || *knn_k < 1 || *knn_percent < 0 ||
+      *knn_percent > 100) {
+    return usage_command(cmd, "bad numeric flag");
+  }
+  const Universe u = Universe::pow2(static_cast<int>(*dim),
+                                    static_cast<int>(*bits));
+  TraceGenOptions options;
+  options.count = static_cast<std::uint64_t>(*count);
+  options.box_extent = static_cast<std::uint32_t>(*extent);
+  options.knn_k = static_cast<std::uint32_t>(*knn_k);
+  options.knn_percent = static_cast<std::uint32_t>(*knn_percent);
+  options.seed = static_cast<std::uint64_t>(*seed);
+  const QueryTrace trace = generate_trace(u, options);
+  write_trace_file(out, trace);
+  std::cout << "wrote " << out << ": " << trace.size() << " queries ("
+            << trace.range_count() << " range of extent " << *extent << ", "
+            << trace.knn_count() << " knn with k=" << *knn_k
+            << ") on universe d=" << u.dim() << " side=" << u.side() << "\n";
+  return 0;
+}
+
+std::string iso_utc_now() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  char buffer[40];
+  std::strftime(buffer, sizeof buffer, "%Y-%m-%dT%H:%M:%S+00:00", &tm_utc);
+  return buffer;
+}
+
+std::string fmt_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.3f", value);
+  return buffer;
+}
+
+/// Google-benchmark-shaped JSON so tools/bench_trajectory.py aggregates
+/// serve replays next to the micro benches.
+void write_serve_json(const std::string& path,
+                      const std::vector<ReplayReport>& reports) {
+  std::string out;
+  out += "{\n  \"context\": {\n";
+  out += "    \"date\": \"" + iso_utc_now() + "\",\n";
+  out += "    \"executable\": \"sfctool\",\n";
+  out += "    \"num_cpus\": " +
+         std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  out += "    \"library_build_type\": \"release\"\n";
+  out += "  },\n  \"benchmarks\": [\n";
+  bool first = true;
+  for (const ReplayReport& report : reports) {
+    for (const auto& [metric, value] :
+         {std::pair<const char*, double>{"p50", report.p50_us},
+          std::pair<const char*, double>{"p99", report.p99_us}}) {
+      if (!first) out += ",\n";
+      first = false;
+      out += "    {\n";
+      out += "      \"name\": \"serve_replay_" + std::string(metric) +
+             "/clients:" + std::to_string(report.clients) + "\",\n";
+      out += "      \"run_type\": \"iteration\",\n";
+      out += "      \"repetitions\": 1,\n";
+      out += "      \"iterations\": " + std::to_string(report.queries) + ",\n";
+      out += "      \"real_time\": " + fmt_double(value) + ",\n";
+      out += "      \"cpu_time\": " + fmt_double(value) + ",\n";
+      out += "      \"time_unit\": \"us\",\n";
+      out += "      \"items_per_second\": " + fmt_double(report.qps) + "\n";
+      out += "    }";
+    }
+  }
+  out += "\n  ]\n}\n";
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) throw Error("cannot open json output file: " + path);
+  file.write(out.data(), static_cast<std::streamsize>(out.size()));
+  file.flush();
+  if (!file) throw Error("I/O error writing json output file: " + path);
+}
+
+int cmd_serve_bench(const Command& cmd, const cli::Args& args) {
+  const std::string trace_path = args.get_string("trace", "");
+  if (trace_path.empty()) {
+    return usage_command(cmd, "serve-bench requires --trace FILE");
+  }
+  const std::string clients_text = args.get_string("clients", "1,8,64");
+  const auto shards = args.get_int("shards", 4);
+  const auto max_batch = args.get_int("max-batch", 64);
+  const auto window_us = args.get_int("window-us", 200);
+  const auto max_p99_us = args.get_int("max-p99-us", 0);  // 0 = no gate
+  if (!shards || !max_batch || !window_us || !max_p99_us || *shards < 0 ||
+      *max_batch < 1 || *window_us < 0 || *max_p99_us < 0) {
+    return usage_command(cmd, "bad numeric flag");
+  }
+
+  std::vector<std::uint32_t> client_counts;
+  {
+    std::size_t pos = 0;
+    while (pos <= clients_text.size()) {
+      const std::size_t comma = clients_text.find(',', pos);
+      const std::size_t end =
+          comma == std::string::npos ? clients_text.size() : comma;
+      std::uint64_t value = 0;
+      if (end == pos) return usage_command(cmd, "bad --clients list");
+      for (std::size_t i = pos; i < end; ++i) {
+        const char c = clients_text[i];
+        if (c < '0' || c > '9') return usage_command(cmd, "bad --clients list");
+        value = value * 10 + static_cast<std::uint64_t>(c - '0');
+      }
+      if (value < 1 || value > 4096) {
+        return usage_command(cmd, "--clients entries must be in [1, 4096]");
+      }
+      client_counts.push_back(static_cast<std::uint32_t>(value));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+
+  IndexSource source;
+  if (const int status = open_index_source(cmd, args, &source); status != 0) {
+    return status;
+  }
+  const QueryTrace trace = read_trace_file(trace_path);
+  if (trace.empty()) return usage_command(cmd, "trace '" + trace_path + "' is empty");
+  std::cout << "trace: " << trace.size() << " queries ("
+            << trace.range_count() << " range, " << trace.knn_count()
+            << " knn) from " << trace_path << "\n";
+
+  std::vector<ReplayReport> reports;
+  reports.reserve(client_counts.size());
+  for (const std::uint32_t clients : client_counts) {
+    ServerOptions server_options;
+    server_options.shard_bits = static_cast<int>(*shards);
+    server_options.max_batch = static_cast<std::uint32_t>(*max_batch);
+    server_options.batch_window_us = static_cast<std::uint32_t>(*window_us);
+    IndexServer server(source.view, server_options);
+    ReplayOptions replay_options;
+    replay_options.clients = clients;
+    reports.push_back(replay_trace(server, trace, replay_options));
+  }
+
+  Table table({"clients", "qps", "p50_us", "p99_us", "max_us", "rows",
+               "neighbors"});
+  for (const ReplayReport& report : reports) {
+    table.add_row({Table::fmt_int(report.clients), fmt_double(report.qps),
+                   fmt_double(report.p50_us), fmt_double(report.p99_us),
+                   fmt_double(report.max_us),
+                   Table::fmt_int(report.rows_returned),
+                   Table::fmt_int(report.neighbors_returned)});
+  }
+  table.print(std::cout);
+  std::cout << "shards 2^" << *shards << ", max batch " << *max_batch
+            << ", batch window " << *window_us << " us\n";
+
+  const std::string json_path = args.get_string("json", "");
+  if (!json_path.empty()) {
+    write_serve_json(json_path, reports);
+    std::cout << "wrote " << json_path << "\n";
+  }
+  if (*max_p99_us > 0) {
+    for (const ReplayReport& report : reports) {
+      if (report.p99_us > static_cast<double>(*max_p99_us)) {
+        std::cerr << "error: p99 " << fmt_double(report.p99_us) << " us at "
+                  << report.clients << " clients exceeds the --max-p99-us "
+                  << *max_p99_us << " gate\n";
+        return 1;
+      }
+    }
+    std::cout << "p99 gate: all client levels under " << *max_p99_us
+              << " us\n";
+  }
+  return 0;
+}
+
+int cmd_optimize(const Command& cmd, const cli::Args& args) {
   const auto dim = args.get_int("dim", 2);
   const auto side = args.get_int("side", 6);
   const auto iters = args.get_int("iters", 100000);
   const auto seed = args.get_int("seed", 1);
-  if (!dim || !side || !iters || !seed) return usage("bad numeric flag");
+  if (!dim || !side || !iters || !seed) {
+    return usage_command(cmd, "bad numeric flag");
+  }
   const Universe u(static_cast<int>(*dim), static_cast<coord_t>(*side));
   OptimizeOptions options;
   options.iterations = static_cast<std::uint64_t>(*iters);
@@ -580,49 +886,154 @@ int cmd_optimize(const cli::Args& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// The table
+// ---------------------------------------------------------------------------
+
+const FlagSpec kCurveFlag = {"curve", "NAME", "curve family (see 'sfctool help')"};
+const FlagSpec kDimFlag = {"dim", "D", "universe dimensionality"};
+const FlagSpec kBitsFlag = {"bits", "K", "universe side = 2^K (3^K for peano)"};
+const FlagSpec kSeedFlag = {"seed", "S", "rng seed (random curve / dataset)"};
+const std::vector<FlagSpec> kIndexBuildFlags = {
+    kCurveFlag, kDimFlag, kBitsFlag, kSeedFlag,
+    {"count", "N", "uniform random points to index (default 100000)"},
+    {"points", "FILE", "index these points instead (one x1,..,xd per line)"},
+    {"block-rows", "B", "directory block size in rows (default 256)"}};
+
+std::vector<FlagSpec> with(std::vector<FlagSpec> base,
+                           std::initializer_list<FlagSpec> extra) {
+  base.insert(base.end(), extra.begin(), extra.end());
+  return base;
+}
+
+const std::vector<Command>& command_table() {
+  static const std::vector<Command> kCommands = {
+      {"analyze", "stretch/clustering report for one curve",
+       {kCurveFlag, kDimFlag, kBitsFlag, kSeedFlag,
+        {"samples", "N", "all-pairs sample budget (default 200000)"}},
+       cmd_analyze},
+      {"render", "ASCII/SVG rendering of a 2-d curve",
+       {kCurveFlag, kBitsFlag,
+        {"binary", "", "render keys in binary (2^k side only)"},
+        {"svg", "FILE", "also write an SVG rendering"}},
+       cmd_render},
+      {"sweep", "Davg convergence sweep over levels",
+       {kCurveFlag, kDimFlag,
+        {"max-bits", "K", "sweep levels 1..K"},
+        {"csv", "", "emit CSV instead of an aligned table"}},
+       cmd_sweep},
+      {"bounds", "paper bounds for one universe", {kDimFlag, kBitsFlag},
+       cmd_bounds},
+      {"partition", "curve-order partition quality",
+       {kCurveFlag, kDimFlag, kBitsFlag, {"parts", "P", "partition count"}},
+       cmd_partition},
+      {"clustering", "random-box clustering (mean curve runs per box)",
+       {kCurveFlag, kDimFlag, kBitsFlag,
+        {"extent", "E", "box side length"},
+        {"samples", "N", "number of random boxes"}},
+       cmd_clustering},
+      {"cover", "exact key-interval cover of one box",
+       {kCurveFlag, kDimFlag, kBitsFlag,
+        {"lo", "X1,..,Xd", "inclusive low corner"},
+        {"hi", "Y1,..,Yd", "inclusive high corner"},
+        {"csv", "", "emit CSV instead of an aligned table"}},
+       cmd_cover},
+      {"index-build", "build an SFC point index and summarize it",
+       kIndexBuildFlags, cmd_index_build},
+      {"index-write", "build an index and persist it to a checksummed file",
+       with(kIndexBuildFlags, {{"out", "FILE", "output index file (required)"}}),
+       cmd_index_write},
+      {"index-query", "range-query an index (built or --file mmapped)",
+       with(kIndexBuildFlags,
+            {{"file", "FILE", "mmap this index file instead of building"},
+             {"lo", "X1,..,Xd", "inclusive low corner of the query box"},
+             {"hi", "Y1,..,Yd", "inclusive high corner of the query box"},
+             {"extent", "E", "random-box sampling: box side length"},
+             {"samples", "N", "random-box sampling: number of boxes"}}),
+       cmd_index_query},
+      {"index-knn", "kNN-query an index (built or --file mmapped)",
+       with(kIndexBuildFlags,
+            {{"file", "FILE", "mmap this index file instead of building"},
+             {"query", "X1,..,Xd", "query point"},
+             {"k", "K", "neighbors to return (default 5)"}}),
+       cmd_index_knn},
+      {"trace-gen", "generate a reproducible mixed query trace",
+       {kDimFlag, kBitsFlag, kSeedFlag,
+        {"count", "N", "total queries (default 1000)"},
+        {"extent", "E", "range-box side length (default 32)"},
+        {"knn-k", "K", "k of the knn queries (default 8)"},
+        {"knn-percent", "P", "percent of knn queries in the mix (default 50)"},
+        {"out", "FILE", "output trace file (required)"}},
+       cmd_trace_gen},
+      {"serve-bench", "replay a query trace through the batching server",
+       with(kIndexBuildFlags,
+            {{"file", "FILE", "mmap this index file instead of building"},
+             {"trace", "FILE", "query trace to replay (required)"},
+             {"clients", "LIST", "client counts, e.g. 1,8,64 (default)"},
+             {"shards", "B", "use 2^B curve-contiguous shards (default 4)"},
+             {"max-batch", "N", "admission batch size (default 64)"},
+             {"window-us", "U", "admission batch window, us (default 200)"},
+             {"json", "FILE", "write google-benchmark-shaped JSON"},
+             {"max-p99-us", "U", "fail if any p99 exceeds this (0 = off)"}}),
+       cmd_serve_bench},
+      {"optimize", "local-search Davg optimization on a small universe",
+       {kDimFlag,
+        {"side", "S", "universe side"},
+        {"iters", "N", "local-search iterations"},
+        kSeedFlag},
+       cmd_optimize},
+  };
+  return kCommands;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> tokens;
   for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
-  const cli::Args args = cli::Args::parse(tokens);
-  if (!args.valid()) return usage(args.error());
-
-  const std::string& command = args.subcommand();
-  int status;
-  if (command == "analyze") {
-    status = cmd_analyze(args);
-  } else if (command == "render") {
-    status = cmd_render(args);
-  } else if (command == "sweep") {
-    status = cmd_sweep(args);
-  } else if (command == "bounds") {
-    status = cmd_bounds(args);
-  } else if (command == "partition") {
-    status = cmd_partition(args);
-  } else if (command == "clustering") {
-    status = cmd_clustering(args);
-  } else if (command == "cover") {
-    status = cmd_cover(args);
-  } else if (command == "index-build") {
-    status = cmd_index_build(args);
-  } else if (command == "index-query") {
-    status = cmd_index_query(args);
-  } else if (command == "index-knn") {
-    status = cmd_index_knn(args);
-  } else if (command == "optimize") {
-    status = cmd_optimize(args);
-  } else {
-    return usage(command.empty() ? "missing command"
-                                 : "unknown command '" + command + "'");
+  // "sfctool help <command>" is sugar for "sfctool <command> --help".
+  if (tokens.size() >= 2 && tokens[0] == "help") {
+    tokens = {tokens[1], "--help"};
   }
-  if (status == 0) {
-    const auto unused = args.unused_keys();
-    if (!unused.empty()) {
-      std::cerr << "warning: unused flag(s):";
-      for (const auto& key : unused) std::cerr << " --" << key;
-      std::cerr << "\n";
+  const cli::Args args = cli::Args::parse(tokens);
+  if (!args.valid()) return usage_all(args.error());
+
+  const std::string& name = args.subcommand();
+  if (name.empty()) {
+    return args.get_flag("help") ? usage_all("") : usage_all("missing command");
+  }
+  if (name == "help") return usage_all("");
+
+  const Command* command = nullptr;
+  for (const Command& candidate : command_table()) {
+    if (name == candidate.name) {
+      command = &candidate;
+      break;
     }
   }
-  return status;
+  if (command == nullptr) return usage_all("unknown command '" + name + "'");
+  if (args.get_flag("help")) return usage_command(*command);
+
+  // Strict flag validation against the command's spec — typos and
+  // wrong-command flags fail up front instead of being silently ignored.
+  for (const std::string& key : args.unused_keys()) {
+    bool known = false;
+    for (const FlagSpec& spec : command->flags) {
+      if (key == spec.flag) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return usage_command(*command, "unknown flag --" + key + " for '" +
+                                         std::string(command->name) + "'");
+    }
+  }
+
+  try {
+    return command->run(*command, args);
+  } catch (const sfc::Error& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
 }
