@@ -1,0 +1,73 @@
+// Typed errors of the serving front end.
+//
+// Serving failures are part of the protocol, not exceptional states: an
+// overloaded server *must* shed load, an expired query *must* fail fast, and
+// clients react differently to each (retry with backoff on overload, give up
+// or re-plan on timeout, reconnect elsewhere on stop).  Each condition is
+// therefore its own sfc::Error subtype carrying the numbers a client policy
+// needs — replay_trace's retry loop and the serve-bench failure accounting
+// dispatch on these types, and anything *not* one of them is a real bug that
+// propagates as-is.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sfc/common/error.h"
+
+namespace sfc {
+
+/// Base of every admission-control failure the server raises on purpose.
+/// Engine errors (bad arguments, etc.) are NOT ServeErrors — they propagate
+/// with their own types, so callers can tell shed load from broken queries.
+class ServeError : public Error {
+ public:
+  explicit ServeError(const std::string& what) : Error(what) {}
+};
+
+/// The admission queue was at max_queue when the query arrived: backpressure.
+/// Clients should back off and retry; the query was never admitted.
+class ServerOverloadError : public ServeError {
+ public:
+  ServerOverloadError(std::uint64_t queue_depth, std::uint64_t max_queue)
+      : ServeError("server overloaded: admission queue holds " +
+                   std::to_string(queue_depth) + " queries (max_queue " +
+                   std::to_string(max_queue) + ")"),
+        queue_depth_(queue_depth),
+        max_queue_(max_queue) {}
+
+  std::uint64_t queue_depth() const { return queue_depth_; }
+  std::uint64_t max_queue() const { return max_queue_; }
+
+ private:
+  std::uint64_t queue_depth_;
+  std::uint64_t max_queue_;
+};
+
+/// The query's deadline elapsed while it was still queued; it was dropped at
+/// batch formation instead of occupying a batch slot it could no longer use.
+class ServerTimeoutError : public ServeError {
+ public:
+  ServerTimeoutError(std::uint64_t deadline_us, std::uint64_t waited_us)
+      : ServeError("query deadline of " + std::to_string(deadline_us) +
+                   " us expired after waiting " + std::to_string(waited_us) +
+                   " us in the admission queue"),
+        deadline_us_(deadline_us),
+        waited_us_(waited_us) {}
+
+  std::uint64_t deadline_us() const { return deadline_us_; }
+  std::uint64_t waited_us() const { return waited_us_; }
+
+ private:
+  std::uint64_t deadline_us_;
+  std::uint64_t waited_us_;
+};
+
+/// The server has been stopped (or is stopping): no new queries are
+/// admitted.  In-flight queries at stop() time still drain and answer.
+class ServerStoppedError : public ServeError {
+ public:
+  ServerStoppedError() : ServeError("IndexServer is stopped: query rejected") {}
+};
+
+}  // namespace sfc

@@ -1,6 +1,7 @@
 #include "sfc/serve/server.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <exception>
@@ -8,6 +9,30 @@
 #include <utility>
 
 namespace sfc {
+
+void LatencyHistogram::record_us(double us) {
+  const std::uint64_t whole =
+      us <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(std::ceil(us)));
+  const int bucket = std::min(31, static_cast<int>(std::bit_width(whole)));
+  ++buckets[static_cast<std::size_t>(bucket)];
+  ++count;
+}
+
+double LatencyHistogram::percentile_us(double fraction) const {
+  if (count == 0) return 0.0;
+  const double rank = std::ceil(fraction * static_cast<double>(count));
+  const auto target = static_cast<std::uint64_t>(
+      std::min<double>(static_cast<double>(count),
+                       std::max<double>(1.0, rank)));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen >= target) {
+      return b == 0 ? 1.0 : std::ldexp(1.0, static_cast<int>(b));
+    }
+  }
+  return std::ldexp(1.0, 31);
+}
 
 IndexServer::IndexServer(IndexColumnsView view, const ServerOptions& options)
     : index_(view, options.shard_bits), options_(options) {
@@ -22,21 +47,48 @@ IndexServer::~IndexServer() { stop(); }
 void IndexServer::stop() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (stopping_) return;
     stopping_ = true;
   }
   arrivals_.notify_all();
+  // Serialize the join so concurrent stop() calls are safe and *every* stop()
+  // returns only after the drain has finished (idempotent included).
+  std::lock_guard<std::mutex> join_lock(join_mutex_);
   if (dispatcher_.joinable()) dispatcher_.join();
 }
 
+IndexServer::Pending& IndexServer::admit(Pending&& pending,
+                                         std::uint64_t deadline_us) {
+  // Caller holds mutex_.
+  if (stopping_) {
+    ++health_.rejected_stopped;
+    throw ServerStoppedError();
+  }
+  if (options_.max_queue > 0 && pending_.size() >= options_.max_queue) {
+    ++health_.rejected_overload;
+    throw ServerOverloadError(pending_.size(), options_.max_queue);
+  }
+  pending.enqueued = Clock::now();
+  pending.deadline_us = deadline_us;
+  if (deadline_us > 0) {
+    pending.deadline = pending.enqueued + std::chrono::microseconds(deadline_us);
+  }
+  pending_.push_back(std::move(pending));
+  ++stats_.queries_admitted;
+  ++health_.accepted;
+  return pending_.back();
+}
+
 RangeQueryResult IndexServer::range_query(const Box& box) {
+  return range_query(box, options_.deadline_us);
+}
+
+RangeQueryResult IndexServer::range_query(const Box& box,
+                                          std::uint64_t deadline_us) {
   std::future<RangeQueryResult> future;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (stopping_) throw Error("IndexServer: query after stop()");
-    pending_.emplace_back(box);
-    future = pending_.back().range_promise.get_future();
-    ++stats_.queries_admitted;
+    Pending& slot = admit(Pending(box), deadline_us);
+    future = slot.range_promise.get_future();
     ++stats_.range_queries;
   }
   arrivals_.notify_one();
@@ -44,13 +96,16 @@ RangeQueryResult IndexServer::range_query(const Box& box) {
 }
 
 KnnQueryResult IndexServer::knn_query(const Point& query, std::uint32_t k) {
+  return knn_query(query, k, options_.deadline_us);
+}
+
+KnnQueryResult IndexServer::knn_query(const Point& query, std::uint32_t k,
+                                      std::uint64_t deadline_us) {
   std::future<KnnQueryResult> future;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (stopping_) throw Error("IndexServer: query after stop()");
-    pending_.emplace_back(query, k);
-    future = pending_.back().knn_promise.get_future();
-    ++stats_.queries_admitted;
+    Pending& slot = admit(Pending(query, k), deadline_us);
+    future = slot.knn_promise.get_future();
     ++stats_.knn_queries;
   }
   arrivals_.notify_one();
@@ -60,6 +115,15 @@ KnnQueryResult IndexServer::knn_query(const Point& query, std::uint32_t k) {
 ServerStats IndexServer::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+ServerHealth IndexServer::health() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServerHealth snapshot = health_;
+  snapshot.queue_depth = pending_.size();
+  snapshot.stopped = stopping_;
+  snapshot.batches_dispatched = stats_.batches_dispatched;
+  return snapshot;
 }
 
 void IndexServer::dispatcher_loop() {
@@ -72,18 +136,75 @@ void IndexServer::dispatcher_loop() {
       if (pending_.empty()) return;  // stopping with nothing queued
       // The window opens when the dispatcher first sees a non-empty queue —
       // the oldest query waits at most one window before its batch executes.
-      const auto deadline = std::chrono::steady_clock::now() + window;
-      arrivals_.wait_until(lock, deadline, [this] {
-        return stopping_ || pending_.size() >= options_.max_batch;
-      });
+      // Queries with deadlines pull the close earlier: waiting the full
+      // window past a queued deadline would expire a query the server could
+      // still have answered.
+      const auto window_close = Clock::now() + window;
+      while (!stopping_ && pending_.size() < options_.max_batch) {
+        auto close_at = window_close;
+        for (const Pending& p : pending_) {
+          if (p.deadline_us > 0 && p.deadline < close_at) close_at = p.deadline;
+        }
+        if (Clock::now() >= close_at) break;
+        arrivals_.wait_until(lock, close_at);
+      }
       batch.swap(pending_);
       ++stats_.batches_dispatched;
       stats_.max_batch_rows =
           std::max<std::uint64_t>(stats_.max_batch_rows, batch.size());
     }
+    expire_batch(batch, Clock::now());
     execute_batch(batch);
+    {
+      // Per-query dispatch latency (enqueue -> answer delivered) and the
+      // executed count, recorded after the batch's futures are fulfilled.
+      const auto done = Clock::now();
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const Pending& p : batch) {
+        health_.dispatch_latency.record_us(
+            std::chrono::duration<double, std::micro>(done - p.enqueued)
+                .count());
+        ++health_.executed;
+      }
+    }
     batch.clear();
   }
+}
+
+void IndexServer::expire_batch(std::vector<Pending>& batch,
+                               Clock::time_point now) {
+  const auto is_expired = [now](const Pending& p) {
+    return p.deadline_us > 0 && now >= p.deadline;
+  };
+  // Bump the counter BEFORE failing any promise: a client that observes
+  // ServerTimeoutError is guaranteed to find itself in health().timed_out.
+  const auto expired = static_cast<std::uint64_t>(
+      std::count_if(batch.begin(), batch.end(), is_expired));
+  if (expired > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    health_.timed_out += expired;
+  }
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Pending& p = batch[i];
+    if (is_expired(p)) {
+      const auto waited = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(now -
+                                                                p.enqueued)
+              .count());
+      const auto error = std::make_exception_ptr(
+          ServerTimeoutError(p.deadline_us, waited));
+      if (p.kind == Pending::Kind::kRange) {
+        p.range_promise.set_exception(error);
+      } else {
+        p.knn_promise.set_exception(error);
+      }
+      continue;
+    }
+    if (kept != i) batch[kept] = std::move(batch[i]);
+    ++kept;
+  }
+  batch.erase(batch.begin() + static_cast<std::ptrdiff_t>(kept), batch.end());
 }
 
 void IndexServer::execute_batch(std::vector<Pending>& batch) {
@@ -166,6 +287,10 @@ ReplayReport replay_trace(IndexServer& server, const QueryTrace& trace,
 
   struct ClientTally {
     std::vector<double> latencies_us;
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t timed_out = 0;
+    std::uint64_t retries = 0;
     std::uint64_t rows_returned = 0;
     std::uint64_t neighbors_returned = 0;
     std::exception_ptr error;
@@ -185,17 +310,51 @@ ReplayReport replay_trace(IndexServer& server, const QueryTrace& trace,
         for (std::size_t q = c; q < trace.size(); q += clients) {
           const TraceQuery& query = trace.queries[q];
           const auto begin = clock::now();
-          if (query.kind == TraceQuery::Kind::kRange) {
-            const RangeQueryResult result = server.range_query(query.box());
-            tally.rows_returned += result.ids.size();
-          } else {
-            const KnnQueryResult result =
-                server.knn_query(query.point, query.k);
-            tally.neighbors_returned += result.neighbors.size();
+          // Retry-with-exponential-backoff on shed load; anything else is a
+          // real error and aborts the replay.
+          for (std::uint32_t attempt = 0;; ++attempt) {
+            bool overloaded = false;
+            try {
+              if (query.kind == TraceQuery::Kind::kRange) {
+                const RangeQueryResult result =
+                    options.deadline_us > 0
+                        ? server.range_query(query.box(), options.deadline_us)
+                        : server.range_query(query.box());
+                tally.rows_returned += result.ids.size();
+              } else {
+                const KnnQueryResult result =
+                    options.deadline_us > 0
+                        ? server.knn_query(query.point, query.k,
+                                           options.deadline_us)
+                        : server.knn_query(query.point, query.k);
+                tally.neighbors_returned += result.neighbors.size();
+              }
+              ++tally.accepted;
+              const auto end = clock::now();
+              tally.latencies_us.push_back(
+                  std::chrono::duration<double, std::micro>(end - begin)
+                      .count());
+              break;
+            } catch (const ServerOverloadError&) {
+              overloaded = true;
+            } catch (const ServerTimeoutError&) {
+              overloaded = false;
+            }
+            if (attempt >= options.max_retries) {
+              if (overloaded) {
+                ++tally.rejected;
+              } else {
+                ++tally.timed_out;
+              }
+              break;
+            }
+            ++tally.retries;
+            const std::uint64_t backoff_us = std::min<std::uint64_t>(
+                options.backoff_max_us,
+                static_cast<std::uint64_t>(options.backoff_base_us)
+                    << std::min<std::uint32_t>(attempt, 20));
+            std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
           }
-          const auto end = clock::now();
-          tally.latencies_us.push_back(
-              std::chrono::duration<double, std::micro>(end - begin).count());
         }
       } catch (...) {
         tally.error = std::current_exception();
@@ -209,6 +368,10 @@ ReplayReport replay_trace(IndexServer& server, const QueryTrace& trace,
   latencies.reserve(trace.size());
   for (ClientTally& tally : tallies) {
     if (tally.error) std::rethrow_exception(tally.error);
+    report.accepted += tally.accepted;
+    report.rejected += tally.rejected;
+    report.timed_out += tally.timed_out;
+    report.retries += tally.retries;
     report.rows_returned += tally.rows_returned;
     report.neighbors_returned += tally.neighbors_returned;
     latencies.insert(latencies.end(), tally.latencies_us.begin(),
@@ -219,7 +382,7 @@ ReplayReport replay_trace(IndexServer& server, const QueryTrace& trace,
   report.wall_seconds =
       std::chrono::duration<double>(replay_end - replay_begin).count();
   report.qps = report.wall_seconds > 0.0
-                   ? static_cast<double>(report.queries) / report.wall_seconds
+                   ? static_cast<double>(report.accepted) / report.wall_seconds
                    : 0.0;
   report.p50_us = percentile_us(latencies, 0.50);
   report.p99_us = percentile_us(latencies, 0.99);

@@ -10,11 +10,22 @@
 // fulfills every future.  Under load, batches fill and throughput approaches
 // the executors' batch rate; when idle, a lone query waits at most one window.
 //
+// The queue is a real admission controller, not a buffer: it is bounded
+// (`max_queue`, ServerOverloadError beyond it — backpressure instead of
+// unbounded latency), queries carry deadlines (`deadline_us`; a query whose
+// deadline passes while queued fails fast with ServerTimeoutError at batch
+// formation instead of occupying a slot), submissions after stop() fail with
+// ServerStoppedError, and stop() drains: every query admitted before stop()
+// is answered before stop() returns.  ServerHealth exposes the counters and
+// the dispatch-latency histogram an operator would watch.
+//
 // Answers are the engines' answers — batching and sharding change latency and
 // throughput, never results (the serve tests assert equality against direct
 // engine calls under concurrent clients).
 #pragma once
 
+#include <array>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <future>
@@ -23,6 +34,7 @@
 #include <vector>
 
 #include "sfc/index/executor.h"
+#include "sfc/serve/serve_error.h"
 #include "sfc/serve/sharded_index.h"
 #include "sfc/serve/trace.h"
 
@@ -39,6 +51,32 @@ struct ServerOptions {
   std::uint32_t max_batch = 64;
   /// ... or once the oldest queued query has waited this long.
   std::uint32_t batch_window_us = 200;
+  /// Admission-queue bound: a submission arriving while the queue already
+  /// holds this many queries fails fast with ServerOverloadError
+  /// (backpressure).  0 = unbounded (the pre-robustness behavior).
+  std::uint32_t max_queue = 1024;
+  /// Default per-query deadline in microseconds (0 = none).  A query whose
+  /// deadline passes while it is still queued is failed with
+  /// ServerTimeoutError at batch formation.  Deadlines shorter than
+  /// batch_window_us cannot be met by a batching server — the batch closes
+  /// early at the earliest queued deadline, but the query has already aged
+  /// out by then; give deadlines headroom above the window.
+  std::uint64_t deadline_us = 0;
+};
+
+/// Log-scale latency histogram: bucket i counts samples whose microsecond
+/// value, rounded up, has bit width i — roughly (2^(i-1), 2^i] us, with
+/// bucket 0 holding only zero/negative samples and bucket 31 saturating.
+/// Fixed size, lock-friendly, and good to ~2x resolution across us..minutes —
+/// the operator-dashboard shape, not a benchmark instrument.
+struct LatencyHistogram {
+  std::array<std::uint64_t, 32> buckets{};
+  std::uint64_t count = 0;
+
+  void record_us(double us);
+  /// Nearest-rank percentile, reported as the upper edge (2^i us) of the
+  /// bucket holding that rank; 0 when empty.
+  double percentile_us(double fraction) const;
 };
 
 struct ServerStats {
@@ -47,6 +85,29 @@ struct ServerStats {
   std::uint64_t knn_queries = 0;
   std::uint64_t batches_dispatched = 0;
   std::uint64_t max_batch_rows = 0;  ///< largest batch dispatched so far
+};
+
+/// Operator-facing snapshot of the admission controller (taken atomically
+/// under the queue lock).  accepted = admitted into the queue; executed =
+/// answered through a batch; accepted == executed + timed_out once drained.
+/// The failure counters are bumped before the client sees the typed error
+/// (rejected_overload/rejected_stopped before admit() throws, timed_out
+/// before the expired promises are failed), so a caller that just caught a
+/// ServeError will find itself counted.  executed and the latency histogram
+/// are recorded by the dispatcher after it fulfills a batch's futures, so
+/// they may momentarily trail a query whose answer just arrived; stop()
+/// (which drains and joins) makes them final.
+struct ServerHealth {
+  std::uint64_t queue_depth = 0;       ///< queries waiting right now
+  bool stopped = false;                ///< stop() has begun or finished
+  std::uint64_t accepted = 0;          ///< admitted into the queue
+  std::uint64_t rejected_overload = 0; ///< failed fast: queue at max_queue
+  std::uint64_t rejected_stopped = 0;  ///< failed fast: submitted after stop()
+  std::uint64_t timed_out = 0;         ///< dropped at batch formation: deadline
+  std::uint64_t executed = 0;          ///< answered (value or engine error)
+  std::uint64_t batches_dispatched = 0;
+  /// Enqueue-to-fulfillment latency of every executed query.
+  LatencyHistogram dispatch_latency;
 };
 
 /// A read-only query server over any index storage.  The storage behind the
@@ -62,25 +123,40 @@ class IndexServer {
 
   /// Blocking point queries: enqueue, wait for the dispatcher's batch, return
   /// the engine's answer.  Engine errors (e.g. out-of-universe arguments)
-  /// rethrow on the calling thread.
+  /// rethrow on the calling thread.  Admission failures are typed: queue full
+  /// = ServerOverloadError, deadline expired in queue = ServerTimeoutError,
+  /// submitted after stop() = ServerStoppedError.  The two-argument forms
+  /// override the server's default deadline for this query (0 = no deadline).
   RangeQueryResult range_query(const Box& box);
+  RangeQueryResult range_query(const Box& box, std::uint64_t deadline_us);
   KnnQueryResult knn_query(const Point& query, std::uint32_t k);
+  KnnQueryResult knn_query(const Point& query, std::uint32_t k,
+                           std::uint64_t deadline_us);
 
-  /// Drains queued queries and joins the dispatcher.  Called by the
-  /// destructor; queries submitted after stop() throw Error.
+  /// Stops admission and drains: every already-admitted query is answered
+  /// (or timed out by its own deadline) before this returns.  Called by the
+  /// destructor; queries submitted after stop() throw ServerStoppedError.
+  /// Idempotent and safe to race with concurrent clients.
   void stop();
 
   const ShardedIndex& index() const { return index_; }
   const ServerOptions& options() const { return options_; }
   /// Snapshot of the admission counters (taken under the queue lock).
   ServerStats stats() const;
+  /// Snapshot of the robustness counters + dispatch-latency histogram.
+  ServerHealth health() const;
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   struct Pending {
     enum class Kind : std::uint8_t { kRange, kKnn } kind;
     Box box;
     Point point;
     std::uint32_t k = 0;
+    Clock::time_point enqueued;
+    Clock::time_point deadline;  ///< meaningful iff deadline_us > 0
+    std::uint64_t deadline_us = 0;
     std::promise<RangeQueryResult> range_promise;
     std::promise<KnnQueryResult> knn_promise;
 
@@ -90,38 +166,71 @@ class IndexServer {
         : kind(Kind::kKnn), box(Point::zero(1), Point::zero(1)), point(p), k(kk) {}
   };
 
+  /// Shared admission path: overload/stopped checks + deadline stamping.
+  /// Returns the slot just enqueued (under mutex_, which the caller holds).
+  Pending& admit(Pending&& pending, std::uint64_t deadline_us);
+
   void dispatcher_loop();
+  /// Fails batch entries whose deadline has passed; keeps the live ones.
+  void expire_batch(std::vector<Pending>& batch, Clock::time_point now);
   void execute_batch(std::vector<Pending>& batch);
 
   ShardedIndex index_;
   ServerOptions options_;
 
   mutable std::mutex mutex_;
+  std::mutex join_mutex_;  ///< serializes the dispatcher join in stop()
   std::condition_variable arrivals_;
   std::vector<Pending> pending_;
   bool stopping_ = false;
   ServerStats stats_;
+  ServerHealth health_;  ///< queue_depth/stopped filled at snapshot time
   std::thread dispatcher_;
 };
 
 /// Trace replay: `clients` threads each replay a strided slice of the trace
 /// through blocking server calls, measuring per-query latency end to end
-/// (admission wait + batch execution included).
+/// (admission wait + batch execution + any retry backoff included).
+///
+/// The client policy is retry-with-exponential-backoff: an attempt that
+/// fails with ServerOverloadError or ServerTimeoutError sleeps
+/// min(backoff_base_us << attempt, backoff_max_us) and retries, up to
+/// max_retries re-submissions; a query still failing after its last retry is
+/// tallied as rejected (overload) or timed_out (deadline) — shed load is
+/// *measured*, never silently dropped.  Any other error (engine errors,
+/// ServerStoppedError) aborts the replay and rethrows: those are bugs or
+/// misuse, not load shedding.
 struct ReplayOptions {
   std::uint32_t clients = 1;
+  /// Re-submissions allowed per query after the initial attempt.
+  std::uint32_t max_retries = 0;
+  /// First retry backoff; doubles per attempt (exponential).
+  std::uint32_t backoff_base_us = 200;
+  /// Backoff ceiling.
+  std::uint32_t backoff_max_us = 50000;
+  /// Per-query deadline passed with every submission (0 = use the server's
+  /// default deadline).
+  std::uint64_t deadline_us = 0;
 };
 
 struct ReplayReport {
   std::uint32_t clients = 0;
-  std::uint64_t queries = 0;
+  std::uint64_t queries = 0;  ///< offered load: every query in the trace
   std::uint64_t range_queries = 0;
   std::uint64_t knn_queries = 0;
+  /// Outcome accounting: accepted + rejected + timed_out == queries.
+  std::uint64_t accepted = 0;   ///< answered (possibly after retries)
+  std::uint64_t rejected = 0;   ///< shed: still overloaded after max_retries
+  std::uint64_t timed_out = 0;  ///< shed: still expiring after max_retries
+  std::uint64_t retries = 0;    ///< total re-submissions across all queries
   /// Result-volume checksums so replays can assert they did real work.
   std::uint64_t rows_returned = 0;
   std::uint64_t neighbors_returned = 0;
   double wall_seconds = 0.0;
+  /// Goodput: accepted queries per second of wall clock.
   double qps = 0.0;
-  /// Latency percentiles over all queries, microseconds (nearest-rank).
+  /// Latency percentiles over *accepted* queries, microseconds
+  /// (nearest-rank, end to end from first attempt to answer).
   double p50_us = 0.0;
   double p99_us = 0.0;
   double max_us = 0.0;

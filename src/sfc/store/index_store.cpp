@@ -8,9 +8,10 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
-#include <fstream>
+#include <span>
 #include <type_traits>
 #include <utility>
+#include <vector>
 
 #include "sfc/curves/curve_error.h"
 
@@ -93,6 +94,13 @@ std::uint64_t fnv1a64(const void* data, std::size_t bytes,
   return hash;
 }
 
+StoreIoError::StoreIoError(const std::string& sys_call,
+                           const std::string& path, int errno_value)
+    : StoreError("index write: " + sys_call + "('" + path +
+                 "') failed: " + std::strerror(errno_value)),
+      sys_call_(sys_call),
+      errno_value_(errno_value) {}
+
 void write_index_file(const std::string& path, const PointIndex& index,
                       const CurveDescriptor& descriptor) {
   const Universe& u = index.curve().universe();
@@ -139,16 +147,40 @@ void write_index_file(const std::string& path, const PointIndex& index,
   }
   header.header_checksum = header_digest(header);
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    throw StoreError("index write: could not open '" + path +
-                     "' for writing");
-  }
+  // Crash-safe protocol: stream everything into `path + ".tmp"`, fsync the
+  // file, atomically rename over `path`, then fsync the parent directory so
+  // the rename itself is durable.  A reader can therefore only ever map the
+  // previous complete file or the new complete file; a crash at any point
+  // leaves at worst a stale `.tmp` that MappedIndex::open never looks at
+  // (and that is itself rejected if opened torn).
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw StoreIoError("open", tmp, errno);
+
+  const auto fail = [&](const char* sys_call) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());  // best effort: do not leave a torn temp behind
+    throw StoreIoError(sys_call, tmp, err);
+  };
+  const auto write_all = [&](const void* data, std::uint64_t bytes) {
+    const auto* at = static_cast<const char*>(data);
+    while (bytes > 0) {
+      const ::ssize_t wrote = ::write(fd, at, bytes);
+      if (wrote < 0) {
+        if (errno == EINTR) continue;
+        fail("write");
+      }
+      at += wrote;
+      bytes -= static_cast<std::uint64_t>(wrote);
+    }
+  };
+
   const char zeros[kColumnAlign] = {};
   std::uint64_t written = 0;
   const auto emit = [&](const void* data, std::uint64_t bytes) {
-    out.write(static_cast<const char*>(data),
-              static_cast<std::streamsize>(bytes));
+    write_all(data, bytes);
     written += bytes;
   };
   const auto pad_to = [&](std::uint64_t target) {
@@ -163,10 +195,30 @@ void write_index_file(const std::string& path, const PointIndex& index,
     pad_to(header.columns[c].offset);
     emit(payloads[c], sizes[c]);
   }
-  out.flush();
-  if (!out) {
-    throw StoreError("index write: I/O error writing '" + path + "'");
+  if (::fsync(fd) != 0) fail("fsync");
+  if (::close(fd) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    throw StoreIoError("close", tmp, err);
   }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    throw StoreIoError("rename", path, err);
+  }
+  // Durable rename: fsync the directory entry.  Some filesystems reject
+  // directory fsync (EINVAL) — treat that as best-effort, everything else as
+  // a real error.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd < 0) throw StoreIoError("open", dir, errno);
+  if (::fsync(dir_fd) != 0 && errno != EINVAL) {
+    const int err = errno;
+    ::close(dir_fd);
+    throw StoreIoError("fsync", dir, err);
+  }
+  ::close(dir_fd);
 }
 
 MappedIndex MappedIndex::open(const std::string& path,
@@ -303,6 +355,43 @@ MappedIndex MappedIndex::open(const std::string& path,
       if (directory[b] != keys[end - 1]) {
         fail("block directory entry " + std::to_string(b) +
              " disagrees with the key column");
+      }
+    }
+    // Key<->point agreement: re-encode every stored point through the
+    // reconstructed curve and require the stored key back.  This is the check
+    // that ties the persisted curve identity to the data — a tampered
+    // family/seed/universe (even with a dutifully recomputed checksum) cannot
+    // pass it, so a validated file can never serve silently wrong answers.
+    // Dimension and containment are checked first so index_of_batch only ever
+    // sees in-universe cells.
+    const Universe& u = mapped.curve_->universe();
+    constexpr std::uint64_t kVerifyChunk = 4096;
+    std::vector<index_t> recoded(std::min<std::uint64_t>(rows, kVerifyChunk));
+    for (std::uint64_t at = 0; at < rows; at += kVerifyChunk) {
+      const std::uint64_t n = std::min<std::uint64_t>(kVerifyChunk, rows - at);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const Point& p = points[at + i];
+        if (p.dim() != u.dim()) {
+          fail("row " + std::to_string(at + i) + " point dimension " +
+               std::to_string(p.dim()) + " != curve dimension " +
+               std::to_string(u.dim()));
+        }
+        if (!u.contains(p)) {
+          fail("row " + std::to_string(at + i) +
+               " point outside the curve universe");
+        }
+      }
+      mapped.curve_->index_of_batch(
+          std::span<const Point>(points + at, n),
+          std::span<index_t>(recoded.data(), n));
+      for (std::uint64_t i = 0; i < n; ++i) {
+        if (recoded[i] != keys[at + i]) {
+          fail("row " + std::to_string(at + i) + " key " +
+               std::to_string(keys[at + i]) +
+               " does not re-encode from its point (curve gives " +
+               std::to_string(recoded[i]) +
+               ") — data and curve descriptor disagree");
+        }
       }
     }
   }

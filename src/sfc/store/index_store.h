@@ -39,6 +39,23 @@ class StoreError : public Error {
   explicit StoreError(const std::string& what) : Error(what) {}
 };
 
+/// A StoreError raised by a failing syscall on the write path (open, write,
+/// fsync, rename, ...), carrying the syscall name and errno so callers can
+/// distinguish a full disk from a missing directory programmatically.
+class StoreIoError : public StoreError {
+ public:
+  StoreIoError(const std::string& sys_call, const std::string& path,
+               int errno_value);
+
+  /// The syscall that failed ("open", "write", "fsync", "close", "rename").
+  const std::string& sys_call() const { return sys_call_; }
+  int errno_value() const { return errno_value_; }
+
+ private:
+  std::string sys_call_;
+  int errno_value_;
+};
+
 /// Current on-disk format version (header field `version`).
 inline constexpr std::uint32_t kIndexFormatVersion = 1;
 
@@ -52,14 +69,25 @@ std::uint64_t fnv1a64(const void* data, std::size_t bytes,
 /// curve (throws StoreError otherwise); it is what MappedIndex::open
 /// reconstructs the curve from, so it must name the curve the index was
 /// built with — "hilbert d=2 side=1024 seed=1" etc.
+///
+/// Crash-safe: the file is streamed to `path + ".tmp"`, fsync'd, and
+/// atomically renamed over `path` (then the parent directory is fsync'd), so
+/// readers only ever observe either the previous complete file or the new
+/// complete file — never a torn write.  A crash mid-write leaves at worst a
+/// stale `.tmp` alongside an intact `path`.  Every failing syscall raises a
+/// typed StoreIoError (and the temp file is unlinked best-effort).
 void write_index_file(const std::string& path, const PointIndex& index,
                       const CurveDescriptor& descriptor);
 
 struct MappedIndexOptions {
-  /// Verify per-column checksums, key-column sortedness, and block-directory
-  /// consistency at open (one streaming pass over the file).  Serving
-  /// processes that reopen a file they just validated may switch this off;
-  /// header and bounds validation always runs.
+  /// Verify per-column checksums, key-column sortedness, block-directory
+  /// consistency, and key<->point agreement (re-encoding every stored point
+  /// through the reconstructed curve must reproduce its stored key — this is
+  /// what ties the persisted curve identity to the data, so a tampered
+  /// family/seed/universe cannot serve silently wrong answers) at open, one
+  /// streaming pass over the file.  Serving processes that reopen a file
+  /// they just validated may switch this off; header and bounds validation
+  /// always runs.
   bool verify = true;
 };
 

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -315,6 +316,137 @@ TEST(IndexStore, Fnv1a64MatchesReferenceVectors) {
   EXPECT_EQ(fnv1a64("", 0), 0xcbf29ce484222325ULL);
   EXPECT_EQ(fnv1a64("a", 1), 0xaf63dc4c8601ec8cULL);
   EXPECT_EQ(fnv1a64("foobar", 6), 0x85944171f73967e8ULL);
+}
+
+// --- crash safety of the write path ---------------------------------------
+
+TEST(IndexStore, RejectsZeroLengthFile) {
+  const std::string path = temp_path("zero.sfcidx");
+  write_bytes(path, {});
+  EXPECT_THROW(MappedIndex::open(path), StoreError);
+}
+
+TEST(IndexStore, RejectsFileShorterThanHeader) {
+  const WrittenIndex w = write_sample("shortheader.sfcidx");
+  std::vector<char> bytes = read_bytes(w.path);
+  bytes.resize(kHeaderBytes / 2);
+  write_bytes(w.path, bytes);
+  EXPECT_THROW(MappedIndex::open(w.path), StoreError);
+}
+
+TEST(IndexStore, RejectsTornTmpLeftover) {
+  // A crash mid-write leaves `path.tmp` holding a prefix of the file.  The
+  // durable `path` is untouched, and the torn temp itself must be rejected
+  // at every truncation point if someone opens it anyway.
+  const WrittenIndex w = write_sample("torn.sfcidx");
+  const std::vector<char> bytes = read_bytes(w.path);
+  const std::string tmp = w.path + ".tmp";
+  for (const double fraction : {0.0, 0.3, 0.7, 0.999}) {
+    std::vector<char> torn(
+        bytes.begin(),
+        bytes.begin() + static_cast<std::ptrdiff_t>(
+                            fraction * static_cast<double>(bytes.size())));
+    write_bytes(tmp, torn);
+    EXPECT_THROW(MappedIndex::open(tmp), StoreError) << "fraction " << fraction;
+  }
+  // The real file still opens: the crash never touched it.
+  EXPECT_EQ(MappedIndex::open(w.path).row_count(), 500u);
+}
+
+TEST(IndexStore, WriteFailureIsTypedAndLeavesNoTemp) {
+  const WrittenIndex w = write_sample("typedio.sfcidx");
+  const std::string bad = temp_path("no-such-dir") + "/nested/out.sfcidx";
+  try {
+    write_index_file(bad, w.index, w.descriptor);
+    FAIL() << "expected StoreIoError";
+  } catch (const StoreIoError& error) {
+    EXPECT_EQ(error.sys_call(), "open");
+    EXPECT_EQ(error.errno_value(), ENOENT);
+    EXPECT_NE(std::string(error.what()).find("open"), std::string::npos);
+  }
+  // No stray temp file anywhere near the target.
+  std::ifstream tmp(bad + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.good());
+}
+
+TEST(IndexStore, OverwriteIsAtomic) {
+  // Writing over an existing index replaces it wholesale (rename), so the
+  // new content fully supersedes the old even when sizes differ.
+  const WrittenIndex w = write_sample("overwrite.sfcidx");
+  CurveDescriptor descriptor;
+  descriptor.family = "z";
+  descriptor.dim = 2;
+  descriptor.side = 32;
+  const CurvePtr curve = make_curve(descriptor);
+  Xoshiro256 rng(5);
+  std::vector<Point> points;
+  for (int i = 0; i < 77; ++i) {
+    points.push_back(random_cell(curve->universe(), rng));
+  }
+  const PointIndex small = PointIndex::build(*curve, points);
+  write_index_file(w.path, small, descriptor);
+
+  const MappedIndex mapped = MappedIndex::open(w.path);
+  EXPECT_EQ(mapped.row_count(), 77u);
+  EXPECT_EQ(mapped.descriptor(), descriptor);
+  // No temp residue after a successful write either.
+  std::ifstream tmp(w.path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.good());
+}
+
+TEST(IndexStore, RejectsSwappedCurveFamilyWithFixedChecksum) {
+  // The silent-wrong-answer attack: rewrite the persisted family
+  // ("hilbert" -> "z"), dutifully recompute the header checksum, leave all
+  // data intact.  Every structural check passes; only the key<->point
+  // re-encoding pass can notice, because z and hilbert order the same cells
+  // differently.
+  const WrittenIndex w = write_sample("famswap.sfcidx");
+  std::vector<char> bytes = read_bytes(w.path);
+  constexpr std::size_t kFamilyOffset = 56;
+  constexpr std::size_t kFamilyBytes = 24;
+  std::memset(bytes.data() + kFamilyOffset, 0, kFamilyBytes);
+  std::memcpy(bytes.data() + kFamilyOffset, "z", 1);
+  fix_header_checksum(bytes);
+  write_bytes(w.path, bytes);
+  try {
+    MappedIndex::open(w.path);
+    FAIL() << "expected StoreError";
+  } catch (const StoreError& error) {
+    EXPECT_NE(std::string(error.what()).find("re-encode"), std::string::npos)
+        << error.what();
+  }
+  // With verification off the swap is NOT caught — which is exactly why
+  // verify defaults to on and serving only disables it for files it has
+  // already validated.
+  EXPECT_NO_THROW(MappedIndex::open(w.path, {.verify = false}));
+}
+
+TEST(IndexStore, RejectsTamperedPointWithFixedColumnChecksum) {
+  // Stomp one stored point coordinate and fix up the points-column checksum:
+  // structural validation passes, the key<->point pass must object.
+  const WrittenIndex w = write_sample("pointswap.sfcidx");
+  std::vector<char> bytes = read_bytes(w.path);
+  constexpr std::size_t kColumnTableOffset = 80;
+  constexpr std::size_t kColumnEntryBytes = 24;
+  const std::size_t points_entry = kColumnTableOffset + 2 * kColumnEntryBytes;
+  std::uint64_t points_offset = 0, points_bytes = 0;
+  std::memcpy(&points_offset, bytes.data() + points_entry, 8);
+  std::memcpy(&points_bytes, bytes.data() + points_entry + 8, 8);
+  ASSERT_GT(points_bytes, 0u);
+  // Flip the low bit of the first coordinate of row 0's point.
+  bytes[points_offset] = static_cast<char>(bytes[points_offset] ^ 1);
+  const std::uint64_t digest =
+      fnv1a64(bytes.data() + points_offset, points_bytes);
+  std::memcpy(bytes.data() + points_entry + 16, &digest, 8);
+  fix_header_checksum(bytes);
+  write_bytes(w.path, bytes);
+  try {
+    MappedIndex::open(w.path);
+    FAIL() << "expected StoreError";
+  } catch (const StoreError& error) {
+    EXPECT_NE(std::string(error.what()).find("re-encode"), std::string::npos)
+        << error.what();
+  }
 }
 
 }  // namespace

@@ -49,6 +49,7 @@
 #include "sfc/serve/server.h"
 #include "sfc/serve/sharded_index.h"
 #include "sfc/serve/trace.h"
+#include "sfc/store/fault_inject.h"
 #include "sfc/store/index_store.h"
 
 namespace {
@@ -755,7 +756,11 @@ void write_serve_json(const std::string& path,
       out += "      \"real_time\": " + fmt_double(value) + ",\n";
       out += "      \"cpu_time\": " + fmt_double(value) + ",\n";
       out += "      \"time_unit\": \"us\",\n";
-      out += "      \"items_per_second\": " + fmt_double(report.qps) + "\n";
+      out += "      \"items_per_second\": " + fmt_double(report.qps) + ",\n";
+      out += "      \"accepted\": " + std::to_string(report.accepted) + ",\n";
+      out += "      \"rejected\": " + std::to_string(report.rejected) + ",\n";
+      out += "      \"timed_out\": " + std::to_string(report.timed_out) + ",\n";
+      out += "      \"retries\": " + std::to_string(report.retries) + "\n";
       out += "    }";
     }
   }
@@ -777,8 +782,20 @@ int cmd_serve_bench(const Command& cmd, const cli::Args& args) {
   const auto max_batch = args.get_int("max-batch", 64);
   const auto window_us = args.get_int("window-us", 200);
   const auto max_p99_us = args.get_int("max-p99-us", 0);  // 0 = no gate
-  if (!shards || !max_batch || !window_us || !max_p99_us || *shards < 0 ||
-      *max_batch < 1 || *window_us < 0 || *max_p99_us < 0) {
+  const auto max_queue = args.get_int("max-queue", 0);    // 0 = unbounded
+  const auto deadline_us = args.get_int("deadline-us", 0);  // 0 = none
+  const auto retries = args.get_int("retries", 0);
+  const auto backoff_us = args.get_int("backoff-us", 200);
+  // Gate: accepted-query p99 at every client level must stay within this
+  // factor of the first level's p99 (0 = off).  With an overloaded client
+  // list (first entry uncontended, later entries past capacity) this checks
+  // that admission control sheds load instead of letting latency collapse.
+  const auto overload_factor = args.get_int("overload-p99-factor", 0);
+  if (!shards || !max_batch || !window_us || !max_p99_us || !max_queue ||
+      !deadline_us || !retries || !backoff_us || !overload_factor ||
+      *shards < 0 || *max_batch < 1 || *window_us < 0 || *max_p99_us < 0 ||
+      *max_queue < 0 || *deadline_us < 0 || *retries < 0 || *backoff_us < 1 ||
+      *overload_factor < 0) {
     return usage_command(cmd, "bad numeric flag");
   }
 
@@ -822,24 +839,31 @@ int cmd_serve_bench(const Command& cmd, const cli::Args& args) {
     server_options.shard_bits = static_cast<int>(*shards);
     server_options.max_batch = static_cast<std::uint32_t>(*max_batch);
     server_options.batch_window_us = static_cast<std::uint32_t>(*window_us);
+    server_options.max_queue = static_cast<std::uint32_t>(*max_queue);
+    server_options.deadline_us = static_cast<std::uint64_t>(*deadline_us);
     IndexServer server(source.view, server_options);
     ReplayOptions replay_options;
     replay_options.clients = clients;
+    replay_options.max_retries = static_cast<std::uint32_t>(*retries);
+    replay_options.backoff_base_us = static_cast<std::uint32_t>(*backoff_us);
     reports.push_back(replay_trace(server, trace, replay_options));
   }
 
-  Table table({"clients", "qps", "p50_us", "p99_us", "max_us", "rows",
-               "neighbors"});
+  Table table({"clients", "qps", "p50_us", "p99_us", "max_us", "accepted",
+               "rejected", "timeout", "retries"});
   for (const ReplayReport& report : reports) {
     table.add_row({Table::fmt_int(report.clients), fmt_double(report.qps),
                    fmt_double(report.p50_us), fmt_double(report.p99_us),
-                   fmt_double(report.max_us),
-                   Table::fmt_int(report.rows_returned),
-                   Table::fmt_int(report.neighbors_returned)});
+                   fmt_double(report.max_us), Table::fmt_int(report.accepted),
+                   Table::fmt_int(report.rejected),
+                   Table::fmt_int(report.timed_out),
+                   Table::fmt_int(report.retries)});
   }
   table.print(std::cout);
   std::cout << "shards 2^" << *shards << ", max batch " << *max_batch
-            << ", batch window " << *window_us << " us\n";
+            << ", batch window " << *window_us << " us, max queue "
+            << *max_queue << ", deadline " << *deadline_us << " us, retries "
+            << *retries << "\n";
 
   const std::string json_path = args.get_string("json", "");
   if (!json_path.empty()) {
@@ -858,6 +882,67 @@ int cmd_serve_bench(const Command& cmd, const cli::Args& args) {
     std::cout << "p99 gate: all client levels under " << *max_p99_us
               << " us\n";
   }
+  if (*overload_factor > 0 && reports.size() > 1) {
+    const double baseline = std::max(1.0, reports.front().p99_us);
+    const double limit = baseline * static_cast<double>(*overload_factor);
+    for (std::size_t i = 1; i < reports.size(); ++i) {
+      if (reports[i].p99_us > limit) {
+        std::cerr << "error: accepted-query p99 " << fmt_double(reports[i].p99_us)
+                  << " us at " << reports[i].clients << " clients exceeds "
+                  << *overload_factor << "x the " << reports.front().clients
+                  << "-client baseline p99 (" << fmt_double(baseline)
+                  << " us) — admission control failed to shed load\n";
+        return 1;
+      }
+    }
+    std::cout << "overload gate: accepted p99 within " << *overload_factor
+              << "x of the " << reports.front().clients
+              << "-client baseline at every level\n";
+  }
+  return 0;
+}
+
+int cmd_store_fuzz(const Command& cmd, const cli::Args& args) {
+  const std::string file = args.get_string("file", "");
+  if (file.empty()) return usage_command(cmd, "store-fuzz requires --file FILE");
+  const auto iterations = args.get_int("iterations", 2000);
+  const auto seed = args.get_int("seed", 1);
+  const auto threads = args.get_int("threads", 0);
+  const auto probes = args.get_int("probes", 8);
+  if (!iterations || !seed || !threads || !probes || *iterations < 1 ||
+      *seed < 0 || *threads < 0 || *probes < 1) {
+    return usage_command(cmd, "bad numeric flag");
+  }
+
+  FaultCampaignOptions options;
+  options.iterations = static_cast<std::uint64_t>(*iterations);
+  options.seed = static_cast<std::uint64_t>(*seed);
+  options.threads = static_cast<std::uint32_t>(*threads);
+  options.probes = static_cast<std::uint32_t>(*probes);
+  options.scratch_dir = args.get_string("scratch", "");
+
+  const FaultCampaignReport report = run_fault_campaign(file, options);
+  Table table({"kind", "drawn"});
+  for (std::size_t k = 0; k < report.by_kind.size(); ++k) {
+    table.add_row({fault_kind_name(static_cast<FaultKind>(k)),
+                   Table::fmt_int(report.by_kind[k])});
+  }
+  table.print(std::cout);
+  std::cout << report.iterations << " seeded mutations of " << file
+            << " (seed " << *seed << "): " << report.rejected
+            << " rejected, " << report.benign << " benign, "
+            << report.wrong_answer << " wrong-answer, " << report.wrong_error
+            << " wrong-error\n";
+  if (!report.clean()) {
+    std::cerr << "error: corruption contract violated; failing iterations:";
+    for (const std::uint64_t it : report.failing_iterations) {
+      std::cerr << " " << it;
+    }
+    std::cerr << "\n";
+    return 1;
+  }
+  std::cout << "fault campaign clean: every mutation rejected or provably "
+               "benign\n";
   return 0;
 }
 
@@ -974,8 +1059,23 @@ const std::vector<Command>& command_table() {
              {"max-batch", "N", "admission batch size (default 64)"},
              {"window-us", "U", "admission batch window, us (default 200)"},
              {"json", "FILE", "write google-benchmark-shaped JSON"},
-             {"max-p99-us", "U", "fail if any p99 exceeds this (0 = off)"}}),
+             {"max-p99-us", "U", "fail if any p99 exceeds this (0 = off)"},
+             {"max-queue", "N", "admission queue bound (0 = unbounded)"},
+             {"deadline-us", "U", "per-query deadline, us (0 = none)"},
+             {"retries", "N", "client retries on overload/timeout (default 0)"},
+             {"backoff-us", "U", "base retry backoff, us (default 200)"},
+             {"overload-p99-factor", "F",
+              "fail if accepted p99 exceeds F x the first client level's p99 "
+              "(0 = off)"}}),
        cmd_serve_bench},
+      {"store-fuzz", "seeded corruption campaign against an index file",
+       {{"file", "FILE", "index file to fuzz (required)"},
+        {"iterations", "N", "mutations to test (default 2000)"},
+        kSeedFlag,
+        {"threads", "T", "worker threads (default: hardware)"},
+        {"probes", "N", "reference queries per kind (default 8)"},
+        {"scratch", "DIR", "scratch directory (default: alongside --file)"}},
+       cmd_store_fuzz},
       {"optimize", "local-search Davg optimization on a small universe",
        {kDimFlag,
         {"side", "S", "universe side"},
