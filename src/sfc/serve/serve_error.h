@@ -12,8 +12,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sfc/common/error.h"
+#include "sfc/index/knn.h"
 
 namespace sfc {
 
@@ -68,6 +70,73 @@ class ServerTimeoutError : public ServeError {
 class ServerStoppedError : public ServeError {
  public:
   ServerStoppedError() : ServeError("IndexServer is stopped: query rejected") {}
+};
+
+/// IndexServer::reload failed: the candidate file did not validate (or could
+/// not be opened, or every shard verified dead).  The previous generation is
+/// untouched and keeps serving — a failed reload is an operator event, never
+/// an outage.  `reason` carries the underlying StoreError text.
+class ReloadError : public ServeError {
+ public:
+  ReloadError(const std::string& path, const std::string& reason)
+      : ServeError("index reload of '" + path +
+                   "' rejected (previous generation keeps serving): " + reason),
+        path_(path),
+        reason_(reason) {}
+
+  const std::string& path() const { return path_; }
+  const std::string& reason() const { return reason_; }
+
+ private:
+  std::string path_;
+  std::string reason_;
+};
+
+/// A query in a degraded generation overlapped one or more dead shards.  The
+/// live shards' answer is carried in the error — callers choose between a
+/// partial answer and none — together with the dead shard ids, so a client
+/// can report exactly which key ranges are unavailable.  Queries that do not
+/// overlap any dead shard return normally even in a degraded generation.
+class PartialResultError : public ServeError {
+ public:
+  PartialResultError(std::vector<std::uint32_t> dead_shards,
+                     std::vector<std::uint32_t> partial_ids)
+      : ServeError(describe(dead_shards, "range")),
+        dead_shards_(std::move(dead_shards)),
+        partial_ids_(std::move(partial_ids)) {}
+  PartialResultError(std::vector<std::uint32_t> dead_shards,
+                     std::vector<KnnNeighbor> partial_neighbors)
+      : ServeError(describe(dead_shards, "knn")),
+        dead_shards_(std::move(dead_shards)),
+        partial_neighbors_(std::move(partial_neighbors)) {}
+
+  /// Shards (by index) whose key range the query needed but which failed
+  /// per-shard verification; sorted ascending.
+  const std::vector<std::uint32_t>& dead_shards() const { return dead_shards_; }
+  /// Live-shard range answer (row order over the live shards); empty for kNN.
+  const std::vector<std::uint32_t>& partial_ids() const { return partial_ids_; }
+  /// Live-shard kNN answer (may be fewer than k, and is *not* certified
+  /// global — a dead shard could hold closer neighbors); empty for range.
+  const std::vector<KnnNeighbor>& partial_neighbors() const {
+    return partial_neighbors_;
+  }
+
+ private:
+  static std::string describe(const std::vector<std::uint32_t>& dead,
+                              const char* kind) {
+    std::string ids;
+    for (const std::uint32_t s : dead) {
+      if (!ids.empty()) ids += ",";
+      ids += std::to_string(s);
+    }
+    return std::string(kind) + " query overlaps " +
+           std::to_string(dead.size()) +
+           " dead shard(s) [" + ids + "]: partial result attached";
+  }
+
+  std::vector<std::uint32_t> dead_shards_;
+  std::vector<std::uint32_t> partial_ids_;
+  std::vector<KnnNeighbor> partial_neighbors_;
 };
 
 }  // namespace sfc

@@ -35,11 +35,32 @@ double LatencyHistogram::percentile_us(double fraction) const {
 }
 
 IndexServer::IndexServer(IndexColumnsView view, const ServerOptions& options)
-    : index_(view, options.shard_bits), options_(options) {
+    : generations_(IndexGeneration::wrap(view, options.shard_bits, 0)),
+      options_(options) {
   if (options_.max_batch < 1) {
     throw Error("IndexServer: max_batch must be >= 1");
   }
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+IndexServer::IndexServer(const std::string& path, const ServerOptions& options)
+    : generations_(IndexGeneration::open(path, options.shard_bits, 0,
+                                         options.allow_degraded)),
+      options_(options) {
+  if (options_.max_batch < 1) {
+    throw Error("IndexServer: max_batch must be >= 1");
+  }
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+std::uint64_t IndexServer::reload(const std::string& path) {
+  return generations_
+      .reload(path, options_.shard_bits, options_.allow_degraded)
+      ->epoch();
+}
+
+std::shared_ptr<const IndexGeneration> IndexServer::generation() const {
+  return generations_.active();
 }
 
 IndexServer::~IndexServer() { stop(); }
@@ -79,12 +100,30 @@ IndexServer::Pending& IndexServer::admit(Pending&& pending,
 }
 
 RangeQueryResult IndexServer::range_query(const Box& box) {
-  return range_query(box, options_.deadline_us);
+  return range_query_served(box, options_.deadline_us).result;
 }
 
 RangeQueryResult IndexServer::range_query(const Box& box,
                                           std::uint64_t deadline_us) {
-  std::future<RangeQueryResult> future;
+  return range_query_served(box, deadline_us).result;
+}
+
+KnnQueryResult IndexServer::knn_query(const Point& query, std::uint32_t k) {
+  return knn_query_served(query, k, options_.deadline_us).result;
+}
+
+KnnQueryResult IndexServer::knn_query(const Point& query, std::uint32_t k,
+                                      std::uint64_t deadline_us) {
+  return knn_query_served(query, k, deadline_us).result;
+}
+
+ServedRange IndexServer::range_query_served(const Box& box) {
+  return range_query_served(box, options_.deadline_us);
+}
+
+ServedRange IndexServer::range_query_served(const Box& box,
+                                            std::uint64_t deadline_us) {
+  std::future<ServedRange> future;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     Pending& slot = admit(Pending(box), deadline_us);
@@ -95,13 +134,13 @@ RangeQueryResult IndexServer::range_query(const Box& box,
   return future.get();
 }
 
-KnnQueryResult IndexServer::knn_query(const Point& query, std::uint32_t k) {
-  return knn_query(query, k, options_.deadline_us);
+ServedKnn IndexServer::knn_query_served(const Point& query, std::uint32_t k) {
+  return knn_query_served(query, k, options_.deadline_us);
 }
 
-KnnQueryResult IndexServer::knn_query(const Point& query, std::uint32_t k,
-                                      std::uint64_t deadline_us) {
-  std::future<KnnQueryResult> future;
+ServedKnn IndexServer::knn_query_served(const Point& query, std::uint32_t k,
+                                        std::uint64_t deadline_us) {
+  std::future<ServedKnn> future;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     Pending& slot = admit(Pending(query, k), deadline_us);
@@ -118,11 +157,21 @@ ServerStats IndexServer::stats() const {
 }
 
 ServerHealth IndexServer::health() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ServerHealth snapshot = health_;
-  snapshot.queue_depth = pending_.size();
-  snapshot.stopped = stopping_;
-  snapshot.batches_dispatched = stats_.batches_dispatched;
+  ServerHealth snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot = health_;
+    snapshot.queue_depth = pending_.size();
+    snapshot.stopped = stopping_;
+    snapshot.batches_dispatched = stats_.batches_dispatched;
+  }
+  const std::shared_ptr<const IndexGeneration> gen = generations_.active();
+  snapshot.epoch = gen->epoch();
+  snapshot.reloads = generations_.reloads();
+  snapshot.failed_reloads = generations_.failed_reloads();
+  snapshot.shard_count = gen->sharded().shard_count();
+  snapshot.dead_shards = gen->dead_shard_count();
+  snapshot.shard_alive = gen->shard_alive();
   return snapshot;
 }
 
@@ -153,17 +202,27 @@ void IndexServer::dispatcher_loop() {
       stats_.max_batch_rows =
           std::max<std::uint64_t>(stats_.max_batch_rows, batch.size());
     }
-    expire_batch(batch, Clock::now());
-    execute_batch(batch);
+    const auto formed = Clock::now();
+    expire_batch(batch, formed);
+    // Pin the active generation for this whole batch: a reload that lands
+    // mid-execution swaps the manager's pointer, but this batch keeps its
+    // generation mapped (shared_ptr refcount) and answers from it — the swap
+    // is only ever observed at a batch boundary.
+    const std::shared_ptr<const IndexGeneration> gen = generations_.active();
+    execute_batch(batch, *gen);
     {
-      // Per-query dispatch latency (enqueue -> answer delivered) and the
-      // executed count, recorded after the batch's futures are fulfilled.
+      // Per-query latency split at the batch boundary: queue wait (enqueue
+      // -> batch formation) and execute (formation -> answer delivered),
+      // recorded with the executed count after the futures are fulfilled.
       const auto done = Clock::now();
+      const double execute_us =
+          std::chrono::duration<double, std::micro>(done - formed).count();
       std::lock_guard<std::mutex> lock(mutex_);
       for (const Pending& p : batch) {
-        health_.dispatch_latency.record_us(
-            std::chrono::duration<double, std::micro>(done - p.enqueued)
+        health_.queue_wait_latency.record_us(
+            std::chrono::duration<double, std::micro>(formed - p.enqueued)
                 .count());
+        health_.execute_latency.record_us(execute_us);
         ++health_.executed;
       }
     }
@@ -207,13 +266,16 @@ void IndexServer::expire_batch(std::vector<Pending>& batch,
   batch.erase(batch.begin() + static_cast<std::ptrdiff_t>(kept), batch.end());
 }
 
-void IndexServer::execute_batch(std::vector<Pending>& batch) {
+void IndexServer::execute_batch(std::vector<Pending>& batch,
+                                const IndexGeneration& gen) {
   // Split the mixed batch into one range sub-batch and one kNN sub-batch per
   // k (the executor answers a whole sub-batch with one k), then execute each
-  // through the sharded executors.
+  // through the sharded executors of the pinned generation.
   MultiQueryOptions exec;
   exec.pool = options_.pool;
   exec.grain = options_.grain;
+  const ShardedIndex& index = gen.sharded();
+  const std::uint64_t epoch = gen.epoch();
 
   std::vector<std::size_t> range_slots;
   std::map<std::uint32_t, std::vector<std::size_t>> knn_slots;
@@ -230,10 +292,28 @@ void IndexServer::execute_batch(std::vector<Pending>& batch) {
     boxes.reserve(range_slots.size());
     for (const std::size_t i : range_slots) boxes.push_back(batch[i].box);
     try {
-      std::vector<RangeQueryResult> results =
-          run_range_queries(index_, boxes, exec);
-      for (std::size_t j = 0; j < range_slots.size(); ++j) {
-        batch[range_slots[j]].range_promise.set_value(std::move(results[j]));
+      if (gen.degraded()) {
+        std::vector<DegradedRangeResult> results = run_range_queries_degraded(
+            index, boxes, gen.shard_alive(), exec);
+        for (std::size_t j = 0; j < range_slots.size(); ++j) {
+          Pending& p = batch[range_slots[j]];
+          DegradedRangeResult& d = results[j];
+          if (d.dead_overlap.empty()) {
+            p.range_promise.set_value(
+                ServedRange{std::move(d.result), epoch});
+          } else {
+            p.range_promise.set_exception(
+                std::make_exception_ptr(PartialResultError(
+                    std::move(d.dead_overlap), std::move(d.result.ids))));
+          }
+        }
+      } else {
+        std::vector<RangeQueryResult> results =
+            run_range_queries(index, boxes, exec);
+        for (std::size_t j = 0; j < range_slots.size(); ++j) {
+          batch[range_slots[j]].range_promise.set_value(
+              ServedRange{std::move(results[j]), epoch});
+        }
       }
     } catch (...) {
       // A bad query (e.g. out-of-universe box) fails the whole sub-batch;
@@ -249,10 +329,28 @@ void IndexServer::execute_batch(std::vector<Pending>& batch) {
     points.reserve(slots.size());
     for (const std::size_t i : slots) points.push_back(batch[i].point);
     try {
-      std::vector<KnnQueryResult> results =
-          run_knn_queries(index_, points, k, exec);
-      for (std::size_t j = 0; j < slots.size(); ++j) {
-        batch[slots[j]].knn_promise.set_value(std::move(results[j]));
+      if (gen.degraded()) {
+        std::vector<DegradedKnnResult> results = run_knn_queries_degraded(
+            index, points, k, gen.shard_alive(), exec);
+        for (std::size_t j = 0; j < slots.size(); ++j) {
+          Pending& p = batch[slots[j]];
+          DegradedKnnResult& d = results[j];
+          if (d.dead_overlap.empty()) {
+            p.knn_promise.set_value(ServedKnn{std::move(d.result), epoch});
+          } else {
+            p.knn_promise.set_exception(
+                std::make_exception_ptr(PartialResultError(
+                    std::move(d.dead_overlap),
+                    std::move(d.result.neighbors))));
+          }
+        }
+      } else {
+        std::vector<KnnQueryResult> results =
+            run_knn_queries(index, points, k, exec);
+        for (std::size_t j = 0; j < slots.size(); ++j) {
+          batch[slots[j]].knn_promise.set_value(
+              ServedKnn{std::move(results[j]), epoch});
+        }
       }
     } catch (...) {
       for (const std::size_t i : slots) {
@@ -311,9 +409,15 @@ ReplayReport replay_trace(IndexServer& server, const QueryTrace& trace,
           const TraceQuery& query = trace.queries[q];
           const auto begin = clock::now();
           // Retry-with-exponential-backoff on shed load; anything else is a
-          // real error and aborts the replay.
+          // real error and aborts the replay.  Every query resolves to
+          // exactly one outcome, assigned exactly once at loop exit — a
+          // query that is shed, retried, and finally times out tallies as
+          // one timed_out, never as one of each, so the identity
+          // accepted + rejected + timed_out == queries holds by
+          // construction.
+          enum class Outcome : std::uint8_t { kAccepted, kRejected, kTimedOut };
+          Outcome outcome = Outcome::kAccepted;
           for (std::uint32_t attempt = 0;; ++attempt) {
-            bool overloaded = false;
             try {
               if (query.kind == TraceQuery::Kind::kRange) {
                 const RangeQueryResult result =
@@ -329,31 +433,29 @@ ReplayReport replay_trace(IndexServer& server, const QueryTrace& trace,
                         : server.knn_query(query.point, query.k);
                 tally.neighbors_returned += result.neighbors.size();
               }
-              ++tally.accepted;
+              outcome = Outcome::kAccepted;
               const auto end = clock::now();
               tally.latencies_us.push_back(
                   std::chrono::duration<double, std::micro>(end - begin)
                       .count());
               break;
             } catch (const ServerOverloadError&) {
-              overloaded = true;
+              outcome = Outcome::kRejected;
             } catch (const ServerTimeoutError&) {
-              overloaded = false;
+              outcome = Outcome::kTimedOut;
             }
-            if (attempt >= options.max_retries) {
-              if (overloaded) {
-                ++tally.rejected;
-              } else {
-                ++tally.timed_out;
-              }
-              break;
-            }
+            if (attempt >= options.max_retries) break;
             ++tally.retries;
             const std::uint64_t backoff_us = std::min<std::uint64_t>(
                 options.backoff_max_us,
                 static_cast<std::uint64_t>(options.backoff_base_us)
                     << std::min<std::uint32_t>(attempt, 20));
             std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+          }
+          switch (outcome) {
+            case Outcome::kAccepted: ++tally.accepted; break;
+            case Outcome::kRejected: ++tally.rejected; break;
+            case Outcome::kTimedOut: ++tally.timed_out; break;
           }
         }
       } catch (...) {
@@ -387,6 +489,9 @@ ReplayReport replay_trace(IndexServer& server, const QueryTrace& trace,
   report.p50_us = percentile_us(latencies, 0.50);
   report.p99_us = percentile_us(latencies, 0.99);
   report.max_us = latencies.empty() ? 0.0 : latencies.back();
+  const ServerHealth health = server.health();
+  report.queue_wait_p99_us = health.queue_wait_latency.percentile_us(0.99);
+  report.execute_p99_us = health.execute_latency.percentile_us(0.99);
   return report;
 }
 

@@ -17,11 +17,20 @@
 // formation instead of occupying a slot), submissions after stop() fail with
 // ServerStoppedError, and stop() drains: every query admitted before stop()
 // is answered before stop() returns.  ServerHealth exposes the counters and
-// the dispatch-latency histogram an operator would watch.
+// the queue-wait / execute latency histograms an operator would watch.
 //
-// Answers are the engines' answers — batching and sharding change latency and
-// throughput, never results (the serve tests assert equality against direct
-// engine calls under concurrent clients).
+// The index behind the server is generation-managed (sfc/serve/generation):
+// each batch pins the active IndexGeneration for the duration of its
+// execution, and reload(path) validates a replacement file fully before
+// swapping it in at a batch boundary — queries in flight during a reload
+// finish against the generation they started on, the old mapping unmaps when
+// its last batch completes, and a failed reload throws ReloadError while the
+// old generation keeps serving.  A degraded generation (allow_degraded)
+// answers queries that overlap dead shards with typed PartialResultErrors.
+//
+// Answers are the engines' answers — batching, sharding, and generation swaps
+// change latency and throughput, never results (the serve tests assert
+// equality against direct engine calls under concurrent clients and reloads).
 #pragma once
 
 #include <array>
@@ -29,11 +38,14 @@
 #include <condition_variable>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "sfc/index/executor.h"
+#include "sfc/serve/generation.h"
 #include "sfc/serve/serve_error.h"
 #include "sfc/serve/sharded_index.h"
 #include "sfc/serve/trace.h"
@@ -62,6 +74,10 @@ struct ServerOptions {
   /// early at the earliest queued deadline, but the query has already aged
   /// out by then; give deadlines headroom above the window.
   std::uint64_t deadline_us = 0;
+  /// Open files degraded when per-shard verification can localize corruption
+  /// (dead shards + PartialResultError) instead of failing the open/reload.
+  /// Applies to the path constructor and every reload().
+  bool allow_degraded = false;
 };
 
 /// Log-scale latency histogram: bucket i counts samples whose microsecond
@@ -106,16 +122,49 @@ struct ServerHealth {
   std::uint64_t timed_out = 0;         ///< dropped at batch formation: deadline
   std::uint64_t executed = 0;          ///< answered (value or engine error)
   std::uint64_t batches_dispatched = 0;
-  /// Enqueue-to-fulfillment latency of every executed query.
-  LatencyHistogram dispatch_latency;
+  /// Dispatch latency split at the batch boundary, so an overload's home is
+  /// visible: queue_wait (enqueue -> batch formation) grows when batches form
+  /// too slowly or the queue runs deep; execute (batch formation -> answer
+  /// delivered) grows when the engines are the bottleneck.  Both record every
+  /// executed query; end-to-end latency is their sum per query.
+  LatencyHistogram queue_wait_latency;
+  LatencyHistogram execute_latency;
+  /// Generation surface: the active epoch, lifetime reload counters, and the
+  /// active generation's per-shard liveness (all-1 unless degraded).
+  std::uint64_t epoch = 0;
+  std::uint64_t reloads = 0;
+  std::uint64_t failed_reloads = 0;
+  std::uint64_t shard_count = 0;
+  std::uint64_t dead_shards = 0;
+  std::vector<std::uint8_t> shard_alive;
 };
 
-/// A read-only query server over any index storage.  The storage behind the
-/// view must outlive the server.  Thread-safe: any number of client threads
-/// may call range_query / knn_query concurrently.
+/// An answer stamped with the generation that produced it — what the chaos
+/// checker needs to verify bit-identity against the right dataset.
+struct ServedRange {
+  RangeQueryResult result;
+  std::uint64_t epoch = 0;
+};
+
+struct ServedKnn {
+  KnnQueryResult result;
+  std::uint64_t epoch = 0;
+};
+
+/// A read-only query server over generation-managed index storage.  Built
+/// either over caller-owned storage (the view constructor; the storage must
+/// outlive the server) or over an index file (the path constructor; the file
+/// is mapped, validated, and owned by the active generation, and reload()
+/// can replace it at runtime).  Thread-safe: any number of client threads may
+/// call range_query / knn_query concurrently, including across reloads.
 class IndexServer {
  public:
   explicit IndexServer(IndexColumnsView view, const ServerOptions& options = {});
+  /// Opens `path` as generation 0 (throws StoreError if it does not
+  /// validate; with options.allow_degraded, localizable corruption opens
+  /// degraded instead).
+  explicit IndexServer(const std::string& path,
+                       const ServerOptions& options = {});
   ~IndexServer();
 
   IndexServer(const IndexServer&) = delete;
@@ -125,13 +174,33 @@ class IndexServer {
   /// the engine's answer.  Engine errors (e.g. out-of-universe arguments)
   /// rethrow on the calling thread.  Admission failures are typed: queue full
   /// = ServerOverloadError, deadline expired in queue = ServerTimeoutError,
-  /// submitted after stop() = ServerStoppedError.  The two-argument forms
-  /// override the server's default deadline for this query (0 = no deadline).
+  /// submitted after stop() = ServerStoppedError; in a degraded generation a
+  /// query overlapping a dead shard throws PartialResultError (carrying the
+  /// live-shard partial answer).  The two-argument forms override the
+  /// server's default deadline for this query (0 = no deadline).
   RangeQueryResult range_query(const Box& box);
   RangeQueryResult range_query(const Box& box, std::uint64_t deadline_us);
   KnnQueryResult knn_query(const Point& query, std::uint32_t k);
   KnnQueryResult knn_query(const Point& query, std::uint32_t k,
                            std::uint64_t deadline_us);
+
+  /// Same queries, with the answer stamped with the epoch of the generation
+  /// that served it — the primitive a correctness checker needs to compare
+  /// an answer against the dataset it was actually served from when reloads
+  /// are racing the queries.
+  ServedRange range_query_served(const Box& box);
+  ServedRange range_query_served(const Box& box, std::uint64_t deadline_us);
+  ServedKnn knn_query_served(const Point& query, std::uint32_t k);
+  ServedKnn knn_query_served(const Point& query, std::uint32_t k,
+                             std::uint64_t deadline_us);
+
+  /// Validates `path` fully, then atomically swaps it in as the new active
+  /// generation at the next batch boundary; returns the new epoch.  Batches
+  /// in flight finish on the generation they pinned; the old mapping unmaps
+  /// when its last pin drops.  Throws ReloadError on any validation failure
+  /// — the previous generation is untouched and keeps serving.  Safe to call
+  /// concurrently with queries and other reloads.
+  std::uint64_t reload(const std::string& path);
 
   /// Stops admission and drains: every already-admitted query is answered
   /// (or timed out by its own deadline) before this returns.  Called by the
@@ -139,11 +208,14 @@ class IndexServer {
   /// Idempotent and safe to race with concurrent clients.
   void stop();
 
-  const ShardedIndex& index() const { return index_; }
+  /// The active generation (a pin: holding the returned pointer keeps its
+  /// storage mapped even across reloads).
+  std::shared_ptr<const IndexGeneration> generation() const;
   const ServerOptions& options() const { return options_; }
   /// Snapshot of the admission counters (taken under the queue lock).
   ServerStats stats() const;
-  /// Snapshot of the robustness counters + dispatch-latency histogram.
+  /// Snapshot of the robustness counters, latency histograms, and the
+  /// active generation's status.
   ServerHealth health() const;
 
  private:
@@ -157,8 +229,8 @@ class IndexServer {
     Clock::time_point enqueued;
     Clock::time_point deadline;  ///< meaningful iff deadline_us > 0
     std::uint64_t deadline_us = 0;
-    std::promise<RangeQueryResult> range_promise;
-    std::promise<KnnQueryResult> knn_promise;
+    std::promise<ServedRange> range_promise;
+    std::promise<ServedKnn> knn_promise;
 
     explicit Pending(const Box& b)
         : kind(Kind::kRange), box(b) {}
@@ -173,9 +245,11 @@ class IndexServer {
   void dispatcher_loop();
   /// Fails batch entries whose deadline has passed; keeps the live ones.
   void expire_batch(std::vector<Pending>& batch, Clock::time_point now);
-  void execute_batch(std::vector<Pending>& batch);
+  /// Executes `batch` against `gen` (the generation the dispatcher pinned at
+  /// batch formation) and fulfills every promise.
+  void execute_batch(std::vector<Pending>& batch, const IndexGeneration& gen);
 
-  ShardedIndex index_;
+  GenerationManager generations_;
   ServerOptions options_;
 
   mutable std::mutex mutex_;
@@ -234,6 +308,11 @@ struct ReplayReport {
   double p50_us = 0.0;
   double p99_us = 0.0;
   double max_us = 0.0;
+  /// Server-side split of the dispatch latency (snapshot of the server's
+  /// queue-wait and execute histograms at the end of the replay): which side
+  /// of the batch boundary the latency lives on.
+  double queue_wait_p99_us = 0.0;
+  double execute_p99_us = 0.0;
 };
 
 ReplayReport replay_trace(IndexServer& server, const QueryTrace& trace,

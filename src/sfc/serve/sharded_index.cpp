@@ -18,6 +18,18 @@ ThreadPool& pool_of(const MultiQueryOptions& options) {
   return options.pool != nullptr ? *options.pool : ThreadPool::shared();
 }
 
+/// Indices of shards marked dead in `alive` (missing entries count as alive,
+/// so an empty span means a fully-live index).
+std::vector<std::uint32_t> dead_shards_of(const ShardedIndex& index,
+                                          std::span<const std::uint8_t> alive) {
+  std::vector<std::uint32_t> dead;
+  const std::size_t n = std::min(index.shard_count(), alive.size());
+  for (std::size_t s = 0; s < n; ++s) {
+    if (alive[s] == 0) dead.push_back(static_cast<std::uint32_t>(s));
+  }
+  return dead;
+}
+
 }  // namespace
 
 ShardedIndex::ShardedIndex(IndexColumnsView base, int shard_bits)
@@ -170,6 +182,154 @@ std::vector<KnnQueryResult> run_knn_queries(const ShardedIndex& index,
       all_certified &= part.stats.certified;
     }
     merged.stats.certified = all_certified;
+    std::sort(pool.begin(), pool.end(),
+              [](const KnnNeighbor& a, const KnnNeighbor& b) {
+                if (a.sq_dist != b.sq_dist) return a.sq_dist < b.sq_dist;
+                if (a.key != b.key) return a.key < b.key;
+                return a.id < b.id;
+              });
+    if (pool.size() > k) pool.resize(k);
+    merged.neighbors = pool;
+  }
+  return results;
+}
+
+std::vector<DegradedRangeResult> run_range_queries_degraded(
+    const ShardedIndex& index, std::span<const Box> boxes,
+    std::span<const std::uint8_t> alive, const MultiQueryOptions& options) {
+  const std::vector<std::uint32_t> dead = dead_shards_of(index, alive);
+  const std::uint64_t query_count = boxes.size();
+  std::vector<DegradedRangeResult> results(query_count);
+  if (dead.empty()) {
+    std::vector<RangeQueryResult> plain =
+        run_range_queries(index, boxes, options);
+    for (std::uint64_t q = 0; q < query_count; ++q) {
+      results[q].result = std::move(plain[q]);
+    }
+    return results;
+  }
+
+  // Exact overlap: a query needs a dead shard iff its key cover intersects
+  // that shard's key range.  The cover is sorted and disjoint, so each dead
+  // shard costs one binary search per query.  Cover computation works for
+  // every curve family (subtree descent or the enumeration fallback).
+  const RangeCoverEngine cover_engine(index.base().curve());
+  CoverWorkspace ws;
+  for (std::uint64_t q = 0; q < query_count; ++q) {
+    const std::span<const KeyInterval> cover =
+        cover_engine.cover(boxes[q], ws);
+    results[q].result.stats.runs_in_cover = cover.size();
+    for (const std::uint32_t d : dead) {
+      const KeyInterval range = index.shard_key_range(d);
+      const auto it = std::lower_bound(
+          cover.begin(), cover.end(), range.lo,
+          [](const KeyInterval& interval, index_t lo) {
+            return interval.hi < lo;
+          });
+      if (it != cover.end() && it->lo <= range.hi) {
+        results[q].dead_overlap.push_back(d);
+      }
+    }
+  }
+
+  // Fan out over live shards only; concatenation in (live) shard order is
+  // still global row order over the surviving rows.
+  std::vector<std::uint32_t> live;
+  for (std::size_t s = 0; s < index.shard_count(); ++s) {
+    if (s >= alive.size() || alive[s] != 0) {
+      live.push_back(static_cast<std::uint32_t>(s));
+    }
+  }
+  std::vector<RangeQueryResult> cells(live.size() * query_count);
+  parallel_for_chunks(
+      pool_of(options), cells.size(), normalized_grain(options),
+      [&](const ChunkRange& range) {
+        std::size_t engine_shard = index.shard_count();
+        std::optional<RangeScanEngine> engine;
+        for (std::uint64_t c = range.begin; c < range.end; ++c) {
+          const std::size_t s = live[c / query_count];
+          const std::uint64_t q = c % query_count;
+          if (s != engine_shard) {
+            engine.emplace(index.shard(s));
+            engine_shard = s;
+          }
+          engine->scan(boxes[q], &cells[c].ids, &cells[c].stats);
+        }
+      });
+  for (std::uint64_t q = 0; q < query_count; ++q) {
+    RangeQueryResult& merged = results[q].result;
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      total += cells[i * query_count + q].ids.size();
+    }
+    merged.ids.reserve(total);
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      const RangeQueryResult& part = cells[i * query_count + q];
+      merged.ids.insert(merged.ids.end(), part.ids.begin(), part.ids.end());
+      merged.stats.rows_returned += part.stats.rows_returned;
+      merged.stats.rows_scanned += part.stats.rows_scanned;
+      merged.stats.runs_touched += part.stats.runs_touched;
+      merged.stats.nodes_visited += part.stats.nodes_visited;
+      merged.stats.used_subtree |= part.stats.used_subtree;
+    }
+  }
+  return results;
+}
+
+std::vector<DegradedKnnResult> run_knn_queries_degraded(
+    const ShardedIndex& index, std::span<const Point> queries, std::uint32_t k,
+    std::span<const std::uint8_t> alive, const MultiQueryOptions& options) {
+  const std::vector<std::uint32_t> dead = dead_shards_of(index, alive);
+  const std::uint64_t query_count = queries.size();
+  std::vector<DegradedKnnResult> results(query_count);
+  if (dead.empty()) {
+    std::vector<KnnQueryResult> plain =
+        run_knn_queries(index, queries, k, options);
+    for (std::uint64_t q = 0; q < query_count; ++q) {
+      results[q].result = std::move(plain[q]);
+    }
+    return results;
+  }
+
+  std::vector<std::uint32_t> live;
+  for (std::size_t s = 0; s < index.shard_count(); ++s) {
+    if (s >= alive.size() || alive[s] != 0) {
+      live.push_back(static_cast<std::uint32_t>(s));
+    }
+  }
+  std::vector<KnnQueryResult> cells(live.size() * query_count);
+  parallel_for_chunks(
+      pool_of(options), cells.size(), normalized_grain(options),
+      [&](const ChunkRange& range) {
+        std::size_t engine_shard = index.shard_count();
+        std::optional<KnnEngine> engine;
+        for (std::uint64_t c = range.begin; c < range.end; ++c) {
+          const std::size_t s = live[c / query_count];
+          const std::uint64_t q = c % query_count;
+          if (s != engine_shard) {
+            engine.emplace(index.shard(s));
+            engine_shard = s;
+          }
+          cells[c].neighbors = engine->query(queries[q], k, &cells[c].stats);
+        }
+      });
+  std::vector<KnnNeighbor> pool;
+  for (std::uint64_t q = 0; q < query_count; ++q) {
+    KnnQueryResult& merged = results[q].result;
+    // Conservative: any dead shard could hold a closer neighbor for any
+    // query point, so every query reports every dead shard and no partial
+    // answer is certified.
+    results[q].dead_overlap = dead;
+    pool.clear();
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      const KnnQueryResult& part = cells[i * query_count + q];
+      pool.insert(pool.end(), part.neighbors.begin(), part.neighbors.end());
+      merged.stats.nodes_expanded += part.stats.nodes_expanded;
+      merged.stats.frontier_pushes += part.stats.frontier_pushes;
+      merged.stats.rows_scanned += part.stats.rows_scanned;
+      merged.stats.used_subtree |= part.stats.used_subtree;
+    }
+    merged.stats.certified = false;
     std::sort(pool.begin(), pool.end(),
               [](const KnnNeighbor& a, const KnnNeighbor& b) {
                 if (a.sq_dist != b.sq_dist) return a.sq_dist < b.sq_dist;

@@ -78,4 +78,38 @@ std::vector<KnnQueryResult> run_knn_queries(
     const ShardedIndex& index, std::span<const Point> queries, std::uint32_t k,
     const MultiQueryOptions& options = {});
 
+/// Degraded-mode execution over a partially-dead sharded index.  `alive[s]`
+/// (nonzero = alive) marks the shards that passed per-shard verification;
+/// dead shards are skipped entirely in the fan-out, and each result carries
+/// the sorted ids of the dead shards the query actually needed — empty
+/// dead_overlap means the answer is the full, exact answer (the dead data
+/// provably could not contribute), so queries away from the corruption keep
+/// their full guarantees.
+///
+/// Range queries decide overlap exactly: the box's key cover is intersected
+/// with the dead shards' key ranges.  kNN is conservative: any dead shard is
+/// reported for every query (a dead shard could always hold a closer
+/// neighbor), and partial kNN answers are never certified.
+///
+/// With every shard alive both functions delegate to the plain executors and
+/// are bit-identical to them.
+struct DegradedRangeResult {
+  RangeQueryResult result;  ///< merged over live shards only (row order)
+  /// Dead shards whose key range the box's cover touches; sorted ascending.
+  std::vector<std::uint32_t> dead_overlap;
+};
+
+struct DegradedKnnResult {
+  KnnQueryResult result;  ///< best k over live shards; not certified global
+  std::vector<std::uint32_t> dead_overlap;
+};
+
+std::vector<DegradedRangeResult> run_range_queries_degraded(
+    const ShardedIndex& index, std::span<const Box> boxes,
+    std::span<const std::uint8_t> alive, const MultiQueryOptions& options = {});
+
+std::vector<DegradedKnnResult> run_knn_queries_degraded(
+    const ShardedIndex& index, std::span<const Point> queries, std::uint32_t k,
+    std::span<const std::uint8_t> alive, const MultiQueryOptions& options = {});
+
 }  // namespace sfc

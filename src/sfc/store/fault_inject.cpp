@@ -29,6 +29,7 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kBitFlip: return "bit-flip";
     case FaultKind::kByteStomp: return "byte-stomp";
     case FaultKind::kTruncate: return "truncate";
+    case FaultKind::kTruncateWhileMapped: return "truncate-while-mapped";
     case FaultKind::kHeaderField: return "header-field";
     default: return "?";
   }
@@ -56,6 +57,9 @@ std::string FaultMutation::describe() const {
     case FaultKind::kTruncate:
       return std::string(fault_kind_name(kind)) + " to " +
              std::to_string(truncate_to) + " bytes";
+    case FaultKind::kTruncateWhileMapped:
+      return std::string(fault_kind_name(kind)) + " at " +
+             std::to_string(truncate_to) + " bytes (tail zeroed)";
     default:
       return "?";
   }
@@ -64,16 +68,19 @@ std::string FaultMutation::describe() const {
 FaultMutation draw_fault_mutation(Xoshiro256& rng, std::uint64_t file_bytes) {
   FaultMutation m;
   const std::uint64_t roll = rng.next_below(100);
-  if (roll < 50) {
+  if (roll < 40) {
     m.kind = FaultKind::kBitFlip;
     m.offset = rng.next_below(file_bytes);
     m.bit = static_cast<std::uint8_t>(rng.next_below(8));
-  } else if (roll < 65) {
+  } else if (roll < 55) {
     m.kind = FaultKind::kByteStomp;
     m.offset = rng.next_below(file_bytes);
     m.value = static_cast<std::uint8_t>(rng.next_below(256));
-  } else if (roll < 85) {
+  } else if (roll < 70) {
     m.kind = FaultKind::kTruncate;
+    m.truncate_to = rng.next_below(file_bytes);
+  } else if (roll < 85) {
+    m.kind = FaultKind::kTruncateWhileMapped;
     m.truncate_to = rng.next_below(file_bytes);
   } else {
     m.kind = FaultKind::kHeaderField;
@@ -145,6 +152,16 @@ void FaultHarness::apply(const FaultMutation& mutation) {
         throw StoreIoError("ftruncate", scratch_path_, errno);
       }
       break;
+    case FaultKind::kTruncateWhileMapped:
+      // Truncate, then regrow to full size.  The regrown tail reads as
+      // zeros — exactly the bytes a live mapping observes when the file
+      // under it is truncated and re-extended, but reachable through the
+      // ordinary open path (no SIGBUS needed to deliver the corruption).
+      if (::ftruncate(fd_, static_cast<::off_t>(mutation.truncate_to)) != 0 ||
+          ::ftruncate(fd_, static_cast<::off_t>(pristine_->size())) != 0) {
+        throw StoreIoError("ftruncate", scratch_path_, errno);
+      }
+      break;
     case FaultKind::kHeaderField: {
       write_at(mutation.offset, &mutation.value, 1);
       // Recompute the header checksum over the mutated header so the header
@@ -170,7 +187,9 @@ void FaultHarness::restore(const FaultMutation& mutation) {
       write_at(mutation.offset, pristine_->data() + mutation.offset, 1);
       break;
     case FaultKind::kTruncate:
-      // ftruncate back up (zero-fills), then rewrite the pristine tail.
+    case FaultKind::kTruncateWhileMapped:
+      // ftruncate back up (zero-fills; no-op if already full size), then
+      // rewrite the pristine tail.
       if (::ftruncate(fd_, static_cast<::off_t>(pristine_->size())) != 0) {
         throw StoreIoError("ftruncate", scratch_path_, errno);
       }

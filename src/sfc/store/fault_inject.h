@@ -39,6 +39,10 @@ enum class FaultKind : std::uint8_t {
   kBitFlip = 0,     ///< flip one bit anywhere in the file
   kByteStomp,       ///< overwrite one byte with a random value
   kTruncate,        ///< cut the file to a shorter length
+  kTruncateWhileMapped,  ///< truncate, then regrow to full size (zero tail):
+                         ///< the byte image a live mapping observes when the
+                         ///< file under it is truncated and re-extended —
+                         ///< exercises the SIGBUS-hardened open path
   kHeaderField,     ///< stomp a header byte, then recompute the header
                     ///< checksum so validation reaches the semantic checks
   kFaultKinds       ///< count sentinel
@@ -58,8 +62,9 @@ struct FaultMutation {
 };
 
 /// Draws one mutation over a `file_bytes`-long index file.  Kind weights are
-/// roughly 50% bit flips, 15% byte stomps, 20% truncations, 15% header-field
-/// stomps; offsets are uniform over the applicable region.
+/// roughly 40% bit flips, 15% byte stomps, 15% truncations, 15%
+/// truncate-while-mapped, 15% header-field stomps; offsets are uniform over
+/// the applicable region.
 FaultMutation draw_fault_mutation(Xoshiro256& rng, std::uint64_t file_bytes);
 
 enum class FaultOutcome : std::uint8_t {

@@ -1,6 +1,7 @@
 #include "sfc/store/index_store.h"
 
 #include <fcntl.h>
+#include <sys/file.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -83,6 +84,29 @@ void column_sizes(std::uint64_t rows, std::uint32_t block_rows,
 
 }  // namespace
 
+namespace store_testing {
+std::atomic<int> write_kill_countdown{-1};
+}  // namespace store_testing
+
+namespace {
+
+// Crash injection point: called immediately before every write-path syscall.
+// A countdown of k lets k syscalls through and terminates the process at the
+// (k+1)-th, so a seeded loop over k covers a crash at every syscall boundary
+// of the write protocol deterministically.
+void maybe_kill() {
+  int v = store_testing::write_kill_countdown.load(std::memory_order_relaxed);
+  while (v >= 0) {
+    if (v == 0) ::_exit(store_testing::kKillExitCode);
+    if (store_testing::write_kill_countdown.compare_exchange_weak(
+            v, v - 1, std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
 std::uint64_t fnv1a64(const void* data, std::size_t bytes,
                       std::uint64_t seed) {
   const auto* p = static_cast<const unsigned char*>(data);
@@ -96,7 +120,7 @@ std::uint64_t fnv1a64(const void* data, std::size_t bytes,
 
 StoreIoError::StoreIoError(const std::string& sys_call,
                            const std::string& path, int errno_value)
-    : StoreError("index write: " + sys_call + "('" + path +
+    : StoreError("index io: " + sys_call + "('" + path +
                  "') failed: " + std::strerror(errno_value)),
       sys_call_(sys_call),
       errno_value_(errno_value) {}
@@ -154,6 +178,7 @@ void write_index_file(const std::string& path, const PointIndex& index,
   // leaves at worst a stale `.tmp` that MappedIndex::open never looks at
   // (and that is itself rejected if opened torn).
   const std::string tmp = path + ".tmp";
+  maybe_kill();
   const int fd =
       ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd < 0) throw StoreIoError("open", tmp, errno);
@@ -167,6 +192,7 @@ void write_index_file(const std::string& path, const PointIndex& index,
   const auto write_all = [&](const void* data, std::uint64_t bytes) {
     const auto* at = static_cast<const char*>(data);
     while (bytes > 0) {
+      maybe_kill();
       const ::ssize_t wrote = ::write(fd, at, bytes);
       if (wrote < 0) {
         if (errno == EINTR) continue;
@@ -195,12 +221,15 @@ void write_index_file(const std::string& path, const PointIndex& index,
     pad_to(header.columns[c].offset);
     emit(payloads[c], sizes[c]);
   }
+  maybe_kill();
   if (::fsync(fd) != 0) fail("fsync");
+  maybe_kill();
   if (::close(fd) != 0) {
     const int err = errno;
     ::unlink(tmp.c_str());
     throw StoreIoError("close", tmp, err);
   }
+  maybe_kill();
   if (::rename(tmp.c_str(), path.c_str()) != 0) {
     const int err = errno;
     ::unlink(tmp.c_str());
@@ -211,8 +240,10 @@ void write_index_file(const std::string& path, const PointIndex& index,
   // a real error.
   const std::size_t slash = path.find_last_of('/');
   const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  maybe_kill();
   const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
   if (dir_fd < 0) throw StoreIoError("open", dir, errno);
+  maybe_kill();
   if (::fsync(dir_fd) != 0 && errno != EINVAL) {
     const int err = errno;
     ::close(dir_fd);
@@ -223,36 +254,68 @@ void write_index_file(const std::string& path, const PointIndex& index,
 
 MappedIndex MappedIndex::open(const std::string& path,
                               const MappedIndexOptions& options) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) {
-    throw StoreError("index open: could not open '" + path +
-                     "': " + std::strerror(errno));
+  // `mapped` owns fd + mapping from the moment they exist, so every throw
+  // below (validation failures included) releases them through the destructor.
+  MappedIndex mapped;
+  mapped.path_ = path;
+  mapped.fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (mapped.fd_ < 0) throw StoreIoError("open", path, errno);
+  if (options.lock && ::flock(mapped.fd_, LOCK_SH | LOCK_NB) != 0) {
+    // EWOULDBLOCK = somebody holds LOCK_EX (a would-be in-place mutator):
+    // refuse to map rather than race it.  The lock rides the fd until close.
+    throw StoreIoError("flock", path, errno);
   }
   struct stat st{};
-  if (::fstat(fd, &st) != 0) {
-    const int err = errno;
-    ::close(fd);
-    throw StoreError("index open: could not stat '" + path +
-                     "': " + std::strerror(err));
-  }
+  if (::fstat(mapped.fd_, &st) != 0) throw StoreIoError("fstat", path, errno);
   const std::uint64_t file_bytes = static_cast<std::uint64_t>(st.st_size);
   if (file_bytes < sizeof(Header)) {
-    ::close(fd);
     throw StoreError("index open: '" + path + "' is " +
                      std::to_string(file_bytes) +
                      " bytes — shorter than the " +
                      std::to_string(sizeof(Header)) + "-byte header");
   }
-  void* map = ::mmap(nullptr, file_bytes, PROT_READ, MAP_SHARED, fd, 0);
-  ::close(fd);  // the mapping keeps the file alive
-  if (map == MAP_FAILED) {
-    throw StoreError("index open: mmap of '" + path +
-                     "' failed: " + std::strerror(errno));
-  }
-
-  MappedIndex mapped;
+  void* map =
+      ::mmap(nullptr, file_bytes, PROT_READ, MAP_SHARED, mapped.fd_, 0);
+  if (map == MAP_FAILED) throw StoreIoError("mmap", path, errno);
   mapped.map_ = map;
   mapped.map_bytes_ = file_bytes;
+
+  // SIGBUS hardening: validation below reads every mapped byte, and touching
+  // a page past a concurrently-shrunk file's end is a SIGBUS crash, not an
+  // error return.  Our own writers never shrink a live path (rename-based
+  // replace keeps the old inode intact) and the flock above holds off
+  // cooperating in-place mutators, so the only remaining hazard is a file
+  // that was already short or is being resized by a non-cooperating writer —
+  // catch it with syscalls that *do* return errors: an mincore page-table
+  // walk over the whole range, a pread of the final byte (EOF = the inode
+  // lost that byte), and a size re-check on the same fd.
+  {
+    const long page_size = ::sysconf(_SC_PAGESIZE);
+    const std::size_t pages =
+        (file_bytes + static_cast<std::size_t>(page_size) - 1) /
+        static_cast<std::size_t>(page_size);
+    std::vector<unsigned char> resident(pages);
+    if (::mincore(map, file_bytes, resident.data()) != 0) {
+      throw StoreIoError("mincore", path, errno);
+    }
+    char last = 0;
+    const ::ssize_t got = ::pread(mapped.fd_, &last, 1,
+                                  static_cast<::off_t>(file_bytes - 1));
+    if (got < 0) throw StoreIoError("pread", path, errno);
+    if (got != 1) throw StoreIoError("pread", path, EIO);
+    struct stat again{};
+    if (::fstat(mapped.fd_, &again) != 0) {
+      throw StoreIoError("fstat", path, errno);
+    }
+    if (static_cast<std::uint64_t>(again.st_size) != file_bytes) {
+      throw StoreError("index open: '" + path +
+                       "' was resized while being mapped (" +
+                       std::to_string(file_bytes) + " -> " +
+                       std::to_string(again.st_size) +
+                       " bytes) — concurrent in-place writer?");
+    }
+  }
+
   const auto fail = [&](const std::string& what) -> void {
     throw StoreError("index open: '" + path + "': " + what);
   };
@@ -307,6 +370,12 @@ MappedIndex MappedIndex::open(const std::string& path,
            std::to_string(column.bytes) + ") exceeds the " +
            std::to_string(file_bytes) + "-byte file — truncated?");
     }
+  }
+
+  for (std::size_t c = 0; c < kColumns; ++c) {
+    mapped.column_offset_[c] = header.columns[c].offset;
+    mapped.column_bytes_[c] = header.columns[c].bytes;
+    mapped.column_checksum_[c] = header.columns[c].checksum;
   }
 
   mapped.descriptor_.family = header.curve_family;
@@ -404,18 +473,46 @@ MappedIndex MappedIndex::open(const std::string& path,
   return mapped;
 }
 
+std::uint32_t MappedIndex::verify_column_checksums() const {
+  const auto* base = static_cast<const unsigned char*>(map_);
+  std::uint32_t mask = 0;
+  for (std::size_t c = 0; c < kColumns; ++c) {
+    if (fnv1a64(base + column_offset_[c], column_bytes_[c]) !=
+        column_checksum_[c]) {
+      mask |= 1u << c;
+    }
+  }
+  return mask;
+}
+
 MappedIndex::MappedIndex(MappedIndex&& other) noexcept
     : map_(std::exchange(other.map_, nullptr)),
       map_bytes_(std::exchange(other.map_bytes_, 0)),
+      fd_(std::exchange(other.fd_, -1)),
+      path_(std::move(other.path_)),
       curve_(std::move(other.curve_)),
       descriptor_(std::move(other.descriptor_)),
-      view_(other.view_) {}
+      view_(other.view_) {
+  for (std::size_t c = 0; c < kColumns; ++c) {
+    column_offset_[c] = other.column_offset_[c];
+    column_bytes_[c] = other.column_bytes_[c];
+    column_checksum_[c] = other.column_checksum_[c];
+  }
+}
 
 MappedIndex& MappedIndex::operator=(MappedIndex&& other) noexcept {
   if (this != &other) {
     if (map_ != nullptr) ::munmap(map_, map_bytes_);
+    if (fd_ >= 0) ::close(fd_);
     map_ = std::exchange(other.map_, nullptr);
     map_bytes_ = std::exchange(other.map_bytes_, 0);
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    for (std::size_t c = 0; c < kColumns; ++c) {
+      column_offset_[c] = other.column_offset_[c];
+      column_bytes_[c] = other.column_bytes_[c];
+      column_checksum_[c] = other.column_checksum_[c];
+    }
     curve_ = std::move(other.curve_);
     descriptor_ = std::move(other.descriptor_);
     view_ = other.view_;
@@ -425,6 +522,7 @@ MappedIndex& MappedIndex::operator=(MappedIndex&& other) noexcept {
 
 MappedIndex::~MappedIndex() {
   if (map_ != nullptr) ::munmap(map_, map_bytes_);
+  if (fd_ >= 0) ::close(fd_);  // releases the advisory lock
 }
 
 }  // namespace sfc

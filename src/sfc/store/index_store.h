@@ -19,6 +19,7 @@
 // files whose header disagrees with the running build's layout constants.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -39,9 +40,11 @@ class StoreError : public Error {
   explicit StoreError(const std::string& what) : Error(what) {}
 };
 
-/// A StoreError raised by a failing syscall on the write path (open, write,
-/// fsync, rename, ...), carrying the syscall name and errno so callers can
-/// distinguish a full disk from a missing directory programmatically.
+/// A StoreError raised by a failing syscall on the write or open path (open,
+/// write, fsync, rename, flock, mmap, mincore, pread, ...), carrying the
+/// syscall name and errno so callers can distinguish a full disk from a
+/// missing directory (or a concurrently-truncated file from a corrupt one)
+/// programmatically.
 class StoreIoError : public StoreError {
  public:
   StoreIoError(const std::string& sys_call, const std::string& path,
@@ -89,6 +92,14 @@ struct MappedIndexOptions {
   /// they just validated may switch this off; header and bounds validation
   /// always runs.
   bool verify = true;
+  /// Hold an advisory shared lock (flock LOCK_SH) on the file for the
+  /// lifetime of the mapping.  Cooperating writers must never truncate or
+  /// rewrite a read-locked path in place (write_index_file never does — it
+  /// renames a complete temp file over the path, which leaves existing
+  /// mappings on the old inode intact); a process that *would* mutate in
+  /// place can take LOCK_EX and will see the readers.  Open fails with a
+  /// typed StoreIoError("flock") if the file is exclusively locked.
+  bool lock = true;
 };
 
 /// A read-only, mmap-backed index.  Owns the mapping and the curve
@@ -99,6 +110,14 @@ struct MappedIndexOptions {
 class MappedIndex {
  public:
   /// Maps and validates `path`; throws StoreError on any mismatch.
+  ///
+  /// The open is SIGBUS-hardened: after mmap the mapping is pre-faulted (an
+  /// mincore page-table walk plus a pread of the final byte) and the file
+  /// size is re-checked, so a file replaced or truncated between the first
+  /// stat and validation yields a typed StoreIoError instead of a crash when
+  /// validation reads the columns.  With options.lock (the default) the fd
+  /// stays open holding flock LOCK_SH until the mapping is destroyed, so
+  /// cooperating writers can detect live readers.
   static MappedIndex open(const std::string& path,
                           const MappedIndexOptions& options = {});
 
@@ -121,14 +140,47 @@ class MappedIndex {
   const IndexColumnsView& view() const { return view_; }
   operator IndexColumnsView() const { return view_; }  // NOLINT
 
+  /// The path this mapping was opened from.
+  const std::string& path() const { return path_; }
+
+  /// Re-runs the per-column FNV-1a checksums against the header's recorded
+  /// values and returns a bitmask of mismatching columns (bit 0 keys, bit 1
+  /// ids, bit 2 points, bit 3 directory; 0 = all clean).  This is the
+  /// localization primitive degraded-mode open uses to decide which shards to
+  /// mark dead instead of refusing the whole file.
+  std::uint32_t verify_column_checksums() const;
+
+  /// Byte offset / length of column `c` (0 keys, 1 ids, 2 points,
+  /// 3 directory) within the mapped file, as recorded in the header.
+  std::uint64_t column_offset(int c) const { return column_offset_[c]; }
+  std::uint64_t column_bytes(int c) const { return column_bytes_[c]; }
+
  private:
   MappedIndex() = default;
 
   void* map_ = nullptr;
   std::size_t map_bytes_ = 0;
+  int fd_ = -1;  ///< kept open for the mapping's lifetime (holds the flock)
+  std::string path_;
+  std::uint64_t column_offset_[4] = {0, 0, 0, 0};
+  std::uint64_t column_bytes_[4] = {0, 0, 0, 0};
+  std::uint64_t column_checksum_[4] = {0, 0, 0, 0};
   CurvePtr curve_;
   CurveDescriptor descriptor_;
   IndexColumnsView view_;
 };
+
+/// Test-only crash injection for the write path.  When `write_kill_countdown`
+/// is >= 0, every write-path syscall write_index_file is about to issue
+/// decrements it first; the call that drives it below zero terminates the
+/// process immediately with _exit(kKillExitCode) — simulating a crash at an
+/// exact, seedable syscall boundary.  Forked chaos/crash tests set the
+/// countdown in the child, call write_index_file, and let the parent assert
+/// the target path still opens clean (old or new complete content, never
+/// torn).  Default -1 = disabled; production code never touches this.
+namespace store_testing {
+extern std::atomic<int> write_kill_countdown;
+inline constexpr int kKillExitCode = 42;
+}  // namespace store_testing
 
 }  // namespace sfc

@@ -1,0 +1,338 @@
+// Generation lifecycle: hot reloads swap at batch boundaries while in-flight
+// clients keep bit-identical answers from the generation they were admitted
+// under; old generations unmap exactly at refcount zero; a corrupt reload is
+// rejected with the old generation untouched; and shard-isolated degraded
+// mode routes queries around dead shards with typed partial results — for
+// every curve family — until a repaired reload resurrects them.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sfc/curves/curve_factory.h"
+#include "sfc/index/point_index.h"
+#include "sfc/index/range_scan.h"
+#include "sfc/rng/sampling.h"
+#include "sfc/serve/generation.h"
+#include "sfc/serve/serve_error.h"
+#include "sfc/serve/server.h"
+#include "sfc/serve/sharded_index.h"
+#include "sfc/store/index_store.h"
+
+namespace sfc {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/sfc_generation_" + name;
+}
+
+struct Dataset {
+  CurveDescriptor descriptor;
+  CurvePtr curve;
+  std::vector<Point> points;
+  PointIndex index;
+};
+
+Dataset make_dataset(const std::string& family, std::uint64_t seed,
+                     int count = 800) {
+  CurveDescriptor descriptor;
+  descriptor.family = family;
+  descriptor.dim = 2;
+  descriptor.side = 64;
+  descriptor.seed = 7;
+  CurvePtr curve = make_curve(descriptor);
+  Xoshiro256 rng(seed);
+  std::vector<Point> points;
+  for (int i = 0; i < count; ++i) {
+    points.push_back(random_cell(curve->universe(), rng));
+  }
+  PointIndex index = PointIndex::build(*curve, points);
+  return Dataset{descriptor, std::move(curve), std::move(points),
+                 std::move(index)};
+}
+
+std::vector<std::uint32_t> scan_ids(const IndexColumnsView& view,
+                                    const Box& box) {
+  RangeScanEngine engine(view);
+  std::vector<std::uint32_t> ids;
+  engine.scan(box, &ids);
+  return ids;
+}
+
+Box probe_box(int i) {
+  const coord_t lo = static_cast<coord_t>((i * 5) % 48);
+  return Box(Point{lo, lo}, Point{lo + 15, lo + 15});
+}
+
+/// Flips the low bit of the first coordinate of global row `row` in the
+/// points column of the file at `path` (coords < side stay < side, so the
+/// point stays in-universe but re-encodes to a different key — localizable
+/// to the shard owning the row).
+void corrupt_point_row(const std::string& path, std::uint64_t row) {
+  MappedIndexOptions lazy;
+  lazy.verify = false;
+  lazy.lock = false;
+  std::uint64_t offset = 0;
+  {
+    const MappedIndex mapped = MappedIndex::open(path, lazy);
+    offset = mapped.column_offset(2) + row * sizeof(Point);
+  }
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(file.good());
+  file.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x01);
+  file.seekp(static_cast<std::streamoff>(offset));
+  file.write(&byte, 1);
+  ASSERT_TRUE(file.good());
+}
+
+TEST(Generation, ReloadStormKeepsEveryAnswerGenerationConsistent) {
+  // Clients hammer a distinguishing probe while the main thread reloads
+  // between two datasets; every answer must equal one dataset's reference
+  // bit-exactly — a torn or mixed answer fails.  Run at 1, 8, and 64
+  // clients: the swap must be invisible at every concurrency level.
+  const Dataset a = make_dataset("hilbert", 41);
+  const Dataset b = make_dataset("hilbert", 42);
+  const std::string path = temp_path("reload_storm");
+  const Box probe = probe_box(2);
+  const auto ref_a = scan_ids(a.index.view(), probe);
+  const auto ref_b = scan_ids(b.index.view(), probe);
+  ASSERT_NE(ref_a, ref_b);
+
+  for (const int clients : {1, 8, 64}) {
+    write_index_file(path, a.index, a.descriptor);
+    ServerOptions options;
+    options.shard_bits = 2;
+    options.batch_window_us = 50;
+    IndexServer server(path, options);
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> answers{0};
+    std::atomic<std::uint64_t> bad{0};
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&] {
+        while (!stop.load()) {
+          const ServedRange served = server.range_query_served(probe);
+          ++answers;
+          if (served.result.ids != ref_a && served.result.ids != ref_b) ++bad;
+        }
+      });
+    }
+    for (int r = 0; r < 20; ++r) {
+      write_index_file(path, (r % 2 == 0) ? b.index : a.index,
+                       (r % 2 == 0) ? b.descriptor : a.descriptor);
+      EXPECT_EQ(server.reload(path), static_cast<std::uint64_t>(r + 1));
+    }
+    stop = true;
+    for (std::thread& t : threads) t.join();
+    server.stop();
+
+    EXPECT_EQ(bad.load(), 0u) << clients << " clients";
+    EXPECT_GT(answers.load(), 0u);
+    const ServerHealth health = server.health();
+    EXPECT_EQ(health.reloads, 20u);
+    EXPECT_EQ(health.failed_reloads, 0u);
+    EXPECT_EQ(health.epoch, 20u);
+  }
+}
+
+TEST(Generation, OldGenerationUnmapsAtRefcountZero) {
+  const Dataset a = make_dataset("hilbert", 43);
+  const Dataset b = make_dataset("hilbert", 44);
+  const std::string path = temp_path("refcount");
+  write_index_file(path, a.index, a.descriptor);
+
+  GenerationManager manager(IndexGeneration::open(path, 2, 0, false));
+  std::shared_ptr<const IndexGeneration> pinned = manager.active();
+  std::weak_ptr<const IndexGeneration> watch = pinned;
+  EXPECT_EQ(pinned->epoch(), 0u);
+
+  write_index_file(path, b.index, b.descriptor);
+  const auto fresh = manager.reload(path, 2, false);
+  EXPECT_EQ(fresh->epoch(), 1u);
+  EXPECT_EQ(manager.active().get(), fresh.get());
+
+  // The manager dropped the old generation, but the pin (an in-flight batch
+  // in real serving) keeps it alive — and still answering from the *old*
+  // bytes, which the rename-based write left untouched on the old inode.
+  EXPECT_FALSE(watch.expired());
+  EXPECT_EQ(scan_ids(pinned->sharded().base(), probe_box(1)),
+            scan_ids(a.index.view(), probe_box(1)));
+
+  pinned.reset();  // the last pin releases: the mapping unmaps now
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(Generation, CorruptReloadLeavesOldGenerationServing) {
+  const Dataset a = make_dataset("hilbert", 45);
+  const std::string path = temp_path("corrupt_reload");
+  write_index_file(path, a.index, a.descriptor);
+
+  ServerOptions options;
+  options.shard_bits = 2;
+  IndexServer server(path, options);
+  const Box probe = probe_box(4);
+  const auto ref_a = scan_ids(a.index.view(), probe);
+  EXPECT_EQ(server.range_query(probe).ids, ref_a);
+
+  // Rename a torn stub over the path (never truncating in place — the old
+  // generation's mapping and read lock pin the old inode, and in-place
+  // mutation of a mapped file is exactly what the locking contract forbids).
+  {
+    const std::string stub = path + ".stub";
+    std::ofstream file(stub, std::ios::binary | std::ios::trunc);
+    file << "torn";
+    file.close();
+    ASSERT_EQ(std::rename(stub.c_str(), path.c_str()), 0);
+  }
+  try {
+    server.reload(path);
+    FAIL() << "expected ReloadError";
+  } catch (const ReloadError& error) {
+    EXPECT_EQ(error.path(), path);
+    EXPECT_NE(std::string(error.what()).find("previous generation keeps"),
+              std::string::npos);
+  }
+  // The old generation is untouched: same epoch, same answers, and the
+  // failed attempt is accounted.
+  const ServerHealth health = server.health();
+  EXPECT_EQ(health.failed_reloads, 1u);
+  EXPECT_EQ(health.reloads, 0u);
+  EXPECT_EQ(health.epoch, 0u);
+  EXPECT_EQ(server.range_query(probe).ids, ref_a);
+
+  // Epochs burn monotonically across failures: the next success skips the
+  // epoch the failed attempt consumed.
+  write_index_file(path, a.index, a.descriptor);
+  EXPECT_EQ(server.reload(path), 2u);
+}
+
+TEST(Generation, DegradedModeRoutesAroundDeadShardsForEveryFamily) {
+  for (const std::string family : {"hilbert", "z", "snake", "gray", "simple",
+                                   "random"}) {
+    const Dataset a = make_dataset(family, 46);
+    const std::string path = temp_path("degraded_" + family);
+    write_index_file(path, a.index, a.descriptor);
+
+    // Kill the shard owning the middle row by corrupting one of its points.
+    constexpr int kShardBits = 2;
+    const ShardedIndex reference(a.index.view(), kShardBits);
+    const std::uint64_t victim_row = a.index.row_count() / 2;
+    std::size_t dead = 0;
+    while (dead + 1 < reference.shard_count() &&
+           reference.shard_row_begin(dead + 1) <= victim_row) {
+      ++dead;
+    }
+    corrupt_point_row(path, victim_row);
+
+    // Strict open refuses; degraded open marks exactly that shard dead.
+    EXPECT_THROW((void)IndexGeneration::open(path, kShardBits, 0, false),
+                 StoreError)
+        << family;
+    ServerOptions options;
+    options.shard_bits = kShardBits;
+    options.allow_degraded = true;
+    IndexServer server(path, options);
+    const ServerHealth health = server.health();
+    EXPECT_EQ(health.dead_shards, 1u) << family;
+    ASSERT_EQ(health.shard_alive.size(), reference.shard_count()) << family;
+    EXPECT_EQ(health.shard_alive[dead], 0u) << family;
+
+    // Row -> shard for filtering reference answers down to live shards.
+    const auto shard_of_row = [&](std::uint64_t row) {
+      std::size_t s = 0;
+      while (s + 1 < reference.shard_count() &&
+             reference.shard_row_begin(s + 1) <= row) {
+        ++s;
+      }
+      return s;
+    };
+    std::vector<std::size_t> id_shard(a.index.row_count());
+    for (std::uint64_t row = 0; row < a.index.row_count(); ++row) {
+      id_shard[a.index.ids()[row]] = shard_of_row(row);
+    }
+
+    int partial = 0;
+    int full = 0;
+    for (int i = 0; i < 10; ++i) {
+      const Box probe = probe_box(i);
+      const auto ref = scan_ids(a.index.view(), probe);
+      std::vector<std::uint32_t> live_ref;
+      for (const std::uint32_t id : ref) {
+        if (id_shard[id] != dead) live_ref.push_back(id);
+      }
+      try {
+        const RangeQueryResult result = server.range_query(probe);
+        ++full;
+        EXPECT_EQ(result.ids, ref) << family << " probe " << i;
+      } catch (const PartialResultError& error) {
+        ++partial;
+        ASSERT_EQ(error.dead_shards().size(), 1u) << family;
+        EXPECT_EQ(error.dead_shards()[0], dead) << family;
+        EXPECT_EQ(error.partial_ids(), live_ref) << family << " probe " << i;
+      }
+    }
+    EXPECT_GT(partial, 0) << family;  // the dead shard was actually routed
+
+    // kNN is conservative: every query reports the dead shard, with the
+    // live-shard best-k attached.
+    try {
+      (void)server.knn_query(Point{31, 31}, 4);
+      FAIL() << family << ": expected PartialResultError";
+    } catch (const PartialResultError& error) {
+      EXPECT_EQ(error.dead_shards(), std::vector<std::uint32_t>{
+                                         static_cast<std::uint32_t>(dead)});
+      EXPECT_EQ(error.partial_neighbors().size(), 4u) << family;
+    }
+
+    // A repaired reload resurrects the shard: full answers everywhere.
+    write_index_file(path, a.index, a.descriptor);
+    (void)server.reload(path);
+    EXPECT_EQ(server.health().dead_shards, 0u) << family;
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(server.range_query(probe_box(i)).ids,
+                scan_ids(a.index.view(), probe_box(i)))
+          << family << " probe " << i;
+    }
+  }
+}
+
+TEST(Generation, UnlocalizableCorruptionRefusesDegradedOpen) {
+  // The ids column carries no semantic invariant to localize by, so an ids
+  // checksum mismatch must refuse even a degraded open — serving plausible
+  // but unattributable ids would be a silent wrong answer.
+  const Dataset a = make_dataset("hilbert", 47);
+  const std::string path = temp_path("ids_corrupt");
+  write_index_file(path, a.index, a.descriptor);
+
+  MappedIndexOptions lazy;
+  lazy.verify = false;
+  lazy.lock = false;
+  std::uint64_t ids_offset = 0;
+  {
+    const MappedIndex mapped = MappedIndex::open(path, lazy);
+    ids_offset = mapped.column_offset(1);
+  }
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+  file.seekg(static_cast<std::streamoff>(ids_offset));
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x55);
+  file.seekp(static_cast<std::streamoff>(ids_offset));
+  file.write(&byte, 1);
+  file.close();
+
+  EXPECT_THROW((void)IndexGeneration::open(path, 2, 0, true), StoreError);
+}
+
+}  // namespace
+}  // namespace sfc

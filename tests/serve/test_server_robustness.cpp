@@ -149,8 +149,10 @@ TEST(ServerRobustness, GenerousDeadlineStillAnswers) {
   const ServerHealth health = server.health();
   EXPECT_EQ(health.executed, 2u);
   EXPECT_EQ(health.timed_out, 0u);
-  EXPECT_EQ(health.dispatch_latency.count, 2u);
-  EXPECT_GT(health.dispatch_latency.percentile_us(0.5), 0.0);
+  EXPECT_EQ(health.queue_wait_latency.count, 2u);
+  EXPECT_EQ(health.execute_latency.count, 2u);
+  EXPECT_GT(health.queue_wait_latency.percentile_us(0.5), 0.0);
+  EXPECT_GT(health.execute_latency.percentile_us(0.5), 0.0);
 }
 
 TEST(ServerRobustness, StopDrainsInFlightClientsRacingStop) {
@@ -255,6 +257,45 @@ TEST(ServerRobustness, ReplayCountsUnrecoveredShedLoad) {
   EXPECT_GT(report.rejected, 0u);
   EXPECT_GT(report.accepted, 0u);
   EXPECT_EQ(report.retries, 0u);
+}
+
+TEST(ServerRobustness, ReplayCountsEachQueryExactlyOnceAcrossRetries) {
+  // The accounting regression this pins: a query that sheds on several
+  // attempts and then lands must count once (as accepted), and one that
+  // sheds on every attempt must count once under its *final* outcome.  A
+  // bounded retry budget against a deliberately shedding server produces
+  // both histories; the identity then holds with nonzero terms on each side.
+  const Fixture f = make_fixture(19);
+  const Universe u = f.curve->universe();
+  TraceGenOptions trace_options;
+  trace_options.count = 300;
+  trace_options.box_extent = 6;
+  trace_options.knn_k = 4;
+  trace_options.seed = 19;
+  const QueryTrace trace = generate_trace(u, trace_options);
+
+  ServerOptions options;
+  options.max_queue = 1;
+  options.max_batch = 1;
+  options.batch_window_us = 1000;
+  IndexServer server(f.index.view(), options);
+  ReplayOptions replay;
+  replay.clients = 24;
+  replay.max_retries = 2;  // some queries recover, some exhaust the budget
+  replay.backoff_base_us = 50;
+  replay.backoff_max_us = 500;
+  const ReplayReport report = replay_trace(server, trace, replay);
+
+  EXPECT_EQ(report.queries, trace.size());
+  EXPECT_EQ(report.accepted + report.rejected + report.timed_out,
+            report.queries);
+  EXPECT_GT(report.retries, 0u);
+  EXPECT_GT(report.accepted, 0u);
+  EXPECT_GT(report.rejected, 0u);
+  // The split histograms reach the report: end-to-end latency decomposes
+  // into queue wait + execute, both measured over the accepted queries.
+  EXPECT_GT(report.queue_wait_p99_us, 0.0);
+  EXPECT_GT(report.execute_p99_us, 0.0);
 }
 
 TEST(ServerRobustness, LatencyHistogramBucketsAndPercentiles) {

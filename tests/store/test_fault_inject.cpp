@@ -94,6 +94,28 @@ TEST(FaultInject, EveryTruncationRejected) {
   }
 }
 
+TEST(FaultInject, EveryTruncateWhileMappedRejectedOrBenign) {
+  // The zero-extended-tail image a live mapping sees when the file under it
+  // is truncated and regrown: every cut point must reject or be provably
+  // benign (a cut inside trailing padding regrows to identical bytes).
+  const std::string path = write_sample("zerotail.sfcidx", "hilbert", 50);
+  const auto pristine = load_bytes(path);
+  FaultHarness harness(pristine, temp_path("zerotail.scratch"), 4, 99);
+  std::uint64_t rejected = 0;
+  for (std::uint64_t to = 0; to < pristine->size(); ++to) {
+    FaultMutation m;
+    m.kind = FaultKind::kTruncateWhileMapped;
+    m.truncate_to = to;
+    const FaultOutcome outcome = harness.check(m);
+    ASSERT_TRUE(outcome == FaultOutcome::kRejected ||
+                outcome == FaultOutcome::kBenign)
+        << m.describe() << " -> " << fault_outcome_name(outcome);
+    rejected += outcome == FaultOutcome::kRejected;
+  }
+  // Any cut before the end of the last column's payload zeroes real data.
+  EXPECT_GT(rejected, 0u);
+}
+
 TEST(FaultInject, HeaderFieldStompsWithFixedChecksumNeverServeWrongAnswers) {
   // Stomp every pre-checksum header byte with several adversarial values,
   // recomputing the checksum each time — this reaches the semantic
@@ -143,7 +165,7 @@ TEST(FaultInject, CampaignIsCleanAndDeterministicAcrossThreadCounts) {
 
 TEST(FaultInject, DrawCoversEveryKindAndStaysInBounds) {
   Xoshiro256 rng(7);
-  std::array<std::uint64_t, 4> seen{};
+  std::array<std::uint64_t, 5> seen{};
   for (int i = 0; i < 2000; ++i) {
     const FaultMutation m = draw_fault_mutation(rng, 1000);
     ++seen[static_cast<std::size_t>(m.kind)];
@@ -156,6 +178,7 @@ TEST(FaultInject, DrawCoversEveryKindAndStaysInBounds) {
         EXPECT_LT(m.offset, 1000u);
         break;
       case FaultKind::kTruncate:
+      case FaultKind::kTruncateWhileMapped:
         EXPECT_LT(m.truncate_to, 1000u);
         break;
       case FaultKind::kHeaderField:

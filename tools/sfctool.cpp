@@ -46,6 +46,7 @@
 #include "sfc/ranges/range_cover.h"
 #include "sfc/rng/sampling.h"
 #include "sfc/rng/splitmix64.h"
+#include "sfc/serve/chaos.h"
 #include "sfc/serve/server.h"
 #include "sfc/serve/sharded_index.h"
 #include "sfc/serve/trace.h"
@@ -760,7 +761,11 @@ void write_serve_json(const std::string& path,
       out += "      \"accepted\": " + std::to_string(report.accepted) + ",\n";
       out += "      \"rejected\": " + std::to_string(report.rejected) + ",\n";
       out += "      \"timed_out\": " + std::to_string(report.timed_out) + ",\n";
-      out += "      \"retries\": " + std::to_string(report.retries) + "\n";
+      out += "      \"retries\": " + std::to_string(report.retries) + ",\n";
+      out += "      \"queue_wait_p99_us\": " +
+             fmt_double(report.queue_wait_p99_us) + ",\n";
+      out += "      \"execute_p99_us\": " + fmt_double(report.execute_p99_us) +
+             "\n";
       out += "    }";
     }
   }
@@ -899,6 +904,178 @@ int cmd_serve_bench(const Command& cmd, const cli::Args& args) {
               << "x of the " << reports.front().clients
               << "-client baseline at every level\n";
   }
+  return 0;
+}
+
+/// Google-benchmark-shaped JSON for the chaos soak, alongside the serve
+/// replay metrics in trajectory aggregation.
+void write_chaos_json(const std::string& path, const ChaosReport& report,
+                      std::uint32_t clients) {
+  std::string out;
+  out += "{\n  \"context\": {\n";
+  out += "    \"date\": \"" + iso_utc_now() + "\",\n";
+  out += "    \"executable\": \"sfctool\",\n";
+  out += "    \"num_cpus\": " +
+         std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  out += "    \"library_build_type\": \"release\"\n";
+  out += "  },\n  \"benchmarks\": [\n";
+  bool first = true;
+  for (const auto& [metric, value] :
+       {std::pair<const char*, double>{"baseline_p99", report.baseline_p99_us},
+        std::pair<const char*, double>{"soak_p99", report.soak_p99_us}}) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "    {\n";
+    out += "      \"name\": \"serve_chaos_" + std::string(metric) +
+           "/clients:" + std::to_string(clients) + "\",\n";
+    out += "      \"run_type\": \"iteration\",\n";
+    out += "      \"repetitions\": 1,\n";
+    out += "      \"iterations\": " + std::to_string(report.queries) + ",\n";
+    out += "      \"real_time\": " + fmt_double(value) + ",\n";
+    out += "      \"cpu_time\": " + fmt_double(value) + ",\n";
+    out += "      \"time_unit\": \"us\",\n";
+    out += "      \"accepted\": " + std::to_string(report.accepted) + ",\n";
+    out += "      \"rejected\": " + std::to_string(report.rejected) + ",\n";
+    out += "      \"timed_out\": " + std::to_string(report.timed_out) + ",\n";
+    out += "      \"retries\": " + std::to_string(report.retries) + ",\n";
+    out += "      \"wrong_answers\": " + std::to_string(report.wrong_answers) +
+           ",\n";
+    out += "      \"reloads\": " + std::to_string(report.reloads) + ",\n";
+    out += "      \"failed_reloads\": " + std::to_string(report.failed_reloads) +
+           ",\n";
+    out += "      \"crash_cycles\": " + std::to_string(report.crash_cycles) +
+           ",\n";
+    out += "      \"crashed_writes\": " + std::to_string(report.crashed_writes) +
+           ",\n";
+    out += "      \"torn_files\": " + std::to_string(report.torn_files) + ",\n";
+    out += "      \"epochs_observed\": " +
+           std::to_string(report.epochs_observed) + "\n";
+    out += "    }";
+  }
+  out += "\n  ]\n}\n";
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) throw Error("cannot open json output file: " + path);
+  file.write(out.data(), static_cast<std::streamsize>(out.size()));
+  file.flush();
+  if (!file) throw Error("I/O error writing json output file: " + path);
+}
+
+int cmd_serve_chaos(const Command& cmd, const cli::Args& args) {
+  const std::string file = args.get_string("file", "");
+  if (file.empty()) {
+    return usage_command(cmd,
+                         "serve-chaos requires --file FILE (the served path)");
+  }
+  const std::string curve_name = args.get_string("curve", "hilbert");
+  const auto dim = args.get_int("dim", 2);
+  const auto bits = args.get_int("bits", 8);
+  const auto seed = args.get_int("seed", 1);
+  const auto points = args.get_int("points", 20000);
+  const auto block_rows = args.get_int("block-rows", 256);
+  const auto clients = args.get_int("clients", 8);
+  const auto duration_s = args.get_int("duration-s", 5);
+  const auto reload_ms = args.get_int("reload-every-ms", 100);
+  const auto crash_every = args.get_int("crash-every", 0);
+  const auto shards = args.get_int("shards", 4);
+  const auto max_batch = args.get_int("max-batch", 64);
+  const auto window_us = args.get_int("window-us", 200);
+  const auto max_queue = args.get_int("max-queue", 0);
+  const auto deadline_us = args.get_int("deadline-us", 0);
+  const auto retries = args.get_int("retries", 3);
+  const auto backoff_us = args.get_int("backoff-us", 200);
+  const auto p99_factor = args.get_int("p99-factor", 2);
+  if (!dim || !bits || !seed || !points || !block_rows || !clients ||
+      !duration_s || !reload_ms || !crash_every || !shards || !max_batch ||
+      !window_us || !max_queue || !deadline_us || !retries || !backoff_us ||
+      !p99_factor || *points < 1 || *block_rows < 1 || *clients < 1 ||
+      *duration_s < 1 || *reload_ms < 1 || *crash_every < 0 || *shards < 0 ||
+      *max_batch < 1 || *window_us < 0 || *max_queue < 0 || *deadline_us < 0 ||
+      *retries < 0 || *backoff_us < 1 || *p99_factor < 1) {
+    return usage_command(cmd, "bad numeric flag");
+  }
+  std::string error;
+  CurveDescriptor descriptor;
+  const CurvePtr curve =
+      build_curve(curve_name, static_cast<int>(*dim), static_cast<int>(*bits),
+                  static_cast<std::uint64_t>(*seed), &error, &descriptor);
+  if (!curve) return usage_command(cmd, error);
+
+  ChaosOptions options;
+  options.descriptor = descriptor;
+  options.points = static_cast<std::uint64_t>(*points);
+  options.seed = static_cast<std::uint64_t>(*seed);
+  options.block_rows = static_cast<std::uint32_t>(*block_rows);
+  options.path = file;
+  options.clients = static_cast<std::uint32_t>(*clients);
+  options.duration_s = static_cast<double>(*duration_s);
+  options.reload_every_ms = static_cast<std::uint32_t>(*reload_ms);
+  options.crash_every = static_cast<std::uint32_t>(*crash_every);
+  options.max_retries = static_cast<std::uint32_t>(*retries);
+  options.backoff_base_us = static_cast<std::uint32_t>(*backoff_us);
+  options.server.shard_bits = static_cast<int>(*shards);
+  options.server.max_batch = static_cast<std::uint32_t>(*max_batch);
+  options.server.batch_window_us = static_cast<std::uint32_t>(*window_us);
+  options.server.max_queue = static_cast<std::uint32_t>(*max_queue);
+  options.server.deadline_us = static_cast<std::uint64_t>(*deadline_us);
+  const std::string trace_path = args.get_string("trace", "");
+  if (!trace_path.empty()) {
+    options.trace = read_trace_file(trace_path);
+    if (options.trace.empty()) {
+      return usage_command(cmd, "trace '" + trace_path + "' is empty");
+    }
+  }
+
+  std::cout << "chaos soak: " << options.points << " points per dataset, "
+            << options.clients << " clients, " << *duration_s
+            << " s, reload every " << *reload_ms << " ms"
+            << (options.crash_every > 0
+                    ? ", crash cycle every " +
+                          std::to_string(options.crash_every) + " rewrites"
+                    : "")
+            << "\n";
+  const ChaosReport report = run_chaos(options);
+
+  Table table({"queries", "accepted", "rejected", "timeout", "retries",
+               "wrong", "reloads", "failed", "crashes", "torn", "epochs"});
+  table.add_row({Table::fmt_int(report.queries), Table::fmt_int(report.accepted),
+                 Table::fmt_int(report.rejected),
+                 Table::fmt_int(report.timed_out),
+                 Table::fmt_int(report.retries),
+                 Table::fmt_int(report.wrong_answers),
+                 Table::fmt_int(report.reloads),
+                 Table::fmt_int(report.failed_reloads),
+                 Table::fmt_int(report.crashed_writes),
+                 Table::fmt_int(report.torn_files),
+                 Table::fmt_int(report.epochs_observed)});
+  table.print(std::cout);
+  std::cout << "accepted p99: baseline " << fmt_double(report.baseline_p99_us)
+            << " us, under reloads " << fmt_double(report.soak_p99_us)
+            << " us (gate factor " << *p99_factor << "x); wall "
+            << fmt_double(report.wall_seconds) << " s\n";
+
+  const std::string json_path = args.get_string("json", "");
+  if (!json_path.empty()) {
+    write_chaos_json(json_path, report, options.clients);
+    std::cout << "wrote " << json_path << "\n";
+  }
+  if (!report.clean(static_cast<double>(*p99_factor))) {
+    std::cerr << "error: chaos gate failed —"
+              << (report.wrong_answers > 0
+                      ? " " + std::to_string(report.wrong_answers) +
+                            " wrong answers;"
+                      : "")
+              << (report.torn_files > 0
+                      ? " " + std::to_string(report.torn_files) +
+                            " torn files;"
+                      : "")
+              << (!report.identity_ok ? " admission identity broken;" : "")
+              << (report.accepted == 0 ? " nothing accepted;" : "")
+              << " p99 baseline " << fmt_double(report.baseline_p99_us)
+              << " us vs soak " << fmt_double(report.soak_p99_us) << " us\n";
+    return 1;
+  }
+  std::cout << "chaos gate clean: every accepted answer bit-identical to its "
+               "generation, no torn files, identity holds\n";
   return 0;
 }
 
@@ -1068,6 +1245,26 @@ const std::vector<Command>& command_table() {
               "fail if accepted p99 exceeds F x the first client level's p99 "
               "(0 = off)"}}),
        cmd_serve_bench},
+      {"serve-chaos", "soak the server under continuous reloads and crashes",
+       {kCurveFlag, kDimFlag, kBitsFlag, kSeedFlag,
+        {"file", "FILE", "served index path, rewritten throughout (required)"},
+        {"points", "N", "points per dataset (default 20000)"},
+        {"block-rows", "B", "directory block size in rows (default 256)"},
+        {"trace", "FILE", "query trace to replay (default: generated)"},
+        {"clients", "N", "concurrent clients (default 8)"},
+        {"duration-s", "S", "soak seconds (default 5; baseline phase ~S/5)"},
+        {"reload-every-ms", "MS", "writer rewrite+reload cadence (default 100)"},
+        {"crash-every", "N", "crash cycle every Nth rewrite (0 = off)"},
+        {"shards", "B", "use 2^B curve-contiguous shards (default 4)"},
+        {"max-batch", "N", "admission batch size (default 64)"},
+        {"window-us", "U", "admission batch window, us (default 200)"},
+        {"max-queue", "N", "admission queue bound (0 = unbounded)"},
+        {"deadline-us", "U", "per-query deadline, us (0 = none)"},
+        {"retries", "N", "client retries on overload/timeout (default 3)"},
+        {"backoff-us", "U", "base retry backoff, us (default 200)"},
+        {"p99-factor", "F", "fail if soak p99 exceeds F x baseline (default 2)"},
+        {"json", "FILE", "write google-benchmark-shaped JSON"}},
+       cmd_serve_chaos},
       {"store-fuzz", "seeded corruption campaign against an index file",
        {{"file", "FILE", "index file to fuzz (required)"},
         {"iterations", "N", "mutations to test (default 2000)"},
