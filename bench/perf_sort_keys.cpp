@@ -1,9 +1,18 @@
-// Sort-pipeline microbenchmarks: the deterministic parallel LSD radix sort
-// (sfc/sort) against the comparator baselines it replaced.  The CI gate
+// Sort-pipeline microbenchmarks: the deterministic parallel radix sorts
+// (sfc/sort) against the comparator baselines they replaced.  The CI gate
 // checks radix keys-only sort is >= 2x std::sort on 1M uniformly random
 // 64-bit keys (tools/check_bench_speedup.py parses the --benchmark_out
-// JSON).  Every timed iteration includes an identical copy from a master
-// buffer, so the ratio slightly understates the sorter's true advantage.
+// JSON); the u128 hybrid-vs-LSD gate lives in perf_kernels.cpp.  Every
+// timed iteration includes an identical copy from a master buffer, so the
+// ratio slightly understates the sorter's true advantage.
+//
+// The *PerPass benches surface SortStats: per-digit wall-clock of the
+// engines' top-level passes, reported as per-iteration counters
+// (skip-scan/partition/tail split for the hybrid, scattered vs skipped pass
+// totals for the LSD engine), so BENCH_sort_keys.json shows where sort time
+// goes, not just how much there is.  The u128/4D-Hilbert case sorts the
+// composite (curve key << 64) | sequence records the kNN pipeline builds,
+// exercising the hybrid on realistically skewed high digits.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -139,6 +148,107 @@ void BM_RadixSortKeysU128(benchmark::State& state) {
                           static_cast<std::int64_t>(count));
 }
 
+/// Splits SortStats across counters.  For the hybrid: constant-digit MSD
+/// scans, the one MSD partition, and the aggregate per-bucket tail phase.
+/// For the LSD engine: scattered passes vs skipped (constant-digit) passes.
+void report_pass_counters(benchmark::State& state, const SortStats& stats,
+                          double iterations) {
+  double skip_scan = 0.0;
+  double partition = 0.0;
+  double tails = 0.0;
+  double scattered = 0.0;
+  double skipped = 0.0;
+  for (const SortPassTiming& pass : stats.passes) {
+    if (pass.digit < 0) {
+      tails += pass.seconds;
+    } else if (pass.msd) {
+      (pass.scattered ? partition : skip_scan) += pass.seconds;
+    } else {
+      (pass.scattered ? scattered : skipped) += pass.seconds;
+    }
+  }
+  // The stats hold the final iteration's passes; counts are per sort call.
+  state.counters["passes"] = static_cast<double>(stats.passes.size());
+  if (partition > 0 || skip_scan > 0 || tails > 0) {
+    state.counters["skip_scan_sec"] = skip_scan;
+    state.counters["partition_sec"] = partition;
+    state.counters["tail_sec"] = tails;
+  }
+  if (scattered > 0 || skipped > 0) {
+    state.counters["scatter_sec"] = scattered;
+    state.counters["skipped_sec"] = skipped;
+  }
+  (void)iterations;
+}
+
+void BM_RadixSortKeysPerPass(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const auto master = make_keys(count, 21);
+  std::vector<index_t> keys(count);
+  SortStats stats;
+  SortOptions options;
+  options.stats = &stats;
+  for (auto _ : state) {
+    std::copy(master.begin(), master.end(), keys.begin());
+    radix_sort_keys(keys, options);
+    benchmark::DoNotOptimize(keys.data());
+    benchmark::ClobberMemory();
+  }
+  report_pass_counters(state, stats, static_cast<double>(state.iterations()));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(count));
+}
+
+void BM_RadixSortKeysU128PerPass(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(27);
+  std::vector<u128> master(count);
+  for (auto& key : master) {
+    key = (static_cast<u128>(rng.next()) << 64) | rng.next();
+  }
+  std::vector<u128> keys(count);
+  SortStats stats;
+  SortOptions options;
+  options.stats = &stats;
+  for (auto _ : state) {
+    std::copy(master.begin(), master.end(), keys.begin());
+    radix_sort_keys(keys, options);
+    benchmark::DoNotOptimize(keys.data());
+    benchmark::ClobberMemory();
+  }
+  report_pass_counters(state, stats, static_cast<double>(state.iterations()));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(count));
+}
+
+/// The kNN pipeline's composite records: high half a 4D Hilbert curve key,
+/// low half the sequence number, sorted as (key, payload) pairs.  Twelve of
+/// the sixteen digits are constant (the curve key fills 32 bits), so the
+/// hybrid's skip-then-partition behavior is on full display.
+void BM_RadixSortPairsU128Hilbert4D(benchmark::State& state) {
+  const Universe u = Universe::pow2(4, 8);  // 4D, side 256
+  const CurvePtr curve = make_curve(CurveFamily::kHilbert, u, 1);
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const auto cells = make_cells(u, count);
+  std::vector<index_t> keys(count);
+  curve->index_of_batch(cells, keys);
+  std::vector<KeyIndex128> master(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    master[i] = {(static_cast<u128>(keys[i]) << 64) |
+                     static_cast<std::uint32_t>(i),
+                 static_cast<std::uint32_t>(i)};
+  }
+  std::vector<KeyIndex128> items(count);
+  for (auto _ : state) {
+    std::copy(master.begin(), master.end(), items.begin());
+    radix_sort_pairs(items);
+    benchmark::DoNotOptimize(items.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(count));
+}
+
 // The full app pipeline: encode cells to curve keys, sort indices by key.
 // Baseline is what the apps did before sfc/sort (batch encode, then a
 // comparator stable sort); candidate is the fused sort_by_curve_key.
@@ -197,6 +307,9 @@ BENCHMARK(BM_StdStableSortPairs)->Arg(1 << 20);
 BENCHMARK(BM_RadixSortPairs)->Arg(1 << 20);
 BENCHMARK(BM_StdSortKeysU128)->Arg(1 << 20);
 BENCHMARK(BM_RadixSortKeysU128)->Arg(1 << 20);
+BENCHMARK(BM_RadixSortKeysPerPass)->Arg(1 << 20);
+BENCHMARK(BM_RadixSortKeysU128PerPass)->Arg(1 << 20);
+BENCHMARK(BM_RadixSortPairsU128Hilbert4D)->Arg(1 << 20);
 BENCHMARK(BM_EncodeThenStableSort)->Arg(1 << 20);
 BENCHMARK(BM_SortByCurveKey)->Arg(1 << 20);
 

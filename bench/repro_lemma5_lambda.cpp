@@ -28,9 +28,10 @@ int main() {
       if (!n.has_value() || *n > budget) break;
       const Universe u = Universe::pow2(d, k);
       const ZCurve z(u);
-      const NNStretchResult r = compute_nn_stretch(z);
+      // Λ-only fast path: this reproduction needs no per-cell stretch stats.
+      const std::array<u128, kMaxDim> measured_lambda = compute_lambda(z);
       for (int i = 1; i <= d; ++i) {
-        const u128 measured = r.lambda[static_cast<std::size_t>(i - 1)];
+        const u128 measured = measured_lambda[static_cast<std::size_t>(i - 1)];
         const u128 closed = bounds::lambda_z_exact(d, k, i);
         // n^{2-1/d} = side^{2d-1}.
         const long double norm_scale =

@@ -225,6 +225,28 @@ NNStretchResult compute_nn_stretch(const SpaceFillingCurve& curve,
   return result;
 }
 
+std::array<u128, kMaxDim> compute_lambda(const SpaceFillingCurve& curve,
+                                         const NNStretchOptions& options) {
+  const Universe& u = curve.universe();
+  ThreadPool& pool = options.pool ? *options.pool : ThreadPool::shared();
+  // One partial per slab, folded in slab order.  The fold is exact integer
+  // addition, so the result is independent of scheduling anyway; the ordered
+  // fold keeps the determinism argument trivial.
+  std::vector<std::array<u128, kMaxDim>> partials(
+      slab_count(u, options.grain));
+  for_each_key_slab(curve, pool, options.grain, [&](const KeySlab& slab) {
+    accumulate_lambda(u, slab, partials[slab.slab_index]);
+  });
+  std::array<u128, kMaxDim> lambda{};
+  for (const auto& part : partials) {
+    for (int i = 0; i < u.dim(); ++i) {
+      lambda[static_cast<std::size_t>(i)] +=
+          part[static_cast<std::size_t>(i)];
+    }
+  }
+  return lambda;
+}
+
 double cell_average_stretch(const SpaceFillingCurve& curve, const Point& cell) {
   const Universe& u = curve.universe();
   const index_t cell_key = curve.index_of(cell);

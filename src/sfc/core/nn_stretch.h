@@ -85,6 +85,16 @@ struct NNStretchResult {
 NNStretchResult compute_nn_stretch(const SpaceFillingCurve& curve,
                                    const NNStretchOptions& options = {});
 
+/// Λ-only fast path: exact Λ_i(π) for i = 1..d (component i-1) without the
+/// per-cell stretch statistics.  Streams the same key slabs but runs the
+/// lean cell-tiled Λ kernel (sfc/metrics accumulate_lambda) — forward runs
+/// only, no per-cell arrays — so it is several times faster than a full
+/// compute_nn_stretch when only the paper's Λ metric is needed.  Exact
+/// integer sums: bit-identical to NNStretchResult::lambda for any pool size
+/// or grain.  `options.engine` and the key-cache fields are ignored.
+std::array<u128, kMaxDim> compute_lambda(const SpaceFillingCurve& curve,
+                                         const NNStretchOptions& options = {});
+
 /// δavg_π(α) for a single cell (Definition 1); used by tests and examples.
 double cell_average_stretch(const SpaceFillingCurve& curve, const Point& cell);
 

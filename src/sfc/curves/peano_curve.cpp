@@ -57,6 +57,58 @@ index_t PeanoCurve::index_of(const Point& cell) const {
   return key;
 }
 
+void PeanoCurve::subtree_children(const SubtreeNode& node,
+                                  std::span<SubtreeNode> children) const {
+  const int d = universe_.dim();
+  const coord_t child_side = node.side / 3;
+  const index_t child_count =
+      node.key_count / static_cast<index_t>(children.size());
+  // Child j's ternary digits t[], dimension 0 most significant — the same
+  // per-level digit order index_of emits.  The digits advance as a ternary
+  // odometer (amortized O(1) per child) instead of d divisions per child.
+  std::array<int, kMaxDim> t{};
+  int total = 0;  // Σ t_i, maintained incrementally.
+  for (std::size_t j = 0;; ++j) {
+    SubtreeNode& child = children[j];
+    child.side = child_side;
+    child.key_lo = node.key_lo + static_cast<index_t>(j) * child_count;
+    child.key_count = child_count;
+    child.origin = node.origin;
+    // Dimension i's reflection inside this digit group is its carried parity
+    // XOR the parity of the group's earlier digits (they belong to other
+    // dimensions); afterwards its parity absorbs the group's other digits,
+    // i.e. total - t_i.
+    std::uint32_t state = node.state;
+    int prefix = 0;
+    for (int i = 0; i < d; ++i) {
+      const int digit = t[static_cast<std::size_t>(i)];
+      const bool reflect =
+          (((node.state >> i) ^ static_cast<std::uint32_t>(prefix)) & 1u) != 0;
+      const int coordinate_digit = reflect ? 2 - digit : digit;
+      child.origin[i] = static_cast<coord_t>(
+          node.origin[i] + static_cast<coord_t>(coordinate_digit) * child_side);
+      if (((total - digit) & 1) != 0) state ^= (1u << i);
+      prefix += digit;
+    }
+    child.state = state;
+    if (j + 1 == children.size()) break;
+    // Advance the ternary odometer: t[d-1] is least significant.
+    int carry_at = d - 1;
+    while (t[static_cast<std::size_t>(carry_at)] == 2) {
+      t[static_cast<std::size_t>(carry_at)] = 0;
+      total -= 2;
+      --carry_at;
+    }
+    ++t[static_cast<std::size_t>(carry_at)];
+    ++total;
+  }
+}
+
+void PeanoCurve::subtree_children_batch(std::span<const SubtreeNode> nodes,
+                                        std::span<SubtreeNode> children) const {
+  expand_subtrees_nodewise(nodes, children);
+}
+
 Point PeanoCurve::point_at(index_t key) const {
   const int d = universe_.dim();
   // Extract key digits, most significant first.

@@ -34,10 +34,21 @@ class PeanoCurve final : public SpaceFillingCurve {
   int level_count() const { return levels_; }
 
   /// Triadic: each 3^d-way key split lands on the 3^d aligned third-side
-  /// subcubes of the ternary construction.  Uses the generic decode-based
-  /// descent, so even this non-dyadic family keeps exact O(runs · log side)
-  /// box covers (sfc/ranges).
+  /// subcubes of the ternary construction, so even this non-dyadic family
+  /// keeps exact O(runs · log side) box covers (sfc/ranges).
   coord_t subtree_radix() const override { return 3; }
+
+  /// Direct ternary-digit descent.  A node's state packs one reflection
+  /// parity bit per dimension (bit i = S_i mod 2 of the digit formula, taken
+  /// over all key digits above this subtree); child j's ternary digits are
+  /// mapped through kappa per the parities, and the child state adds the
+  /// digits of the other dimensions — no decoder round trip.  Bit-identical
+  /// to the generic decode-based descent (tests/ranges/
+  /// test_descent_kernels.cpp); speed-gated by bench/perf_kernels.cpp.
+  void subtree_children(const SubtreeNode& node,
+                        std::span<SubtreeNode> children) const override;
+  void subtree_children_batch(std::span<const SubtreeNode> nodes,
+                              std::span<SubtreeNode> children) const override;
 
  private:
   int levels_;

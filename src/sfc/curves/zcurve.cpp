@@ -1,5 +1,7 @@
 #include "sfc/curves/zcurve.h"
 
+#include <array>
+#include <bit>
 #include <cstdlib>
 
 #include "sfc/curves/batch_kernels.h"
@@ -98,6 +100,46 @@ Point PermutedZCurve::point_at(index_t key) const {
         compact_bits(key >> (d - 1 - pos), d, level_bits_));
   }
   return cell;
+}
+
+void PermutedZCurve::subtree_children(const SubtreeNode& node,
+                                      std::span<SubtreeNode> children) const {
+  if (node.side < 2 || node.side % 2 != 0) std::abort();
+  const int d = universe_.dim();
+  const index_t arity = index_t{1} << d;
+  if (children.size() != arity) std::abort();
+  const coord_t child_side = node.side / 2;
+  const index_t child_count = node.key_count >> d;
+  // Child j's key digit is one interleave level in permuted order: bit
+  // (d-1-pos) selects the upper half of dimension order_[pos].  j and
+  // j & (j-1) differ in exactly the lowest set bit of j, so each child's
+  // origin is an already-computed sibling's origin plus one half-step —
+  // O(1) per child instead of a d-bit scan.
+  std::array<int, kMaxDim> bump_dim;
+  for (int pos = 0; pos < d; ++pos) {
+    bump_dim[static_cast<std::size_t>(d - 1 - pos)] =
+        order_[static_cast<std::size_t>(pos)];
+  }
+  children[0].origin = node.origin;
+  children[0].side = child_side;
+  children[0].key_lo = node.key_lo;
+  children[0].key_count = child_count;
+  children[0].state = 0;
+  for (index_t j = 1; j < arity; ++j) {
+    SubtreeNode& child = children[j];
+    child.origin = children[j & (j - 1)].origin;
+    child.origin[bump_dim[static_cast<std::size_t>(std::countr_zero(j))]] +=
+        child_side;
+    child.side = child_side;
+    child.key_lo = node.key_lo + j * child_count;
+    child.key_count = child_count;
+    child.state = 0;
+  }
+}
+
+void PermutedZCurve::subtree_children_batch(
+    std::span<const SubtreeNode> nodes, std::span<SubtreeNode> children) const {
+  expand_subtrees_nodewise(nodes, children);
 }
 
 }  // namespace sfc

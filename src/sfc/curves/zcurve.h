@@ -60,9 +60,18 @@ class PermutedZCurve final : public SpaceFillingCurve {
   index_t index_of(const Point& cell) const override;
   Point point_at(index_t key) const override;
 
-  /// Dyadic like ZCurve for any dimension order; uses the generic
-  /// decode-based descent of the base class.
+  /// Dyadic like ZCurve for any dimension order.
   coord_t subtree_radix() const override { return 2; }
+
+  /// Direct bit-pick descent: bit (d-1-pos) of child j's key digit selects
+  /// the upper half of dimension order[pos] — ZCurve's kernel routed through
+  /// the permutation, no decoder round trip.  Bit-identical to the generic
+  /// decode-based descent (tests/ranges/test_descent_kernels.cpp);
+  /// speed-gated by bench/perf_kernels.cpp.
+  void subtree_children(const SubtreeNode& node,
+                        std::span<SubtreeNode> children) const override;
+  void subtree_children_batch(std::span<const SubtreeNode> nodes,
+                              std::span<SubtreeNode> children) const override;
 
  private:
   int level_bits_;

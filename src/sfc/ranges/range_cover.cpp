@@ -7,6 +7,7 @@
 
 #include "sfc/common/batch.h"
 #include "sfc/common/math.h"
+#include "sfc/parallel/parallel_for.h"
 #include "sfc/sort/radix_sort.h"
 
 namespace sfc {
@@ -15,6 +16,13 @@ namespace {
 
 /// node ∩ box classification for the descent.
 enum class Overlap { kDisjoint, kInside, kPartial };
+
+/// Frontier nodes per chunk of the parallel descent, and the frontier size
+/// at which the parallel path engages.  Both are part of the deterministic
+/// contract only through the chunk grid (count + grain), never the pool
+/// size.
+constexpr std::uint64_t kParallelCoverGrain = 256;
+constexpr std::uint64_t kParallelCoverThreshold = 1024;
 
 Overlap classify(const SubtreeNode& node, const Box& box) {
   bool inside = true;
@@ -129,7 +137,53 @@ std::span<const KeyInterval> RangeCoverEngine::cover(const Box& box,
       break;
   }
   while (!frontier.empty()) {
-    children.resize(frontier.size() * arity);
+    const std::uint64_t node_count = frontier.size();
+    children.resize(node_count * arity);
+    if (pool_ != nullptr && node_count >= kParallelCoverThreshold) {
+      // Parallel level expansion: each chunk of the frontier expands and
+      // classifies its own children into per-chunk buffers; concatenating
+      // those buffers in chunk order reproduces the serial child order
+      // exactly, so the next frontier — and every emitted interval — is
+      // identical for any pool size.
+      const std::uint64_t chunks = chunk_count(node_count, kParallelCoverGrain);
+      ws.chunk_frontier.resize(chunks);
+      ws.chunk_raw.resize(chunks);
+      parallel_for_chunks(
+          *pool_, node_count, kParallelCoverGrain,
+          [&](const ChunkRange& range) {
+            const std::span<const SubtreeNode> nodes(
+                frontier.data() + range.begin, range.end - range.begin);
+            const std::span<SubtreeNode> kids(
+                children.data() + range.begin * arity, nodes.size() * arity);
+            curve_.subtree_children_batch(nodes, kids);
+            std::vector<SubtreeNode>& local_frontier =
+                ws.chunk_frontier[range.chunk_index];
+            std::vector<KeyInterval>& local_out = ws.chunk_raw[range.chunk_index];
+            local_frontier.clear();
+            local_out.clear();
+            for (const SubtreeNode& child : kids) {
+              switch (classify(child, box)) {
+                case Overlap::kDisjoint:
+                  break;
+                case Overlap::kInside:
+                  local_out.push_back(KeyInterval{
+                      child.key_lo, child.key_lo + (child.key_count - 1)});
+                  break;
+                case Overlap::kPartial:
+                  local_frontier.push_back(child);
+                  break;
+              }
+            }
+          });
+      if (stats != nullptr) stats->nodes_visited += children.size();
+      frontier.clear();
+      for (std::uint64_t c = 0; c < chunks; ++c) {
+        out.insert(out.end(), ws.chunk_raw[c].begin(), ws.chunk_raw[c].end());
+        frontier.insert(frontier.end(), ws.chunk_frontier[c].begin(),
+                        ws.chunk_frontier[c].end());
+      }
+      continue;
+    }
     curve_.subtree_children_batch(frontier, children);
     if (stats != nullptr) stats->nodes_visited += children.size();
     frontier.clear();

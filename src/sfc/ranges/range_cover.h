@@ -26,6 +26,7 @@
 #include "sfc/common/types.h"
 #include "sfc/curves/space_filling_curve.h"
 #include "sfc/grid/box.h"
+#include "sfc/parallel/thread_pool.h"
 
 namespace sfc {
 
@@ -69,13 +70,28 @@ struct CoverWorkspace {
   std::vector<KeyInterval> raw;
   std::vector<KeyInterval> merged;
   std::vector<index_t> keys;
+  /// Per-chunk scratch of the parallel frontier expansion (one slot per
+  /// chunk in flight); untouched on the serial path.
+  std::vector<std::vector<SubtreeNode>> chunk_frontier;
+  std::vector<std::vector<KeyInterval>> chunk_raw;
 };
 
 /// Decomposes axis-aligned boxes into their exact, sorted, disjoint, maximal
 /// curve-key intervals.  The box must lie inside the curve's universe.
 class RangeCoverEngine {
  public:
-  explicit RangeCoverEngine(const SpaceFillingCurve& curve) : curve_(curve) {}
+  /// With a pool, a single huge box no longer runs on one core: once the
+  /// level-synchronous frontier grows past a threshold, each level's
+  /// expansion + classification is split over the pool on a fixed chunk
+  /// grid and the per-chunk results are concatenated in chunk order — the
+  /// frontier and the emitted intervals evolve exactly as in the serial
+  /// descent, so the cover is identical for any pool size (verified at
+  /// 2^40-cell boxes by tests/ranges/test_descent_kernels.cpp).  Multi-query
+  /// consumers that already parallelize across boxes should keep pool ==
+  /// nullptr (serial per-box descent).
+  explicit RangeCoverEngine(const SpaceFillingCurve& curve,
+                            ThreadPool* pool = nullptr)
+      : curve_(curve), pool_(pool) {}
 
   /// The cover of `box`: sorted ascending, pairwise disjoint, maximal (no
   /// two intervals are adjacent), and Σ interval sizes == box.cell_count().
@@ -102,6 +118,7 @@ class RangeCoverEngine {
 
  private:
   const SpaceFillingCurve& curve_;
+  ThreadPool* pool_ = nullptr;
 };
 
 /// Exact cover by slab-streamed enumeration: batch-encode every cell of the

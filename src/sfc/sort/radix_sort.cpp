@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <bit>
+#include <chrono>
 #include <limits>
 #include <stdexcept>
 #include <utility>
@@ -19,6 +20,12 @@ constexpr std::size_t kBuckets = 256;
 /// a stable comparison sort produces the identical permutation.
 constexpr std::size_t kComparisonFallback = 2048;
 
+/// Max bucket length the hybrid LSD's directly after its MSD partition; a
+/// 2^14-record KeyIndex128 bucket is ~384 KiB, comfortably cache-resident.
+/// Larger buckets (heavy duplicates in the partition digit) recurse on the
+/// next digit instead.
+constexpr std::size_t kMsdTailMax = std::size_t{1} << 14;
+
 inline unsigned digit_of(std::uint64_t key, int pass) {
   return static_cast<unsigned>(key >> (8 * pass)) & 0xffu;
 }
@@ -29,6 +36,12 @@ inline unsigned digit_of(u128 key, int pass) {
 
 std::uint64_t normalized_grain(const SortOptions& options) {
   return options.grain == 0 ? kDefaultGrain : options.grain;
+}
+
+using Clock = std::chrono::steady_clock;
+
+inline double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
 /// Runs body(ChunkRange) over the fixed chunk grid; a single chunk executes
@@ -56,6 +69,7 @@ void lsd_radix_sort(std::span<Record> items, const KeyFn& key_of,
   ThreadPool& pool = options.pool ? *options.pool : ThreadPool::shared();
   const std::uint64_t grain = normalized_grain(options);
   const std::uint64_t chunks = chunk_count(n, grain);
+  if (options.stats != nullptr) options.stats->passes.clear();
 
   std::vector<Record> scratch(items.size());
   Record* src = items.data();
@@ -63,6 +77,7 @@ void lsd_radix_sort(std::span<Record> items, const KeyFn& key_of,
   std::vector<std::uint64_t> hist;
 
   for (int pass = 0; pass < kPasses; ++pass) {
+    const Clock::time_point pass_start = Clock::now();
     if (pass == 0 && first_pass != nullptr) {
       hist = std::move(*first_pass);
     } else {
@@ -85,7 +100,13 @@ void lsd_radix_sort(std::span<Record> items, const KeyFn& key_of,
           first_total += hist[c * kBuckets + bucket];
         }
       }
-      if (first_total == n) continue;
+      if (first_total == n) {
+        if (options.stats != nullptr) {
+          options.stats->passes.push_back(
+              {pass, false, false, seconds_since(pass_start)});
+        }
+        continue;
+      }
     }
 
     // Convert counts to exclusive start offsets in (bucket, chunk) order.
@@ -108,6 +129,10 @@ void lsd_radix_sort(std::span<Record> items, const KeyFn& key_of,
       }
     });
     std::swap(src, dst);
+    if (options.stats != nullptr) {
+      options.stats->passes.push_back(
+          {pass, true, false, seconds_since(pass_start)});
+    }
   }
 
   if (src != items.data()) {
@@ -115,6 +140,199 @@ void lsd_radix_sort(std::span<Record> items, const KeyFn& key_of,
     over_chunks(pool, n, grain, chunks, [&](const ChunkRange& range) {
       std::copy(src + range.begin, src + range.end, dst + range.begin);
     });
+  }
+}
+
+/// Sequential LSD over digits [0, top_digit] of data[0..n), using scratch
+/// (same length) as the ping-pong buffer.  The result lands back in data.
+/// Stable, with the same constant-digit pass skipping as the parallel engine.
+template <typename Record, typename KeyFn>
+void lsd_tail_sort(Record* data, Record* scratch, std::size_t n, int top_digit,
+                   const KeyFn& key_of) {
+  Record* src = data;
+  Record* dst = scratch;
+  std::size_t hist[kBuckets];
+  for (int pass = 0; pass <= top_digit; ++pass) {
+    std::fill(std::begin(hist), std::end(hist), std::size_t{0});
+    for (std::size_t i = 0; i < n; ++i) {
+      ++hist[digit_of(key_of(src[i]), pass)];
+    }
+    std::size_t first_total = 0;
+    for (std::size_t bucket = 0; bucket < kBuckets && first_total == 0;
+         ++bucket) {
+      first_total = hist[bucket];
+    }
+    if (first_total == n) continue;
+    std::size_t running = 0;
+    for (std::size_t bucket = 0; bucket < kBuckets; ++bucket) {
+      const std::size_t count = hist[bucket];
+      hist[bucket] = running;
+      running += count;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[hist[digit_of(key_of(src[i]), pass)]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+  if (src != data) std::copy(src, src + n, data);
+}
+
+/// Sequential MSD step of the hybrid: sorts data[0..n) by digits [0..digit]
+/// with the result in data, using scratch as an equal-length aux range.
+/// Cache-resident ranges hand off to the LSD tail; constant digits descend
+/// without a partition pass.  Stable.
+template <typename Record, typename KeyFn>
+void msd_sort_seq(Record* data, Record* scratch, std::size_t n, int digit,
+                  const KeyFn& key_of) {
+  while (digit >= 0) {
+    if (n < 2) return;
+    if (n <= kMsdTailMax) {
+      lsd_tail_sort(data, scratch, n, digit, key_of);
+      return;
+    }
+    std::size_t hist[kBuckets];
+    std::fill(std::begin(hist), std::end(hist), std::size_t{0});
+    for (std::size_t i = 0; i < n; ++i) {
+      ++hist[digit_of(key_of(data[i]), digit)];
+    }
+    std::size_t first_total = 0;
+    for (std::size_t bucket = 0; bucket < kBuckets && first_total == 0;
+         ++bucket) {
+      first_total = hist[bucket];
+    }
+    if (first_total == n) {
+      --digit;
+      continue;
+    }
+    std::size_t start[kBuckets];
+    std::size_t off[kBuckets];
+    std::size_t running = 0;
+    for (std::size_t bucket = 0; bucket < kBuckets; ++bucket) {
+      start[bucket] = running;
+      off[bucket] = running;
+      running += hist[bucket];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      scratch[off[digit_of(key_of(data[i]), digit)]++] = data[i];
+    }
+    for (std::size_t bucket = 0; bucket < kBuckets; ++bucket) {
+      if (hist[bucket] > 1) {
+        msd_sort_seq(scratch + start[bucket], data + start[bucket],
+                     hist[bucket], digit - 1, key_of);
+      }
+    }
+    std::copy(scratch, scratch + n, data);
+    return;
+  }
+}
+
+/// Top-level MSD/LSD hybrid for wide keys.  Counts high digits (in parallel,
+/// on the fixed chunk grid) until it finds the highest discriminating one,
+/// partitions on it with the same deterministic (bucket, chunk) scatter the
+/// LSD engine uses, then sorts each bucket's tail independently across the
+/// pool.  The partition and every tail are stable, so the output permutation
+/// is exactly the LSD reference's for any input and any thread count.
+template <typename Record, typename KeyFn>
+void hybrid_radix_sort(std::span<Record> items, const KeyFn& key_of,
+                       const SortOptions& options) {
+  using Key = std::decay_t<decltype(key_of(items[0]))>;
+  constexpr int kTopDigit = static_cast<int>(sizeof(Key)) - 1;
+  const std::uint64_t n = items.size();
+  ThreadPool& pool = options.pool ? *options.pool : ThreadPool::shared();
+  const std::uint64_t grain = normalized_grain(options);
+  const std::uint64_t chunks = chunk_count(n, grain);
+  if (options.stats != nullptr) options.stats->passes.clear();
+
+  std::vector<Record> scratch_buf(items.size());
+  Record* const data = items.data();
+  Record* const scratch = scratch_buf.data();
+  std::vector<std::uint64_t> hist;
+  std::array<std::uint64_t, kBuckets> totals{};
+
+  int digit = kTopDigit;
+  while (digit >= 0) {
+    const Clock::time_point pass_start = Clock::now();
+    hist.assign(chunks * kBuckets, 0);
+    over_chunks(pool, n, grain, chunks, [&](const ChunkRange& range) {
+      std::uint64_t* row = hist.data() + range.chunk_index * kBuckets;
+      for (std::uint64_t i = range.begin; i < range.end; ++i) {
+        ++row[digit_of(key_of(data[i]), digit)];
+      }
+    });
+    totals.fill(0);
+    for (std::uint64_t c = 0; c < chunks; ++c) {
+      const std::uint64_t* row = hist.data() + c * kBuckets;
+      for (std::size_t bucket = 0; bucket < kBuckets; ++bucket) {
+        totals[bucket] += row[bucket];
+      }
+    }
+    std::uint64_t first_total = 0;
+    for (std::size_t bucket = 0; bucket < kBuckets && first_total == 0;
+         ++bucket) {
+      first_total = totals[bucket];
+    }
+    if (first_total == n) {
+      // Constant digit: descend, exactly like the LSD engine's pass skip.
+      if (options.stats != nullptr) {
+        options.stats->passes.push_back(
+            {digit, false, true, seconds_since(pass_start)});
+      }
+      --digit;
+      continue;
+    }
+
+    // Partition on the discriminating digit in (bucket, chunk) order — the
+    // same deterministic merge the LSD engine uses, so the partition is
+    // stable and thread-count independent.
+    std::uint64_t running = 0;
+    for (std::size_t bucket = 0; bucket < kBuckets; ++bucket) {
+      for (std::uint64_t c = 0; c < chunks; ++c) {
+        std::uint64_t& cell = hist[c * kBuckets + bucket];
+        const std::uint64_t count = cell;
+        cell = running;
+        running += count;
+      }
+    }
+    over_chunks(pool, n, grain, chunks, [&](const ChunkRange& range) {
+      std::uint64_t* row = hist.data() + range.chunk_index * kBuckets;
+      for (std::uint64_t i = range.begin; i < range.end; ++i) {
+        scratch[row[digit_of(key_of(data[i]), digit)]++] = data[i];
+      }
+    });
+    if (options.stats != nullptr) {
+      options.stats->passes.push_back(
+          {digit, true, true, seconds_since(pass_start)});
+    }
+    break;
+  }
+  if (digit < 0) return;  // Every key is identical — already sorted.
+
+  // Per-bucket tails: each bucket is a contiguous stable range of scratch;
+  // sort each one independently over the remaining digits and land it back
+  // in items.  Buckets never interact, so pool scheduling cannot perturb the
+  // output.
+  std::array<std::uint64_t, kBuckets + 1> starts;
+  starts[0] = 0;
+  for (std::size_t bucket = 0; bucket < kBuckets; ++bucket) {
+    starts[bucket + 1] = starts[bucket] + totals[bucket];
+  }
+  const Clock::time_point tails_start = Clock::now();
+  parallel_for(
+      pool, kBuckets,
+      [&](std::uint64_t bucket) {
+        const std::uint64_t start = starts[bucket];
+        const std::uint64_t count = starts[bucket + 1] - start;
+        if (count == 0) return;
+        if (count > 1 && digit > 0) {
+          msd_sort_seq(scratch + start, data + start,
+                       static_cast<std::size_t>(count), digit - 1, key_of);
+        }
+        std::copy(scratch + start, scratch + start + count, data + start);
+      },
+      /*grain=*/1);
+  if (options.stats != nullptr) {
+    options.stats->passes.push_back({-1, true, false,
+                                     seconds_since(tails_start)});
   }
 }
 
@@ -157,7 +375,7 @@ void radix_sort_keys(std::span<u128> keys, const SortOptions& options) {
     std::sort(keys.begin(), keys.end());
     return;
   }
-  sort_records(keys, [](const u128& key) { return key; }, options);
+  hybrid_radix_sort(keys, [](const u128& key) { return key; }, options);
 }
 
 void radix_sort_pairs(std::span<KeyIndex> items, const SortOptions& options) {
@@ -165,6 +383,29 @@ void radix_sort_pairs(std::span<KeyIndex> items, const SortOptions& options) {
 }
 
 void radix_sort_pairs(std::span<KeyIndex128> items, const SortOptions& options) {
+  if (items.size() < 2) return;
+  if (items.size() < kComparisonFallback) {
+    std::stable_sort(items.begin(), items.end(),
+                     [](const KeyIndex128& a, const KeyIndex128& b) {
+                       return a.key < b.key;
+                     });
+    return;
+  }
+  hybrid_radix_sort(items, [](const KeyIndex128& item) { return item.key; },
+                    options);
+}
+
+void lsd_radix_sort_keys(std::span<u128> keys, const SortOptions& options) {
+  if (keys.size() < kComparisonFallback) {
+    std::sort(keys.begin(), keys.end());
+    return;
+  }
+  lsd_radix_sort(std::span<u128>(keys), [](const u128& key) { return key; },
+                 options, nullptr);
+}
+
+void lsd_radix_sort_pairs(std::span<KeyIndex128> items,
+                          const SortOptions& options) {
   sort_records(items, [](const KeyIndex128& item) { return item.key; },
                options);
 }

@@ -1,18 +1,33 @@
-// Deterministic parallel LSD radix sort for key-ordered workloads.
+// Deterministic parallel radix sorts for key-ordered workloads.
 //
 // Every application pipeline in this repo reduces to "encode points to curve
 // keys, then sort by key" (AMR ordering, n-body traversal, range/NN index
-// builds); this subsystem makes the sort as fast as the batched encode.  The
-// sorter is an LSD radix sort with 8-bit digits over fixed-size chunks: each
-// chunk counts its own digit histogram and the per-chunk histograms are
-// merged into scatter offsets strictly in (bucket, chunk) order — the same
-// fixed-chunk design as parallel_for.h's deterministic reductions — so the
-// output is stable and bit-identical across any thread count.  Passes whose
-// digit is constant over all keys are skipped, so sorting keys drawn from a
-// universe of 2^b cells costs ~ceil(b/8) scatter passes, not the full key
-// width.  Below a small size threshold a stable comparison sort (which
-// produces the identical permutation) is used instead of the scatter
-// machinery.
+// builds); this subsystem makes the sort as fast as the batched encode.  Two
+// engines share one deterministic design:
+//
+//  - 64-bit keys (and doubles): an LSD radix sort with 8-bit digits over
+//    fixed-size chunks.  Each chunk counts its own digit histogram and the
+//    per-chunk histograms are merged into scatter offsets strictly in
+//    (bucket, chunk) order — the same fixed-chunk design as parallel_for.h's
+//    deterministic reductions — so the output is stable and bit-identical
+//    across any thread count.  Passes whose digit is constant over all keys
+//    are skipped, so sorting keys drawn from a universe of 2^b cells costs
+//    ~ceil(b/8) scatter passes, not the full key width.
+//  - 128-bit keys: an MSD-first hybrid.  A straight LSD sort of u128 keys
+//    streams the whole array through memory up to 16 times; the hybrid
+//    instead partitions once on the highest discriminating digit (the same
+//    deterministic (bucket, chunk) scatter), which leaves each bucket a
+//    cache-resident range that the remaining LSD passes sweep without ever
+//    touching DRAM again.  Buckets still above the cache threshold (heavy
+//    duplicates in the top digits) recurse on the next digit.  Both the
+//    partition and the per-bucket tails are stable, so the output permutation
+//    is bit-identical to the retained LSD reference
+//    (lsd_radix_sort_keys/pairs) for any input and any thread count —
+//    verified by tests/sort/test_hybrid_radix.cpp and speed-gated by
+//    bench/perf_kernels.cpp in CI.
+//
+// Below a small size threshold a stable comparison sort (which produces the
+// identical permutation) is used instead of the scatter machinery.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +42,27 @@
 
 namespace sfc {
 
+/// One timed top-level phase of a radix sort (see SortStats).
+struct SortPassTiming {
+  /// 8-bit digit index the pass examined (0 = least significant byte), or -1
+  /// for the hybrid's bucket-tail phase (all per-bucket work combined).
+  int digit = 0;
+  /// False when the pass only counted and found the digit constant (the
+  /// scatter was skipped).
+  bool scattered = false;
+  /// True for the hybrid's top-level MSD count/partition passes.
+  bool msd = false;
+  double seconds = 0.0;
+};
+
+/// Optional per-pass instrumentation, filled top-to-bottom in execution
+/// order.  Only top-level passes are timed (the hybrid's per-bucket tails
+/// run concurrently and report as one aggregate entry), so enabling stats
+/// never perturbs determinism.
+struct SortStats {
+  std::vector<SortPassTiming> passes;
+};
+
 struct SortOptions {
   /// Worker pool; nullptr means ThreadPool::shared().  The pool size only
   /// affects wall clock, never the output.
@@ -34,6 +70,9 @@ struct SortOptions {
   /// Elements per chunk.  Chunk boundaries depend only on the input size and
   /// this grain, so they are part of the deterministic contract.
   std::uint64_t grain = kDefaultGrain;
+  /// When non-null, cleared and filled with per-pass wall-clock timings
+  /// (bench/perf_sort_keys reports them as counters).
+  SortStats* stats = nullptr;
 };
 
 /// A curve key carrying the position it came from — the record behind every
@@ -50,15 +89,25 @@ struct KeyIndex128 {
   std::uint32_t index;
 };
 
-/// Ascending in-place sort of plain keys.
+/// Ascending in-place sort of plain keys.  The u128 overload runs the
+/// MSD/LSD hybrid above the comparison threshold.
 void radix_sort_keys(std::span<index_t> keys, const SortOptions& options = {});
 void radix_sort_keys(std::span<u128> keys, const SortOptions& options = {});
 
 /// Ascending in-place sort of (key, payload) records by key.  Stable:
-/// records with equal keys keep their relative order.
+/// records with equal keys keep their relative order.  The 128-bit overload
+/// runs the MSD/LSD hybrid above the comparison threshold.
 void radix_sort_pairs(std::span<KeyIndex> items, const SortOptions& options = {});
 void radix_sort_pairs(std::span<KeyIndex128> items,
                       const SortOptions& options = {});
+
+/// Retained 16-pass LSD reference paths for the 128-bit hybrid: bit-identical
+/// output, no MSD partition.  Kept as the bit-identity oracle
+/// (tests/sort/test_hybrid_radix.cpp) and the paired CI bench baseline
+/// (bench/perf_kernels.cpp).
+void lsd_radix_sort_keys(std::span<u128> keys, const SortOptions& options = {});
+void lsd_radix_sort_pairs(std::span<KeyIndex128> items,
+                          const SortOptions& options = {});
 
 /// Ascending in-place sort of doubles via the order-preserving bit mapping
 /// (negatives and infinities sort numerically; NaNs are not supported).

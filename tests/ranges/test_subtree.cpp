@@ -11,6 +11,7 @@
 #include "sfc/curves/curve_factory.h"
 #include "sfc/curves/peano_curve.h"
 #include "sfc/curves/space_filling_curve.h"
+#include "sfc/curves/zcurve.h"
 #include "sfc/grid/box.h"
 
 namespace sfc {
@@ -117,6 +118,18 @@ TEST(SubtreeTraversal, Peano) {
   check_whole_subtree(PeanoCurve(Universe(1, 27)));
   check_whole_subtree(PeanoCurve(Universe(2, 9)));
   check_whole_subtree(PeanoCurve(Universe(3, 9)));
+}
+
+TEST(SubtreeTraversal, PermutedZEveryOrder2D) {
+  const Universe u = Universe::pow2(2, 3);
+  check_whole_subtree(PermutedZCurve(u, {0, 1}));
+  check_whole_subtree(PermutedZCurve(u, {1, 0}));
+}
+
+TEST(SubtreeTraversal, PermutedZ3D) {
+  const Universe u = Universe::pow2(3, 2);
+  check_whole_subtree(PermutedZCurve(u, {2, 0, 1}));
+  check_whole_subtree(PermutedZCurve(u, {1, 2, 0}));
 }
 
 TEST(SubtreeTraversal, NonHierarchicalFamiliesReportNoStructure) {

@@ -1,0 +1,202 @@
+// Bit-identity of the MSD/LSD hybrid u128 sorter against its retained LSD
+// reference, across key distributions engineered to hit every hybrid branch:
+// random wide keys (one partition, small tails), duplicate-heavy and
+// all-equal sets (constant-digit skipping), and top-digit-heavy sets whose
+// partition buckets exceed the cache threshold and force the sequential MSD
+// recursion.  Both engines are stable, so "identical output" is exact — key
+// arrays compare element-wise equal and pair payloads preserve input order.
+#include "sfc/sort/radix_sort.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sfc/rng/xoshiro256.h"
+
+namespace sfc {
+namespace {
+
+std::vector<u128> random_u128(std::size_t count, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<u128> keys(count);
+  for (auto& key : keys) {
+    key = (static_cast<u128>(rng.next()) << 64) | rng.next();
+  }
+  return keys;
+}
+
+// Key distributions exercising the hybrid's branches by name.
+std::vector<u128> keys_for(const std::string& kind, std::size_t count,
+                           std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<u128> keys(count);
+  if (kind == "random") {
+    return random_u128(count, seed);
+  }
+  if (kind == "duplicate-heavy") {
+    // 64 distinct values drawn once: every value repeats ~count/64 times.
+    std::vector<u128> values = random_u128(64, seed + 1);
+    for (auto& key : keys) key = values[rng.next_below(values.size())];
+    return keys;
+  }
+  if (kind == "all-equal") {
+    const u128 value = (static_cast<u128>(0x123456789abcdef0ull) << 64) | 42u;
+    std::fill(keys.begin(), keys.end(), value);
+    return keys;
+  }
+  if (kind == "top-digit-heavy") {
+    // Only two values of the top discriminating byte: the MSD partition
+    // leaves two buckets of ~count/2 records each, far above the tail
+    // threshold, so both recurse on the next digit.
+    for (auto& key : keys) {
+      const u128 top = static_cast<u128>(rng.next() & 1) << 120;
+      key = top | (rng.next() & 0xffffu);
+    }
+    return keys;
+  }
+  if (kind == "low-64-only") {
+    // All sixteen high digits constant: the hybrid must skip down to the low
+    // half before partitioning, like the LSD engine's pass skipping.
+    for (auto& key : keys) key = rng.next();
+    return keys;
+  }
+  ADD_FAILURE() << "unknown key distribution " << kind;
+  return keys;
+}
+
+const char* kDistributions[] = {"random", "duplicate-heavy", "all-equal",
+                                "top-digit-heavy", "low-64-only"};
+
+TEST(HybridRadix, KeysBitIdenticalToLsdReferenceEveryDistribution) {
+  const std::size_t count = 100000;
+  for (const char* kind : kDistributions) {
+    for (unsigned threads : {1u, 2u, 8u}) {
+      for (std::uint64_t grain : {std::uint64_t{4096}, kDefaultGrain}) {
+        ThreadPool pool(threads);
+        SortOptions options;
+        options.pool = &pool;
+        options.grain = grain;
+        std::vector<u128> hybrid = keys_for(kind, count, 11);
+        std::vector<u128> reference = hybrid;
+        radix_sort_keys(hybrid, options);
+        lsd_radix_sort_keys(reference, options);
+        ASSERT_TRUE(hybrid == reference)
+            << kind << " threads=" << threads << " grain=" << grain;
+        // And both really sort.
+        ASSERT_TRUE(std::is_sorted(hybrid.begin(), hybrid.end())) << kind;
+      }
+    }
+  }
+}
+
+TEST(HybridRadix, PairsStableAndBitIdenticalToLsdReference) {
+  const std::size_t count = 100000;
+  for (const char* kind : kDistributions) {
+    const std::vector<u128> keys = keys_for(kind, count, 23);
+    std::vector<KeyIndex128> hybrid(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      hybrid[i] = {keys[i], static_cast<std::uint32_t>(i)};
+    }
+    std::vector<KeyIndex128> reference = hybrid;
+    SortOptions options;
+    options.grain = 4096;
+    radix_sort_pairs(hybrid, options);
+    lsd_radix_sort_pairs(reference, options);
+    for (std::size_t i = 0; i < count; ++i) {
+      ASSERT_TRUE(hybrid[i].key == reference[i].key) << kind << " at " << i;
+      ASSERT_EQ(hybrid[i].index, reference[i].index) << kind << " at " << i;
+    }
+    // Stability against the comparison oracle: equal keys keep input order.
+    std::vector<KeyIndex128> expected(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      expected[i] = {keys[i], static_cast<std::uint32_t>(i)};
+    }
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const KeyIndex128& a, const KeyIndex128& b) {
+                       return a.key < b.key;
+                     });
+    for (std::size_t i = 0; i < count; ++i) {
+      ASSERT_TRUE(hybrid[i].key == expected[i].key) << kind << " at " << i;
+      ASSERT_EQ(hybrid[i].index, expected[i].index) << kind << " at " << i;
+    }
+  }
+}
+
+TEST(HybridRadix, IdenticalOutputAcrossThreadCounts) {
+  const std::size_t count = 150000;
+  const std::vector<u128> keys = keys_for("top-digit-heavy", count, 31);
+  std::vector<KeyIndex128> reference;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    SortOptions options;
+    options.pool = &pool;
+    options.grain = 4096;
+    std::vector<KeyIndex128> items(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      items[i] = {keys[i], static_cast<std::uint32_t>(i)};
+    }
+    radix_sort_pairs(items, options);
+    if (reference.empty()) {
+      reference = items;
+      continue;
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      ASSERT_TRUE(items[i].key == reference[i].key) << "threads=" << threads;
+      ASSERT_EQ(items[i].index, reference[i].index) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(HybridRadix, ReportsPerPassTimings) {
+  // low-64-only: sixteen skipped high digits (8 on the hybrid side before it
+  // reaches the discriminating one), then a partition and a tail phase.
+  std::vector<u128> keys = keys_for("low-64-only", 50000, 47);
+  SortStats stats;
+  SortOptions options;
+  options.stats = &stats;
+  radix_sort_keys(keys, options);
+  ASSERT_FALSE(stats.passes.empty());
+  // Skipped MSD passes come first (digits 15..8 are constant), then one
+  // scattered MSD partition, then the aggregate tail entry.
+  EXPECT_EQ(stats.passes.front().digit, 15);
+  EXPECT_FALSE(stats.passes.front().scattered);
+  EXPECT_TRUE(stats.passes.front().msd);
+  const SortPassTiming& tail = stats.passes.back();
+  EXPECT_EQ(tail.digit, -1);
+  EXPECT_FALSE(tail.msd);
+  int partitions = 0;
+  for (const SortPassTiming& pass : stats.passes) {
+    if (pass.msd && pass.scattered) ++partitions;
+  }
+  EXPECT_EQ(partitions, 1);
+
+  // The LSD reference reports one entry per digit pass.
+  std::vector<u128> lsd_keys = keys_for("low-64-only", 50000, 47);
+  SortStats lsd_stats;
+  options.stats = &lsd_stats;
+  lsd_radix_sort_keys(lsd_keys, options);
+  EXPECT_EQ(lsd_stats.passes.size(), 16u);
+  for (const SortPassTiming& pass : lsd_stats.passes) {
+    EXPECT_FALSE(pass.msd);
+    EXPECT_EQ(pass.scattered, pass.digit < 8) << "digit=" << pass.digit;
+  }
+}
+
+TEST(HybridRadix, AllEqualLeavesPairsUntouched) {
+  // Every digit constant: the hybrid finds no discriminating digit and must
+  // return the input unchanged (it is already sorted and stable).
+  const std::size_t count = 4096;
+  std::vector<KeyIndex128> items(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    items[i] = {static_cast<u128>(7) << 100, static_cast<std::uint32_t>(i)};
+  }
+  radix_sort_pairs(items);
+  for (std::size_t i = 0; i < count; ++i) {
+    ASSERT_EQ(items[i].index, static_cast<std::uint32_t>(i));
+  }
+}
+
+}  // namespace
+}  // namespace sfc
