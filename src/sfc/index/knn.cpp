@@ -5,10 +5,32 @@
 #include <tuple>
 
 #include "sfc/common/math.h"
+#include "sfc/obs/metrics.h"
 
 namespace sfc {
 
 namespace {
+
+struct KnnMetrics {
+  MetricsRegistry::Counter queries;
+  MetricsRegistry::Counter neighbors_returned;
+  MetricsRegistry::Counter nodes_expanded;
+  MetricsRegistry::Counter frontier_pushes;
+  MetricsRegistry::Counter rows_scanned;
+  MetricsRegistry::Counter certified;
+};
+
+KnnMetrics& knn_metrics() {
+  static KnnMetrics metrics{
+      MetricsRegistry::global().counter("index.knn.queries"),
+      MetricsRegistry::global().counter("index.knn.neighbors_returned"),
+      MetricsRegistry::global().counter("index.knn.nodes_expanded"),
+      MetricsRegistry::global().counter("index.knn.frontier_pushes"),
+      MetricsRegistry::global().counter("index.knn.rows_scanned"),
+      MetricsRegistry::global().counter("index.knn.certified"),
+  };
+  return metrics;
+}
 
 /// The total candidate order: (squared distance, curve key, row) ascending —
 /// exactly what a brute-force stable ranking produces, so index answers are
@@ -67,6 +89,10 @@ std::vector<KnnNeighbor> KnnEngine::query(const Point& query, std::uint32_t k,
 
   if (k == 0 || view_.empty()) {
     local.certified = true;
+    if (obs_enabled()) {
+      knn_metrics().queries.add(1);
+      knn_metrics().certified.add(1);
+    }
     if (stats != nullptr) *stats = local;
     return {};
   }
@@ -128,6 +154,15 @@ std::vector<KnnNeighbor> KnnEngine::query(const Point& query, std::uint32_t k,
   for (const Candidate& candidate : best_) {
     result.push_back(KnnNeighbor{view_.id_of_row(candidate.row), candidate.key,
                                  candidate.sq_dist});
+  }
+  if (obs_enabled()) {
+    KnnMetrics& metrics = knn_metrics();
+    metrics.queries.add(1);
+    metrics.neighbors_returned.add(result.size());
+    metrics.nodes_expanded.add(local.nodes_expanded);
+    metrics.frontier_pushes.add(local.frontier_pushes);
+    metrics.rows_scanned.add(local.rows_scanned);
+    if (local.certified) metrics.certified.add(1);
   }
   if (stats != nullptr) *stats = local;
   return result;

@@ -1,8 +1,11 @@
 #include "sfc/index/point_index.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 
+#include "sfc/obs/metrics.h"
+#include "sfc/obs/span_trace.h"
 #include "sfc/sort/radix_sort.h"
 
 namespace sfc {
@@ -32,6 +35,7 @@ std::uint64_t first_invalid_point(const Universe& u,
 PointIndex PointIndex::build(const SpaceFillingCurve& curve,
                              std::span<const Point> points,
                              const IndexBuildOptions& options) {
+  const double build_start_us = trace_now_us();
   if (points.size() > std::numeric_limits<std::uint32_t>::max()) {
     throw IndexArgumentError(
         "point index build: " + std::to_string(points.size()) +
@@ -80,6 +84,21 @@ PointIndex PointIndex::build(const SpaceFillingCurve& curve,
     const std::uint64_t end =
         std::min<std::uint64_t>((b + 1) * index.block_rows_, n);
     index.block_last_key_[b] = index.keys_[end - 1];
+  }
+  if (obs_enabled()) {
+    const double build_us = trace_now_us() - build_start_us;
+    MetricsRegistry::global().counter("index.builds").add(1);
+    MetricsRegistry::global().counter("index.build_rows").add(n);
+    MetricsRegistry::global().histogram("index.build_us").record_us(build_us);
+    TraceSpan span;
+    span.name = "index_build";
+    span.category = "index";
+    span.start_us = build_start_us;
+    span.dur_us = build_us;
+    span.tid = trace_thread_id();
+    span.add_arg("rows", n);
+    span.add_arg("blocks", blocks);
+    TraceRing::global().record(span);
   }
   return index;
 }

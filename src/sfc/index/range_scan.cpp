@@ -1,6 +1,33 @@
 #include "sfc/index/range_scan.h"
 
+#include "sfc/obs/metrics.h"
+
 namespace sfc {
+
+namespace {
+
+struct RangeScanMetrics {
+  MetricsRegistry::Counter queries;
+  MetricsRegistry::Counter rows_returned;
+  MetricsRegistry::Counter rows_scanned;
+  MetricsRegistry::Counter runs_in_cover;
+  MetricsRegistry::Counter runs_touched;
+  MetricsRegistry::Counter nodes_visited;
+};
+
+RangeScanMetrics& range_scan_metrics() {
+  static RangeScanMetrics metrics{
+      MetricsRegistry::global().counter("index.range.queries"),
+      MetricsRegistry::global().counter("index.range.rows_returned"),
+      MetricsRegistry::global().counter("index.range.rows_scanned"),
+      MetricsRegistry::global().counter("index.range.runs_in_cover"),
+      MetricsRegistry::global().counter("index.range.runs_touched"),
+      MetricsRegistry::global().counter("index.range.nodes_visited"),
+  };
+  return metrics;
+}
+
+}  // namespace
 
 void RangeScanEngine::scan(const Box& box, std::vector<std::uint32_t>* out,
                            RangeScanStats* stats) {
@@ -25,6 +52,15 @@ void RangeScanEngine::scan(const Box& box, std::vector<std::uint32_t>* out,
   local.rows_scanned = local.rows_returned;
   local.nodes_visited = cover_stats.nodes_visited;
   local.used_subtree = cover_stats.used_subtree;
+  if (obs_enabled()) {
+    RangeScanMetrics& metrics = range_scan_metrics();
+    metrics.queries.add(1);
+    metrics.rows_returned.add(local.rows_returned);
+    metrics.rows_scanned.add(local.rows_scanned);
+    metrics.runs_in_cover.add(local.runs_in_cover);
+    metrics.runs_touched.add(local.runs_touched);
+    metrics.nodes_visited.add(local.nodes_visited);
+  }
   if (stats != nullptr) *stats = local;
 }
 

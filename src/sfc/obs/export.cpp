@@ -1,0 +1,90 @@
+#include "sfc/obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sfc {
+
+namespace {
+
+std::string fixed3(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.3f", value);
+  return buffer;
+}
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "sfc_";
+  for (const char c : name) {
+    out += (c == '.' || c == '-') ? '_' : c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string metrics_json(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"metrics\": {";
+  bool first = true;
+  for (const MetricValue& metric : snapshot.metrics) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    \"" + metric.name + "\": ";
+    if (metric.kind == MetricKind::kHistogram) {
+      const LatencyHistogram& h = metric.histogram;
+      out += "{\"count\": " + std::to_string(h.count);
+      out += ", \"sum_us\": " + fixed3(h.sum_us());
+      out += ", \"p50_us\": " + fixed3(h.percentile_us(0.50));
+      out += ", \"p90_us\": " + fixed3(h.percentile_us(0.90));
+      out += ", \"p99_us\": " + fixed3(h.percentile_us(0.99));
+      out += ", \"buckets\": [";
+      for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+        if (b > 0) out += ", ";
+        out += std::to_string(h.buckets[b]);
+      }
+      out += "]}";
+    } else {
+      out += std::to_string(metric.value);
+    }
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+std::string metrics_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const MetricValue& metric : snapshot.metrics) {
+    const std::string name = prometheus_name(metric.name);
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + std::to_string(metric.value) + "\n";
+        break;
+      case MetricKind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + std::to_string(metric.value) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        const LatencyHistogram& h = metric.histogram;
+        out += "# TYPE " + name + " histogram\n";
+        // Bucket b's reported upper edge is 2^b us (percentile_us uses the
+        // same convention); bucket 0 holds zero/negative samples and folds
+        // into the first cumulative line.
+        std::uint64_t cumulative = h.buckets[0];
+        for (std::size_t b = 1; b < h.buckets.size(); ++b) {
+          cumulative += h.buckets[b];
+          out += name + "_bucket{le=\"" +
+                 fixed3(std::ldexp(1.0, static_cast<int>(b))) + "\"} " +
+                 std::to_string(cumulative) + "\n";
+        }
+        out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+        out += name + "_count " + std::to_string(h.count) + "\n";
+        out += name + "_sum " + fixed3(h.sum_us()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sfc

@@ -1,0 +1,22 @@
+// Export surfaces for metrics snapshots: JSON for tooling, Prometheus text
+// exposition for scrapers.  Both render a MetricsSnapshot only — take the
+// snapshot first, so one consistent fold feeds every surface.
+#pragma once
+
+#include <string>
+
+#include "sfc/obs/metrics.h"
+
+namespace sfc {
+
+/// {"metrics": {name: value | {histogram object}, ...}}, name-sorted (the
+/// snapshot order).  Counters and gauges render as integers; histograms as
+/// {"count", "sum_us", "p50_us", "p90_us", "p99_us", "buckets": [32 counts]}.
+std::string metrics_json(const MetricsSnapshot& snapshot);
+
+/// Prometheus text exposition: names are prefixed "sfc_" with '.'/'-'
+/// mapped to '_'; histograms emit cumulative _bucket{le="2^i"} series plus
+/// _count and _sum (microseconds).
+std::string metrics_prometheus(const MetricsSnapshot& snapshot);
+
+}  // namespace sfc

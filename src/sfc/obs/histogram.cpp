@@ -1,0 +1,62 @@
+#include "sfc/obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+
+namespace sfc {
+
+void LatencyHistogram::record_us(double us) {
+  const std::uint64_t whole =
+      us <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(std::ceil(us)));
+  const int bucket = std::min(31, static_cast<int>(std::bit_width(whole)));
+  ++buckets[static_cast<std::size_t>(bucket)];
+  ++count;
+  if (us > 0.0) {
+    // Clamp before the ns conversion: llround past int64 range is undefined,
+    // and a sample measured in centuries has nothing left to say anyway.
+    sum_ns += static_cast<std::uint64_t>(
+        std::llround(std::min(us, 9.0e15) * 1000.0));
+  }
+}
+
+double LatencyHistogram::percentile_us(double fraction) const {
+  if (count == 0) return 0.0;
+  const double rank = std::ceil(fraction * static_cast<double>(count));
+  const auto target = static_cast<std::uint64_t>(
+      std::min<double>(static_cast<double>(count),
+                       std::max<double>(1.0, rank)));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen >= target) {
+      return b == 0 ? 1.0 : std::ldexp(1.0, static_cast<int>(b));
+    }
+  }
+  return std::ldexp(1.0, 31);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    buckets[b] += other.buckets[b];
+  }
+  count += other.count;
+  sum_ns += other.sum_ns;
+}
+
+void LatencyHistogram::reset() { *this = LatencyHistogram{}; }
+
+double nearest_rank_percentile(std::vector<double>& latencies_us,
+                               double fraction) {
+  if (latencies_us.empty()) return 0.0;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const double rank =
+      std::ceil(fraction * static_cast<double>(latencies_us.size()));
+  const std::size_t at = std::min<std::size_t>(
+      latencies_us.size(),
+      std::max<std::size_t>(1, static_cast<std::size_t>(rank)));
+  return latencies_us[at - 1];
+}
+
+}  // namespace sfc

@@ -1,0 +1,49 @@
+// Shared latency accounting for the observability layer.
+//
+// LatencyHistogram is the one histogram shape every subsystem reports with:
+// 32 log2 buckets over microseconds, fixed size, merge-friendly — the
+// operator-dashboard instrument, not a benchmark one.  It started life inside
+// ServerHealth; the serving layer still embeds it there, and the metrics
+// registry (sfc/obs/metrics.h) folds its thread shards into this same type so
+// a snapshot consumer only ever sees one histogram representation.
+//
+// nearest_rank_percentile is the *exact* companion: replay and chaos reports
+// keep their raw latency vectors and must report exact percentiles (a log2
+// bucket edge would halve their resolution and wobble gate math), so the one
+// nearest-rank definition lives here instead of being re-derived per caller.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace sfc {
+
+/// Log-scale latency histogram: bucket i counts samples whose microsecond
+/// value, rounded up, has bit width i — roughly (2^(i-1), 2^i] us, with
+/// bucket 0 holding only zero/negative samples and bucket 31 saturating.
+/// Fixed size, lock-friendly, and good to ~2x resolution across us..minutes.
+struct LatencyHistogram {
+  std::array<std::uint64_t, 32> buckets{};
+  std::uint64_t count = 0;
+  /// Total recorded time, kept in integer nanoseconds so merges fold
+  /// deterministically in any order (export surfaces divide back to us).
+  std::uint64_t sum_ns = 0;
+
+  void record_us(double us);
+  /// Nearest-rank percentile, reported as the upper edge (2^i us) of the
+  /// bucket holding that rank; 0 when empty.
+  double percentile_us(double fraction) const;
+  double sum_us() const { return static_cast<double>(sum_ns) / 1000.0; }
+  /// Bucket-wise accumulation; the shard fold of the metrics registry.
+  void merge(const LatencyHistogram& other);
+  void reset();
+};
+
+/// Exact nearest-rank percentile over raw latency samples: rank
+/// ceil(fraction * n) clamped to [1, n], 0 when empty.  Sorts `latencies_us`
+/// in place (idempotent across repeated calls).
+double nearest_rank_percentile(std::vector<double>& latencies_us,
+                               double fraction);
+
+}  // namespace sfc

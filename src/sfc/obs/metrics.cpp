@@ -1,0 +1,236 @@
+#include "sfc/obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <utility>
+
+#include "sfc/common/error.h"
+
+namespace sfc {
+
+namespace {
+
+/// Fixed shard capacity: cells must keep stable addresses while other
+/// threads record, so shards are sized once at creation and registration
+/// beyond the cap is a loud error instead of a silent realloc race.  The
+/// caps are an order of magnitude above what the built-in instrumentation
+/// registers (a few dozen counters, a handful of histograms).
+constexpr std::uint32_t kMaxCounterSlots = 512;
+constexpr std::uint32_t kMaxHistogramSlots = 64;
+
+std::atomic<std::uint64_t> g_registry_uid{1};
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+/// One thread's private cells.  Everything is a relaxed atomic integer:
+/// writes are uncontended (one writer thread), and the atomics make the
+/// cross-thread snapshot fold race-free.
+struct MetricsRegistry::Shard {
+  std::vector<std::atomic<std::uint64_t>> counters;
+  struct HistCell {
+    std::array<std::atomic<std::uint64_t>, 32> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum_ns{0};
+  };
+  std::vector<HistCell> histograms;
+
+  Shard() : counters(kMaxCounterSlots), histograms(kMaxHistogramSlots) {}
+};
+
+MetricsRegistry::MetricsRegistry()
+    : uid_(g_registry_uid.fetch_add(1, std::memory_order_relaxed)) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Counter MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    if (it->second.kind != MetricKind::kCounter) {
+      throw Error("metric '" + name + "' already registered as a " +
+                  kind_name(it->second.kind));
+    }
+    return Counter(this, it->second.slot);
+  }
+  if (counter_slots_ >= kMaxCounterSlots) {
+    throw Error("metrics registry: counter capacity exhausted at '" + name +
+                "'");
+  }
+  const std::uint32_t slot = counter_slots_++;
+  metrics_.emplace(name, Meta{MetricKind::kCounter, slot});
+  return Counter(this, slot);
+}
+
+MetricsRegistry::Gauge MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    if (it->second.kind != MetricKind::kGauge) {
+      throw Error("metric '" + name + "' already registered as a " +
+                  kind_name(it->second.kind));
+    }
+    return Gauge(gauges_[it->second.slot].get());
+  }
+  const auto slot = static_cast<std::uint32_t>(gauges_.size());
+  gauges_.push_back(std::make_unique<std::atomic<std::int64_t>>(0));
+  metrics_.emplace(name, Meta{MetricKind::kGauge, slot});
+  return Gauge(gauges_[slot].get());
+}
+
+MetricsRegistry::Histogram MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    if (it->second.kind != MetricKind::kHistogram) {
+      throw Error("metric '" + name + "' already registered as a " +
+                  kind_name(it->second.kind));
+    }
+    return Histogram(this, it->second.slot);
+  }
+  if (histogram_slots_ >= kMaxHistogramSlots) {
+    throw Error("metrics registry: histogram capacity exhausted at '" + name +
+                "'");
+  }
+  const std::uint32_t slot = histogram_slots_++;
+  metrics_.emplace(name, Meta{MetricKind::kHistogram, slot});
+  return Histogram(this, slot);
+}
+
+MetricsRegistry::Shard* MetricsRegistry::attach_shard() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  shards_.push_back(std::make_unique<Shard>());
+  return shards_.back().get();
+}
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard() {
+  // Registry-uid-keyed cache: one entry per registry this thread has
+  // recorded into (almost always just the global one, so the scan is a
+  // single compare).  Entries for destroyed registries go stale but are
+  // never dereferenced — uids are not reused.
+  thread_local std::vector<std::pair<std::uint64_t, Shard*>> cache;
+  for (const auto& [uid, shard] : cache) {
+    if (uid == uid_) return *shard;
+  }
+  Shard* shard = attach_shard();
+  cache.emplace_back(uid_, shard);
+  return *shard;
+}
+
+void MetricsRegistry::counter_add(std::uint32_t slot, std::uint64_t n) {
+  local_shard().counters[slot].fetch_add(n, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::histogram_record(std::uint32_t slot, double us) {
+  // Same bucketing as LatencyHistogram::record_us, applied to the shard's
+  // atomic cells so the snapshot fold reproduces record_us exactly.
+  Shard::HistCell& cell = local_shard().histograms[slot];
+  const std::uint64_t whole =
+      us <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(std::ceil(us)));
+  const int bucket = std::min(31, static_cast<int>(std::bit_width(whole)));
+  cell.buckets[static_cast<std::size_t>(bucket)].fetch_add(
+      1, std::memory_order_relaxed);
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  if (us > 0.0) {
+    cell.sum_ns.fetch_add(static_cast<std::uint64_t>(std::llround(
+                              std::min(us, 9.0e15) * 1000.0)),
+                          std::memory_order_relaxed);
+  }
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mutex_);
+  snapshot.metrics.reserve(metrics_.size());
+  // std::map iteration is name order, and every fold below is an integer
+  // sum over the shard list — commutative, so the snapshot is identical for
+  // any thread count and any shard registration order.
+  for (const auto& [name, meta] : metrics_) {
+    MetricValue value;
+    value.name = name;
+    value.kind = meta.kind;
+    switch (meta.kind) {
+      case MetricKind::kCounter: {
+        std::uint64_t total = 0;
+        for (const auto& shard : shards_) {
+          total += shard->counters[meta.slot].load(std::memory_order_relaxed);
+        }
+        value.value = static_cast<std::int64_t>(total);
+        break;
+      }
+      case MetricKind::kGauge:
+        value.value = gauges_[meta.slot]->load(std::memory_order_relaxed);
+        break;
+      case MetricKind::kHistogram: {
+        for (const auto& shard : shards_) {
+          const Shard::HistCell& cell = shard->histograms[meta.slot];
+          for (std::size_t b = 0; b < cell.buckets.size(); ++b) {
+            value.histogram.buckets[b] +=
+                cell.buckets[b].load(std::memory_order_relaxed);
+          }
+          value.histogram.count += cell.count.load(std::memory_order_relaxed);
+          value.histogram.sum_ns +=
+              cell.sum_ns.load(std::memory_order_relaxed);
+        }
+        break;
+      }
+    }
+    snapshot.metrics.push_back(std::move(value));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& shard : shards_) {
+    for (auto& counter : shard->counters) {
+      counter.store(0, std::memory_order_relaxed);
+    }
+    for (auto& cell : shard->histograms) {
+      for (auto& bucket : cell.buckets) {
+        bucket.store(0, std::memory_order_relaxed);
+      }
+      cell.count.store(0, std::memory_order_relaxed);
+      cell.sum_ns.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (const auto& gauge : gauges_) {
+    gauge->store(0, std::memory_order_relaxed);
+  }
+}
+
+const MetricValue* MetricsSnapshot::find(std::string_view name) const {
+  for (const MetricValue& metric : metrics) {
+    if (metric.name == name) return &metric;
+  }
+  return nullptr;
+}
+
+std::int64_t MetricsSnapshot::value(std::string_view name) const {
+  const MetricValue* metric = find(name);
+  return metric == nullptr ? 0 : metric->value;
+}
+
+const LatencyHistogram* MetricsSnapshot::histogram(
+    std::string_view name) const {
+  const MetricValue* metric = find(name);
+  return metric != nullptr && metric->kind == MetricKind::kHistogram
+             ? &metric->histogram
+             : nullptr;
+}
+
+}  // namespace sfc

@@ -1,0 +1,187 @@
+// The process-wide metrics registry: named counters, gauges, and log2
+// latency histograms with lock-light recording.
+//
+// Recording is the hot path and must stay off every lock: each thread gets a
+// private shard of relaxed atomic cells per registry (registered once under
+// the registry mutex, owned by the registry so counts survive thread exit),
+// and a handle's add()/record_us() is a thread-local shard lookup plus a
+// relaxed fetch_add on an uncontended cache line.  snapshot() folds the
+// shards deterministically: every cell is an integer (histogram time sums
+// are kept in nanoseconds, never floating point), so the fold is a
+// commutative sum and the snapshot is bit-identical for any thread count or
+// fold order — the same determinism contract the sort and cover kernels
+// keep.
+//
+// Two switches make instrumentation free when unwanted: the runtime
+// obs_enabled() flag (one relaxed atomic load per record; flip it with
+// set_obs_enabled) and the SFC_OBS_DISABLED compile definition (CMake
+// -DSFC_OBS=OFF), which compiles every handle method to an empty inline
+// body.
+//
+// Naming convention: dot-separated "<layer>.<fact>" ("serve.accepted",
+// "index.range.rows_scanned", "sort.pass_us"); histogram names end in the
+// unit.  Export surfaces (sfc/obs/export.h) rely only on that shape.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sfc/obs/histogram.h"
+
+namespace sfc {
+
+namespace obs_detail {
+/// Runtime master switch, checked on every record.  Inline so the handle
+/// fast path is a single relaxed load away from the caller's code.
+inline std::atomic<bool> g_obs_enabled{true};
+}  // namespace obs_detail
+
+inline bool obs_enabled() {
+  return obs_detail::g_obs_enabled.load(std::memory_order_relaxed);
+}
+inline void set_obs_enabled(bool enabled) {
+  obs_detail::g_obs_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// One folded metric in a snapshot.  `value` carries counters and gauges;
+/// `histogram` carries histograms (empty otherwise).
+struct MetricValue {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::int64_t value = 0;
+  LatencyHistogram histogram;
+};
+
+/// A deterministic point-in-time fold of a registry, name-sorted.
+struct MetricsSnapshot {
+  std::vector<MetricValue> metrics;
+
+  const MetricValue* find(std::string_view name) const;
+  /// Counter/gauge value by name; 0 when absent.
+  std::int64_t value(std::string_view name) const;
+  /// Histogram by name; nullptr when absent or not a histogram.
+  const LatencyHistogram* histogram(std::string_view name) const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Cheap copyable handle to one counter.  Safe to cache in function-local
+  /// statics against the global() registry (which is never destroyed).
+  class Counter {
+   public:
+    Counter() = default;
+    void add(std::uint64_t n = 1) {
+#ifndef SFC_OBS_DISABLED
+      if (registry_ != nullptr && obs_enabled()) registry_->counter_add(slot_, n);
+#endif
+    }
+
+   private:
+    friend class MetricsRegistry;
+    Counter(MetricsRegistry* registry, std::uint32_t slot)
+        : registry_(registry), slot_(slot) {}
+    MetricsRegistry* registry_ = nullptr;
+    std::uint32_t slot_ = 0;
+  };
+
+  /// Gauges are low-frequency set/add values (queue depth, bytes mapped):
+  /// one shared atomic per gauge, no sharding.
+  class Gauge {
+   public:
+    Gauge() = default;
+    void set(std::int64_t value) {
+#ifndef SFC_OBS_DISABLED
+      if (cell_ != nullptr && obs_enabled()) {
+        cell_->store(value, std::memory_order_relaxed);
+      }
+#endif
+    }
+    void add(std::int64_t delta) {
+#ifndef SFC_OBS_DISABLED
+      if (cell_ != nullptr && obs_enabled()) {
+        cell_->fetch_add(delta, std::memory_order_relaxed);
+      }
+#endif
+    }
+
+   private:
+    friend class MetricsRegistry;
+    explicit Gauge(std::atomic<std::int64_t>* cell) : cell_(cell) {}
+    std::atomic<std::int64_t>* cell_ = nullptr;
+  };
+
+  class Histogram {
+   public:
+    Histogram() = default;
+    void record_us(double us) {
+#ifndef SFC_OBS_DISABLED
+      if (registry_ != nullptr && obs_enabled()) {
+        registry_->histogram_record(slot_, us);
+      }
+#endif
+    }
+
+   private:
+    friend class MetricsRegistry;
+    Histogram(MetricsRegistry* registry, std::uint32_t slot)
+        : registry_(registry), slot_(slot) {}
+    MetricsRegistry* registry_ = nullptr;
+    std::uint32_t slot_ = 0;
+  };
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process registry every built-in instrumentation site reports to.
+  /// Intentionally leaked: worker threads may still record during static
+  /// destruction.
+  static MetricsRegistry& global();
+
+  /// Get-or-create by name; throws Error if the name exists with a
+  /// different kind.  Registration takes the registry mutex — cache the
+  /// handle, don't look it up per record.
+  Counter counter(const std::string& name);
+  Gauge gauge(const std::string& name);
+  Histogram histogram(const std::string& name);
+
+  /// Deterministic fold of all shards into a name-sorted snapshot.
+  MetricsSnapshot snapshot() const;
+  /// Zeroes every cell in every shard (names and handles stay registered).
+  void reset();
+
+ private:
+  struct Shard;
+  struct Meta {
+    MetricKind kind;
+    std::uint32_t slot;
+  };
+
+  void counter_add(std::uint32_t slot, std::uint64_t n);
+  void histogram_record(std::uint32_t slot, double us);
+  Shard& local_shard();
+  Shard* attach_shard();
+
+  /// Unique per registry instance, never reused: the thread-local shard
+  /// cache keys on it, so a stale cache entry for a destroyed registry can
+  /// never alias a new one.
+  const std::uint64_t uid_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Meta> metrics_;
+  std::uint32_t counter_slots_ = 0;
+  std::uint32_t histogram_slots_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<std::atomic<std::int64_t>>> gauges_;
+};
+
+}  // namespace sfc

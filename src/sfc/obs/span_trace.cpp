@@ -1,0 +1,185 @@
+#include "sfc/obs/span_trace.h"
+
+#include <atomic>
+#include <cstdio>
+
+#include "sfc/obs/metrics.h"
+
+namespace sfc {
+
+namespace {
+
+std::atomic<std::uint64_t> g_trace_id{1};
+std::atomic<std::uint32_t> g_thread_id{1};
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+/// Minimal JSON string escaping.  Span strings are static literals chosen by
+/// instrumentation code, but the exporter must stay well-formed for any
+/// input.
+void append_json_string(std::string& out, const char* text) {
+  out += '"';
+  for (const char* p = text; *p != '\0'; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buffer;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+void append_fixed3(std::string& out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.3f", value);
+  out += buffer;
+}
+
+}  // namespace
+
+void TraceSpan::add_arg(const char* key, std::uint64_t value) {
+  for (Arg& arg : args) {
+    if (arg.key == nullptr) {
+      arg = Arg{key, value};
+      return;
+    }
+  }
+}
+
+TraceRing::TraceRing(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+TraceRing& TraceRing::global() {
+  static TraceRing* ring = new TraceRing();
+  return *ring;
+}
+
+void TraceRing::record(const TraceSpan& span) {
+#ifdef SFC_OBS_DISABLED
+  (void)span;
+  return;
+#else
+  if (!obs_enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_[head_] = span;
+  head_ = (head_ + 1) % capacity_;
+  if (size_ < capacity_) {
+    ++size_;
+  } else {
+    ++dropped_;
+  }
+  ++recorded_;
+#endif
+}
+
+void TraceRing::record_all(std::span<const TraceSpan> spans) {
+#ifdef SFC_OBS_DISABLED
+  (void)spans;
+#else
+  if (!obs_enabled() || spans.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const TraceSpan& span : spans) {
+    ring_[head_] = span;
+    head_ = (head_ + 1) % capacity_;
+    if (size_ < capacity_) {
+      ++size_;
+    } else {
+      ++dropped_;
+    }
+    ++recorded_;
+  }
+#endif
+}
+
+std::vector<TraceSpan> TraceRing::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceSpan> spans;
+  spans.reserve(size_);
+  const std::size_t oldest = (head_ + capacity_ - size_) % capacity_;
+  for (std::size_t i = 0; i < size_; ++i) {
+    spans.push_back(ring_[(oldest + i) % capacity_]);
+  }
+  return spans;
+}
+
+void TraceRing::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  head_ = 0;
+  size_ = 0;
+  recorded_ = 0;
+  dropped_ = 0;
+}
+
+std::uint64_t TraceRing::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_;
+}
+
+std::uint64_t TraceRing::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::uint64_t next_trace_id() {
+  return g_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+double trace_now_us() {
+  return trace_time_us(std::chrono::steady_clock::now());
+}
+
+double trace_time_us(std::chrono::steady_clock::time_point tp) {
+  return std::chrono::duration<double, std::micro>(tp - trace_epoch()).count();
+}
+
+std::uint32_t trace_thread_id() {
+  thread_local const std::uint32_t id =
+      g_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::string chrome_trace_json(std::span<const TraceSpan> spans) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceSpan& span : spans) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n{\"pid\":1,\"tid\":";
+    out += std::to_string(span.tid);
+    out += ",\"ph\":\"X\",\"ts\":";
+    append_fixed3(out, span.start_us);
+    out += ",\"dur\":";
+    append_fixed3(out, span.dur_us);
+    out += ",\"name\":";
+    append_json_string(out, span.name);
+    out += ",\"cat\":";
+    append_json_string(out, span.category);
+    out += ",\"args\":{\"trace_id\":";
+    out += std::to_string(span.trace_id);
+    for (const TraceSpan::Arg& arg : span.args) {
+      if (arg.key == nullptr) continue;
+      out += ',';
+      append_json_string(out, arg.key);
+      out += ':';
+      out += std::to_string(arg.value);
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace sfc

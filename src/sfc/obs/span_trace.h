@@ -1,0 +1,102 @@
+// Per-query span tracing: bounded, exportable as Chrome trace-event JSON.
+//
+// A span is one timed phase of one request — queue wait, batch execution, an
+// engine's work on a query, a sort pass — stamped with the trace id minted
+// at admission so every phase of a request lines up on one timeline.  Spans
+// carry only trivially-copyable data (static-lifetime name/category strings,
+// a fixed arg array of integer facts), so recording is a struct copy into a
+// mutex-protected ring buffer that keeps the most recent `capacity` spans
+// and counts what it overwrote.  Span volume is per-query/per-batch, never
+// per-row, so the mutex is uncontended in practice.
+//
+// chrome_trace_json renders any span list as the Chrome/Perfetto trace-event
+// format ("ph":"X" complete events): load the file in chrome://tracing or
+// https://ui.perfetto.dev and the serving pipeline becomes a flame chart.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sfc {
+
+struct TraceSpan {
+  /// Request correlation id (next_trace_id()); 0 = not tied to a request.
+  std::uint64_t trace_id = 0;
+  /// Static-lifetime strings only (string literals): spans are copied around
+  /// without ownership.
+  const char* name = "";
+  const char* category = "";
+  /// trace_now_us() timebase: microseconds since the process trace epoch.
+  double start_us = 0.0;
+  double dur_us = 0.0;
+  /// Small dense per-thread id (trace_thread_id()), the Chrome "tid".
+  std::uint32_t tid = 0;
+
+  struct Arg {
+    const char* key = nullptr;  ///< nullptr = slot unused
+    std::uint64_t value = 0;
+  };
+  std::array<Arg, 8> args{};
+
+  /// Appends an integer fact; silently drops past the fixed arg capacity.
+  void add_arg(const char* key, std::uint64_t value);
+};
+
+/// Bounded most-recent-spans buffer.  Thread-safe; record() is a no-op while
+/// obs is disabled (set_obs_enabled / SFC_OBS_DISABLED).
+class TraceRing {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit TraceRing(std::size_t capacity = kDefaultCapacity);
+
+  /// The process ring the built-in instrumentation records into.
+  /// Intentionally leaked, like MetricsRegistry::global().
+  static TraceRing& global();
+
+  void record(const TraceSpan& span);
+  /// Records a batch of spans under one lock acquisition.  Hot paths that
+  /// mint several spans per event (one per query in a served batch) should
+  /// stage them locally and flush once, so the ring mutex is taken per
+  /// batch, not per query.
+  void record_all(std::span<const TraceSpan> spans);
+  /// Retained spans, oldest first.
+  std::vector<TraceSpan> snapshot() const;
+  void clear();
+
+  std::size_t capacity() const { return capacity_; }
+  /// Lifetime counters: spans ever recorded, and how many of those were
+  /// overwritten by newer spans (recorded - dropped = retained, capped).
+  std::uint64_t recorded() const;
+  std::uint64_t dropped() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<TraceSpan> ring_;
+  std::size_t head_ = 0;  ///< next write position
+  std::size_t size_ = 0;  ///< valid spans in ring_
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Monotonic process-global request id, starting at 1.
+std::uint64_t next_trace_id();
+
+/// Microseconds since the process trace epoch (steady clock).
+double trace_now_us();
+/// The same timebase for an already-captured steady_clock time point.
+double trace_time_us(std::chrono::steady_clock::time_point tp);
+
+/// Small dense id of the calling thread, assigned on first use.
+std::uint32_t trace_thread_id();
+
+/// Renders spans as Chrome trace-event JSON ({"traceEvents":[...]}).
+std::string chrome_trace_json(std::span<const TraceSpan> spans);
+
+}  // namespace sfc

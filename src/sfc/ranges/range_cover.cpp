@@ -7,12 +7,30 @@
 
 #include "sfc/common/batch.h"
 #include "sfc/common/math.h"
+#include "sfc/obs/metrics.h"
 #include "sfc/parallel/parallel_for.h"
 #include "sfc/sort/radix_sort.h"
 
 namespace sfc {
 
 namespace {
+
+struct CoverMetrics {
+  MetricsRegistry::Counter covers;
+  MetricsRegistry::Counter subtree_covers;
+  MetricsRegistry::Counter intervals;
+  MetricsRegistry::Counter nodes_visited;
+};
+
+CoverMetrics& cover_metrics() {
+  static CoverMetrics metrics{
+      MetricsRegistry::global().counter("ranges.covers"),
+      MetricsRegistry::global().counter("ranges.subtree_covers"),
+      MetricsRegistry::global().counter("ranges.intervals"),
+      MetricsRegistry::global().counter("ranges.nodes_visited"),
+  };
+  return metrics;
+}
 
 /// node ∩ box classification for the descent.
 enum class Overlap { kDisjoint, kInside, kPartial };
@@ -107,6 +125,10 @@ std::span<const KeyInterval> RangeCoverEngine::cover(const Box& box,
   if (stats != nullptr) *stats = CoverStats{};
   if (!curve_.has_subtree_traversal()) {
     enumerate_cover_into(curve_, box, ws.keys, ws.merged);
+    if (obs_enabled()) {
+      cover_metrics().covers.add(1);
+      cover_metrics().intervals.add(ws.merged.size());
+    }
     return ws.merged;
   }
   if (stats != nullptr) stats->used_subtree = true;
@@ -210,6 +232,13 @@ std::span<const KeyInterval> RangeCoverEngine::cover(const Box& box,
   merged.reserve(out.size());
   for (const KeyInterval& interval : out) {
     emit(merged, interval.lo, interval.hi);
+  }
+  if (obs_enabled()) {
+    CoverMetrics& metrics = cover_metrics();
+    metrics.covers.add(1);
+    metrics.subtree_covers.add(1);
+    metrics.intervals.add(merged.size());
+    if (stats != nullptr) metrics.nodes_visited.add(stats->nodes_visited);
   }
   return merged;
 }

@@ -17,6 +17,7 @@
 #include "sfc/index/knn.h"
 #include "sfc/index/point_index.h"
 #include "sfc/index/range_scan.h"
+#include "sfc/obs/histogram.h"
 #include "sfc/rng/sampling.h"
 #include "sfc/rng/xoshiro256.h"
 #include "sfc/serve/serve_error.h"
@@ -64,17 +65,6 @@ RefAnswers reference_answers(const IndexColumnsView& view,
     }
   }
   return refs;
-}
-
-double percentile_us(std::vector<double>& latencies, double fraction) {
-  if (latencies.empty()) return 0.0;
-  std::sort(latencies.begin(), latencies.end());
-  const double rank =
-      std::ceil(fraction * static_cast<double>(latencies.size()));
-  const std::size_t at = std::min<std::size_t>(
-      latencies.size(),
-      std::max<std::size_t>(1, static_cast<std::size_t>(rank)));
-  return latencies[at - 1];
 }
 
 constexpr int kDatasetA = 1;
@@ -271,7 +261,7 @@ ChaosReport run_chaos(const ChaosOptions& options) {
         Clock::now() + std::chrono::duration_cast<Clock::duration>(
                            std::chrono::duration<double>(baseline_s)),
         report);
-    report.baseline_p99_us = percentile_us(baseline_latencies, 0.99);
+    report.baseline_p99_us = nearest_rank_percentile(baseline_latencies, 0.99);
 
     // Phase 2: the soak — writer rewrites A/B and reloads on a cadence,
     // with optional seeded crash cycles, while the clients keep replaying.
@@ -338,7 +328,7 @@ ChaosReport run_chaos(const ChaosOptions& options) {
         run_phase(server, trace, options, ref_a, ref_b, oracle, soak_deadline,
                   report);
     writer.join();
-    report.soak_p99_us = percentile_us(soak_latencies, 0.99);
+    report.soak_p99_us = nearest_rank_percentile(soak_latencies, 0.99);
     report.torn_files = torn.load();
     report.crash_cycles = crash_cycles.load();
     report.crashed_writes = crashed_writes.load();

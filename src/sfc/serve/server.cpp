@@ -1,38 +1,63 @@
 #include "sfc/serve/server.h"
 
 #include <algorithm>
-#include <bit>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <exception>
 #include <map>
 #include <utility>
 
+#include "sfc/obs/metrics.h"
+#include "sfc/obs/span_trace.h"
+
 namespace sfc {
 
-void LatencyHistogram::record_us(double us) {
-  const std::uint64_t whole =
-      us <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(std::ceil(us)));
-  const int bucket = std::min(31, static_cast<int>(std::bit_width(whole)));
-  ++buckets[static_cast<std::size_t>(bucket)];
-  ++count;
+namespace {
+
+/// Registry handles for the serve layer, resolved once.  These mirror the
+/// mutex-guarded ServerHealth counters into the process-wide registry so one
+/// snapshot covers every IndexServer in the process.
+struct ServeMetrics {
+  MetricsRegistry::Counter accepted;
+  MetricsRegistry::Counter rejected_overload;
+  MetricsRegistry::Counter rejected_stopped;
+  MetricsRegistry::Counter timed_out;
+  MetricsRegistry::Counter executed;
+  MetricsRegistry::Counter batches;
+  MetricsRegistry::Counter range_queries;
+  MetricsRegistry::Counter knn_queries;
+  MetricsRegistry::Counter reloads;
+  MetricsRegistry::Counter failed_reloads;
+  MetricsRegistry::Counter degraded_partials;
+  MetricsRegistry::Gauge queue_depth;
+  MetricsRegistry::Histogram queue_wait_us;
+  MetricsRegistry::Histogram execute_us;
+  MetricsRegistry::Histogram batch_rows;
+};
+
+ServeMetrics& serve_metrics() {
+  static ServeMetrics metrics{
+      MetricsRegistry::global().counter("serve.accepted"),
+      MetricsRegistry::global().counter("serve.rejected_overload"),
+      MetricsRegistry::global().counter("serve.rejected_stopped"),
+      MetricsRegistry::global().counter("serve.timed_out"),
+      MetricsRegistry::global().counter("serve.executed"),
+      MetricsRegistry::global().counter("serve.batches"),
+      MetricsRegistry::global().counter("serve.range_queries"),
+      MetricsRegistry::global().counter("serve.knn_queries"),
+      MetricsRegistry::global().counter("serve.reloads"),
+      MetricsRegistry::global().counter("serve.failed_reloads"),
+      MetricsRegistry::global().counter("serve.degraded_partials"),
+      MetricsRegistry::global().gauge("serve.queue_depth"),
+      MetricsRegistry::global().histogram("serve.queue_wait_us"),
+      MetricsRegistry::global().histogram("serve.execute_us"),
+      MetricsRegistry::global().histogram("serve.batch_rows"),
+  };
+  return metrics;
 }
 
-double LatencyHistogram::percentile_us(double fraction) const {
-  if (count == 0) return 0.0;
-  const double rank = std::ceil(fraction * static_cast<double>(count));
-  const auto target = static_cast<std::uint64_t>(
-      std::min<double>(static_cast<double>(count),
-                       std::max<double>(1.0, rank)));
-  std::uint64_t seen = 0;
-  for (std::size_t b = 0; b < buckets.size(); ++b) {
-    seen += buckets[b];
-    if (seen >= target) {
-      return b == 0 ? 1.0 : std::ldexp(1.0, static_cast<int>(b));
-    }
-  }
-  return std::ldexp(1.0, 31);
-}
+}  // namespace
 
 IndexServer::IndexServer(IndexColumnsView view, const ServerOptions& options)
     : generations_(IndexGeneration::wrap(view, options.shard_bits, 0)),
@@ -54,9 +79,27 @@ IndexServer::IndexServer(const std::string& path, const ServerOptions& options)
 }
 
 std::uint64_t IndexServer::reload(const std::string& path) {
-  return generations_
-      .reload(path, options_.shard_bits, options_.allow_degraded)
-      ->epoch();
+  const double start_us = trace_now_us();
+  try {
+    const std::uint64_t epoch =
+        generations_.reload(path, options_.shard_bits, options_.allow_degraded)
+            ->epoch();
+    serve_metrics().reloads.add(1);
+    if (obs_enabled()) {
+      TraceSpan span;
+      span.name = "reload";
+      span.category = "serve";
+      span.start_us = start_us;
+      span.dur_us = trace_now_us() - start_us;
+      span.tid = trace_thread_id();
+      span.add_arg("epoch", epoch);
+      TraceRing::global().record(span);
+    }
+    return epoch;
+  } catch (...) {
+    serve_metrics().failed_reloads.add(1);
+    throw;
+  }
 }
 
 std::shared_ptr<const IndexGeneration> IndexServer::generation() const {
@@ -82,20 +125,25 @@ IndexServer::Pending& IndexServer::admit(Pending&& pending,
   // Caller holds mutex_.
   if (stopping_) {
     ++health_.rejected_stopped;
+    serve_metrics().rejected_stopped.add(1);
     throw ServerStoppedError();
   }
   if (options_.max_queue > 0 && pending_.size() >= options_.max_queue) {
     ++health_.rejected_overload;
+    serve_metrics().rejected_overload.add(1);
     throw ServerOverloadError(pending_.size(), options_.max_queue);
   }
   pending.enqueued = Clock::now();
   pending.deadline_us = deadline_us;
+  pending.trace_id = next_trace_id();
   if (deadline_us > 0) {
     pending.deadline = pending.enqueued + std::chrono::microseconds(deadline_us);
   }
   pending_.push_back(std::move(pending));
   ++stats_.queries_admitted;
   ++health_.accepted;
+  serve_metrics().accepted.add(1);
+  serve_metrics().queue_depth.set(static_cast<std::int64_t>(pending_.size()));
   return pending_.back();
 }
 
@@ -129,6 +177,7 @@ ServedRange IndexServer::range_query_served(const Box& box,
     Pending& slot = admit(Pending(box), deadline_us);
     future = slot.range_promise.get_future();
     ++stats_.range_queries;
+    serve_metrics().range_queries.add(1);
   }
   arrivals_.notify_one();
   return future.get();
@@ -146,6 +195,7 @@ ServedKnn IndexServer::knn_query_served(const Point& query, std::uint32_t k,
     Pending& slot = admit(Pending(query, k), deadline_us);
     future = slot.knn_promise.get_future();
     ++stats_.knn_queries;
+    serve_metrics().knn_queries.add(1);
   }
   arrivals_.notify_one();
   return future.get();
@@ -201,7 +251,10 @@ void IndexServer::dispatcher_loop() {
       ++stats_.batches_dispatched;
       stats_.max_batch_rows =
           std::max<std::uint64_t>(stats_.max_batch_rows, batch.size());
+      serve_metrics().queue_depth.set(0);
     }
+    serve_metrics().batches.add(1);
+    serve_metrics().batch_rows.record_us(static_cast<double>(batch.size()));
     const auto formed = Clock::now();
     expire_batch(batch, formed);
     // Pin the active generation for this whole batch: a reload that lands
@@ -209,7 +262,7 @@ void IndexServer::dispatcher_loop() {
     // generation mapped (shared_ptr refcount) and answers from it — the swap
     // is only ever observed at a batch boundary.
     const std::shared_ptr<const IndexGeneration> gen = generations_.active();
-    execute_batch(batch, *gen);
+    execute_batch(batch, *gen, formed);
     {
       // Per-query latency split at the batch boundary: queue wait (enqueue
       // -> batch formation) and execute (formation -> answer delivered),
@@ -226,8 +279,76 @@ void IndexServer::dispatcher_loop() {
         ++health_.executed;
       }
     }
+    serve_metrics().executed.add(batch.size());
+    if (obs_enabled()) {
+      // One queue-wait span per query and one execute-side summary histogram
+      // pair: the engine-fact spans were already recorded by execute_batch.
+      const auto done = Clock::now();
+      const double execute_us =
+          std::chrono::duration<double, std::micro>(done - formed).count();
+      const double formed_us = trace_time_us(formed);
+      const std::uint32_t tid = trace_thread_id();
+      std::vector<TraceSpan> spans;
+      spans.reserve(batch.size() + 1);
+      for (const Pending& p : batch) {
+        const double wait_us =
+            std::chrono::duration<double, std::micro>(formed - p.enqueued)
+                .count();
+        serve_metrics().queue_wait_us.record_us(wait_us);
+        serve_metrics().execute_us.record_us(execute_us);
+        TraceSpan span;
+        span.trace_id = p.trace_id;
+        span.name = "queue_wait";
+        span.category = "serve";
+        span.start_us = trace_time_us(p.enqueued);
+        span.dur_us = wait_us;
+        span.tid = tid;
+        span.add_arg("deadline_us", p.deadline_us);
+        spans.push_back(span);
+      }
+      TraceSpan span;
+      span.name = "batch";
+      span.category = "serve";
+      span.start_us = formed_us;
+      span.dur_us = execute_us;
+      span.tid = tid;
+      span.add_arg("rows", batch.size());
+      span.add_arg("epoch", gen->epoch());
+      spans.push_back(span);
+      // One ring-lock acquisition per batch, not per query.
+      TraceRing::global().record_all(spans);
+    }
+    if (options_.metrics_log_every_batches > 0) {
+      bool log_now = false;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        log_now = stats_.batches_dispatched %
+                      options_.metrics_log_every_batches == 0;
+      }
+      if (log_now) log_metrics_line();
+    }
     batch.clear();
   }
+}
+
+void IndexServer::log_metrics_line() {
+  const ServerHealth snapshot = health();
+  std::fprintf(
+      stderr,
+      "sfc-serve metrics: batches=%llu accepted=%llu executed=%llu "
+      "timed_out=%llu rejected=%llu queue_depth=%llu queue_wait_p99_us=%.0f "
+      "execute_p99_us=%.0f epoch=%llu reloads=%llu\n",
+      static_cast<unsigned long long>(snapshot.batches_dispatched),
+      static_cast<unsigned long long>(snapshot.accepted),
+      static_cast<unsigned long long>(snapshot.executed),
+      static_cast<unsigned long long>(snapshot.timed_out),
+      static_cast<unsigned long long>(snapshot.rejected_overload +
+                                      snapshot.rejected_stopped),
+      static_cast<unsigned long long>(snapshot.queue_depth),
+      snapshot.queue_wait_latency.percentile_us(0.99),
+      snapshot.execute_latency.percentile_us(0.99),
+      static_cast<unsigned long long>(snapshot.epoch),
+      static_cast<unsigned long long>(snapshot.reloads));
 }
 
 void IndexServer::expire_batch(std::vector<Pending>& batch,
@@ -242,6 +363,7 @@ void IndexServer::expire_batch(std::vector<Pending>& batch,
   if (expired > 0) {
     std::lock_guard<std::mutex> lock(mutex_);
     health_.timed_out += expired;
+    serve_metrics().timed_out.add(expired);
   }
   std::size_t kept = 0;
   for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -267,7 +389,8 @@ void IndexServer::expire_batch(std::vector<Pending>& batch,
 }
 
 void IndexServer::execute_batch(std::vector<Pending>& batch,
-                                const IndexGeneration& gen) {
+                                const IndexGeneration& gen,
+                                Clock::time_point formed) {
   // Split the mixed batch into one range sub-batch and one kNN sub-batch per
   // k (the executor answers a whole sub-batch with one k), then execute each
   // through the sharded executors of the pinned generation.
@@ -276,6 +399,52 @@ void IndexServer::execute_batch(std::vector<Pending>& batch,
   exec.grain = options_.grain;
   const ShardedIndex& index = gen.sharded();
   const std::uint64_t epoch = gen.epoch();
+  const double formed_us = trace_time_us(formed);
+
+  // Per-query engine-fact span: the execute-side phase of the request's
+  // timeline, carrying the engine's work accounting (the paper's clustering
+  // quantities, observed live).  Duration is the sub-batch's wall time — the
+  // executor answers sub-batches as a unit, so that is the latency the query
+  // actually experienced.  Spans are staged locally and flushed with one
+  // record_all at the end, so the ring mutex is taken once per batch.
+  std::vector<TraceSpan> engine_spans;
+  const auto record_range_span = [&](const Pending& p,
+                                     const RangeScanStats& stats,
+                                     std::uint64_t rows, double dur_us) {
+    TraceSpan span;
+    span.trace_id = p.trace_id;
+    span.name = "range";
+    span.category = "engine";
+    span.start_us = formed_us;
+    span.dur_us = dur_us;
+    span.tid = trace_thread_id();
+    span.add_arg("epoch", epoch);
+    span.add_arg("rows_returned", rows);
+    span.add_arg("rows_scanned", stats.rows_scanned);
+    span.add_arg("runs_in_cover", stats.runs_in_cover);
+    span.add_arg("runs_touched", stats.runs_touched);
+    span.add_arg("nodes_visited", stats.nodes_visited);
+    span.add_arg("used_subtree", stats.used_subtree ? 1 : 0);
+    engine_spans.push_back(span);
+  };
+  const auto record_knn_span = [&](const Pending& p, const KnnStats& stats,
+                                   std::uint64_t neighbors, double dur_us) {
+    TraceSpan span;
+    span.trace_id = p.trace_id;
+    span.name = "knn";
+    span.category = "engine";
+    span.start_us = formed_us;
+    span.dur_us = dur_us;
+    span.tid = trace_thread_id();
+    span.add_arg("epoch", epoch);
+    span.add_arg("k", p.k);
+    span.add_arg("neighbors", neighbors);
+    span.add_arg("nodes_expanded", stats.nodes_expanded);
+    span.add_arg("frontier_pushes", stats.frontier_pushes);
+    span.add_arg("rows_scanned", stats.rows_scanned);
+    span.add_arg("certified", stats.certified ? 1 : 0);
+    engine_spans.push_back(span);
+  };
 
   std::vector<std::size_t> range_slots;
   std::map<std::uint32_t, std::vector<std::size_t>> knn_slots;
@@ -295,13 +464,19 @@ void IndexServer::execute_batch(std::vector<Pending>& batch,
       if (gen.degraded()) {
         std::vector<DegradedRangeResult> results = run_range_queries_degraded(
             index, boxes, gen.shard_alive(), exec);
+        const double sub_us =
+            obs_enabled() ? trace_now_us() - formed_us : 0.0;
         for (std::size_t j = 0; j < range_slots.size(); ++j) {
           Pending& p = batch[range_slots[j]];
           DegradedRangeResult& d = results[j];
+          if (obs_enabled()) {
+            record_range_span(p, d.result.stats, d.result.ids.size(), sub_us);
+          }
           if (d.dead_overlap.empty()) {
             p.range_promise.set_value(
                 ServedRange{std::move(d.result), epoch});
           } else {
+            serve_metrics().degraded_partials.add(1);
             p.range_promise.set_exception(
                 std::make_exception_ptr(PartialResultError(
                     std::move(d.dead_overlap), std::move(d.result.ids))));
@@ -310,9 +485,15 @@ void IndexServer::execute_batch(std::vector<Pending>& batch,
       } else {
         std::vector<RangeQueryResult> results =
             run_range_queries(index, boxes, exec);
+        const double sub_us =
+            obs_enabled() ? trace_now_us() - formed_us : 0.0;
         for (std::size_t j = 0; j < range_slots.size(); ++j) {
-          batch[range_slots[j]].range_promise.set_value(
-              ServedRange{std::move(results[j]), epoch});
+          Pending& p = batch[range_slots[j]];
+          if (obs_enabled()) {
+            record_range_span(p, results[j].stats, results[j].ids.size(),
+                              sub_us);
+          }
+          p.range_promise.set_value(ServedRange{std::move(results[j]), epoch});
         }
       }
     } catch (...) {
@@ -332,12 +513,19 @@ void IndexServer::execute_batch(std::vector<Pending>& batch,
       if (gen.degraded()) {
         std::vector<DegradedKnnResult> results = run_knn_queries_degraded(
             index, points, k, gen.shard_alive(), exec);
+        const double sub_us =
+            obs_enabled() ? trace_now_us() - formed_us : 0.0;
         for (std::size_t j = 0; j < slots.size(); ++j) {
           Pending& p = batch[slots[j]];
           DegradedKnnResult& d = results[j];
+          if (obs_enabled()) {
+            record_knn_span(p, d.result.stats, d.result.neighbors.size(),
+                            sub_us);
+          }
           if (d.dead_overlap.empty()) {
             p.knn_promise.set_value(ServedKnn{std::move(d.result), epoch});
           } else {
+            serve_metrics().degraded_partials.add(1);
             p.knn_promise.set_exception(
                 std::make_exception_ptr(PartialResultError(
                     std::move(d.dead_overlap),
@@ -347,9 +535,15 @@ void IndexServer::execute_batch(std::vector<Pending>& batch,
       } else {
         std::vector<KnnQueryResult> results =
             run_knn_queries(index, points, k, exec);
+        const double sub_us =
+            obs_enabled() ? trace_now_us() - formed_us : 0.0;
         for (std::size_t j = 0; j < slots.size(); ++j) {
-          batch[slots[j]].knn_promise.set_value(
-              ServedKnn{std::move(results[j]), epoch});
+          Pending& p = batch[slots[j]];
+          if (obs_enabled()) {
+            record_knn_span(p, results[j].stats, results[j].neighbors.size(),
+                            sub_us);
+          }
+          p.knn_promise.set_value(ServedKnn{std::move(results[j]), epoch});
         }
       }
     } catch (...) {
@@ -358,20 +552,8 @@ void IndexServer::execute_batch(std::vector<Pending>& batch,
       }
     }
   }
+  TraceRing::global().record_all(engine_spans);
 }
-
-namespace {
-
-double percentile_us(const std::vector<double>& sorted_us, double fraction) {
-  if (sorted_us.empty()) return 0.0;
-  const double rank = std::ceil(fraction * static_cast<double>(sorted_us.size()));
-  const std::size_t at =
-      std::min<std::size_t>(sorted_us.size(),
-                            std::max<std::size_t>(1, static_cast<std::size_t>(rank)));
-  return sorted_us[at - 1];
-}
-
-}  // namespace
 
 ReplayReport replay_trace(IndexServer& server, const QueryTrace& trace,
                           const ReplayOptions& options) {
@@ -479,15 +661,16 @@ ReplayReport replay_trace(IndexServer& server, const QueryTrace& trace,
     latencies.insert(latencies.end(), tally.latencies_us.begin(),
                      tally.latencies_us.end());
   }
-  std::sort(latencies.begin(), latencies.end());
 
   report.wall_seconds =
       std::chrono::duration<double>(replay_end - replay_begin).count();
   report.qps = report.wall_seconds > 0.0
                    ? static_cast<double>(report.accepted) / report.wall_seconds
                    : 0.0;
-  report.p50_us = percentile_us(latencies, 0.50);
-  report.p99_us = percentile_us(latencies, 0.99);
+  // Exact percentiles from the shared helper (it sorts `latencies`), so the
+  // replay report and the chaos report use one nearest-rank definition.
+  report.p50_us = nearest_rank_percentile(latencies, 0.50);
+  report.p99_us = nearest_rank_percentile(latencies, 0.99);
   report.max_us = latencies.empty() ? 0.0 : latencies.back();
   const ServerHealth health = server.health();
   report.queue_wait_p99_us = health.queue_wait_latency.percentile_us(0.99);

@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "sfc/index/executor.h"
+#include "sfc/obs/histogram.h"
 #include "sfc/serve/generation.h"
 #include "sfc/serve/serve_error.h"
 #include "sfc/serve/sharded_index.h"
@@ -78,21 +79,9 @@ struct ServerOptions {
   /// (dead shards + PartialResultError) instead of failing the open/reload.
   /// Applies to the path constructor and every reload().
   bool allow_degraded = false;
-};
-
-/// Log-scale latency histogram: bucket i counts samples whose microsecond
-/// value, rounded up, has bit width i — roughly (2^(i-1), 2^i] us, with
-/// bucket 0 holding only zero/negative samples and bucket 31 saturating.
-/// Fixed size, lock-friendly, and good to ~2x resolution across us..minutes —
-/// the operator-dashboard shape, not a benchmark instrument.
-struct LatencyHistogram {
-  std::array<std::uint64_t, 32> buckets{};
-  std::uint64_t count = 0;
-
-  void record_us(double us);
-  /// Nearest-rank percentile, reported as the upper edge (2^i us) of the
-  /// bucket holding that rank; 0 when empty.
-  double percentile_us(double fraction) const;
+  /// Every N dispatched batches the dispatcher logs a compact one-line
+  /// metrics snapshot (counters + latency p99s) to stderr.  0 = off.
+  std::uint32_t metrics_log_every_batches = 0;
 };
 
 struct ServerStats {
@@ -229,6 +218,8 @@ class IndexServer {
     Clock::time_point enqueued;
     Clock::time_point deadline;  ///< meaningful iff deadline_us > 0
     std::uint64_t deadline_us = 0;
+    /// Span-trace correlation id, minted at admission (sfc/obs/span_trace).
+    std::uint64_t trace_id = 0;
     std::promise<ServedRange> range_promise;
     std::promise<ServedKnn> knn_promise;
 
@@ -246,8 +237,12 @@ class IndexServer {
   /// Fails batch entries whose deadline has passed; keeps the live ones.
   void expire_batch(std::vector<Pending>& batch, Clock::time_point now);
   /// Executes `batch` against `gen` (the generation the dispatcher pinned at
-  /// batch formation) and fulfills every promise.
-  void execute_batch(std::vector<Pending>& batch, const IndexGeneration& gen);
+  /// batch formation) and fulfills every promise.  `formed` is the batch
+  /// formation time, the start of every execute-side trace span.
+  void execute_batch(std::vector<Pending>& batch, const IndexGeneration& gen,
+                     Clock::time_point formed);
+  /// One-line metrics snapshot to stderr (metrics_log_every_batches).
+  void log_metrics_line();
 
   GenerationManager generations_;
   ServerOptions options_;

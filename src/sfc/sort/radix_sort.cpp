@@ -9,6 +9,8 @@
 #include <utility>
 
 #include "sfc/common/batch.h"
+#include "sfc/obs/metrics.h"
+#include "sfc/obs/span_trace.h"
 
 namespace sfc {
 
@@ -358,31 +360,124 @@ std::uint64_t ordered_bits(double value) {
                                    : (std::uint64_t{1} << 63));
 }
 
+struct SortMetrics {
+  MetricsRegistry::Counter sorts;
+  MetricsRegistry::Counter elements;
+  MetricsRegistry::Histogram sort_us;
+  MetricsRegistry::Histogram pass_us;
+};
+
+SortMetrics& sort_metrics() {
+  static SortMetrics metrics{
+      MetricsRegistry::global().counter("sort.sorts"),
+      MetricsRegistry::global().counter("sort.elements"),
+      MetricsRegistry::global().histogram("sort.sort_us"),
+      MetricsRegistry::global().histogram("sort.pass_us"),
+  };
+  return metrics;
+}
+
+/// Observes one public sort entry.  When the caller did not ask for pass
+/// timings, attaches a scratch SortStats so the per-pass wall clocks still
+/// reach the registry; the body must run against options().  All recording
+/// happens in the destructor, with per-pass spans laid end to end from the
+/// entry time (passes execute top-to-bottom, so the reconstruction matches
+/// the real timeline up to inter-pass gaps).
+class SortObsScope {
+ public:
+  SortObsScope(const char* entry, std::uint64_t n, const SortOptions& original)
+      : entry_(entry), n_(n), options_(original) {
+#ifndef SFC_OBS_DISABLED
+    enabled_ = obs_enabled();
+#endif
+    if (!enabled_) return;
+    if (options_.stats == nullptr) options_.stats = &scratch_;
+    options_.stats->passes.clear();
+    start_us_ = trace_now_us();
+  }
+
+  SortObsScope(const SortObsScope&) = delete;
+  SortObsScope& operator=(const SortObsScope&) = delete;
+
+  const SortOptions& options() const { return options_; }
+
+  ~SortObsScope() {
+    if (!enabled_) return;
+    const double end_us = trace_now_us();
+    SortMetrics& metrics = sort_metrics();
+    metrics.sorts.add(1);
+    metrics.elements.add(n_);
+    metrics.sort_us.record_us(end_us - start_us_);
+    const std::uint64_t trace_id = next_trace_id();
+    TraceSpan sort_span;
+    sort_span.trace_id = trace_id;
+    sort_span.name = entry_;
+    sort_span.category = "sort";
+    sort_span.start_us = start_us_;
+    sort_span.dur_us = end_us - start_us_;
+    sort_span.tid = trace_thread_id();
+    sort_span.add_arg("elements", n_);
+    sort_span.add_arg("passes", options_.stats->passes.size());
+    TraceRing::global().record(sort_span);
+    double at_us = start_us_;
+    for (const SortPassTiming& pass : options_.stats->passes) {
+      const double dur_us = pass.seconds * 1e6;
+      metrics.pass_us.record_us(dur_us);
+      TraceSpan span;
+      span.trace_id = trace_id;
+      span.name = "sort_pass";
+      span.category = "sort";
+      span.start_us = at_us;
+      span.dur_us = dur_us;
+      span.tid = trace_thread_id();
+      span.add_arg("digit", static_cast<std::uint64_t>(std::max(pass.digit, 0)));
+      span.add_arg("tail", pass.digit < 0 ? std::uint64_t{1} : std::uint64_t{0});
+      span.add_arg("scattered", pass.scattered ? std::uint64_t{1} : std::uint64_t{0});
+      span.add_arg("msd", pass.msd ? std::uint64_t{1} : std::uint64_t{0});
+      TraceRing::global().record(span);
+      at_us += dur_us;
+    }
+  }
+
+ private:
+  const char* entry_;
+  std::uint64_t n_ = 0;
+  SortOptions options_;
+  SortStats scratch_;
+  bool enabled_ = false;
+  double start_us_ = 0.0;
+};
+
 }  // namespace
 
 void radix_sort_keys(std::span<index_t> keys, const SortOptions& options) {
+  SortObsScope obs("radix_sort_keys", keys.size(), options);
   // Payload-free keys have no observable stability; plain std::sort beats
   // the fallback stable sort's merge buffer on small inputs.
   if (keys.size() < kComparisonFallback) {
     std::sort(keys.begin(), keys.end());
     return;
   }
-  sort_records(keys, [](index_t key) { return key; }, options);
+  sort_records(keys, [](index_t key) { return key; }, obs.options());
 }
 
 void radix_sort_keys(std::span<u128> keys, const SortOptions& options) {
+  SortObsScope obs("radix_sort_keys_u128", keys.size(), options);
   if (keys.size() < kComparisonFallback) {
     std::sort(keys.begin(), keys.end());
     return;
   }
-  hybrid_radix_sort(keys, [](const u128& key) { return key; }, options);
+  hybrid_radix_sort(keys, [](const u128& key) { return key; }, obs.options());
 }
 
 void radix_sort_pairs(std::span<KeyIndex> items, const SortOptions& options) {
-  sort_records(items, [](const KeyIndex& item) { return item.key; }, options);
+  SortObsScope obs("radix_sort_pairs", items.size(), options);
+  sort_records(items, [](const KeyIndex& item) { return item.key; },
+               obs.options());
 }
 
 void radix_sort_pairs(std::span<KeyIndex128> items, const SortOptions& options) {
+  SortObsScope obs("radix_sort_pairs_u128", items.size(), options);
   if (items.size() < 2) return;
   if (items.size() < kComparisonFallback) {
     std::stable_sort(items.begin(), items.end(),
@@ -392,25 +487,28 @@ void radix_sort_pairs(std::span<KeyIndex128> items, const SortOptions& options) 
     return;
   }
   hybrid_radix_sort(items, [](const KeyIndex128& item) { return item.key; },
-                    options);
+                    obs.options());
 }
 
 void lsd_radix_sort_keys(std::span<u128> keys, const SortOptions& options) {
+  SortObsScope obs("lsd_radix_sort_keys_u128", keys.size(), options);
   if (keys.size() < kComparisonFallback) {
     std::sort(keys.begin(), keys.end());
     return;
   }
   lsd_radix_sort(std::span<u128>(keys), [](const u128& key) { return key; },
-                 options, nullptr);
+                 obs.options(), nullptr);
 }
 
 void lsd_radix_sort_pairs(std::span<KeyIndex128> items,
                           const SortOptions& options) {
+  SortObsScope obs("lsd_radix_sort_pairs_u128", items.size(), options);
   sort_records(items, [](const KeyIndex128& item) { return item.key; },
-               options);
+               obs.options());
 }
 
 void radix_sort_doubles(std::span<double> values, const SortOptions& options) {
+  SortObsScope obs("radix_sort_doubles", values.size(), options);
   if (values.size() < kComparisonFallback) {
     // Below the radix threshold the bit-mapping detour buys nothing.
     std::sort(values.begin(), values.end());
@@ -421,7 +519,7 @@ void radix_sort_doubles(std::span<double> values, const SortOptions& options) {
   // temporary u64 key buffer, so the only allocation is the sorter's own
   // ping-pong scratch.
   lsd_radix_sort(values, [](double value) { return ordered_bits(value); },
-                 options, nullptr);
+                 obs.options(), nullptr);
 }
 
 std::vector<KeyIndex> sort_by_curve_key(const SpaceFillingCurve& curve,
@@ -432,6 +530,7 @@ std::vector<KeyIndex> sort_by_curve_key(const SpaceFillingCurve& curve,
     throw std::length_error(
         "sort_by_curve_key: cell count exceeds the 32-bit payload limit");
   }
+  SortObsScope obs("sort_by_curve_key", n, options);
   std::vector<KeyIndex> items(n);
   if (n == 0) return items;
   ThreadPool& pool = options.pool ? *options.pool : ThreadPool::shared();
@@ -469,7 +568,7 @@ std::vector<KeyIndex> sort_by_curve_key(const SpaceFillingCurve& curve,
     return items;
   }
   lsd_radix_sort(std::span<KeyIndex>(items),
-                 [](const KeyIndex& item) { return item.key; }, options,
+                 [](const KeyIndex& item) { return item.key; }, obs.options(),
                  &first_pass);
   return items;
 }

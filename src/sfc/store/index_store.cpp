@@ -15,10 +15,33 @@
 #include <vector>
 
 #include "sfc/curves/curve_error.h"
+#include "sfc/obs/metrics.h"
+#include "sfc/obs/span_trace.h"
 
 namespace sfc {
 
 namespace {
+
+struct StoreMetrics {
+  MetricsRegistry::Counter writes;
+  MetricsRegistry::Counter opens;
+  MetricsRegistry::Counter bytes_mapped;
+  MetricsRegistry::Histogram write_us;
+  MetricsRegistry::Histogram open_us;
+  MetricsRegistry::Histogram verify_us;
+};
+
+StoreMetrics& store_metrics() {
+  static StoreMetrics metrics{
+      MetricsRegistry::global().counter("store.writes"),
+      MetricsRegistry::global().counter("store.opens"),
+      MetricsRegistry::global().counter("store.bytes_mapped"),
+      MetricsRegistry::global().histogram("store.write_us"),
+      MetricsRegistry::global().histogram("store.open_us"),
+      MetricsRegistry::global().histogram("store.verify_us"),
+  };
+  return metrics;
+}
 
 // The mapped columns are served as raw spans, so the format pins the native
 // layout of every element type.  A platform where these do not hold cannot
@@ -127,6 +150,7 @@ StoreIoError::StoreIoError(const std::string& sys_call,
 
 void write_index_file(const std::string& path, const PointIndex& index,
                       const CurveDescriptor& descriptor) {
+  const double write_start_us = trace_now_us();
   const Universe& u = index.curve().universe();
   if (descriptor.dim != u.dim() || descriptor.side != u.side()) {
     throw StoreError("index write: descriptor universe (d=" +
@@ -250,10 +274,26 @@ void write_index_file(const std::string& path, const PointIndex& index,
     throw StoreIoError("fsync", dir, err);
   }
   ::close(dir_fd);
+  if (obs_enabled()) {
+    const double write_us = trace_now_us() - write_start_us;
+    StoreMetrics& metrics = store_metrics();
+    metrics.writes.add(1);
+    metrics.write_us.record_us(write_us);
+    TraceSpan span;
+    span.name = "store_write";
+    span.category = "store";
+    span.start_us = write_start_us;
+    span.dur_us = write_us;
+    span.tid = trace_thread_id();
+    span.add_arg("rows", index.row_count());
+    span.add_arg("bytes", written);
+    TraceRing::global().record(span);
+  }
 }
 
 MappedIndex MappedIndex::open(const std::string& path,
                               const MappedIndexOptions& options) {
+  const double open_start_us = trace_now_us();
   // `mapped` owns fd + mapping from the moment they exist, so every throw
   // below (validation failures included) releases them through the destructor.
   MappedIndex mapped;
@@ -400,6 +440,7 @@ MappedIndex MappedIndex::open(const std::string& path,
   const std::uint64_t rows = header.row_count;
   const std::uint64_t blocks = sizes[kDirectory] / sizeof(index_t);
 
+  const double verify_start_us = trace_now_us();
   if (options.verify) {
     for (std::size_t c = 0; c < kColumns; ++c) {
       if (fnv1a64(base + header.columns[c].offset, header.columns[c].bytes) !=
@@ -470,6 +511,26 @@ MappedIndex MappedIndex::open(const std::string& path,
       std::span<const std::uint32_t>(ids, rows),
       std::span<const Point>(points, rows),
       std::span<const index_t>(directory, blocks));
+  if (obs_enabled()) {
+    const double end_us = trace_now_us();
+    StoreMetrics& metrics = store_metrics();
+    metrics.opens.add(1);
+    metrics.bytes_mapped.add(file_bytes);
+    metrics.open_us.record_us(end_us - open_start_us);
+    if (options.verify) {
+      metrics.verify_us.record_us(end_us - verify_start_us);
+    }
+    TraceSpan span;
+    span.name = "store_open";
+    span.category = "store";
+    span.start_us = open_start_us;
+    span.dur_us = end_us - open_start_us;
+    span.tid = trace_thread_id();
+    span.add_arg("rows", rows);
+    span.add_arg("bytes", file_bytes);
+    span.add_arg("verified", options.verify ? std::uint64_t{1} : std::uint64_t{0});
+    TraceRing::global().record(span);
+  }
   return mapped;
 }
 

@@ -1,0 +1,160 @@
+// Minimal strict JSON validator for the export-format tests: a recursive
+// descent over the full RFC 8259 grammar that accepts exactly well-formed
+// documents and nothing else.  No values are materialized — the tests only
+// assert "a standards-compliant consumer can parse this".
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace sfc::testing {
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  /// True iff the whole input is one valid JSON value (plus whitespace).
+  bool valid() {
+    at_ = 0;
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return at_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (at_ >= text_.size()) return false;
+    switch (text_[at_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++at_;  // '{'
+    skip_ws();
+    if (take('}')) return true;
+    while (true) {
+      skip_ws();
+      if (at_ >= text_.size() || text_[at_] != '"' || !string()) return false;
+      skip_ws();
+      if (!take(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (take('}')) return true;
+      if (!take(',')) return false;
+    }
+  }
+
+  bool array() {
+    ++at_;  // '['
+    skip_ws();
+    if (take(']')) return true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (take(']')) return true;
+      if (!take(',')) return false;
+    }
+  }
+
+  bool string() {
+    ++at_;  // '"'
+    while (at_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[at_]);
+      if (c == '"') {
+        ++at_;
+        return true;
+      }
+      if (c == '\\') {
+        ++at_;
+        if (at_ >= text_.size()) return false;
+        const char esc = text_[at_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++at_;
+            if (at_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[at_]))) {
+              return false;
+            }
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return false;
+        }
+        ++at_;
+        continue;
+      }
+      if (c < 0x20) return false;  // raw control characters are invalid
+      ++at_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = at_;
+    take('-');
+    if (!digits()) return false;
+    if (text_[start + (text_[start] == '-' ? 1 : 0)] == '0' &&
+        at_ - start - (text_[start] == '-' ? 1 : 0) > 1) {
+      return false;  // leading zero
+    }
+    if (take('.') && !digits()) return false;
+    if (at_ < text_.size() && (text_[at_] == 'e' || text_[at_] == 'E')) {
+      ++at_;
+      if (!take('+')) take('-');
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool digits() {
+    const std::size_t start = at_;
+    while (at_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[at_]))) {
+      ++at_;
+    }
+    return at_ > start;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(at_, word.size()) != word) return false;
+    at_ += word.size();
+    return true;
+  }
+
+  bool take(char c) {
+    if (at_ < text_.size() && text_[at_] == c) {
+      ++at_;
+      return true;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (at_ < text_.size() &&
+           (text_[at_] == ' ' || text_[at_] == '\t' || text_[at_] == '\n' ||
+            text_[at_] == '\r')) {
+      ++at_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t at_ = 0;
+};
+
+inline bool json_valid(std::string_view text) {
+  return JsonChecker(text).valid();
+}
+
+}  // namespace sfc::testing

@@ -1,0 +1,82 @@
+// Export surfaces: the JSON document and Prometheus text exposition must be
+// consumable by standard tooling — strict-parser valid, names sanitized,
+// histogram series cumulative.
+#include "sfc/obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "sfc/obs/metrics.h"
+#include "json_check.h"
+
+namespace sfc {
+namespace {
+
+MetricsSnapshot sample_snapshot() {
+  MetricsRegistry registry;
+  MetricsRegistry::Counter hits = registry.counter("serve.accepted");
+  MetricsRegistry::Gauge depth = registry.gauge("serve.queue_depth");
+  MetricsRegistry::Histogram wait = registry.histogram("serve.queue_wait_us");
+  hits.add(17);
+  depth.set(-3);  // gauges may go negative; exports must not mangle the sign
+  wait.record_us(0.0);
+  wait.record_us(3.0);
+  wait.record_us(900.0);
+  return registry.snapshot();
+}
+
+TEST(MetricsJson, WellFormedAndComplete) {
+  const std::string json = metrics_json(sample_snapshot());
+  EXPECT_TRUE(sfc::testing::json_valid(json)) << json;
+  EXPECT_NE(json.find("\"serve.accepted\": 17"), std::string::npos);
+  EXPECT_NE(json.find("\"serve.queue_depth\": -3"), std::string::npos);
+  EXPECT_NE(json.find("\"serve.queue_wait_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+}
+
+TEST(MetricsJson, EmptySnapshotIsValid) {
+  const std::string json = metrics_json(MetricsSnapshot{});
+  EXPECT_TRUE(sfc::testing::json_valid(json)) << json;
+}
+
+TEST(MetricsPrometheus, NamesAreSanitizedAndTyped) {
+  const std::string text = metrics_prometheus(sample_snapshot());
+  EXPECT_NE(text.find("# TYPE sfc_serve_accepted counter"), std::string::npos);
+  EXPECT_NE(text.find("sfc_serve_accepted 17"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE sfc_serve_queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("sfc_serve_queue_depth -3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE sfc_serve_queue_wait_us histogram"),
+            std::string::npos);
+  // No raw dots escape into series names.
+  EXPECT_EQ(text.find("serve.accepted"), std::string::npos);
+}
+
+TEST(MetricsPrometheus, HistogramSeriesIsCumulative) {
+  const std::string text = metrics_prometheus(sample_snapshot());
+  // 3 samples total: one at 0 us (bucket 0, folded into the first le), one
+  // at 3 us (le=4), one at 900 us (le=1024).
+  EXPECT_NE(text.find("sfc_serve_queue_wait_us_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("sfc_serve_queue_wait_us_count 3"), std::string::npos);
+  EXPECT_NE(text.find("sfc_serve_queue_wait_us_sum"), std::string::npos);
+
+  // Cumulative counts never decrease down the le ladder.
+  std::istringstream lines(text);
+  std::string line;
+  long long previous = -1;
+  while (std::getline(lines, line)) {
+    if (line.rfind("sfc_serve_queue_wait_us_bucket", 0) != 0) continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos);
+    const long long value = std::stoll(line.substr(space + 1));
+    EXPECT_GE(value, previous) << line;
+    previous = value;
+  }
+  EXPECT_EQ(previous, 3);  // the +Inf bucket saw every sample
+}
+
+}  // namespace
+}  // namespace sfc

@@ -1,0 +1,126 @@
+// The shared latency histogram: exact bucket edges, nearest-rank semantics,
+// and deterministic merging — the single representation every subsystem's
+// latency numbers flow through.
+#include "sfc/obs/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace sfc {
+namespace {
+
+TEST(LatencyHistogram, EmptyReportsZero) {
+  const LatencyHistogram h;
+  EXPECT_EQ(h.count, 0u);
+  EXPECT_EQ(h.percentile_us(0.5), 0.0);
+  EXPECT_EQ(h.percentile_us(0.99), 0.0);
+  EXPECT_EQ(h.sum_us(), 0.0);
+}
+
+TEST(LatencyHistogram, ZeroAndNegativeLandInBucketZero) {
+  LatencyHistogram h;
+  h.record_us(0.0);
+  h.record_us(-5.0);
+  EXPECT_EQ(h.buckets[0], 2u);
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_EQ(h.sum_ns, 0u);  // non-positive samples add no time
+  EXPECT_EQ(h.percentile_us(0.5), 1.0);  // bucket 0 reports the 1 us edge
+}
+
+TEST(LatencyHistogram, BucketEdges) {
+  // Bucket i holds samples whose ceil(us) has bit width i: 1 -> bucket 1,
+  // 2 -> bucket 2, 2.5 -> ceil 3 -> bucket 2, 4 -> bucket 3.
+  LatencyHistogram h;
+  h.record_us(1.0);
+  EXPECT_EQ(h.buckets[1], 1u);
+  h.record_us(2.0);
+  EXPECT_EQ(h.buckets[2], 1u);
+  h.record_us(2.5);
+  EXPECT_EQ(h.buckets[2], 2u);
+  h.record_us(4.0);
+  EXPECT_EQ(h.buckets[3], 1u);
+  h.record_us(0.25);  // ceil -> 1
+  EXPECT_EQ(h.buckets[1], 2u);
+}
+
+TEST(LatencyHistogram, HugeSamplesSaturateBucket31) {
+  LatencyHistogram h;
+  h.record_us(1.0e18);
+  EXPECT_EQ(h.buckets[31], 1u);
+  EXPECT_EQ(h.percentile_us(0.5), std::ldexp(1.0, 31));
+  // The time sum clamps instead of overflowing llround.
+  EXPECT_EQ(h.sum_ns, 9000000000000000000u);
+}
+
+TEST(LatencyHistogram, PercentileIsNearestRankUpperEdge) {
+  LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) h.record_us(3.0);    // bucket 2, edge 4
+  for (int i = 0; i < 10; ++i) h.record_us(1000.0); // bucket 10, edge 1024
+  EXPECT_EQ(h.percentile_us(0.5), 4.0);
+  EXPECT_EQ(h.percentile_us(0.90), 4.0);
+  EXPECT_EQ(h.percentile_us(0.91), 1024.0);
+  EXPECT_EQ(h.percentile_us(0.99), 1024.0);
+  // fraction 0 still means rank 1 (clamped), never rank 0.
+  EXPECT_EQ(h.percentile_us(0.0), 4.0);
+}
+
+TEST(LatencyHistogram, SumTracksNanoseconds) {
+  LatencyHistogram h;
+  h.record_us(1.5);
+  h.record_us(2.0);
+  EXPECT_EQ(h.sum_ns, 3500u);
+  EXPECT_DOUBLE_EQ(h.sum_us(), 3.5);
+}
+
+TEST(LatencyHistogram, MergeIsBucketwiseSum) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.record_us(1.0);
+  a.record_us(100.0);
+  b.record_us(1.0);
+  b.record_us(0.0);
+  LatencyHistogram merged = a;
+  merged.merge(b);
+  EXPECT_EQ(merged.count, 4u);
+  EXPECT_EQ(merged.buckets[0], 1u);
+  EXPECT_EQ(merged.buckets[1], 2u);
+  EXPECT_EQ(merged.buckets[7], 1u);  // ceil(100) has bit width 7
+  EXPECT_EQ(merged.sum_ns, a.sum_ns + b.sum_ns);
+}
+
+TEST(LatencyHistogram, ResetClearsEverything) {
+  LatencyHistogram h;
+  h.record_us(10.0);
+  h.reset();
+  EXPECT_EQ(h.count, 0u);
+  EXPECT_EQ(h.sum_ns, 0u);
+  EXPECT_EQ(h.percentile_us(0.99), 0.0);
+}
+
+TEST(NearestRankPercentile, EmptyIsZero) {
+  std::vector<double> empty;
+  EXPECT_EQ(nearest_rank_percentile(empty, 0.99), 0.0);
+}
+
+TEST(NearestRankPercentile, ExactRanks) {
+  std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_EQ(nearest_rank_percentile(v, 0.5), 3.0);   // rank ceil(2.5) = 3
+  EXPECT_EQ(nearest_rank_percentile(v, 0.99), 5.0);  // rank 5
+  EXPECT_EQ(nearest_rank_percentile(v, 0.2), 1.0);   // rank 1
+  EXPECT_EQ(nearest_rank_percentile(v, 0.0), 1.0);   // clamped to rank 1
+  EXPECT_EQ(nearest_rank_percentile(v, 1.0), 5.0);
+  // The helper sorted in place — callers rely on back() being the max.
+  EXPECT_EQ(v.back(), 5.0);
+  EXPECT_EQ(v.front(), 1.0);
+}
+
+TEST(NearestRankPercentile, SingleSample) {
+  std::vector<double> v = {7.5};
+  EXPECT_EQ(nearest_rank_percentile(v, 0.5), 7.5);
+  EXPECT_EQ(nearest_rank_percentile(v, 0.99), 7.5);
+}
+
+}  // namespace
+}  // namespace sfc

@@ -1,0 +1,209 @@
+// The metrics registry's core contract: a snapshot is a deterministic
+// integer fold of per-thread shards — bit-identical for any thread count —
+// and the runtime switch makes every record a no-op.
+#include "sfc/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sfc/common/error.h"
+
+namespace sfc {
+namespace {
+
+/// Restores the global obs switch on scope exit so a failing test cannot
+/// leak a disabled registry into the rest of the suite.
+struct ObsEnabledGuard {
+  explicit ObsEnabledGuard(bool enabled) : previous(obs_enabled()) {
+    set_obs_enabled(enabled);
+  }
+  ~ObsEnabledGuard() { set_obs_enabled(previous); }
+  bool previous;
+};
+
+/// Runs the same total workload split across `threads` workers against a
+/// fresh registry and returns the snapshot.
+MetricsSnapshot run_workload(unsigned threads) {
+  MetricsRegistry registry;
+  MetricsRegistry::Counter hits = registry.counter("test.hits");
+  MetricsRegistry::Counter rows = registry.counter("test.rows");
+  MetricsRegistry::Gauge depth = registry.gauge("test.depth");
+  MetricsRegistry::Histogram wait = registry.histogram("test.wait_us");
+
+  constexpr std::uint64_t kTotalOps = 9600;  // divisible by 1, 2, 8
+  const std::uint64_t per_thread = kTotalOps / threads;
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < per_thread; ++i) {
+        hits.add(1);
+        rows.add(3);
+        // Same multiset of samples regardless of the split: the sample value
+        // depends only on the global op index.
+        const std::uint64_t op = t * per_thread + i;
+        wait.record_us(static_cast<double>(op % 100));
+      }
+      depth.add(1);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  return registry.snapshot();
+}
+
+TEST(MetricsRegistry, SnapshotIsIdenticalAcrossThreadCounts) {
+  const MetricsSnapshot one = run_workload(1);
+  const MetricsSnapshot two = run_workload(2);
+  const MetricsSnapshot eight = run_workload(8);
+
+  for (const MetricsSnapshot* other : {&two, &eight}) {
+    ASSERT_EQ(one.metrics.size(), other->metrics.size());
+    for (std::size_t i = 0; i < one.metrics.size(); ++i) {
+      const MetricValue& a = one.metrics[i];
+      const MetricValue& b = other->metrics[i];
+      EXPECT_EQ(a.name, b.name);
+      EXPECT_EQ(a.kind, b.kind);
+      if (a.kind == MetricKind::kHistogram) {
+        EXPECT_EQ(a.histogram.count, b.histogram.count) << a.name;
+        EXPECT_EQ(a.histogram.sum_ns, b.histogram.sum_ns) << a.name;
+        EXPECT_EQ(a.histogram.buckets, b.histogram.buckets) << a.name;
+      } else if (a.name != "test.depth") {
+        // The gauge intentionally differs (one increment per worker).
+        EXPECT_EQ(a.value, b.value) << a.name;
+      }
+    }
+  }
+  EXPECT_EQ(one.value("test.hits"), 9600);
+  EXPECT_EQ(one.value("test.rows"), 3 * 9600);
+  EXPECT_EQ(one.value("test.depth"), 1);
+  EXPECT_EQ(eight.value("test.depth"), 8);
+  ASSERT_NE(one.histogram("test.wait_us"), nullptr);
+  EXPECT_EQ(one.histogram("test.wait_us")->count, 9600u);
+}
+
+TEST(MetricsRegistry, HandlesSurviveRecordingThreadExit) {
+  MetricsRegistry registry;
+  MetricsRegistry::Counter hits = registry.counter("test.hits");
+  std::thread([&] { hits.add(7); }).join();
+  std::thread([&] { hits.add(5); }).join();
+  EXPECT_EQ(registry.snapshot().value("test.hits"), 12);
+}
+
+TEST(MetricsRegistry, GetOrCreateReturnsTheSameSlot) {
+  MetricsRegistry registry;
+  MetricsRegistry::Counter a = registry.counter("test.same");
+  MetricsRegistry::Counter b = registry.counter("test.same");
+  a.add(1);
+  b.add(2);
+  EXPECT_EQ(registry.snapshot().value("test.same"), 3);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  MetricsRegistry registry;
+  registry.counter("test.kind");
+  EXPECT_THROW(registry.histogram("test.kind"), Error);
+  EXPECT_THROW(registry.gauge("test.kind"), Error);
+  registry.histogram("test.hist");
+  EXPECT_THROW(registry.counter("test.hist"), Error);
+}
+
+TEST(MetricsRegistry, GaugeSetOverwritesAddAccumulates) {
+  MetricsRegistry registry;
+  MetricsRegistry::Gauge g = registry.gauge("test.gauge");
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(registry.snapshot().value("test.gauge"), 7);
+  g.set(100);
+  EXPECT_EQ(registry.snapshot().value("test.gauge"), 100);
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsRegistrations) {
+  MetricsRegistry registry;
+  MetricsRegistry::Counter hits = registry.counter("test.hits");
+  MetricsRegistry::Histogram wait = registry.histogram("test.wait_us");
+  hits.add(5);
+  wait.record_us(10.0);
+  registry.reset();
+  const MetricsSnapshot snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.value("test.hits"), 0);
+  ASSERT_NE(snapshot.histogram("test.wait_us"), nullptr);
+  EXPECT_EQ(snapshot.histogram("test.wait_us")->count, 0u);
+  // Old handles still work after reset.
+  hits.add(2);
+  EXPECT_EQ(registry.snapshot().value("test.hits"), 2);
+}
+
+TEST(MetricsRegistry, DisabledRecordsNothing) {
+  MetricsRegistry registry;
+  MetricsRegistry::Counter hits = registry.counter("test.hits");
+  MetricsRegistry::Gauge depth = registry.gauge("test.depth");
+  MetricsRegistry::Histogram wait = registry.histogram("test.wait_us");
+  {
+    ObsEnabledGuard off(false);
+    hits.add(100);
+    depth.set(42);
+    wait.record_us(10.0);
+  }
+  const MetricsSnapshot snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.value("test.hits"), 0);
+  EXPECT_EQ(snapshot.value("test.depth"), 0);
+  EXPECT_EQ(snapshot.histogram("test.wait_us")->count, 0u);
+  // Re-enabled, the same handles record again.
+  hits.add(1);
+  EXPECT_EQ(registry.snapshot().value("test.hits"), 1);
+}
+
+TEST(MetricsRegistry, SnapshotIsNameSorted) {
+  MetricsRegistry registry;
+  registry.counter("test.zebra");
+  registry.counter("test.alpha");
+  registry.histogram("test.mid_us");
+  const MetricsSnapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.metrics.size(), 3u);
+  EXPECT_EQ(snapshot.metrics[0].name, "test.alpha");
+  EXPECT_EQ(snapshot.metrics[1].name, "test.mid_us");
+  EXPECT_EQ(snapshot.metrics[2].name, "test.zebra");
+}
+
+TEST(MetricsRegistry, FindAndLookupMisses) {
+  MetricsRegistry registry;
+  registry.counter("test.present");
+  const MetricsSnapshot snapshot = registry.snapshot();
+  EXPECT_NE(snapshot.find("test.present"), nullptr);
+  EXPECT_EQ(snapshot.find("test.absent"), nullptr);
+  EXPECT_EQ(snapshot.value("test.absent"), 0);
+  EXPECT_EQ(snapshot.histogram("test.present"), nullptr);  // not a histogram
+}
+
+TEST(MetricsRegistry, ConcurrentRegistrationAndRecording) {
+  // Registration (mutex) races recording (lock-free) and snapshotting;
+  // exercised under TSAN via the obs label.
+  MetricsRegistry registry;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < 50; ++i) {
+        MetricsRegistry::Counter c =
+            registry.counter("test.c" + std::to_string(i % 8));
+        c.add(1);
+        MetricsRegistry::Histogram h =
+            registry.histogram("test.h" + std::to_string(i % 4) + "_us");
+        h.record_us(static_cast<double>(t * 50 + i));
+        if (i % 16 == 0) registry.snapshot();
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const MetricsSnapshot snapshot = registry.snapshot();
+  std::int64_t total = 0;
+  for (int i = 0; i < 8; ++i) {
+    total += snapshot.value("test.c" + std::to_string(i));
+  }
+  EXPECT_EQ(total, 4 * 50);
+}
+
+}  // namespace
+}  // namespace sfc

@@ -1,0 +1,176 @@
+// The span ring: bounded retention with exact oldest-first ordering and
+// lifetime accounting, plus well-formed Chrome trace-event output.
+#include "sfc/obs/span_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sfc/obs/metrics.h"
+#include "json_check.h"
+
+namespace sfc {
+namespace {
+
+TraceSpan make_span(std::uint64_t id) {
+  TraceSpan span;
+  span.trace_id = id;
+  span.name = "unit";
+  span.category = "test";
+  span.start_us = static_cast<double>(id) * 10.0;
+  span.dur_us = 5.0;
+  span.tid = 1;
+  span.add_arg("seq", id);
+  return span;
+}
+
+TEST(TraceRing, EmptySnapshot) {
+  const TraceRing ring(8);
+  EXPECT_TRUE(ring.snapshot().empty());
+  EXPECT_EQ(ring.recorded(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_EQ(ring.capacity(), 8u);
+}
+
+TEST(TraceRing, RetainsInOrderBelowCapacity) {
+  TraceRing ring(8);
+  for (std::uint64_t i = 1; i <= 5; ++i) ring.record(make_span(i));
+  const std::vector<TraceSpan> spans = ring.snapshot();
+  ASSERT_EQ(spans.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(spans[i].trace_id, i + 1);
+  }
+  EXPECT_EQ(ring.recorded(), 5u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(TraceRing, WrapsKeepingTheMostRecent) {
+  TraceRing ring(4);
+  for (std::uint64_t i = 1; i <= 11; ++i) ring.record(make_span(i));
+  const std::vector<TraceSpan> spans = ring.snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  // Oldest-first of the last 4: 8, 9, 10, 11.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(spans[i].trace_id, 8 + i);
+  }
+  EXPECT_EQ(ring.recorded(), 11u);
+  EXPECT_EQ(ring.dropped(), 7u);
+}
+
+TEST(TraceRing, ClearResetsRetentionButNotNothingness) {
+  TraceRing ring(4);
+  for (std::uint64_t i = 1; i <= 6; ++i) ring.record(make_span(i));
+  ring.clear();
+  EXPECT_TRUE(ring.snapshot().empty());
+  ring.record(make_span(42));
+  const std::vector<TraceSpan> spans = ring.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].trace_id, 42u);
+}
+
+TEST(TraceRing, RecordAllMatchesSequentialRecords) {
+  TraceRing one_by_one(4);
+  TraceRing bulk(4);
+  std::vector<TraceSpan> spans;
+  for (std::uint64_t i = 1; i <= 6; ++i) {
+    spans.push_back(make_span(i));
+    one_by_one.record(spans.back());
+  }
+  bulk.record_all(spans);
+  const std::vector<TraceSpan> a = one_by_one.snapshot();
+  const std::vector<TraceSpan> b = bulk.snapshot();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].trace_id, b[i].trace_id);
+  }
+  EXPECT_EQ(bulk.recorded(), 6u);
+  EXPECT_EQ(bulk.dropped(), 2u);
+}
+
+TEST(TraceRing, DisabledRecordsNothing) {
+  TraceRing ring(4);
+  const bool previous = obs_enabled();
+  set_obs_enabled(false);
+  ring.record(make_span(1));
+  set_obs_enabled(previous);
+  EXPECT_TRUE(ring.snapshot().empty());
+  EXPECT_EQ(ring.recorded(), 0u);
+}
+
+TEST(TraceRing, ConcurrentRecordersLoseNothing) {
+  TraceRing ring(1 << 12);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      for (std::uint64_t i = 0; i < 256; ++i) ring.record(make_span(i));
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(ring.recorded(), 4u * 256u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_EQ(ring.snapshot().size(), 4u * 256u);
+}
+
+TEST(TraceSpan, ArgCapacityDropsSilently) {
+  TraceSpan span;
+  for (std::uint64_t i = 0; i < 12; ++i) span.add_arg("k", i);
+  int used = 0;
+  for (const TraceSpan::Arg& arg : span.args) {
+    if (arg.key != nullptr) ++used;
+  }
+  EXPECT_EQ(used, 8);
+  EXPECT_EQ(span.args[7].value, 7u);
+}
+
+TEST(TraceIds, MonotonicAndNonZero) {
+  const std::uint64_t a = next_trace_id();
+  const std::uint64_t b = next_trace_id();
+  EXPECT_GT(a, 0u);
+  EXPECT_GT(b, a);
+}
+
+TEST(ChromeTraceJson, EmptyIsValid) {
+  const std::string json = chrome_trace_json({});
+  EXPECT_TRUE(sfc::testing::json_valid(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(ChromeTraceJson, SpansRenderAsCompleteEvents) {
+  std::vector<TraceSpan> spans;
+  spans.push_back(make_span(7));
+  TraceSpan nasty;
+  nasty.trace_id = 8;
+  nasty.name = "quote\"back\\slash\ncontrol";
+  nasty.category = "test";
+  nasty.start_us = 1.25;
+  nasty.dur_us = 0.5;
+  nasty.add_arg("rows", 12345);
+  spans.push_back(nasty);
+
+  const std::string json = chrome_trace_json(spans);
+  EXPECT_TRUE(sfc::testing::json_valid(json)) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"rows\":12345"), std::string::npos);
+  // The nasty name survived escaping, not verbatim.
+  EXPECT_EQ(json.find("quote\"back"), std::string::npos);
+  EXPECT_NE(json.find("quote\\\"back"), std::string::npos);
+}
+
+TEST(ChromeTraceJson, GlobalRingRoundTrip) {
+  TraceRing& ring = TraceRing::global();
+  ring.clear();
+  TraceSpan span = make_span(99);
+  ring.record(span);
+  const std::string json = chrome_trace_json(ring.snapshot());
+  EXPECT_TRUE(sfc::testing::json_valid(json)) << json;
+  EXPECT_NE(json.find("\"trace_id\":99"), std::string::npos);
+  ring.clear();
+}
+
+}  // namespace
+}  // namespace sfc

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Gate: instrumentation overhead on the serve hot path.
+
+Reads the Google Benchmark JSON produced by perf_obs_overhead, finds the
+paired-replay row, and fails if the serve p99 ratio (obs on / obs off)
+exceeds the allowed overhead.  The bench alternates off/on replays inside
+each iteration, so machine drift cancels in the ratio instead of
+masquerading as instrumentation cost; this checker only has to read the
+ratio the bench already computed.
+
+  check_obs_overhead.py BENCH_obs.json
+  check_obs_overhead.py BENCH_obs.json --max-overhead 0.05
+"""
+import argparse
+import json
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="benchmark JSON with the paired run")
+    parser.add_argument(
+        "--benchmark",
+        default="BM_ServeObsOverheadPaired/manual_time_median",
+        help="row to read (median aggregate when repetitions were used)",
+    )
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=0.05,
+        help="allowed fractional p99 overhead (0.05 = 5%%)",
+    )
+    args = parser.parse_args()
+
+    with open(args.report, encoding="utf-8") as fh:
+        report = json.load(fh)
+    benches = report.get("benchmarks", [])
+    row = next((b for b in benches if b.get("name") == args.benchmark), None)
+    if row is None:
+        names = ", ".join(sorted(b.get("name", "?") for b in benches))
+        print(f"FAIL: benchmark {args.benchmark!r} not in {args.report} ({names})")
+        return 1
+    try:
+        ratio = float(row["p99_ratio"])
+    except (KeyError, TypeError, ValueError):
+        print(f"FAIL: row {args.benchmark!r} carries no p99_ratio counter")
+        return 1
+
+    off_us = float(row.get("p99_off_us", 0.0))
+    on_us = float(row.get("p99_on_us", 0.0))
+    overhead = ratio - 1.0
+    print(f"serve p99: obs off {off_us:,.0f} us, obs on {on_us:,.0f} us")
+    print(f"overhead : {overhead * 100:+.1f}% (ceiling {args.max_overhead * 100:.0f}%)")
+    if overhead > args.max_overhead:
+        print("FAIL: instrumentation overhead above the allowed ceiling")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

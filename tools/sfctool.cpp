@@ -10,6 +10,8 @@
 // arguments, on-disk store validation, trace parsing) are caught at the tool
 // boundary and reported as `error: ...` with exit status 1; usage errors exit
 // with status 2.
+#include <unistd.h>
+
 #include <cctype>
 #include <chrono>
 #include <cmath>
@@ -43,6 +45,9 @@
 #include "sfc/io/ascii_grid.h"
 #include "sfc/io/svg.h"
 #include "sfc/io/table.h"
+#include "sfc/obs/export.h"
+#include "sfc/obs/metrics.h"
+#include "sfc/obs/span_trace.h"
 #include "sfc/ranges/range_cover.h"
 #include "sfc/rng/sampling.h"
 #include "sfc/rng/splitmix64.h"
@@ -288,7 +293,7 @@ struct IndexSource {
 };
 
 int open_index_source(const Command& cmd, const cli::Args& args,
-                      IndexSource* source) {
+                      IndexSource* source, bool round_trip_store = false) {
   const std::string file = args.get_string("file", "");
   if (!file.empty()) {
     source->mapped.emplace(MappedIndex::open(file));
@@ -300,13 +305,31 @@ int open_index_source(const Command& cmd, const cli::Args& args,
               << source->mapped->descriptor().to_string() << ")\n";
     return 0;
   }
+  CurveDescriptor descriptor;
   if (const int status = build_index_setup(cmd, args, &source->curve,
-                                           &source->points, &source->owned);
+                                           &source->points, &source->owned,
+                                           &descriptor);
       status != 0) {
     return status;
   }
   source->view = source->owned->view();
   print_index_summary(*source->owned, source->points.size());
+  if (round_trip_store) {
+    // Round-trip the in-memory build through the on-disk format so one run
+    // exercises the writer, the mmap reader, and its verification pass.  The
+    // path is unlinked immediately; the mapping keeps the bytes alive.
+    const std::string tmp_path =
+        "/tmp/sfctool-serve-" + std::to_string(::getpid()) + ".sfcidx";
+    write_index_file(tmp_path, *source->owned, descriptor);
+    source->mapped.emplace(MappedIndex::open(tmp_path));
+    std::remove(tmp_path.c_str());
+    source->view = source->mapped->view();
+    source->owned.reset();
+    source->points.clear();
+    source->points.shrink_to_fit();
+    std::cout << "index: round-tripped through the v1 store format ("
+              << source->mapped->file_bytes() << " bytes)\n";
+  }
   return 0;
 }
 
@@ -729,6 +752,36 @@ std::string fmt_double(double value) {
   return buffer;
 }
 
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) throw Error("cannot open output file: " + path);
+  file.write(content.data(), static_cast<std::streamsize>(content.size()));
+  file.flush();
+  if (!file) throw Error("I/O error writing output file: " + path);
+}
+
+/// Shared by serve-bench and serve-chaos: dump the process-global metrics
+/// snapshot (`--metrics-out`, JSON unless the path ends in .prom) and the
+/// span ring (`--trace-out`, Chrome trace-event JSON).
+void write_observability_outputs(const cli::Args& args) {
+  const std::string metrics_path = args.get_string("metrics-out", "");
+  if (!metrics_path.empty()) {
+    const MetricsSnapshot snapshot = MetricsRegistry::global().snapshot();
+    const bool prom =
+        metrics_path.size() >= 5 &&
+        metrics_path.compare(metrics_path.size() - 5, 5, ".prom") == 0;
+    write_text_file(metrics_path, prom ? metrics_prometheus(snapshot)
+                                       : metrics_json(snapshot));
+    std::cout << "wrote " << metrics_path << "\n";
+  }
+  const std::string trace_path = args.get_string("trace-out", "");
+  if (!trace_path.empty()) {
+    const std::vector<TraceSpan> spans = TraceRing::global().snapshot();
+    write_text_file(trace_path, chrome_trace_json(spans));
+    std::cout << "wrote " << trace_path << " (" << spans.size() << " spans)\n";
+  }
+}
+
 /// Google-benchmark-shaped JSON so tools/bench_trajectory.py aggregates
 /// serve replays next to the micro benches.
 void write_serve_json(const std::string& path,
@@ -828,7 +881,9 @@ int cmd_serve_bench(const Command& cmd, const cli::Args& args) {
   }
 
   IndexSource source;
-  if (const int status = open_index_source(cmd, args, &source); status != 0) {
+  if (const int status =
+          open_index_source(cmd, args, &source, /*round_trip_store=*/true);
+      status != 0) {
     return status;
   }
   const QueryTrace trace = read_trace_file(trace_path);
@@ -875,6 +930,7 @@ int cmd_serve_bench(const Command& cmd, const cli::Args& args) {
     write_serve_json(json_path, reports);
     std::cout << "wrote " << json_path << "\n";
   }
+  write_observability_outputs(args);
   if (*max_p99_us > 0) {
     for (const ReplayReport& report : reports) {
       if (report.p99_us > static_cast<double>(*max_p99_us)) {
@@ -1058,7 +1114,12 @@ int cmd_serve_chaos(const Command& cmd, const cli::Args& args) {
     write_chaos_json(json_path, report, options.clients);
     std::cout << "wrote " << json_path << "\n";
   }
+  write_observability_outputs(args);
   if (!report.clean(static_cast<double>(*p99_factor))) {
+    // Full runtime snapshot on any gate failure, so the postmortem has the
+    // server/store/engine counters next to the report numbers.
+    std::cerr << "postmortem metrics snapshot:\n"
+              << metrics_json(MetricsRegistry::global().snapshot()) << "\n";
     std::cerr << "error: chaos gate failed —"
               << (report.wrong_answers > 0
                       ? " " + std::to_string(report.wrong_answers) +
@@ -1076,6 +1137,67 @@ int cmd_serve_chaos(const Command& cmd, const cli::Args& args) {
   }
   std::cout << "chaos gate clean: every accepted answer bit-identical to its "
                "generation, no torn files, identity holds\n";
+  return 0;
+}
+
+int cmd_stats(const Command& cmd, const cli::Args& args) {
+  const auto queries = args.get_int("queries", 2000);
+  const auto clients = args.get_int("clients", 8);
+  const auto extent = args.get_int("extent", 32);
+  const std::string format = args.get_string("format", "json");
+  if (!queries || !clients || !extent || *queries < 1 || *clients < 1 ||
+      *clients > 4096 || *extent < 1) {
+    return usage_command(cmd, "bad numeric flag");
+  }
+  if (format != "json" && format != "prom") {
+    return usage_command(cmd, "--format must be json or prom");
+  }
+  // Fresh registry and span ring: the snapshot below covers exactly this
+  // run's build, store round trip, and replay.
+  MetricsRegistry::global().reset();
+  TraceRing::global().clear();
+  IndexSource source;
+  if (const int status =
+          open_index_source(cmd, args, &source, /*round_trip_store=*/true);
+      status != 0) {
+    return status;
+  }
+  const std::string trace_path = args.get_string("trace", "");
+  QueryTrace trace;
+  if (!trace_path.empty()) {
+    trace = read_trace_file(trace_path);
+    if (trace.empty()) {
+      return usage_command(cmd, "trace '" + trace_path + "' is empty");
+    }
+  } else {
+    TraceGenOptions gen;
+    gen.count = static_cast<std::uint64_t>(*queries);
+    gen.box_extent = static_cast<std::uint32_t>(*extent);
+    trace = generate_trace(source.view.curve().universe(), gen);
+  }
+  IndexServer server(source.view, ServerOptions{});
+  ReplayOptions replay_options;
+  replay_options.clients = static_cast<std::uint32_t>(*clients);
+  const ReplayReport report = replay_trace(server, trace, replay_options);
+  std::cout << "replayed " << report.queries << " queries at " << *clients
+            << " clients: p50 " << fmt_double(report.p50_us) << " us, p99 "
+            << fmt_double(report.p99_us) << " us\n";
+  const MetricsSnapshot snapshot = MetricsRegistry::global().snapshot();
+  const std::string rendered =
+      format == "prom" ? metrics_prometheus(snapshot) : metrics_json(snapshot);
+  const std::string out = args.get_string("out", "");
+  if (out.empty()) {
+    std::cout << rendered;
+  } else {
+    write_text_file(out, rendered);
+    std::cout << "wrote " << out << "\n";
+  }
+  const std::string trace_out = args.get_string("trace-out", "");
+  if (!trace_out.empty()) {
+    const std::vector<TraceSpan> spans = TraceRing::global().snapshot();
+    write_text_file(trace_out, chrome_trace_json(spans));
+    std::cout << "wrote " << trace_out << " (" << spans.size() << " spans)\n";
+  }
   return 0;
 }
 
@@ -1243,7 +1365,11 @@ const std::vector<Command>& command_table() {
              {"backoff-us", "U", "base retry backoff, us (default 200)"},
              {"overload-p99-factor", "F",
               "fail if accepted p99 exceeds F x the first client level's p99 "
-              "(0 = off)"}}),
+              "(0 = off)"},
+             {"metrics-out", "FILE",
+              "write a metrics snapshot (json; .prom = Prometheus text)"},
+             {"trace-out", "FILE",
+              "write captured spans as Chrome trace-event JSON"}}),
        cmd_serve_bench},
       {"serve-chaos", "soak the server under continuous reloads and crashes",
        {kCurveFlag, kDimFlag, kBitsFlag, kSeedFlag,
@@ -1263,8 +1389,24 @@ const std::vector<Command>& command_table() {
         {"retries", "N", "client retries on overload/timeout (default 3)"},
         {"backoff-us", "U", "base retry backoff, us (default 200)"},
         {"p99-factor", "F", "fail if soak p99 exceeds F x baseline (default 2)"},
-        {"json", "FILE", "write google-benchmark-shaped JSON"}},
+        {"json", "FILE", "write google-benchmark-shaped JSON"},
+        {"metrics-out", "FILE",
+         "write a metrics snapshot (json; .prom = Prometheus text)"},
+        {"trace-out", "FILE",
+         "write captured spans as Chrome trace-event JSON"}},
        cmd_serve_chaos},
+      {"stats", "replay a trace and dump the unified metrics snapshot",
+       with(kIndexBuildFlags,
+            {{"file", "FILE", "mmap this index file instead of building"},
+             {"trace", "FILE", "query trace to replay (default: generated)"},
+             {"queries", "N", "generated-trace query count (default 2000)"},
+             {"extent", "E", "generated-trace box side length (default 32)"},
+             {"clients", "N", "concurrent replay clients (default 8)"},
+             {"format", "F", "json (default) or prom"},
+             {"out", "FILE", "metrics output file (default: stdout)"},
+             {"trace-out", "FILE",
+              "write captured spans as Chrome trace-event JSON"}}),
+       cmd_stats},
       {"store-fuzz", "seeded corruption campaign against an index file",
        {{"file", "FILE", "index file to fuzz (required)"},
         {"iterations", "N", "mutations to test (default 2000)"},
